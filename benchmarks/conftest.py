@@ -1,0 +1,9 @@
+"""Benchmark-suite pytest configuration."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# Make `import harness` work regardless of pytest rootdir.
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,61 @@
+"""Shared infrastructure for the benchmark suite.
+
+Environment knobs (all optional):
+
+* ``REPRO_BENCH_SCALE`` — multiplies every suite design's size
+  (default 1.0; 0.25 gives a fast smoke run).
+* ``REPRO_BENCH_FULL`` — set to ``1`` to run the complete Table IV /
+  Figure 5 matrices under pytest (the default keeps the heavyweight
+  pair-enumeration configurations out of ``pytest benchmarks/``; the
+  standalone ``run_experiments.py`` always runs what you ask for).
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+
+from repro import (BlockBasedTimer, BranchBoundTimer, CpprEngine,
+                   CpprOptions, PairEnumTimer, TimingAnalyzer)
+from repro.workloads.suite import build_design
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+BENCH_FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+#: The designs exercised by the default pytest-benchmark run: the
+#: smallest, a mid-size, and the densest (leon2).
+QUICK_DESIGNS = ["vga_lcdv2", "combo4v2", "leon2"]
+
+TIMER_NAMES = ["ours", "ours-mt", "pair_enum", "block_based",
+               "branch_bound"]
+
+
+@lru_cache(maxsize=None)
+def get_analyzer(design: str, scale: float = BENCH_SCALE) -> TimingAnalyzer:
+    """Build (and cache) one suite design's analyzer."""
+    graph, constraints = build_design(design, scale=scale)
+    analyzer = TimingAnalyzer(graph, constraints)
+    analyzer.graph.topo_order  # pre-pay shared setup
+    analyzer.arrivals
+    return analyzer
+
+
+def make_timer(name: str, analyzer: TimingAnalyzer, workers: int = 8):
+    """Instantiate a timer by its benchmark name."""
+    if name == "ours":
+        return CpprEngine(analyzer)
+    if name == "ours-mt":
+        return CpprEngine(analyzer, CpprOptions(executor="process",
+                                                workers=workers))
+    if name == "pair_enum":
+        return PairEnumTimer(analyzer)
+    if name == "block_based":
+        return BlockBasedTimer(analyzer)
+    if name == "branch_bound":
+        return BranchBoundTimer(analyzer)
+    raise ValueError(f"unknown timer {name!r}")
+
+
+def run_both_modes(timer, k: int) -> tuple[list[float], list[float]]:
+    """One Table IV 'run': top-k for the setup AND the hold test."""
+    return timer.top_slacks(k, "setup"), timer.top_slacks(k, "hold")

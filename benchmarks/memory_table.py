@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Memory companion to Table IV: peak heap for a representative subset.
+
+``tracemalloc`` slows allocation-heavy code by 2-5x, so the full Table
+IV grid measures runtime only; this script measures peak interpreter
+heap (the Python analogue of the paper's RSS column) for three designs
+spanning the connectivity range, at the smallest and largest k.
+
+Run:  python benchmarks/memory_table.py [--scale S]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from harness import get_analyzer, make_timer, run_both_modes  # noqa: E402
+
+from repro.utils.measure import measure_memory  # noqa: E402
+
+DESIGNS = ["vga_lcdv2", "combo4v2", "leon2"]
+K_VALUES = [1, 500]
+TIMERS = ["ours", "pair_enum", "block_based", "branch_bound"]
+RESULTS = Path(__file__).parent / "results"
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=1.0)
+    args = parser.parse_args(argv)
+
+    lines = ["# Table IV memory companion — peak heap (MiB), "
+             "setup + hold per run", "",
+             "| Benchmark | k | " + " | ".join(TIMERS) + " | MemR worst |",
+             "|---|---:|" + "---:|" * (len(TIMERS) + 1)]
+    for design in DESIGNS:
+        analyzer = get_analyzer(design, args.scale)
+        for k in K_VALUES:
+            peaks = {}
+            for timer_name in TIMERS:
+                timer = make_timer(timer_name, analyzer)
+                peaks[timer_name] = measure_memory(
+                    lambda t=timer: run_both_modes(t, k)).peak_mib
+                print(f"[memory] {design} k={k} {timer_name}: "
+                      f"{peaks[timer_name]:.1f} MiB", file=sys.stderr)
+            worst_ratio = max(peaks[t] / peaks["ours"] for t in TIMERS)
+            lines.append(
+                f"| {design} | {k} | "
+                + " | ".join(f"{peaks[t]:.1f}" for t in TIMERS)
+                + f" | {worst_ratio:.2f}x |")
+    RESULTS.mkdir(exist_ok=True)
+    text = "\n".join(lines) + "\n"
+    (RESULTS / "table4_memory.md").write_text(text)
+    print(text)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,269 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper's evaluation section.
+
+Usage::
+
+    python benchmarks/run_experiments.py all            # everything
+    python benchmarks/run_experiments.py table4 --quick # small matrix
+    python benchmarks/run_experiments.py fig5 --scale 0.5
+
+Subcommands: ``table3``, ``table4``, ``fig5``, ``fig6``, ``ablation``,
+``all``.  Results are printed as markdown and also written under
+``benchmarks/results/``.
+
+Measurement methodology (mirrors the paper's Table IV):
+
+* one *run* = top-k post-CPPR paths for the setup AND the hold test;
+* runtime is wall-clock without tracing; memory is a separate run under
+  ``tracemalloc`` (interpreter heap peak — the Python analogue of RSS);
+* ``RTR``/``MemR`` columns are each timer's value divided by ours
+  (8-worker ours is the 1.00 baseline when present, as in the paper).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from harness import get_analyzer, make_timer, run_both_modes  # noqa: E402
+
+from repro import CpprEngine, CpprOptions, PairEnumTimer  # noqa: E402
+from repro.cppr.parallel import available_executors  # noqa: E402
+from repro.utils.measure import (measure_memory,  # noqa: E402
+                                 measure_runtime)
+from repro.workloads.stats import design_statistics  # noqa: E402
+from repro.workloads.suite import design_names  # noqa: E402
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+TABLE4_TIMERS = ["ours", "ours-mt", "pair_enum", "block_based",
+                 "branch_bound"]
+TIMER_LABELS = {
+    "ours": "Ours (1 worker)",
+    "ours-mt": "Ours (8 workers)",
+    "pair_enum": "PairEnum (OpenTimer-class)",
+    "block_based": "BlockBased (HappyTimer-class)",
+    "branch_bound": "BranchBound (iTimerC-class)",
+}
+
+
+def _emit(lines: list[str], filename: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = "\n".join(lines) + "\n"
+    (RESULTS_DIR / filename).write_text(text)
+    print(text)
+
+
+def _measure(fn, with_memory: bool = True) -> tuple[float, float | None]:
+    seconds = measure_runtime(fn).seconds
+    peak = measure_memory(fn).peak_mib if with_memory else None
+    return seconds, peak
+
+
+# ----------------------------------------------------------------------
+# Table III
+# ----------------------------------------------------------------------
+def run_table3(args) -> None:
+    lines = ["# Table III — benchmark statistics (scaled suite)", "",
+             "| Benchmark | #Edges | #FFs | D | #FFs/D | FF connectivity |",
+             "|---|---:|---:|---:|---:|---:|"]
+    for design in args.designs:
+        stats = design_statistics(get_analyzer(design, args.scale).graph)
+        lines.append(
+            f"| {stats.name} | {stats.num_edges} | {stats.num_ffs} | "
+            f"{stats.num_levels} | {stats.ffs_per_level:.2f} | "
+            f"{stats.ff_connectivity:.2f} |")
+    _emit(lines, "table3.md")
+
+
+# ----------------------------------------------------------------------
+# Table IV
+# ----------------------------------------------------------------------
+def run_table4(args) -> None:
+    import os
+    cpus = (len(os.sched_getaffinity(0))
+            if hasattr(os, "sched_getaffinity") else os.cpu_count() or 1)
+    timers = [t for t in TABLE4_TIMERS
+              if t != "ours-mt"
+              or ("process" in available_executors() and cpus > 1)]
+    lines = ["# Table IV — runtime (s) and peak memory (MiB), "
+             "setup + hold per run", "",
+             "| Benchmark | k | " + " | ".join(
+                 f"{TIMER_LABELS[t]} RT / Mem / RTR" for t in timers)
+             + " |",
+             "|---|---:|" + "---|" * len(timers)]
+    for design in args.designs:
+        analyzer = get_analyzer(design, args.scale)
+        for k in args.k_values:
+            cells = []
+            results: dict[str, tuple[float, float | None]] = {}
+            for timer_name in timers:
+                timer = make_timer(timer_name, analyzer)
+                seconds, peak = _measure(
+                    lambda t=timer: run_both_modes(t, k),
+                    with_memory=not args.no_memory)
+                results[timer_name] = (seconds, peak)
+            base = results["ours"][0]
+            for timer_name in timers:
+                seconds, peak = results[timer_name]
+                mem = f"{peak:.1f}" if peak is not None else "-"
+                cells.append(f"{seconds:.2f} / {mem} / "
+                             f"{seconds / base:.2f}x")
+            lines.append(f"| {design} | {k} | " + " | ".join(cells) + " |")
+            print(f"[table4] {design} k={k} done", file=sys.stderr)
+    _emit(lines, "table4.md")
+
+
+# ----------------------------------------------------------------------
+# Figure 5
+# ----------------------------------------------------------------------
+def run_fig5(args) -> None:
+    design = "leon2"
+    analyzer = get_analyzer(design, args.scale)
+    timers = ["ours", "pair_enum", "block_based", "branch_bound"]
+    lines = [f"# Figure 5 — runtime and memory vs k on {design} "
+             f"(setup analysis)", "",
+             "| k | " + " | ".join(
+                 f"{TIMER_LABELS[t]} RT(s) / Mem(MiB)" for t in timers)
+             + " |",
+             "|---:|" + "---|" * len(timers)]
+    for k in args.k_sweep:
+        cells = []
+        for timer_name in timers:
+            timer = make_timer(timer_name, analyzer)
+            seconds, peak = _measure(
+                lambda t=timer: t.top_slacks(k, "setup"),
+                with_memory=not args.no_memory)
+            mem = f"{peak:.1f}" if peak is not None else "-"
+            cells.append(f"{seconds:.2f} / {mem}")
+        lines.append(f"| {k} | " + " | ".join(cells) + " |")
+        print(f"[fig5] k={k} done", file=sys.stderr)
+    _emit(lines, "fig5.md")
+
+
+# ----------------------------------------------------------------------
+# Figure 6
+# ----------------------------------------------------------------------
+def run_fig6(args) -> None:
+    if "process" not in available_executors():
+        print("fig6 skipped: no fork support", file=sys.stderr)
+        return
+    design = "leon2"
+    k = 100
+    analyzer = get_analyzer(design, args.scale)
+    lines = [f"# Figure 6 — runtime vs workers, k={k} on {design} "
+             f"(setup analysis; fork-process workers)", "",
+             "| workers | Ours RT(s) | PairEnum RT(s) |",
+             "|---:|---:|---:|"]
+    for workers in args.workers_sweep:
+        ours = CpprEngine(analyzer, CpprOptions(
+            executor="process" if workers > 1 else "serial",
+            workers=workers))
+        pair = PairEnumTimer(
+            analyzer, executor="process" if workers > 1 else "serial",
+            workers=workers)
+        ours_s = measure_runtime(
+            lambda: ours.top_slacks(k, "setup")).seconds
+        pair_s = measure_runtime(
+            lambda: pair.top_slacks(k, "setup")).seconds
+        lines.append(f"| {workers} | {ours_s:.2f} | {pair_s:.2f} |")
+        print(f"[fig6] workers={workers} done", file=sys.stderr)
+    _emit(lines, "fig6.md")
+
+
+# ----------------------------------------------------------------------
+# Ablations
+# ----------------------------------------------------------------------
+def run_ablation(args) -> None:
+    design = "combo4v2"
+    k = 200
+    analyzer = get_analyzer(design, args.scale)
+    lines = [f"# Ablations on {design} (k={k}, setup analysis)", ""]
+
+    bounded = CpprEngine(analyzer)
+    unbounded = CpprEngine(analyzer, CpprOptions(heap_capacity=1_000_000))
+    b_s, b_m = _measure(lambda: bounded.top_slacks(k, "setup"))
+    u_s, u_m = _measure(lambda: unbounded.top_slacks(k, "setup"))
+    lines += ["## A2 — bounded min-max heap (Algorithm 5)", "",
+              "| variant | RT(s) | peak MiB |", "|---|---:|---:|",
+              f"| heap capacity = k | {b_s:.3f} | {b_m:.1f} |",
+              f"| heap unbounded | {u_s:.3f} | {u_m:.1f} |", ""]
+
+    import random
+    from repro.ds.binary_lifting import AncestorTable
+    rng = random.Random(3)
+    parents = [-1]
+    for _level in range(1, 64):
+        start = len(parents)
+        for _ in range(8):
+            parents.append(rng.randrange(max(0, start - 8), start))
+    table = AncestorTable(parents)
+    n = len(parents)
+    queries = [(rng.randrange(n), rng.randrange(n)) for _ in range(20000)]
+
+    def naive_lca(u, v):
+        ancestors = set()
+        while u != -1:
+            ancestors.add(u)
+            u = parents[u]
+        while v not in ancestors:
+            v = parents[v]
+        return v
+
+    fast_s = measure_runtime(
+        lambda: sum(table.lca(u, v) for u, v in queries)).seconds
+    naive_s = measure_runtime(
+        lambda: sum(naive_lca(u, v) for u, v in queries)).seconds
+    lines += ["## A3 — binary lifting vs parent walking "
+              "(20k LCA queries, depth-64 tree)", "",
+              "| variant | RT(s) |", "|---|---:|",
+              f"| binary lifting | {fast_s:.3f} |",
+              f"| naive walk | {naive_s:.3f} |", ""]
+
+    if "process" in available_executors():
+        leon = get_analyzer("leon2", args.scale)
+        serial = CpprEngine(leon)
+        par = CpprEngine(leon, CpprOptions(executor="process", workers=4))
+        s_s = measure_runtime(lambda: serial.top_slacks(k, "setup")).seconds
+        p_s = measure_runtime(lambda: par.top_slacks(k, "setup")).seconds
+        lines += ["## A4 — level parallelism on leon2", "",
+                  "| variant | RT(s) |", "|---|---:|",
+                  f"| serial | {s_s:.3f} |",
+                  f"| 4 fork workers | {p_s:.3f} |", ""]
+
+    _emit(lines, "ablation.md")
+
+
+# ----------------------------------------------------------------------
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("what", choices=["table3", "table4", "fig5",
+                                         "fig6", "ablation", "all"])
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="design scale factor (default 1.0)")
+    parser.add_argument("--quick", action="store_true",
+                        help="small matrix: 3 designs, k in {1, 50}")
+    parser.add_argument("--no-memory", action="store_true",
+                        help="skip the tracemalloc passes (faster)")
+    args = parser.parse_args(argv)
+
+    args.designs = (["vga_lcdv2", "combo4v2", "leon2"] if args.quick
+                    else design_names())
+    args.k_values = [1, 50] if args.quick else [1, 50, 500]
+    args.k_sweep = [1, 10, 50, 200, 500] if not args.quick else [1, 50]
+    args.workers_sweep = [1, 2, 4, 8]
+
+    steps = {"table3": run_table3, "table4": run_table4, "fig5": run_fig5,
+             "fig6": run_fig6, "ablation": run_ablation}
+    if args.what == "all":
+        for step in steps.values():
+            step(args)
+    else:
+        steps[args.what](args)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Benchmark F5: the paper's Figure 5 — runtime versus k on leon2.
+
+The paper sweeps k from 1 to 10K on its million-gate leon2 and shows
+their runtime nearly flat while iTimerC's rises rapidly past 1K; at our
+~1/10 scale the sweep runs to 500.  Memory-vs-k (the figure's second
+panel) is produced by ``run_experiments.py fig5`` with tracemalloc.
+
+The default pytest matrix drops the most expensive pair-enumeration
+points; ``REPRO_BENCH_FULL=1`` enables everything.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from harness import BENCH_FULL, get_analyzer, make_timer
+
+K_SWEEP = [1, 10, 100, 500]
+TIMERS = ["ours", "pair_enum", "block_based", "branch_bound"]
+
+
+def _cases():
+    for timer in TIMERS:
+        for k in K_SWEEP:
+            heavy = timer == "pair_enum" and k > 10
+            if heavy and not BENCH_FULL:
+                continue
+            yield pytest.param(timer, k, id=f"{timer}-k{k}")
+
+
+@pytest.mark.parametrize("timer_name,k", list(_cases()))
+def test_fig5_runtime_vs_k(benchmark, timer_name, k):
+    analyzer = get_analyzer("leon2")
+    timer = make_timer(timer_name, analyzer)
+    slacks = benchmark.pedantic(lambda: timer.top_slacks(k, "setup"),
+                                rounds=1, iterations=1)
+    benchmark.extra_info.update({"design": "leon2", "timer": timer_name,
+                                 "k": k})
+    assert len(slacks) == k
+
+
+def test_fig5_our_runtime_is_nearly_flat_in_k():
+    """The figure's headline: our runtime barely moves from k=1 to the
+    top of the sweep, because only the deviation stage depends on k."""
+    import time
+    analyzer = get_analyzer("leon2")
+    engine = make_timer("ours", analyzer)
+    start = time.perf_counter()
+    engine.top_slacks(1, "setup")
+    t_small = time.perf_counter() - start
+    start = time.perf_counter()
+    engine.top_slacks(500, "setup")
+    t_large = time.perf_counter() - start
+    assert t_large < 25 * t_small

@@ -1,0 +1,58 @@
+"""Benchmark F6: the paper's Figure 6 — runtime versus worker count.
+
+The paper runs k=1000 on leon2 with 1..16 threads; our per-level passes
+are parallelized across ``fork`` worker processes (CPython's GIL makes
+*threads* useless for this pure-Python CPU work — see
+``repro.cppr.parallel``), and the scaled sweep uses k=100 and 1..8
+workers.  The pair-enumeration baseline parallelizes across endpoints
+the same way, mirroring OpenTimer's per-endpoint threading.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from harness import BENCH_FULL, get_analyzer
+from repro import CpprEngine, CpprOptions, PairEnumTimer
+from repro.cppr.parallel import available_executors
+
+WORKER_SWEEP = [1, 2, 4, 8]
+K = 100
+
+needs_fork = pytest.mark.skipif(
+    "process" not in available_executors(),
+    reason="process executor requires fork support")
+
+
+@needs_fork
+@pytest.mark.parametrize("workers", WORKER_SWEEP)
+def test_fig6_ours_process_scaling(benchmark, workers):
+    analyzer = get_analyzer("leon2")
+    engine = CpprEngine(analyzer, CpprOptions(executor="process",
+                                              workers=workers))
+    slacks = benchmark.pedantic(lambda: engine.top_slacks(K, "setup"),
+                                rounds=1, iterations=1)
+    benchmark.extra_info.update({"design": "leon2", "timer": "ours-mt",
+                                 "workers": workers, "k": K})
+    assert len(slacks) == K
+
+
+@needs_fork
+@pytest.mark.parametrize("workers", WORKER_SWEEP if BENCH_FULL else [8])
+def test_fig6_pair_enum_process_scaling(benchmark, workers):
+    analyzer = get_analyzer("leon2")
+    timer = PairEnumTimer(analyzer, executor="process", workers=workers)
+    slacks = benchmark.pedantic(lambda: timer.top_slacks(K, "setup"),
+                                rounds=1, iterations=1)
+    benchmark.extra_info.update({"design": "leon2", "timer": "pair_enum",
+                                 "workers": workers, "k": K})
+    assert len(slacks) == K
+
+
+@needs_fork
+def test_fig6_parallel_results_match_serial():
+    analyzer = get_analyzer("leon2")
+    serial = CpprEngine(analyzer).top_slacks(K, "setup")
+    parallel = CpprEngine(analyzer, CpprOptions(
+        executor="process", workers=4)).top_slacks(K, "setup")
+    assert serial == pytest.approx(parallel)

@@ -1,0 +1,91 @@
+"""Benchmark E1: empirical support for the complexity theorem.
+
+The paper's Theorem 2 says our runtime is ``O(nD)`` — proportional to
+the clock-tree depth and *independent of the flip-flop count*, which is
+what separates it from the ``O(n · #FF)`` pair-enumeration class.  Two
+sweeps over generated designs isolate each variable:
+
+* **D sweep** — same flip-flop count and edge budget, clock depth 4/8/16:
+  our runtime should roughly double per doubling of D.
+* **#FF sweep** — same edge budget and depth, flip-flop count 100..800:
+  our runtime should stay nearly flat while PairEnum's grows linearly.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import (CpprEngine, PairEnumTimer, TimingAnalyzer,
+                   TimingConstraints)
+from repro.workloads.random_circuit import RandomDesignSpec, random_design
+from repro.workloads.suite import suggest_clock_period
+
+K = 20
+
+
+def _analyzer(num_ffs: int, depth: int, seed: int = 77) -> TimingAnalyzer:
+    spec = RandomDesignSpec(
+        name=f"scale_ff{num_ffs}_d{depth}", seed=seed, num_ffs=num_ffs,
+        num_gates=3000, num_pis=4, num_pos=4, clock_depth=depth,
+        layers=10, channels=2, global_mix=0.2, delay_jitter=0.15,
+        max_gate_inputs=4)
+    graph = random_design(spec)
+    analyzer = TimingAnalyzer(
+        graph, TimingConstraints(suggest_clock_period(graph)))
+    analyzer.graph.topo_order
+    return analyzer
+
+
+def _time(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+@pytest.mark.parametrize("depth", [4, 8, 16])
+def test_scaling_ours_vs_clock_depth(benchmark, depth):
+    analyzer = _analyzer(num_ffs=300, depth=depth)
+    engine = CpprEngine(analyzer)
+    benchmark.pedantic(lambda: engine.top_slacks(K, "setup"),
+                       rounds=1, iterations=1)
+    benchmark.extra_info.update({"sweep": "D", "depth": depth,
+                                 "num_ffs": 300})
+
+
+@pytest.mark.parametrize("num_ffs", [100, 200, 400, 800])
+def test_scaling_ours_vs_ff_count(benchmark, num_ffs):
+    analyzer = _analyzer(num_ffs=num_ffs, depth=8)
+    engine = CpprEngine(analyzer)
+    benchmark.pedantic(lambda: engine.top_slacks(K, "setup"),
+                       rounds=1, iterations=1)
+    benchmark.extra_info.update({"sweep": "#FF", "num_ffs": num_ffs,
+                                 "depth": 8})
+
+
+@pytest.mark.parametrize("num_ffs", [100, 400])
+def test_scaling_pair_enum_vs_ff_count(benchmark, num_ffs):
+    analyzer = _analyzer(num_ffs=num_ffs, depth=8)
+    timer = PairEnumTimer(analyzer)
+    benchmark.pedantic(lambda: timer.top_slacks(K, "setup"),
+                       rounds=1, iterations=1)
+    benchmark.extra_info.update({"sweep": "#FF-pair", "num_ffs": num_ffs,
+                                 "depth": 8})
+
+
+def test_ff_count_independence_headline():
+    """8x more flip-flops must not slow the engine more than ~2.5x
+    (shared edge budget keeps n comparable), while PairEnum grows with
+    the FF count by design."""
+    ours_small = _time(lambda: CpprEngine(
+        _analyzer(100, 8)).top_slacks(K, "setup"))
+    ours_large = _time(lambda: CpprEngine(
+        _analyzer(800, 8)).top_slacks(K, "setup"))
+    assert ours_large < 2.5 * ours_small + 0.05
+
+    pair_small = _time(lambda: PairEnumTimer(
+        _analyzer(100, 8)).top_slacks(K, "setup"))
+    pair_large = _time(lambda: PairEnumTimer(
+        _analyzer(800, 8)).top_slacks(K, "setup"))
+    assert pair_large > 3.0 * pair_small

@@ -1,0 +1,33 @@
+"""Benchmark T3: regenerate the paper's Table III (design statistics).
+
+Each benchmark measures the statistics computation for one design; the
+collected rows are the table itself (also printed by
+``run_experiments.py table3``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from harness import BENCH_SCALE, get_analyzer
+from repro.workloads.stats import design_statistics
+from repro.workloads.suite import design_names
+
+
+@pytest.mark.parametrize("design", design_names())
+def test_table3_statistics(benchmark, design):
+    analyzer = get_analyzer(design)
+    stats = benchmark.pedantic(
+        lambda: design_statistics(analyzer.graph), rounds=1, iterations=1)
+    benchmark.extra_info.update({
+        "design": design,
+        "scale": BENCH_SCALE,
+        "num_edges": stats.num_edges,
+        "num_ffs": stats.num_ffs,
+        "levels_D": stats.num_levels,
+        "ffs_per_level": round(stats.ffs_per_level, 2),
+        "ff_connectivity": round(stats.ff_connectivity, 2),
+    })
+    # The Table III shape: D is orders of magnitude below the FF count,
+    # which is the entire premise of the paper's speedup.
+    assert stats.num_levels < stats.num_ffs / 10

@@ -1,0 +1,61 @@
+"""Benchmark T4: the paper's Table IV — runtime of four CPPR timers.
+
+One "run" computes the global top-k post-CPPR paths for both the setup
+and the hold test, matching the paper's measurement.  The paper's
+k = 1 / 100 / 10K columns map to 1 / 50 / 500 at our ~1/10 design scale.
+
+The default pytest matrix keeps the run short (three designs, the two
+cheaper k values, pair-enumeration only on the smallest design); set
+``REPRO_BENCH_FULL=1`` for the complete 8-design x 3-k x 4-timer grid,
+or use ``run_experiments.py table4`` which also records memory and
+prints ratio columns.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from harness import (BENCH_FULL, QUICK_DESIGNS, get_analyzer, make_timer,
+                     run_both_modes)
+from repro.workloads.suite import design_names
+
+K_VALUES = [1, 50, 500] if BENCH_FULL else [1, 50]
+DESIGNS = design_names() if BENCH_FULL else QUICK_DESIGNS
+TIMERS = ["ours", "pair_enum", "block_based", "branch_bound"]
+
+
+def _cases():
+    for design in DESIGNS:
+        for timer in TIMERS:
+            for k in K_VALUES:
+                heavy = timer == "pair_enum" and design != "vga_lcdv2"
+                if heavy and not BENCH_FULL:
+                    continue
+                yield pytest.param(design, timer, k,
+                                   id=f"{design}-{timer}-k{k}")
+
+
+@pytest.mark.parametrize("design,timer_name,k", list(_cases()))
+def test_table4_runtime(benchmark, design, timer_name, k):
+    analyzer = get_analyzer(design)
+    timer = make_timer(timer_name, analyzer)
+    setup_slacks, hold_slacks = benchmark.pedantic(
+        lambda: run_both_modes(timer, k), rounds=1, iterations=1)
+    benchmark.extra_info.update({
+        "design": design, "timer": timer_name, "k": k,
+        "worst_setup_slack": round(setup_slacks[0], 4),
+        "worst_hold_slack": round(hold_slacks[0], 4),
+    })
+    assert len(setup_slacks) == k
+    assert len(hold_slacks) == k
+
+
+@pytest.mark.parametrize("design", DESIGNS)
+def test_table4_all_timers_agree(design):
+    """Accuracy companion to Table IV: every timer reports the same
+    top-20 post-CPPR slacks (the paper's algorithms are all exact)."""
+    analyzer = get_analyzer(design)
+    reference = make_timer("ours", analyzer).top_slacks(20, "setup")
+    for timer_name in ("block_based", "branch_bound"):
+        got = make_timer(timer_name, analyzer).top_slacks(20, "setup")
+        assert got == pytest.approx(reference)

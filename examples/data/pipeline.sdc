@@ -1,0 +1,8 @@
+# constraints for the pipeline example
+create_clock -period 3.2 -name core_clk [get_ports clk]
+set_input_delay 0.40 -clock core_clk [get_ports in_a]
+set_input_delay 0.15 -min -clock core_clk [get_ports in_a]
+set_input_delay 0.35 -clock core_clk [get_ports in_b]
+set_input_delay 0.50 -clock core_clk [get_ports in_sel]
+set_output_delay 0.60 -clock core_clk [get_ports dout]
+set_output_delay 0.05 -min -clock core_clk [get_ports dout]

@@ -1,0 +1,34 @@
+// A 3-stage pipelined datapath with a buffered clock network.
+module pipeline (clk, in_a, in_b, in_sel, dout);
+  input clk, in_a, in_b, in_sel;
+  output dout;
+  wire ck_root, ck_left, ck_right;
+  wire s0_and, s0_xor, s0_mix;
+  wire q0, q1, q2;
+  wire s1_inv, s1_nor;
+  wire q3, q4;
+  wire s2_or;
+
+  // clock network: one root buffer fanning out to two branch buffers
+  BUF_X4 cb_root  (.A0(clk),     .Y(ck_root));
+  BUF_X2 cb_left  (.A0(ck_root), .Y(ck_left));
+  BUF_X2 cb_right (.A0(ck_root), .Y(ck_right));
+
+  // stage 0
+  AND2_X1 g0 (.A0(in_a),   .A1(in_b), .Y(s0_and));
+  XOR2_X1 g1 (.A0(in_a),   .A1(in_sel), .Y(s0_xor));
+  NAND2_X2 g2 (.A0(s0_and), .A1(s0_xor), .Y(s0_mix));
+  DFF_X1 r0 (.CK(ck_left),  .D(s0_and), .Q(q0));
+  DFF_X1 r1 (.CK(ck_left),  .D(s0_xor), .Q(q1));
+  DFF_X2 r2 (.CK(ck_right), .D(s0_mix), .Q(q2));
+
+  // stage 1
+  INV_X1  g3 (.A0(q0), .Y(s1_inv));
+  NOR2_X1 g4 (.A0(s1_inv), .A1(q1), .Y(s1_nor));
+  DFF_X1 r3 (.CK(ck_left),  .D(s1_nor), .Q(q3));
+  DFF_X1 r4 (.CK(ck_right), .D(q2),     .Q(q4));
+
+  // stage 2
+  OR2_X1 g5 (.A0(q3), .A1(q4), .Y(s2_or));
+  BUF_X1 g6 (.A0(s2_or), .Y(dout));
+endmodule

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Compare all four CPPR timer architectures on a generated design.
+
+Builds one of the scaled Table III suite designs, prints its statistics,
+and measures each timer at increasing path counts — a miniature of the
+paper's Table IV, runnable in under a minute.
+
+Run:  python examples/design_exploration.py [design] [scale]
+      python examples/design_exploration.py combo4v2 0.5
+"""
+
+import sys
+
+from repro import (BlockBasedTimer, BranchBoundTimer, CpprEngine,
+                   PairEnumTimer, TimingAnalyzer, design_statistics)
+from repro.utils.measure import measure_runtime
+from repro.workloads.stats import DesignStats
+from repro.workloads.suite import build_design, design_names
+
+
+def main():
+    design = sys.argv[1] if len(sys.argv) > 1 else "combo4v2"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 1.0
+    if design not in design_names():
+        raise SystemExit(f"unknown design {design!r}; "
+                         f"choose from {design_names()}")
+
+    graph, constraints = build_design(design, scale=scale)
+    print(DesignStats.header())
+    print(design_statistics(graph).row())
+    print(f"clock period: {constraints.clock_period:.3f}")
+    print()
+
+    analyzer = TimingAnalyzer(graph, constraints)
+    timers = {
+        "ours (CpprEngine)": CpprEngine(analyzer),
+        "pair-enumeration": PairEnumTimer(analyzer),
+        "block-based": BlockBasedTimer(analyzer),
+        "branch-and-bound": BranchBoundTimer(analyzer),
+    }
+
+    print(f"{'timer':<22} {'k=1':>9} {'k=20':>9} {'k=200':>9}   "
+          f"worst post-CPPR slack")
+    reference = None
+    for name, timer in timers.items():
+        cells = []
+        worst = None
+        for k in (1, 20, 200):
+            result = measure_runtime(
+                lambda t=timer, kk=k: t.top_slacks(kk, "setup"))
+            cells.append(f"{result.seconds:8.3f}s")
+            worst = result.value[0]
+        if reference is None:
+            reference = worst
+        agree = "" if abs(worst - reference) < 1e-9 else "  MISMATCH!"
+        print(f"{name:<22} {' '.join(cells)}   {worst:+.4f}{agree}")
+
+    print()
+    print("All four timers are exact; they differ only in time and "
+          "memory. The engine's advantage grows with design size, k, "
+          "and FF connectivity (try leon2).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Targeted queries for ECO-style work: one endpoint, one register pair.
+
+After a timing fix you rarely want the global report again — you want
+"did *this* register's worst path improve?" and "how critical is the
+transfer from ff_i to ff_j now?".  This example answers both with
+:func:`repro.endpoint_paths` and :func:`repro.pair_paths`, then
+cross-checks the pair result against the global view.
+
+Run:  python examples/eco_queries.py
+"""
+
+from repro import (CpprEngine, TimingAnalyzer, endpoint_paths,
+                   format_path, pair_paths)
+from repro.workloads.suite import build_design
+
+
+def main():
+    graph, constraints = build_design("combo4v2", scale=0.4)
+    analyzer = TimingAnalyzer(graph, constraints)
+    print(graph.describe())
+    print()
+
+    # Find the globally worst capture register first.
+    worst = CpprEngine(analyzer).worst_path("setup")
+    capture = graph.ffs[worst.capture_ff]
+    print(f"globally worst setup path captures at {capture.name} "
+          f"(slack {worst.slack:+.4f})")
+    print()
+
+    # Question 1: the five worst paths into that register.
+    print(f"worst paths into {capture.name}:")
+    for rank, path in enumerate(
+            endpoint_paths(analyzer, capture.index, 5, "setup"), start=1):
+        launch = ("PI" if path.launch_ff is None
+                  else graph.ffs[path.launch_ff].name)
+        print(f"  {rank}. from {launch:<8} slack {path.slack:+.4f} "
+              f"(credit {path.credit:+.3f}, {len(path.pins)} pins)")
+    print()
+
+    # Question 2: drill into the single worst launch/capture pair.
+    launch = graph.ffs[worst.launch_ff]
+    pair = pair_paths(analyzer, launch.index, capture.index, 3, "setup")
+    print(f"top paths for the pair {launch.name} -> {capture.name}:")
+    for path in pair:
+        print(format_path(analyzer, path))
+        print()
+
+    # The pair's best path must be the global worst path.
+    assert pair[0].pins == worst.pins
+    assert abs(pair[0].slack - worst.slack) < 1e-9
+    print("pair query agrees with the global engine: OK")
+
+
+if __name__ == "__main__":
+    main()

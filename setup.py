@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept so `python setup.py develop` works on minimal offline environments
+that lack the `wheel` package (PEP 660 editable installs need it).  All
+real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

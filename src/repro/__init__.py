@@ -1,0 +1,79 @@
+"""repro — Common Path Pessimism Removal for static timing analysis.
+
+A from-scratch Python implementation of *"A Provably Good and Practically
+Efficient Algorithm for Common Path Pessimism Removal in Large Designs"*
+(Guo, Huang, Lin — DAC 2021), together with the full substrate it needs:
+a netlist/timing-graph model, a conventional STA engine, three baseline
+CPPR timer architectures, synthetic workload generation, and file I/O.
+
+Quickstart::
+
+    from repro import (Netlist, TimingConstraints, TimingAnalyzer,
+                       CpprEngine)
+
+    netlist = Netlist("demo")
+    netlist.set_clock_root("clk")
+    ...                              # build the design
+    graph = netlist.elaborate()
+    analyzer = TimingAnalyzer(graph, TimingConstraints(clock_period=5.0))
+    engine = CpprEngine(analyzer)
+    for path in engine.top_paths(k=10, mode="setup"):
+        print(path.slack, path.pins)
+"""
+
+from repro.baselines import (BlockBasedTimer, BranchBoundTimer,
+                             ExhaustiveTimer, PairEnumTimer)
+from repro.circuit import (ClockTree, Netlist, Pin, PinKind, TimingGraph,
+                           validate_graph)
+from repro.cppr import (CpprEngine, CpprOptions, PathFamily, TimingPath,
+                        endpoint_paths, format_path, format_path_report,
+                        pair_paths)
+from repro.exceptions import (AnalysisError, CircuitStructureError,
+                              FormatError, ReproError,
+                              TimingConstraintError)
+from repro.io import (load_design, load_design_json, save_design,
+                      save_design_json)
+from repro.sta import AnalysisMode, TimingAnalyzer, TimingConstraints
+from repro.workloads import (RandomDesignSpec, build_design, design_names,
+                             design_statistics, random_design)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalysisMode",
+    "AnalysisError",
+    "BlockBasedTimer",
+    "BranchBoundTimer",
+    "CircuitStructureError",
+    "ClockTree",
+    "CpprEngine",
+    "CpprOptions",
+    "ExhaustiveTimer",
+    "FormatError",
+    "Netlist",
+    "PairEnumTimer",
+    "PathFamily",
+    "Pin",
+    "PinKind",
+    "RandomDesignSpec",
+    "ReproError",
+    "TimingAnalyzer",
+    "TimingConstraintError",
+    "TimingConstraints",
+    "TimingGraph",
+    "TimingPath",
+    "__version__",
+    "build_design",
+    "design_names",
+    "design_statistics",
+    "endpoint_paths",
+    "format_path",
+    "format_path_report",
+    "load_design",
+    "load_design_json",
+    "pair_paths",
+    "random_design",
+    "save_design",
+    "save_design_json",
+    "validate_graph",
+]

@@ -1,0 +1,35 @@
+"""Baseline CPPR timers used for comparison and as correctness oracles.
+
+The paper evaluates against three state-of-the-art tools.  Their binaries
+are not redistributable, so this package reimplements each tool's
+*architecture* — the property that determines its scaling behaviour:
+
+* :class:`~repro.baselines.pair_enum.PairEnumTimer` (OpenTimer-class) —
+  exact per-capture-FF analysis: one propagation and one top-k search per
+  endpoint, ``O(#FF * n)`` overall.
+* :class:`~repro.baselines.block_based.BlockBasedTimer`
+  (HappyTimer-class) — precomputes the launch->capture credit table
+  (memory proportional to FF connectivity) and prunes endpoints whose
+  best pre-CPPR slack cannot enter the top-k.
+* :class:`~repro.baselines.branch_bound.BranchBoundTimer`
+  (iTimerC-class) — per-endpoint best-first branch-and-bound path search
+  with admissible slack bounds; sharp at small k, explodes as k grows.
+* :class:`~repro.baselines.exhaustive.ExhaustiveTimer` — enumerates every
+  path explicitly; exponential, used only as the ground-truth oracle on
+  small circuits.
+
+All four produce exact post-CPPR results (matching the engine), differing
+only in time and memory.
+"""
+
+from repro.baselines.block_based import BlockBasedTimer
+from repro.baselines.branch_bound import BranchBoundTimer
+from repro.baselines.exhaustive import ExhaustiveTimer
+from repro.baselines.pair_enum import PairEnumTimer
+
+__all__ = [
+    "BlockBasedTimer",
+    "BranchBoundTimer",
+    "ExhaustiveTimer",
+    "PairEnumTimer",
+]

@@ -1,0 +1,153 @@
+"""Block-based baseline (HappyTimer-class architecture).
+
+Reproduces the architectural profile of block-based CPPR with
+design-specific pruning:
+
+* **Block preprocessing** — the full launch->capture credit table is
+  computed up front: for every capturing flip-flop, every launching
+  flip-flop that reaches it and their pair credit.  Its size is the
+  design's total FF connectivity, which is exactly why this class of
+  tool is fast on sparse designs and memory-bound on dense ones (the
+  paper's leon2 observation, where HappyTimer exceeded 960 GB).
+* **Slack-bound pruning** — endpoints are processed in ascending order of
+  their best pre-CPPR slack; an endpoint whose best pre-CPPR slack cannot
+  beat the current global k-th best post-CPPR slack is skipped entirely.
+  Sound because credits are non-negative: every path's post-CPPR slack is
+  at least its pre-CPPR slack.  Sharp at small ``k``, nearly useless at
+  large ``k``.
+
+Endpoints that survive pruning are analyzed exactly like the
+pair-enumeration baseline, seeded from the precomputed credit table.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.common import (build_timing_path, fanin_cone,
+                                    launchers_in_cone,
+                                    primary_inputs_in_cone)
+from repro.cppr.deviation import CaptureSeed, run_topk
+from repro.cppr.propagation import Seed, propagate_single
+from repro.cppr.types import TimingPath
+from repro.ds.bounded import TopK
+from repro.exceptions import AnalysisError
+from repro.sta.modes import AnalysisMode
+from repro.sta.timing import TimingAnalyzer
+
+__all__ = ["BlockBasedTimer"]
+
+
+class BlockBasedTimer:
+    """Credit-table + pruning CPPR timer; see module docstring."""
+
+    def __init__(self, analyzer: TimingAnalyzer) -> None:
+        self.analyzer = analyzer
+        self._credit_table: dict[int, list[tuple[int, float]]] | None = None
+        self._pi_table: dict[int, list[int]] | None = None
+
+    # ------------------------------------------------------------------
+    # Block preprocessing
+    # ------------------------------------------------------------------
+    def credit_table(self) -> dict[int, list[tuple[int, float]]]:
+        """``capture_ff -> [(launch_ff, pair credit), ...]`` for every
+        connected pair.  Cached; its size is the design's FF connectivity
+        footprint."""
+        if self._credit_table is None:
+            self._build_tables()
+        return self._credit_table
+
+    def _build_tables(self) -> None:
+        graph = self.analyzer.graph
+        tree = graph.clock_tree
+        credit_table: dict[int, list[tuple[int, float]]] = {}
+        pi_table: dict[int, list[int]] = {}
+        for capture in graph.ffs:
+            cone = fanin_cone(graph, capture.d_pin)
+            pairs = []
+            for launch_index in launchers_in_cone(graph, cone):
+                launch = graph.ffs[launch_index]
+                pairs.append((launch_index,
+                              tree.pair_credit(launch.tree_node,
+                                               capture.tree_node)))
+            credit_table[capture.index] = pairs
+            pi_table[capture.index] = primary_inputs_in_cone(graph, cone)
+        self._credit_table = credit_table
+        self._pi_table = pi_table
+
+    def connectivity(self) -> float:
+        """Average number of launching FFs per capturing FF — the paper's
+        "FF connectivity" statistic, as seen by this tool's memory."""
+        table = self.credit_table()
+        if not table:
+            return 0.0
+        return sum(len(pairs) for pairs in table.values()) / len(table)
+
+    # ------------------------------------------------------------------
+    # Query
+    # ------------------------------------------------------------------
+    def top_paths(self, k: int, mode: AnalysisMode | str) -> list[TimingPath]:
+        """Global top-``k`` post-CPPR critical paths, worst first."""
+        if k < 1:
+            raise AnalysisError(f"k must be at least 1, got {k}")
+        mode = AnalysisMode.coerce(mode)
+        analyzer = self.analyzer
+        graph = analyzer.graph
+        tree = graph.clock_tree
+        clock_period = analyzer.constraints.clock_period
+        if self._credit_table is None:
+            self._build_tables()
+
+        # Order endpoints by pre-CPPR criticality so the global threshold
+        # tightens as early as possible.
+        pre_slacks = analyzer.endpoint_slacks(mode)
+        ff_order = sorted(
+            (s for s in pre_slacks if s.ff_index is not None
+             and s.slack is not None),
+            key=lambda s: s.slack)
+
+        top = TopK(k)
+        results: list[tuple[float, tuple]] = []
+        for endpoint in ff_order:
+            if not top.would_accept(endpoint.slack):
+                # Every path into this endpoint has post-CPPR slack
+                # >= its pre-CPPR slack >= endpoint.slack: skip.
+                continue
+            capture = graph.ffs[endpoint.ff_index]
+            seeds = []
+            for launch_index, credit in self._credit_table[capture.index]:
+                launch = graph.ffs[launch_index]
+                node = launch.tree_node
+                if mode.is_setup:
+                    q_at = tree.at_late(node) + launch.clk_to_q_late - credit
+                else:
+                    q_at = (tree.at_early(node) + launch.clk_to_q_early
+                            + credit)
+                seeds.append(Seed(launch.q_pin, q_at, launch.ck_pin))
+            for pi_index in self._pi_table[capture.index]:
+                pi = graph.primary_inputs[pi_index]
+                seeds.append(Seed(pi.pin, pi.at_late if mode.is_setup
+                                  else pi.at_early))
+            if not seeds:
+                continue
+            arrays = propagate_single(graph, mode, seeds)
+            record = arrays.best(capture.d_pin)
+            if record is None:
+                continue
+            if mode.is_setup:
+                slack = (tree.at_early(capture.tree_node) + clock_period
+                         - capture.t_setup - record[0])
+            else:
+                slack = record[0] - (tree.at_late(capture.tree_node)
+                                     + capture.t_hold)
+            capture_seed = CaptureSeed(slack, capture.d_pin,
+                                       capture_ff=capture.index)
+            for result in run_topk(graph, arrays, [capture_seed], k, mode):
+                if top.offer(result.slack, result.pins):
+                    results.append((result.slack, result.pins))
+
+        selected = [build_timing_path(analyzer, pins, mode, slack)
+                    for slack, pins in top.sorted_items()]
+        selected.sort(key=TimingPath.key)
+        return selected
+
+    def top_slacks(self, k: int, mode: AnalysisMode | str) -> list[float]:
+        return [path.slack for path in self.top_paths(k, mode)]

@@ -1,0 +1,12 @@
+"""Shared helpers for the baseline timers.
+
+Thin re-export of :mod:`repro.cppr.pathutils`, kept so baseline modules
+(and their tests) have a natural local import site.
+"""
+
+from repro.cppr.pathutils import (build_timing_path, fanin_cone,
+                                  launchers_in_cone,
+                                  primary_inputs_in_cone)
+
+__all__ = ["build_timing_path", "fanin_cone", "launchers_in_cone",
+           "primary_inputs_in_cone"]

@@ -1,0 +1,98 @@
+"""Ground-truth oracle: explicit enumeration of every data path.
+
+Enumerates all launch-to-capture paths by backward depth-first search
+from each endpoint, computes each path's exact post-CPPR slack from
+Equation (2), and sorts.  Exponential in circuit size — strictly a
+verification tool for the small randomized circuits in the test suite,
+where it defines correctness for the engine and all other baselines.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.common import build_timing_path
+from repro.cppr.types import TimingPath
+from repro.exceptions import AnalysisError
+from repro.sta.modes import AnalysisMode
+from repro.sta.timing import TimingAnalyzer
+
+__all__ = ["ExhaustiveTimer"]
+
+
+class ExhaustiveTimer:
+    """Enumerate-everything reference timer.
+
+    ``max_paths`` guards against accidental use on non-tiny circuits; the
+    timer raises :class:`AnalysisError` rather than hang.
+    """
+
+    def __init__(self, analyzer: TimingAnalyzer,
+                 max_paths: int = 200_000,
+                 include_output_tests: bool = False) -> None:
+        self.analyzer = analyzer
+        self.max_paths = max_paths
+        self.include_output_tests = include_output_tests
+
+    def _endpoints(self) -> list[int]:
+        graph = self.analyzer.graph
+        pins = [ff.d_pin for ff in graph.ffs]
+        if self.include_output_tests:
+            pins.extend(po.pin for po in graph.primary_outputs
+                        if po.rat_early is not None
+                        or po.rat_late is not None)
+        return pins
+
+    def all_paths(self, mode: AnalysisMode | str) -> list[TimingPath]:
+        """Every path to every endpoint, sorted by post-CPPR slack.
+
+        Paths ending at an unconstrained primary output in this mode are
+        skipped (there is no test to report a slack for).
+        """
+        mode = AnalysisMode.coerce(mode)
+        graph = self.analyzer.graph
+        sources = {ff.q_pin for ff in graph.ffs}
+        sources.update(pi.pin for pi in graph.primary_inputs)
+
+        paths: list[TimingPath] = []
+        for endpoint in self._endpoints():
+            po = next((p for p in graph.primary_outputs
+                       if p.pin == endpoint), None)
+            if po is not None:
+                rat = po.rat_late if mode.is_setup else po.rat_early
+                if rat is None:
+                    continue
+            for pins in self._enumerate_backward(endpoint, sources):
+                if len(paths) >= self.max_paths:
+                    raise AnalysisError(
+                        f"exhaustive enumeration exceeded "
+                        f"{self.max_paths} paths; this oracle is only "
+                        f"meant for tiny circuits")
+                paths.append(build_timing_path(self.analyzer, pins, mode))
+        paths.sort(key=TimingPath.key)
+        return paths
+
+    def _enumerate_backward(self, endpoint: int, sources: set[int]):
+        """Yield every pin sequence from a source to ``endpoint``."""
+        graph = self.analyzer.graph
+        suffix: list[int] = []
+
+        def recurse(pin: int):
+            suffix.append(pin)
+            if pin in sources:
+                yield tuple(reversed(suffix))
+            # A source pin never has data fan-in (Q pins and PIs are pure
+            # drivers), so recursion below is mutually exclusive with the
+            # yield above — but iterate anyway for robustness.
+            for predecessor, _early, _late in graph.fanin[pin]:
+                yield from recurse(predecessor)
+            suffix.pop()
+
+        yield from recurse(endpoint)
+
+    def top_paths(self, k: int, mode: AnalysisMode | str) -> list[TimingPath]:
+        """Global top-``k`` post-CPPR paths by full enumeration."""
+        if k < 1:
+            raise AnalysisError(f"k must be at least 1, got {k}")
+        return self.all_paths(mode)[:k]
+
+    def top_slacks(self, k: int, mode: AnalysisMode | str) -> list[float]:
+        return [path.slack for path in self.top_paths(k, mode)]

@@ -1,0 +1,37 @@
+"""Circuit modeling: netlists, the pin-level timing graph, and clock trees.
+
+The paper's preliminaries model a circuit as a directed acyclic graph whose
+nodes are pins and whose edges carry early/late delay bounds; flip-flops are
+driven by a clock source through a clock tree.  This package provides that
+substrate:
+
+* :class:`~repro.circuit.netlist.Netlist` — a named, user-facing builder for
+  gates, flip-flops, primary I/O and the clock tree.
+* :class:`~repro.circuit.graph.TimingGraph` — the elaborated, integer-indexed
+  pin DAG consumed by the STA and CPPR engines.
+* :class:`~repro.circuit.clocktree.ClockTree` — depths, arrival times,
+  credits, ``f_d`` ancestor and LCA queries over the clock distribution
+  network.
+"""
+
+from repro.circuit.cells import FlipFlopSpec, GateSpec
+from repro.circuit.clocktree import ClockTree
+from repro.circuit.graph import (FlipFlopRecord, PrimaryInputRecord,
+                                 PrimaryOutputRecord, TimingGraph)
+from repro.circuit.netlist import Netlist
+from repro.circuit.pins import Pin, PinKind
+from repro.circuit.validate import validate_graph
+
+__all__ = [
+    "ClockTree",
+    "FlipFlopRecord",
+    "FlipFlopSpec",
+    "GateSpec",
+    "Netlist",
+    "Pin",
+    "PinKind",
+    "PrimaryInputRecord",
+    "PrimaryOutputRecord",
+    "TimingGraph",
+    "validate_graph",
+]

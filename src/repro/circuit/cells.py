@@ -1,0 +1,106 @@
+"""Cell-level specifications used by the netlist builder.
+
+These are *user-facing* descriptions.  :meth:`repro.circuit.netlist.Netlist
+.elaborate` lowers them into pin-level records
+(:class:`~repro.circuit.graph.FlipFlopRecord` etc.) on the timing graph.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.exceptions import TimingConstraintError
+
+__all__ = ["FlipFlopSpec", "GateSpec"]
+
+
+@dataclass(slots=True)
+class FlipFlopSpec:
+    """An edge-triggered flip-flop.
+
+    The flip-flop owns three pins named ``{name}/CK``, ``{name}/D`` and
+    ``{name}/Q``.  ``clk_to_q`` is the (early, late) clock-to-output delay;
+    launch paths start at the clock pin and traverse this arc, exactly as in
+    the paper's Algorithm 2 lines 1-7.
+    """
+
+    name: str
+    t_setup: float = 0.0
+    t_hold: float = 0.0
+    clk_to_q_early: float = 0.0
+    clk_to_q_late: float = 0.0
+
+    def __post_init__(self) -> None:
+        values = (self.t_setup, self.t_hold, self.clk_to_q_early,
+                  self.clk_to_q_late)
+        if not all(math.isfinite(v) for v in values):
+            raise TimingConstraintError(
+                f"flip-flop {self.name!r}: timing values must be finite, "
+                f"got {values}")
+        if self.clk_to_q_early > self.clk_to_q_late:
+            raise TimingConstraintError(
+                f"flip-flop {self.name!r}: early clk->Q delay "
+                f"{self.clk_to_q_early} exceeds late {self.clk_to_q_late}")
+
+    @property
+    def ck_pin(self) -> str:
+        return f"{self.name}/CK"
+
+    @property
+    def d_pin(self) -> str:
+        return f"{self.name}/D"
+
+    @property
+    def q_pin(self) -> str:
+        return f"{self.name}/Q"
+
+
+@dataclass(slots=True)
+class GateSpec:
+    """A combinational gate with ``num_inputs`` inputs and one output.
+
+    Pins are named ``{name}/A{i}`` for inputs and ``{name}/Y`` for the
+    output.  ``arc_delays[i]`` is the (early, late) delay of the timing arc
+    from input ``i`` to the output; when fewer entries than inputs are
+    given, the last entry is repeated.
+    """
+
+    name: str
+    num_inputs: int = 1
+    arc_delays: list[tuple[float, float]] = field(
+        default_factory=lambda: [(0.0, 0.0)])
+
+    def __post_init__(self) -> None:
+        if self.num_inputs < 1:
+            raise TimingConstraintError(
+                f"gate {self.name!r}: needs at least one input")
+        if not self.arc_delays:
+            raise TimingConstraintError(
+                f"gate {self.name!r}: needs at least one arc delay")
+        for early, late in self.arc_delays:
+            if not (math.isfinite(early) and math.isfinite(late)):
+                raise TimingConstraintError(
+                    f"gate {self.name!r}: arc delays must be finite, "
+                    f"got ({early}, {late})")
+            if early > late:
+                raise TimingConstraintError(
+                    f"gate {self.name!r}: early arc delay {early} exceeds "
+                    f"late {late}")
+
+    def arc_delay(self, input_index: int) -> tuple[float, float]:
+        """(early, late) delay of the arc from input ``input_index``."""
+        if input_index < len(self.arc_delays):
+            return self.arc_delays[input_index]
+        return self.arc_delays[-1]
+
+    @property
+    def output_pin(self) -> str:
+        return f"{self.name}/Y"
+
+    def input_pin(self, index: int) -> str:
+        if not 0 <= index < self.num_inputs:
+            raise IndexError(
+                f"gate {self.name!r} has {self.num_inputs} inputs, "
+                f"requested {index}")
+        return f"{self.name}/A{index}"

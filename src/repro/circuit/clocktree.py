@@ -1,0 +1,185 @@
+"""The clock distribution tree: depths, arrival times, credits, LCA.
+
+The CPPR credit of a clock-tree node ``u`` is
+``credit(u) = at_late(u) - at_early(u)`` (paper Definition 2) and the credit
+of a launching/capturing FF pair is the credit of their lowest common
+ancestor.  This module owns every clock-tree quantity in the paper's
+Table I: ``D`` (number of levels), ``depth(u)``, ``credit(u)``, ``f_d(u)``
+and ``LCA(u, v)``.
+
+Tree nodes use a compact integer id space separate from graph pin ids;
+node 0 is always the clock source.  Leaves are flip-flop clock pins.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.ds.binary_lifting import AncestorTable
+from repro.exceptions import CircuitStructureError
+
+__all__ = ["ClockTree"]
+
+
+class ClockTree:
+    """An elaborated clock tree with timing annotations.
+
+    Parameters
+    ----------
+    names:
+        ``names[i]`` is the name of tree node ``i``; node 0 is the source.
+    parents:
+        ``parents[i]`` is the parent node id, ``-1`` for the source only.
+    delays_early / delays_late:
+        Early/late delay of the tree edge from ``parents[i]`` to node ``i``
+        (ignored for the source).
+    pin_ids:
+        Graph pin index of each tree node (clock source / buffers / FF
+        clock pins all exist as pins).
+    ff_of_node:
+        ``ff_of_node[i]`` is the flip-flop index whose clock pin is node
+        ``i``, or ``-1`` for internal nodes.
+    source_at:
+        (early, late) arrival at the clock source, usually ``(0, 0)``;
+        nonzero values model source latency.
+    """
+
+    __slots__ = ("names", "parents", "delays_early", "delays_late",
+                 "pin_ids", "ff_of_node", "source_at", "_at_early",
+                 "_at_late", "_credits", "_table", "_node_of_pin",
+                 "_num_levels")
+
+    def __init__(self, names: Sequence[str], parents: Sequence[int],
+                 delays_early: Sequence[float], delays_late: Sequence[float],
+                 pin_ids: Sequence[int], ff_of_node: Sequence[int],
+                 source_at: tuple[float, float] = (0.0, 0.0)) -> None:
+        n = len(names)
+        if not (len(parents) == len(delays_early) == len(delays_late)
+                == len(pin_ids) == len(ff_of_node) == n):
+            raise CircuitStructureError(
+                "clock tree arrays have inconsistent lengths")
+        if n == 0:
+            raise CircuitStructureError("clock tree must contain a source")
+        if parents[0] != -1:
+            raise CircuitStructureError("clock tree node 0 must be the root")
+        for i in range(1, n):
+            if parents[i] == -1:
+                raise CircuitStructureError(
+                    f"clock tree has two roots: node 0 and {names[i]!r}")
+        for i in range(n):
+            if not (math.isfinite(delays_early[i])
+                    and math.isfinite(delays_late[i])):
+                raise CircuitStructureError(
+                    f"clock tree edge into {names[i]!r}: delays must be "
+                    f"finite, got ({delays_early[i]}, {delays_late[i]})")
+            if delays_early[i] > delays_late[i]:
+                raise CircuitStructureError(
+                    f"clock tree edge into {names[i]!r}: early delay "
+                    f"{delays_early[i]} exceeds late delay {delays_late[i]}")
+        if source_at[0] > source_at[1]:
+            raise CircuitStructureError(
+                f"clock source early arrival {source_at[0]} exceeds late "
+                f"{source_at[1]}")
+
+        self.names = list(names)
+        self.parents = list(parents)
+        self.delays_early = list(delays_early)
+        self.delays_late = list(delays_late)
+        self.pin_ids = list(pin_ids)
+        self.ff_of_node = list(ff_of_node)
+        self.source_at = source_at
+
+        try:
+            self._table = AncestorTable(self.parents)
+        except ValueError as exc:
+            raise CircuitStructureError(f"invalid clock tree: {exc}") from exc
+
+        self._at_early, self._at_late = self._propagate_arrivals()
+        self._credits = [late - early for early, late
+                         in zip(self._at_early, self._at_late)]
+        self._node_of_pin = {pin: node
+                             for node, pin in enumerate(self.pin_ids)}
+        leaf_depths = [self._table.depth(i) for i in range(n)
+                       if self.ff_of_node[i] >= 0]
+        self._num_levels = max(leaf_depths, default=0)
+
+    def _propagate_arrivals(self) -> tuple[list[float], list[float]]:
+        n = len(self.names)
+        order = sorted(range(n), key=self._table.depth)
+        at_early = [0.0] * n
+        at_late = [0.0] * n
+        at_early[0], at_late[0] = self.source_at
+        for node in order:
+            if node == 0:
+                continue
+            parent = self.parents[node]
+            at_early[node] = at_early[parent] + self.delays_early[node]
+            at_late[node] = at_late[parent] + self.delays_late[node]
+        return at_early, at_late
+
+    # ------------------------------------------------------------------
+    # Size and identity
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.names)
+
+    @property
+    def num_levels(self) -> int:
+        """``D``: the deepest flip-flop clock-pin depth.
+
+        The engine enumerates LCA depths ``0..D-1``; two *distinct* leaves
+        always meet strictly above the deeper of them, so no deeper level
+        is ever needed.
+        """
+        return self._num_levels
+
+    def node_of_pin(self, pin: int) -> int:
+        """Tree node id of graph pin ``pin``; raises ``KeyError`` if none."""
+        return self._node_of_pin[pin]
+
+    def is_clock_pin(self, pin: int) -> bool:
+        """True when graph pin ``pin`` is a clock-tree node."""
+        return pin in self._node_of_pin
+
+    def leaves(self) -> list[int]:
+        """Tree node ids that are flip-flop clock pins."""
+        return [i for i, ff in enumerate(self.ff_of_node) if ff >= 0]
+
+    # ------------------------------------------------------------------
+    # Timing quantities (paper Table I)
+    # ------------------------------------------------------------------
+    def at_early(self, node: int) -> float:
+        """Early arrival time of the clock edge at ``node``."""
+        return self._at_early[node]
+
+    def at_late(self, node: int) -> float:
+        """Late arrival time of the clock edge at ``node``."""
+        return self._at_late[node]
+
+    def credit(self, node: int) -> float:
+        """CPPR credit ``at_late(node) - at_early(node)`` (Definition 2)."""
+        return self._credits[node]
+
+    def depth(self, node: int) -> int:
+        """Depth of ``node``; the source has depth 0."""
+        return self._table.depth(node)
+
+    def parent(self, node: int) -> int:
+        return self._table.parent(node)
+
+    def ancestor_at_depth(self, node: int, depth: int) -> int:
+        """``f_d(u)``: ancestor of ``node`` at depth ``depth`` (or -1)."""
+        return self._table.ancestor_at_depth(node, depth)
+
+    def lca(self, u: int, v: int) -> int:
+        """Lowest common ancestor of tree nodes ``u`` and ``v``."""
+        return self._table.lca(u, v)
+
+    def lca_depth(self, u: int, v: int) -> int:
+        """Depth of the LCA of tree nodes ``u`` and ``v``."""
+        return self._table.lca_depth(u, v)
+
+    def pair_credit(self, u: int, v: int) -> float:
+        """Credit of the launching/capturing pair ``(u, v)``: the LCA's."""
+        return self._credits[self._table.lca(u, v)]

@@ -1,0 +1,176 @@
+"""The elaborated pin-level timing graph.
+
+A :class:`TimingGraph` is the immutable analysis substrate shared by the
+STA engine, the CPPR engine, and every baseline timer.  It stores
+
+* a pin table (:class:`~repro.circuit.pins.Pin` per integer id),
+* forward/backward adjacency over *data* pins with (early, late) edge
+  delays — this is the DAG the paper's Algorithms 2-5 propagate over,
+* flip-flop, primary-input and primary-output records, and
+* the :class:`~repro.circuit.clocktree.ClockTree`.
+
+Clock pins exist in the pin table but carry no data edges; launch arcs
+(clock pin -> Q pin) are modeled by each flip-flop's clock-to-Q delay and
+seeded directly by the propagation passes, exactly as Algorithm 2 lines
+1-7 do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.circuit.clocktree import ClockTree
+from repro.circuit.pins import Pin
+from repro.ds.topo import CycleError, topological_order
+from repro.exceptions import CircuitStructureError
+
+__all__ = ["FlipFlopRecord", "PrimaryInputRecord", "PrimaryOutputRecord",
+           "TimingGraph"]
+
+
+@dataclass(frozen=True, slots=True)
+class FlipFlopRecord:
+    """An elaborated flip-flop: pin ids, constraints, and its tree leaf."""
+
+    index: int
+    name: str
+    ck_pin: int
+    d_pin: int
+    q_pin: int
+    t_setup: float
+    t_hold: float
+    clk_to_q_early: float
+    clk_to_q_late: float
+    tree_node: int
+
+
+@dataclass(frozen=True, slots=True)
+class PrimaryInputRecord:
+    """A primary input port with its given (early, late) arrival times."""
+
+    pin: int
+    name: str
+    at_early: float = 0.0
+    at_late: float = 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class PrimaryOutputRecord:
+    """A primary output port with optional required-time constraints.
+
+    ``rat_early``/``rat_late`` follow the usual convention: a *hold* test
+    requires the early arrival to be at least ``rat_early``, a *setup* test
+    requires the late arrival to be at most ``rat_late``.  ``None`` means
+    unconstrained.
+    """
+
+    pin: int
+    name: str
+    rat_early: float | None = None
+    rat_late: float | None = None
+
+
+class TimingGraph:
+    """Immutable pin-level DAG with early/late delays and a clock tree."""
+
+    def __init__(self, name: str, pins: list[Pin],
+                 fanout: list[list[tuple[int, float, float]]],
+                 ffs: list[FlipFlopRecord],
+                 primary_inputs: list[PrimaryInputRecord],
+                 primary_outputs: list[PrimaryOutputRecord],
+                 clock_tree: ClockTree) -> None:
+        self.name = name
+        self.pins = pins
+        self.fanout = fanout
+        self.ffs = ffs
+        self.primary_inputs = primary_inputs
+        self.primary_outputs = primary_outputs
+        self.clock_tree = clock_tree
+
+        n = len(pins)
+        if len(fanout) != n:
+            raise CircuitStructureError(
+                f"fanout table has {len(fanout)} rows for {n} pins")
+        self.fanin: list[list[tuple[int, float, float]]] = [
+            [] for _ in range(n)]
+        for u in range(n):
+            for v, early, late in fanout[u]:
+                if not 0 <= v < n:
+                    raise CircuitStructureError(
+                        f"edge from {pins[u].name!r} targets unknown pin "
+                        f"id {v}")
+                self.fanin[v].append((u, early, late))
+
+        self.ff_of_d_pin = {ff.d_pin: ff.index for ff in ffs}
+        self.ff_of_q_pin = {ff.q_pin: ff.index for ff in ffs}
+        self.ff_of_ck_pin = {ff.ck_pin: ff.index for ff in ffs}
+        self.pin_index = {pin.name: pin.index for pin in pins}
+
+        self.is_clock_pin = [pin.kind.is_clock for pin in pins]
+
+    # ------------------------------------------------------------------
+    # Size statistics
+    # ------------------------------------------------------------------
+    @property
+    def num_pins(self) -> int:
+        return len(self.pins)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of data edges (clock-tree edges are counted separately)."""
+        return sum(len(adj) for adj in self.fanout)
+
+    @property
+    def num_ffs(self) -> int:
+        return len(self.ffs)
+
+    @cached_property
+    def topo_order(self) -> list[int]:
+        """A topological order of all pins; raises on combinational cycles.
+
+        Computed once and shared by every propagation pass (the per-level
+        passes of Algorithm 1 all reuse it).
+        """
+        try:
+            return topological_order(self.num_pins, self._fanout_targets())
+        except CycleError as exc:
+            names = [self.pins[u].name for u in exc.cycle]
+            raise CircuitStructureError(
+                f"combinational cycle: {' -> '.join(names)}") from exc
+
+    def _fanout_targets(self) -> list[list[int]]:
+        return [[v for v, _e, _l in adj] for adj in self.fanout]
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    def pin(self, name: str) -> Pin:
+        """Look up a pin by name; raises ``KeyError`` for unknown names."""
+        return self.pins[self.pin_index[name]]
+
+    def pin_name(self, index: int) -> str:
+        return self.pins[index].name
+
+    def ff(self, index: int) -> FlipFlopRecord:
+        return self.ffs[index]
+
+    def ff_by_name(self, name: str) -> FlipFlopRecord:
+        for ff in self.ffs:
+            if ff.name == name:
+                return ff
+        raise KeyError(f"no flip-flop named {name!r}")
+
+    def endpoints(self) -> list[int]:
+        """All pins where timing tests are checked (FF D pins, then POs)."""
+        pins = [ff.d_pin for ff in self.ffs]
+        pins.extend(po.pin for po in self.primary_outputs)
+        return pins
+
+    def describe(self) -> str:
+        """One-line structural summary used by reports and examples."""
+        return (f"design {self.name!r}: {self.num_pins} pins, "
+                f"{self.num_edges} data edges, {self.num_ffs} FFs, "
+                f"{len(self.primary_inputs)} PIs, "
+                f"{len(self.primary_outputs)} POs, "
+                f"clock tree depth D={self.clock_tree.num_levels}")

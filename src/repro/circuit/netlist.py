@@ -1,0 +1,350 @@
+"""User-facing netlist builder.
+
+A :class:`Netlist` accumulates ports, gates, flip-flops, the clock tree and
+the interconnect, validates the structure, and elaborates everything into
+an immutable :class:`~repro.circuit.graph.TimingGraph`.
+
+Example::
+
+    netlist = Netlist("demo")
+    netlist.set_clock_root("clk")
+    netlist.add_clock_buffer("buf0", "clk", 1.0, 1.4)
+    netlist.add_flipflop("ff1", t_setup=0.5, clk_to_q=(0.2, 0.3))
+    netlist.add_flipflop("ff2", t_setup=0.5)
+    netlist.connect_clock("ff1", "buf0", 0.5, 0.7)
+    netlist.connect_clock("ff2", "buf0", 0.5, 0.6)
+    netlist.add_gate("g1", num_inputs=1, arc_delays=[(1.0, 2.0)])
+    netlist.connect("ff1/Q", "g1/A0")
+    netlist.connect("g1/Y", "ff2/D", 0.1, 0.2)
+    graph = netlist.elaborate()
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.circuit.cells import FlipFlopSpec, GateSpec
+from repro.circuit.clocktree import ClockTree
+from repro.circuit.graph import (FlipFlopRecord, PrimaryInputRecord,
+                                 PrimaryOutputRecord, TimingGraph)
+from repro.circuit.pins import Pin, PinKind
+from repro.exceptions import CircuitStructureError
+
+__all__ = ["Netlist"]
+
+
+@dataclass(slots=True)
+class _Connection:
+    driver: str
+    sink: str
+    delay_early: float
+    delay_late: float
+
+
+@dataclass(slots=True)
+class _ClockEdge:
+    parent: str
+    delay_early: float
+    delay_late: float
+
+
+@dataclass(slots=True)
+class _PortIn:
+    at_early: float = 0.0
+    at_late: float = 0.0
+
+
+@dataclass(slots=True)
+class _PortOut:
+    rat_early: float | None = None
+    rat_late: float | None = None
+
+
+@dataclass(slots=True)
+class _Clock:
+    name: str
+    source_at: tuple[float, float] = (0.0, 0.0)
+    buffers: dict[str, _ClockEdge] = field(default_factory=dict)
+
+
+class Netlist:
+    """Mutable design-under-construction; see module docstring for usage."""
+
+    def __init__(self, name: str = "design") -> None:
+        self.name = name
+        self._inputs: dict[str, _PortIn] = {}
+        self._outputs: dict[str, _PortOut] = {}
+        self._gates: dict[str, GateSpec] = {}
+        self._ffs: dict[str, FlipFlopSpec] = {}
+        self._clock: _Clock | None = None
+        self._ff_clock: dict[str, _ClockEdge] = {}
+        self._connections: list[_Connection] = []
+        self._names: set[str] = set()
+
+    # ------------------------------------------------------------------
+    # Component creation
+    # ------------------------------------------------------------------
+    def _claim_name(self, name: str, what: str) -> None:
+        if not name:
+            raise CircuitStructureError(f"{what} name must be non-empty")
+        if "/" in name:
+            raise CircuitStructureError(
+                f"{what} name {name!r} must not contain '/'")
+        if name in self._names:
+            raise CircuitStructureError(
+                f"name {name!r} already used in design {self.name!r}")
+        self._names.add(name)
+
+    def add_primary_input(self, name: str, at_early: float = 0.0,
+                          at_late: float = 0.0) -> str:
+        """Declare a primary input port; returns its pin name."""
+        if at_early > at_late:
+            raise CircuitStructureError(
+                f"primary input {name!r}: early arrival {at_early} exceeds "
+                f"late arrival {at_late}")
+        self._claim_name(name, "primary input")
+        self._inputs[name] = _PortIn(at_early, at_late)
+        return name
+
+    def add_primary_output(self, name: str, rat_early: float | None = None,
+                           rat_late: float | None = None) -> str:
+        """Declare a primary output port; returns its pin name."""
+        self._claim_name(name, "primary output")
+        self._outputs[name] = _PortOut(rat_early, rat_late)
+        return name
+
+    def add_gate(self, name: str, num_inputs: int = 1,
+                 arc_delays: (list[tuple[float, float]]
+                              | tuple[float, float]) = (0.0, 0.0)
+                 ) -> GateSpec:
+        """Add a combinational gate; returns its :class:`GateSpec`."""
+        self._claim_name(name, "gate")
+        if isinstance(arc_delays, tuple):
+            arc_delays = [arc_delays]
+        spec = GateSpec(name, num_inputs, list(arc_delays))
+        self._gates[name] = spec
+        return spec
+
+    def add_flipflop(self, name: str, t_setup: float = 0.0,
+                     t_hold: float = 0.0,
+                     clk_to_q: tuple[float, float] = (0.0, 0.0)
+                     ) -> FlipFlopSpec:
+        """Add an edge-triggered flip-flop; returns its spec."""
+        self._claim_name(name, "flip-flop")
+        spec = FlipFlopSpec(name, t_setup, t_hold, clk_to_q[0], clk_to_q[1])
+        self._ffs[name] = spec
+        return spec
+
+    # ------------------------------------------------------------------
+    # Clock tree construction
+    # ------------------------------------------------------------------
+    def set_clock_root(self, name: str,
+                       source_at: tuple[float, float] = (0.0, 0.0)) -> str:
+        """Declare the clock source; must happen before buffers are added."""
+        if self._clock is not None:
+            raise CircuitStructureError(
+                f"clock root already set to {self._clock.name!r}")
+        self._claim_name(name, "clock root")
+        self._clock = _Clock(name, source_at)
+        return name
+
+    def add_clock_buffer(self, name: str, parent: str,
+                         delay_early: float, delay_late: float) -> str:
+        """Add a clock-tree buffer under ``parent`` (root or a buffer)."""
+        clock = self._require_clock()
+        self._claim_name(name, "clock buffer")
+        if parent != clock.name and parent not in clock.buffers:
+            raise CircuitStructureError(
+                f"clock buffer {name!r}: unknown parent {parent!r}")
+        clock.buffers[name] = _ClockEdge(parent, delay_early, delay_late)
+        return name
+
+    def connect_clock(self, ff_name: str, parent: str,
+                      delay_early: float, delay_late: float) -> None:
+        """Attach a flip-flop's clock pin below a clock-tree node."""
+        clock = self._require_clock()
+        if ff_name not in self._ffs:
+            raise CircuitStructureError(
+                f"connect_clock: unknown flip-flop {ff_name!r}")
+        if ff_name in self._ff_clock:
+            raise CircuitStructureError(
+                f"flip-flop {ff_name!r} clock already connected")
+        if parent != clock.name and parent not in clock.buffers:
+            raise CircuitStructureError(
+                f"connect_clock: unknown clock node {parent!r}")
+        self._ff_clock[ff_name] = _ClockEdge(parent, delay_early, delay_late)
+
+    def _require_clock(self) -> _Clock:
+        if self._clock is None:
+            raise CircuitStructureError(
+                "set_clock_root must be called before building the clock "
+                "tree")
+        return self._clock
+
+    # ------------------------------------------------------------------
+    # Interconnect
+    # ------------------------------------------------------------------
+    def connect(self, driver: str, sink: str, delay_early: float = 0.0,
+                delay_late: float = 0.0) -> None:
+        """Connect a driver pin to a sink pin with a net delay.
+
+        Drivers are primary inputs, gate outputs (``gate/Y``) or flip-flop
+        outputs (``ff/Q``); sinks are gate inputs (``gate/A<i>``),
+        flip-flop data pins (``ff/D``) or primary outputs.
+        """
+        if not (math.isfinite(delay_early) and math.isfinite(delay_late)):
+            raise CircuitStructureError(
+                f"net {driver!r} -> {sink!r}: delays must be finite, "
+                f"got ({delay_early}, {delay_late})")
+        if delay_early > delay_late:
+            raise CircuitStructureError(
+                f"net {driver!r} -> {sink!r}: early delay {delay_early} "
+                f"exceeds late delay {delay_late}")
+        self._connections.append(
+            _Connection(driver, sink, delay_early, delay_late))
+
+    # ------------------------------------------------------------------
+    # Elaboration
+    # ------------------------------------------------------------------
+    def elaborate(self) -> TimingGraph:
+        """Lower the netlist to an immutable :class:`TimingGraph`.
+
+        Raises :class:`CircuitStructureError` for structural problems:
+        unconnected FF clocks, unknown pins, multiply driven sinks, or
+        combinational cycles.
+        """
+        pins: list[Pin] = []
+        index_of: dict[str, int] = {}
+
+        def new_pin(name: str, kind: PinKind, cell: str | None = None) -> int:
+            index = len(pins)
+            pins.append(Pin(index, name, kind, cell))
+            index_of[name] = index
+            return index
+
+        for name in self._inputs:
+            new_pin(name, PinKind.PRIMARY_INPUT)
+        for name in self._outputs:
+            new_pin(name, PinKind.PRIMARY_OUTPUT)
+        for gate in self._gates.values():
+            for i in range(gate.num_inputs):
+                new_pin(gate.input_pin(i), PinKind.GATE_INPUT, gate.name)
+            new_pin(gate.output_pin, PinKind.GATE_OUTPUT, gate.name)
+        for ff in self._ffs.values():
+            new_pin(ff.ck_pin, PinKind.FF_CK, ff.name)
+            new_pin(ff.d_pin, PinKind.FF_D, ff.name)
+            new_pin(ff.q_pin, PinKind.FF_Q, ff.name)
+
+        clock_tree = self._elaborate_clock_tree(new_pin, index_of)
+
+        fanout: list[list[tuple[int, float, float]]] = [
+            [] for _ in range(len(pins))]
+        driven: dict[int, str] = {}
+
+        def add_edge(u: int, v: int, early: float, late: float,
+                     what: str) -> None:
+            sink_kind = pins[v].kind
+            if sink_kind in (PinKind.GATE_INPUT, PinKind.FF_D,
+                             PinKind.PRIMARY_OUTPUT):
+                if v in driven:
+                    raise CircuitStructureError(
+                        f"pin {pins[v].name!r} driven by both "
+                        f"{driven[v]!r} and {what!r}")
+                driven[v] = what
+            fanout[u].append((v, early, late))
+
+        for gate in self._gates.values():
+            out = index_of[gate.output_pin]
+            for i in range(gate.num_inputs):
+                early, late = gate.arc_delay(i)
+                fanout[index_of[gate.input_pin(i)]].append((out, early, late))
+
+        valid_drivers = (PinKind.PRIMARY_INPUT, PinKind.GATE_OUTPUT,
+                         PinKind.FF_Q)
+        valid_sinks = (PinKind.GATE_INPUT, PinKind.FF_D,
+                       PinKind.PRIMARY_OUTPUT)
+        for conn in self._connections:
+            for pin_name in (conn.driver, conn.sink):
+                if pin_name not in index_of:
+                    raise CircuitStructureError(
+                        f"connection references unknown pin {pin_name!r}")
+            u, v = index_of[conn.driver], index_of[conn.sink]
+            if pins[u].kind not in valid_drivers:
+                raise CircuitStructureError(
+                    f"pin {conn.driver!r} ({pins[u].kind.value}) cannot "
+                    f"drive a net")
+            if pins[v].kind not in valid_sinks:
+                raise CircuitStructureError(
+                    f"pin {conn.sink!r} ({pins[v].kind.value}) cannot be a "
+                    f"net sink")
+            add_edge(u, v, conn.delay_early, conn.delay_late, conn.driver)
+
+        ff_records = []
+        for ff_index, ff in enumerate(self._ffs.values()):
+            if ff.name not in self._ff_clock:
+                raise CircuitStructureError(
+                    f"flip-flop {ff.name!r} has no clock connection")
+            ff_records.append(FlipFlopRecord(
+                index=ff_index, name=ff.name,
+                ck_pin=index_of[ff.ck_pin], d_pin=index_of[ff.d_pin],
+                q_pin=index_of[ff.q_pin], t_setup=ff.t_setup,
+                t_hold=ff.t_hold, clk_to_q_early=ff.clk_to_q_early,
+                clk_to_q_late=ff.clk_to_q_late,
+                tree_node=clock_tree.node_of_pin(index_of[ff.ck_pin])))
+
+        pi_records = [PrimaryInputRecord(index_of[name], name,
+                                         port.at_early, port.at_late)
+                      for name, port in self._inputs.items()]
+        po_records = [PrimaryOutputRecord(index_of[name], name,
+                                          port.rat_early, port.rat_late)
+                      for name, port in self._outputs.items()]
+
+        graph = TimingGraph(self.name, pins, fanout, ff_records, pi_records,
+                            po_records, clock_tree)
+        graph.topo_order  # force cycle detection at elaboration time
+        return graph
+
+    def _elaborate_clock_tree(self, new_pin, index_of) -> ClockTree:
+        if self._clock is None:
+            if self._ffs:
+                raise CircuitStructureError(
+                    "design has flip-flops but no clock root")
+            # A clock-less design still needs a trivial tree object.
+            root_pin = new_pin("__virtual_clock__", PinKind.CLOCK_SOURCE)
+            return ClockTree(["__virtual_clock__"], [-1], [0.0], [0.0],
+                             [root_pin], [-1])
+
+        clock = self._clock
+        names = [clock.name]
+        parents = [-1]
+        delays_early = [0.0]
+        delays_late = [0.0]
+        tree_index = {clock.name: 0}
+        pin_ids = [new_pin(clock.name, PinKind.CLOCK_SOURCE)]
+        ff_of_node = [-1]
+
+        # Buffers were validated to reference already-declared parents, so
+        # insertion order is a valid topological order of the tree.
+        for name, edge in clock.buffers.items():
+            tree_index[name] = len(names)
+            names.append(name)
+            parents.append(tree_index[edge.parent])
+            delays_early.append(edge.delay_early)
+            delays_late.append(edge.delay_late)
+            pin_ids.append(new_pin(name, PinKind.CLOCK_BUFFER))
+            ff_of_node.append(-1)
+
+        for ff_index, ff in enumerate(self._ffs.values()):
+            edge = self._ff_clock.get(ff.name)
+            if edge is None:
+                continue  # reported by elaborate() with a better message
+            names.append(ff.ck_pin)
+            parents.append(tree_index[edge.parent])
+            delays_early.append(edge.delay_early)
+            delays_late.append(edge.delay_late)
+            pin_ids.append(index_of[ff.ck_pin])
+            ff_of_node.append(ff_index)
+
+        return ClockTree(names, parents, delays_early, delays_late,
+                         pin_ids, ff_of_node, clock.source_at)

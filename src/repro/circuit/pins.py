@@ -1,0 +1,63 @@
+"""Pin identities for the elaborated timing graph.
+
+Pins are the nodes of the STA graph.  Each pin has a stable integer index
+(the node id used by every adjacency structure), a hierarchical name such
+as ``"u3/Y"``, a :class:`PinKind`, and optionally the owning cell name.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["Pin", "PinKind"]
+
+
+class PinKind(enum.Enum):
+    """Role a pin plays in the timing graph."""
+
+    PRIMARY_INPUT = "primary_input"
+    PRIMARY_OUTPUT = "primary_output"
+    GATE_INPUT = "gate_input"
+    GATE_OUTPUT = "gate_output"
+    FF_D = "ff_d"
+    FF_Q = "ff_q"
+    FF_CK = "ff_ck"
+    CLOCK_SOURCE = "clock_source"
+    CLOCK_BUFFER = "clock_buffer"
+
+    @property
+    def is_clock(self) -> bool:
+        """True for pins that live on the clock distribution network."""
+        return self in (PinKind.FF_CK, PinKind.CLOCK_SOURCE,
+                        PinKind.CLOCK_BUFFER)
+
+    @property
+    def is_data_endpoint(self) -> bool:
+        """True for pins where a timing test is checked."""
+        return self in (PinKind.FF_D, PinKind.PRIMARY_OUTPUT)
+
+
+@dataclass(frozen=True, slots=True)
+class Pin:
+    """A node of the timing graph.
+
+    Attributes
+    ----------
+    index:
+        Integer node id; stable for the lifetime of the graph.
+    name:
+        Hierarchical pin name, unique within a design.
+    kind:
+        The pin's :class:`PinKind`.
+    cell:
+        Name of the owning cell, or ``None`` for ports and clock nodes.
+    """
+
+    index: int
+    name: str
+    kind: PinKind
+    cell: str | None = None
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name

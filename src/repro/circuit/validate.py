@@ -1,0 +1,92 @@
+"""Structural validation of elaborated timing graphs.
+
+:func:`validate_graph` re-checks every invariant the analysis engines rely
+on.  The netlist builder enforces these during elaboration, but graphs can
+also arrive from file parsers or generators, so a standalone validator is
+part of the public API (and is run by the test suite against every
+generated workload).
+"""
+
+from __future__ import annotations
+
+from repro.circuit.graph import TimingGraph
+from repro.circuit.pins import PinKind
+from repro.exceptions import CircuitStructureError
+
+__all__ = ["validate_graph"]
+
+_VALID_EDGE_SOURCES = (PinKind.PRIMARY_INPUT, PinKind.GATE_INPUT,
+                       PinKind.GATE_OUTPUT, PinKind.FF_Q)
+_VALID_EDGE_SINKS = (PinKind.GATE_INPUT, PinKind.GATE_OUTPUT,
+                     PinKind.FF_D, PinKind.PRIMARY_OUTPUT)
+
+
+def validate_graph(graph: TimingGraph) -> None:
+    """Raise :class:`CircuitStructureError` if ``graph`` is malformed.
+
+    Checks, in order:
+
+    1. every data edge connects legal pin kinds and has early <= late delay;
+    2. no clock pin carries data edges, and no pin pair carries parallel
+       edges (the deviation search identifies a path's predecessor by
+       *pin*, which is only unambiguous without parallel edges);
+    3. each flip-flop record references pins of the right kinds and a clock
+       tree leaf mapped back to itself;
+    4. clock-tree credits are non-negative and non-decreasing towards the
+       leaves (the monotonicity the paper's level decomposition relies on);
+    5. the data graph is acyclic (via ``topo_order``).
+    """
+    pins = graph.pins
+    for u in range(graph.num_pins):
+        targets: set[int] = set()
+        for v, early, late in graph.fanout[u]:
+            if early > late:
+                raise CircuitStructureError(
+                    f"edge {pins[u].name!r} -> {pins[v].name!r}: early "
+                    f"delay {early} exceeds late delay {late}")
+            if pins[u].kind not in _VALID_EDGE_SOURCES:
+                raise CircuitStructureError(
+                    f"pin {pins[u].name!r} of kind {pins[u].kind.value} "
+                    f"must not source data edges")
+            if pins[v].kind not in _VALID_EDGE_SINKS:
+                raise CircuitStructureError(
+                    f"pin {pins[v].name!r} of kind {pins[v].kind.value} "
+                    f"must not sink data edges")
+            if v in targets:
+                raise CircuitStructureError(
+                    f"parallel data edges {pins[u].name!r} -> "
+                    f"{pins[v].name!r}; merge them into one edge with "
+                    f"min-early/max-late delays")
+            targets.add(v)
+
+    tree = graph.clock_tree
+    for ff in graph.ffs:
+        for pin, kind in ((ff.ck_pin, PinKind.FF_CK),
+                          (ff.d_pin, PinKind.FF_D),
+                          (ff.q_pin, PinKind.FF_Q)):
+            if pins[pin].kind is not kind:
+                raise CircuitStructureError(
+                    f"flip-flop {ff.name!r}: pin {pins[pin].name!r} has "
+                    f"kind {pins[pin].kind.value}, expected {kind.value}")
+        if tree.ff_of_node[ff.tree_node] != ff.index:
+            raise CircuitStructureError(
+                f"flip-flop {ff.name!r}: clock tree leaf {ff.tree_node} "
+                f"is not mapped back to it")
+        if tree.pin_ids[ff.tree_node] != ff.ck_pin:
+            raise CircuitStructureError(
+                f"flip-flop {ff.name!r}: tree leaf pin mismatch")
+
+    for node in range(len(tree)):
+        credit = tree.credit(node)
+        if credit < 0:
+            raise CircuitStructureError(
+                f"clock node {tree.names[node]!r} has negative credit "
+                f"{credit}")
+        parent = tree.parent(node)
+        if parent != -1 and credit < tree.credit(parent) - 1e-12:
+            raise CircuitStructureError(
+                f"clock node {tree.names[node]!r}: credit {credit} below "
+                f"its parent's {tree.credit(parent)}; early/late delays "
+                f"are inconsistent")
+
+    graph.topo_order  # raises CircuitStructureError on cycles

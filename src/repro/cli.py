@@ -1,0 +1,257 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``stats`` — Table III-style statistics of a design file or suite
+  design.
+* ``report`` — top-k post-CPPR critical paths (or the pre-CPPR endpoint
+  summary with ``--pre``).
+* ``generate`` — synthesize a suite or random design to a file.
+* ``convert`` — convert between the ``.cppr`` text and ``.json``
+  formats.
+* ``compare`` — run several timer architectures on one design and print
+  their runtimes and agreement.
+
+Designs are read from ``.cppr``/``.json`` files, or generated on the
+fly with ``--suite NAME [--suite-scale S]``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.baselines import (BlockBasedTimer, BranchBoundTimer,
+                             ExhaustiveTimer, PairEnumTimer)
+from repro.cppr.engine import CpprEngine
+from repro.cppr.report import format_path_report
+from repro.exceptions import ReproError
+from repro.io.json_format import load_design_json, save_design_json
+from repro.io.tau_format import load_design, save_design
+from repro.sta.report import format_endpoint_report
+from repro.sta.timing import TimingAnalyzer
+from repro.utils.measure import measure_runtime
+from repro.workloads.random_circuit import RandomDesignSpec, random_design
+from repro.workloads.stats import DesignStats, design_statistics
+from repro.workloads.suite import (build_design, design_names,
+                                   suggest_clock_period)
+from repro.sta.constraints import TimingConstraints
+
+__all__ = ["main"]
+
+_TIMERS = {
+    "ours": CpprEngine,
+    "pair": PairEnumTimer,
+    "block": BlockBasedTimer,
+    "bnb": BranchBoundTimer,
+    "exhaustive": ExhaustiveTimer,
+}
+
+
+def _load(path: str):
+    if path.endswith(".json"):
+        return load_design_json(path)
+    return load_design(path)
+
+
+def _save(graph, constraints, path: str) -> None:
+    if path.endswith(".json"):
+        save_design_json(graph, constraints, path)
+    else:
+        save_design(graph, constraints, path)
+
+
+def _design_from_args(args):
+    if args.suite is not None:
+        return build_design(args.suite, scale=args.suite_scale)
+    if args.design is None:
+        raise ReproError("no design given: pass a file or --suite NAME")
+    if args.design.endswith(".v"):
+        if getattr(args, "sdc", None) is None:
+            raise ReproError(
+                "Verilog input needs constraints: pass --sdc FILE")
+        from repro.io.flow import read_design
+        from repro.library.standard import default_library
+        design, constraints = read_design(args.design, args.sdc,
+                                          default_library())
+        return design.graph, constraints
+    return _load(args.design)
+
+
+def _add_design_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("design", nargs="?",
+                        help="design file (.cppr, .json, or .v)")
+    parser.add_argument("--sdc",
+                        help="SDC constraints (required for .v designs)")
+    parser.add_argument("--suite", choices=design_names(),
+                        help="use a generated suite design instead")
+    parser.add_argument("--suite-scale", type=float, default=1.0,
+                        help="scale for --suite (default 1.0)")
+
+
+def _cmd_stats(args) -> int:
+    graph, constraints = _design_from_args(args)
+    stats = design_statistics(graph)
+    print(DesignStats.header())
+    print(stats.row())
+    print(f"clock period: {constraints.clock_period:.4f}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.cppr.queries import endpoint_paths, pair_paths
+
+    graph, constraints = _design_from_args(args)
+    analyzer = TimingAnalyzer(graph, constraints)
+    if args.pre:
+        print(format_endpoint_report(analyzer, args.mode,
+                                     limit=args.k))
+        return 0
+    if args.pair is not None:
+        launch, _, capture = args.pair.partition(":")
+        if not capture:
+            raise ReproError(
+                "--pair expects LAUNCH:CAPTURE flip-flop names")
+        paths = pair_paths(analyzer, launch, capture, args.k, args.mode)
+        title = (f"Top-{args.k} post-CPPR {args.mode} paths "
+                 f"{launch} -> {capture}")
+    elif args.endpoint is not None:
+        paths = endpoint_paths(analyzer, args.endpoint, args.k,
+                               args.mode)
+        title = (f"Top-{args.k} post-CPPR {args.mode} paths into "
+                 f"{args.endpoint}")
+    else:
+        paths = CpprEngine(analyzer).top_paths(args.k, args.mode)
+        title = f"Top-{args.k} post-CPPR {args.mode} paths"
+    if args.save_json is not None:
+        from repro.io.reports import save_paths_json
+        save_paths_json(analyzer, paths, args.save_json)
+        print(f"wrote {len(paths)} paths -> {args.save_json}")
+        return 0
+    print(format_path_report(analyzer, paths, title=title))
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    if args.suite is not None:
+        graph, constraints = build_design(args.suite,
+                                          scale=args.suite_scale)
+    else:
+        spec = RandomDesignSpec(
+            name=args.name, seed=args.seed, num_ffs=args.ffs,
+            num_gates=args.gates, clock_depth=args.depth,
+            layers=args.layers, channels=args.channels)
+        graph = random_design(spec)
+        constraints = TimingConstraints(suggest_clock_period(graph))
+    _save(graph, constraints, args.output)
+    print(f"wrote {graph.describe()} -> {args.output}")
+    return 0
+
+
+def _cmd_convert(args) -> int:
+    graph, constraints = _load(args.input)
+    _save(graph, constraints, args.output)
+    print(f"converted {args.input} -> {args.output}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    graph, constraints = _design_from_args(args)
+    analyzer = TimingAnalyzer(graph, constraints)
+    reference: list[float] | None = None
+    print(f"{'timer':<12} {'runtime':>10}   agreement")
+    for name in args.timers.split(","):
+        name = name.strip()
+        if name not in _TIMERS:
+            raise ReproError(
+                f"unknown timer {name!r}; choose from "
+                f"{sorted(_TIMERS)}")
+        timer = _TIMERS[name](analyzer)
+        result = measure_runtime(
+            lambda t=timer: t.top_slacks(args.k, args.mode))
+        slacks = result.value
+        if reference is None:
+            reference = slacks
+            agreement = "(reference)"
+        else:
+            same = len(slacks) == len(reference) and all(
+                abs(a - b) < 1e-9 for a, b in zip(slacks, reference))
+            agreement = "exact match" if same else "MISMATCH"
+        print(f"{name:<12} {result.seconds:>9.3f}s   {agreement}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Common Path Pessimism Removal toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    stats = sub.add_parser("stats", help="design statistics (Table III)")
+    _add_design_arguments(stats)
+    stats.set_defaults(func=_cmd_stats)
+
+    report = sub.add_parser("report", help="critical-path report")
+    _add_design_arguments(report)
+    report.add_argument("-k", type=int, default=10,
+                        help="number of paths (default 10)")
+    report.add_argument("--mode", choices=["setup", "hold"],
+                        default="setup")
+    report.add_argument("--pre", action="store_true",
+                        help="pre-CPPR endpoint summary instead")
+    report.add_argument("--endpoint", metavar="FF",
+                        help="only paths captured by this flip-flop")
+    report.add_argument("--pair", metavar="LAUNCH:CAPTURE",
+                        help="only paths for this flip-flop pair")
+    report.add_argument("--save-json", metavar="FILE",
+                        help="write a machine-readable report instead")
+    report.set_defaults(func=_cmd_report)
+
+    generate = sub.add_parser("generate", help="synthesize a design")
+    generate.add_argument("output", help="output file (.cppr or .json)")
+    generate.add_argument("--suite", choices=design_names())
+    generate.add_argument("--suite-scale", type=float, default=1.0)
+    generate.add_argument("--name", default="random")
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--ffs", type=int, default=50)
+    generate.add_argument("--gates", type=int, default=200)
+    generate.add_argument("--depth", type=int, default=5)
+    generate.add_argument("--layers", type=int, default=0)
+    generate.add_argument("--channels", type=int, default=1)
+    generate.set_defaults(func=_cmd_generate)
+
+    convert = sub.add_parser("convert", help="convert between formats")
+    convert.add_argument("input")
+    convert.add_argument("output")
+    convert.set_defaults(func=_cmd_convert)
+
+    compare = sub.add_parser("compare", help="race timer architectures")
+    _add_design_arguments(compare)
+    compare.add_argument("-k", type=int, default=50)
+    compare.add_argument("--mode", choices=["setup", "hold"],
+                         default="setup")
+    compare.add_argument("--timers", default="ours,block,bnb",
+                         help="comma list: ours,pair,block,bnb,exhaustive")
+    compare.set_defaults(func=_cmd_compare)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # stdout went away (e.g. piped into `head`); not an error.
+        return 0
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

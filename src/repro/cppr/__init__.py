@@ -1,0 +1,37 @@
+"""Common Path Pessimism Removal — the paper's core algorithm.
+
+The public entry point is :class:`~repro.cppr.engine.CpprEngine`, which
+implements the paper's Algorithm 1: per-LCA-level path-candidate
+generation (Algorithms 2 and 5), self-loop candidates (Algorithm 3),
+primary-input candidates (Algorithm 4), and the final top-path selection
+(Algorithm 6), optionally parallelized across the independent clock-tree
+levels.
+
+Submodules:
+
+* :mod:`~repro.cppr.types` — path and candidate datatypes.
+* :mod:`~repro.cppr.tuples` — the dual arrival-time tuples of Table II.
+* :mod:`~repro.cppr.grouping` — node grouping by ``f_{d+1}`` (Figure 3).
+* :mod:`~repro.cppr.propagation` — forward passes over the data DAG.
+* :mod:`~repro.cppr.deviation` — deviation-edge top-k search (Figure 4).
+* :mod:`~repro.cppr.level_paths` / :mod:`~repro.cppr.selfloop_paths` /
+  :mod:`~repro.cppr.pi_paths` — the three candidate families.
+* :mod:`~repro.cppr.select` — Algorithm 6.
+* :mod:`~repro.cppr.engine` / :mod:`~repro.cppr.parallel` — orchestration.
+"""
+
+from repro.cppr.engine import CpprEngine, CpprOptions
+from repro.cppr.queries import endpoint_paths, pair_paths
+from repro.cppr.report import format_path, format_path_report
+from repro.cppr.types import PathFamily, TimingPath
+
+__all__ = [
+    "CpprEngine",
+    "CpprOptions",
+    "PathFamily",
+    "TimingPath",
+    "endpoint_paths",
+    "format_path",
+    "format_path_report",
+    "pair_paths",
+]

@@ -1,0 +1,179 @@
+"""Deviation-edge top-k path search (paper Algorithm 5 and Figure 4).
+
+A path is represented *implicitly* by its capture pin, its excluded group,
+and a list of deviation edges relative to the arrival-tuple ``from``
+pointers.  Popping the current best path from a min-max heap and pushing
+every one-edge deviation of it enumerates paths in non-decreasing slack
+order, because each deviation's cost — the arrival-time loss of entering a
+node through a sub-optimal edge — is non-negative by construction of the
+arrival tuples.
+
+The heap is capacity-bounded at ``k`` (or the caller-provided capacity):
+at most ``k`` paths are ever popped, so an entry worse than ``k`` stored
+others can never be reported and is evicted via the min-max heap's
+delete-max.  This yields the ``O(k)`` live-path bound behind the paper's
+space-complexity theorem.
+
+The same engine serves all candidate families; grouped passes supply
+:class:`~repro.cppr.propagation.DualArrivalArrays` (whose ``auto`` honours
+the excluded group) and ungrouped passes supply
+:class:`~repro.cppr.propagation.SingleArrivalArrays`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.circuit.graph import TimingGraph
+from repro.cppr.tuples import NO_GROUP
+from repro.ds.minmax_heap import MinMaxHeap
+from repro.exceptions import AnalysisError
+from repro.sta.modes import AnalysisMode
+
+__all__ = ["CaptureSeed", "SearchResult", "run_topk"]
+
+
+class _ArrivalArrays(Protocol):
+    def auto(self, pin: int,
+             excluded_group: int) -> tuple[float, int, int] | None: ...
+
+
+@dataclass(frozen=True, slots=True)
+class CaptureSeed:
+    """The best path into one capture point (Algorithm 5 lines 3-7).
+
+    ``group`` is the capture group to exclude (``f_{d+1}`` of the capture
+    clock pin) for level passes, or ``NO_GROUP`` for ungrouped families.
+    """
+
+    slack: float
+    capture_pin: int
+    group: int = NO_GROUP
+    capture_ff: int | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class _SearchState:
+    """An implicit path on the heap: position + deviation list."""
+
+    pos: int
+    group: int
+    devlist: tuple[tuple[int, int], ...]
+    capture_pin: int
+    capture_ff: int | None
+
+
+@dataclass(frozen=True, slots=True)
+class SearchResult:
+    """One reported path: its ranking slack and explicit pin sequence."""
+
+    slack: float
+    pins: tuple[int, ...]
+    capture_pin: int
+    capture_ff: int | None
+
+
+def _materialize(graph: TimingGraph, arrays: _ArrivalArrays,
+                 state: _SearchState) -> tuple[int, ...]:
+    """Expand an implicit path into its explicit pin sequence.
+
+    Walk backward from the capture pin following ``at_auto`` ``from``
+    pointers, applying the deviation edges in order: deviations were
+    appended sink-to-source, so the i-th deviation is the i-th departure
+    from the pointer chain encountered on the walk.
+    """
+    pins: list[int] = []
+    devlist = state.devlist
+    dev_index = 0
+    is_clock_pin = graph.is_clock_pin
+    pin = state.capture_pin
+    while True:
+        pins.append(pin)
+        if dev_index < len(devlist) and devlist[dev_index][1] == pin:
+            pin = devlist[dev_index][0]
+            dev_index += 1
+            continue
+        record = arrays.auto(pin, state.group)
+        if record is None:  # pragma: no cover - defensive
+            raise AnalysisError(
+                f"broken arrival chain at pin {graph.pin_name(pin)!r}")
+        from_pin = record[1]
+        if from_pin < 0 or is_clock_pin[from_pin]:
+            break
+        pin = from_pin
+    if dev_index != len(devlist):  # pragma: no cover - defensive
+        raise AnalysisError("unconsumed deviation edges while expanding "
+                            "a path; arrival tuples are inconsistent")
+    pins.reverse()
+    return tuple(pins)
+
+
+def run_topk(graph: TimingGraph, arrays: _ArrivalArrays,
+             seeds: list[CaptureSeed], k: int, mode: AnalysisMode,
+             heap_capacity: int | None = None) -> list[SearchResult]:
+    """Report up to ``k`` paths in non-decreasing ranking-slack order.
+
+    ``seeds`` hold the best path per capture point; deviations generate
+    every other path lazily.  ``heap_capacity`` defaults to ``k`` (always
+    sufficient; see module docstring) but may be raised for the unbounded-
+    heap ablation study.
+    """
+    if k < 1:
+        raise AnalysisError(f"k must be at least 1, got {k}")
+    capacity = heap_capacity if heap_capacity is not None else k
+    if capacity < k:
+        raise AnalysisError(
+            f"heap capacity {capacity} is smaller than k={k}")
+    is_setup = mode.is_setup
+    is_clock_pin = graph.is_clock_pin
+    fanin = graph.fanin
+
+    heap = MinMaxHeap()
+    for seed in seeds:
+        heap.push_bounded(
+            seed.slack,
+            _SearchState(seed.capture_pin, seed.group, (),
+                         seed.capture_pin, seed.capture_ff),
+            capacity)
+
+    results: list[SearchResult] = []
+    while heap and len(results) < k:
+        slack, state = heap.pop_min()
+        results.append(SearchResult(slack, _materialize(graph, arrays, state),
+                                    state.capture_pin, state.capture_ff))
+        if len(results) == k:
+            break
+
+        # Enumerate one-edge deviations along the path's backward walk
+        # (Algorithm 5 lines 11-20).
+        group = state.group
+        devlist = state.devlist
+        pin = state.pos
+        while True:
+            record = arrays.auto(pin, group)
+            if record is None:  # pragma: no cover - defensive
+                raise AnalysisError(
+                    f"broken arrival chain at pin {graph.pin_name(pin)!r}")
+            time_here, from_pin, _grp = record
+            for w, delay_early, delay_late in fanin[pin]:
+                if w == from_pin:
+                    continue
+                w_record = arrays.auto(w, group)
+                if w_record is None:
+                    continue
+                delay = delay_late if is_setup else delay_early
+                if is_setup:
+                    cost = time_here - w_record[0] - delay
+                else:
+                    cost = w_record[0] + delay - time_here
+                heap.push_bounded(
+                    slack + cost,
+                    _SearchState(w, group, devlist + ((w, pin),),
+                                 state.capture_pin, state.capture_ff),
+                    capacity)
+            if from_pin < 0 or is_clock_pin[from_pin]:
+                break
+            pin = from_pin
+
+    return results

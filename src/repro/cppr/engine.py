@@ -1,0 +1,148 @@
+"""The CPPR engine (paper Algorithm 1).
+
+:class:`CpprEngine` orchestrates the whole analysis: it generates top-k
+path candidates for every clock-tree level (Definitions 3-4), for
+self-loops (Definition 5) and for primary inputs (Definition 6) —
+``D + 2`` independent passes, optionally in parallel — then reduces the
+``<= k(D+2)`` candidates to the global top-``k`` post-CPPR critical paths
+with ``selectTopPaths`` (Algorithm 6).
+
+Example::
+
+    engine = CpprEngine(analyzer)
+    for path in engine.top_paths(k=10, mode="setup"):
+        print(path.slack, [analyzer.graph.pin_name(p) for p in path.pins])
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.cppr.level_paths import paths_at_level
+from repro.cppr.output_paths import output_paths
+from repro.cppr.parallel import run_tasks
+from repro.cppr.pi_paths import primary_input_paths
+from repro.cppr.select import select_top_paths
+from repro.cppr.selfloop_paths import self_loop_paths
+from repro.cppr.types import TimingPath
+from repro.exceptions import AnalysisError
+from repro.sta.modes import AnalysisMode
+from repro.sta.timing import TimingAnalyzer
+
+__all__ = ["CpprEngine", "CpprOptions"]
+
+
+@dataclass(frozen=True, slots=True)
+class CpprOptions:
+    """Tuning knobs for :class:`CpprEngine`.
+
+    Attributes
+    ----------
+    executor:
+        ``"serial"``, ``"thread"`` or ``"process"`` — how the independent
+        per-level passes run (see :mod:`repro.cppr.parallel`).
+    workers:
+        Worker count for parallel executors; ``None`` picks automatically.
+    include_self_loops / include_primary_inputs:
+        Disable candidate families (Definitions 5-6).  Disabling a family
+        makes results incomplete with respect to the paper's problem
+        statement; the switches exist for ablation studies.
+    include_output_tests:
+        Enable the primary-output extension family (off by default to
+        match the paper's formulation).
+    heap_capacity:
+        Live-path bound per pass; ``None`` uses ``k`` (always correct).
+        Larger values exist only for the unbounded-heap memory ablation.
+    """
+
+    executor: str = "serial"
+    workers: int | None = None
+    include_self_loops: bool = True
+    include_primary_inputs: bool = True
+    include_output_tests: bool = False
+    heap_capacity: int | None = None
+
+
+def _run_family(analyzer: TimingAnalyzer, task: tuple, k: int,
+                mode: AnalysisMode,
+                heap_capacity: int | None) -> list[TimingPath]:
+    """Dispatch one candidate-generation pass (module-level for pickling)."""
+    kind = task[0]
+    if kind == "level":
+        return paths_at_level(analyzer, task[1], k, mode, heap_capacity)
+    if kind == "self_loop":
+        return self_loop_paths(analyzer, k, mode, heap_capacity)
+    if kind == "primary_input":
+        return primary_input_paths(analyzer, k, mode, heap_capacity)
+    if kind == "output":
+        return output_paths(analyzer, k, mode, heap_capacity)
+    raise AnalysisError(f"unknown candidate family task {task!r}")
+
+
+class CpprEngine:
+    """Top-k post-CPPR critical-path engine (the paper's contribution)."""
+
+    def __init__(self, analyzer: TimingAnalyzer,
+                 options: CpprOptions | None = None) -> None:
+        self.analyzer = analyzer
+        self.options = options or CpprOptions()
+
+    def with_options(self, **changes) -> "CpprEngine":
+        """A new engine sharing the analyzer with updated options."""
+        return CpprEngine(self.analyzer,
+                          replace(self.options, **changes))
+
+    # ------------------------------------------------------------------
+    # Candidate generation (Algorithm 1 lines 1-5)
+    # ------------------------------------------------------------------
+    def _tasks(self) -> list[tuple]:
+        num_levels = self.analyzer.clock_tree.num_levels
+        tasks: list[tuple] = [("level", d) for d in range(num_levels)]
+        if self.options.include_self_loops:
+            tasks.append(("self_loop",))
+        if self.options.include_primary_inputs:
+            tasks.append(("primary_input",))
+        if self.options.include_output_tests:
+            tasks.append(("output",))
+        return tasks
+
+    def candidate_paths(self, k: int,
+                        mode: AnalysisMode | str) -> list[TimingPath]:
+        """All family candidates (up to ``k (D + 2)`` paths), unselected.
+
+        Exposed for tests and ablations; most callers want
+        :meth:`top_paths`.
+        """
+        if k < 1:
+            raise AnalysisError(f"k must be at least 1, got {k}")
+        mode = AnalysisMode.coerce(mode)
+        # The analyzer's topological order is cached lazily; force it here
+        # so forked workers inherit it instead of recomputing it each.
+        self.analyzer.graph.topo_order
+        args = [(self.analyzer, task, k, mode, self.options.heap_capacity)
+                for task in self._tasks()]
+        results = run_tasks(_run_family, args,
+                            executor=self.options.executor,
+                            workers=self.options.workers)
+        return [path for family in results for path in family]
+
+    # ------------------------------------------------------------------
+    # The headline query (Algorithm 1 line 6)
+    # ------------------------------------------------------------------
+    def top_paths(self, k: int, mode: AnalysisMode | str) -> list[TimingPath]:
+        """The global top-``k`` post-CPPR critical paths, worst first.
+
+        Each returned path's ``slack`` is the exact post-CPPR slack of
+        Equation (2) and its ``credit`` the removed pessimism.
+        """
+        candidates = self.candidate_paths(k, mode)
+        return select_top_paths(self.analyzer, candidates, k)
+
+    def top_slacks(self, k: int, mode: AnalysisMode | str) -> list[float]:
+        """Just the slack values of :meth:`top_paths` (ascending)."""
+        return [path.slack for path in self.top_paths(k, mode)]
+
+    def worst_path(self, mode: AnalysisMode | str) -> TimingPath | None:
+        """The single most critical post-CPPR path, or ``None``."""
+        paths = self.top_paths(1, mode)
+        return paths[0] if paths else None

@@ -1,0 +1,84 @@
+"""Per-level path candidates (paper Definitions 3-4, Algorithms 2 and 5).
+
+``paths_at_level(analyzer, d, k, mode)`` returns the top-``k`` paths whose
+launching and capturing flip-flops lie in *different* groups when the
+clock tree is cut below level ``d`` (equivalently: LCA depth <= ``d``),
+ranked by the d-pessimism-removed slack
+``slack(p, d) = slack(p) + credit(f_d(p.lauFF))``.
+
+The launch credit is folded into the Q-pin seed arrival — subtracted for
+setup (a *later* launch looks worse, so removing pessimism pulls the
+launch earlier) and added for hold — exactly Algorithm 2 lines 4 and 6.
+"""
+
+from __future__ import annotations
+
+from repro.cppr.deviation import CaptureSeed, run_topk
+from repro.cppr.grouping import group_for_level
+from repro.cppr.propagation import Seed, propagate_dual
+from repro.cppr.types import PathFamily, TimingPath
+from repro.sta.modes import AnalysisMode
+from repro.sta.timing import TimingAnalyzer
+
+__all__ = ["paths_at_level"]
+
+
+def paths_at_level(analyzer: TimingAnalyzer, level: int, k: int,
+                   mode: AnalysisMode | str,
+                   heap_capacity: int | None = None) -> list[TimingPath]:
+    """Top-``k`` level-``level`` path candidates, best slack first.
+
+    Runs one grouped forward pass (``O(n)``) plus the deviation search
+    (``O(k log k)`` heap work along paths), matching the per-level cost in
+    the paper's complexity theorem.
+    """
+    mode = AnalysisMode.coerce(mode)
+    graph = analyzer.graph
+    tree = graph.clock_tree
+    clock_period = analyzer.constraints.clock_period
+    grouping = group_for_level(tree, level, graph.num_ffs)
+
+    seeds = []
+    for ff in graph.ffs:
+        if not grouping.participates(ff.index):
+            continue
+        node = ff.tree_node
+        offset = grouping.launch_offset[ff.index]
+        if mode.is_setup:
+            q_at = tree.at_late(node) + ff.clk_to_q_late - offset
+        else:
+            q_at = tree.at_early(node) + ff.clk_to_q_early + offset
+        seeds.append(Seed(ff.q_pin, q_at, ff.ck_pin,
+                          grouping.group[ff.index]))
+
+    if not seeds:
+        return []
+    arrays = propagate_dual(graph, mode, seeds)
+
+    capture_seeds = []
+    for ff in graph.ffs:
+        if not grouping.participates(ff.index):
+            continue
+        capture_group = grouping.group[ff.index]
+        record = arrays.auto(ff.d_pin, capture_group)
+        if record is None:
+            continue
+        if mode.is_setup:
+            slack = (tree.at_early(ff.tree_node) + clock_period
+                     - ff.t_setup - record[0])
+        else:
+            slack = record[0] - (tree.at_late(ff.tree_node) + ff.t_hold)
+        capture_seeds.append(
+            CaptureSeed(slack, ff.d_pin, capture_group, ff.index))
+
+    results = run_topk(graph, arrays, capture_seeds, k, mode, heap_capacity)
+
+    paths = []
+    for result in results:
+        launch_ff = graph.ff_of_q_pin[result.pins[0]]
+        paths.append(TimingPath(
+            mode=mode, family=PathFamily.LEVEL, slack=result.slack,
+            credit=grouping.launch_offset[launch_ff], pins=result.pins,
+            launch_ff=launch_ff, capture_ff=result.capture_ff,
+            level=level))
+    return paths

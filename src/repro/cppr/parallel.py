@@ -1,0 +1,89 @@
+"""Executors for the engine's independent per-level tasks.
+
+Algorithm 1 performs ``D + 2`` independent passes over the graph (one per
+clock-tree level, plus self-loop and primary-input passes).  The paper
+parallelizes them across threads; in CPython the passes are pure-Python
+CPU work, so true speedup requires processes.  Three strategies:
+
+* ``"serial"`` — run in the calling thread (default; lowest overhead).
+* ``"thread"`` — a thread pool.  Structure-faithful to the paper but
+  GIL-bound in CPython; provided for API completeness and for workloads
+  dominated by allocator/IO time.
+* ``"process"`` — a ``fork`` process pool.  The analyzer is shared with
+  workers through fork-time memory inheritance (nothing is pickled going
+  in; only the small result path lists are pickled coming back), mirroring
+  the paper's shared-memory threading as closely as Python allows.
+
+The Figure 6 thread-scaling experiment uses the process executor.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Sequence
+
+from repro.exceptions import AnalysisError
+
+__all__ = ["available_executors", "run_tasks"]
+
+_FORK_PAYLOAD: tuple[Callable[..., Any], Sequence[tuple]] | None = None
+
+
+def available_executors() -> list[str]:
+    """Executor names usable on this platform."""
+    executors = ["serial", "thread"]
+    if "fork" in multiprocessing.get_all_start_methods():
+        executors.append("process")
+    return executors
+
+
+def _fork_entry(index: int) -> Any:
+    """Run task ``index`` of the fork-inherited payload (worker side)."""
+    assert _FORK_PAYLOAD is not None, "fork payload missing in worker"
+    fn, args_list = _FORK_PAYLOAD
+    return fn(*args_list[index])
+
+
+def run_tasks(fn: Callable[..., Any], args_list: Sequence[tuple],
+              executor: str = "serial",
+              workers: int | None = None) -> list[Any]:
+    """Apply ``fn`` to each argument tuple, preserving input order.
+
+    ``fn`` must be a module-level (picklable-by-reference) callable when
+    the process executor is used.
+    """
+    if executor == "serial":
+        return [fn(*args) for args in args_list]
+
+    if workers is None:
+        workers = min(len(args_list), os.cpu_count() or 1)
+    workers = max(1, workers)
+
+    if executor == "thread":
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(lambda args: fn(*args), args_list))
+
+    if executor == "process":
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise AnalysisError(
+                "the 'process' executor requires fork start method "
+                "support; use 'serial' or 'thread' on this platform")
+        if not args_list:
+            return []
+        global _FORK_PAYLOAD
+        if _FORK_PAYLOAD is not None:
+            raise AnalysisError(
+                "nested process-executor runs are not supported")
+        context = multiprocessing.get_context("fork")
+        _FORK_PAYLOAD = (fn, args_list)
+        try:
+            with context.Pool(processes=workers) as pool:
+                return pool.map(_fork_entry, range(len(args_list)))
+        finally:
+            _FORK_PAYLOAD = None
+
+    raise AnalysisError(
+        f"unknown executor {executor!r}; expected one of "
+        f"{available_executors()}")

@@ -1,0 +1,80 @@
+"""Path construction and cone utilities shared across the library.
+
+Used by the targeted queries (:mod:`repro.cppr.queries`), the baseline
+timers, and the exhaustive oracle: fan-in cone extraction and the
+classification of an explicit pin trace into a fully attributed
+:class:`~repro.cppr.types.TimingPath`."""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.circuit.graph import TimingGraph
+from repro.cppr.types import PathFamily, TimingPath
+from repro.sta.modes import AnalysisMode
+from repro.sta.timing import TimingAnalyzer
+
+__all__ = ["build_timing_path", "fanin_cone", "launchers_in_cone",
+           "primary_inputs_in_cone"]
+
+
+def fanin_cone(graph: TimingGraph, pin: int) -> set[int]:
+    """All pins from which ``pin`` is reachable over data edges
+    (including ``pin`` itself)."""
+    cone = {pin}
+    queue = deque([pin])
+    while queue:
+        current = queue.popleft()
+        for predecessor, _early, _late in graph.fanin[current]:
+            if predecessor not in cone:
+                cone.add(predecessor)
+                queue.append(predecessor)
+    return cone
+
+
+def launchers_in_cone(graph: TimingGraph, cone: set[int]) -> list[int]:
+    """Flip-flop indices whose Q pin lies inside ``cone``."""
+    return [ff.index for ff in graph.ffs if ff.q_pin in cone]
+
+
+def primary_inputs_in_cone(graph: TimingGraph, cone: set[int]) -> list[int]:
+    """Indices into ``graph.primary_inputs`` whose pin lies in ``cone``."""
+    return [i for i, pi in enumerate(graph.primary_inputs)
+            if pi.pin in cone]
+
+
+def build_timing_path(analyzer: TimingAnalyzer, pins: tuple[int, ...],
+                      mode: AnalysisMode,
+                      post_cppr_slack: float | None = None) -> TimingPath:
+    """Construct a fully classified :class:`TimingPath` from a pin trace.
+
+    The family, level, and credit are derived from the path's structure;
+    the post-CPPR slack is recomputed from Equation (2) unless supplied.
+    """
+    graph = analyzer.graph
+    tree = graph.clock_tree
+    launch_ff = graph.ff_of_q_pin.get(pins[0])
+    capture_ff = graph.ff_of_d_pin.get(pins[-1])
+
+    credit = 0.0
+    level = None
+    if capture_ff is None:
+        family = PathFamily.OUTPUT
+    elif launch_ff is None:
+        family = PathFamily.PRIMARY_INPUT
+    elif launch_ff == capture_ff:
+        family = PathFamily.SELF_LOOP
+        credit = tree.credit(graph.ffs[launch_ff].tree_node)
+    else:
+        family = PathFamily.LEVEL
+        launch_node = graph.ffs[launch_ff].tree_node
+        capture_node = graph.ffs[capture_ff].tree_node
+        level = tree.lca_depth(launch_node, capture_node)
+        credit = tree.pair_credit(launch_node, capture_node)
+
+    if post_cppr_slack is None:
+        post_cppr_slack = analyzer.path_post_cppr_slack(list(pins), mode)
+
+    return TimingPath(mode=mode, family=family, slack=post_cppr_slack,
+                      credit=credit, pins=pins, launch_ff=launch_ff,
+                      capture_ff=capture_ff, level=level)

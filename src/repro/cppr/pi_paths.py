@@ -1,0 +1,53 @@
+"""Primary-input path candidates (paper Definition 6, Algorithm 4).
+
+Paths launched from a primary input share no clock path with their capture
+clock, so there is no pessimism to remove: candidates are ranked by the
+plain pre-CPPR slack and their credit is zero.
+"""
+
+from __future__ import annotations
+
+from repro.cppr.deviation import CaptureSeed, run_topk
+from repro.cppr.propagation import Seed, propagate_single
+from repro.cppr.types import PathFamily, TimingPath
+from repro.sta.modes import AnalysisMode
+from repro.sta.timing import TimingAnalyzer
+
+__all__ = ["primary_input_paths"]
+
+
+def primary_input_paths(analyzer: TimingAnalyzer, k: int,
+                        mode: AnalysisMode | str,
+                        heap_capacity: int | None = None
+                        ) -> list[TimingPath]:
+    """Top-``k`` primary-input path candidates, best slack first."""
+    mode = AnalysisMode.coerce(mode)
+    graph = analyzer.graph
+    tree = graph.clock_tree
+    clock_period = analyzer.constraints.clock_period
+
+    seeds = [Seed(pi.pin, pi.at_late if mode.is_setup else pi.at_early)
+             for pi in graph.primary_inputs]
+    if not seeds:
+        return []
+    arrays = propagate_single(graph, mode, seeds)
+
+    capture_seeds = []
+    for ff in graph.ffs:
+        record = arrays.best(ff.d_pin)
+        if record is None:
+            continue
+        if mode.is_setup:
+            slack = (tree.at_early(ff.tree_node) + clock_period
+                     - ff.t_setup - record[0])
+        else:
+            slack = record[0] - (tree.at_late(ff.tree_node) + ff.t_hold)
+        capture_seeds.append(
+            CaptureSeed(slack, ff.d_pin, capture_ff=ff.index))
+
+    results = run_topk(graph, arrays, capture_seeds, k, mode, heap_capacity)
+
+    return [TimingPath(mode=mode, family=PathFamily.PRIMARY_INPUT,
+                       slack=result.slack, credit=0.0, pins=result.pins,
+                       launch_ff=None, capture_ff=result.capture_ff)
+            for result in results]

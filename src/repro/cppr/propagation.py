@@ -1,0 +1,195 @@
+"""Forward arrival propagation for the CPPR candidate passes.
+
+Two variants, matching the paper:
+
+* :func:`propagate_dual` — the grouped propagation of Algorithm 2
+  lines 8-13.  Every pin keeps the dual tuples of Table II (``at`` and the
+  different-group fallback ``at'``); each processed pin offers both of its
+  tuples across every outgoing edge.
+* :func:`propagate_single` — the ungrouped propagation of Algorithms 3
+  and 4 (self-loop and primary-input candidates), which needs no group
+  bookkeeping and only one tuple per pin.
+
+Both store tuples in parallel arrays rather than per-pin objects: the
+per-level passes dominate the engine's runtime, and flat lists of floats
+and ints keep the inner loop tight.  :class:`repro.cppr.tuples.DualArrival`
+is the readable reference implementation these arrays are tested against.
+
+Both array types expose the same ``auto(pin, excluded_group)`` query (the
+paper's ``at_auto``), so the deviation search in
+:mod:`repro.cppr.deviation` is written once for all path families.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.circuit.graph import TimingGraph
+from repro.cppr.tuples import NO_GROUP, NO_NODE
+from repro.sta.modes import AnalysisMode
+
+__all__ = ["DualArrivalArrays", "SingleArrivalArrays", "Seed",
+           "propagate_dual", "propagate_single"]
+
+
+@dataclass(frozen=True, slots=True)
+class Seed:
+    """An initial arrival: a launch Q pin or a primary input.
+
+    ``time`` already includes the clock arrival, clock-to-Q delay, and —
+    for grouped/self-loop passes — the credit offset required by the
+    family's ranking metric (Definitions 3-5).
+    """
+
+    pin: int
+    time: float
+    from_pin: int = NO_NODE
+    group: int = NO_GROUP
+
+
+@dataclass(slots=True)
+class DualArrivalArrays:
+    """Array-of-fields storage for the dual tuples of Table II."""
+
+    mode: AnalysisMode
+    time0: list[float]
+    from0: list[int]
+    group0: list[int]
+    time1: list[float]
+    from1: list[int]
+    group1: list[int]
+
+    def auto(self, pin: int,
+             excluded_group: int) -> tuple[float, int, int] | None:
+        """``at_auto(pin, gid)``: best arrival whose group != ``gid``."""
+        empty = self.mode.empty_time
+        if self.time0[pin] == empty:
+            return None
+        if self.group0[pin] != excluded_group:
+            return (self.time0[pin], self.from0[pin], self.group0[pin])
+        if self.time1[pin] == empty:
+            return None
+        return (self.time1[pin], self.from1[pin], self.group1[pin])
+
+    def best(self, pin: int) -> tuple[float, int, int] | None:
+        """The unconditional best tuple at ``pin`` (``at(pin)``)."""
+        if self.time0[pin] == self.mode.empty_time:
+            return None
+        return (self.time0[pin], self.from0[pin], self.group0[pin])
+
+
+@dataclass(slots=True)
+class SingleArrivalArrays:
+    """Single-tuple storage for the ungrouped passes."""
+
+    mode: AnalysisMode
+    time: list[float]
+    from_pin: list[int]
+
+    def auto(self, pin: int,
+             excluded_group: int) -> tuple[float, int, int] | None:
+        """Same interface as the dual arrays; the group is ignored."""
+        if self.time[pin] == self.mode.empty_time:
+            return None
+        return (self.time[pin], self.from_pin[pin], NO_GROUP)
+
+    def best(self, pin: int) -> tuple[float, int, int] | None:
+        return self.auto(pin, NO_GROUP)
+
+
+def propagate_dual(graph: TimingGraph, mode: AnalysisMode,
+                   seeds: Iterable[Seed]) -> DualArrivalArrays:
+    """Grouped forward pass (Algorithm 2 lines 1-13).
+
+    Runs in ``O(n)`` per call: each data edge is relaxed with at most two
+    candidate tuples.  The update rule is the one proven correct in
+    :class:`repro.cppr.tuples.DualArrival`.
+    """
+    n = graph.num_pins
+    empty = mode.empty_time
+    is_setup = mode.is_setup
+    time0 = [empty] * n
+    from0 = [NO_NODE] * n
+    group0 = [NO_GROUP] * n
+    time1 = [empty] * n
+    from1 = [NO_NODE] * n
+    group1 = [NO_GROUP] * n
+
+    def offer(v: int, t: float, frm: int, gid: int) -> None:
+        t0 = time0[v]
+        if t0 == empty:
+            time0[v] = t
+            from0[v] = frm
+            group0[v] = gid
+            return
+        if gid == group0[v]:
+            if (t > t0) if is_setup else (t < t0):
+                time0[v] = t
+                from0[v] = frm
+            return
+        if (t > t0) if is_setup else (t < t0):
+            time1[v] = t0
+            from1[v] = from0[v]
+            group1[v] = group0[v]
+            time0[v] = t
+            from0[v] = frm
+            group0[v] = gid
+        else:
+            t1 = time1[v]
+            if t1 == empty or ((t > t1) if is_setup else (t < t1)):
+                time1[v] = t
+                from1[v] = frm
+                group1[v] = gid
+
+    for seed in seeds:
+        offer(seed.pin, seed.time, seed.from_pin, seed.group)
+
+    fanout = graph.fanout
+    for u in graph.topo_order:
+        t0 = time0[u]
+        if t0 == empty:
+            continue
+        g0 = group0[u]
+        t1 = time1[u]
+        g1 = group1[u]
+        has_fallback = t1 != empty
+        for v, delay_early, delay_late in fanout[u]:
+            delay = delay_late if is_setup else delay_early
+            offer(v, t0 + delay, u, g0)
+            if has_fallback:
+                offer(v, t1 + delay, u, g1)
+
+    return DualArrivalArrays(mode, time0, from0, group0,
+                             time1, from1, group1)
+
+
+def propagate_single(graph: TimingGraph, mode: AnalysisMode,
+                     seeds: Iterable[Seed]) -> SingleArrivalArrays:
+    """Ungrouped forward pass (Algorithm 3 lines 1-12 / Algorithm 4)."""
+    n = graph.num_pins
+    empty = mode.empty_time
+    is_setup = mode.is_setup
+    time = [empty] * n
+    from_pin = [NO_NODE] * n
+
+    for seed in seeds:
+        t0 = time[seed.pin]
+        if t0 == empty or ((seed.time > t0) if is_setup
+                           else (seed.time < t0)):
+            time[seed.pin] = seed.time
+            from_pin[seed.pin] = seed.from_pin
+
+    fanout = graph.fanout
+    for u in graph.topo_order:
+        t0 = time[u]
+        if t0 == empty:
+            continue
+        for v, delay_early, delay_late in fanout[u]:
+            t = t0 + (delay_late if is_setup else delay_early)
+            tv = time[v]
+            if tv == empty or ((t > tv) if is_setup else (t < tv)):
+                time[v] = t
+                from_pin[v] = u
+
+    return SingleArrivalArrays(mode, time, from_pin)

@@ -1,0 +1,129 @@
+"""Targeted CPPR queries: one endpoint, or one launch/capture pair.
+
+The engine answers the *global* top-k question; engineering-change-order
+(ECO) flows usually ask narrower ones — "what are the worst paths into
+this register?", "how bad is this specific transfer?".  Both are exact
+and reuse the engine's propagation/deviation machinery.  Because the
+capture point is fixed, the pair credit can be folded into each launch
+seed directly (no node grouping needed) — the same per-endpoint trick
+the pair-enumeration baseline applies to every endpoint at once.
+"""
+
+from __future__ import annotations
+
+from repro.cppr.pathutils import (build_timing_path, fanin_cone,
+                                  launchers_in_cone,
+                                  primary_inputs_in_cone)
+from repro.cppr.deviation import CaptureSeed, run_topk
+from repro.cppr.propagation import Seed, propagate_single
+from repro.cppr.types import TimingPath
+from repro.exceptions import AnalysisError
+from repro.sta.modes import AnalysisMode
+from repro.sta.timing import TimingAnalyzer
+
+__all__ = ["endpoint_paths", "pair_paths"]
+
+
+def _capture_slack(analyzer: TimingAnalyzer, capture, record,
+                   mode: AnalysisMode) -> float:
+    tree = analyzer.graph.clock_tree
+    if mode.is_setup:
+        return (tree.at_early(capture.tree_node)
+                + analyzer.constraints.clock_period - capture.t_setup
+                - record[0])
+    return record[0] - (tree.at_late(capture.tree_node) + capture.t_hold)
+
+
+def _launch_seed(analyzer: TimingAnalyzer, launch, credit: float,
+                 mode: AnalysisMode) -> Seed:
+    tree = analyzer.graph.clock_tree
+    node = launch.tree_node
+    if mode.is_setup:
+        q_at = tree.at_late(node) + launch.clk_to_q_late - credit
+    else:
+        q_at = tree.at_early(node) + launch.clk_to_q_early + credit
+    return Seed(launch.q_pin, q_at, launch.ck_pin)
+
+
+def _resolve_ff(analyzer: TimingAnalyzer, ff: int | str):
+    graph = analyzer.graph
+    try:
+        if isinstance(ff, str):
+            return graph.ff_by_name(ff)
+        return graph.ffs[ff]
+    except (KeyError, IndexError):
+        raise AnalysisError(f"unknown flip-flop {ff!r}") from None
+
+
+def endpoint_paths(analyzer: TimingAnalyzer, capture_ff: int | str,
+                   k: int, mode: AnalysisMode | str,
+                   include_primary_inputs: bool = True
+                   ) -> list[TimingPath]:
+    """Top-``k`` post-CPPR paths captured by one flip-flop, worst first.
+
+    ``capture_ff`` is a flip-flop index or name.  Costs one cone-limited
+    propagation plus the deviation search — exactly the per-endpoint unit
+    of work the pair-enumeration baseline pays ``#FF`` times.
+    """
+    mode = AnalysisMode.coerce(mode)
+    graph = analyzer.graph
+    capture = _resolve_ff(analyzer, capture_ff)
+    if k < 1:
+        raise AnalysisError(f"k must be at least 1, got {k}")
+
+    tree = graph.clock_tree
+    cone = fanin_cone(graph, capture.d_pin)
+    seeds = []
+    for launch_index in launchers_in_cone(graph, cone):
+        launch = graph.ffs[launch_index]
+        credit = tree.pair_credit(launch.tree_node, capture.tree_node)
+        seeds.append(_launch_seed(analyzer, launch, credit, mode))
+    if include_primary_inputs:
+        for pi_index in primary_inputs_in_cone(graph, cone):
+            pi = graph.primary_inputs[pi_index]
+            seeds.append(Seed(pi.pin, pi.at_late if mode.is_setup
+                              else pi.at_early))
+    if not seeds:
+        return []
+
+    arrays = propagate_single(graph, mode, seeds)
+    record = arrays.best(capture.d_pin)
+    if record is None:
+        return []
+    slack = _capture_slack(analyzer, capture, record, mode)
+    results = run_topk(graph, arrays,
+                       [CaptureSeed(slack, capture.d_pin,
+                                    capture_ff=capture.index)],
+                       k, mode)
+    return [build_timing_path(analyzer, r.pins, mode, r.slack)
+            for r in results]
+
+
+def pair_paths(analyzer: TimingAnalyzer, launch_ff: int | str,
+               capture_ff: int | str, k: int,
+               mode: AnalysisMode | str) -> list[TimingPath]:
+    """Top-``k`` post-CPPR paths for one specific launch/capture pair.
+
+    Returns an empty list when no data path connects the pair.
+    """
+    mode = AnalysisMode.coerce(mode)
+    graph = analyzer.graph
+    launch = _resolve_ff(analyzer, launch_ff)
+    capture = _resolve_ff(analyzer, capture_ff)
+    if k < 1:
+        raise AnalysisError(f"k must be at least 1, got {k}")
+
+    tree = graph.clock_tree
+    credit = tree.pair_credit(launch.tree_node, capture.tree_node)
+    arrays = propagate_single(
+        graph, mode, [_launch_seed(analyzer, launch, credit, mode)])
+    record = arrays.best(capture.d_pin)
+    if record is None:
+        return []
+    slack = _capture_slack(analyzer, capture, record, mode)
+    results = run_topk(graph, arrays,
+                       [CaptureSeed(slack, capture.d_pin,
+                                    capture_ff=capture.index)],
+                       k, mode)
+    return [build_timing_path(analyzer, r.pins, mode, r.slack)
+            for r in results]

@@ -1,0 +1,67 @@
+"""Human-readable path reports.
+
+Formats :class:`~repro.cppr.types.TimingPath` objects the way timing
+reports usually read: launch point, pin-by-pin trace, capture point, and
+the slack decomposition (pre-CPPR slack, removed credit, post-CPPR
+slack).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.cppr.types import PathFamily, TimingPath
+from repro.sta.timing import TimingAnalyzer
+
+__all__ = ["format_path", "format_path_report"]
+
+
+def _launch_description(analyzer: TimingAnalyzer, path: TimingPath) -> str:
+    graph = analyzer.graph
+    if path.launch_ff is not None:
+        ff = graph.ffs[path.launch_ff]
+        return f"launch  FF {ff.name} (clock pin {graph.pin_name(ff.ck_pin)})"
+    return f"launch  primary input {graph.pin_name(path.launch_pin)}"
+
+
+def _capture_description(analyzer: TimingAnalyzer, path: TimingPath) -> str:
+    graph = analyzer.graph
+    if path.capture_ff is not None:
+        ff = graph.ffs[path.capture_ff]
+        return (f"capture FF {ff.name} "
+                f"(clock pin {graph.pin_name(ff.ck_pin)})")
+    return f"capture primary output {graph.pin_name(path.capture_pin)}"
+
+
+def format_path(analyzer: TimingAnalyzer, path: TimingPath,
+                index: int | None = None) -> str:
+    """Multi-line description of one path."""
+    graph = analyzer.graph
+    header = f"Path {index}: " if index is not None else "Path: "
+    lines = [
+        f"{header}{path.mode.value} "
+        f"({'self-loop' if path.is_self_loop else path.family.value})",
+        f"  {_launch_description(analyzer, path)}",
+        f"  {_capture_description(analyzer, path)}",
+        "  pins: " + " -> ".join(graph.pin_name(p) for p in path.pins),
+        f"  pre-CPPR slack:  {path.pre_cppr_slack:+.4f}",
+        f"  CPPR credit:     {path.credit:+.4f}",
+        f"  post-CPPR slack: {path.slack:+.4f}",
+    ]
+    if path.family is PathFamily.LEVEL and path.level is not None:
+        lines.insert(3, f"  common clock path ends at tree depth "
+                        f"{path.level}")
+    return "\n".join(lines)
+
+
+def format_path_report(analyzer: TimingAnalyzer,
+                       paths: Iterable[TimingPath],
+                       title: str = "Post-CPPR critical paths") -> str:
+    """A full report: title, summary line, and each path in rank order."""
+    paths = list(paths)
+    lines = [title, "=" * len(title),
+             f"design: {analyzer.graph.name}   paths: {len(paths)}", ""]
+    for rank, path in enumerate(paths, start=1):
+        lines.append(format_path(analyzer, path, rank))
+        lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,49 @@
+"""Final top-path selection (paper Algorithm 6).
+
+Each candidate family's ranking metric equals the true post-CPPR slack
+only for the paths the family is *responsible* for: level-``d`` candidates
+whose launch/capture LCA depth is exactly ``d``, self-loop candidates that
+really are self-loops, and all PI/OUTPUT candidates.  Everything else is a
+duplicate covered by another family (with an over-credited, i.e. larger,
+slack) and is discarded here — lines 5 and 8 of Algorithm 6.
+
+The survivors are reduced to the global top-``k`` with a bounded best-k
+heap; by the paper's correctness theorem the result is exactly the global
+top-``k`` post-CPPR critical paths.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.cppr.types import PathFamily, TimingPath
+from repro.ds.bounded import TopK
+from repro.sta.timing import TimingAnalyzer
+
+__all__ = ["select_top_paths"]
+
+
+def select_top_paths(analyzer: TimingAnalyzer,
+                     candidates: Iterable[TimingPath],
+                     k: int) -> list[TimingPath]:
+    """Reduce all family candidates to the global top-``k`` paths.
+
+    Returns paths sorted by post-CPPR slack (most critical first); ties
+    are broken deterministically by the pin sequence.
+    """
+    graph = analyzer.graph
+    tree = graph.clock_tree
+    top = TopK(k)
+    for path in candidates:
+        if path.family is PathFamily.LEVEL:
+            launch = graph.ffs[path.launch_ff].tree_node
+            capture = graph.ffs[path.capture_ff].tree_node
+            if tree.lca_depth(launch, capture) != path.level:
+                continue
+        elif path.family is PathFamily.SELF_LOOP:
+            if path.launch_ff != path.capture_ff:
+                continue
+        top.offer(path.slack, path)
+    selected = [path for _slack, path in top.sorted_items()]
+    selected.sort(key=TimingPath.key)
+    return selected

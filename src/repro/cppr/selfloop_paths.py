@@ -1,0 +1,72 @@
+"""Self-loop path candidates (paper Definition 5, Algorithm 3).
+
+Paths whose launching and capturing flip-flop coincide have
+``LCA(u, u) = u``, so their full launch-clock-path credit ``credit(u)`` is
+removed.  The candidate set ranks *every* path by
+``slack(p, depth(p.lauFF))`` — folding ``credit(lauFF)`` into each launch
+seed — which over-credits non-self-loop paths (their real LCA is an
+ancestor with no larger credit) and therefore never lets them displace a
+true top-k self-loop path; ``selectTopPaths`` later discards them.
+
+No grouping or fallback tuples are needed, so this pass uses the single-
+tuple propagation.
+"""
+
+from __future__ import annotations
+
+from repro.cppr.deviation import CaptureSeed, run_topk
+from repro.cppr.propagation import Seed, propagate_single
+from repro.cppr.types import PathFamily, TimingPath
+from repro.sta.modes import AnalysisMode
+from repro.sta.timing import TimingAnalyzer
+
+__all__ = ["self_loop_paths"]
+
+
+def self_loop_paths(analyzer: TimingAnalyzer, k: int,
+                    mode: AnalysisMode | str,
+                    heap_capacity: int | None = None) -> list[TimingPath]:
+    """Top-``k`` self-loop path candidates, best slack first."""
+    mode = AnalysisMode.coerce(mode)
+    graph = analyzer.graph
+    tree = graph.clock_tree
+    clock_period = analyzer.constraints.clock_period
+
+    seeds = []
+    for ff in graph.ffs:
+        node = ff.tree_node
+        credit = tree.credit(node)
+        if mode.is_setup:
+            q_at = tree.at_late(node) + ff.clk_to_q_late - credit
+        else:
+            q_at = tree.at_early(node) + ff.clk_to_q_early + credit
+        seeds.append(Seed(ff.q_pin, q_at, ff.ck_pin))
+
+    if not seeds:
+        return []
+    arrays = propagate_single(graph, mode, seeds)
+
+    capture_seeds = []
+    for ff in graph.ffs:
+        record = arrays.best(ff.d_pin)
+        if record is None:
+            continue
+        if mode.is_setup:
+            slack = (tree.at_early(ff.tree_node) + clock_period
+                     - ff.t_setup - record[0])
+        else:
+            slack = record[0] - (tree.at_late(ff.tree_node) + ff.t_hold)
+        capture_seeds.append(
+            CaptureSeed(slack, ff.d_pin, capture_ff=ff.index))
+
+    results = run_topk(graph, arrays, capture_seeds, k, mode, heap_capacity)
+
+    paths = []
+    for result in results:
+        launch_ff = graph.ff_of_q_pin[result.pins[0]]
+        paths.append(TimingPath(
+            mode=mode, family=PathFamily.SELF_LOOP, slack=result.slack,
+            credit=tree.credit(graph.ffs[launch_ff].tree_node),
+            pins=result.pins, launch_ff=launch_ff,
+            capture_ff=result.capture_ff))
+    return paths

@@ -1,0 +1,109 @@
+"""Dual arrival-time tuples (paper Table II).
+
+At every pin the per-level propagation keeps two tuples:
+
+* ``at(u)`` — the most pessimistic arrival overall, with the node it came
+  from and the *group id* of the path's origin (the ``f_{d+1}`` ancestor
+  of the launching flip-flop's clock pin), and
+* ``at'(u)`` — the most pessimistic arrival whose group id differs from
+  ``at(u)``'s, the "fallback" used when the capturing flip-flop shares
+  ``at(u)``'s group.
+
+Two tuples suffice because every query excludes exactly one group (the
+capture group): if ``at(u)`` is excluded, the best of the rest is by
+definition ``at'(u)``.
+
+This module provides :class:`DualArrival`, a readable reference
+implementation with the update rule spelled out.  The production
+propagation (:mod:`repro.cppr.propagation`) stores the same six fields in
+parallel arrays for speed; the test suite checks the two implementations
+against each other and against brute-force path enumeration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sta.modes import AnalysisMode
+
+__all__ = ["ArrivalTuple", "DualArrival", "NO_GROUP", "NO_NODE"]
+
+NO_NODE = -1
+"""Sentinel ``from`` value for seed tuples with no predecessor pin."""
+
+NO_GROUP = -1
+"""Sentinel group id for ungrouped (self-loop / PI) propagation."""
+
+
+@dataclass(frozen=True, slots=True)
+class ArrivalTuple:
+    """One (time, from, groupid) arrival record."""
+
+    time: float
+    from_pin: int
+    group: int
+
+
+class DualArrival:
+    """Best and best-with-different-group arrival at one pin.
+
+    The update rule maintains two invariants after any sequence of
+    :meth:`offer` calls:
+
+    1. ``best`` is the most pessimistic offered tuple;
+    2. ``fallback`` is the most pessimistic offered tuple whose group
+       differs from ``best.group``.
+
+    Case analysis in :meth:`offer`:
+
+    * same group as ``best`` and more pessimistic — replace ``best``
+      (``fallback`` still excludes that same group);
+    * same group, less pessimistic — discard (it can never serve a query,
+      which only ever excludes ``best``'s group);
+    * different group, more pessimistic than ``best`` — ``best`` demotes
+      to ``fallback`` (it dominates everything outside the new group) and
+      the candidate becomes ``best``;
+    * different group otherwise — compete for ``fallback``.
+    """
+
+    __slots__ = ("mode", "best", "fallback")
+
+    def __init__(self, mode: AnalysisMode) -> None:
+        self.mode = mode
+        self.best: ArrivalTuple | None = None
+        self.fallback: ArrivalTuple | None = None
+
+    def offer(self, time: float, from_pin: int, group: int) -> None:
+        """Consider a new arrival candidate."""
+        candidate = ArrivalTuple(time, from_pin, group)
+        if self.best is None:
+            self.best = candidate
+            return
+        if group == self.best.group:
+            if self.mode.prefer(time, self.best.time):
+                self.best = candidate
+            return
+        if self.mode.prefer(time, self.best.time):
+            self.fallback = self.best
+            self.best = candidate
+        elif (self.fallback is None
+              or self.mode.prefer(time, self.fallback.time)):
+            self.fallback = candidate
+
+    def auto(self, excluded_group: int) -> ArrivalTuple | None:
+        """``at_auto``: the best arrival whose group differs from
+        ``excluded_group`` (paper Section III-D), or ``None``."""
+        if self.best is None:
+            return None
+        if self.best.group != excluded_group:
+            return self.best
+        return self.fallback
+
+    def offers(self) -> list[ArrivalTuple]:
+        """The tuples this pin forwards to its fanout (both, if present)."""
+        result = []
+        if self.best is not None:
+            result.append(self.best)
+        if self.fallback is not None:
+            result.append(self.fallback)
+        return result

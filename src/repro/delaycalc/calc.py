@@ -1,0 +1,184 @@
+"""The delay calculator: slews and loads over a parsed Verilog module.
+
+Walks instances in topological order (clock network first — it is
+upstream of every launch), computing for every net a per-transition
+(rise/fall) worst-case slew, and for every cell arc a nominal delay from
+its NLDM table at (driving input slew, driven net load).  The global
+:class:`~repro.delaycalc.models.Derates` turn nominal values into the
+(early, late) bounds the analysis substrate consumes.
+
+Slew semantics follow the worst-slew convention: a net's slew is the
+maximum over the arcs that can drive the corresponding output
+transition (pessimistic, simple, standard for a first-order
+calculator).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.delaycalc.models import TimingLibrary
+from repro.delaycalc.wire import WireLoadModel
+from repro.exceptions import FormatError
+from repro.io.verilog import VerilogInstance, VerilogModule
+from repro.library.cells import StandardCellLibrary
+
+__all__ = ["CalculatedDesignTiming", "calculate_timing"]
+
+
+@dataclass(slots=True)
+class CalculatedDesignTiming:
+    """Everything the timed flow needs to build the design.
+
+    * ``arc_delays[(instance, input_index, transition)]`` — (early, late)
+      delay of that cell arc, transition in ``{"r", "f"}`` = the *output*
+      transition;
+    * ``clk_to_q[(instance, transition)]`` — flip-flop launch arcs;
+    * ``net_loads[net]`` — the load each driver saw (for reports/tests);
+    * ``net_slews[(net, transition)]`` — computed worst slews.
+    """
+
+    arc_delays: dict[tuple[str, int, str], tuple[float, float]] = field(
+        default_factory=dict)
+    clk_to_q: dict[tuple[str, str], tuple[float, float]] = field(
+        default_factory=dict)
+    net_loads: dict[str, float] = field(default_factory=dict)
+    net_slews: dict[tuple[str, str], float] = field(default_factory=dict)
+
+
+def _instance_topo_order(module: VerilogModule,
+                         library: StandardCellLibrary
+                         ) -> list[VerilogInstance]:
+    """Instances ordered so every driver precedes its combinational
+    sinks; flip-flops cut the dependency (their Q is a source)."""
+    by_output_net: dict[str, VerilogInstance] = {}
+    for instance in module.instances:
+        port = "Q" if library.is_flip_flop(instance.cell) else "Y"
+        net = instance.connections.get(port)
+        if net is not None:
+            by_output_net[net] = instance
+
+    order: list[VerilogInstance] = []
+    state: dict[str, int] = {}  # 0 visiting, 1 done
+
+    def visit(instance: VerilogInstance) -> None:
+        mark = state.get(instance.name)
+        if mark == 1:
+            return
+        if mark == 0:
+            raise FormatError(
+                f"combinational loop through instance {instance.name!r}")
+        state[instance.name] = 0
+        if not library.is_flip_flop(instance.cell):
+            for port, net in instance.connections.items():
+                if port == "Y":
+                    continue
+                driver = by_output_net.get(net)
+                if driver is not None and not \
+                        library.is_flip_flop(driver.cell):
+                    visit(driver)
+        state[instance.name] = 1
+        order.append(instance)
+
+    for instance in module.instances:
+        visit(instance)
+    return order
+
+
+def calculate_timing(module: VerilogModule,
+                     library: StandardCellLibrary,
+                     timing: TimingLibrary,
+                     wire_model: WireLoadModel | None = None,
+                     input_slew: float = 0.05,
+                     output_port_cap: float = 1.0
+                     ) -> CalculatedDesignTiming:
+    """Compute per-arc (early, late) delays for every instance."""
+    wire_model = wire_model or WireLoadModel()
+    result = CalculatedDesignTiming()
+    derates = timing.derates
+
+    # ------------------------------------------------------------------
+    # Net loads: wire estimate + pin caps of every sink.
+    # ------------------------------------------------------------------
+    sink_caps: dict[str, list[float]] = {}
+    for instance in module.instances:
+        is_ff = library.is_flip_flop(instance.cell)
+        for port, net in instance.connections.items():
+            if port in ("Y", "Q"):
+                continue
+            if is_ff:
+                model = timing.flip_flop(instance.cell)
+                cap = model.ck_cap if port == "CK" else model.d_cap
+            else:
+                try:
+                    input_index = int(port[1:])
+                except ValueError:
+                    raise FormatError(
+                        f"instance {instance.name!r}: unexpected port "
+                        f"{port!r}") from None
+                cap = timing.cell(instance.cell).input_caps[input_index]
+            sink_caps.setdefault(net, []).append(cap)
+    for port in module.outputs:
+        sink_caps.setdefault(port, []).append(output_port_cap)
+
+    def load_of(net: str) -> float:
+        load = wire_model.net_load(sink_caps.get(net, []))
+        result.net_loads[net] = load
+        return load
+
+    # ------------------------------------------------------------------
+    # Slew propagation + arc delays, in instance topological order.
+    # ------------------------------------------------------------------
+    slews = result.net_slews
+    for port in module.inputs:
+        slews[(port, "r")] = input_slew
+        slews[(port, "f")] = input_slew
+
+    def slew_at(net: str, transition: str) -> float:
+        return slews.get((net, transition), input_slew)
+
+    for instance in _instance_topo_order(module, library):
+        if library.is_flip_flop(instance.cell):
+            model = timing.flip_flop(instance.cell)
+            q_net = instance.connections.get("Q")
+            ck_net = instance.connections["CK"]
+            load = load_of(q_net) if q_net is not None else 0.0
+            ck_slew = slew_at(ck_net, "r")  # rising-edge triggered
+            for transition, arc in (("r", model.clk_to_q_rise),
+                                    ("f", model.clk_to_q_fall)):
+                nominal = arc.delay.lookup(ck_slew, load)
+                result.clk_to_q[(instance.name, transition)] = \
+                    derates.bounds(nominal)
+                if q_net is not None:
+                    key = (q_net, transition)
+                    slew = arc.output_slew.lookup(ck_slew, load)
+                    slews[key] = max(slews.get(key, 0.0), slew)
+            continue
+
+        cell = library.cell(instance.cell)
+        model = timing.cell(instance.cell)
+        out_net = instance.connections.get("Y")
+        load = load_of(out_net) if out_net is not None else 0.0
+        for out_transition, arcs in (
+                ("r", cell.arcs_to_output_rise()),
+                ("f", cell.arcs_to_output_fall())):
+            for input_index, input_transition, _fixed in arcs:
+                in_net = instance.connections[f"A{input_index}"]
+                in_slew = slew_at(in_net, input_transition)
+                arc_model = (model.rise if out_transition == "r"
+                             else model.fall)[input_index]
+                nominal = arc_model.delay.lookup(in_slew, load)
+                key = (instance.name, input_index, out_transition)
+                bounds = derates.bounds(nominal)
+                # Non-unate cells reach this arc twice (once per input
+                # transition); keep the wider bound.
+                if key in result.arc_delays:
+                    prior = result.arc_delays[key]
+                    bounds = (min(prior[0], bounds[0]),
+                              max(prior[1], bounds[1]))
+                result.arc_delays[key] = bounds
+                if out_net is not None:
+                    skey = (out_net, out_transition)
+                    slew = arc_model.output_slew.lookup(in_slew, load)
+                    slews[skey] = max(slews.get(skey, 0.0), slew)
+    return result

@@ -1,0 +1,97 @@
+"""2-D lookup tables with bilinear interpolation (NLDM-style).
+
+Liberty's non-linear delay model tabulates delay and output slew over
+(input slew, output load).  Queries inside the grid interpolate
+bilinearly; queries outside clamp to the edge and extrapolate linearly
+along the remaining axis — the conventional, monotonicity-preserving
+choice for well-formed tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import TimingConstraintError
+
+__all__ = ["LookupTable2D"]
+
+
+def _bracket(axis: tuple[float, ...], value: float) -> tuple[int, float]:
+    """Segment index and interpolation fraction for ``value`` on ``axis``.
+
+    Values outside the axis clamp to the first/last segment and produce
+    fractions outside [0, 1] — linear extrapolation.
+    """
+    if len(axis) == 1:
+        return 0, 0.0
+    index = 0
+    for i in range(len(axis) - 1):
+        index = i
+        if value < axis[i + 1]:
+            break
+    span = axis[index + 1] - axis[index]
+    return index, (value - axis[index]) / span
+
+
+@dataclass(frozen=True, slots=True)
+class LookupTable2D:
+    """``values[i][j]`` at ``(slew_axis[i], load_axis[j])``."""
+
+    slew_axis: tuple[float, ...]
+    load_axis: tuple[float, ...]
+    values: tuple[tuple[float, ...], ...]
+
+    def __post_init__(self) -> None:
+        if not self.slew_axis or not self.load_axis:
+            raise TimingConstraintError("lookup table axes must be "
+                                        "non-empty")
+        for axis in (self.slew_axis, self.load_axis):
+            if any(b <= a for a, b in zip(axis, axis[1:])):
+                raise TimingConstraintError(
+                    f"lookup table axis must be strictly increasing, "
+                    f"got {axis}")
+        if len(self.values) != len(self.slew_axis):
+            raise TimingConstraintError(
+                f"table has {len(self.values)} rows for "
+                f"{len(self.slew_axis)} slew points")
+        for row in self.values:
+            if len(row) != len(self.load_axis):
+                raise TimingConstraintError(
+                    f"table row has {len(row)} entries for "
+                    f"{len(self.load_axis)} load points")
+
+    def lookup(self, slew: float, load: float) -> float:
+        """Bilinear interpolation with clamped-edge extrapolation."""
+        i, fi = _bracket(self.slew_axis, slew)
+        j, fj = _bracket(self.load_axis, load)
+        if len(self.slew_axis) == 1 and len(self.load_axis) == 1:
+            return self.values[0][0]
+        if len(self.slew_axis) == 1:
+            v0, v1 = self.values[0][j], self.values[0][j + 1]
+            return v0 + fj * (v1 - v0)
+        if len(self.load_axis) == 1:
+            v0, v1 = self.values[i][0], self.values[i + 1][0]
+            return v0 + fi * (v1 - v0)
+        v00 = self.values[i][j]
+        v01 = self.values[i][j + 1]
+        v10 = self.values[i + 1][j]
+        v11 = self.values[i + 1][j + 1]
+        top = v00 + fj * (v01 - v00)
+        bottom = v10 + fj * (v11 - v10)
+        return top + fi * (bottom - top)
+
+    @classmethod
+    def affine(cls, base: float, slew_factor: float, load_factor: float,
+               slew_axis: tuple[float, ...] = (0.01, 0.1, 0.4),
+               load_axis: tuple[float, ...] = (0.5, 2.0, 8.0)
+               ) -> "LookupTable2D":
+        """A table sampling ``base + slew_factor*s + load_factor*c``.
+
+        Affine surfaces interpolate exactly, which makes generated
+        libraries easy to hand-check in tests.
+        """
+        values = tuple(
+            tuple(base + slew_factor * s + load_factor * c
+                  for c in load_axis)
+            for s in slew_axis)
+        return cls(slew_axis, load_axis, values)

@@ -1,0 +1,149 @@
+"""Cell timing models: per-arc delay/slew tables, caps, and derates."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.delaycalc.lut import LookupTable2D
+from repro.exceptions import TimingConstraintError
+from repro.library.cells import StandardCellLibrary
+
+__all__ = ["ArcTiming", "CellTiming", "Derates", "FlipFlopTiming",
+           "TimingLibrary", "default_timing"]
+
+
+@dataclass(frozen=True, slots=True)
+class Derates:
+    """On-chip-variation multipliers applied to every nominal delay.
+
+    ``early < 1 < late`` models the uncertainty band; the early/late gap
+    on shared clock segments is exactly the pessimism CPPR removes, so
+    these two numbers set the size of every credit in a timed design.
+    """
+
+    early: float = 0.9
+    late: float = 1.12
+
+    def __post_init__(self) -> None:
+        if not 0 < self.early <= 1.0 <= self.late:
+            raise TimingConstraintError(
+                f"derates must satisfy 0 < early <= 1 <= late, got "
+                f"({self.early}, {self.late})")
+
+    def bounds(self, nominal: float) -> tuple[float, float]:
+        """(early, late) delay bounds of a nominal value."""
+        return nominal * self.early, nominal * self.late
+
+
+@dataclass(frozen=True, slots=True)
+class ArcTiming:
+    """One input-to-output arc: delay and output-slew tables."""
+
+    delay: LookupTable2D
+    output_slew: LookupTable2D
+
+
+@dataclass(frozen=True, slots=True)
+class CellTiming:
+    """Timing of one combinational cell.
+
+    ``rise[i]`` / ``fall[i]`` time the arc from input ``i`` to the
+    output's rise / fall; ``input_caps[i]`` is the load input ``i``
+    presents to its driving net.
+    """
+
+    rise: tuple[ArcTiming, ...]
+    fall: tuple[ArcTiming, ...]
+    input_caps: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not (len(self.rise) == len(self.fall)
+                == len(self.input_caps)):
+            raise TimingConstraintError(
+                "cell timing arc/cap counts are inconsistent")
+
+
+@dataclass(frozen=True, slots=True)
+class FlipFlopTiming:
+    """Timing of one sequential cell."""
+
+    clk_to_q_rise: ArcTiming
+    clk_to_q_fall: ArcTiming
+    d_cap: float
+    ck_cap: float
+
+
+class TimingLibrary:
+    """Per-cell-name timing models plus the global derates."""
+
+    def __init__(self, name: str = "timing",
+                 derates: Derates | None = None) -> None:
+        self.name = name
+        self.derates = derates or Derates()
+        self._cells: dict[str, CellTiming] = {}
+        self._ffs: dict[str, FlipFlopTiming] = {}
+
+    def add_cell(self, cell_name: str, timing: CellTiming) -> None:
+        self._cells[cell_name] = timing
+
+    def add_flip_flop(self, cell_name: str,
+                      timing: FlipFlopTiming) -> None:
+        self._ffs[cell_name] = timing
+
+    def cell(self, cell_name: str) -> CellTiming:
+        try:
+            return self._cells[cell_name]
+        except KeyError:
+            raise KeyError(
+                f"timing library {self.name!r} has no model for "
+                f"{cell_name!r}") from None
+
+    def flip_flop(self, cell_name: str) -> FlipFlopTiming:
+        try:
+            return self._ffs[cell_name]
+        except KeyError:
+            raise KeyError(
+                f"timing library {self.name!r} has no flip-flop model "
+                f"for {cell_name!r}") from None
+
+
+def default_timing(library: StandardCellLibrary,
+                   derates: Derates | None = None) -> TimingLibrary:
+    """Derive NLDM tables for every cell of a standard library.
+
+    The generated surfaces are affine in (slew, load), anchored at each
+    cell's fixed library delay: at the reference point (slew 0.05,
+    load 1.0) the nominal delay equals the library's late value divided
+    by the late derate, so the timed flow and the fixed-delay flow stay
+    in the same delay regime while loads and slews modulate around it.
+    """
+    timing = TimingLibrary(f"{library.name}-nldm", derates)
+    reference_slew, reference_load = 0.05, 1.0
+
+    def arc(base_late: float) -> ArcTiming:
+        nominal = base_late / timing.derates.late
+        slew_factor = 0.35 * nominal
+        load_factor = 0.18 * nominal
+        anchored = (nominal - slew_factor * reference_slew
+                    - load_factor * reference_load)
+        return ArcTiming(
+            delay=LookupTable2D.affine(anchored, slew_factor,
+                                       load_factor),
+            output_slew=LookupTable2D.affine(0.02 + 0.25 * nominal,
+                                             0.30, 0.04 * nominal))
+
+    for cell_name in library:
+        if library.is_flip_flop(cell_name):
+            ff = library.flip_flop(cell_name)
+            timing.add_flip_flop(cell_name, FlipFlopTiming(
+                clk_to_q_rise=arc(ff.clk_to_q_rise[1]),
+                clk_to_q_fall=arc(ff.clk_to_q_fall[1]),
+                d_cap=0.9, ck_cap=0.6))
+            continue
+        cell = library.cell(cell_name)
+        timing.add_cell(cell_name, CellTiming(
+            rise=tuple(arc(late) for _early, late in cell.rise_delays),
+            fall=tuple(arc(late) for _early, late in cell.fall_delays),
+            input_caps=tuple(0.8 + 0.1 * i
+                             for i in range(cell.num_inputs))))
+    return timing

@@ -1,0 +1,152 @@
+"""The timed front-end: Verilog + SDC + NLDM timing -> analyzable design.
+
+Same pipeline as :mod:`repro.io.flow` (clock-network recovery, port
+annotation, rise/fall expansion), except every arc delay — including the
+clock buffers' — comes from the delay calculator instead of the
+library's fixed values.  The early/late spread on each clock buffer, and
+therefore every CPPR credit in the design, emerges from the OCV derates.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import replace
+
+from repro.delaycalc.calc import CalculatedDesignTiming, calculate_timing
+from repro.delaycalc.models import TimingLibrary
+from repro.delaycalc.wire import WireLoadModel
+from repro.exceptions import FormatError
+from repro.io.flow import _FF_REQUIRED_PORTS, _net_drivers, \
+    _trace_clock_network
+from repro.io.sdc import SdcConstraints, read_sdc
+from repro.io.verilog import VerilogModule, read_verilog
+from repro.library.cells import StandardCellLibrary
+from repro.sta.constraints import TimingConstraints
+from repro.transitions.netlist import RiseFallDesign, RiseFallNetlist
+
+__all__ = ["elaborate_timed_design", "read_timed_design"]
+
+
+def elaborate_timed_design(module: VerilogModule, sdc: SdcConstraints,
+                           library: StandardCellLibrary,
+                           timing: TimingLibrary,
+                           wire_model: WireLoadModel | None = None,
+                           input_slew: float = 0.05
+                           ) -> tuple[RiseFallDesign, TimingConstraints,
+                                      CalculatedDesignTiming]:
+    """Build a design whose delays come from the calculator.
+
+    Returns the expanded design, the constraints, and the calculated
+    timing (loads/slews/arc delays) for inspection.
+    """
+    if sdc.clock_port is None or sdc.clock_period is None:
+        raise FormatError("SDC must contain create_clock")
+    drivers = _net_drivers(module, library)
+    clock_nets, clock_cells = _trace_clock_network(module, library,
+                                                   sdc.clock_port)
+    clock_cell_names = {instance.name for instance in clock_cells}
+    calculated = calculate_timing(module, library, timing, wire_model,
+                                  input_slew)
+
+    netlist = RiseFallNetlist(module.name, library)
+    netlist.set_clock_root(sdc.clock_port)
+
+    node_of_net = {sdc.clock_port: sdc.clock_port}
+    for instance in clock_cells:
+        parent = node_of_net[instance.connections["A0"]]
+        # A rising-edge clock propagates through non-inverting buffers
+        # as output-rise arcs.
+        early, late = calculated.arc_delays[(instance.name, 0, "r")]
+        netlist.add_clock_buffer(instance.name, parent, early, late)
+        node_of_net[instance.connections["Y"]] = instance.name
+
+    for port in module.inputs:
+        if port == sdc.clock_port:
+            continue
+        if port in clock_nets:
+            raise FormatError(
+                f"input {port!r} is part of the clock network but is "
+                f"not the SDC clock port")
+        early, late = sdc.input_arrival(port)
+        netlist.add_primary_input(port, rise_at=(early, late),
+                                  fall_at=(early, late))
+    for port in module.outputs:
+        rat_early, rat_late = sdc.output_required(port)
+        netlist.add_primary_output(port, rat_early, rat_late)
+
+    for instance in module.instances:
+        if instance.name in clock_cell_names:
+            continue
+        if library.is_flip_flop(instance.cell):
+            for port in _FF_REQUIRED_PORTS:
+                if port not in instance.connections:
+                    raise FormatError(
+                        f"flip-flop {instance.name!r} is missing its "
+                        f"{port} connection")
+            ck_net = instance.connections["CK"]
+            if ck_net not in clock_nets:
+                raise FormatError(
+                    f"flip-flop {instance.name!r} clock pin is driven "
+                    f"by {ck_net!r}, which is not part of the clock "
+                    f"network")
+            base = library.flip_flop(instance.cell)
+            timed_cell = replace(
+                base,
+                clk_to_q_rise=calculated.clk_to_q[(instance.name, "r")],
+                clk_to_q_fall=calculated.clk_to_q[(instance.name, "f")])
+            netlist.add_flipflop_cell(instance.name, timed_cell)
+            netlist.connect_clock(instance.name, node_of_net[ck_net],
+                                  0.0, 0.0)
+        else:
+            base = library.cell(instance.cell)
+            timed_cell = replace(
+                base,
+                rise_delays=tuple(
+                    calculated.arc_delays[(instance.name, i, "r")]
+                    for i in range(base.num_inputs)),
+                fall_delays=tuple(
+                    calculated.arc_delays[(instance.name, i, "f")]
+                    for i in range(base.num_inputs)))
+            netlist.add_gate_cell(instance.name, timed_cell)
+            for i in range(base.num_inputs):
+                if f"A{i}" not in instance.connections:
+                    raise FormatError(
+                        f"gate {instance.name!r} ({base.name}) is "
+                        f"missing input A{i}")
+
+    def driver_ref(net: str) -> str:
+        try:
+            driver = drivers[net]
+        except KeyError:
+            raise FormatError(f"net {net!r} has no driver") from None
+        if driver[0] == "port":
+            return driver[1]
+        _kind, instance_name, port = driver
+        return f"{instance_name}/{port}"
+
+    for instance in module.instances:
+        if instance.name in clock_cell_names:
+            continue
+        for port, net in instance.connections.items():
+            if port in ("Y", "Q", "CK"):
+                continue
+            netlist.connect(driver_ref(net), f"{instance.name}/{port}")
+    for port in module.outputs:
+        netlist.connect(driver_ref(port), port)
+
+    return (netlist.elaborate(), TimingConstraints(sdc.clock_period),
+            calculated)
+
+
+def read_timed_design(verilog_path: str | os.PathLike,
+                      sdc_path: str | os.PathLike,
+                      library: StandardCellLibrary,
+                      timing: TimingLibrary,
+                      wire_model: WireLoadModel | None = None
+                      ) -> tuple[RiseFallDesign, TimingConstraints,
+                                 CalculatedDesignTiming]:
+    """File-based entry point for the timed flow."""
+    module = read_verilog(str(verilog_path))
+    sdc = read_sdc(str(sdc_path))
+    return elaborate_timed_design(module, sdc, library, timing,
+                                  wire_model)

@@ -1,0 +1,37 @@
+"""Fanout-based wire load model (pre-layout estimation)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import TimingConstraintError
+
+__all__ = ["WireLoadModel"]
+
+
+@dataclass(frozen=True, slots=True)
+class WireLoadModel:
+    """Estimated wire capacitance as a function of fanout.
+
+    ``cap = base_cap + cap_per_fanout * fanout`` — the classic
+    pre-layout wire load table collapsed to a line.  The net's total
+    load is this wire cap plus the sum of sink pin caps.
+    """
+
+    base_cap: float = 0.2
+    cap_per_fanout: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.base_cap < 0 or self.cap_per_fanout < 0:
+            raise TimingConstraintError(
+                "wire load coefficients must be non-negative")
+
+    def wire_cap(self, fanout: int) -> float:
+        """Estimated wire capacitance for a net with ``fanout`` sinks."""
+        if fanout < 0:
+            raise TimingConstraintError("fanout must be non-negative")
+        return self.base_cap + self.cap_per_fanout * fanout
+
+    def net_load(self, sink_caps: list[float]) -> float:
+        """Total load a driver sees: wire estimate + pin caps."""
+        return self.wire_cap(len(sink_caps)) + sum(sink_caps)

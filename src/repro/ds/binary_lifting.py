@@ -1,0 +1,142 @@
+"""Binary-lifting ancestor tables for rooted trees.
+
+The CPPR algorithm constantly asks two questions about the clock tree
+(paper Table I):
+
+* ``f_d(u)`` — the ancestor of node ``u`` at depth ``d`` (used for node
+  grouping and for the per-level credit offsets), and
+* ``LCA(u, v)`` — the lowest common ancestor of two clock pins (used by
+  ``selectTopPaths`` to keep only paths whose pessimism was removed
+  exactly).
+
+Both are answered in ``O(log D)`` after an ``O(n log D)`` preprocessing
+pass over the parent array, where ``D`` is the tree depth.  ``D`` is tiny
+compared to the number of flip-flops (the whole point of the paper), so
+these tables are effectively free.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["AncestorTable"]
+
+
+class AncestorTable:
+    """Ancestor/LCA queries over a forest given as a parent array.
+
+    Parameters
+    ----------
+    parents:
+        ``parents[v]`` is the parent of node ``v`` or ``-1`` for a root.
+        Nodes are integers ``0..len(parents)-1``.
+
+    Raises
+    ------
+    ValueError
+        If the parent array contains a cycle or an out-of-range index.
+    """
+
+    __slots__ = ("_parents", "_depths", "_up", "_log")
+
+    def __init__(self, parents: Sequence[int]) -> None:
+        n = len(parents)
+        self._parents = list(parents)
+        for v, p in enumerate(self._parents):
+            if p != -1 and not 0 <= p < n:
+                raise ValueError(f"parent of node {v} out of range: {p}")
+        self._depths = self._compute_depths()
+        max_depth = max(self._depths, default=0)
+        self._log = max(1, max_depth.bit_length())
+        self._up = self._build_table()
+
+    def _compute_depths(self) -> list[int]:
+        n = len(self._parents)
+        depths = [-1] * n
+        for start in range(n):
+            if depths[start] != -1:
+                continue
+            chain = []
+            v = start
+            while v != -1 and depths[v] == -1:
+                chain.append(v)
+                depths[v] = -2  # mark as being visited
+                v = self._parents[v]
+            if v != -1 and depths[v] == -2:
+                raise ValueError(f"cycle detected through node {v}")
+            base = 0 if v == -1 else depths[v] + 1
+            for offset, node in enumerate(reversed(chain)):
+                depths[node] = base + offset
+        return depths
+
+    def _build_table(self) -> list[list[int]]:
+        up = [list(self._parents)]
+        for level in range(1, self._log):
+            prev = up[level - 1]
+            up.append([prev[prev[v]] if prev[v] != -1 else -1
+                       for v in range(len(prev))])
+        return up
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._parents)
+
+    def depth(self, node: int) -> int:
+        """Depth of ``node``; roots have depth 0."""
+        return self._depths[node]
+
+    def parent(self, node: int) -> int:
+        """Parent of ``node`` or ``-1`` for a root."""
+        return self._parents[node]
+
+    def kth_ancestor(self, node: int, k: int) -> int:
+        """The ancestor ``k`` edges above ``node``, or ``-1`` if none."""
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
+        v = node
+        level = 0
+        while k and v != -1:
+            if k & 1:
+                v = self._up[level][v]
+            k >>= 1
+            level += 1
+            if level >= self._log and k:
+                return -1
+        return v
+
+    def ancestor_at_depth(self, node: int, depth: int) -> int:
+        """``f_d(u)``: the ancestor of ``node`` at exactly ``depth``.
+
+        Returns ``-1`` when ``depth`` exceeds the node's own depth.
+        """
+        delta = self._depths[node] - depth
+        if delta < 0:
+            return -1
+        return self.kth_ancestor(node, delta)
+
+    def lca(self, u: int, v: int) -> int:
+        """Lowest common ancestor of ``u`` and ``v``.
+
+        Returns ``-1`` when the nodes live in different trees of a forest.
+        """
+        if self._depths[u] < self._depths[v]:
+            u, v = v, u
+        u = self.kth_ancestor(u, self._depths[u] - self._depths[v])
+        if u == v:
+            return u
+        for level in range(self._log - 1, -1, -1):
+            if self._up[level][u] != self._up[level][v]:
+                u = self._up[level][u]
+                v = self._up[level][v]
+        return self._parents[u]
+
+    def lca_depth(self, u: int, v: int) -> int:
+        """Depth of ``LCA(u, v)``; ``-1`` when the nodes are unrelated."""
+        ancestor = self.lca(u, v)
+        return -1 if ancestor == -1 else self._depths[ancestor]
+
+    def is_ancestor(self, ancestor: int, node: int) -> bool:
+        """True when ``ancestor`` lies on the root path of ``node``."""
+        return self.ancestor_at_depth(node, self._depths[ancestor]) == ancestor

@@ -1,0 +1,88 @@
+"""A bounded best-``k`` collector.
+
+Used wherever the library accumulates candidates but only ever reports the
+best ``k`` of them: the baseline timers' per-endpoint merges and the final
+``selectTopPaths`` reduction.  Internally a max-heap of size at most ``k``:
+an item worse than the current k-th best is rejected in ``O(1)``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Iterable, Iterator
+
+__all__ = ["TopK"]
+
+
+class TopK:
+    """Collect items keyed by a float, retaining only the ``k`` smallest.
+
+    Example::
+
+        top = TopK(2)
+        for key, item in [(3.0, "c"), (1.0, "a"), (2.0, "b")]:
+            top.offer(key, item)
+        assert [k for k, _ in top.sorted_items()] == [1.0, 2.0]
+    """
+
+    __slots__ = ("_capacity", "_heap", "_counter")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be non-negative, got {capacity}")
+        self._capacity = capacity
+        # Max-heap via negated keys; counter breaks ties without comparing
+        # payloads.
+        self._heap: list[tuple[float, int, Any]] = []
+        self._counter = itertools.count()
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def offer(self, key: float, item: Any = None) -> bool:
+        """Consider ``item``; returns True when it was retained."""
+        if self._capacity == 0:
+            return False
+        entry = (-key, next(self._counter), item)
+        if len(self._heap) < self._capacity:
+            heapq.heappush(self._heap, entry)
+            return True
+        if -key <= self._heap[0][0]:
+            return False
+        heapq.heapreplace(self._heap, entry)
+        return True
+
+    def offer_many(self, items: Iterable[tuple[float, Any]]) -> int:
+        """Offer each ``(key, item)`` pair; returns how many were retained."""
+        return sum(1 for key, item in items if self.offer(key, item))
+
+    def threshold(self) -> float:
+        """Current k-th best key, or ``+inf`` while not yet full.
+
+        Any future item with key >= threshold cannot enter the collection;
+        the branch-and-bound baseline uses this as its pruning bound.
+        """
+        if len(self._heap) < self._capacity:
+            return float("inf")
+        return -self._heap[0][0]
+
+    def would_accept(self, key: float) -> bool:
+        """True when an item with ``key`` would currently be retained."""
+        return self._capacity > 0 and (len(self._heap) < self._capacity
+                                       or key < -self._heap[0][0])
+
+    def sorted_items(self) -> list[tuple[float, Any]]:
+        """Return retained ``(key, item)`` pairs, ascending by key."""
+        return [(-neg, item)
+                for neg, _seq, item in sorted(self._heap, reverse=True)]
+
+    def __iter__(self) -> Iterator[tuple[float, Any]]:
+        return iter(self.sorted_items())

@@ -1,0 +1,260 @@
+"""A min-max heap: a double-ended priority queue in one array.
+
+The CPPR top-``k`` path generation (paper Algorithm 5) repeatedly pops the
+path with the *smallest* slack while pushing deviated paths back.  Because
+only ``k`` paths will ever be reported, any stored path that is worse than
+``k`` other stored paths can be discarded; doing so requires a fast
+*delete-max* next to the usual *delete-min*.  A min-max heap (Atkinson,
+Sack, Santoro and Strothotte, 1986) provides both in ``O(log n)`` with no
+auxiliary structures, which is what keeps the engine's live path set — and
+therefore its memory — bounded by ``O(k)`` per level.
+
+Entries are ``(key, payload)`` pairs ordered by ``key`` only; ties are broken
+by insertion order so payloads never need to be comparable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+__all__ = ["MinMaxHeap"]
+
+
+def _is_min_level(index: int) -> bool:
+    """Return True when heap slot ``index`` lies on a min (even) level."""
+    level = (index + 1).bit_length() - 1
+    return level % 2 == 0
+
+
+class MinMaxHeap:
+    """Double-ended priority queue keyed by a totally ordered ``key``.
+
+    Supports ``push``, ``pop_min``, ``pop_max``, ``peek_min``, ``peek_max``
+    in logarithmic time, plus :meth:`push_bounded` which maintains a fixed
+    capacity by evicting the current maximum.
+
+    Example::
+
+        heap = MinMaxHeap()
+        heap.push(3.0, "c")
+        heap.push(1.0, "a")
+        heap.push(2.0, "b")
+        assert heap.pop_min() == (1.0, "a")
+        assert heap.pop_max() == (3.0, "c")
+    """
+
+    __slots__ = ("_entries", "_counter")
+
+    def __init__(self, items: Iterable[tuple[float, Any]] = ()) -> None:
+        self._entries: list[tuple[float, int, Any]] = []
+        self._counter = 0
+        for key, payload in items:
+            self.push(key, payload)
+
+    # ------------------------------------------------------------------
+    # Basic container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    def __iter__(self) -> Iterator[tuple[float, Any]]:
+        """Iterate over ``(key, payload)`` pairs in arbitrary heap order."""
+        return ((key, payload) for key, _seq, payload in self._entries)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def peek_min(self) -> tuple[float, Any]:
+        """Return the smallest ``(key, payload)`` without removing it."""
+        if not self._entries:
+            raise IndexError("peek_min on empty MinMaxHeap")
+        key, _seq, payload = self._entries[0]
+        return key, payload
+
+    def peek_max(self) -> tuple[float, Any]:
+        """Return the largest ``(key, payload)`` without removing it."""
+        if not self._entries:
+            raise IndexError("peek_max on empty MinMaxHeap")
+        key, _seq, payload = self._entries[self._max_index()]
+        return key, payload
+
+    def min_key(self) -> float:
+        """Return the smallest key. Raises ``IndexError`` when empty."""
+        return self.peek_min()[0]
+
+    def max_key(self) -> float:
+        """Return the largest key. Raises ``IndexError`` when empty."""
+        return self.peek_max()[0]
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+    def push(self, key: float, payload: Any = None) -> None:
+        """Insert ``payload`` with priority ``key``."""
+        self._entries.append((key, self._counter, payload))
+        self._counter += 1
+        self._bubble_up(len(self._entries) - 1)
+
+    def push_bounded(self, key: float, payload: Any, capacity: int) -> bool:
+        """Insert while keeping at most ``capacity`` entries.
+
+        When the heap is full and ``key`` is not smaller than the current
+        maximum, the new entry is rejected; otherwise the maximum is evicted
+        to make room.  Returns ``True`` when the entry was stored.
+
+        This is the operation that bounds Algorithm 5's live path set: only
+        paths that can still rank among the best ``capacity`` slacks are
+        retained.
+        """
+        if capacity <= 0:
+            return False
+        if len(self._entries) < capacity:
+            self.push(key, payload)
+            return True
+        if key >= self.max_key():
+            return False
+        self.pop_max()
+        self.push(key, payload)
+        return True
+
+    def pop_min(self) -> tuple[float, Any]:
+        """Remove and return the smallest ``(key, payload)``."""
+        if not self._entries:
+            raise IndexError("pop_min on empty MinMaxHeap")
+        entry = self._entries[0]
+        self._remove_at(0)
+        return entry[0], entry[2]
+
+    def pop_max(self) -> tuple[float, Any]:
+        """Remove and return the largest ``(key, payload)``."""
+        if not self._entries:
+            raise IndexError("pop_max on empty MinMaxHeap")
+        index = self._max_index()
+        entry = self._entries[index]
+        self._remove_at(index)
+        return entry[0], entry[2]
+
+    def drain_sorted(self) -> list[tuple[float, Any]]:
+        """Remove everything, returning ``(key, payload)`` pairs ascending."""
+        result = []
+        while self._entries:
+            result.append(self.pop_min())
+        return result
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+    def _max_index(self) -> int:
+        n = len(self._entries)
+        if n == 1:
+            return 0
+        if n == 2:
+            return 1
+        return 1 if self._entries[1][:2] > self._entries[2][:2] else 2
+
+    def _remove_at(self, index: int) -> None:
+        last = self._entries.pop()
+        if index < len(self._entries):
+            self._entries[index] = last
+            self._trickle_down(index)
+
+    def _bubble_up(self, index: int) -> None:
+        if index == 0:
+            return
+        entries = self._entries
+        parent = (index - 1) // 2
+        if _is_min_level(index):
+            if entries[index][:2] > entries[parent][:2]:
+                entries[index], entries[parent] = entries[parent], entries[index]
+                self._bubble_up_grand(parent, is_min=False)
+            else:
+                self._bubble_up_grand(index, is_min=True)
+        else:
+            if entries[index][:2] < entries[parent][:2]:
+                entries[index], entries[parent] = entries[parent], entries[index]
+                self._bubble_up_grand(parent, is_min=True)
+            else:
+                self._bubble_up_grand(index, is_min=False)
+
+    def _bubble_up_grand(self, index: int, *, is_min: bool) -> None:
+        entries = self._entries
+        while index > 2:
+            grand = ((index - 1) // 2 - 1) // 2
+            if is_min:
+                if entries[index][:2] < entries[grand][:2]:
+                    entries[index], entries[grand] = entries[grand], entries[index]
+                    index = grand
+                else:
+                    break
+            else:
+                if entries[index][:2] > entries[grand][:2]:
+                    entries[index], entries[grand] = entries[grand], entries[index]
+                    index = grand
+                else:
+                    break
+
+    def _trickle_down(self, index: int) -> None:
+        if _is_min_level(index):
+            self._trickle_down_dir(index, is_min=True)
+        else:
+            self._trickle_down_dir(index, is_min=False)
+
+    def _descendants(self, index: int) -> list[int]:
+        n = len(self._entries)
+        children = [c for c in (2 * index + 1, 2 * index + 2) if c < n]
+        grand = []
+        for child in children:
+            grand.extend(
+                g for g in (2 * child + 1, 2 * child + 2) if g < n)
+        return children + grand
+
+    def _trickle_down_dir(self, index: int, *, is_min: bool) -> None:
+        entries = self._entries
+        while True:
+            descendants = self._descendants(index)
+            if not descendants:
+                return
+            if is_min:
+                best = min(descendants, key=lambda i: entries[i][:2])
+                if entries[best][:2] >= entries[index][:2]:
+                    return
+            else:
+                best = max(descendants, key=lambda i: entries[i][:2])
+                if entries[best][:2] <= entries[index][:2]:
+                    return
+            entries[index], entries[best] = entries[best], entries[index]
+            if best <= 2 * index + 2:
+                return  # Swapped with a direct child: done.
+            parent = (best - 1) // 2
+            if is_min:
+                if entries[best][:2] > entries[parent][:2]:
+                    entries[best], entries[parent] = (
+                        entries[parent], entries[best])
+            else:
+                if entries[best][:2] < entries[parent][:2]:
+                    entries[best], entries[parent] = (
+                        entries[parent], entries[best])
+            index = best
+
+    # ------------------------------------------------------------------
+    # Validation (used by the test suite)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Assert the min-max heap ordering property for every node.
+
+        Every node on a min level must be <= all its descendants and every
+        node on a max level must be >= all its descendants.  Intended for
+        tests; raises ``AssertionError`` on violation.
+        """
+        entries = self._entries
+        for index in range(len(entries)):
+            for descendant in self._descendants(index):
+                if _is_min_level(index):
+                    assert entries[index][:2] <= entries[descendant][:2], (
+                        f"min-level violation at {index} vs {descendant}")
+                else:
+                    assert entries[index][:2] >= entries[descendant][:2], (
+                        f"max-level violation at {index} vs {descendant}")

@@ -1,0 +1,89 @@
+"""Topological ordering of the pin-level timing DAG.
+
+Every arrival-time propagation in the paper (Algorithms 2, 3 and 4 all say
+"for circuit pin u in topological order") runs over a fixed topological
+order of the data graph.  The order is computed once per circuit and shared
+by every per-level pass, so the cost is amortized away.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["CycleError", "topological_order", "longest_path_levels"]
+
+
+class CycleError(ValueError):
+    """The graph contains a directed cycle; carries a sample cycle."""
+
+    def __init__(self, cycle: list[int]) -> None:
+        super().__init__(f"graph contains a cycle through nodes {cycle}")
+        self.cycle = cycle
+
+
+def topological_order(num_nodes: int,
+                      fanout: Sequence[Sequence[int]]) -> list[int]:
+    """Return a topological order of ``0..num_nodes-1`` (Kahn's algorithm).
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of nodes.
+    fanout:
+        ``fanout[u]`` lists the successors of ``u``.
+
+    Raises
+    ------
+    CycleError
+        When the graph has a directed cycle; the exception carries one
+        offending cycle to make netlist debugging possible.
+    """
+    indegree = [0] * num_nodes
+    for u in range(num_nodes):
+        for v in fanout[u]:
+            indegree[v] += 1
+    frontier = [u for u in range(num_nodes) if indegree[u] == 0]
+    order: list[int] = []
+    while frontier:
+        u = frontier.pop()
+        order.append(u)
+        for v in fanout[u]:
+            indegree[v] -= 1
+            if indegree[v] == 0:
+                frontier.append(v)
+    if len(order) != num_nodes:
+        raise CycleError(_find_cycle(num_nodes, fanout, indegree))
+    return order
+
+
+def _find_cycle(num_nodes: int, fanout: Sequence[Sequence[int]],
+                indegree: Sequence[int]) -> list[int]:
+    """Extract one cycle from the subgraph of nodes with indegree > 0."""
+    in_cycle_region = [indegree[u] > 0 for u in range(num_nodes)]
+    start = next(u for u in range(num_nodes) if in_cycle_region[u])
+    seen: dict[int, int] = {}
+    path: list[int] = []
+    u = start
+    while u not in seen:
+        seen[u] = len(path)
+        path.append(u)
+        u = next(v for v in fanout[u] if in_cycle_region[v])
+    return path[seen[u]:]
+
+
+def longest_path_levels(num_nodes: int,
+                        fanout: Sequence[Sequence[int]],
+                        order: Sequence[int] | None = None) -> list[int]:
+    """Assign each node its longest-path level from any source.
+
+    Levelization is used by the workload generator to report combinational
+    depth statistics and by the reports module to describe path topology.
+    """
+    if order is None:
+        order = topological_order(num_nodes, fanout)
+    levels = [0] * num_nodes
+    for u in order:
+        for v in fanout[u]:
+            if levels[u] + 1 > levels[v]:
+                levels[v] = levels[u] + 1
+    return levels

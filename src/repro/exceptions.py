@@ -1,0 +1,50 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` and friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class CircuitStructureError(ReproError):
+    """The circuit netlist or timing graph is structurally invalid.
+
+    Raised for problems such as combinational cycles, dangling FF pins,
+    clock-tree nodes with multiple parents, or edges referencing unknown
+    pins.
+    """
+
+
+class TimingConstraintError(ReproError):
+    """A timing constraint is missing, inconsistent, or out of range."""
+
+
+class AnalysisError(ReproError):
+    """A timing analysis step could not be completed.
+
+    Raised, for example, when path queries are issued before arrival times
+    have been propagated, or when a requested analysis mode is unknown.
+    """
+
+
+class FormatError(ReproError):
+    """A design file could not be parsed or serialized."""
+
+    def __init__(self, message: str, *, line: int | None = None,
+                 path: str | None = None) -> None:
+        location = ""
+        if path is not None:
+            location += str(path)
+        if line is not None:
+            location += f":{line}"
+        if location:
+            message = f"{location}: {message}"
+        super().__init__(message)
+        self.line = line
+        self.path = path

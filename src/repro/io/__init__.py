@@ -1,0 +1,24 @@
+"""Design file I/O.
+
+Designs round-trip through a neutral :class:`DesignDescription` (a
+nested-dict snapshot of the netlist) with two concrete formats:
+
+* :mod:`~repro.io.tau_format` — a line-oriented text format in the spirit
+  of the TAU contest inputs (``.cppr`` files), human-diffable.
+* :mod:`~repro.io.json_format` — the same description as JSON.
+"""
+
+from repro.io.design_io import DesignDescription, describe_design, \
+    reconstruct_design
+from repro.io.json_format import load_design_json, save_design_json
+from repro.io.tau_format import load_design, save_design
+
+__all__ = [
+    "DesignDescription",
+    "describe_design",
+    "load_design",
+    "load_design_json",
+    "reconstruct_design",
+    "save_design",
+    "save_design_json",
+]

@@ -1,0 +1,182 @@
+"""Format-neutral design snapshots.
+
+:func:`describe_design` turns an elaborated graph (one produced by this
+library's :class:`~repro.circuit.netlist.Netlist`, whose pin-naming
+conventions it relies on) plus constraints into a plain-data
+:class:`DesignDescription`; :func:`reconstruct_design` rebuilds an
+equivalent graph by replaying the description through a fresh netlist.
+Both file formats serialize this description, so round-trip fidelity is
+tested once, here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.circuit.graph import TimingGraph
+from repro.circuit.netlist import Netlist
+from repro.circuit.pins import PinKind
+from repro.exceptions import FormatError
+from repro.sta.constraints import TimingConstraints
+
+__all__ = ["DesignDescription", "describe_design", "reconstruct_design"]
+
+
+@dataclass(slots=True)
+class DesignDescription:
+    """Plain-data snapshot of a design; every field JSON-serializable."""
+
+    name: str = "design"
+    clock_period: float = 1.0
+    clock_root: str | None = None
+    clock_source_at: tuple[float, float] = (0.0, 0.0)
+    # (name, parent, early, late)
+    buffers: list[tuple[str, str, float, float]] = field(default_factory=list)
+    # (name, parent, early, late, t_setup, t_hold, c2q_early, c2q_late)
+    flipflops: list[tuple] = field(default_factory=list)
+    # (name, at_early, at_late)
+    inputs: list[tuple[str, float, float]] = field(default_factory=list)
+    # (name, rat_early | None, rat_late | None)
+    outputs: list[tuple[str, float | None, float | None]] = field(
+        default_factory=list)
+    # (name, [(early, late), ...])  -- one arc per input pin
+    gates: list[tuple[str, list[tuple[float, float]]]] = field(
+        default_factory=list)
+    # (driver, sink, early, late)
+    nets: list[tuple[str, str, float, float]] = field(default_factory=list)
+
+
+def describe_design(graph: TimingGraph,
+                    constraints: TimingConstraints) -> DesignDescription:
+    """Snapshot an elaborated design into plain data."""
+    desc = DesignDescription(name=graph.name,
+                             clock_period=constraints.clock_period)
+
+    tree = graph.clock_tree
+    if tree.names[0] != "__virtual_clock__":
+        desc.clock_root = tree.names[0]
+        desc.clock_source_at = tuple(tree.source_at)
+        for node in range(1, len(tree)):
+            if tree.ff_of_node[node] >= 0:
+                continue
+            desc.buffers.append((tree.names[node],
+                                 tree.names[tree.parent(node)],
+                                 tree.delays_early[node],
+                                 tree.delays_late[node]))
+
+    for ff in graph.ffs:
+        node = ff.tree_node
+        desc.flipflops.append((ff.name, tree.names[tree.parent(node)],
+                               tree.delays_early[node],
+                               tree.delays_late[node], ff.t_setup,
+                               ff.t_hold, ff.clk_to_q_early,
+                               ff.clk_to_q_late))
+
+    for pi in graph.primary_inputs:
+        desc.inputs.append((pi.name, pi.at_early, pi.at_late))
+    for po in graph.primary_outputs:
+        desc.outputs.append((po.name, po.rat_early, po.rat_late))
+
+    # Recover gates from pin naming: inputs "<cell>/A<i>", output
+    # "<cell>/Y"; each input pin's single edge to the output is the arc.
+    gate_inputs: dict[str, list[tuple[int, int]]] = {}
+    for pin in graph.pins:
+        if pin.kind is PinKind.GATE_INPUT:
+            try:
+                index = int(pin.name.rsplit("/A", 1)[1])
+            except (IndexError, ValueError):
+                raise FormatError(
+                    f"gate input pin {pin.name!r} does not follow the "
+                    f"'<cell>/A<i>' naming convention") from None
+            gate_inputs.setdefault(pin.cell, []).append((index, pin.index))
+    for cell, inputs in gate_inputs.items():
+        inputs.sort()
+        arcs = []
+        for _index, pin_id in inputs:
+            targets = graph.fanout[pin_id]
+            if len(targets) != 1:
+                raise FormatError(
+                    f"gate input {graph.pin_name(pin_id)!r} must drive "
+                    f"exactly its gate output, found {len(targets)} edges")
+            _target, early, late = targets[0]
+            arcs.append((early, late))
+        desc.gates.append((cell, arcs))
+    desc.gates.sort()
+
+    net_sources = (PinKind.PRIMARY_INPUT, PinKind.GATE_OUTPUT, PinKind.FF_Q)
+    for u in range(graph.num_pins):
+        if graph.pins[u].kind not in net_sources:
+            continue
+        for v, early, late in graph.fanout[u]:
+            desc.nets.append((graph.pin_name(u), graph.pin_name(v),
+                              early, late))
+    desc.nets.sort()
+    return desc
+
+
+def reconstruct_design(desc: DesignDescription
+                       ) -> tuple[TimingGraph, TimingConstraints]:
+    """Rebuild an elaborated design from a snapshot.
+
+    Raises :class:`FormatError` (wrapping the netlist's structural errors
+    when appropriate) for inconsistent descriptions.
+    """
+    netlist = Netlist(desc.name)
+    if desc.clock_root is not None:
+        netlist.set_clock_root(desc.clock_root,
+                               tuple(desc.clock_source_at))
+    for name, parent, early, late in desc.buffers:
+        netlist.add_clock_buffer(name, parent, early, late)
+    for name, at_early, at_late in desc.inputs:
+        netlist.add_primary_input(name, at_early, at_late)
+    for name, rat_early, rat_late in desc.outputs:
+        netlist.add_primary_output(name, rat_early, rat_late)
+    for (name, parent, early, late, t_setup, t_hold, c2q_early,
+         c2q_late) in desc.flipflops:
+        netlist.add_flipflop(name, t_setup, t_hold, (c2q_early, c2q_late))
+        netlist.connect_clock(name, parent, early, late)
+    for name, arcs in desc.gates:
+        netlist.add_gate(name, num_inputs=max(1, len(arcs)),
+                         arc_delays=list(arcs) or [(0.0, 0.0)])
+    for driver, sink, early, late in desc.nets:
+        netlist.connect(driver, sink, early, late)
+    graph = netlist.elaborate()
+    return graph, TimingConstraints(desc.clock_period)
+
+
+def description_to_dict(desc: DesignDescription) -> dict[str, Any]:
+    """Plain-dict form (used by the JSON format)."""
+    return {
+        "name": desc.name,
+        "clock_period": desc.clock_period,
+        "clock_root": desc.clock_root,
+        "clock_source_at": list(desc.clock_source_at),
+        "buffers": [list(b) for b in desc.buffers],
+        "flipflops": [list(f) for f in desc.flipflops],
+        "inputs": [list(i) for i in desc.inputs],
+        "outputs": [list(o) for o in desc.outputs],
+        "gates": [[name, [list(a) for a in arcs]]
+                  for name, arcs in desc.gates],
+        "nets": [list(n) for n in desc.nets],
+    }
+
+
+def description_from_dict(data: dict[str, Any]) -> DesignDescription:
+    """Inverse of :func:`description_to_dict`."""
+    try:
+        return DesignDescription(
+            name=data["name"],
+            clock_period=data["clock_period"],
+            clock_root=data["clock_root"],
+            clock_source_at=tuple(data["clock_source_at"]),
+            buffers=[tuple(b) for b in data["buffers"]],
+            flipflops=[tuple(f) for f in data["flipflops"]],
+            inputs=[tuple(i) for i in data["inputs"]],
+            outputs=[tuple(o) for o in data["outputs"]],
+            gates=[(name, [tuple(a) for a in arcs])
+                   for name, arcs in data["gates"]],
+            nets=[tuple(n) for n in data["nets"]],
+        )
+    except (KeyError, TypeError) as exc:
+        raise FormatError(f"malformed design description: {exc}") from exc

@@ -1,0 +1,85 @@
+"""Machine-readable path reports (JSON).
+
+The text reports in :mod:`repro.cppr.report` are for humans; harnesses
+and downstream tools want structured data.  :func:`paths_to_dicts`
+flattens :class:`~repro.cppr.types.TimingPath` objects into plain
+dictionaries with pin *names* (stable across runs, unlike ids), and
+:func:`save_paths_json` / :func:`load_paths_json` move them through
+files.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Iterable
+
+from repro.cppr.types import TimingPath
+from repro.exceptions import FormatError
+from repro.sta.timing import TimingAnalyzer
+
+__all__ = ["load_paths_json", "paths_to_dicts", "save_paths_json"]
+
+_FORMAT = "repro-cppr-paths"
+_VERSION = 1
+
+
+def paths_to_dicts(analyzer: TimingAnalyzer,
+                   paths: Iterable[TimingPath]) -> list[dict[str, Any]]:
+    """Flatten paths to JSON-ready dictionaries."""
+    graph = analyzer.graph
+    result = []
+    for rank, path in enumerate(paths, start=1):
+        result.append({
+            "rank": rank,
+            "mode": path.mode.value,
+            "family": path.family.value,
+            "slack": path.slack,
+            "credit": path.credit,
+            "pre_cppr_slack": path.pre_cppr_slack,
+            "pins": [graph.pin_name(p) for p in path.pins],
+            "launch_ff": (graph.ffs[path.launch_ff].name
+                          if path.launch_ff is not None else None),
+            "capture_ff": (graph.ffs[path.capture_ff].name
+                           if path.capture_ff is not None else None),
+            "level": path.level,
+        })
+    return result
+
+
+def save_paths_json(analyzer: TimingAnalyzer,
+                    paths: Iterable[TimingPath],
+                    path: str | os.PathLike) -> None:
+    """Write a path report as JSON."""
+    payload = {
+        "format": _FORMAT,
+        "version": _VERSION,
+        "design": analyzer.graph.name,
+        "clock_period": analyzer.constraints.clock_period,
+        "paths": paths_to_dicts(analyzer, paths),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1)
+
+
+def load_paths_json(path: str | os.PathLike) -> dict[str, Any]:
+    """Read a report written by :func:`save_paths_json`.
+
+    Returns the payload dictionary (reports reference a design by name,
+    not by content, so they load as plain data rather than
+    :class:`TimingPath` objects).
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise FormatError(f"invalid JSON: {exc}",
+                              path=str(path)) from exc
+    if (not isinstance(payload, dict)
+            or payload.get("format") != _FORMAT):
+        raise FormatError("not a repro CPPR path report", path=str(path))
+    if payload.get("version") != _VERSION:
+        raise FormatError(
+            f"unsupported report version {payload.get('version')!r}",
+            path=str(path))
+    return payload

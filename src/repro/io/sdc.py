@@ -1,0 +1,191 @@
+"""SDC constraint parser (the subset timing flows actually exchange).
+
+Supported commands::
+
+    create_clock -period 5.0 -name core_clk [get_ports clk]
+    set_input_delay  0.5 -clock core_clk [get_ports a]
+    set_input_delay  0.2 -min -clock core_clk [get_ports a]
+    set_output_delay 1.0 -clock core_clk [get_ports y]
+    set_output_delay 0.1 -min -clock core_clk [get_ports y]
+
+Semantics follow the usual convention:
+
+* ``set_input_delay D`` (max): the data arrives at the port ``D`` after
+  the clock edge — late arrival ``D`` (and early arrival ``D`` unless a
+  separate ``-min`` value is given).
+* ``set_output_delay D`` (max): downstream logic needs the data ``D``
+  before the *next* clock edge — ``rat_late = period - D``.
+  ``-min D`` sets the hold requirement ``rat_early = -D``.
+
+Unsupported commands raise :class:`~repro.exceptions.FormatError` rather
+than being silently ignored — a constraint file that does not mean what
+the timer thinks it means is worse than a parse error.
+"""
+
+from __future__ import annotations
+
+import re
+import shlex
+from dataclasses import dataclass, field
+
+from repro.exceptions import FormatError
+
+__all__ = ["SdcConstraints", "parse_sdc", "read_sdc"]
+
+_GET_PORTS_RE = re.compile(r"\[\s*get_ports\s+([A-Za-z0-9_$]+)\s*\]")
+
+
+@dataclass(slots=True)
+class _PortDelay:
+    max_value: float | None = None
+    min_value: float | None = None
+
+
+@dataclass(slots=True)
+class SdcConstraints:
+    """Parsed constraint set."""
+
+    clock_port: str | None = None
+    clock_name: str | None = None
+    clock_period: float | None = None
+    input_delays: dict[str, _PortDelay] = field(default_factory=dict)
+    output_delays: dict[str, _PortDelay] = field(default_factory=dict)
+
+    def input_arrival(self, port: str) -> tuple[float, float]:
+        """(early, late) arrival for an input port (0, 0 if unset)."""
+        delay = self.input_delays.get(port)
+        if delay is None:
+            return 0.0, 0.0
+        late = delay.max_value if delay.max_value is not None else 0.0
+        early = delay.min_value if delay.min_value is not None else late
+        return min(early, late), late
+
+    def output_required(self, port: str
+                        ) -> tuple[float | None, float | None]:
+        """(rat_early, rat_late) for an output port, ``None`` = unset."""
+        delay = self.output_delays.get(port)
+        if delay is None:
+            return None, None
+        rat_late = None
+        rat_early = None
+        if delay.max_value is not None:
+            if self.clock_period is None:
+                raise FormatError(
+                    f"set_output_delay on {port!r} needs create_clock "
+                    f"first")
+            rat_late = self.clock_period - delay.max_value
+        if delay.min_value is not None:
+            rat_early = -delay.min_value
+        return rat_early, rat_late
+
+
+def _extract_port(line: str, line_no: int, path: str | None) -> str:
+    match = _GET_PORTS_RE.search(line)
+    if not match:
+        raise FormatError("expected [get_ports NAME]",
+                          line=line_no, path=path)
+    return match.group(1)
+
+
+def _parse_delay_command(line: str, line_no: int,
+                         path: str | None) -> tuple[str, float, bool]:
+    """Returns (port, value, is_min) for set_input/output_delay."""
+    port = _extract_port(line, line_no, path)
+    stripped = _GET_PORTS_RE.sub("", line)
+    tokens = shlex.split(stripped)
+    value: float | None = None
+    is_min = False
+    i = 1
+    while i < len(tokens):
+        token = tokens[i]
+        if token == "-min":
+            is_min = True
+        elif token == "-max":
+            is_min = False
+        elif token == "-clock":
+            i += 1  # clock name (single clock designs: informational)
+            if i >= len(tokens):
+                raise FormatError("-clock needs a name",
+                                  line=line_no, path=path)
+        elif token.startswith("-"):
+            raise FormatError(f"unsupported option {token!r}",
+                              line=line_no, path=path)
+        else:
+            try:
+                value = float(token)
+            except ValueError:
+                raise FormatError(f"expected a delay value, got "
+                                  f"{token!r}", line=line_no,
+                                  path=path) from None
+        i += 1
+    if value is None:
+        raise FormatError("missing delay value", line=line_no, path=path)
+    return port, value, is_min
+
+
+def parse_sdc(text: str, path: str | None = None) -> SdcConstraints:
+    """Parse SDC commands from ``text``."""
+    constraints = SdcConstraints()
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        command = line.split()[0]
+
+        if command == "create_clock":
+            if constraints.clock_period is not None:
+                raise FormatError("multiple create_clock commands "
+                                  "(single-clock designs only)",
+                                  line=line_no, path=path)
+            constraints.clock_port = _extract_port(line, line_no, path)
+            tokens = shlex.split(_GET_PORTS_RE.sub("", line))
+            i = 1
+            while i < len(tokens):
+                if tokens[i] == "-period":
+                    i += 1
+                    try:
+                        constraints.clock_period = float(tokens[i])
+                    except (IndexError, ValueError):
+                        raise FormatError("-period needs a number",
+                                          line=line_no,
+                                          path=path) from None
+                elif tokens[i] == "-name":
+                    i += 1
+                    try:
+                        constraints.clock_name = tokens[i]
+                    except IndexError:
+                        raise FormatError("-name needs a value",
+                                          line=line_no,
+                                          path=path) from None
+                else:
+                    raise FormatError(
+                        f"unsupported option {tokens[i]!r}",
+                        line=line_no, path=path)
+                i += 1
+            if constraints.clock_period is None:
+                raise FormatError("create_clock needs -period",
+                                  line=line_no, path=path)
+            if constraints.clock_period <= 0:
+                raise FormatError("clock period must be positive",
+                                  line=line_no, path=path)
+        elif command in ("set_input_delay", "set_output_delay"):
+            port, value, is_min = _parse_delay_command(line, line_no,
+                                                       path)
+            table = (constraints.input_delays
+                     if command == "set_input_delay"
+                     else constraints.output_delays)
+            entry = table.setdefault(port, _PortDelay())
+            if is_min:
+                entry.min_value = value
+            else:
+                entry.max_value = value
+        else:
+            raise FormatError(f"unsupported SDC command {command!r}",
+                              line=line_no, path=path)
+    return constraints
+
+
+def read_sdc(path: str) -> SdcConstraints:
+    """Parse the SDC file at ``path``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_sdc(handle.read(), path=str(path))

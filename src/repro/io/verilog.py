@@ -1,0 +1,228 @@
+"""Structural Verilog parser (gate-level subset).
+
+Supports the post-synthesis structural subset EDA flows exchange::
+
+    // comments and /* block comments */
+    module top (a, b, clk, y);
+      input a, b, clk;
+      output y;
+      wire w1, w2;
+      NAND2_X1 u1 (.A0(a), .A1(b), .Y(w1));
+      DFF_X1   r1 (.CK(clk), .D(w1), .Q(w2));
+      BUF_X1   u2 (.A0(w2), .Y(y));
+    endmodule
+
+One module per file, named port connections only (positional connections
+are ambiguous without a full cell model and are rejected with a clear
+message).  The parser produces a neutral :class:`VerilogModule`; design
+construction against a cell library happens in :mod:`repro.io.flow`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.exceptions import FormatError
+
+__all__ = ["VerilogInstance", "VerilogModule", "parse_verilog",
+           "read_verilog", "save_verilog", "write_verilog"]
+
+_TOKEN_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_$]*|[().,;]")
+_COMMENT_RE = re.compile(r"//[^\n]*|/\*.*?\*/", re.DOTALL)
+
+
+@dataclass(slots=True)
+class VerilogInstance:
+    """One cell instantiation with named port connections."""
+
+    cell: str
+    name: str
+    connections: dict[str, str]  # port -> net
+
+
+@dataclass(slots=True)
+class VerilogModule:
+    """A parsed structural module."""
+
+    name: str
+    ports: list[str] = field(default_factory=list)
+    inputs: list[str] = field(default_factory=list)
+    outputs: list[str] = field(default_factory=list)
+    wires: list[str] = field(default_factory=list)
+    instances: list[VerilogInstance] = field(default_factory=list)
+
+    def nets(self) -> set[str]:
+        """Every declared net name (ports and wires)."""
+        return set(self.inputs) | set(self.outputs) | set(self.wires)
+
+
+class _Tokens:
+    """Token stream with line tracking for error messages."""
+
+    def __init__(self, text: str, path: str | None) -> None:
+        self.path = path
+        self._items: list[tuple[str, int]] = []
+        clean = _COMMENT_RE.sub(
+            lambda match: "\n" * match.group().count("\n"), text)
+        for line_no, line in enumerate(clean.splitlines(), start=1):
+            for match in _TOKEN_RE.finditer(line):
+                self._items.append((match.group(), line_no))
+            leftover = _TOKEN_RE.sub("", line).strip()
+            if leftover:
+                raise FormatError(
+                    f"unexpected characters {leftover!r}",
+                    line=line_no, path=path)
+        self._pos = 0
+
+    def peek(self) -> str | None:
+        if self._pos < len(self._items):
+            return self._items[self._pos][0]
+        return None
+
+    def line(self) -> int | None:
+        index = min(self._pos, len(self._items) - 1)
+        return self._items[index][1] if self._items else None
+
+    def next(self, expected: str | None = None) -> str:
+        if self._pos >= len(self._items):
+            raise FormatError("unexpected end of file",
+                              line=self.line(), path=self.path)
+        token, _line = self._items[self._pos]
+        self._pos += 1
+        if expected is not None and token != expected:
+            raise FormatError(f"expected {expected!r}, got {token!r}",
+                              line=self.line(), path=self.path)
+        return token
+
+    def next_identifier(self, what: str) -> str:
+        token = self.next()
+        if not re.fullmatch(r"[A-Za-z_][A-Za-z0-9_$]*", token):
+            raise FormatError(f"expected {what}, got {token!r}",
+                              line=self.line(), path=self.path)
+        return token
+
+
+def _parse_name_list(tokens: _Tokens, what: str) -> list[str]:
+    names = [tokens.next_identifier(what)]
+    while tokens.peek() == ",":
+        tokens.next(",")
+        names.append(tokens.next_identifier(what))
+    tokens.next(";")
+    return names
+
+
+def _parse_instance(tokens: _Tokens, cell: str) -> VerilogInstance:
+    name = tokens.next_identifier("instance name")
+    tokens.next("(")
+    connections: dict[str, str] = {}
+    if tokens.peek() != ")":
+        while True:
+            if tokens.peek() != ".":
+                raise FormatError(
+                    f"instance {name!r}: only named port connections "
+                    f"(.PORT(net)) are supported",
+                    line=tokens.line(), path=tokens.path)
+            tokens.next(".")
+            port = tokens.next_identifier("port name")
+            tokens.next("(")
+            net = tokens.next_identifier("net name")
+            tokens.next(")")
+            if port in connections:
+                raise FormatError(
+                    f"instance {name!r}: port {port!r} connected twice",
+                    line=tokens.line(), path=tokens.path)
+            connections[port] = net
+            if tokens.peek() == ",":
+                tokens.next(",")
+                continue
+            break
+    tokens.next(")")
+    tokens.next(";")
+    return VerilogInstance(cell=cell, name=name, connections=connections)
+
+
+def parse_verilog(text: str, path: str | None = None) -> VerilogModule:
+    """Parse one structural module from ``text``."""
+    tokens = _Tokens(text, path)
+    tokens.next("module")
+    module = VerilogModule(name=tokens.next_identifier("module name"))
+    tokens.next("(")
+    if tokens.peek() != ")":
+        module.ports.append(tokens.next_identifier("port name"))
+        while tokens.peek() == ",":
+            tokens.next(",")
+            module.ports.append(tokens.next_identifier("port name"))
+    tokens.next(")")
+    tokens.next(";")
+
+    seen: set[str] = set()
+    while True:
+        keyword = tokens.peek()
+        if keyword is None:
+            raise FormatError("missing 'endmodule'",
+                              line=tokens.line(), path=path)
+        if keyword == "endmodule":
+            tokens.next()
+            break
+        tokens.next()
+        if keyword == "input":
+            module.inputs.extend(_parse_name_list(tokens, "input name"))
+        elif keyword == "output":
+            module.outputs.extend(_parse_name_list(tokens, "output name"))
+        elif keyword == "wire":
+            module.wires.extend(_parse_name_list(tokens, "wire name"))
+        else:
+            module.instances.append(_parse_instance(tokens, keyword))
+
+    for instance in module.instances:
+        if instance.name in seen:
+            raise FormatError(
+                f"duplicate instance name {instance.name!r}", path=path)
+        seen.add(instance.name)
+
+    declared = module.nets()
+    for port in module.ports:
+        if port not in set(module.inputs) | set(module.outputs):
+            raise FormatError(
+                f"port {port!r} has no direction declaration", path=path)
+    for instance in module.instances:
+        for port, net in instance.connections.items():
+            if net not in declared:
+                raise FormatError(
+                    f"instance {instance.name!r} port {port!r} uses "
+                    f"undeclared net {net!r}", path=path)
+    return module
+
+
+def read_verilog(path: str) -> VerilogModule:
+    """Parse the structural module in file ``path``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_verilog(handle.read(), path=str(path))
+
+
+def write_verilog(module: VerilogModule) -> str:
+    """Emit a :class:`VerilogModule` back as structural Verilog text.
+
+    The inverse of :func:`parse_verilog` up to whitespace; round-trips
+    exactly through the parser.
+    """
+    lines = [f"module {module.name} ({', '.join(module.ports)});"]
+    if module.inputs:
+        lines.append(f"  input {', '.join(module.inputs)};")
+    if module.outputs:
+        lines.append(f"  output {', '.join(module.outputs)};")
+    if module.wires:
+        lines.append(f"  wire {', '.join(module.wires)};")
+    for instance in module.instances:
+        pins = ", ".join(f".{port}({net})"
+                         for port, net in instance.connections.items())
+        lines.append(f"  {instance.cell} {instance.name} ({pins});")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def save_verilog(module: VerilogModule, path: str) -> None:
+    """Write :func:`write_verilog` output to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(write_verilog(module))

@@ -1,0 +1,32 @@
+"""Standard-cell library modeling.
+
+Real designs are built from library cells whose logic function fixes the
+*unateness* of each timing arc (whether an input rise produces an output
+rise, fall, or both).  This package provides:
+
+* :class:`~repro.library.cells.LibraryCell` — a cell template with
+  per-arc, per-transition (early, late) delays and a
+  :class:`~repro.library.cells.CellFunction` that defines unateness;
+* :class:`~repro.library.cells.StandardCellLibrary` — a named collection
+  with lookup and validation;
+* :func:`~repro.library.standard.default_library` — a small generic
+  library (INV/BUF/NAND/NOR/AND/OR/XOR/XNOR/DFF at several drive
+  strengths) used by the examples, the rise/fall workload generator, and
+  the Verilog front-end tests.
+
+The rise/fall analysis layer (:mod:`repro.transitions`) consumes these
+cells; the single-transition core never needs them.
+"""
+
+from repro.library.cells import (CellFunction, FlipFlopCell, LibraryCell,
+                                 StandardCellLibrary, Unateness)
+from repro.library.standard import default_library
+
+__all__ = [
+    "CellFunction",
+    "FlipFlopCell",
+    "LibraryCell",
+    "StandardCellLibrary",
+    "Unateness",
+    "default_library",
+]

@@ -1,0 +1,185 @@
+"""Library cell templates with transition-aware timing arcs."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.exceptions import TimingConstraintError
+
+__all__ = ["CellFunction", "FlipFlopCell", "LibraryCell",
+           "StandardCellLibrary", "Unateness"]
+
+
+class Unateness(enum.Enum):
+    """How an input transition maps to output transitions."""
+
+    POSITIVE = "positive"   # input rise -> output rise
+    NEGATIVE = "negative"   # input rise -> output fall
+    NON_UNATE = "non_unate"  # input rise -> both output transitions
+
+
+class CellFunction(enum.Enum):
+    """Logic function of a combinational cell; fixes arc unateness."""
+
+    BUF = "buf"
+    INV = "inv"
+    AND = "and"
+    OR = "or"
+    NAND = "nand"
+    NOR = "nor"
+    XOR = "xor"
+    XNOR = "xnor"
+
+    @property
+    def unateness(self) -> Unateness:
+        if self in (CellFunction.BUF, CellFunction.AND, CellFunction.OR):
+            return Unateness.POSITIVE
+        if self in (CellFunction.INV, CellFunction.NAND, CellFunction.NOR):
+            return Unateness.NEGATIVE
+        return Unateness.NON_UNATE
+
+    @property
+    def min_inputs(self) -> int:
+        return 1 if self in (CellFunction.BUF, CellFunction.INV) else 2
+
+
+@dataclass(frozen=True, slots=True)
+class LibraryCell:
+    """A combinational cell template.
+
+    ``rise_delays[i]`` / ``fall_delays[i]`` are the (early, late) delays
+    of the arc from input ``i`` to an output *rise* / *fall*.  Inputs are
+    named ``A0..A{n-1}`` and the output ``Y`` when instantiated (matching
+    :class:`repro.circuit.cells.GateSpec`).
+    """
+
+    name: str
+    function: CellFunction
+    num_inputs: int
+    rise_delays: tuple[tuple[float, float], ...]
+    fall_delays: tuple[tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        if self.num_inputs < self.function.min_inputs:
+            raise TimingConstraintError(
+                f"cell {self.name!r}: {self.function.value} needs at "
+                f"least {self.function.min_inputs} inputs, got "
+                f"{self.num_inputs}")
+        for label, delays in (("rise", self.rise_delays),
+                              ("fall", self.fall_delays)):
+            if len(delays) != self.num_inputs:
+                raise TimingConstraintError(
+                    f"cell {self.name!r}: {label}_delays has "
+                    f"{len(delays)} entries for {self.num_inputs} inputs")
+            for early, late in delays:
+                if early > late:
+                    raise TimingConstraintError(
+                        f"cell {self.name!r}: {label} arc early delay "
+                        f"{early} exceeds late delay {late}")
+
+    @property
+    def unateness(self) -> Unateness:
+        return self.function.unateness
+
+    def arcs_to_output_rise(self) -> list[tuple[int, str,
+                                                tuple[float, float]]]:
+        """(input index, required input transition, delay) arcs that
+        produce an output *rise*."""
+        result = []
+        for i in range(self.num_inputs):
+            if self.unateness in (Unateness.POSITIVE, Unateness.NON_UNATE):
+                result.append((i, "r", self.rise_delays[i]))
+            if self.unateness in (Unateness.NEGATIVE, Unateness.NON_UNATE):
+                result.append((i, "f", self.rise_delays[i]))
+        return result
+
+    def arcs_to_output_fall(self) -> list[tuple[int, str,
+                                                tuple[float, float]]]:
+        """(input index, required input transition, delay) arcs that
+        produce an output *fall*."""
+        result = []
+        for i in range(self.num_inputs):
+            if self.unateness in (Unateness.POSITIVE, Unateness.NON_UNATE):
+                result.append((i, "f", self.fall_delays[i]))
+            if self.unateness in (Unateness.NEGATIVE, Unateness.NON_UNATE):
+                result.append((i, "r", self.fall_delays[i]))
+        return result
+
+
+@dataclass(frozen=True, slots=True)
+class FlipFlopCell:
+    """A sequential cell template (rising-edge DFF).
+
+    Setup/hold constraints and clock-to-Q delays may differ per data /
+    output transition, as they do in real libraries.
+    """
+
+    name: str
+    t_setup_rise: float = 0.0
+    t_setup_fall: float = 0.0
+    t_hold_rise: float = 0.0
+    t_hold_fall: float = 0.0
+    clk_to_q_rise: tuple[float, float] = (0.0, 0.0)
+    clk_to_q_fall: tuple[float, float] = (0.0, 0.0)
+
+    def __post_init__(self) -> None:
+        for label, (early, late) in (("rise", self.clk_to_q_rise),
+                                     ("fall", self.clk_to_q_fall)):
+            if early > late:
+                raise TimingConstraintError(
+                    f"cell {self.name!r}: clk->Q {label} early delay "
+                    f"{early} exceeds late delay {late}")
+
+
+class StandardCellLibrary:
+    """A named collection of combinational and sequential cells."""
+
+    def __init__(self, name: str = "library") -> None:
+        self.name = name
+        self._combinational: dict[str, LibraryCell] = {}
+        self._sequential: dict[str, FlipFlopCell] = {}
+
+    def add(self, cell: LibraryCell | FlipFlopCell) -> None:
+        """Register a cell; duplicate names are rejected."""
+        table = (self._combinational if isinstance(cell, LibraryCell)
+                 else self._sequential)
+        if cell.name in self._combinational or \
+                cell.name in self._sequential:
+            raise TimingConstraintError(
+                f"library {self.name!r} already has a cell "
+                f"{cell.name!r}")
+        table[cell.name] = cell
+
+    def cell(self, name: str) -> LibraryCell:
+        """Look up a combinational cell by name."""
+        try:
+            return self._combinational[name]
+        except KeyError:
+            raise KeyError(
+                f"library {self.name!r} has no combinational cell "
+                f"{name!r}; available: {sorted(self._combinational)}"
+                ) from None
+
+    def flip_flop(self, name: str) -> FlipFlopCell:
+        """Look up a sequential cell by name."""
+        try:
+            return self._sequential[name]
+        except KeyError:
+            raise KeyError(
+                f"library {self.name!r} has no flip-flop cell {name!r}; "
+                f"available: {sorted(self._sequential)}") from None
+
+    def is_flip_flop(self, name: str) -> bool:
+        return name in self._sequential
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._combinational or name in self._sequential
+
+    def __len__(self) -> int:
+        return len(self._combinational) + len(self._sequential)
+
+    def __iter__(self) -> Iterator[str]:
+        yield from self._combinational
+        yield from self._sequential

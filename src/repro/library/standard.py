@@ -1,0 +1,76 @@
+"""A small generic standard-cell library.
+
+Delays follow a simple, consistent model: each function has a base delay
+reflecting its stack complexity, rising outputs are slightly slower than
+falling ones (pull-up vs pull-down), higher drive strengths divide the
+delay, and the late bound exceeds the early bound by a fixed variation
+factor.  The absolute values are arbitrary but realistic in *shape* —
+what the analysis cares about.
+"""
+
+from __future__ import annotations
+
+from repro.library.cells import (CellFunction, FlipFlopCell, LibraryCell,
+                                 StandardCellLibrary)
+
+__all__ = ["default_library"]
+
+# function -> (input counts offered, base delay)
+_COMB_TEMPLATES: dict[CellFunction, tuple[tuple[int, ...], float]] = {
+    CellFunction.BUF: ((1,), 0.6),
+    CellFunction.INV: ((1,), 0.4),
+    CellFunction.NAND: ((2, 3, 4), 0.7),
+    CellFunction.NOR: ((2, 3, 4), 0.8),
+    CellFunction.AND: ((2, 3, 4), 1.0),
+    CellFunction.OR: ((2, 3, 4), 1.1),
+    CellFunction.XOR: ((2,), 1.4),
+    CellFunction.XNOR: ((2,), 1.5),
+}
+
+_RISE_FACTOR = 1.15   # pull-up networks are a bit slower
+_LATE_FACTOR = 1.35   # on-chip variation: late = early * factor
+_INPUT_PENALTY = 0.12  # each extra input adds stack delay
+
+
+def _arc_delays(base: float, num_inputs: int, drive: int,
+                rise: bool) -> tuple[tuple[float, float], ...]:
+    arcs = []
+    for i in range(num_inputs):
+        early = (base + _INPUT_PENALTY * i) / drive
+        if rise:
+            early *= _RISE_FACTOR
+        arcs.append((round(early, 6), round(early * _LATE_FACTOR, 6)))
+    return tuple(arcs)
+
+
+def default_library(drive_strengths: tuple[int, ...] = (1, 2, 4)
+                    ) -> StandardCellLibrary:
+    """Build the generic library (``INV_X1``, ``NAND2_X4``, ``DFF_X1``…).
+
+    Combinational cells are named ``{FUNC}{inputs}_X{drive}`` (input
+    count omitted for single-input cells); flip-flops ``DFF_X{drive}``.
+    """
+    library = StandardCellLibrary("generic")
+    for function, (input_counts, base) in _COMB_TEMPLATES.items():
+        for num_inputs in input_counts:
+            for drive in drive_strengths:
+                suffix = ("" if num_inputs == 1
+                          else str(num_inputs))
+                name = f"{function.value.upper()}{suffix}_X{drive}"
+                library.add(LibraryCell(
+                    name=name, function=function, num_inputs=num_inputs,
+                    rise_delays=_arc_delays(base, num_inputs, drive,
+                                            rise=True),
+                    fall_delays=_arc_delays(base, num_inputs, drive,
+                                            rise=False)))
+    for drive in drive_strengths:
+        c2q = 0.3 / drive
+        library.add(FlipFlopCell(
+            name=f"DFF_X{drive}",
+            t_setup_rise=0.08, t_setup_fall=0.10,
+            t_hold_rise=0.03, t_hold_fall=0.04,
+            clk_to_q_rise=(round(c2q * _RISE_FACTOR, 6),
+                           round(c2q * _RISE_FACTOR * _LATE_FACTOR, 6)),
+            clk_to_q_fall=(round(c2q, 6),
+                           round(c2q * _LATE_FACTOR, 6))))
+    return library

@@ -1,0 +1,27 @@
+"""Static timing analysis substrate.
+
+This package implements the conventional early/late STA machinery the
+paper builds on: arrival-time propagation, required times, pre-CPPR setup
+and hold slacks (paper Definition 1), and a :class:`TimingAnalyzer` facade
+that caches all of it per design.
+"""
+
+from repro.sta.arrival import ArrivalTimes, propagate_arrivals
+from repro.sta.constraints import TimingConstraints
+from repro.sta.modes import AnalysisMode
+from repro.sta.required import RequiredTimes, propagate_required
+from repro.sta.slack import EndpointSlack, endpoint_slacks, worst_slack
+from repro.sta.timing import TimingAnalyzer
+
+__all__ = [
+    "AnalysisMode",
+    "ArrivalTimes",
+    "EndpointSlack",
+    "RequiredTimes",
+    "TimingAnalyzer",
+    "TimingConstraints",
+    "endpoint_slacks",
+    "propagate_arrivals",
+    "propagate_required",
+    "worst_slack",
+]

@@ -1,0 +1,33 @@
+"""Design-level timing constraints.
+
+Per-cell constraints (setup/hold margins, clock-to-Q delays) live on the
+flip-flop records; per-port constraints live on the primary I/O records.
+What remains design-global — the clock period — lives here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import TimingConstraintError
+
+__all__ = ["TimingConstraints"]
+
+
+@dataclass(frozen=True, slots=True)
+class TimingConstraints:
+    """Global constraints for one analysis run.
+
+    Attributes
+    ----------
+    clock_period:
+        ``T_clk`` in the paper's Equation (1); the capture clock edge for a
+        setup check arrives one period after the launch edge.
+    """
+
+    clock_period: float
+
+    def __post_init__(self) -> None:
+        if self.clock_period <= 0:
+            raise TimingConstraintError(
+                f"clock period must be positive, got {self.clock_period}")

@@ -1,0 +1,95 @@
+"""Slack distribution summaries.
+
+Timing sign-off thinks in histograms: how many endpoints are violating,
+how many sit within a guard band of the worst, how long the tail is.
+These helpers power the workload documentation (the "slack wall"
+statistics in DESIGN.md) and give library users a quick design health
+check without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sta.modes import AnalysisMode
+from repro.sta.timing import TimingAnalyzer
+
+__all__ = ["SlackHistogram", "slack_histogram"]
+
+
+@dataclass(frozen=True, slots=True)
+class SlackHistogram:
+    """Binned endpoint slacks with summary statistics."""
+
+    mode: AnalysisMode
+    edges: tuple[float, ...]   # len == len(counts) + 1
+    counts: tuple[int, ...]
+    worst: float
+    best: float
+    num_violating: int
+    num_tested: int
+
+    def within(self, margin: float) -> int:
+        """How many tested endpoints lie within ``margin`` of the worst.
+
+        The paper's pruning-resistance metric: a large count means
+        endpoint-slack thresholds cannot skip much work.
+        """
+        if margin < 0:
+            raise ValueError("margin must be non-negative")
+        limit = self.worst + margin
+        total = 0
+        for index, count in enumerate(self.counts):
+            if self.edges[index] <= limit:
+                total += count
+        # Bin granularity over-counts; recompute exactly is impossible
+        # from bins alone, so expose this as the bin-resolution answer.
+        return total
+
+    def format(self, width: int = 40) -> str:
+        """A terminal-friendly ASCII rendering."""
+        peak = max(self.counts) if self.counts else 1
+        lines = [f"{self.mode.value} slack histogram "
+                 f"({self.num_tested} endpoints, "
+                 f"{self.num_violating} violating)"]
+        for index, count in enumerate(self.counts):
+            bar = "#" * max(1 if count else 0,
+                            round(width * count / peak) if peak else 0)
+            lines.append(f"[{self.edges[index]:+8.3f}, "
+                         f"{self.edges[index + 1]:+8.3f}) "
+                         f"{count:>5} {bar}")
+        return "\n".join(lines)
+
+
+def slack_histogram(analyzer: TimingAnalyzer, mode: AnalysisMode | str,
+                    bins: int = 10) -> SlackHistogram:
+    """Histogram the pre-CPPR endpoint slacks of a design.
+
+    Raises ``ValueError`` when the design has no tested endpoints.
+    """
+    if bins < 1:
+        raise ValueError(f"bins must be at least 1, got {bins}")
+    mode = AnalysisMode.coerce(mode)
+    values = sorted(s.slack for s in analyzer.endpoint_slacks(mode)
+                    if s.slack is not None)
+    if not values:
+        raise ValueError("design has no tested endpoints")
+
+    worst, best = values[0], values[-1]
+    span = best - worst
+    if span == 0.0:
+        edges = tuple([worst] + [best + 1e-9] * bins)
+        counts = [0] * bins
+        counts[0] = len(values)
+        return SlackHistogram(mode, edges, tuple(counts), worst, best,
+                              sum(1 for v in values if v < 0),
+                              len(values))
+
+    width = span / bins
+    edges = tuple(worst + i * width for i in range(bins + 1))
+    counts = [0] * bins
+    for value in values:
+        index = min(bins - 1, int((value - worst) / width))
+        counts[index] += 1
+    return SlackHistogram(mode, edges, tuple(counts), worst, best,
+                          sum(1 for v in values if v < 0), len(values))

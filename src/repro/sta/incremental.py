@@ -1,0 +1,115 @@
+"""Incremental delay updates (ECO-style what-if analysis).
+
+The TAU 2015 contest framing the paper cites is *incremental* timing:
+after an engineering change modifies a handful of net or arc delays, the
+timer re-answers queries without a full rebuild.  This library's
+analyzers are cheap to construct, so incrementality is expressed
+functionally: :func:`apply_delay_updates` derives a new
+:class:`~repro.circuit.graph.TimingGraph` that shares all untouched
+structure (pin table, flip-flop records, clock tree) with the original,
+rewriting only the adjacency rows whose delays changed.
+
+Clock-tree edges are part of the :class:`ClockTree`;
+:func:`apply_clock_updates` rebuilds that (small) object alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.clocktree import ClockTree
+from repro.circuit.graph import TimingGraph
+from repro.exceptions import AnalysisError
+
+__all__ = ["DelayUpdate", "apply_clock_updates", "apply_delay_updates"]
+
+
+@dataclass(frozen=True, slots=True)
+class DelayUpdate:
+    """New (early, late) delay for the data edge ``driver -> sink``.
+
+    Pins are given by name (``"u3/Y"``) or integer id.
+    """
+
+    driver: str | int
+    sink: str | int
+    early: float
+    late: float
+
+    def __post_init__(self) -> None:
+        if self.early > self.late:
+            raise AnalysisError(
+                f"delay update {self.driver!r} -> {self.sink!r}: early "
+                f"{self.early} exceeds late {self.late}")
+
+
+def _pin_id(graph: TimingGraph, pin: str | int) -> int:
+    if isinstance(pin, int):
+        if not 0 <= pin < graph.num_pins:
+            raise AnalysisError(f"pin id {pin} out of range")
+        return pin
+    try:
+        return graph.pin_index[pin]
+    except KeyError:
+        raise AnalysisError(f"unknown pin {pin!r}") from None
+
+
+def apply_delay_updates(graph: TimingGraph,
+                        updates: list[DelayUpdate]) -> TimingGraph:
+    """A new graph with the given data-edge delays replaced.
+
+    Untouched adjacency rows are shared with the original graph (which
+    is never mutated).  Raises :class:`AnalysisError` when an update
+    references a non-existent edge.
+    """
+    fanout = list(graph.fanout)
+    touched: set[int] = set()
+    for update in updates:
+        u = _pin_id(graph, update.driver)
+        v = _pin_id(graph, update.sink)
+        if u not in touched:
+            fanout[u] = list(fanout[u])
+            touched.add(u)
+        row = fanout[u]
+        for index, (target, _early, _late) in enumerate(row):
+            if target == v:
+                row[index] = (v, update.early, update.late)
+                break
+        else:
+            raise AnalysisError(
+                f"no data edge {graph.pin_name(u)!r} -> "
+                f"{graph.pin_name(v)!r} to update")
+    return TimingGraph(graph.name, graph.pins, fanout, graph.ffs,
+                       graph.primary_inputs, graph.primary_outputs,
+                       graph.clock_tree)
+
+
+def apply_clock_updates(graph: TimingGraph,
+                        updates: dict[str, tuple[float, float]]
+                        ) -> TimingGraph:
+    """A new graph whose clock tree has the given edge delays replaced.
+
+    ``updates`` maps a tree node *name* to the new (early, late) delay of
+    the edge from its parent.  Arrival times and credits are recomputed
+    by the new :class:`ClockTree`.
+    """
+    tree = graph.clock_tree
+    name_to_node = {name: node for node, name in enumerate(tree.names)}
+    delays_early = list(tree.delays_early)
+    delays_late = list(tree.delays_late)
+    for name, (early, late) in updates.items():
+        node = name_to_node.get(name)
+        if node is None:
+            raise AnalysisError(f"unknown clock node {name!r}")
+        if node == 0:
+            raise AnalysisError(
+                "the clock source has no incoming edge; update "
+                "source_at via the netlist instead")
+        delays_early[node] = early
+        delays_late[node] = late
+    new_tree = ClockTree(tree.names, tree.parents, delays_early,
+                         delays_late, tree.pin_ids, tree.ff_of_node,
+                         tree.source_at)
+    return TimingGraph(graph.name, graph.pins, graph.fanout, graph.ffs,
+                       graph.primary_inputs, graph.primary_outputs,
+                       new_tree)

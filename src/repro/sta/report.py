@@ -1,0 +1,46 @@
+"""Pre-CPPR endpoint report formatting.
+
+The CPPR path reports live in :mod:`repro.cppr.report`; this module
+formats the conventional block-based STA view: one line per timing test
+with its pre-CPPR slack, the classic "timing summary" designers read
+first.
+"""
+
+from __future__ import annotations
+
+from repro.sta.modes import AnalysisMode
+from repro.sta.timing import TimingAnalyzer
+
+__all__ = ["format_endpoint_report"]
+
+
+def format_endpoint_report(analyzer: TimingAnalyzer,
+                           mode: AnalysisMode | str,
+                           limit: int | None = 20) -> str:
+    """A pre-CPPR endpoint summary, most critical first.
+
+    ``limit`` bounds the number of rows (``None`` for all).  Untested
+    endpoints (no arrival or no requirement) are summarized in the
+    footer rather than listed.
+    """
+    mode = AnalysisMode.coerce(mode)
+    slacks = analyzer.endpoint_slacks(mode)
+    tested = sorted((s for s in slacks if s.slack is not None),
+                    key=lambda s: s.slack)
+    untested = len(slacks) - len(tested)
+    shown = tested if limit is None else tested[:limit]
+
+    title = (f"Pre-CPPR {mode.value} endpoint summary — "
+             f"{analyzer.graph.name}")
+    lines = [title, "=" * len(title),
+             f"{'endpoint':<24} {'kind':<8} {'slack':>10}"]
+    for endpoint in shown:
+        kind = "FF" if endpoint.ff_index is not None else "PO"
+        status = "  VIOLATED" if endpoint.slack < 0 else ""
+        lines.append(f"{endpoint.name:<24} {kind:<8} "
+                     f"{endpoint.slack:>+10.4f}{status}")
+    violated = sum(1 for s in tested if s.slack < 0)
+    lines.append("")
+    lines.append(f"{len(tested)} tested endpoints ({violated} violated), "
+                 f"{untested} untested; showing {len(shown)}")
+    return "\n".join(lines)

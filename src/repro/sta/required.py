@@ -1,0 +1,87 @@
+"""Required-arrival-time propagation (backward pass).
+
+Required times turn endpoint constraints into per-pin bounds: a setup test
+requires the late arrival at the endpoint to be no later than
+``at_early(capture clock) + T_clk - T_setup``; a hold test requires the
+early arrival to be no earlier than ``at_late(capture clock) + T_hold``.
+Propagating those limits backward yields per-pin pre-CPPR slacks, which
+the reports and the block-based baseline's pruning use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.graph import TimingGraph
+from repro.sta.constraints import TimingConstraints
+
+__all__ = ["RequiredTimes", "propagate_required"]
+
+_NEG_INF = float("-inf")
+_POS_INF = float("inf")
+
+
+@dataclass(slots=True)
+class RequiredTimes:
+    """Per-pin required times.
+
+    ``late[u]`` bounds the latest acceptable late arrival (setup);
+    ``early[u]`` bounds the earliest acceptable early arrival (hold).
+    Pins that reach no constrained endpoint hold the identities ``+inf``
+    and ``-inf`` respectively.
+    """
+
+    early: list[float]
+    late: list[float]
+
+    def late_at(self, pin: int) -> float | None:
+        value = self.late[pin]
+        return None if value == _POS_INF else value
+
+    def early_at(self, pin: int) -> float | None:
+        value = self.early[pin]
+        return None if value == _NEG_INF else value
+
+
+def propagate_required(graph: TimingGraph,
+                       constraints: TimingConstraints) -> RequiredTimes:
+    """Compute required times for every data pin of ``graph``.
+
+    Endpoint seeds follow the paper's Equation (1); primary outputs use
+    their annotated required times when present.  The backward pass takes
+    the tightest requirement across fanout:
+    ``rat_late(u) = min_v rat_late(v) - delay_late(u, v)`` and
+    ``rat_early(u) = max_v rat_early(v) - delay_early(u, v)``.
+    """
+    n = graph.num_pins
+    rat_early = [_NEG_INF] * n
+    rat_late = [_POS_INF] * n
+
+    tree = graph.clock_tree
+    for ff in graph.ffs:
+        capture_early = tree.at_early(ff.tree_node)
+        capture_late = tree.at_late(ff.tree_node)
+        rat_late[ff.d_pin] = min(
+            rat_late[ff.d_pin],
+            capture_early + constraints.clock_period - ff.t_setup)
+        rat_early[ff.d_pin] = max(rat_early[ff.d_pin],
+                                  capture_late + ff.t_hold)
+
+    for po in graph.primary_outputs:
+        if po.rat_late is not None:
+            rat_late[po.pin] = min(rat_late[po.pin], po.rat_late)
+        if po.rat_early is not None:
+            rat_early[po.pin] = max(rat_early[po.pin], po.rat_early)
+
+    for u in reversed(graph.topo_order):
+        for v, delay_early, delay_late in graph.fanout[u]:
+            if rat_late[v] != _POS_INF:
+                candidate = rat_late[v] - delay_late
+                if candidate < rat_late[u]:
+                    rat_late[u] = candidate
+            if rat_early[v] != _NEG_INF:
+                candidate = rat_early[v] - delay_early
+                if candidate > rat_early[u]:
+                    rat_early[u] = candidate
+
+    return RequiredTimes(rat_early, rat_late)

@@ -1,0 +1,100 @@
+"""Pre-CPPR slack computation (paper Definition 1).
+
+Slacks here are the conventional, pessimistic ones: the launch and capture
+clock paths are both worst-cased, which is exactly the pessimism CPPR
+later removes.  Positive slack means the test passes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.graph import TimingGraph
+from repro.sta.arrival import ArrivalTimes
+from repro.sta.constraints import TimingConstraints
+from repro.sta.modes import AnalysisMode
+from repro.sta.required import RequiredTimes
+
+__all__ = ["EndpointSlack", "endpoint_slacks", "pin_slack", "worst_slack"]
+
+
+@dataclass(frozen=True, slots=True)
+class EndpointSlack:
+    """Slack of one timing test.
+
+    ``ff_index`` is the capturing flip-flop, or ``None`` for a primary
+    output test.  ``slack`` is ``None`` when no arrival reaches the
+    endpoint (an untested endpoint, not a violation).
+    """
+
+    pin: int
+    name: str
+    ff_index: int | None
+    slack: float | None
+
+
+def endpoint_slacks(graph: TimingGraph, constraints: TimingConstraints,
+                    arrivals: ArrivalTimes,
+                    mode: AnalysisMode) -> list[EndpointSlack]:
+    """Pre-CPPR slack of every timing test in ``graph``.
+
+    For a flip-flop with clock pin ``o2`` and data pin ``d2``
+    (Equation (1)):
+
+    * setup: ``at_early(o2) + T_clk - T_setup - at_late(d2)``
+    * hold:  ``at_early(d2) - at_late(o2) - T_hold``
+
+    Primary outputs use their annotated required times.
+    """
+    tree = graph.clock_tree
+    results: list[EndpointSlack] = []
+    for ff in graph.ffs:
+        if not arrivals.is_reachable(ff.d_pin):
+            results.append(EndpointSlack(ff.d_pin, ff.name, ff.index, None))
+            continue
+        if mode.is_setup:
+            slack = (tree.at_early(ff.tree_node) + constraints.clock_period
+                     - ff.t_setup - arrivals.late[ff.d_pin])
+        else:
+            slack = (arrivals.early[ff.d_pin]
+                     - tree.at_late(ff.tree_node) - ff.t_hold)
+        results.append(EndpointSlack(ff.d_pin, ff.name, ff.index, slack))
+
+    for po in graph.primary_outputs:
+        rat = po.rat_late if mode.is_setup else po.rat_early
+        if rat is None or not arrivals.is_reachable(po.pin):
+            results.append(EndpointSlack(po.pin, po.name, None, None))
+            continue
+        if mode.is_setup:
+            slack = rat - arrivals.late[po.pin]
+        else:
+            slack = arrivals.early[po.pin] - rat
+        results.append(EndpointSlack(po.pin, po.name, None, slack))
+    return results
+
+
+def pin_slack(arrivals: ArrivalTimes, required: RequiredTimes,
+              mode: AnalysisMode, pin: int) -> float | None:
+    """Per-pin slack: required minus arrival in the mode's direction.
+
+    Returns ``None`` when the pin sees no arrival or no requirement.
+    """
+    if mode.is_setup:
+        rat = required.late_at(pin)
+        at = arrivals.late_at(pin)
+        if rat is None or at is None:
+            return None
+        return rat - at
+    rat = required.early_at(pin)
+    at = arrivals.early_at(pin)
+    if rat is None or at is None:
+        return None
+    return at - rat
+
+
+def worst_slack(slacks: list[EndpointSlack]) -> EndpointSlack | None:
+    """The most critical (smallest-slack) tested endpoint, if any."""
+    tested = [s for s in slacks if s.slack is not None]
+    if not tested:
+        return None
+    return min(tested, key=lambda s: s.slack)

@@ -1,0 +1,179 @@
+"""The :class:`TimingAnalyzer` facade.
+
+One object that owns a design's graph and constraints and lazily caches
+everything downstream code asks for: clock-tree arrivals, data arrivals,
+required times, endpoint slacks, and explicit path-slack evaluation
+(Equation (1) and Equation (2) of the paper).  The CPPR engine and every
+baseline timer take a ``TimingAnalyzer`` rather than raw graphs so that
+shared quantities are computed exactly once.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+from repro.circuit.graph import TimingGraph
+from repro.exceptions import AnalysisError
+from repro.sta.arrival import ArrivalTimes, propagate_arrivals
+from repro.sta.constraints import TimingConstraints
+from repro.sta.modes import AnalysisMode
+from repro.sta.required import RequiredTimes, propagate_required
+from repro.sta.slack import (EndpointSlack, endpoint_slacks, pin_slack,
+                             worst_slack)
+
+__all__ = ["TimingAnalyzer"]
+
+
+class TimingAnalyzer:
+    """Cached STA results for one (graph, constraints) pair."""
+
+    def __init__(self, graph: TimingGraph,
+                 constraints: TimingConstraints) -> None:
+        self.graph = graph
+        self.constraints = constraints
+        self._edge_delay_cache: dict[tuple[int, int], tuple[float, float]] | None = None
+
+    # ------------------------------------------------------------------
+    # Cached propagation results
+    # ------------------------------------------------------------------
+    @cached_property
+    def arrivals(self) -> ArrivalTimes:
+        """Early/late data arrivals (forward pass, computed once)."""
+        return propagate_arrivals(self.graph)
+
+    @cached_property
+    def required(self) -> RequiredTimes:
+        """Required times (backward pass, computed once)."""
+        return propagate_required(self.graph, self.constraints)
+
+    # ------------------------------------------------------------------
+    # Simple queries
+    # ------------------------------------------------------------------
+    @property
+    def clock_tree(self):
+        return self.graph.clock_tree
+
+    def endpoint_slacks(self, mode: AnalysisMode | str) -> list[EndpointSlack]:
+        """Pre-CPPR slack of every timing test (Definition 1)."""
+        mode = AnalysisMode.coerce(mode)
+        return endpoint_slacks(self.graph, self.constraints, self.arrivals,
+                               mode)
+
+    def worst_endpoint(self, mode: AnalysisMode | str) -> EndpointSlack | None:
+        """The most critical tested endpoint pre-CPPR."""
+        return worst_slack(self.endpoint_slacks(mode))
+
+    def slack_at_pin(self, pin: int, mode: AnalysisMode | str) -> float | None:
+        """Per-pin pre-CPPR slack (arrival vs required)."""
+        mode = AnalysisMode.coerce(mode)
+        return pin_slack(self.arrivals, self.required, mode, pin)
+
+    # ------------------------------------------------------------------
+    # Explicit path evaluation (the oracle used throughout the tests)
+    # ------------------------------------------------------------------
+    def _edge_delay(self, u: int, v: int) -> tuple[float, float]:
+        if self._edge_delay_cache is None:
+            cache: dict[tuple[int, int], tuple[float, float]] = {}
+            for src in range(self.graph.num_pins):
+                for dst, early, late in self.graph.fanout[src]:
+                    key = (src, dst)
+                    if key in cache:
+                        prior_early, prior_late = cache[key]
+                        cache[key] = (min(prior_early, early),
+                                      max(prior_late, late))
+                    else:
+                        cache[key] = (early, late)
+            self._edge_delay_cache = cache
+        try:
+            return self._edge_delay_cache[(u, v)]
+        except KeyError:
+            raise AnalysisError(
+                f"no data edge {self.graph.pin_name(u)!r} -> "
+                f"{self.graph.pin_name(v)!r}") from None
+
+    def path_delay(self, pins: list[int], mode: AnalysisMode | str) -> float:
+        """Sum of this mode's edge delays along an explicit pin sequence.
+
+        The sequence starts at a flip-flop Q pin or a primary input and
+        must follow existing data edges.  Launch clock-to-Q delay is *not*
+        included here; :meth:`path_pre_cppr_slack` adds it.
+        """
+        mode = AnalysisMode.coerce(mode)
+        total = 0.0
+        for u, v in zip(pins, pins[1:]):
+            early, late = self._edge_delay(u, v)
+            total += mode.edge_delay(early, late)
+        return total
+
+    def path_pre_cppr_slack(self, pins: list[int],
+                            mode: AnalysisMode | str) -> float:
+        """Pre-CPPR slack of an explicit data path (Equation (1)).
+
+        ``pins`` runs from the launch point (FF Q pin or primary input) to
+        the capture point (FF D pin or constrained primary output).
+        """
+        mode = AnalysisMode.coerce(mode)
+        graph = self.graph
+        tree = graph.clock_tree
+        delay = self.path_delay(pins, mode)
+
+        first, last = pins[0], pins[-1]
+        launch_ff = graph.ff_of_q_pin.get(first)
+        if launch_ff is not None:
+            ff = graph.ffs[launch_ff]
+            if mode.is_setup:
+                launch_at = (tree.at_late(ff.tree_node) + ff.clk_to_q_late)
+            else:
+                launch_at = (tree.at_early(ff.tree_node) + ff.clk_to_q_early)
+        else:
+            pi = next((p for p in graph.primary_inputs if p.pin == first),
+                      None)
+            if pi is None:
+                raise AnalysisError(
+                    f"path must start at a Q pin or primary input, got "
+                    f"{graph.pin_name(first)!r}")
+            launch_at = pi.at_late if mode.is_setup else pi.at_early
+
+        arrival = launch_at + delay
+
+        capture_ff = graph.ff_of_d_pin.get(last)
+        if capture_ff is not None:
+            ff = graph.ffs[capture_ff]
+            if mode.is_setup:
+                return (tree.at_early(ff.tree_node)
+                        + self.constraints.clock_period - ff.t_setup
+                        - arrival)
+            return arrival - tree.at_late(ff.tree_node) - ff.t_hold
+
+        po = next((p for p in graph.primary_outputs if p.pin == last), None)
+        if po is None:
+            raise AnalysisError(
+                f"path must end at a D pin or primary output, got "
+                f"{graph.pin_name(last)!r}")
+        rat = po.rat_late if mode.is_setup else po.rat_early
+        if rat is None:
+            raise AnalysisError(
+                f"primary output {po.name!r} has no "
+                f"{'setup' if mode.is_setup else 'hold'} requirement")
+        return rat - arrival if mode.is_setup else arrival - rat
+
+    def path_credit(self, pins: list[int]) -> float:
+        """CPPR credit of an explicit path (Definition 2).
+
+        The credit is the LCA credit for FF-to-FF paths and zero for paths
+        that launch from a primary input or capture at a primary output.
+        """
+        graph = self.graph
+        launch_ff = graph.ff_of_q_pin.get(pins[0])
+        capture_ff = graph.ff_of_d_pin.get(pins[-1])
+        if launch_ff is None or capture_ff is None:
+            return 0.0
+        tree = graph.clock_tree
+        return tree.pair_credit(graph.ffs[launch_ff].tree_node,
+                                graph.ffs[capture_ff].tree_node)
+
+    def path_post_cppr_slack(self, pins: list[int],
+                             mode: AnalysisMode | str) -> float:
+        """Post-CPPR slack of an explicit path (Equation (2))."""
+        return (self.path_pre_cppr_slack(pins, mode)
+                + self.path_credit(pins))

@@ -1,0 +1,37 @@
+"""Rise/fall transition analysis via graph expansion.
+
+Industrial STA distinguishes rising and falling signal transitions: a
+cell's logic function decides which input transition causes which output
+transition (*unateness*), and delays/constraints differ per transition.
+The paper's algorithms are transition-agnostic, and this layer keeps
+them that way: a :class:`~repro.transitions.netlist.RiseFallNetlist`
+describes the design at the cell level (using
+:mod:`repro.library` cells) and *expands* it into an ordinary
+:class:`~repro.circuit.graph.TimingGraph` with two pins per logical
+signal — one per transition — wired according to each cell's unateness.
+Every engine, baseline, query, and report then works unchanged, and all
+the correctness guarantees carry over verbatim.
+
+Expansion rules:
+
+* gate ``g`` becomes ``g@r`` / ``g@f`` (one per output transition), each
+  with one input slot per (input, required input transition) arc;
+* flip-flop ``x`` becomes ``x@r`` / ``x@f`` sharing a pseudo clock
+  buffer ``x@ck`` that carries the physical leaf's clock delays, so the
+  two expanded flip-flops' LCA is the physical clock pin and all CPPR
+  credits are preserved exactly (cross-transition feedback through the
+  same register gets the full self-loop credit);
+* primary inputs/outputs split into ``p@r`` / ``p@f``;
+* nets are non-inverting: they connect equal transitions.
+"""
+
+from repro.transitions.netlist import RiseFallDesign, RiseFallNetlist
+from repro.transitions.random_rf import (RandomRiseFallSpec,
+                                         random_rise_fall_design)
+
+__all__ = [
+    "RandomRiseFallSpec",
+    "RiseFallDesign",
+    "RiseFallNetlist",
+    "random_rise_fall_design",
+]

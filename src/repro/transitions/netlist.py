@@ -1,0 +1,261 @@
+"""The rise/fall netlist builder and its expansion to a timing graph."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.graph import TimingGraph
+from repro.circuit.netlist import Netlist
+from repro.exceptions import CircuitStructureError
+from repro.library.cells import FlipFlopCell, LibraryCell, \
+    StandardCellLibrary
+
+__all__ = ["RiseFallDesign", "RiseFallNetlist"]
+
+RISE = "r"
+FALL = "f"
+TRANSITIONS = (RISE, FALL)
+
+_TRANSITION_LABEL = {RISE: "rise", FALL: "fall"}
+
+
+def mangle(instance: str, transition: str) -> str:
+    """Expanded entity name for one transition of a logical instance."""
+    return f"{instance}@{transition}"
+
+
+def unmangle(name: str) -> tuple[str, str | None]:
+    """Split an expanded name into (logical instance, transition)."""
+    base, sep, transition = name.rpartition("@")
+    if sep and transition in TRANSITIONS + ("ck",):
+        return base, transition
+    return name, None
+
+
+@dataclass(slots=True)
+class _GateInstance:
+    cell: LibraryCell
+    # (input index, input transition) -> list of expanded input pin names
+    input_slots: dict[tuple[int, str], list[str]]
+
+
+class RiseFallDesign:
+    """An expanded design: the graph plus logical<->expanded naming."""
+
+    def __init__(self, graph: TimingGraph) -> None:
+        self.graph = graph
+
+    def pretty_pin(self, pin: int) -> str:
+        """Human-readable name: ``"u1/Y (rise)"``."""
+        name = self.graph.pin_name(pin)
+        instance, _, pin_part = name.partition("/")
+        base, transition = unmangle(instance)
+        if transition in TRANSITIONS:
+            label = _TRANSITION_LABEL[transition]
+            suffix = f"/{pin_part}" if pin_part else ""
+            return f"{base}{suffix} ({label})"
+        return name
+
+    def pretty_path(self, path) -> str:
+        """The pin trace of a :class:`TimingPath`, transition-annotated."""
+        return " -> ".join(self.pretty_pin(p) for p in path.pins)
+
+    def flip_flop_indices(self, instance: str) -> tuple[int, int]:
+        """(rise-capture FF index, fall-capture FF index) of a logical
+        flip-flop instance."""
+        rise = self.graph.ff_by_name(mangle(instance, RISE)).index
+        fall = self.graph.ff_by_name(mangle(instance, FALL)).index
+        return rise, fall
+
+
+class RiseFallNetlist:
+    """Cell-level builder; ``elaborate()`` expands to a plain graph.
+
+    Logical pin references use the un-expanded names: gate pins
+    ``"u1/A0"``/``"u1/Y"``, flip-flop pins ``"x/D"``/``"x/Q"``, and bare
+    port names — exactly like :class:`repro.circuit.netlist.Netlist`.
+    """
+
+    def __init__(self, name: str,
+                 library: StandardCellLibrary) -> None:
+        self.name = name
+        self.library = library
+        self._netlist = Netlist(name)
+        self._gates: dict[str, _GateInstance] = {}
+        self._ffs: dict[str, FlipFlopCell] = {}
+        self._inputs: set[str] = set()
+        self._outputs: set[str] = set()
+
+    # ------------------------------------------------------------------
+    # Clock tree (single-transition: rising-edge triggered design)
+    # ------------------------------------------------------------------
+    def set_clock_root(self, name: str,
+                       source_at: tuple[float, float] = (0.0, 0.0)) -> str:
+        return self._netlist.set_clock_root(name, source_at)
+
+    def add_clock_buffer(self, name: str, parent: str, delay_early: float,
+                         delay_late: float) -> str:
+        return self._netlist.add_clock_buffer(name, parent, delay_early,
+                                              delay_late)
+
+    def connect_clock(self, ff_instance: str, parent: str,
+                      delay_early: float, delay_late: float) -> None:
+        """Attach a flip-flop's physical clock pin below ``parent``.
+
+        Internally a pseudo buffer ``{ff}@ck`` carries the leaf's delays
+        and clocks both expanded flip-flops through zero-delay edges, so
+        their LCA — and hence every CPPR credit — is the physical clock
+        pin.
+        """
+        if ff_instance not in self._ffs:
+            raise CircuitStructureError(
+                f"connect_clock: unknown flip-flop {ff_instance!r}")
+        pseudo = mangle(ff_instance, "ck")
+        self._netlist.add_clock_buffer(pseudo, parent, delay_early,
+                                       delay_late)
+        for transition in TRANSITIONS:
+            self._netlist.connect_clock(mangle(ff_instance, transition),
+                                        pseudo, 0.0, 0.0)
+
+    # ------------------------------------------------------------------
+    # Instances and ports
+    # ------------------------------------------------------------------
+    def add_gate(self, instance: str, cell_name: str) -> None:
+        """Instantiate a combinational library cell by name."""
+        self.add_gate_cell(instance, self.library.cell(cell_name))
+
+    def add_gate_cell(self, instance: str, cell: LibraryCell) -> None:
+        """Instantiate a combinational cell from an explicit template.
+
+        Used by the delay calculator, which clones library cells with
+        per-instance computed delays.
+        """
+        input_slots: dict[tuple[int, str], list[str]] = {}
+
+        for out_transition, arcs in ((RISE, cell.arcs_to_output_rise()),
+                                     (FALL, cell.arcs_to_output_fall())):
+            expanded = mangle(instance, out_transition)
+            self._netlist.add_gate(expanded, num_inputs=len(arcs),
+                                   arc_delays=[delay for _i, _t, delay
+                                               in arcs])
+            for slot, (input_index, input_transition, _delay) in \
+                    enumerate(arcs):
+                input_slots.setdefault(
+                    (input_index, input_transition), []).append(
+                    f"{expanded}/A{slot}")
+        self._gates[instance] = _GateInstance(cell, input_slots)
+
+    def add_flipflop(self, instance: str, cell_name: str) -> None:
+        """Instantiate a sequential library cell by name."""
+        self.add_flipflop_cell(instance, self.library.flip_flop(cell_name))
+
+    def add_flipflop_cell(self, instance: str,
+                          cell: FlipFlopCell) -> None:
+        """Instantiate a sequential cell from an explicit template."""
+        self._ffs[instance] = cell
+        self._netlist.add_flipflop(mangle(instance, RISE),
+                                   t_setup=cell.t_setup_rise,
+                                   t_hold=cell.t_hold_rise,
+                                   clk_to_q=cell.clk_to_q_rise)
+        self._netlist.add_flipflop(mangle(instance, FALL),
+                                   t_setup=cell.t_setup_fall,
+                                   t_hold=cell.t_hold_fall,
+                                   clk_to_q=cell.clk_to_q_fall)
+
+    def add_primary_input(self, name: str,
+                          rise_at: tuple[float, float] = (0.0, 0.0),
+                          fall_at: tuple[float, float] = (0.0, 0.0)
+                          ) -> str:
+        self._inputs.add(name)
+        self._netlist.add_primary_input(mangle(name, RISE), *rise_at)
+        self._netlist.add_primary_input(mangle(name, FALL), *fall_at)
+        return name
+
+    def add_primary_output(self, name: str,
+                           rat_early: float | None = None,
+                           rat_late: float | None = None) -> str:
+        self._outputs.add(name)
+        for transition in TRANSITIONS:
+            self._netlist.add_primary_output(mangle(name, transition),
+                                             rat_early, rat_late)
+        return name
+
+    # ------------------------------------------------------------------
+    # Interconnect
+    # ------------------------------------------------------------------
+    def _driver_pins(self, driver: str) -> dict[str, str]:
+        """Expanded driver pin per transition for a logical driver."""
+        instance, _, pin = driver.partition("/")
+        if pin == "":
+            if instance not in self._inputs:
+                raise CircuitStructureError(
+                    f"unknown primary input {driver!r}")
+            return {t: mangle(instance, t) for t in TRANSITIONS}
+        if pin == "Q":
+            if instance not in self._ffs:
+                raise CircuitStructureError(
+                    f"unknown flip-flop {instance!r} in {driver!r}")
+            return {t: f"{mangle(instance, t)}/Q" for t in TRANSITIONS}
+        if pin == "Y":
+            if instance not in self._gates:
+                raise CircuitStructureError(
+                    f"unknown gate {instance!r} in {driver!r}")
+            return {t: f"{mangle(instance, t)}/Y" for t in TRANSITIONS}
+        raise CircuitStructureError(
+            f"{driver!r} is not a driver pin (expected a primary "
+            f"input, 'inst/Q', or 'inst/Y')")
+
+    def connect(self, driver: str, sink: str, delay_early: float = 0.0,
+                delay_late: float = 0.0) -> None:
+        """Connect a logical driver pin to a logical sink pin.
+
+        Nets are non-inverting: the driver's rise feeds every expanded
+        sink slot that wants a rising input, and likewise for fall.
+        """
+        drivers = self._driver_pins(driver)
+        instance, _, pin = sink.partition("/")
+
+        if pin == "D":
+            if instance not in self._ffs:
+                raise CircuitStructureError(
+                    f"unknown flip-flop {instance!r} in {sink!r}")
+            for transition in TRANSITIONS:
+                self._netlist.connect(drivers[transition],
+                                      f"{mangle(instance, transition)}/D",
+                                      delay_early, delay_late)
+            return
+        if pin == "" and instance in self._outputs:
+            for transition in TRANSITIONS:
+                self._netlist.connect(drivers[transition],
+                                      mangle(instance, transition),
+                                      delay_early, delay_late)
+            return
+        if pin.startswith("A"):
+            gate = self._gates.get(instance)
+            if gate is None:
+                raise CircuitStructureError(
+                    f"unknown gate {instance!r} in {sink!r}")
+            try:
+                input_index = int(pin[1:])
+            except ValueError:
+                raise CircuitStructureError(
+                    f"bad gate input pin {sink!r}") from None
+            if not 0 <= input_index < gate.cell.num_inputs:
+                raise CircuitStructureError(
+                    f"gate {instance!r} ({gate.cell.name}) has "
+                    f"{gate.cell.num_inputs} inputs; {sink!r} is out of "
+                    f"range")
+            for transition in TRANSITIONS:
+                for slot in gate.input_slots.get(
+                        (input_index, transition), []):
+                    self._netlist.connect(drivers[transition], slot,
+                                          delay_early, delay_late)
+            return
+        raise CircuitStructureError(
+            f"{sink!r} is not a sink pin (expected 'inst/A<i>', "
+            f"'inst/D', or a primary output)")
+
+    # ------------------------------------------------------------------
+    def elaborate(self) -> RiseFallDesign:
+        """Expand and elaborate into a :class:`RiseFallDesign`."""
+        return RiseFallDesign(self._netlist.elaborate())

@@ -1,0 +1,110 @@
+"""Random rise/fall designs built from standard-library cells.
+
+A layered generator in the spirit of
+:mod:`repro.workloads.random_circuit`, but at the cell level: each stage
+instantiates random library cells (mixing unateness classes) and wires
+them to the previous stage.  Used by the transitions test suite to
+stress the expansion against the exhaustive oracle, and by the
+``rise_fall`` example.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.library.cells import StandardCellLibrary
+from repro.library.standard import default_library
+from repro.transitions.netlist import RiseFallDesign, RiseFallNetlist
+
+__all__ = ["RandomRiseFallSpec", "random_rise_fall_design"]
+
+
+@dataclass(frozen=True, slots=True)
+class RandomRiseFallSpec:
+    """Parameters for :func:`random_rise_fall_design`."""
+
+    name: str = "rf_random"
+    seed: int = 0
+    num_ffs: int = 6
+    num_pis: int = 2
+    num_pos: int = 1
+    layers: int = 3
+    gates_per_layer: int = 4
+    clock_depth: int = 2
+    tree_delay: tuple[float, float] = (0.8, 1.3)
+    net_delay: tuple[float, float] = (0.05, 0.12)
+
+    def __post_init__(self) -> None:
+        if self.num_ffs < 1:
+            raise ValueError("num_ffs must be at least 1")
+        if self.layers < 1 or self.gates_per_layer < 1:
+            raise ValueError("need at least one layer and gate")
+
+
+def random_rise_fall_design(spec: RandomRiseFallSpec,
+                            library: StandardCellLibrary | None = None
+                            ) -> RiseFallDesign:
+    """Generate, wire, and expand one random rise/fall design."""
+    rng = random.Random(spec.seed)
+    library = library or default_library()
+    comb_cells = [name for name in library
+                  if not library.is_flip_flop(name)]
+    ff_cells = [name for name in library if library.is_flip_flop(name)]
+    netlist = RiseFallNetlist(spec.name, library)
+
+    netlist.set_clock_root("clk")
+    parents = ["clk"]
+    for level in range(1, spec.clock_depth):
+        new_parents = []
+        for i in range(min(2 ** level, max(2, spec.num_ffs // 2))):
+            name = f"cb{level}_{i}"
+            netlist.add_clock_buffer(
+                name, rng.choice(parents),
+                spec.tree_delay[0] * rng.uniform(0.9, 1.1),
+                spec.tree_delay[1] * rng.uniform(0.9, 1.1))
+            new_parents.append(name)
+        parents = new_parents
+
+    ff_names = []
+    for i in range(spec.num_ffs):
+        name = f"x{i}"
+        netlist.add_flipflop(name, rng.choice(ff_cells))
+        netlist.connect_clock(
+            name, rng.choice(parents),
+            spec.tree_delay[0] * rng.uniform(0.9, 1.1),
+            spec.tree_delay[1] * rng.uniform(0.9, 1.1))
+        ff_names.append(name)
+
+    pi_names = [netlist.add_primary_input(f"in{i}", (0.0, 0.1), (0.0, 0.1))
+                for i in range(spec.num_pis)]
+
+    def net_delay() -> tuple[float, float]:
+        early = spec.net_delay[0] * rng.uniform(0.5, 1.5)
+        return early, early + spec.net_delay[1] * rng.uniform(0.0, 1.0)
+
+    previous = [f"{name}/Q" for name in ff_names] + list(pi_names)
+    gate_index = 0
+    for _layer in range(spec.layers):
+        current = []
+        for _ in range(spec.gates_per_layer):
+            cell = library.cell(rng.choice(comb_cells))
+            instance = f"u{gate_index}"
+            gate_index += 1
+            netlist.add_gate(instance, cell.name)
+            for input_index in range(cell.num_inputs):
+                netlist.connect(rng.choice(previous),
+                                f"{instance}/A{input_index}",
+                                *net_delay())
+            current.append(f"{instance}/Y")
+        previous = current
+
+    for name in ff_names:
+        netlist.connect(rng.choice(previous), f"{name}/D", *net_delay())
+    for i in range(spec.num_pos):
+        po = netlist.add_primary_output(
+            f"out{i}", rat_early=0.0,
+            rat_late=4.0 * (spec.layers + 2))
+        netlist.connect(rng.choice(previous), po, *net_delay())
+
+    return netlist.elaborate()

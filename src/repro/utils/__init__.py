@@ -1,0 +1,7 @@
+"""Measurement and logging utilities used by benchmarks and examples."""
+
+from repro.utils.measure import (Measurement, measure_memory,
+                                 measure_runtime, measure_full)
+
+__all__ = ["Measurement", "measure_full", "measure_memory",
+           "measure_runtime"]

@@ -1,0 +1,77 @@
+"""Wall-clock and peak-memory measurement.
+
+Peak memory uses :mod:`tracemalloc`, the interpreter-level analogue of
+the RSS numbers in the paper's Table IV.  Tracing slows allocation-heavy
+code severalfold, so runtime and memory are measured by *separate* runs:
+``measure_runtime`` never enables tracing, ``measure_memory`` always
+does, and ``measure_full`` combines the two for harnesses that want both
+(at the cost of running the workload twice).
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from dataclasses import dataclass
+from typing import Any, Callable
+
+__all__ = ["Measurement", "measure_full", "measure_memory",
+           "measure_runtime"]
+
+
+@dataclass(frozen=True, slots=True)
+class Measurement:
+    """Result of measuring one callable.
+
+    ``seconds`` and/or ``peak_mib`` are ``None`` when that dimension was
+    not measured; ``value`` is the callable's return value (from the
+    runtime run when both were taken).
+    """
+
+    value: Any
+    seconds: float | None = None
+    peak_mib: float | None = None
+
+
+def measure_runtime(fn: Callable[[], Any],
+                    repeat: int = 1) -> Measurement:
+    """Run ``fn`` ``repeat`` times, reporting the fastest wall time."""
+    if repeat < 1:
+        raise ValueError(f"repeat must be at least 1, got {repeat}")
+    best = float("inf")
+    value = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        value = fn()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return Measurement(value=value, seconds=best)
+
+
+def measure_memory(fn: Callable[[], Any]) -> Measurement:
+    """Run ``fn`` once under tracemalloc, reporting peak heap in MiB.
+
+    If tracing was already active (e.g. nested measurement), the peak is
+    measured relative to the current traced size.
+    """
+    already_tracing = tracemalloc.is_tracing()
+    if not already_tracing:
+        tracemalloc.start()
+    baseline, _prior_peak = tracemalloc.get_traced_memory()
+    tracemalloc.reset_peak()
+    try:
+        value = fn()
+        _current, peak = tracemalloc.get_traced_memory()
+    finally:
+        if not already_tracing:
+            tracemalloc.stop()
+    return Measurement(value=value,
+                       peak_mib=max(0.0, (peak - baseline)) / (1024 * 1024))
+
+
+def measure_full(fn: Callable[[], Any], repeat: int = 1) -> Measurement:
+    """Measure runtime and peak memory with two independent runs."""
+    runtime = measure_runtime(fn, repeat=repeat)
+    memory = measure_memory(fn)
+    return Measurement(value=runtime.value, seconds=runtime.seconds,
+                       peak_mib=memory.peak_mib)

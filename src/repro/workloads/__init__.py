@@ -1,0 +1,29 @@
+"""Workload generation: synthetic designs with controlled statistics.
+
+The paper evaluates on TAU contest industrial designs that are not
+redistributable; this package synthesizes designs whose *shape* matches
+the paper's Table III — clock-tree depth ``D``, flip-flop count, the
+#FFs/D gap the speedup rests on, and the launch/capture "FF connectivity"
+that separates the pruning baselines — at laptop-friendly scale.
+
+* :mod:`~repro.workloads.random_circuit` — the parametric generator.
+* :mod:`~repro.workloads.suite` — the eight named, scaled benchmark
+  designs mirroring Table III.
+* :mod:`~repro.workloads.stats` — design statistics (Table III columns).
+"""
+
+from repro.workloads.random_circuit import RandomDesignSpec, random_design
+from repro.workloads.stats import DesignStats, design_statistics
+from repro.workloads.suite import (SUITE_SPECS, build_design, design_names,
+                                   suggest_clock_period)
+
+__all__ = [
+    "DesignStats",
+    "RandomDesignSpec",
+    "SUITE_SPECS",
+    "build_design",
+    "design_names",
+    "design_statistics",
+    "random_design",
+    "suggest_clock_period",
+]

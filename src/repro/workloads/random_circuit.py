@@ -1,0 +1,331 @@
+"""Parametric random design generator.
+
+Produces structurally valid sequential designs: a clock tree of a chosen
+depth, flip-flops hanging off its leaves, and a random combinational
+cloud between Q pins / primary inputs and D pins / primary outputs.
+
+Two structural modes:
+
+* **free-form** (``layers == 0``) — gates chain off a growing driver pool.
+  Cheap, irregular, good for randomized correctness testing.
+* **layered** (``layers > 0``) — gates form ``layers`` pipeline stages
+  split into ``channels`` mostly-independent columns, the way synthesized
+  datapaths look after timing optimization.  Every register-to-register
+  path crosses all stages, so path delays — and therefore slacks — are
+  tightly clustered ("slack wall").  This is the regime the paper's
+  industrial benchmarks live in, and the regime where slack-threshold
+  pruning heuristics stop working; the benchmark suite uses this mode.
+
+Knobs that matter for reproducing the paper's observations:
+
+* ``clock_depth`` — sets ``D``; the engine's work is ``O(nD)`` while the
+  pair-enumeration baselines pay ``O(n * #FF)``, so the ``#FFs / D`` ratio
+  is the speedup lever (Table III's fifth column).
+* ``channels`` (layered) / ``global_mix`` (free-form) — controls how many
+  capturing flip-flops each launching flip-flop reaches ("FF
+  connectivity", Table III's last column): few channels or high mixing
+  means wide cones.
+* ``delay_jitter`` — relative spread of random delays; small values
+  compress the slack distribution further.
+
+Generation is deterministic per (spec, seed).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.circuit.graph import TimingGraph
+from repro.circuit.netlist import Netlist
+
+__all__ = ["RandomDesignSpec", "random_design"]
+
+
+@dataclass(frozen=True, slots=True)
+class RandomDesignSpec:
+    """Parameters for :func:`random_design`; see module docstring."""
+
+    name: str = "random"
+    seed: int = 0
+    num_ffs: int = 50
+    num_gates: int = 200
+    num_pis: int = 4
+    num_pos: int = 4
+    clock_depth: int = 5
+    max_gate_inputs: int = 3
+    global_mix: float = 0.1
+    recent_window: int = 48
+    layers: int = 0
+    channels: int = 1
+    delay_mean: float = 1.0
+    delay_jitter: float = 1.0
+    late_spread: float = 0.5
+    tree_delay_mean: float = 1.0
+    tree_delay_jitter: float = 1.0
+    tree_late_spread: float = 0.25
+    t_setup_max: float = 0.5
+    t_hold_max: float = 0.2
+    depth_jitter: float = 0.1
+    source_latency: tuple[float, float] = (0.0, 0.0)
+
+    def __post_init__(self) -> None:
+        if self.num_ffs < 1:
+            raise ValueError("num_ffs must be at least 1")
+        if self.clock_depth < 1:
+            raise ValueError("clock_depth must be at least 1")
+        if not 0.0 <= self.global_mix <= 1.0:
+            raise ValueError("global_mix must be in [0, 1]")
+        if self.recent_window < 1:
+            raise ValueError("recent_window must be at least 1")
+        if self.max_gate_inputs < 1:
+            raise ValueError("max_gate_inputs must be at least 1")
+        if self.layers < 0:
+            raise ValueError("layers must be non-negative")
+        if self.channels < 1:
+            raise ValueError("channels must be at least 1")
+        if not 0.0 <= self.delay_jitter <= 1.0:
+            raise ValueError("delay_jitter must be in [0, 1]")
+        if not 0.0 <= self.tree_delay_jitter <= 1.0:
+            raise ValueError("tree_delay_jitter must be in [0, 1]")
+        if self.layers > 0 and self.num_gates < self.layers * self.channels:
+            raise ValueError(
+                "layered mode needs at least layers * channels gates")
+
+
+def _edge_delay(rng: random.Random, mean: float, spread: float,
+                jitter: float = 1.0) -> tuple[float, float]:
+    """A random (early, late) delay pair with late >= early > 0.
+
+    ``jitter`` scales the width of the early-delay distribution around
+    ``mean``; ``jitter=1`` spans 0.2x-1.8x, smaller values tighten it.
+    """
+    width = 0.8 * jitter
+    early = rng.uniform((1.0 - width) * mean, (1.0 + width) * mean)
+    late = early * (1.0 + rng.uniform(0.0, spread))
+    return early, late
+
+
+def _build_clock_tree(netlist: Netlist, spec: RandomDesignSpec,
+                      rng: random.Random, ff_names: list[str]) -> None:
+    """Attach all flip-flop clock pins below a tree of ~``clock_depth``.
+
+    The tree is built by recursively splitting the leaf set among child
+    buffers; ``depth_jitter`` occasionally attaches a group one level
+    early so leaf depths vary, as they do in real clock networks.
+    """
+    netlist.set_clock_root("clk", source_at=spec.source_latency)
+    branching = max(2, round(len(ff_names) ** (1.0 / spec.clock_depth)))
+    buffer_counter = [0]
+
+    def place(parent: str, depth_remaining: int, leaves: list[str]) -> None:
+        if not leaves:
+            return
+        # Jitter may attach *small* groups (at most two levels' worth of
+        # leaves) early so leaf depths vary; large groups always keep
+        # descending, so the tree reaches its target depth.
+        attach_now = (depth_remaining <= 1 or len(leaves) == 1
+                      or (len(leaves) <= branching * branching
+                          and rng.random() < spec.depth_jitter))
+        if attach_now:
+            for ff_name in leaves:
+                early, late = _edge_delay(rng, spec.tree_delay_mean,
+                                          spec.tree_late_spread,
+                                          spec.tree_delay_jitter)
+                netlist.connect_clock(ff_name, parent, early, late)
+            return
+        num_children = min(branching, len(leaves))
+        chunks: list[list[str]] = [[] for _ in range(num_children)]
+        for i, ff_name in enumerate(leaves):
+            chunks[i % num_children].append(ff_name)
+        for chunk in chunks:
+            buffer_counter[0] += 1
+            buffer_name = f"cbuf{buffer_counter[0]}"
+            early, late = _edge_delay(rng, spec.tree_delay_mean,
+                                      spec.tree_late_spread,
+                                      spec.tree_delay_jitter)
+            netlist.add_clock_buffer(buffer_name, parent, early, late)
+            place(buffer_name, depth_remaining - 1, chunk)
+
+    shuffled = list(ff_names)
+    rng.shuffle(shuffled)
+    place("clk", spec.clock_depth, shuffled)
+
+
+def _generate_freeform(netlist: Netlist, spec: RandomDesignSpec,
+                       rng: random.Random, pi_names: list[str],
+                       ff_names: list[str]) -> None:
+    """Pool-based irregular logic (the original test-oriented mode)."""
+    # Driver pool grows as gates are created.  Each input either follows
+    # the recent window (local, chain-forming) or jumps uniformly into the
+    # whole pool (global mixing -> high FF connectivity).
+    pool: list[str] = list(pi_names) + [f"{name}/Q" for name in ff_names]
+    rng.shuffle(pool)
+
+    def sample_drivers(count: int) -> list[str]:
+        drivers: list[str] = []
+        attempts = 0
+        while len(drivers) < count and attempts < 8 * count:
+            attempts += 1
+            if rng.random() < spec.global_mix:
+                choice = pool[rng.randrange(len(pool))]
+            else:
+                start = max(0, len(pool) - spec.recent_window)
+                choice = pool[rng.randrange(start, len(pool))]
+            if choice not in drivers:  # no parallel edges into one gate
+                drivers.append(choice)
+        if not drivers:  # pathological dedup failure on tiny pools
+            drivers.append(pool[-1])
+        return drivers
+
+    def sample_sink_driver() -> str:
+        # Flip-flop D pins and primary outputs tap *deep* logic (the last
+        # half of the pool) so endpoint cones reflect the design's mixing
+        # rather than an accidental shallow pick.
+        start = len(pool) // 2
+        return pool[rng.randrange(start, len(pool))]
+
+    for i in range(spec.num_gates):
+        num_inputs = rng.randint(1, spec.max_gate_inputs)
+        drivers = sample_drivers(num_inputs)
+        num_inputs = len(drivers)
+        arcs = [_edge_delay(rng, spec.delay_mean, spec.late_spread,
+                            spec.delay_jitter)
+                for _ in range(num_inputs)]
+        gate = netlist.add_gate(f"g{i}", num_inputs=num_inputs,
+                                arc_delays=arcs)
+        for input_index, driver in enumerate(drivers):
+            early, late = _edge_delay(rng, 0.2 * spec.delay_mean,
+                                      spec.late_spread, spec.delay_jitter)
+            netlist.connect(driver, gate.input_pin(input_index),
+                            early, late)
+        pool.append(gate.output_pin)
+
+    for name in ff_names:
+        driver = sample_sink_driver()
+        early, late = _edge_delay(rng, 0.2 * spec.delay_mean,
+                                  spec.late_spread, spec.delay_jitter)
+        netlist.connect(driver, f"{name}/D", early, late)
+
+    for i in range(spec.num_pos):
+        # Required times wide enough that output tests exist but rarely
+        # dominate; the engine's OUTPUT family is an extension anyway.
+        rat = spec.delay_mean * (spec.num_gates ** 0.5) * 4.0
+        po = netlist.add_primary_output(f"out{i}", rat_early=0.0,
+                                        rat_late=rat)
+        driver = sample_sink_driver()
+        early, late = _edge_delay(rng, 0.2 * spec.delay_mean,
+                                  spec.late_spread, spec.delay_jitter)
+        netlist.connect(driver, po, early, late)
+
+
+def _generate_layered(netlist: Netlist, spec: RandomDesignSpec,
+                      rng: random.Random, pi_names: list[str],
+                      ff_names: list[str]) -> None:
+    """Pipeline-stage logic with per-channel columns (suite mode).
+
+    Gates sit in ``layers`` stages x ``channels`` columns.  A gate's
+    inputs come from the previous stage of its own column, except that
+    with probability ``global_mix`` an input jumps to the previous stage
+    of a random *other* column (cross-channel mixing -> FF connectivity).
+    Every flip-flop D pin taps the final stage of its own column, so all
+    register-to-register paths cross all stages and path delays cluster.
+    """
+    channels = min(spec.channels, max(1, spec.num_ffs))
+    layers = spec.layers
+
+    # Stage-0 sources per channel: Q pins round-robin, PIs appended.
+    sources: list[list[str]] = [[] for _ in range(channels)]
+    for i, name in enumerate(ff_names):
+        sources[i % channels].append(f"{name}/Q")
+    for i, name in enumerate(pi_names):
+        sources[i % channels].append(name)
+
+    previous: list[list[str]] = sources
+    gate_index = 0
+    per_stage = max(1, spec.num_gates // (layers * channels))
+    for layer in range(layers):
+        current: list[list[str]] = [[] for _ in range(channels)]
+        for channel in range(channels):
+            for _ in range(per_stage):
+                # At least two inputs: realistic logic depth and enough
+                # reconvergence that stage arrival maxima concentrate
+                # (the post-optimization "slack wall").
+                num_inputs = rng.randint(min(2, spec.max_gate_inputs),
+                                         spec.max_gate_inputs)
+                drivers: list[str] = []
+                own = previous[channel]
+                for input_index in range(num_inputs):
+                    if channels > 1 and rng.random() < spec.global_mix:
+                        other = rng.randrange(channels)
+                        bank = previous[other] or own
+                    else:
+                        bank = own
+                    choice = bank[rng.randrange(len(bank))]
+                    if choice not in drivers:
+                        drivers.append(choice)
+                arcs = [_edge_delay(rng, spec.delay_mean, spec.late_spread,
+                                    spec.delay_jitter)
+                        for _ in range(len(drivers))]
+                gate = netlist.add_gate(f"g{gate_index}",
+                                        num_inputs=len(drivers),
+                                        arc_delays=arcs)
+                gate_index += 1
+                for input_index, driver in enumerate(drivers):
+                    early, late = _edge_delay(rng, 0.2 * spec.delay_mean,
+                                              spec.late_spread,
+                                              spec.delay_jitter)
+                    netlist.connect(driver, gate.input_pin(input_index),
+                                    early, late)
+                current[channel].append(gate.output_pin)
+        previous = current
+
+    for i, name in enumerate(ff_names):
+        bank = previous[i % channels]
+        driver = bank[rng.randrange(len(bank))]
+        early, late = _edge_delay(rng, 0.2 * spec.delay_mean,
+                                  spec.late_spread, spec.delay_jitter)
+        netlist.connect(driver, f"{name}/D", early, late)
+
+    for i in range(spec.num_pos):
+        # Generous bound: output ports are not the critical tests here
+        # (the paper's problem statement only times FF captures).
+        rat = spec.delay_mean * (layers + 4) * 3.0
+        po = netlist.add_primary_output(f"out{i}", rat_early=0.0,
+                                        rat_late=rat)
+        bank = previous[i % channels]
+        driver = bank[rng.randrange(len(bank))]
+        early, late = _edge_delay(rng, 0.2 * spec.delay_mean,
+                                  spec.late_spread, spec.delay_jitter)
+        netlist.connect(driver, po, early, late)
+
+
+def random_design(spec: RandomDesignSpec) -> TimingGraph:
+    """Generate and elaborate one random design."""
+    rng = random.Random(spec.seed)
+    netlist = Netlist(spec.name)
+
+    pi_names = [netlist.add_primary_input(
+        f"in{i}", 0.0, rng.uniform(0.0, spec.delay_mean))
+        for i in range(spec.num_pis)]
+
+    ff_names = []
+    for i in range(spec.num_ffs):
+        c2q_early, c2q_late = _edge_delay(rng, 0.3 * spec.delay_mean,
+                                          spec.late_spread,
+                                          spec.delay_jitter)
+        netlist.add_flipflop(
+            f"ff{i}",
+            t_setup=rng.uniform(0.0, spec.t_setup_max),
+            t_hold=rng.uniform(0.0, spec.t_hold_max),
+            clk_to_q=(c2q_early, c2q_late))
+        ff_names.append(f"ff{i}")
+
+    _build_clock_tree(netlist, spec, rng, ff_names)
+
+    if spec.layers > 0:
+        _generate_layered(netlist, spec, rng, pi_names, ff_names)
+    else:
+        _generate_freeform(netlist, spec, rng, pi_names, ff_names)
+
+    return netlist.elaborate()

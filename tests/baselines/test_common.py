@@ -1,0 +1,75 @@
+"""Tests for shared baseline helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.common import (build_timing_path, fanin_cone,
+                                    launchers_in_cone,
+                                    primary_inputs_in_cone)
+from repro.cppr.types import PathFamily
+from repro.sta.modes import AnalysisMode
+from tests.helpers import demo_analyzer
+
+
+@pytest.fixture()
+def analyzer():
+    return demo_analyzer()
+
+
+class TestFaninCone:
+    def test_cone_contains_endpoint(self, analyzer):
+        graph = analyzer.graph
+        d_pin = graph.ff_by_name("ff2").d_pin
+        assert d_pin in fanin_cone(graph, d_pin)
+
+    def test_cone_of_ff2_contains_both_launchers(self, analyzer):
+        graph = analyzer.graph
+        cone = fanin_cone(graph, graph.ff_by_name("ff2").d_pin)
+        launchers = {graph.ffs[i].name
+                     for i in launchers_in_cone(graph, cone)}
+        assert launchers == {"ff1", "ff3"}
+
+    def test_cone_of_ff1_contains_pi(self, analyzer):
+        graph = analyzer.graph
+        cone = fanin_cone(graph, graph.ff_by_name("ff1").d_pin)
+        assert primary_inputs_in_cone(graph, cone) == [0]
+
+    def test_source_pin_cone_is_itself(self, analyzer):
+        graph = analyzer.graph
+        q = graph.ff_by_name("ff1").q_pin
+        assert fanin_cone(graph, q) == {q}
+
+
+class TestBuildTimingPath:
+    def _pins(self, analyzer, names):
+        return tuple(analyzer.graph.pin(n).index for n in names)
+
+    def test_level_path_classification(self, analyzer):
+        pins = self._pins(analyzer, ["ff1/Q", "g1/A0", "g1/Y", "ff2/D"])
+        path = build_timing_path(analyzer, pins, AnalysisMode.SETUP)
+        assert path.family is PathFamily.LEVEL
+        assert path.level == 1
+        assert path.credit == pytest.approx(0.5)
+        assert path.slack == pytest.approx(
+            analyzer.path_post_cppr_slack(list(pins), "setup"))
+
+    def test_pi_path_classification(self, analyzer):
+        pins = self._pins(analyzer, ["in0", "g3/A0", "g3/Y", "ff1/D"])
+        path = build_timing_path(analyzer, pins, AnalysisMode.HOLD)
+        assert path.family is PathFamily.PRIMARY_INPUT
+        assert path.launch_ff is None
+        assert path.credit == 0.0
+
+    def test_output_path_classification(self, analyzer):
+        pins = self._pins(analyzer, ["ff1/Q", "g1/A0", "g1/Y", "g2/A0",
+                                     "g2/Y", "out0"])
+        path = build_timing_path(analyzer, pins, AnalysisMode.SETUP)
+        assert path.family is PathFamily.OUTPUT
+        assert path.capture_ff is None
+
+    def test_supplied_slack_is_trusted(self, analyzer):
+        pins = self._pins(analyzer, ["ff1/Q", "g1/A0", "g1/Y", "ff2/D"])
+        path = build_timing_path(analyzer, pins, AnalysisMode.SETUP,
+                                 post_cppr_slack=1.25)
+        assert path.slack == 1.25

@@ -1,0 +1,77 @@
+"""Tests for the exhaustive oracle itself (hand-checked on tiny designs)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ExhaustiveTimer, TimingAnalyzer
+from repro.cppr.types import PathFamily
+from repro.exceptions import AnalysisError
+from tests.helpers import demo_analyzer, two_ff_design
+
+
+class TestTwoFF:
+    def test_single_path_found(self):
+        graph, constraints = two_ff_design()
+        analyzer = TimingAnalyzer(graph, constraints)
+        paths = ExhaustiveTimer(analyzer).all_paths("setup")
+        assert len(paths) == 1
+        names = [graph.pin_name(p) for p in paths[0].pins]
+        assert names == ["ffa/Q", "g/A0", "g/Y", "ffb/D"]
+
+    def test_slack_matches_hand_computation(self):
+        graph, constraints = two_ff_design()
+        analyzer = TimingAnalyzer(graph, constraints)
+        path = ExhaustiveTimer(analyzer).all_paths("setup")[0]
+        # pre-CPPR = 2.7 (see STA tests); LCA is 'buf', credit 0.5.
+        assert path.slack == pytest.approx(2.7 + 0.5)
+        assert path.credit == pytest.approx(0.5)
+        assert path.family is PathFamily.LEVEL
+        assert path.level == 1
+
+    def test_hold_slack(self):
+        graph, constraints = two_ff_design()
+        analyzer = TimingAnalyzer(graph, constraints)
+        path = ExhaustiveTimer(analyzer).all_paths("hold")[0]
+        assert path.slack == pytest.approx(0.5 + 0.5)
+
+
+class TestDemo:
+    def test_families_classified(self):
+        analyzer = demo_analyzer()
+        paths = ExhaustiveTimer(analyzer).all_paths("setup")
+        families = {p.family for p in paths}
+        assert PathFamily.LEVEL in families
+        assert PathFamily.PRIMARY_INPUT in families
+
+    def test_paths_sorted_by_slack(self):
+        analyzer = demo_analyzer()
+        paths = ExhaustiveTimer(analyzer).all_paths("hold")
+        slacks = [p.slack for p in paths]
+        assert slacks == sorted(slacks)
+
+    def test_top_paths_is_prefix_of_all_paths(self):
+        analyzer = demo_analyzer()
+        timer = ExhaustiveTimer(analyzer)
+        all_paths = timer.all_paths("setup")
+        assert timer.top_paths(3, "setup") == all_paths[:3]
+
+    def test_k_zero_rejected(self):
+        with pytest.raises(AnalysisError):
+            ExhaustiveTimer(demo_analyzer()).top_paths(0, "setup")
+
+    def test_max_paths_guard(self):
+        analyzer = demo_analyzer()
+        with pytest.raises(AnalysisError, match="exceeded"):
+            ExhaustiveTimer(analyzer, max_paths=2).all_paths("setup")
+
+    def test_output_tests_excluded_by_default(self):
+        analyzer = demo_analyzer()
+        paths = ExhaustiveTimer(analyzer).all_paths("setup")
+        assert all(p.family is not PathFamily.OUTPUT for p in paths)
+
+    def test_output_tests_included_when_asked(self):
+        analyzer = demo_analyzer()
+        paths = ExhaustiveTimer(
+            analyzer, include_output_tests=True).all_paths("setup")
+        assert any(p.family is PathFamily.OUTPUT for p in paths)

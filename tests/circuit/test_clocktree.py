@@ -1,0 +1,118 @@
+"""Tests for the clock tree: arrivals, credits, depths, LCA queries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit.clocktree import ClockTree
+from repro.exceptions import CircuitStructureError
+from tests.helpers import demo_netlist
+
+
+def simple_tree() -> ClockTree:
+    """root -> (b1 -> leaf0, leaf1), (b2 -> leaf2)."""
+    return ClockTree(
+        names=["clk", "b1", "b2", "l0", "l1", "l2"],
+        parents=[-1, 0, 0, 1, 1, 2],
+        delays_early=[0.0, 1.0, 2.0, 0.5, 0.25, 0.5],
+        delays_late=[0.0, 1.5, 2.5, 0.75, 0.5, 1.0],
+        pin_ids=[100, 101, 102, 103, 104, 105],
+        ff_of_node=[-1, -1, -1, 0, 1, 2],
+    )
+
+
+class TestConstruction:
+    def test_lengths_must_match(self):
+        with pytest.raises(CircuitStructureError, match="inconsistent"):
+            ClockTree(["a"], [-1], [0.0], [0.0], [0], [-1, -1])
+
+    def test_empty_tree_rejected(self):
+        with pytest.raises(CircuitStructureError, match="source"):
+            ClockTree([], [], [], [], [], [])
+
+    def test_node_zero_must_be_root(self):
+        with pytest.raises(CircuitStructureError, match="root"):
+            ClockTree(["a", "b"], [1, -1], [0, 0], [0, 0], [0, 1],
+                      [-1, -1])
+
+    def test_second_root_rejected(self):
+        with pytest.raises(CircuitStructureError, match="two roots"):
+            ClockTree(["a", "b"], [-1, -1], [0, 0], [0, 0], [0, 1],
+                      [-1, -1])
+
+    def test_inverted_edge_delay_rejected(self):
+        with pytest.raises(CircuitStructureError, match="early delay"):
+            ClockTree(["a", "b"], [-1, 0], [0.0, 2.0], [0.0, 1.0],
+                      [0, 1], [-1, 0])
+
+    def test_inverted_source_at_rejected(self):
+        with pytest.raises(CircuitStructureError, match="source early"):
+            ClockTree(["a"], [-1], [0.0], [0.0], [0], [-1],
+                      source_at=(1.0, 0.5))
+
+
+class TestTiming:
+    def test_arrival_times_are_prefix_sums(self):
+        tree = simple_tree()
+        assert tree.at_early(0) == 0.0
+        assert tree.at_late(0) == 0.0
+        assert tree.at_early(3) == pytest.approx(1.5)
+        assert tree.at_late(3) == pytest.approx(2.25)
+        assert tree.at_early(5) == pytest.approx(2.5)
+        assert tree.at_late(5) == pytest.approx(3.5)
+
+    def test_credit_is_late_minus_early(self):
+        tree = simple_tree()
+        assert tree.credit(0) == 0.0
+        assert tree.credit(1) == pytest.approx(0.5)
+        assert tree.credit(3) == pytest.approx(0.75)
+
+    def test_credit_monotone_along_root_paths(self):
+        tree = simple_tree()
+        for node in range(len(tree)):
+            parent = tree.parent(node)
+            if parent != -1:
+                assert tree.credit(node) >= tree.credit(parent)
+
+    def test_source_latency_shifts_arrivals(self):
+        tree = ClockTree(["clk", "l"], [-1, 0], [0.0, 1.0], [0.0, 1.0],
+                         [0, 1], [-1, 0], source_at=(0.5, 0.7))
+        assert tree.at_early(1) == pytest.approx(1.5)
+        assert tree.at_late(1) == pytest.approx(1.7)
+        assert tree.credit(1) == pytest.approx(0.2)
+
+
+class TestQueries:
+    def test_num_levels_is_max_leaf_depth(self):
+        assert simple_tree().num_levels == 2
+
+    def test_leaves_are_ff_nodes(self):
+        assert simple_tree().leaves() == [3, 4, 5]
+
+    def test_node_of_pin_roundtrip(self):
+        tree = simple_tree()
+        for node, pin in enumerate(tree.pin_ids):
+            assert tree.node_of_pin(pin) == node
+        assert tree.is_clock_pin(103)
+        assert not tree.is_clock_pin(999)
+
+    def test_ancestor_at_depth_matches_f_d(self):
+        tree = simple_tree()
+        assert tree.ancestor_at_depth(3, 0) == 0
+        assert tree.ancestor_at_depth(3, 1) == 1
+        assert tree.ancestor_at_depth(3, 2) == 3
+
+    def test_lca_and_pair_credit(self):
+        tree = simple_tree()
+        assert tree.lca(3, 4) == 1
+        assert tree.lca(3, 5) == 0
+        assert tree.lca_depth(3, 4) == 1
+        assert tree.pair_credit(3, 4) == pytest.approx(0.5)
+        assert tree.pair_credit(3, 5) == 0.0
+        assert tree.pair_credit(3, 3) == pytest.approx(0.75)
+
+    def test_demo_tree_depths(self):
+        graph = demo_netlist().elaborate()
+        tree = graph.clock_tree
+        for ff in graph.ffs:
+            assert tree.depth(ff.tree_node) == 2

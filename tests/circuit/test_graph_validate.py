@@ -1,0 +1,97 @@
+"""Tests for the elaborated timing graph and the standalone validator."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.circuit.graph import TimingGraph
+from repro.circuit.validate import validate_graph
+from repro.exceptions import CircuitStructureError
+from tests.helpers import demo_netlist, random_small
+
+
+@pytest.fixture()
+def demo_graph() -> TimingGraph:
+    return demo_netlist().elaborate()
+
+
+class TestTimingGraph:
+    def test_fanin_mirrors_fanout(self, demo_graph):
+        for u in range(demo_graph.num_pins):
+            for v, early, late in demo_graph.fanout[u]:
+                assert (u, early, late) in demo_graph.fanin[v]
+
+    def test_num_edges_counts_data_edges(self, demo_graph):
+        total = sum(len(adj) for adj in demo_graph.fanout)
+        assert demo_graph.num_edges == total
+
+    def test_pin_lookup_by_name(self, demo_graph):
+        pin = demo_graph.pin("g1/Y")
+        assert demo_graph.pin_name(pin.index) == "g1/Y"
+
+    def test_unknown_pin_lookup_raises(self, demo_graph):
+        with pytest.raises(KeyError):
+            demo_graph.pin("nope")
+
+    def test_ff_by_name(self, demo_graph):
+        assert demo_graph.ff_by_name("ff2").name == "ff2"
+        with pytest.raises(KeyError):
+            demo_graph.ff_by_name("ff99")
+
+    def test_endpoints_list_d_pins_then_pos(self, demo_graph):
+        endpoints = demo_graph.endpoints()
+        assert endpoints[:4] == [ff.d_pin for ff in demo_graph.ffs]
+        assert endpoints[-1] == demo_graph.primary_outputs[0].pin
+
+    def test_topo_order_is_cached(self, demo_graph):
+        assert demo_graph.topo_order is demo_graph.topo_order
+
+    def test_is_clock_pin_flags(self, demo_graph):
+        assert demo_graph.is_clock_pin[demo_graph.pin("clk").index]
+        assert demo_graph.is_clock_pin[demo_graph.pin("ff1/CK").index]
+        assert not demo_graph.is_clock_pin[demo_graph.pin("ff1/D").index]
+
+    def test_describe_mentions_counts(self, demo_graph):
+        text = demo_graph.describe()
+        assert "4 FFs" in text and "D=2" in text
+
+    def test_bad_edge_target_rejected(self, demo_graph):
+        with pytest.raises(CircuitStructureError, match="unknown pin"):
+            TimingGraph("bad", demo_graph.pins,
+                        [[(10**6, 0.0, 0.0)]]
+                        + [[] for _ in range(demo_graph.num_pins - 1)],
+                        demo_graph.ffs, demo_graph.primary_inputs,
+                        demo_graph.primary_outputs, demo_graph.clock_tree)
+
+
+class TestValidate:
+    def test_demo_graph_is_valid(self, demo_graph):
+        validate_graph(demo_graph)
+
+    def test_corrupted_edge_delay_detected(self, demo_graph):
+        u = demo_graph.pin("g1/A0").index
+        v, _early, _late = demo_graph.fanout[u][0]
+        demo_graph.fanout[u][0] = (v, 5.0, 1.0)
+        with pytest.raises(CircuitStructureError, match="early"):
+            validate_graph(demo_graph)
+
+    def test_edge_from_clock_pin_detected(self, demo_graph):
+        ck = demo_graph.pin("ff1/CK").index
+        d = demo_graph.pin("ff1/D").index
+        demo_graph.fanout[ck].append((d, 0.0, 0.0))
+        with pytest.raises(CircuitStructureError, match="source"):
+            validate_graph(demo_graph)
+
+    def test_edge_into_pi_detected(self, demo_graph):
+        q = demo_graph.pin("ff1/Q").index
+        pi = demo_graph.pin("in0").index
+        demo_graph.fanout[q].append((pi, 0.0, 0.0))
+        with pytest.raises(CircuitStructureError, match="sink"):
+            validate_graph(demo_graph)
+
+
+@given(st.integers(min_value=0, max_value=500))
+def test_random_designs_validate(seed):
+    graph, _constraints = random_small(seed)
+    validate_graph(graph)

@@ -1,0 +1,205 @@
+"""Tests for the netlist builder and elaboration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit.netlist import Netlist
+from repro.circuit.pins import PinKind
+from repro.exceptions import CircuitStructureError
+from tests.helpers import demo_netlist
+
+
+class TestNaming:
+    def test_duplicate_names_rejected_across_kinds(self):
+        netlist = Netlist()
+        netlist.add_primary_input("x")
+        with pytest.raises(CircuitStructureError, match="already used"):
+            netlist.add_gate("x")
+
+    def test_slash_in_name_rejected(self):
+        with pytest.raises(CircuitStructureError, match="'/'"):
+            Netlist().add_gate("a/b")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(CircuitStructureError):
+            Netlist().add_primary_input("")
+
+
+class TestClockTreeBuilding:
+    def test_buffer_before_root_rejected(self):
+        netlist = Netlist()
+        with pytest.raises(CircuitStructureError, match="set_clock_root"):
+            netlist.add_clock_buffer("b", "clk", 0.0, 0.0)
+
+    def test_two_roots_rejected(self):
+        netlist = Netlist()
+        netlist.set_clock_root("clk")
+        with pytest.raises(CircuitStructureError, match="already set"):
+            netlist.set_clock_root("clk2")
+
+    def test_unknown_buffer_parent_rejected(self):
+        netlist = Netlist()
+        netlist.set_clock_root("clk")
+        with pytest.raises(CircuitStructureError, match="unknown parent"):
+            netlist.add_clock_buffer("b", "nope", 0.0, 0.0)
+
+    def test_connect_clock_unknown_ff_rejected(self):
+        netlist = Netlist()
+        netlist.set_clock_root("clk")
+        with pytest.raises(CircuitStructureError, match="unknown flip-flop"):
+            netlist.connect_clock("ff", "clk", 0.0, 0.0)
+
+    def test_double_clock_connection_rejected(self):
+        netlist = Netlist()
+        netlist.set_clock_root("clk")
+        netlist.add_flipflop("ff")
+        netlist.connect_clock("ff", "clk", 0.0, 0.0)
+        with pytest.raises(CircuitStructureError, match="already connected"):
+            netlist.connect_clock("ff", "clk", 0.0, 0.0)
+
+    def test_unconnected_ff_clock_fails_elaboration(self):
+        netlist = Netlist()
+        netlist.set_clock_root("clk")
+        netlist.add_flipflop("ff")
+        with pytest.raises(CircuitStructureError, match="no clock"):
+            netlist.elaborate()
+
+    def test_ff_without_clock_root_fails(self):
+        netlist = Netlist()
+        netlist.add_flipflop("ff")
+        with pytest.raises(CircuitStructureError, match="no clock root"):
+            netlist.elaborate()
+
+
+class TestConnections:
+    def test_inverted_net_delay_rejected(self):
+        netlist = Netlist()
+        with pytest.raises(CircuitStructureError, match="early delay"):
+            netlist.connect("a", "b", 2.0, 1.0)
+
+    def test_unknown_pin_rejected_at_elaboration(self):
+        netlist = Netlist()
+        netlist.add_primary_input("in0")
+        netlist.connect("in0", "nowhere/D")
+        with pytest.raises(CircuitStructureError, match="unknown pin"):
+            netlist.elaborate()
+
+    def test_driving_from_gate_input_rejected(self):
+        netlist = Netlist()
+        netlist.add_gate("g1")
+        netlist.add_gate("g2")
+        netlist.connect("g1/A0", "g2/A0")
+        with pytest.raises(CircuitStructureError, match="cannot drive"):
+            netlist.elaborate()
+
+    def test_sinking_into_q_pin_rejected(self):
+        netlist = Netlist()
+        netlist.set_clock_root("clk")
+        netlist.add_flipflop("ff")
+        netlist.connect_clock("ff", "clk", 0.0, 0.0)
+        netlist.add_primary_input("in0")
+        netlist.connect("in0", "ff/Q")
+        with pytest.raises(CircuitStructureError, match="net sink"):
+            netlist.elaborate()
+
+    def test_multiple_drivers_rejected(self):
+        netlist = Netlist()
+        netlist.add_primary_input("a")
+        netlist.add_primary_input("b")
+        netlist.add_gate("g")
+        netlist.connect("a", "g/A0")
+        netlist.connect("b", "g/A0")
+        with pytest.raises(CircuitStructureError, match="driven by both"):
+            netlist.elaborate()
+
+    def test_combinational_cycle_rejected(self):
+        netlist = Netlist()
+        netlist.add_gate("g1")
+        netlist.add_gate("g2")
+        netlist.connect("g1/Y", "g2/A0")
+        netlist.connect("g2/Y", "g1/A0")
+        with pytest.raises(CircuitStructureError, match="cycle"):
+            netlist.elaborate()
+
+
+class TestElaboration:
+    def test_demo_structure(self):
+        graph = demo_netlist().elaborate()
+        assert graph.num_ffs == 4
+        assert len(graph.primary_inputs) == 1
+        assert len(graph.primary_outputs) == 1
+        assert graph.clock_tree.num_levels == 2
+
+    def test_pin_kinds_assigned(self):
+        graph = demo_netlist().elaborate()
+        assert graph.pin("ff1/CK").kind is PinKind.FF_CK
+        assert graph.pin("ff1/D").kind is PinKind.FF_D
+        assert graph.pin("ff1/Q").kind is PinKind.FF_Q
+        assert graph.pin("g1/A0").kind is PinKind.GATE_INPUT
+        assert graph.pin("g1/Y").kind is PinKind.GATE_OUTPUT
+        assert graph.pin("in0").kind is PinKind.PRIMARY_INPUT
+        assert graph.pin("out0").kind is PinKind.PRIMARY_OUTPUT
+        assert graph.pin("clk").kind is PinKind.CLOCK_SOURCE
+        assert graph.pin("b1").kind is PinKind.CLOCK_BUFFER
+
+    def test_gate_arcs_become_edges(self):
+        graph = demo_netlist().elaborate()
+        a0 = graph.pin("g1/A0").index
+        y = graph.pin("g1/Y").index
+        arcs = [(v, e, l) for v, e, l in graph.fanout[a0]]
+        assert arcs == [(y, 1.0, 2.0)]
+
+    def test_ff_records_reference_tree_leaves(self):
+        graph = demo_netlist().elaborate()
+        for ff in graph.ffs:
+            assert graph.clock_tree.ff_of_node[ff.tree_node] == ff.index
+            assert graph.clock_tree.pin_ids[ff.tree_node] == ff.ck_pin
+
+    def test_clockless_design_elaborates(self):
+        netlist = Netlist("comb")
+        netlist.add_primary_input("a")
+        netlist.add_primary_output("y", rat_late=5.0)
+        netlist.add_gate("g", 1, [(1.0, 2.0)])
+        netlist.connect("a", "g/A0")
+        netlist.connect("g/Y", "y")
+        graph = netlist.elaborate()
+        assert graph.num_ffs == 0
+        assert graph.clock_tree.num_levels == 0
+
+    def test_primary_input_inverted_arrival_rejected(self):
+        with pytest.raises(CircuitStructureError, match="early arrival"):
+            Netlist().add_primary_input("a", at_early=2.0, at_late=1.0)
+
+
+class TestFiniteDelays:
+    def test_nan_net_delay_rejected(self):
+        netlist = Netlist()
+        with pytest.raises(CircuitStructureError, match="finite"):
+            netlist.connect("a", "b", float("nan"), float("nan"))
+
+    def test_infinite_net_delay_rejected(self):
+        netlist = Netlist()
+        with pytest.raises(CircuitStructureError, match="finite"):
+            netlist.connect("a", "b", 0.0, float("inf"))
+
+    def test_nan_gate_arc_rejected(self):
+        from repro.exceptions import TimingConstraintError
+        netlist = Netlist()
+        with pytest.raises(TimingConstraintError, match="finite"):
+            netlist.add_gate("g", 1, [(float("nan"), 1.0)])
+
+    def test_nan_flipflop_constraint_rejected(self):
+        from repro.exceptions import TimingConstraintError
+        netlist = Netlist()
+        with pytest.raises(TimingConstraintError, match="finite"):
+            netlist.add_flipflop("f", t_setup=float("nan"))
+
+    def test_nan_clock_edge_rejected(self):
+        netlist = Netlist()
+        netlist.set_clock_root("clk")
+        netlist.add_clock_buffer("b", "clk", float("nan"), float("nan"))
+        netlist.add_flipflop("f")
+        netlist.connect_clock("f", "b", 0.0, 0.0)
+        with pytest.raises(CircuitStructureError, match="finite"):
+            netlist.elaborate()

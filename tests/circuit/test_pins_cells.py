@@ -1,0 +1,83 @@
+"""Tests for pin identities and cell specifications."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit.cells import FlipFlopSpec, GateSpec
+from repro.circuit.pins import Pin, PinKind
+from repro.exceptions import TimingConstraintError
+
+
+class TestPinKind:
+    def test_clock_kinds(self):
+        assert PinKind.FF_CK.is_clock
+        assert PinKind.CLOCK_SOURCE.is_clock
+        assert PinKind.CLOCK_BUFFER.is_clock
+
+    def test_data_kinds_are_not_clock(self):
+        for kind in (PinKind.PRIMARY_INPUT, PinKind.PRIMARY_OUTPUT,
+                     PinKind.GATE_INPUT, PinKind.GATE_OUTPUT,
+                     PinKind.FF_D, PinKind.FF_Q):
+            assert not kind.is_clock
+
+    def test_endpoint_kinds(self):
+        assert PinKind.FF_D.is_data_endpoint
+        assert PinKind.PRIMARY_OUTPUT.is_data_endpoint
+        assert not PinKind.FF_Q.is_data_endpoint
+
+    def test_pin_is_frozen(self):
+        pin = Pin(0, "a", PinKind.FF_D)
+        with pytest.raises(AttributeError):
+            pin.name = "b"
+
+    def test_pin_str_is_name(self):
+        assert str(Pin(3, "u1/Y", PinKind.GATE_OUTPUT, "u1")) == "u1/Y"
+
+
+class TestFlipFlopSpec:
+    def test_pin_names(self):
+        ff = FlipFlopSpec("reg")
+        assert ff.ck_pin == "reg/CK"
+        assert ff.d_pin == "reg/D"
+        assert ff.q_pin == "reg/Q"
+
+    def test_inverted_clk_to_q_rejected(self):
+        with pytest.raises(TimingConstraintError):
+            FlipFlopSpec("reg", clk_to_q_early=1.0, clk_to_q_late=0.5)
+
+    def test_defaults_are_zero(self):
+        ff = FlipFlopSpec("reg")
+        assert ff.t_setup == 0.0 and ff.t_hold == 0.0
+
+
+class TestGateSpec:
+    def test_pin_names(self):
+        gate = GateSpec("u1", num_inputs=2)
+        assert gate.output_pin == "u1/Y"
+        assert gate.input_pin(0) == "u1/A0"
+        assert gate.input_pin(1) == "u1/A1"
+
+    def test_input_pin_out_of_range(self):
+        gate = GateSpec("u1", num_inputs=2)
+        with pytest.raises(IndexError):
+            gate.input_pin(2)
+
+    def test_arc_delay_repeats_last_entry(self):
+        gate = GateSpec("u1", num_inputs=3,
+                        arc_delays=[(1.0, 2.0), (3.0, 4.0)])
+        assert gate.arc_delay(0) == (1.0, 2.0)
+        assert gate.arc_delay(1) == (3.0, 4.0)
+        assert gate.arc_delay(2) == (3.0, 4.0)
+
+    def test_zero_inputs_rejected(self):
+        with pytest.raises(TimingConstraintError):
+            GateSpec("u1", num_inputs=0)
+
+    def test_empty_arcs_rejected(self):
+        with pytest.raises(TimingConstraintError):
+            GateSpec("u1", num_inputs=1, arc_delays=[])
+
+    def test_inverted_arc_rejected(self):
+        with pytest.raises(TimingConstraintError):
+            GateSpec("u1", num_inputs=1, arc_delays=[(2.0, 1.0)])

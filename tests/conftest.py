@@ -1,0 +1,19 @@
+"""Pytest configuration: hypothesis profiles shared by the whole suite."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "default",
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "thorough",
+    max_examples=200,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("default")

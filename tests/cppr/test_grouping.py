@@ -1,0 +1,94 @@
+"""Tests for node grouping by clock-tree level (paper Figure 3)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cppr.grouping import group_for_level
+from tests.helpers import demo_netlist, random_small
+
+
+@pytest.fixture()
+def demo():
+    graph = demo_netlist().elaborate()
+    return graph, graph.clock_tree
+
+
+class TestGrouping:
+    def test_negative_level_rejected(self, demo):
+        graph, tree = demo
+        with pytest.raises(ValueError):
+            group_for_level(tree, -1, graph.num_ffs)
+
+    def test_level0_groups_by_root_children(self, demo):
+        graph, tree = demo
+        grouping = group_for_level(tree, 0, graph.num_ffs)
+        groups = {graph.ffs[i].name: grouping.group[i]
+                  for i in range(graph.num_ffs)}
+        # ff1/ff2 under b1, ff3/ff4 under b2 -> two groups.
+        assert groups["ff1"] == groups["ff2"]
+        assert groups["ff3"] == groups["ff4"]
+        assert groups["ff1"] != groups["ff3"]
+        assert grouping.num_groups() == 2
+
+    def test_level1_groups_are_leaves(self, demo):
+        graph, tree = demo
+        grouping = group_for_level(tree, 1, graph.num_ffs)
+        values = [grouping.group[i] for i in range(graph.num_ffs)]
+        assert len(set(values)) == 4  # every FF its own group
+
+    def test_too_deep_level_excludes_everyone(self, demo):
+        graph, tree = demo
+        grouping = group_for_level(tree, 2, graph.num_ffs)
+        assert not any(grouping.participates(i)
+                       for i in range(graph.num_ffs))
+
+    def test_level0_offset_is_root_credit(self, demo):
+        graph, tree = demo
+        grouping = group_for_level(tree, 0, graph.num_ffs)
+        for i in range(graph.num_ffs):
+            assert grouping.launch_offset[i] == tree.credit(0) == 0.0
+
+    def test_level1_offset_is_parent_buffer_credit(self, demo):
+        graph, tree = demo
+        grouping = group_for_level(tree, 1, graph.num_ffs)
+        for ff in graph.ffs:
+            parent = tree.parent(ff.tree_node)
+            assert grouping.launch_offset[ff.index] == pytest.approx(
+                tree.credit(parent))
+
+
+@given(st.integers(min_value=0, max_value=100),
+       st.integers(min_value=0, max_value=4))
+def test_grouping_matches_lca_semantics(seed, level):
+    """Two FFs are in different groups at level d iff their LCA depth <= d
+    (for FFs deep enough to participate)."""
+    graph, _constraints = random_small(seed)
+    tree = graph.clock_tree
+    grouping = group_for_level(tree, level, graph.num_ffs)
+    for a in graph.ffs:
+        for b in graph.ffs:
+            node_a, node_b = a.tree_node, b.tree_node
+            participates = (tree.depth(node_a) > level
+                            and tree.depth(node_b) > level)
+            if not participates:
+                continue
+            different = grouping.group[a.index] != grouping.group[b.index]
+            assert different == (tree.lca_depth(node_a, node_b) <= level)
+
+
+@given(st.integers(min_value=0, max_value=100))
+def test_offsets_equal_f_d_credit(seed):
+    graph, _constraints = random_small(seed)
+    tree = graph.clock_tree
+    for level in range(tree.num_levels):
+        grouping = group_for_level(tree, level, graph.num_ffs)
+        for ff in graph.ffs:
+            if not grouping.participates(ff.index):
+                assert tree.depth(ff.tree_node) <= level
+                continue
+            ancestor = tree.ancestor_at_depth(ff.tree_node, level)
+            assert grouping.launch_offset[ff.index] == tree.credit(ancestor)
+            assert grouping.group[ff.index] == tree.ancestor_at_depth(
+                ff.tree_node, level + 1)

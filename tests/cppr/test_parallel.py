@@ -1,0 +1,85 @@
+"""Tests for the level-parallel executors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CpprEngine, CpprOptions, TimingAnalyzer
+from repro.cppr.parallel import available_executors, run_tasks
+from repro.exceptions import AnalysisError
+from tests.helpers import assert_slacks_equal, random_small
+
+
+def _square(x):
+    return x * x
+
+
+def _fail(x):
+    raise RuntimeError(f"boom {x}")
+
+
+class TestRunTasks:
+    def test_serial_preserves_order(self):
+        assert run_tasks(_square, [(i,) for i in range(10)]) == [
+            i * i for i in range(10)]
+
+    def test_thread_preserves_order(self):
+        assert run_tasks(_square, [(i,) for i in range(10)],
+                         executor="thread", workers=3) == [
+            i * i for i in range(10)]
+
+    @pytest.mark.skipif("process" not in available_executors(),
+                        reason="no fork support")
+    def test_process_preserves_order(self):
+        assert run_tasks(_square, [(i,) for i in range(10)],
+                         executor="process", workers=2) == [
+            i * i for i in range(10)]
+
+    @pytest.mark.skipif("process" not in available_executors(),
+                        reason="no fork support")
+    def test_process_empty_task_list(self):
+        assert run_tasks(_square, [], executor="process") == []
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(AnalysisError, match="unknown executor"):
+            run_tasks(_square, [(1,)], executor="gpu")
+
+    def test_serial_propagates_exceptions(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            run_tasks(_fail, [(1,)])
+
+    def test_available_executors_include_serial_and_thread(self):
+        executors = available_executors()
+        assert "serial" in executors and "thread" in executors
+
+
+class TestEngineParallelEquivalence:
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    def test_executors_match_serial(self, executor):
+        if executor not in available_executors():
+            pytest.skip("executor unavailable on this platform")
+        for seed in (0, 7, 23):
+            graph, constraints = random_small(seed)
+            analyzer = TimingAnalyzer(graph, constraints)
+            serial = CpprEngine(analyzer).top_slacks(15, "setup")
+            parallel = CpprEngine(analyzer, CpprOptions(
+                executor=executor, workers=3)).top_slacks(15, "setup")
+            assert_slacks_equal(serial, parallel)
+
+    @pytest.mark.skipif("process" not in available_executors(),
+                        reason="no fork support")
+    def test_process_executor_hold_mode(self):
+        graph, constraints = random_small(11)
+        analyzer = TimingAnalyzer(graph, constraints)
+        serial = CpprEngine(analyzer).top_slacks(10, "hold")
+        parallel = CpprEngine(analyzer, CpprOptions(
+            executor="process", workers=2)).top_slacks(10, "hold")
+        assert_slacks_equal(serial, parallel)
+
+    def test_worker_count_one_works(self):
+        graph, constraints = random_small(5)
+        analyzer = TimingAnalyzer(graph, constraints)
+        serial = CpprEngine(analyzer).top_slacks(5, "setup")
+        single = CpprEngine(analyzer, CpprOptions(
+            executor="thread", workers=1)).top_slacks(5, "setup")
+        assert_slacks_equal(serial, single)

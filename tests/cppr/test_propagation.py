@@ -1,0 +1,150 @@
+"""Tests for the array-based propagation passes.
+
+The fast parallel-array implementation is checked against the readable
+:class:`DualArrival` reference object driven over the same graph, and
+against brute-force path enumeration on random DAGs.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, strategies as st
+
+from repro.cppr.propagation import Seed, propagate_dual, propagate_single
+from repro.cppr.tuples import DualArrival
+from repro.sta.modes import AnalysisMode
+from tests.helpers import demo_netlist, random_small
+
+
+def reference_propagation(graph, mode, seeds):
+    """Drive DualArrival objects over the graph in topological order."""
+    duals = [DualArrival(mode) for _ in range(graph.num_pins)]
+    for seed in seeds:
+        duals[seed.pin].offer(seed.time, seed.from_pin, seed.group)
+    for u in graph.topo_order:
+        for record in duals[u].offers():
+            for v, early, late in graph.fanout[u]:
+                delay = mode.edge_delay(early, late)
+                duals[v].offer(record.time + delay, u, record.group)
+    return duals
+
+
+def demo_seeds(graph, mode):
+    seeds = []
+    tree = graph.clock_tree
+    for ff in graph.ffs:
+        if mode.is_setup:
+            time = tree.at_late(ff.tree_node) + ff.clk_to_q_late
+        else:
+            time = tree.at_early(ff.tree_node) + ff.clk_to_q_early
+        seeds.append(Seed(ff.q_pin, time, ff.ck_pin,
+                          group=ff.index % 3))
+    return seeds
+
+
+class TestDualAgainstReference:
+    def _compare(self, graph, mode):
+        seeds = demo_seeds(graph, mode)
+        arrays = propagate_dual(graph, mode, seeds)
+        reference = reference_propagation(graph, mode, seeds)
+        for pin in range(graph.num_pins):
+            for query in range(-1, 4):
+                got = arrays.auto(pin, query)
+                want = reference[pin].auto(query)
+                if want is None:
+                    assert got is None, (pin, query)
+                else:
+                    assert got is not None
+                    assert got[0] == want.time
+                    assert got[2] == want.group
+
+    def test_demo_setup(self):
+        self._compare(demo_netlist().elaborate(), AnalysisMode.SETUP)
+
+    def test_demo_hold(self):
+        self._compare(demo_netlist().elaborate(), AnalysisMode.HOLD)
+
+
+@given(st.integers(min_value=0, max_value=300),
+       st.sampled_from([AnalysisMode.SETUP, AnalysisMode.HOLD]))
+def test_random_designs_match_reference(seed, mode):
+    graph, _constraints = random_small(seed)
+    seeds = demo_seeds(graph, mode)
+    arrays = propagate_dual(graph, mode, seeds)
+    reference = reference_propagation(graph, mode, seeds)
+    rng = random.Random(seed)
+    for _ in range(30):
+        pin = rng.randrange(graph.num_pins)
+        query = rng.randrange(-1, 4)
+        got = arrays.auto(pin, query)
+        want = reference[pin].auto(query)
+        assert (got is None) == (want is None)
+        if got is not None:
+            assert got[0] == want.time and got[2] == want.group
+
+
+def brute_force_paths_to(graph, pin, seeds_by_pin):
+    """All (arrival, origin group) pairs over explicit path enumeration."""
+    results = []
+
+    def walk(current, time_early, time_late, group):
+        results_here = (current == pin)
+        if results_here:
+            results.append((time_early, time_late, group))
+        for v, early, late in graph.fanout[current]:
+            walk(v, time_early + early, time_late + late, group)
+
+    for seed_pin, entries in seeds_by_pin.items():
+        for seed in entries:
+            walk(seed_pin, seed.time, seed.time, seed.group)
+    return results
+
+
+@given(st.integers(min_value=0, max_value=100))
+def test_single_propagation_finds_true_extremes(seed):
+    graph, _constraints = random_small(seed, num_ffs=4, num_gates=8)
+    for mode in (AnalysisMode.SETUP, AnalysisMode.HOLD):
+        seeds = demo_seeds(graph, mode)
+        arrays = propagate_single(graph, mode, seeds)
+        seeds_by_pin = {}
+        for s in seeds:
+            seeds_by_pin.setdefault(s.pin, []).append(s)
+        for ff in graph.ffs:
+            brute = brute_force_paths_to(graph, ff.d_pin, seeds_by_pin)
+            record = arrays.best(ff.d_pin)
+            if not brute:
+                assert record is None
+                continue
+            if mode.is_setup:
+                expected = max(t_late for _e, t_late, _g in brute)
+            else:
+                expected = min(t_early for t_early, _l, _g in brute)
+            assert record is not None
+            assert abs(record[0] - expected) < 1e-9
+
+
+@given(st.integers(min_value=0, max_value=100))
+def test_dual_auto_matches_brute_force_with_group_exclusion(seed):
+    graph, _constraints = random_small(seed, num_ffs=4, num_gates=8)
+    for mode in (AnalysisMode.SETUP, AnalysisMode.HOLD):
+        seeds = demo_seeds(graph, mode)
+        arrays = propagate_dual(graph, mode, seeds)
+        seeds_by_pin = {}
+        for s in seeds:
+            seeds_by_pin.setdefault(s.pin, []).append(s)
+        for ff in graph.ffs:
+            brute = brute_force_paths_to(graph, ff.d_pin, seeds_by_pin)
+            for query in range(3):
+                eligible = [b for b in brute if b[2] != query]
+                record = arrays.auto(ff.d_pin, query)
+                if not eligible:
+                    assert record is None
+                    continue
+                if mode.is_setup:
+                    expected = max(t_late for _e, t_late, _g in eligible)
+                else:
+                    expected = min(t_early for t_early, _l, _g in eligible)
+                assert record is not None
+                assert abs(record[0] - expected) < 1e-9
+                assert record[2] != query

@@ -1,0 +1,118 @@
+"""Tests for targeted endpoint and pair queries."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import ExhaustiveTimer, TimingAnalyzer
+from repro.cppr.queries import endpoint_paths, pair_paths
+from repro.exceptions import AnalysisError
+from repro.sta.modes import AnalysisMode
+from tests.helpers import demo_analyzer, random_small
+
+MODES = [AnalysisMode.SETUP, AnalysisMode.HOLD]
+
+
+def analyzer_for(seed):
+    graph, constraints = random_small(seed)
+    return TimingAnalyzer(graph, constraints)
+
+
+class TestEndpointPaths:
+    def test_accepts_name_or_index(self):
+        analyzer = demo_analyzer()
+        by_name = endpoint_paths(analyzer, "ff2", 5, "setup")
+        index = analyzer.graph.ff_by_name("ff2").index
+        by_index = endpoint_paths(analyzer, index, 5, "setup")
+        assert [p.slack for p in by_name] == [p.slack for p in by_index]
+
+    def test_all_paths_end_at_requested_ff(self):
+        analyzer = demo_analyzer()
+        ff = analyzer.graph.ff_by_name("ff2")
+        for path in endpoint_paths(analyzer, "ff2", 10, "setup"):
+            assert path.capture_ff == ff.index
+            assert path.pins[-1] == ff.d_pin
+
+    def test_k_zero_rejected(self):
+        with pytest.raises(AnalysisError):
+            endpoint_paths(demo_analyzer(), "ff2", 0, "setup")
+
+    def test_unreachable_endpoint_returns_empty(self):
+        from tests.helpers import two_ff_design
+        graph, constraints = two_ff_design()
+        analyzer = TimingAnalyzer(graph, constraints)
+        assert endpoint_paths(analyzer, "ffa", 5, "setup") == []
+
+    def test_exclude_primary_inputs(self):
+        analyzer = demo_analyzer()
+        paths = endpoint_paths(analyzer, "ff1", 10, "setup",
+                               include_primary_inputs=False)
+        assert all(p.launch_ff is not None for p in paths)
+
+    @settings(max_examples=15)
+    @given(st.integers(min_value=0, max_value=5000),
+           st.sampled_from(MODES))
+    def test_matches_oracle_per_endpoint(self, seed, mode):
+        analyzer = analyzer_for(seed)
+        oracle = ExhaustiveTimer(analyzer).all_paths(mode)
+        for ff in analyzer.graph.ffs[:3]:
+            want = [p.slack for p in oracle
+                    if p.capture_ff == ff.index][:6]
+            got = [p.slack for p in endpoint_paths(analyzer, ff.index, 6,
+                                                   mode)]
+            assert got == pytest.approx(want)
+
+
+class TestPairPaths:
+    def test_disconnected_pair_is_empty(self):
+        analyzer = demo_analyzer()
+        # ff4 drives nothing, so (ff4 -> ff1) has no path.
+        assert pair_paths(analyzer, "ff4", "ff1", 5, "setup") == []
+
+    def test_connected_pair_slacks_and_structure(self):
+        analyzer = demo_analyzer()
+        paths = pair_paths(analyzer, "ff1", "ff2", 5, "setup")
+        assert paths
+        ff1 = analyzer.graph.ff_by_name("ff1")
+        ff2 = analyzer.graph.ff_by_name("ff2")
+        for path in paths:
+            assert path.launch_ff == ff1.index
+            assert path.capture_ff == ff2.index
+            assert path.slack == pytest.approx(
+                analyzer.path_post_cppr_slack(list(path.pins), "setup"))
+
+    def test_k_zero_rejected(self):
+        with pytest.raises(AnalysisError):
+            pair_paths(demo_analyzer(), "ff1", "ff2", 0, "setup")
+
+    @settings(max_examples=15)
+    @given(st.integers(min_value=0, max_value=5000),
+           st.sampled_from(MODES))
+    def test_matches_oracle_per_pair(self, seed, mode):
+        analyzer = analyzer_for(seed)
+        oracle = ExhaustiveTimer(analyzer).all_paths(mode)
+        ffs = analyzer.graph.ffs
+        pairs = [(a.index, b.index) for a in ffs[:2] for b in ffs[:3]]
+        for launch, capture in pairs:
+            want = [p.slack for p in oracle
+                    if p.launch_ff == launch
+                    and p.capture_ff == capture][:4]
+            got = [p.slack for p in pair_paths(analyzer, launch, capture,
+                                               4, mode)]
+            assert got == pytest.approx(want)
+
+    def test_self_loop_pair_uses_full_leaf_credit(self):
+        for seed in range(60):
+            analyzer = analyzer_for(seed)
+            oracle = ExhaustiveTimer(analyzer).all_paths("setup")
+            loops = [p for p in oracle if p.is_self_loop]
+            if not loops:
+                continue
+            ff = loops[0].launch_ff
+            got = pair_paths(analyzer, ff, ff, 3, "setup")
+            want = [p.slack for p in oracle
+                    if p.launch_ff == ff and p.capture_ff == ff][:3]
+            assert [p.slack for p in got] == pytest.approx(want)
+            return
+        pytest.skip("no self-loop found in 60 seeds")

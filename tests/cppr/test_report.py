@@ -1,0 +1,51 @@
+"""Tests for path report formatting."""
+
+from __future__ import annotations
+
+from repro import CpprEngine, format_path, format_path_report
+from tests.helpers import demo_analyzer
+
+
+class TestFormatPath:
+    def test_contains_slack_decomposition(self):
+        analyzer = demo_analyzer()
+        path = CpprEngine(analyzer).top_paths(1, "setup")[0]
+        text = format_path(analyzer, path)
+        assert "pre-CPPR slack" in text
+        assert "CPPR credit" in text
+        assert "post-CPPR slack" in text
+
+    def test_contains_pin_names(self):
+        analyzer = demo_analyzer()
+        path = CpprEngine(analyzer).top_paths(1, "setup")[0]
+        text = format_path(analyzer, path)
+        for pin in path.pins:
+            assert analyzer.graph.pin_name(pin) in text
+
+    def test_index_appears_in_header(self):
+        analyzer = demo_analyzer()
+        path = CpprEngine(analyzer).top_paths(1, "hold")[0]
+        assert format_path(analyzer, path, index=7).startswith("Path 7:")
+
+    def test_pi_path_mentions_primary_input(self):
+        analyzer = demo_analyzer()
+        paths = [p for p in CpprEngine(analyzer).top_paths(50, "setup")
+                 if p.launch_ff is None]
+        assert paths, "demo design should have a PI path"
+        assert "primary input" in format_path(analyzer, paths[0])
+
+
+class TestFormatReport:
+    def test_report_has_title_and_all_paths(self):
+        analyzer = demo_analyzer()
+        paths = CpprEngine(analyzer).top_paths(5, "setup")
+        report = format_path_report(analyzer, paths, title="My report")
+        assert report.startswith("My report")
+        assert f"paths: {len(paths)}" in report
+        for rank in range(1, len(paths) + 1):
+            assert f"Path {rank}:" in report
+
+    def test_empty_report(self):
+        analyzer = demo_analyzer()
+        report = format_path_report(analyzer, [])
+        assert "paths: 0" in report

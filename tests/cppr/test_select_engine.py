@@ -1,0 +1,193 @@
+"""Tests for selectTopPaths and the full engine against the oracle.
+
+``test_engine_matches_oracle`` is the headline correctness property of
+the whole reproduction: on randomized designs, for both modes and a range
+of k, the engine's top-k post-CPPR slacks equal exhaustive enumeration.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import CpprEngine, CpprOptions, ExhaustiveTimer, TimingAnalyzer
+from repro.cppr.select import select_top_paths
+from repro.cppr.types import PathFamily
+from repro.exceptions import AnalysisError
+from repro.sta.modes import AnalysisMode
+from tests.helpers import (assert_slacks_equal, demo_analyzer,
+                           random_small)
+
+MODES = [AnalysisMode.SETUP, AnalysisMode.HOLD]
+
+
+def analyzer_for(seed, **overrides):
+    graph, constraints = random_small(seed, **overrides)
+    return TimingAnalyzer(graph, constraints)
+
+
+class TestSelect:
+    def test_filters_level_paths_with_wrong_depth(self):
+        analyzer = demo_analyzer()
+        engine = CpprEngine(analyzer)
+        candidates = engine.candidate_paths(10, AnalysisMode.SETUP)
+        tree = analyzer.clock_tree
+        graph = analyzer.graph
+        selected = select_top_paths(analyzer, candidates, 100)
+        for path in selected:
+            if path.family is PathFamily.LEVEL:
+                launch = graph.ffs[path.launch_ff].tree_node
+                capture = graph.ffs[path.capture_ff].tree_node
+                assert tree.lca_depth(launch, capture) == path.level
+
+    def test_filters_non_self_loops_from_self_loop_family(self):
+        analyzer = demo_analyzer()
+        engine = CpprEngine(analyzer)
+        candidates = engine.candidate_paths(10, AnalysisMode.SETUP)
+        selected = select_top_paths(analyzer, candidates, 100)
+        for path in selected:
+            if path.family is PathFamily.SELF_LOOP:
+                assert path.launch_ff == path.capture_ff
+
+    def test_selected_paths_sorted_and_bounded(self):
+        analyzer = demo_analyzer()
+        engine = CpprEngine(analyzer)
+        candidates = engine.candidate_paths(10, AnalysisMode.SETUP)
+        selected = select_top_paths(analyzer, candidates, 3)
+        assert len(selected) <= 3
+        slacks = [p.slack for p in selected]
+        assert slacks == sorted(slacks)
+
+    def test_no_duplicate_paths_across_families(self):
+        for seed in range(10):
+            analyzer = analyzer_for(seed)
+            engine = CpprEngine(analyzer)
+            for mode in MODES:
+                selected = engine.top_paths(25, mode)
+                assert len({p.pins for p in selected}) == len(selected)
+
+
+class TestEngineBasics:
+    def test_k_zero_rejected(self):
+        with pytest.raises(AnalysisError, match="k must be"):
+            CpprEngine(demo_analyzer()).top_paths(0, "setup")
+
+    def test_mode_strings_accepted(self):
+        engine = CpprEngine(demo_analyzer())
+        assert engine.top_slacks(3, "setup") == engine.top_slacks(
+            3, AnalysisMode.SETUP)
+
+    def test_worst_path_equals_first_of_topk(self):
+        engine = CpprEngine(demo_analyzer())
+        worst = engine.worst_path("setup")
+        top = engine.top_paths(5, "setup")
+        assert worst.slack == top[0].slack
+
+    def test_with_options_returns_new_engine(self):
+        engine = CpprEngine(demo_analyzer())
+        other = engine.with_options(executor="thread")
+        assert other is not engine
+        assert other.options.executor == "thread"
+        assert engine.options.executor == "serial"
+
+    def test_returned_slack_is_exact_post_cppr(self):
+        for seed in range(10):
+            analyzer = analyzer_for(seed)
+            engine = CpprEngine(analyzer)
+            for mode in MODES:
+                for path in engine.top_paths(10, mode):
+                    assert path.slack == pytest.approx(
+                        analyzer.path_post_cppr_slack(list(path.pins),
+                                                      mode))
+
+    def test_credit_field_matches_lca_credit(self):
+        for seed in range(10):
+            analyzer = analyzer_for(seed)
+            engine = CpprEngine(analyzer)
+            for mode in MODES:
+                for path in engine.top_paths(10, mode):
+                    assert path.credit == pytest.approx(
+                        analyzer.path_credit(list(path.pins)))
+
+    def test_pre_cppr_slack_property(self):
+        engine = CpprEngine(demo_analyzer())
+        for path in engine.top_paths(5, "setup"):
+            assert path.pre_cppr_slack == pytest.approx(
+                path.slack - path.credit)
+
+
+class TestEngineVsOracleFixed:
+    @pytest.mark.parametrize("k", [1, 2, 5, 30])
+    @pytest.mark.parametrize("mode", MODES)
+    def test_demo(self, k, mode):
+        analyzer = demo_analyzer()
+        assert_slacks_equal(CpprEngine(analyzer).top_slacks(k, mode),
+                            ExhaustiveTimer(analyzer).top_slacks(k, mode))
+
+
+@settings(max_examples=40)
+@given(st.integers(min_value=0, max_value=10_000),
+       st.sampled_from(MODES),
+       st.sampled_from([1, 3, 10, 40]))
+def test_engine_matches_oracle(seed, mode, k):
+    analyzer = analyzer_for(seed)
+    assert_slacks_equal(CpprEngine(analyzer).top_slacks(k, mode),
+                        ExhaustiveTimer(analyzer).top_slacks(k, mode))
+
+
+@settings(max_examples=15)
+@given(st.integers(min_value=0, max_value=10_000),
+       st.sampled_from(MODES))
+def test_engine_matches_oracle_on_deeper_trees(seed, mode):
+    analyzer = analyzer_for(seed, num_ffs=10, clock_depth=5, num_gates=16)
+    assert_slacks_equal(CpprEngine(analyzer).top_slacks(12, mode),
+                        ExhaustiveTimer(analyzer).top_slacks(12, mode))
+
+
+@settings(max_examples=15)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_engine_matches_oracle_without_primary_inputs(seed):
+    analyzer = analyzer_for(seed, num_pis=0, num_pos=0)
+    for mode in MODES:
+        assert_slacks_equal(CpprEngine(analyzer).top_slacks(10, mode),
+                            ExhaustiveTimer(analyzer).top_slacks(10, mode))
+
+
+class TestFamilyToggles:
+    def test_disabling_self_loops_drops_them(self):
+        for seed in range(20):
+            analyzer = analyzer_for(seed)
+            engine = CpprEngine(analyzer, CpprOptions(
+                include_self_loops=False))
+            for mode in MODES:
+                for path in engine.top_paths(20, mode):
+                    assert not path.is_self_loop
+
+    def test_disabling_primary_inputs_drops_them(self):
+        for seed in range(20):
+            analyzer = analyzer_for(seed)
+            engine = CpprEngine(analyzer, CpprOptions(
+                include_primary_inputs=False))
+            for mode in MODES:
+                for path in engine.top_paths(20, mode):
+                    assert path.family is not PathFamily.PRIMARY_INPUT
+
+    def test_output_tests_extension(self):
+        for seed in range(20):
+            analyzer = analyzer_for(seed)
+            engine = CpprEngine(analyzer, CpprOptions(
+                include_output_tests=True))
+            oracle = ExhaustiveTimer(analyzer, include_output_tests=True)
+            for mode in MODES:
+                assert_slacks_equal(engine.top_slacks(15, mode),
+                                    oracle.top_slacks(15, mode))
+
+
+class TestHeapCapacityOption:
+    def test_larger_capacity_changes_nothing(self):
+        for seed in range(10):
+            analyzer = analyzer_for(seed)
+            base = CpprEngine(analyzer).top_slacks(8, "setup")
+            wide = CpprEngine(analyzer, CpprOptions(
+                heap_capacity=1000)).top_slacks(8, "setup")
+            assert_slacks_equal(base, wide)

@@ -1,0 +1,114 @@
+"""Property tests for the dual arrival tuples (paper Table II).
+
+The invariant under any offer sequence: ``best`` is the most pessimistic
+offer, and ``fallback`` is the most pessimistic offer whose group differs
+from ``best``'s — which makes ``auto(g)`` the most pessimistic offer with
+group != g for *any* query group g.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.cppr.tuples import DualArrival
+from repro.sta.modes import AnalysisMode
+
+offers = st.lists(
+    st.tuples(st.floats(min_value=-100, max_value=100, allow_nan=False),
+              st.integers(min_value=0, max_value=50),
+              st.integers(min_value=0, max_value=4)),
+    max_size=40)
+
+
+def reference_auto(mode, offer_list, excluded_group):
+    eligible = [(t, f, g) for t, f, g in offer_list if g != excluded_group]
+    if not eligible:
+        return None
+    if mode.is_setup:
+        return max(t for t, _f, _g in eligible)
+    return min(t for t, _f, _g in eligible)
+
+
+class TestBasics:
+    def test_empty_auto_is_none(self):
+        dual = DualArrival(AnalysisMode.HOLD)
+        assert dual.auto(0) is None
+
+    def test_single_offer_visible_to_other_groups(self):
+        dual = DualArrival(AnalysisMode.HOLD)
+        dual.offer(1.0, 7, group=3)
+        assert dual.auto(0).time == 1.0
+        assert dual.auto(3) is None
+
+    def test_best_demotes_to_fallback(self):
+        dual = DualArrival(AnalysisMode.HOLD)
+        dual.offer(5.0, 1, group=1)
+        dual.offer(3.0, 2, group=2)  # better, different group
+        assert dual.best.time == 3.0 and dual.best.group == 2
+        assert dual.fallback.time == 5.0 and dual.fallback.group == 1
+        assert dual.auto(2).time == 5.0
+
+    def test_same_group_improvement_keeps_fallback(self):
+        dual = DualArrival(AnalysisMode.HOLD)
+        dual.offer(5.0, 1, group=1)
+        dual.offer(6.0, 3, group=2)
+        dual.offer(4.0, 2, group=1)  # improves best, same group
+        assert dual.best.time == 4.0
+        assert dual.fallback.time == 6.0
+
+    def test_setup_prefers_larger_times(self):
+        dual = DualArrival(AnalysisMode.SETUP)
+        dual.offer(1.0, 1, group=1)
+        dual.offer(5.0, 2, group=2)
+        assert dual.best.time == 5.0
+        assert dual.auto(2).time == 1.0
+
+    def test_offers_lists_present_tuples(self):
+        dual = DualArrival(AnalysisMode.HOLD)
+        assert dual.offers() == []
+        dual.offer(2.0, 1, group=1)
+        assert len(dual.offers()) == 1
+        dual.offer(1.0, 2, group=2)
+        assert len(dual.offers()) == 2
+
+
+@given(offers, st.integers(min_value=0, max_value=4))
+def test_auto_matches_reference_hold(offer_list, query_group):
+    dual = DualArrival(AnalysisMode.HOLD)
+    for time, from_pin, group in offer_list:
+        dual.offer(time, from_pin, group)
+    expected = reference_auto(AnalysisMode.HOLD, offer_list, query_group)
+    got = dual.auto(query_group)
+    if expected is None:
+        assert got is None
+    else:
+        assert got is not None and got.time == expected
+        assert got.group != query_group
+
+
+@given(offers, st.integers(min_value=0, max_value=4))
+def test_auto_matches_reference_setup(offer_list, query_group):
+    dual = DualArrival(AnalysisMode.SETUP)
+    for time, from_pin, group in offer_list:
+        dual.offer(time, from_pin, group)
+    expected = reference_auto(AnalysisMode.SETUP, offer_list, query_group)
+    got = dual.auto(query_group)
+    if expected is None:
+        assert got is None
+    else:
+        assert got is not None and got.time == expected
+        assert got.group != query_group
+
+
+@given(offers)
+def test_best_is_global_optimum(offer_list):
+    for mode in (AnalysisMode.SETUP, AnalysisMode.HOLD):
+        dual = DualArrival(mode)
+        for time, from_pin, group in offer_list:
+            dual.offer(time, from_pin, group)
+        if not offer_list:
+            assert dual.best is None
+            continue
+        times = [t for t, _f, _g in offer_list]
+        assert dual.best.time == (max(times) if mode.is_setup
+                                  else min(times))

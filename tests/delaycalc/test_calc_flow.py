@@ -1,0 +1,176 @@
+"""Tests for the delay calculator and the timed flow."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (CpprEngine, ExhaustiveTimer, TimingAnalyzer,
+                   validate_graph)
+from repro.delaycalc.calc import calculate_timing
+from repro.delaycalc.models import Derates, default_timing
+from repro.delaycalc.timed_flow import elaborate_timed_design
+from repro.delaycalc.wire import WireLoadModel
+from repro.exceptions import FormatError
+from repro.io.sdc import parse_sdc
+from repro.io.verilog import parse_verilog, write_verilog
+from repro.library.standard import default_library
+from repro.workloads.verilog_gen import (RandomVerilogSpec,
+                                         random_verilog_design)
+from tests.helpers import assert_slacks_equal
+
+VERILOG = """
+module timed (a, b, clk, y);
+  input a, b, clk;
+  output y;
+  wire ck1, w1, w2, w3;
+  BUF_X4  cb1 (.A0(clk), .Y(ck1));
+  NAND2_X1 u1 (.A0(a), .A1(b), .Y(w1));
+  DFF_X1   r1 (.CK(ck1), .D(w1), .Q(w2));
+  INV_X2   u2 (.A0(w2), .Y(w3));
+  DFF_X1   r2 (.CK(ck1), .D(w3), .Q(y));
+endmodule
+"""
+
+SDC = "create_clock -period 6.0 [get_ports clk]\n"
+
+FANOUT_VERILOG = """
+module fan (a, clk, y0, y1, y2);
+  input a, clk;
+  output y0, y1, y2;
+  wire ck1, w;
+  BUF_X4 cb1 (.A0(clk), .Y(ck1));
+  INV_X1 u0 (.A0(a), .Y(w));
+  BUF_X1 o0 (.A0(w), .Y(y0));
+  BUF_X1 o1 (.A0(w), .Y(y1));
+  BUF_X1 o2 (.A0(w), .Y(y2));
+  DFF_X1 r (.CK(ck1), .D(w), .Q(y2_unused));
+  wire y2_unused;
+endmodule
+"""
+
+
+@pytest.fixture(scope="module")
+def library():
+    return default_library()
+
+
+@pytest.fixture(scope="module")
+def timing(library):
+    return default_timing(library)
+
+
+class TestCalculateTiming:
+    def test_every_arc_gets_bounds(self, library, timing):
+        module = parse_verilog(VERILOG)
+        result = calculate_timing(module, library, timing)
+        u1 = library.cell("NAND2_X1")
+        for i in range(u1.num_inputs):
+            for transition in ("r", "f"):
+                early, late = result.arc_delays[("u1", i, transition)]
+                assert 0 < early < late
+
+    def test_derates_set_early_late_ratio(self, library):
+        derates = Derates(early=0.8, late=1.3)
+        timing = default_timing(library, derates)
+        module = parse_verilog(VERILOG)
+        result = calculate_timing(module, library, timing)
+        early, late = result.arc_delays[("u2", 0, "r")]
+        assert late / early == pytest.approx(1.3 / 0.8)
+
+    def test_higher_fanout_means_more_delay(self, library, timing):
+        module = parse_verilog(FANOUT_VERILOG)
+        result = calculate_timing(module, library, timing)
+        single = parse_verilog(FANOUT_VERILOG.replace(
+            "  BUF_X1 o1 (.A0(w), .Y(y1));\n", "")
+            .replace("  BUF_X1 o2 (.A0(w), .Y(y2));\n", "")
+            .replace("output y0, y1, y2;", "output y0, y1, y2;")
+        )
+        # Drop two sinks of net w -> u0 sees a lighter load.
+        light = calculate_timing(single, library, timing)
+        assert result.net_loads["w"] > light.net_loads["w"]
+        assert result.arc_delays[("u0", 0, "r")][1] > \
+            light.arc_delays[("u0", 0, "r")][1]
+
+    def test_slews_propagate_downstream(self, library, timing):
+        module = parse_verilog(VERILOG)
+        result = calculate_timing(module, library, timing,
+                                  input_slew=0.05)
+        # u2 is driven by a flip-flop Q; its output slew was computed.
+        assert ("w3", "r") in result.net_slews
+        assert result.net_slews[("w3", "r")] > 0
+
+    def test_combinational_loop_detected(self, library, timing):
+        looped = """
+module l (clk, y);
+  input clk; output y;
+  wire ck1, w1, w2;
+  BUF_X4 cb (.A0(clk), .Y(ck1));
+  INV_X1 g1 (.A0(w2), .Y(w1));
+  INV_X1 g2 (.A0(w1), .Y(w2));
+  BUF_X1 ob (.A0(w1), .Y(y));
+  DFF_X1 r (.CK(ck1), .D(w1), .Q(q)); wire q;
+endmodule
+"""
+        with pytest.raises(FormatError, match="loop"):
+            calculate_timing(parse_verilog(looped), library, timing)
+
+
+class TestTimedFlow:
+    def test_elaborates_and_validates(self, library, timing):
+        design, constraints, calculated = elaborate_timed_design(
+            parse_verilog(VERILOG), parse_sdc(SDC), library, timing)
+        validate_graph(design.graph)
+        assert constraints.clock_period == 6.0
+
+    def test_clock_buffer_delays_come_from_calculator(self, library,
+                                                      timing):
+        design, _constraints, calculated = elaborate_timed_design(
+            parse_verilog(VERILOG), parse_sdc(SDC), library, timing)
+        tree = design.graph.clock_tree
+        node = tree.names.index("cb1")
+        early, late = calculated.arc_delays[("cb1", 0, "r")]
+        assert tree.delays_early[node] == pytest.approx(early)
+        assert tree.delays_late[node] == pytest.approx(late)
+
+    def test_credits_emerge_from_derates(self, library):
+        timing = default_timing(library, Derates(early=0.7, late=1.4))
+        design, _constraints, _calc = elaborate_timed_design(
+            parse_verilog(VERILOG), parse_sdc(SDC), library, timing)
+        tree = design.graph.clock_tree
+        node = tree.names.index("cb1")
+        assert tree.credit(node) > 0
+
+    def test_engine_matches_oracle_on_timed_design(self, library,
+                                                   timing):
+        design, constraints, _calc = elaborate_timed_design(
+            parse_verilog(VERILOG), parse_sdc(SDC), library, timing)
+        analyzer = TimingAnalyzer(design.graph, constraints)
+        for mode in ("setup", "hold"):
+            assert_slacks_equal(
+                CpprEngine(analyzer).top_slacks(10, mode),
+                ExhaustiveTimer(analyzer).top_slacks(10, mode))
+
+    def test_generated_designs_through_timed_flow(self, library, timing):
+        for seed in range(4):
+            module, sdc_text = random_verilog_design(
+                RandomVerilogSpec(seed=seed, clock_period=80.0))
+            design, constraints, _calc = elaborate_timed_design(
+                parse_verilog(write_verilog(module)),
+                parse_sdc(sdc_text), library, timing)
+            validate_graph(design.graph)
+            analyzer = TimingAnalyzer(design.graph, constraints)
+            assert_slacks_equal(
+                CpprEngine(analyzer).top_slacks(8, "setup"),
+                ExhaustiveTimer(analyzer).top_slacks(8, "setup"))
+
+    def test_wire_model_changes_timing(self, library, timing):
+        heavy = WireLoadModel(base_cap=2.0, cap_per_fanout=2.0)
+        light = WireLoadModel(base_cap=0.0, cap_per_fanout=0.0)
+        results = {}
+        for label, model in (("heavy", heavy), ("light", light)):
+            design, constraints, _calc = elaborate_timed_design(
+                parse_verilog(VERILOG), parse_sdc(SDC), library, timing,
+                wire_model=model)
+            analyzer = TimingAnalyzer(design.graph, constraints)
+            results[label] = CpprEngine(analyzer).worst_path("setup").slack
+        assert results["heavy"] < results["light"]

@@ -1,0 +1,137 @@
+"""Tests for lookup tables, timing models, and the wire load model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.delaycalc.lut import LookupTable2D
+from repro.delaycalc.models import Derates, default_timing
+from repro.delaycalc.wire import WireLoadModel
+from repro.exceptions import TimingConstraintError
+from repro.library.standard import default_library
+
+
+class TestLookupTable:
+    @pytest.fixture()
+    def table(self):
+        return LookupTable2D(
+            slew_axis=(0.0, 1.0),
+            load_axis=(0.0, 2.0),
+            values=((10.0, 30.0),
+                    (20.0, 40.0)))
+
+    def test_exact_at_grid_points(self, table):
+        assert table.lookup(0.0, 0.0) == 10.0
+        assert table.lookup(0.0, 2.0) == 30.0
+        assert table.lookup(1.0, 0.0) == 20.0
+        assert table.lookup(1.0, 2.0) == 40.0
+
+    def test_bilinear_midpoint(self, table):
+        assert table.lookup(0.5, 1.0) == pytest.approx(25.0)
+
+    def test_linear_along_each_axis(self, table):
+        assert table.lookup(0.25, 0.0) == pytest.approx(12.5)
+        assert table.lookup(0.0, 0.5) == pytest.approx(15.0)
+
+    def test_extrapolation_beyond_edges(self, table):
+        assert table.lookup(2.0, 0.0) == pytest.approx(30.0)
+        assert table.lookup(-1.0, 0.0) == pytest.approx(0.0)
+        assert table.lookup(0.0, 4.0) == pytest.approx(50.0)
+
+    def test_single_point_table(self):
+        table = LookupTable2D((1.0,), (1.0,), ((7.0,),))
+        assert table.lookup(0.0, 100.0) == 7.0
+
+    def test_single_row_interpolates_load_only(self):
+        table = LookupTable2D((1.0,), (0.0, 2.0), ((0.0, 4.0),))
+        assert table.lookup(99.0, 1.0) == pytest.approx(2.0)
+
+    def test_non_increasing_axis_rejected(self):
+        with pytest.raises(TimingConstraintError, match="increasing"):
+            LookupTable2D((1.0, 1.0), (0.0,), ((1.0,), (2.0,)))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(TimingConstraintError, match="rows"):
+            LookupTable2D((0.0, 1.0), (0.0,), ((1.0,),))
+
+    def test_affine_factory_interpolates_exactly(self):
+        table = LookupTable2D.affine(base=1.0, slew_factor=2.0,
+                                     load_factor=3.0)
+        for slew in (0.02, 0.15, 0.3):
+            for load in (0.7, 3.0, 6.0):
+                assert table.lookup(slew, load) == pytest.approx(
+                    1.0 + 2.0 * slew + 3.0 * load)
+
+
+@given(st.floats(min_value=-1, max_value=2),
+       st.floats(min_value=-2, max_value=10))
+def test_affine_tables_extrapolate_the_affine_surface(slew, load):
+    table = LookupTable2D.affine(base=0.5, slew_factor=1.5,
+                                 load_factor=0.25)
+    assert table.lookup(slew, load) == pytest.approx(
+        0.5 + 1.5 * slew + 0.25 * load, abs=1e-9)
+
+
+class TestDerates:
+    def test_bounds(self):
+        derates = Derates(early=0.8, late=1.25)
+        assert derates.bounds(2.0) == (pytest.approx(1.6),
+                                       pytest.approx(2.5))
+
+    def test_invalid_derates_rejected(self):
+        with pytest.raises(TimingConstraintError):
+            Derates(early=1.1, late=1.2)
+        with pytest.raises(TimingConstraintError):
+            Derates(early=0.9, late=0.95)
+
+
+class TestWireLoadModel:
+    def test_cap_grows_with_fanout(self):
+        model = WireLoadModel(base_cap=0.1, cap_per_fanout=0.2)
+        assert model.wire_cap(0) == pytest.approx(0.1)
+        assert model.wire_cap(3) == pytest.approx(0.7)
+
+    def test_net_load_includes_pin_caps(self):
+        model = WireLoadModel(base_cap=0.0, cap_per_fanout=0.5)
+        assert model.net_load([1.0, 2.0]) == pytest.approx(1.0 + 3.0)
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(TimingConstraintError):
+            WireLoadModel(base_cap=-1.0)
+        with pytest.raises(TimingConstraintError):
+            WireLoadModel().wire_cap(-1)
+
+
+class TestDefaultTiming:
+    def test_every_library_cell_has_a_model(self):
+        library = default_library()
+        timing = default_timing(library)
+        for name in library:
+            if library.is_flip_flop(name):
+                timing.flip_flop(name)
+            else:
+                timing.cell(name)
+
+    def test_missing_cell_raises(self):
+        timing = default_timing(default_library())
+        with pytest.raises(KeyError, match="no model"):
+            timing.cell("MAGIC")
+
+    def test_delay_grows_with_load_and_slew(self):
+        timing = default_timing(default_library())
+        arc = timing.cell("NAND2_X1").rise[0]
+        light = arc.delay.lookup(0.02, 0.5)
+        heavy = arc.delay.lookup(0.02, 6.0)
+        slow_input = arc.delay.lookup(0.35, 0.5)
+        assert heavy > light
+        assert slow_input > light
+
+    def test_reference_point_matches_library_delay(self):
+        library = default_library()
+        timing = default_timing(library)
+        cell = library.cell("INV_X1")
+        arc = timing.cell("INV_X1").rise[0]
+        nominal = arc.delay.lookup(0.05, 1.0)
+        late = nominal * timing.derates.late
+        assert late == pytest.approx(cell.rise_delays[0][1], rel=1e-9)

@@ -1,0 +1,147 @@
+"""Tests for binary-lifting ancestor/LCA tables, against naive walks."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ds.binary_lifting import AncestorTable
+
+
+def naive_depth(parents, v):
+    depth = 0
+    while parents[v] != -1:
+        v = parents[v]
+        depth += 1
+    return depth
+
+
+def naive_kth(parents, v, k):
+    for _ in range(k):
+        if v == -1:
+            return -1
+        v = parents[v]
+    return v
+
+
+def naive_lca(parents, u, v):
+    ancestors = set()
+    while u != -1:
+        ancestors.add(u)
+        u = parents[u]
+    while v != -1:
+        if v in ancestors:
+            return v
+        v = parents[v]
+    return -1
+
+
+def random_forest(rng: random.Random, n: int, roots: int = 1) -> list[int]:
+    parents = [-1] * n
+    for v in range(roots, n):
+        parents[v] = rng.randrange(0, v)
+    return parents
+
+
+class TestBasics:
+    def test_single_root(self):
+        table = AncestorTable([-1])
+        assert table.depth(0) == 0
+        assert table.parent(0) == -1
+        assert table.lca(0, 0) == 0
+
+    def test_chain_depths(self):
+        table = AncestorTable([-1, 0, 1, 2, 3])
+        assert [table.depth(v) for v in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_chain_kth_ancestor(self):
+        table = AncestorTable([-1, 0, 1, 2, 3])
+        assert table.kth_ancestor(4, 2) == 2
+        assert table.kth_ancestor(4, 4) == 0
+        assert table.kth_ancestor(4, 5) == -1
+
+    def test_ancestor_at_depth(self):
+        table = AncestorTable([-1, 0, 1, 2])
+        assert table.ancestor_at_depth(3, 0) == 0
+        assert table.ancestor_at_depth(3, 2) == 2
+        assert table.ancestor_at_depth(3, 3) == 3
+        assert table.ancestor_at_depth(1, 2) == -1
+
+    def test_negative_k_raises(self):
+        table = AncestorTable([-1, 0])
+        with pytest.raises(ValueError):
+            table.kth_ancestor(1, -1)
+
+    def test_lca_binary_tree(self):
+        #        0
+        #      1   2
+        #     3 4 5 6
+        table = AncestorTable([-1, 0, 0, 1, 1, 2, 2])
+        assert table.lca(3, 4) == 1
+        assert table.lca(3, 5) == 0
+        assert table.lca(3, 1) == 1
+        assert table.lca(6, 6) == 6
+        assert table.lca_depth(3, 4) == 1
+        assert table.lca_depth(4, 6) == 0
+
+    def test_is_ancestor(self):
+        table = AncestorTable([-1, 0, 0, 1])
+        assert table.is_ancestor(0, 3)
+        assert table.is_ancestor(1, 3)
+        assert table.is_ancestor(3, 3)
+        assert not table.is_ancestor(2, 3)
+
+    def test_forest_lca_of_unrelated_nodes(self):
+        table = AncestorTable([-1, -1, 0, 1])
+        assert table.lca(2, 3) == -1
+        assert table.lca_depth(2, 3) == -1
+
+    def test_cycle_detection(self):
+        with pytest.raises(ValueError, match="cycle"):
+            AncestorTable([1, 0])
+
+    def test_self_parent_rejected(self):
+        with pytest.raises(ValueError, match="cycle"):
+            AncestorTable([0])
+
+    def test_out_of_range_parent_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            AncestorTable([-1, 7])
+
+
+@given(st.integers(min_value=1, max_value=200),
+       st.integers(min_value=0, max_value=2**31))
+def test_against_naive_on_random_trees(n, seed):
+    rng = random.Random(seed)
+    parents = random_forest(rng, n)
+    table = AncestorTable(parents)
+    for _ in range(20):
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        k = rng.randrange(n + 2)
+        assert table.depth(u) == naive_depth(parents, u)
+        assert table.kth_ancestor(u, k) == naive_kth(parents, u, k)
+        assert table.lca(u, v) == naive_lca(parents, u, v)
+
+
+@given(st.integers(min_value=2, max_value=150),
+       st.integers(min_value=0, max_value=2**31))
+def test_lca_is_common_ancestor_and_lowest(n, seed):
+    rng = random.Random(seed)
+    parents = random_forest(rng, n)
+    table = AncestorTable(parents)
+    u, v = rng.randrange(n), rng.randrange(n)
+    ancestor = table.lca(u, v)
+    assert ancestor != -1  # single-rooted forest
+    assert table.is_ancestor(ancestor, u)
+    assert table.is_ancestor(ancestor, v)
+    parent = table.parent(ancestor)
+    if parent != -1:
+        # Any deeper common ancestor would contradict minimality: the
+        # child of the LCA on u's root path differs from the one on v's
+        # unless u == v branch degenerates.
+        deeper_u = table.ancestor_at_depth(u, table.depth(ancestor) + 1)
+        deeper_v = table.ancestor_at_depth(v, table.depth(ancestor) + 1)
+        assert deeper_u != deeper_v or deeper_u == -1 or deeper_v == -1

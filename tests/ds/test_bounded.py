@@ -1,0 +1,89 @@
+"""Tests for the bounded best-k collector."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ds.bounded import TopK
+
+
+class TestTopK:
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            TopK(-1)
+
+    def test_zero_capacity_accepts_nothing(self):
+        top = TopK(0)
+        assert not top.offer(1.0, "x")
+        assert top.sorted_items() == []
+        assert not top.would_accept(-100.0)
+
+    def test_keeps_k_smallest(self):
+        top = TopK(3)
+        for key in [5.0, 1.0, 4.0, 2.0, 3.0]:
+            top.offer(key, key)
+        assert [k for k, _ in top.sorted_items()] == [1.0, 2.0, 3.0]
+
+    def test_threshold_is_inf_until_full(self):
+        top = TopK(2)
+        assert top.threshold() == float("inf")
+        top.offer(1.0, None)
+        assert top.threshold() == float("inf")
+        top.offer(2.0, None)
+        assert top.threshold() == 2.0
+
+    def test_would_accept_is_strict(self):
+        top = TopK(1)
+        top.offer(2.0, None)
+        assert top.would_accept(1.9)
+        assert not top.would_accept(2.0)
+        assert not top.would_accept(2.1)
+
+    def test_offer_returns_whether_retained(self):
+        top = TopK(1)
+        assert top.offer(2.0, None)
+        assert top.offer(1.0, None)
+        assert not top.offer(3.0, None)
+
+    def test_offer_many_counts_retained(self):
+        top = TopK(2)
+        retained = top.offer_many([(3.0, None), (1.0, None), (5.0, None),
+                                   (2.0, None)])
+        assert retained == 3  # 3.0, 1.0, then 2.0 evicting 3.0
+        assert [k for k, _ in top] == [1.0, 2.0]
+
+    def test_sorted_items_are_ascending_with_payloads(self):
+        top = TopK(10)
+        top.offer(2.0, "b")
+        top.offer(1.0, "a")
+        assert top.sorted_items() == [(1.0, "a"), (2.0, "b")]
+
+    def test_len_and_bool(self):
+        top = TopK(5)
+        assert not top and len(top) == 0
+        top.offer(1.0, None)
+        assert top and len(top) == 1
+
+
+@given(st.lists(st.floats(allow_nan=False, allow_infinity=False,
+                          width=32)),
+       st.integers(min_value=0, max_value=10))
+def test_matches_sorted_prefix(keys, capacity):
+    top = TopK(capacity)
+    for i, key in enumerate(keys):
+        top.offer(key, i)
+    assert [k for k, _ in top.sorted_items()] == sorted(keys)[:capacity]
+
+
+@given(st.lists(st.floats(allow_nan=False, allow_infinity=False,
+                          width=32), min_size=1),
+       st.integers(min_value=1, max_value=5))
+def test_threshold_matches_kth_smallest(keys, capacity):
+    top = TopK(capacity)
+    for key in keys:
+        top.offer(key, None)
+    if len(keys) < capacity:
+        assert top.threshold() == float("inf")
+    else:
+        assert top.threshold() == sorted(keys)[capacity - 1]

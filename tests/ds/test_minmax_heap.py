@@ -1,0 +1,177 @@
+"""Unit and property tests for the min-max heap."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ds.minmax_heap import MinMaxHeap
+
+
+class TestBasics:
+    def test_empty_heap_is_falsy(self):
+        heap = MinMaxHeap()
+        assert len(heap) == 0
+        assert not heap
+
+    def test_peek_min_on_empty_raises(self):
+        with pytest.raises(IndexError):
+            MinMaxHeap().peek_min()
+
+    def test_peek_max_on_empty_raises(self):
+        with pytest.raises(IndexError):
+            MinMaxHeap().peek_max()
+
+    def test_pop_min_on_empty_raises(self):
+        with pytest.raises(IndexError):
+            MinMaxHeap().pop_min()
+
+    def test_pop_max_on_empty_raises(self):
+        with pytest.raises(IndexError):
+            MinMaxHeap().pop_max()
+
+    def test_single_element_is_both_min_and_max(self):
+        heap = MinMaxHeap([(2.5, "x")])
+        assert heap.peek_min() == (2.5, "x")
+        assert heap.peek_max() == (2.5, "x")
+
+    def test_two_elements(self):
+        heap = MinMaxHeap([(2.0, "b"), (1.0, "a")])
+        assert heap.peek_min() == (1.0, "a")
+        assert heap.peek_max() == (2.0, "b")
+
+    def test_pop_min_orders_ascending(self):
+        heap = MinMaxHeap((float(x), x) for x in [5, 3, 8, 1, 9, 2])
+        assert [k for k, _ in heap.drain_sorted()] == [1, 2, 3, 5, 8, 9]
+
+    def test_pop_max_orders_descending(self):
+        heap = MinMaxHeap((float(x), x) for x in [5, 3, 8, 1, 9, 2])
+        out = []
+        while heap:
+            out.append(heap.pop_max()[0])
+        assert out == [9, 8, 5, 3, 2, 1]
+
+    def test_payloads_travel_with_keys(self):
+        heap = MinMaxHeap()
+        heap.push(2.0, {"id": 2})
+        heap.push(1.0, {"id": 1})
+        key, payload = heap.pop_min()
+        assert key == 1.0 and payload == {"id": 1}
+
+    def test_ties_never_compare_payloads(self):
+        # Payloads are unorderable objects; equal keys must still work.
+        heap = MinMaxHeap()
+        heap.push(1.0, object())
+        heap.push(1.0, object())
+        heap.push(1.0, object())
+        assert heap.pop_min()[0] == 1.0
+        assert heap.pop_max()[0] == 1.0
+
+    def test_tie_break_is_fifo_for_pop_min(self):
+        heap = MinMaxHeap()
+        heap.push(1.0, "first")
+        heap.push(1.0, "second")
+        assert heap.pop_min()[1] == "first"
+
+    def test_iteration_yields_all_entries(self):
+        items = [(float(i), i) for i in range(10)]
+        heap = MinMaxHeap(items)
+        assert sorted(heap) == items
+
+
+class TestBounded:
+    def test_push_bounded_respects_capacity(self):
+        heap = MinMaxHeap()
+        for i in range(10):
+            heap.push_bounded(float(i), i, capacity=3)
+        assert len(heap) == 3
+        assert [k for k, _ in heap.drain_sorted()] == [0.0, 1.0, 2.0]
+
+    def test_push_bounded_keeps_smallest(self):
+        heap = MinMaxHeap()
+        for i in reversed(range(10)):
+            heap.push_bounded(float(i), i, capacity=4)
+        assert [k for k, _ in heap.drain_sorted()] == [0.0, 1.0, 2.0, 3.0]
+
+    def test_push_bounded_rejects_when_full_and_worse(self):
+        heap = MinMaxHeap([(1.0, None), (2.0, None)])
+        assert not heap.push_bounded(5.0, None, capacity=2)
+        assert len(heap) == 2
+
+    def test_push_bounded_zero_capacity_rejects_everything(self):
+        heap = MinMaxHeap()
+        assert not heap.push_bounded(1.0, None, capacity=0)
+        assert len(heap) == 0
+
+    def test_push_bounded_equal_key_rejected_at_capacity(self):
+        heap = MinMaxHeap([(1.0, "a")])
+        assert not heap.push_bounded(1.0, "b", capacity=1)
+        assert heap.peek_min() == (1.0, "a")
+
+
+class TestRandomized:
+    def test_mixed_operations_match_reference(self):
+        rng = random.Random(7)
+        heap = MinMaxHeap()
+        reference: list[float] = []
+        for step in range(2000):
+            op = rng.random()
+            if op < 0.6 or not reference:
+                key = rng.uniform(-100, 100)
+                heap.push(key, step)
+                reference.append(key)
+            elif op < 0.8:
+                assert heap.pop_min()[0] == min(reference)
+                reference.remove(min(reference))
+            else:
+                assert heap.pop_max()[0] == max(reference)
+                reference.remove(max(reference))
+            if step % 100 == 0:
+                heap.check_invariants()
+        assert sorted(k for k, _ in heap) == sorted(reference)
+
+
+@given(st.lists(st.floats(allow_nan=False, allow_infinity=False,
+                          width=32)))
+def test_drain_sorted_equals_sorted(keys):
+    heap = MinMaxHeap((k, i) for i, k in enumerate(keys))
+    heap.check_invariants()
+    assert [k for k, _ in heap.drain_sorted()] == sorted(keys)
+
+
+@given(st.lists(st.floats(allow_nan=False, allow_infinity=False,
+                          width=32), min_size=1))
+def test_peek_min_max_match_extremes(keys):
+    heap = MinMaxHeap((k, None) for k in keys)
+    assert heap.min_key() == min(keys)
+    assert heap.max_key() == max(keys)
+
+
+@given(st.lists(st.floats(allow_nan=False, allow_infinity=False,
+                          width=32), min_size=1),
+       st.integers(min_value=1, max_value=12))
+def test_push_bounded_keeps_k_smallest(keys, capacity):
+    heap = MinMaxHeap()
+    for i, key in enumerate(keys):
+        heap.push_bounded(key, i, capacity)
+        heap.check_invariants()
+    got = [k for k, _ in heap.drain_sorted()]
+    assert got == sorted(keys)[:capacity]
+
+
+@given(st.lists(st.floats(allow_nan=False, allow_infinity=False,
+                          width=32), min_size=3))
+def test_alternating_pops_preserve_order(keys):
+    heap = MinMaxHeap((k, None) for k in keys)
+    remaining = sorted(keys)
+    take_min = True
+    while remaining:
+        if take_min:
+            assert heap.pop_min()[0] == remaining.pop(0)
+        else:
+            assert heap.pop_max()[0] == remaining.pop()
+        heap.check_invariants()
+        take_min = not take_min
+    assert not heap

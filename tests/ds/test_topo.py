@@ -1,0 +1,78 @@
+"""Tests for topological ordering utilities."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ds.topo import CycleError, longest_path_levels, topological_order
+
+
+class TestTopologicalOrder:
+    def test_empty_graph(self):
+        assert topological_order(0, []) == []
+
+    def test_single_node(self):
+        assert topological_order(1, [[]]) == [0]
+
+    def test_chain_is_ordered(self):
+        order = topological_order(4, [[1], [2], [3], []])
+        assert order == sorted(order, key=order.index)
+        position = {node: i for i, node in enumerate(order)}
+        assert position[0] < position[1] < position[2] < position[3]
+
+    def test_diamond_respects_all_edges(self):
+        fanout = [[1, 2], [3], [3], []]
+        order = topological_order(4, fanout)
+        position = {node: i for i, node in enumerate(order)}
+        for u in range(4):
+            for v in fanout[u]:
+                assert position[u] < position[v]
+
+    def test_self_loop_raises(self):
+        with pytest.raises(CycleError):
+            topological_order(1, [[0]])
+
+    def test_cycle_raises_with_cycle_members(self):
+        with pytest.raises(CycleError) as excinfo:
+            topological_order(4, [[1], [2], [0], []])
+        assert set(excinfo.value.cycle) == {0, 1, 2}
+
+    def test_disconnected_components(self):
+        order = topological_order(4, [[1], [], [3], []])
+        assert sorted(order) == [0, 1, 2, 3]
+
+
+class TestLevels:
+    def test_chain_levels(self):
+        assert longest_path_levels(3, [[1], [2], []]) == [0, 1, 2]
+
+    def test_diamond_levels_take_longest(self):
+        # 0 -> 1 -> 3 and 0 -> 3 directly: node 3 is at level 2.
+        assert longest_path_levels(4, [[1, 3], [3], [], []]) == [0, 1, 0, 2]
+
+    def test_accepts_precomputed_order(self):
+        fanout = [[1], [2], []]
+        order = topological_order(3, fanout)
+        assert longest_path_levels(3, fanout, order) == [0, 1, 2]
+
+
+@given(st.integers(min_value=1, max_value=60),
+       st.integers(min_value=0, max_value=2**31))
+def test_random_dags_produce_valid_orders(n, seed):
+    rng = random.Random(seed)
+    # Edges only go from lower to higher ids: guaranteed acyclic.
+    fanout = [[v for v in range(u + 1, n) if rng.random() < 0.15]
+              for u in range(n)]
+    order = topological_order(n, fanout)
+    assert sorted(order) == list(range(n))
+    position = {node: i for i, node in enumerate(order)}
+    for u in range(n):
+        for v in fanout[u]:
+            assert position[u] < position[v]
+    levels = longest_path_levels(n, fanout, order)
+    for u in range(n):
+        for v in fanout[u]:
+            assert levels[v] >= levels[u] + 1

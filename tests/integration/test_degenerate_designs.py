@@ -1,0 +1,119 @@
+"""Degenerate and boundary designs the engine must handle gracefully."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (CpprEngine, CpprOptions, ExhaustiveTimer, Netlist,
+                   TimingAnalyzer, TimingConstraints, validate_graph)
+from repro.circuit.validate import validate_graph as validate
+from repro.exceptions import CircuitStructureError
+from tests.helpers import assert_slacks_equal
+
+
+class TestClocklessDesign:
+    @pytest.fixture()
+    def analyzer(self):
+        netlist = Netlist("comb_only")
+        netlist.add_primary_input("a", 0.0, 0.2)
+        netlist.add_primary_output("y", rat_early=0.0, rat_late=4.0)
+        netlist.add_gate("g", 1, [(1.0, 2.0)])
+        netlist.connect("a", "g/A0")
+        netlist.connect("g/Y", "y")
+        return TimingAnalyzer(netlist.elaborate(), TimingConstraints(5.0))
+
+    def test_no_ff_paths(self, analyzer):
+        assert CpprEngine(analyzer).top_paths(10, "setup") == []
+
+    def test_output_tests_extension_finds_pi_to_po(self, analyzer):
+        engine = CpprEngine(analyzer,
+                            CpprOptions(include_output_tests=True))
+        paths = engine.top_paths(10, "setup")
+        assert len(paths) == 1
+        # slack = rat_late - (PI late + late delay) = 4 - (0.2 + 2) = 1.8
+        assert paths[0].slack == pytest.approx(1.8)
+
+    def test_oracle_agrees(self, analyzer):
+        engine = CpprEngine(analyzer,
+                            CpprOptions(include_output_tests=True))
+        oracle = ExhaustiveTimer(analyzer, include_output_tests=True)
+        assert_slacks_equal(engine.top_slacks(5, "setup"),
+                            oracle.top_slacks(5, "setup"))
+
+
+class TestSingleFFSelfLoop:
+    @pytest.fixture()
+    def analyzer(self):
+        netlist = Netlist("one_ff")
+        netlist.set_clock_root("clk")
+        netlist.add_flipflop("x", t_setup=0.1, t_hold=0.05,
+                             clk_to_q=(0.2, 0.3))
+        netlist.connect_clock("x", "clk", 1.0, 1.8)
+        netlist.add_gate("g", 1, [(0.5, 0.9)])
+        netlist.connect("x/Q", "g/A0")
+        netlist.connect("g/Y", "x/D")
+        return TimingAnalyzer(netlist.elaborate(), TimingConstraints(5.0))
+
+    def test_only_self_loop_paths_exist(self, analyzer):
+        paths = CpprEngine(analyzer).top_paths(10, "setup")
+        assert len(paths) == 1
+        assert paths[0].is_self_loop
+
+    def test_self_loop_credit_is_full_leaf_credit(self, analyzer):
+        path = CpprEngine(analyzer).top_paths(1, "hold")[0]
+        assert path.credit == pytest.approx(0.8)
+
+    def test_matches_oracle(self, analyzer):
+        for mode in ("setup", "hold"):
+            assert_slacks_equal(
+                CpprEngine(analyzer).top_slacks(5, mode),
+                ExhaustiveTimer(analyzer).top_slacks(5, mode))
+
+
+class TestDisconnectedFF:
+    def test_unreachable_d_pins_are_skipped(self):
+        netlist = Netlist("floating")
+        netlist.set_clock_root("clk")
+        for name in ("a", "b"):
+            netlist.add_flipflop(name)
+            netlist.connect_clock(name, "clk", 1.0, 1.0)
+        # a -> b connected; b's Q floats, a's D floats.
+        netlist.add_gate("g", 1, [(1.0, 1.0)])
+        netlist.connect("a/Q", "g/A0")
+        netlist.connect("g/Y", "b/D")
+        analyzer = TimingAnalyzer(netlist.elaborate(),
+                                  TimingConstraints(5.0))
+        paths = CpprEngine(analyzer).top_paths(10, "setup")
+        assert len(paths) == 1
+        assert paths[0].capture_ff == analyzer.graph.ff_by_name("b").index
+
+
+class TestParallelEdgeGuard:
+    def test_validator_rejects_parallel_edges(self):
+        netlist = Netlist("p")
+        netlist.add_primary_input("a")
+        netlist.add_primary_output("y", rat_late=5.0)
+        netlist.add_gate("g", 1, [(1.0, 1.0)])
+        netlist.connect("a", "g/A0")
+        netlist.connect("g/Y", "y")
+        graph = netlist.elaborate()
+        u = graph.pin("a").index
+        v = graph.pin("g/A0").index
+        graph.fanout[u].append((v, 0.5, 0.6))  # corrupt: second a->A0
+        with pytest.raises(CircuitStructureError, match="parallel"):
+            validate(graph)
+
+
+class TestLargeKSaturation:
+    def test_k_beyond_path_count_returns_every_path_once(self):
+        from tests.helpers import random_small
+        for seed in range(5):
+            graph, constraints = random_small(seed)
+            analyzer = TimingAnalyzer(graph, constraints)
+            oracle = ExhaustiveTimer(analyzer).all_paths("setup")
+            got = CpprEngine(analyzer).top_paths(10 * len(oracle) + 50,
+                                                 "setup")
+            assert len(got) == len(oracle)
+            assert len({p.pins for p in got}) == len(got)
+            assert_slacks_equal([p.slack for p in got],
+                                [p.slack for p in oracle])

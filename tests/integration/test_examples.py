@@ -1,0 +1,36 @@
+"""Smoke tests: the example scripts must stay runnable.
+
+Only the fast examples run here (the timer-comparison and parallel
+sweeps take tens of seconds and are exercised by the benchmarks).
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent.parent / "examples"
+
+FAST_EXAMPLES = ["quickstart.py", "paper_figure1.py",
+                 "file_roundtrip.py", "verilog_flow.py",
+                 "timed_flow.py", "eco_queries.py"]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs_cleanly(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True, text=True, timeout=240)
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), "example produced no output"
+    assert "MISMATCH" not in result.stdout
+
+
+def test_every_example_is_documented_in_readme():
+    readme = (EXAMPLES.parent / "README.md").read_text()
+    for script in EXAMPLES.glob("*.py"):
+        assert script.name in readme, (
+            f"{script.name} missing from README")

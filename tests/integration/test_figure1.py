@@ -1,0 +1,92 @@
+"""Reproduction of the paper's Figure 1: CPPR flips path criticality.
+
+Two data paths:
+
+* path 1 (``ff1 -> gA -> ff2``): launch and capture clocks share only the
+  clock root — zero common-path pessimism.
+* path 2 (``ff3 -> gB -> ff4``): both flip-flops hang under buffer ``b3``
+  whose edge has a large early/late spread — pessimism (credit) 2.0.
+
+Delays are chosen so that path 2 is *more* critical before CPPR
+(pre-slack 4.8 vs 5.0) but *less* critical after (post-slack 6.8 vs 5.0),
+exactly the scenario of Figure 1.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (CpprEngine, ExhaustiveTimer, Netlist, TimingAnalyzer,
+                   TimingConstraints)
+
+
+@pytest.fixture(scope="module")
+def analyzer() -> TimingAnalyzer:
+    netlist = Netlist("figure1")
+    netlist.set_clock_root("clk")
+    netlist.add_clock_buffer("b1", "clk", 1.0, 1.0)
+    netlist.add_clock_buffer("b2", "clk", 1.0, 1.0)
+    netlist.add_clock_buffer("b3", "clk", 1.0, 3.0)  # credit 2.0
+    for name, parent in [("ff1", "b1"), ("ff2", "b2"),
+                         ("ff3", "b3"), ("ff4", "b3")]:
+        netlist.add_flipflop(name)
+        netlist.connect_clock(name, parent, 0.5, 0.5)
+    netlist.add_gate("gA", 1, [(5.0, 5.0)])
+    netlist.connect("ff1/Q", "gA/A0")
+    netlist.connect("gA/Y", "ff2/D")
+    netlist.add_gate("gB", 1, [(3.2, 3.2)])
+    netlist.connect("ff3/Q", "gB/A0")
+    netlist.connect("gB/Y", "ff4/D")
+    return TimingAnalyzer(netlist.elaborate(), TimingConstraints(10.0))
+
+
+def path_pins(analyzer, names):
+    return [analyzer.graph.pin(n).index for n in names]
+
+
+PATH1 = ["ff1/Q", "gA/A0", "gA/Y", "ff2/D"]
+PATH2 = ["ff3/Q", "gB/A0", "gB/Y", "ff4/D"]
+
+
+class TestFigure1:
+    def test_pre_cppr_path2_is_more_critical(self, analyzer):
+        pre1 = analyzer.path_pre_cppr_slack(path_pins(analyzer, PATH1),
+                                            "setup")
+        pre2 = analyzer.path_pre_cppr_slack(path_pins(analyzer, PATH2),
+                                            "setup")
+        assert pre1 == pytest.approx(5.0)
+        assert pre2 == pytest.approx(4.8)
+        assert pre2 < pre1
+
+    def test_pessimism2_exceeds_pessimism1(self, analyzer):
+        credit1 = analyzer.path_credit(path_pins(analyzer, PATH1))
+        credit2 = analyzer.path_credit(path_pins(analyzer, PATH2))
+        assert credit1 == pytest.approx(0.0)
+        assert credit2 == pytest.approx(2.0)
+
+    def test_post_cppr_ranking_flips(self, analyzer):
+        post1 = analyzer.path_post_cppr_slack(path_pins(analyzer, PATH1),
+                                              "setup")
+        post2 = analyzer.path_post_cppr_slack(path_pins(analyzer, PATH2),
+                                              "setup")
+        assert post1 == pytest.approx(5.0)
+        assert post2 == pytest.approx(6.8)
+        assert post1 < post2  # path 1 is now the critical one
+
+    def test_engine_reports_path1_as_global_worst(self, analyzer):
+        worst = CpprEngine(analyzer).worst_path("setup")
+        names = [analyzer.graph.pin_name(p) for p in worst.pins]
+        assert names == PATH1
+        assert worst.slack == pytest.approx(5.0)
+
+    def test_pre_cppr_sta_reports_path2_endpoint_as_worst(self, analyzer):
+        worst = analyzer.worst_endpoint("setup")
+        assert worst.name == "ff4"
+
+    def test_engine_and_oracle_agree_on_ranking(self, analyzer):
+        engine_paths = CpprEngine(analyzer).top_paths(2, "setup")
+        oracle_paths = ExhaustiveTimer(analyzer).top_paths(2, "setup")
+        assert [p.slack for p in engine_paths] == pytest.approx(
+            [p.slack for p in oracle_paths])
+        assert [p.pins for p in engine_paths] == [
+            p.pins for p in oracle_paths]

@@ -1,0 +1,67 @@
+"""End-to-end flows on suite designs: generate -> analyze -> save -> load."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (BlockBasedTimer, BranchBoundTimer, CpprEngine,
+                   PairEnumTimer, TimingAnalyzer, format_path_report,
+                   load_design, save_design)
+from repro.workloads.suite import build_design
+from tests.helpers import assert_slacks_equal
+
+
+@pytest.fixture(scope="module")
+def small_suite_design():
+    graph, constraints = build_design("combo4v2", scale=0.15)
+    return TimingAnalyzer(graph, constraints)
+
+
+class TestSuiteFlow:
+    @pytest.mark.parametrize("mode", ["setup", "hold"])
+    def test_engine_matches_pair_enum_on_suite_design(
+            self, small_suite_design, mode):
+        analyzer = small_suite_design
+        want = PairEnumTimer(analyzer).top_slacks(40, mode)
+        got = CpprEngine(analyzer).top_slacks(40, mode)
+        assert_slacks_equal(got, want)
+
+    def test_engine_matches_block_based_on_suite_design(
+            self, small_suite_design):
+        analyzer = small_suite_design
+        assert_slacks_equal(
+            CpprEngine(analyzer).top_slacks(20, "setup"),
+            BlockBasedTimer(analyzer).top_slacks(20, "setup"))
+
+    def test_engine_matches_branch_bound_on_suite_design(
+            self, small_suite_design):
+        analyzer = small_suite_design
+        assert_slacks_equal(
+            CpprEngine(analyzer).top_slacks(20, "setup"),
+            BranchBoundTimer(analyzer).top_slacks(20, "setup"))
+
+    def test_save_load_analyze(self, small_suite_design, tmp_path):
+        analyzer = small_suite_design
+        path = tmp_path / "design.cppr"
+        save_design(analyzer.graph, analyzer.constraints, path)
+        graph, constraints = load_design(path)
+        reloaded = TimingAnalyzer(graph, constraints)
+        assert_slacks_equal(CpprEngine(reloaded).top_slacks(10, "setup"),
+                            CpprEngine(analyzer).top_slacks(10, "setup"))
+
+    def test_report_renders_on_suite_design(self, small_suite_design):
+        analyzer = small_suite_design
+        paths = CpprEngine(analyzer).top_paths(5, "setup")
+        report = format_path_report(analyzer, paths)
+        assert "post-CPPR slack" in report
+        assert analyzer.graph.name in report
+
+    def test_all_k_values_consistent(self, small_suite_design):
+        """top-k slacks for growing k always extend, never reorder."""
+        analyzer = small_suite_design
+        engine = CpprEngine(analyzer)
+        previous = []
+        for k in (1, 5, 20, 80):
+            current = engine.top_slacks(k, "setup")
+            assert current[:len(previous)] == pytest.approx(previous)
+            previous = current

@@ -1,0 +1,64 @@
+"""Oracle checks on the layered (slack-wall) generator mode.
+
+The benchmark suite uses the layered generator; the rest of the test
+suite mostly exercises the free-form mode.  These tests close that gap:
+small layered designs, same exhaustive-oracle bar.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro import (CpprEngine, ExhaustiveTimer, TimingAnalyzer,
+                   TimingConstraints, validate_graph)
+from repro.sta.modes import AnalysisMode
+from repro.workloads.random_circuit import RandomDesignSpec, random_design
+from repro.workloads.suite import suggest_clock_period
+from tests.helpers import assert_slacks_equal
+
+MODES = [AnalysisMode.SETUP, AnalysisMode.HOLD]
+
+
+def layered_analyzer(seed, channels=2):
+    spec = RandomDesignSpec(
+        name=f"layered{seed}", seed=seed, num_ffs=6, num_gates=12,
+        num_pis=2, num_pos=1, clock_depth=3, layers=3, channels=channels,
+        max_gate_inputs=2, global_mix=0.3)
+    graph = random_design(spec)
+    period = suggest_clock_period(graph, utilization=0.9)
+    return TimingAnalyzer(graph, TimingConstraints(period))
+
+
+@given(st.integers(min_value=0, max_value=3000))
+def test_layered_designs_are_valid(seed):
+    validate_graph(layered_analyzer(seed).graph)
+
+
+@settings(max_examples=25)
+@given(st.integers(min_value=0, max_value=3000),
+       st.sampled_from(MODES),
+       st.sampled_from([1, 6, 25]))
+def test_engine_matches_oracle_on_layered_designs(seed, mode, k):
+    analyzer = layered_analyzer(seed)
+    assert_slacks_equal(CpprEngine(analyzer).top_slacks(k, mode),
+                        ExhaustiveTimer(analyzer).top_slacks(k, mode))
+
+
+@settings(max_examples=10)
+@given(st.integers(min_value=0, max_value=3000))
+def test_single_channel_designs_match_oracle(seed):
+    analyzer = layered_analyzer(seed, channels=1)
+    for mode in MODES:
+        assert_slacks_equal(CpprEngine(analyzer).top_slacks(10, mode),
+                            ExhaustiveTimer(analyzer).top_slacks(10, mode))
+
+
+@settings(max_examples=10)
+@given(st.integers(min_value=0, max_value=3000))
+def test_baselines_match_oracle_on_layered_designs(seed):
+    from repro import BlockBasedTimer, BranchBoundTimer, PairEnumTimer
+    analyzer = layered_analyzer(seed)
+    want = ExhaustiveTimer(analyzer).top_slacks(8, "hold")
+    for timer_cls in (PairEnumTimer, BlockBasedTimer, BranchBoundTimer):
+        assert_slacks_equal(timer_cls(analyzer).top_slacks(8, "hold"),
+                            want)

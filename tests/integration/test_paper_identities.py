@@ -1,0 +1,105 @@
+"""The paper's definitional identities, checked on randomized designs."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import CpprEngine, ExhaustiveTimer, TimingAnalyzer
+from repro.cppr.level_paths import paths_at_level
+from repro.sta.modes import AnalysisMode
+from tests.helpers import random_small
+
+MODES = [AnalysisMode.SETUP, AnalysisMode.HOLD]
+
+
+def analyzer_for(seed):
+    graph, constraints = random_small(seed)
+    return TimingAnalyzer(graph, constraints)
+
+
+@given(st.integers(min_value=0, max_value=500))
+def test_level_zero_slack_equals_pre_cppr_slack(seed):
+    """Definition 3: slack(p, 0) == slack(p) when the root has no skew."""
+    analyzer = analyzer_for(seed)
+    for mode in MODES:
+        for path in paths_at_level(analyzer, 0, 5, mode):
+            assert path.slack == pytest.approx(
+                analyzer.path_pre_cppr_slack(list(path.pins), mode))
+            assert path.credit == 0.0
+
+
+@given(st.integers(min_value=0, max_value=500))
+def test_post_cppr_equals_slack_at_lca_depth(seed):
+    """Equation (3): slack_CPPR(p) == slack(p, depth(LCA))."""
+    analyzer = analyzer_for(seed)
+    tree = analyzer.clock_tree
+    graph = analyzer.graph
+    for mode in MODES:
+        for path in ExhaustiveTimer(analyzer).top_paths(10, mode):
+            if path.launch_ff is None or path.capture_ff is None:
+                continue
+            depth = tree.lca_depth(graph.ffs[path.launch_ff].tree_node,
+                                   graph.ffs[path.capture_ff].tree_node)
+            ancestor = tree.ancestor_at_depth(
+                graph.ffs[path.launch_ff].tree_node, depth)
+            slack_at_depth = (analyzer.path_pre_cppr_slack(
+                list(path.pins), mode) + tree.credit(ancestor))
+            assert path.slack == pytest.approx(slack_at_depth)
+
+
+@given(st.integers(min_value=0, max_value=500))
+def test_post_cppr_never_more_pessimistic_than_pre(seed):
+    """Credits are non-negative: CPPR can only relax, never tighten."""
+    analyzer = analyzer_for(seed)
+    for mode in MODES:
+        for path in CpprEngine(analyzer).top_paths(15, mode):
+            assert path.slack >= path.pre_cppr_slack - 1e-12
+
+
+@given(st.integers(min_value=0, max_value=500))
+def test_candidate_count_bound(seed):
+    """Algorithm 1 generates at most k(D+2) candidates."""
+    analyzer = analyzer_for(seed)
+    k = 7
+    num_levels = analyzer.clock_tree.num_levels
+    for mode in MODES:
+        candidates = CpprEngine(analyzer).candidate_paths(k, mode)
+        assert len(candidates) <= k * (num_levels + 2)
+
+
+@settings(max_examples=20)
+@given(st.integers(min_value=0, max_value=500))
+def test_worst_post_cppr_slack_never_below_worst_pre_cppr(seed):
+    """Global post-CPPR worst slack >= global pre-CPPR worst slack."""
+    analyzer = analyzer_for(seed)
+    for mode in MODES:
+        endpoint_slacks = [s.slack for s in analyzer.endpoint_slacks(mode)
+                           if s.slack is not None and s.ff_index is not None]
+        paths = CpprEngine(analyzer).top_paths(1, mode)
+        if not paths or not endpoint_slacks:
+            continue
+        assert paths[0].slack >= min(endpoint_slacks) - 1e-12
+
+
+@settings(max_examples=20)
+@given(st.integers(min_value=0, max_value=500))
+def test_topk_slacks_are_monotone_in_k(seed):
+    """top-k is a prefix of top-(k+5) for every k."""
+    analyzer = analyzer_for(seed)
+    for mode in MODES:
+        small = CpprEngine(analyzer).top_slacks(5, mode)
+        large = CpprEngine(analyzer).top_slacks(10, mode)
+        assert small == pytest.approx(large[:len(small)])
+
+
+@settings(max_examples=20)
+@given(st.integers(min_value=0, max_value=500))
+def test_credit_monotone_towards_leaves(seed):
+    """credit(child) >= credit(parent) everywhere in the clock tree."""
+    analyzer = analyzer_for(seed)
+    tree = analyzer.clock_tree
+    for node in range(len(tree)):
+        parent = tree.parent(node)
+        if parent != -1:
+            assert tree.credit(node) >= tree.credit(parent) - 1e-12

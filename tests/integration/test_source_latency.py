@@ -1,0 +1,66 @@
+"""Clock-source latency: the root itself can carry pessimism.
+
+When the clock source has distinct early/late annotations (source
+latency with variation), ``credit(root) > 0`` and even cross-tree pairs
+get a non-zero credit.  The level-0 ranking metric then differs from the
+pre-CPPR slack — a corner the engine must handle exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import CpprEngine, ExhaustiveTimer, TimingAnalyzer
+from repro.sta.modes import AnalysisMode
+from tests.helpers import assert_slacks_equal, random_small
+
+MODES = [AnalysisMode.SETUP, AnalysisMode.HOLD]
+
+
+def analyzer_with_latency(seed):
+    graph, constraints = random_small(seed, source_latency=(0.5, 1.3))
+    return TimingAnalyzer(graph, constraints)
+
+
+def test_root_credit_is_positive():
+    analyzer = analyzer_with_latency(0)
+    assert analyzer.clock_tree.credit(0) == pytest.approx(0.8)
+
+
+def test_cross_tree_pairs_receive_root_credit():
+    analyzer = analyzer_with_latency(0)
+    tree = analyzer.clock_tree
+    leaves = tree.leaves()
+    cross = [(a, b) for a in leaves for b in leaves
+             if a != b and tree.lca(a, b) == 0]
+    for a, b in cross[:5]:
+        assert tree.pair_credit(a, b) == pytest.approx(0.8)
+
+
+def test_every_ff_pair_path_gets_at_least_root_credit():
+    analyzer = analyzer_with_latency(1)
+    for path in CpprEngine(analyzer).top_paths(20, "setup"):
+        if path.launch_ff is not None and path.capture_ff is not None:
+            assert path.credit >= 0.8 - 1e-12
+
+
+@settings(max_examples=25)
+@given(st.integers(min_value=0, max_value=5000),
+       st.sampled_from(MODES),
+       st.sampled_from([1, 8, 30]))
+def test_engine_matches_oracle_with_source_latency(seed, mode, k):
+    analyzer = analyzer_with_latency(seed)
+    assert_slacks_equal(CpprEngine(analyzer).top_slacks(k, mode),
+                        ExhaustiveTimer(analyzer).top_slacks(k, mode))
+
+
+@settings(max_examples=10)
+@given(st.integers(min_value=0, max_value=5000))
+def test_baselines_match_oracle_with_source_latency(seed):
+    from repro import BlockBasedTimer, BranchBoundTimer, PairEnumTimer
+    analyzer = analyzer_with_latency(seed)
+    want = ExhaustiveTimer(analyzer).top_slacks(10, "setup")
+    for timer_cls in (PairEnumTimer, BlockBasedTimer, BranchBoundTimer):
+        assert_slacks_equal(timer_cls(analyzer).top_slacks(10, "setup"),
+                            want)

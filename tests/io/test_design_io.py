@@ -1,0 +1,68 @@
+"""Tests for the neutral design description layer."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import CpprEngine, TimingAnalyzer
+from repro.exceptions import FormatError
+from repro.io.design_io import (describe_design, description_from_dict,
+                                description_to_dict, reconstruct_design)
+from repro.workloads.stats import design_statistics
+from tests.helpers import assert_slacks_equal, demo_design, random_small
+
+
+def roundtrip(graph, constraints):
+    return reconstruct_design(describe_design(graph, constraints))
+
+
+class TestRoundTrip:
+    def test_demo_structure_preserved(self):
+        graph, constraints = demo_design()
+        new_graph, new_constraints = roundtrip(graph, constraints)
+        assert new_constraints.clock_period == constraints.clock_period
+        old = design_statistics(graph)
+        new = design_statistics(new_graph)
+        assert (old.num_edges, old.num_ffs, old.num_levels) == (
+            new.num_edges, new.num_ffs, new.num_levels)
+        assert old.ff_connectivity == new.ff_connectivity
+
+    def test_demo_timing_preserved(self):
+        graph, constraints = demo_design()
+        new_graph, new_constraints = roundtrip(graph, constraints)
+        want = CpprEngine(TimingAnalyzer(graph, constraints)).top_slacks(
+            20, "setup")
+        got = CpprEngine(TimingAnalyzer(new_graph,
+                                        new_constraints)).top_slacks(
+            20, "setup")
+        assert_slacks_equal(got, want)
+
+    def test_description_is_plain_data(self):
+        graph, constraints = demo_design()
+        data = description_to_dict(describe_design(graph, constraints))
+        import json
+        json.dumps(data)  # must be JSON-serializable as-is
+
+    def test_dict_roundtrip(self):
+        graph, constraints = demo_design()
+        desc = describe_design(graph, constraints)
+        recovered = description_from_dict(description_to_dict(desc))
+        assert recovered == desc
+
+    def test_malformed_dict_raises_format_error(self):
+        with pytest.raises(FormatError, match="malformed"):
+            description_from_dict({"name": "x"})
+
+
+@given(st.integers(min_value=0, max_value=500))
+def test_random_designs_roundtrip_timing(seed):
+    graph, constraints = random_small(seed)
+    new_graph, new_constraints = roundtrip(graph, constraints)
+    for mode in ("setup", "hold"):
+        want = CpprEngine(TimingAnalyzer(graph, constraints)).top_slacks(
+            10, mode)
+        got = CpprEngine(TimingAnalyzer(new_graph,
+                                        new_constraints)).top_slacks(
+            10, mode)
+        assert_slacks_equal(got, want)

@@ -1,0 +1,85 @@
+"""Tests for machine-readable path reports."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import CpprEngine
+from repro.exceptions import FormatError
+from repro.io.reports import (load_paths_json, paths_to_dicts,
+                              save_paths_json)
+from tests.helpers import demo_analyzer
+
+
+@pytest.fixture()
+def analyzer_and_paths():
+    analyzer = demo_analyzer()
+    return analyzer, CpprEngine(analyzer).top_paths(5, "setup")
+
+
+class TestPathsToDicts:
+    def test_fields_present(self, analyzer_and_paths):
+        analyzer, paths = analyzer_and_paths
+        records = paths_to_dicts(analyzer, paths)
+        assert len(records) == len(paths)
+        first = records[0]
+        for key in ("rank", "mode", "family", "slack", "credit",
+                    "pre_cppr_slack", "pins", "launch_ff",
+                    "capture_ff", "level"):
+            assert key in first
+
+    def test_pins_are_names(self, analyzer_and_paths):
+        analyzer, paths = analyzer_and_paths
+        records = paths_to_dicts(analyzer, paths)
+        for record in records:
+            assert all(isinstance(p, str) for p in record["pins"])
+
+    def test_ranks_start_at_one(self, analyzer_and_paths):
+        analyzer, paths = analyzer_and_paths
+        records = paths_to_dicts(analyzer, paths)
+        assert [r["rank"] for r in records] == list(
+            range(1, len(paths) + 1))
+
+    def test_slack_decomposition_consistent(self, analyzer_and_paths):
+        analyzer, paths = analyzer_and_paths
+        for record in paths_to_dicts(analyzer, paths):
+            assert record["slack"] == pytest.approx(
+                record["pre_cppr_slack"] + record["credit"])
+
+    def test_json_serializable(self, analyzer_and_paths):
+        analyzer, paths = analyzer_and_paths
+        json.dumps(paths_to_dicts(analyzer, paths))
+
+
+class TestFileRoundTrip:
+    def test_save_and_load(self, analyzer_and_paths, tmp_path):
+        analyzer, paths = analyzer_and_paths
+        report = tmp_path / "report.json"
+        save_paths_json(analyzer, paths, report)
+        payload = load_paths_json(report)
+        assert payload["design"] == "demo"
+        assert payload["clock_period"] == 6.0
+        assert len(payload["paths"]) == len(paths)
+        assert payload["paths"][0]["slack"] == pytest.approx(
+            paths[0].slack)
+
+    def test_invalid_json_rejected(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{oops")
+        with pytest.raises(FormatError, match="invalid JSON"):
+            load_paths_json(bad)
+
+    def test_wrong_format_rejected(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(FormatError, match="not a repro"):
+            load_paths_json(bad)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"format": "repro-cppr-paths",
+                                   "version": 9}))
+        with pytest.raises(FormatError, match="version"):
+            load_paths_json(bad)

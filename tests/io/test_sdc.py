@@ -1,0 +1,89 @@
+"""Tests for the SDC constraint parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import FormatError
+from repro.io.sdc import parse_sdc
+
+GOOD = """
+# constraints for top
+create_clock -period 5.0 -name core_clk [get_ports clk]
+set_input_delay 0.5 -clock core_clk [get_ports a]
+set_input_delay 0.2 -min -clock core_clk [get_ports a]
+set_input_delay 0.9 [get_ports b]
+set_output_delay 1.0 -clock core_clk [get_ports y]
+set_output_delay 0.1 -min -clock core_clk [get_ports y]
+"""
+
+
+class TestParsing:
+    def test_clock(self):
+        sdc = parse_sdc(GOOD)
+        assert sdc.clock_port == "clk"
+        assert sdc.clock_name == "core_clk"
+        assert sdc.clock_period == 5.0
+
+    def test_input_arrival_min_max(self):
+        sdc = parse_sdc(GOOD)
+        assert sdc.input_arrival("a") == (0.2, 0.5)
+
+    def test_input_arrival_max_only_defaults_min(self):
+        sdc = parse_sdc(GOOD)
+        assert sdc.input_arrival("b") == (0.9, 0.9)
+
+    def test_unconstrained_input_is_zero(self):
+        sdc = parse_sdc(GOOD)
+        assert sdc.input_arrival("other") == (0.0, 0.0)
+
+    def test_output_required(self):
+        sdc = parse_sdc(GOOD)
+        rat_early, rat_late = sdc.output_required("y")
+        assert rat_late == pytest.approx(5.0 - 1.0)
+        assert rat_early == pytest.approx(-0.1)
+
+    def test_unconstrained_output_is_none(self):
+        sdc = parse_sdc(GOOD)
+        assert sdc.output_required("other") == (None, None)
+
+    def test_comments_and_blank_lines(self):
+        sdc = parse_sdc("\n# only comments\n\n"
+                        "create_clock -period 2 [get_ports c]\n")
+        assert sdc.clock_period == 2.0
+
+
+class TestErrors:
+    def test_missing_period(self):
+        with pytest.raises(FormatError, match="-period"):
+            parse_sdc("create_clock [get_ports clk]\n")
+
+    def test_negative_period(self):
+        with pytest.raises(FormatError, match="positive"):
+            parse_sdc("create_clock -period -1 [get_ports clk]\n")
+
+    def test_two_clocks_rejected(self):
+        with pytest.raises(FormatError, match="multiple create_clock"):
+            parse_sdc("create_clock -period 1 [get_ports c1]\n"
+                      "create_clock -period 2 [get_ports c2]\n")
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(FormatError, match="unsupported SDC command"):
+            parse_sdc("set_false_path -from x\n")
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(FormatError, match="unsupported option"):
+            parse_sdc("set_input_delay 1.0 -rise [get_ports a]\n")
+
+    def test_missing_get_ports(self):
+        with pytest.raises(FormatError, match="get_ports"):
+            parse_sdc("set_input_delay 1.0 a\n")
+
+    def test_missing_value(self):
+        with pytest.raises(FormatError, match="missing delay"):
+            parse_sdc("set_input_delay [get_ports a]\n")
+
+    def test_output_delay_without_clock(self):
+        sdc = parse_sdc("set_output_delay 1.0 [get_ports y]\n")
+        with pytest.raises(FormatError, match="create_clock"):
+            sdc.output_required("y")

@@ -1,0 +1,99 @@
+"""Tests for the structural Verilog parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import FormatError
+from repro.io.verilog import parse_verilog
+
+GOOD = """
+// a small post-synthesis netlist
+module top (a, b, clk, y);
+  input a, b, clk;
+  output y;
+  wire w1, w2;  /* two internal
+                   nets */
+  NAND2_X1 u1 (.A0(a), .A1(b), .Y(w1));
+  DFF_X1   r1 (.CK(clk), .D(w1), .Q(w2));
+  BUF_X1   u2 (.A0(w2), .Y(y));
+endmodule
+"""
+
+
+class TestParsing:
+    def test_module_header(self):
+        module = parse_verilog(GOOD)
+        assert module.name == "top"
+        assert module.ports == ["a", "b", "clk", "y"]
+        assert module.inputs == ["a", "b", "clk"]
+        assert module.outputs == ["y"]
+        assert module.wires == ["w1", "w2"]
+
+    def test_instances(self):
+        module = parse_verilog(GOOD)
+        assert [i.name for i in module.instances] == ["u1", "r1", "u2"]
+        u1 = module.instances[0]
+        assert u1.cell == "NAND2_X1"
+        assert u1.connections == {"A0": "a", "A1": "b", "Y": "w1"}
+
+    def test_comments_stripped(self):
+        module = parse_verilog(GOOD)
+        assert "two" not in module.nets()
+
+    def test_nets_set(self):
+        module = parse_verilog(GOOD)
+        assert module.nets() == {"a", "b", "clk", "y", "w1", "w2"}
+
+    def test_empty_port_list(self):
+        module = parse_verilog("module empty ();\nendmodule\n")
+        assert module.ports == []
+
+    def test_multiple_declarations_accumulate(self):
+        text = ("module m (a, b);\n input a;\n input b;\n"
+                " wire w;\n wire v;\nendmodule\n")
+        module = parse_verilog(text)
+        assert module.inputs == ["a", "b"]
+        assert module.wires == ["w", "v"]
+
+
+class TestErrors:
+    def test_missing_endmodule(self):
+        with pytest.raises(FormatError, match="endmodule|end of file"):
+            parse_verilog("module m (); input a;")
+
+    def test_positional_connections_rejected(self):
+        text = ("module m (a, y);\n input a;\n output y;\n"
+                " BUF_X1 u1 (a, y);\nendmodule\n")
+        with pytest.raises(FormatError, match="named port"):
+            parse_verilog(text)
+
+    def test_undeclared_net_rejected(self):
+        text = ("module m (a, y);\n input a;\n output y;\n"
+                " BUF_X1 u1 (.A0(ghost), .Y(y));\nendmodule\n")
+        with pytest.raises(FormatError, match="undeclared net"):
+            parse_verilog(text)
+
+    def test_undirected_port_rejected(self):
+        text = "module m (a);\n wire a;\nendmodule\n"
+        with pytest.raises(FormatError, match="no direction"):
+            parse_verilog(text)
+
+    def test_duplicate_instance_rejected(self):
+        text = ("module m (a, y);\n input a;\n output y;\n wire w;\n"
+                " BUF_X1 u1 (.A0(a), .Y(w));\n"
+                " BUF_X1 u1 (.A0(w), .Y(y));\nendmodule\n")
+        with pytest.raises(FormatError, match="duplicate instance"):
+            parse_verilog(text)
+
+    def test_double_port_connection_rejected(self):
+        text = ("module m (a, y);\n input a;\n output y;\n"
+                " BUF_X1 u1 (.A0(a), .A0(a), .Y(y));\nendmodule\n")
+        with pytest.raises(FormatError, match="connected twice"):
+            parse_verilog(text)
+
+    def test_error_has_line_number(self):
+        text = "module m (a);\n input a;\n garbage %%% here\nendmodule\n"
+        with pytest.raises(FormatError) as excinfo:
+            parse_verilog(text)
+        assert excinfo.value.line == 3

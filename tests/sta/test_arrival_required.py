@@ -1,0 +1,122 @@
+"""Hand-computed checks for arrival and required-time propagation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sta.arrival import propagate_arrivals
+from repro.sta.required import propagate_required
+from tests.helpers import demo_design, two_ff_design
+
+
+@pytest.fixture()
+def two_ff():
+    graph, constraints = two_ff_design()
+    return graph, constraints, propagate_arrivals(graph)
+
+
+class TestArrivals:
+    def test_q_pin_seeded_from_clock_plus_clk_to_q(self, two_ff):
+        graph, _constraints, arrivals = two_ff
+        ffa = graph.ff_by_name("ffa")
+        tree = graph.clock_tree
+        # clk->buf (1.0, 1.5), buf->ffa (0.5, 0.8), clk_to_q (0.2, 0.3)
+        assert tree.at_early(ffa.tree_node) == pytest.approx(1.5)
+        assert tree.at_late(ffa.tree_node) == pytest.approx(2.3)
+        assert arrivals.early[ffa.q_pin] == pytest.approx(1.7)
+        assert arrivals.late[ffa.q_pin] == pytest.approx(2.6)
+
+    def test_d_pin_accumulates_path_delay(self, two_ff):
+        graph, _constraints, arrivals = two_ff
+        ffb = graph.ff_by_name("ffb")
+        # Q arrival + gate arc (1.0, 2.0), nets are zero-delay.
+        assert arrivals.early[ffb.d_pin] == pytest.approx(1.7 + 1.0)
+        assert arrivals.late[ffb.d_pin] == pytest.approx(2.6 + 2.0)
+
+    def test_unreachable_pins_report_none(self, two_ff):
+        graph, _constraints, arrivals = two_ff
+        ffa = graph.ff_by_name("ffa")
+        # ffa/D is driven by nothing in this tiny design.
+        assert not arrivals.is_reachable(ffa.d_pin)
+        assert arrivals.early_at(ffa.d_pin) is None
+        assert arrivals.late_at(ffa.d_pin) is None
+
+    def test_reachable_pins_report_values(self, two_ff):
+        graph, _constraints, arrivals = two_ff
+        ffb = graph.ff_by_name("ffb")
+        assert arrivals.is_reachable(ffb.d_pin)
+        assert arrivals.early_at(ffb.d_pin) == arrivals.early[ffb.d_pin]
+
+    def test_early_never_exceeds_late_on_reachable_pins(self):
+        graph, _constraints = demo_design()
+        arrivals = propagate_arrivals(graph)
+        for pin in range(graph.num_pins):
+            if arrivals.is_reachable(pin) and (
+                    arrivals.early_at(pin) is not None):
+                assert arrivals.early[pin] <= arrivals.late[pin] + 1e-12
+
+    def test_pi_arrival_annotations_respected(self):
+        graph, _constraints = demo_design()
+        arrivals = propagate_arrivals(graph)
+        pi = graph.primary_inputs[0]
+        assert arrivals.early[pi.pin] == pytest.approx(0.0)
+        assert arrivals.late[pi.pin] == pytest.approx(0.5)
+
+
+class TestRequired:
+    def test_setup_seed_formula(self, two_ff):
+        graph, constraints, arrivals = two_ff
+        required = propagate_required(graph, constraints)
+        ffb = graph.ff_by_name("ffb")
+        tree = graph.clock_tree
+        expected = (tree.at_early(ffb.tree_node)
+                    + constraints.clock_period - ffb.t_setup)
+        assert required.late[ffb.d_pin] == pytest.approx(expected)
+
+    def test_hold_seed_formula(self, two_ff):
+        graph, constraints, arrivals = two_ff
+        required = propagate_required(graph, constraints)
+        ffb = graph.ff_by_name("ffb")
+        tree = graph.clock_tree
+        expected = tree.at_late(ffb.tree_node) + ffb.t_hold
+        assert required.early[ffb.d_pin] == pytest.approx(expected)
+
+    def test_backward_propagation_subtracts_delays(self, two_ff):
+        graph, constraints, _arrivals = two_ff
+        required = propagate_required(graph, constraints)
+        ffb = graph.ff_by_name("ffb")
+        q_pin = graph.ff_by_name("ffa").q_pin
+        # rat_late(Q) = rat_late(D) - (net 0) - arc late 2.0 - (net 0)
+        assert required.late[q_pin] == pytest.approx(
+            required.late[ffb.d_pin] - 2.0)
+        assert required.early[q_pin] == pytest.approx(
+            required.early[ffb.d_pin] - 1.0)
+
+    def test_unconstrained_pins_report_none(self, two_ff):
+        graph, constraints, _arrivals = two_ff
+        required = propagate_required(graph, constraints)
+        # ffa/D reaches no endpoint (it IS an endpoint but unreachable
+        # pins still get their own seed) -- check a Q pin of ffb instead,
+        # which drives nothing.
+        ffb_q = graph.ff_by_name("ffb").q_pin
+        assert required.late_at(ffb_q) is None
+        assert required.early_at(ffb_q) is None
+
+    def test_po_required_times_seeded(self):
+        graph, constraints = demo_design()
+        required = propagate_required(graph, constraints)
+        po = graph.primary_outputs[0]
+        assert required.late[po.pin] == pytest.approx(20.0)
+        assert required.early[po.pin] == pytest.approx(0.0)
+
+    def test_tightest_requirement_wins_at_fanout(self):
+        graph, constraints = demo_design()
+        required = propagate_required(graph, constraints)
+        # g1/Y fans out to ff2/D and g2; its rat must be the minimum of
+        # the two setup requirements propagated back.
+        g1y = graph.pin("g1/Y").index
+        candidates = []
+        for v, _early, late in graph.fanout[g1y]:
+            if required.late_at(v) is not None:
+                candidates.append(required.late[v] - late)
+        assert required.late[g1y] == pytest.approx(min(candidates))

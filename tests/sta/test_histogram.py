@@ -1,0 +1,71 @@
+"""Tests for slack histograms."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import TimingAnalyzer
+from repro.sta.histogram import slack_histogram
+from tests.helpers import demo_analyzer, two_ff_design
+
+
+class TestSlackHistogram:
+    def test_counts_sum_to_tested_endpoints(self):
+        analyzer = demo_analyzer()
+        histogram = slack_histogram(analyzer, "setup", bins=5)
+        tested = [s for s in analyzer.endpoint_slacks("setup")
+                  if s.slack is not None]
+        assert sum(histogram.counts) == len(tested)
+        assert histogram.num_tested == len(tested)
+
+    def test_worst_and_best_are_extremes(self):
+        analyzer = demo_analyzer()
+        histogram = slack_histogram(analyzer, "hold", bins=4)
+        values = [s.slack for s in analyzer.endpoint_slacks("hold")
+                  if s.slack is not None]
+        assert histogram.worst == min(values)
+        assert histogram.best == max(values)
+
+    def test_violations_counted(self):
+        analyzer = demo_analyzer()
+        histogram = slack_histogram(analyzer, "setup")
+        values = [s.slack for s in analyzer.endpoint_slacks("setup")
+                  if s.slack is not None]
+        assert histogram.num_violating == sum(1 for v in values if v < 0)
+
+    def test_single_endpoint_degenerate_span(self):
+        graph, constraints = two_ff_design()
+        analyzer = TimingAnalyzer(graph, constraints)
+        histogram = slack_histogram(analyzer, "setup", bins=3)
+        assert sum(histogram.counts) == 1
+        assert histogram.worst == histogram.best
+
+    def test_bad_bins_rejected(self):
+        with pytest.raises(ValueError):
+            slack_histogram(demo_analyzer(), "setup", bins=0)
+
+    def test_no_endpoints_rejected(self):
+        from repro import Netlist, TimingConstraints
+        netlist = Netlist("empty")
+        netlist.add_primary_input("a")
+        netlist.add_primary_output("y")  # unconstrained
+        netlist.connect("a", "y")
+        analyzer = TimingAnalyzer(netlist.elaborate(),
+                                  TimingConstraints(1.0))
+        with pytest.raises(ValueError, match="no tested"):
+            slack_histogram(analyzer, "setup")
+
+    def test_format_renders_all_bins(self):
+        analyzer = demo_analyzer()
+        histogram = slack_histogram(analyzer, "setup", bins=6)
+        text = histogram.format()
+        assert text.count("[") == 6
+        assert "violating" in text
+
+    def test_within_margin_monotone(self):
+        analyzer = demo_analyzer()
+        histogram = slack_histogram(analyzer, "setup", bins=8)
+        assert histogram.within(0.0) >= 1
+        assert histogram.within(1e9) == histogram.num_tested
+        with pytest.raises(ValueError):
+            histogram.within(-1.0)

@@ -1,0 +1,127 @@
+"""Tests for incremental delay updates."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import (CpprEngine, ExhaustiveTimer, TimingAnalyzer,
+                   validate_graph)
+from repro.exceptions import AnalysisError
+from repro.sta.incremental import (DelayUpdate, apply_clock_updates,
+                                   apply_delay_updates)
+from tests.helpers import assert_slacks_equal, demo_design, random_small
+
+
+class TestDelayUpdate:
+    def test_inverted_delays_rejected(self):
+        with pytest.raises(AnalysisError):
+            DelayUpdate("a", "b", 2.0, 1.0)
+
+    def test_unknown_pin_rejected(self):
+        graph, _constraints = demo_design()
+        with pytest.raises(AnalysisError, match="unknown pin"):
+            apply_delay_updates(graph, [DelayUpdate("nope", "g1/A0",
+                                                    0.0, 0.0)])
+
+    def test_missing_edge_rejected(self):
+        graph, _constraints = demo_design()
+        with pytest.raises(AnalysisError, match="no data edge"):
+            apply_delay_updates(graph, [DelayUpdate("ff1/Q", "ff4/D",
+                                                    0.0, 0.0)])
+
+    def test_pin_ids_accepted(self):
+        graph, _constraints = demo_design()
+        u = graph.pin("ff1/Q").index
+        v = graph.pin("g1/A0").index
+        updated = apply_delay_updates(graph, [DelayUpdate(u, v, 0.3, 0.4)])
+        assert (v, 0.3, 0.4) in updated.fanout[u]
+
+
+class TestApplyDelayUpdates:
+    def test_original_graph_unchanged(self):
+        graph, _constraints = demo_design()
+        u = graph.pin("ff1/Q").index
+        before = [list(row) for row in graph.fanout]
+        apply_delay_updates(graph, [DelayUpdate("ff1/Q", "g1/A0",
+                                                0.9, 0.95)])
+        assert [list(row) for row in graph.fanout] == before
+
+    def test_untouched_rows_shared(self):
+        graph, _constraints = demo_design()
+        updated = apply_delay_updates(graph, [DelayUpdate("ff1/Q",
+                                                          "g1/A0",
+                                                          0.9, 0.95)])
+        u = graph.pin("ff1/Q").index
+        assert updated.fanout[u] is not graph.fanout[u]
+        other = graph.pin("ff3/Q").index
+        assert updated.fanout[other] is graph.fanout[other]
+
+    def test_updated_graph_validates(self):
+        graph, _constraints = demo_design()
+        updated = apply_delay_updates(graph, [DelayUpdate("ff1/Q",
+                                                          "g1/A0",
+                                                          0.9, 0.95)])
+        validate_graph(updated)
+
+    def test_slowing_the_critical_edge_worsens_slack(self):
+        graph, constraints = demo_design()
+        base = CpprEngine(TimingAnalyzer(graph, constraints))
+        worst_before = base.worst_path("setup")
+        # Slow down the first data edge of the worst path by 1.0.
+        u, v = worst_before.pins[0], worst_before.pins[1]
+        early, late = next((e, l) for t, e, l in graph.fanout[u] if t == v)
+        updated = apply_delay_updates(
+            graph, [DelayUpdate(u, v, early + 1.0, late + 1.0)])
+        after = CpprEngine(TimingAnalyzer(updated, constraints))
+        worst_after = after.worst_path("setup")
+        assert worst_after.slack < worst_before.slack
+
+    @settings(max_examples=10)
+    @given(st.integers(min_value=0, max_value=2000))
+    def test_updated_graph_matches_oracle(self, seed):
+        graph, constraints = random_small(seed)
+        # Perturb the first three data edges found.
+        updates = []
+        for u in range(graph.num_pins):
+            for v, early, late in graph.fanout[u]:
+                updates.append(DelayUpdate(u, v, early * 0.5,
+                                           late * 1.5))
+                break
+            if len(updates) == 3:
+                break
+        updated = apply_delay_updates(graph, updates)
+        analyzer = TimingAnalyzer(updated, constraints)
+        assert_slacks_equal(
+            CpprEngine(analyzer).top_slacks(10, "setup"),
+            ExhaustiveTimer(analyzer).top_slacks(10, "setup"))
+
+
+class TestApplyClockUpdates:
+    def test_unknown_node_rejected(self):
+        graph, _constraints = demo_design()
+        with pytest.raises(AnalysisError, match="unknown clock node"):
+            apply_clock_updates(graph, {"nope": (1.0, 2.0)})
+
+    def test_source_rejected(self):
+        graph, _constraints = demo_design()
+        with pytest.raises(AnalysisError, match="source"):
+            apply_clock_updates(graph, {"clk": (1.0, 2.0)})
+
+    def test_widening_skew_increases_credit(self):
+        graph, constraints = demo_design()
+        node = graph.clock_tree.node_of_pin(graph.pin("b1").index)
+        before = graph.clock_tree.credit(node)
+        updated = apply_clock_updates(graph, {"b1": (1.0, 2.5)})
+        after = updated.clock_tree.credit(node)
+        assert after > before
+        assert graph.clock_tree.credit(node) == before  # original intact
+
+    def test_updated_tree_matches_oracle(self):
+        graph, constraints = demo_design()
+        updated = apply_clock_updates(graph, {"b1": (0.8, 2.2),
+                                              "b2": (1.1, 1.4)})
+        analyzer = TimingAnalyzer(updated, constraints)
+        assert_slacks_equal(
+            CpprEngine(analyzer).top_slacks(15, "hold"),
+            ExhaustiveTimer(analyzer).top_slacks(15, "hold"))

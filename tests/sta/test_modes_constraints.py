@@ -1,0 +1,66 @@
+"""Tests for analysis modes and global constraints."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import TimingConstraintError
+from repro.sta.constraints import TimingConstraints
+from repro.sta.modes import AnalysisMode
+
+
+class TestAnalysisMode:
+    def test_setup_prefers_later(self):
+        assert AnalysisMode.SETUP.prefer(2.0, 1.0)
+        assert not AnalysisMode.SETUP.prefer(1.0, 2.0)
+        assert not AnalysisMode.SETUP.prefer(1.0, 1.0)
+
+    def test_hold_prefers_earlier(self):
+        assert AnalysisMode.HOLD.prefer(1.0, 2.0)
+        assert not AnalysisMode.HOLD.prefer(2.0, 1.0)
+        assert not AnalysisMode.HOLD.prefer(1.0, 1.0)
+
+    def test_empty_time_is_merge_identity(self):
+        assert AnalysisMode.SETUP.empty_time == float("-inf")
+        assert AnalysisMode.HOLD.empty_time == float("inf")
+        # Any real time beats the identity.
+        assert AnalysisMode.SETUP.prefer(-1e30,
+                                         AnalysisMode.SETUP.empty_time)
+        assert AnalysisMode.HOLD.prefer(1e30, AnalysisMode.HOLD.empty_time)
+
+    def test_edge_delay_selection(self):
+        assert AnalysisMode.SETUP.edge_delay(1.0, 2.0) == 2.0
+        assert AnalysisMode.HOLD.edge_delay(1.0, 2.0) == 1.0
+
+    def test_coerce_from_string(self):
+        assert AnalysisMode.coerce("setup") is AnalysisMode.SETUP
+        assert AnalysisMode.coerce("HOLD") is AnalysisMode.HOLD
+        assert AnalysisMode.coerce(AnalysisMode.SETUP) is AnalysisMode.SETUP
+
+    def test_coerce_rejects_garbage(self):
+        with pytest.raises(ValueError, match="unknown analysis mode"):
+            AnalysisMode.coerce("both")
+        with pytest.raises(ValueError):
+            AnalysisMode.coerce(42)
+
+    def test_is_setup_flag(self):
+        assert AnalysisMode.SETUP.is_setup
+        assert not AnalysisMode.HOLD.is_setup
+
+
+class TestTimingConstraints:
+    def test_positive_period_accepted(self):
+        assert TimingConstraints(5.0).clock_period == 5.0
+
+    def test_zero_period_rejected(self):
+        with pytest.raises(TimingConstraintError):
+            TimingConstraints(0.0)
+
+    def test_negative_period_rejected(self):
+        with pytest.raises(TimingConstraintError):
+            TimingConstraints(-1.0)
+
+    def test_frozen(self):
+        constraints = TimingConstraints(5.0)
+        with pytest.raises(AttributeError):
+            constraints.clock_period = 6.0

@@ -1,0 +1,46 @@
+"""Tests for the pre-CPPR endpoint report."""
+
+from __future__ import annotations
+
+from repro.sta.report import format_endpoint_report
+from tests.helpers import demo_analyzer
+
+
+class TestEndpointReport:
+    def test_contains_title_and_design_name(self):
+        analyzer = demo_analyzer()
+        text = format_endpoint_report(analyzer, "setup")
+        assert "Pre-CPPR setup endpoint summary" in text
+        assert "demo" in text
+
+    def test_rows_sorted_most_critical_first(self):
+        analyzer = demo_analyzer()
+        text = format_endpoint_report(analyzer, "setup", limit=None)
+        slacks = []
+        for line in text.splitlines():
+            parts = line.split()
+            if len(parts) == 2 + 1 and parts[1] in ("FF", "PO"):
+                slacks.append(float(parts[2]))
+            elif len(parts) == 4 and parts[1] in ("FF", "PO"):
+                slacks.append(float(parts[2]))
+        assert slacks == sorted(slacks)
+        assert len(slacks) > 0
+
+    def test_limit_bounds_rows(self):
+        analyzer = demo_analyzer()
+        text = format_endpoint_report(analyzer, "hold", limit=2)
+        ff_rows = [line for line in text.splitlines()
+                   if " FF " in f" {line} " or line.split()[1:2] == ["FF"]]
+        assert "showing 2" in text
+
+    def test_violated_endpoints_flagged(self):
+        analyzer = demo_analyzer()
+        text = format_endpoint_report(analyzer, "setup", limit=None)
+        worst = analyzer.worst_endpoint("setup")
+        if worst.slack < 0:
+            assert "VIOLATED" in text
+
+    def test_untested_endpoints_counted(self):
+        analyzer = demo_analyzer()
+        text = format_endpoint_report(analyzer, "hold", limit=None)
+        assert "untested" in text

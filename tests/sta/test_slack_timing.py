@@ -1,0 +1,158 @@
+"""Tests for endpoint slacks and the TimingAnalyzer facade."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import AnalysisError
+from repro.sta.modes import AnalysisMode
+from repro.sta.timing import TimingAnalyzer
+from tests.helpers import (demo_analyzer, demo_design, random_small,
+                           two_ff_design)
+
+
+class TestEndpointSlacks:
+    def test_two_ff_setup_slack_by_hand(self):
+        graph, constraints = two_ff_design()
+        analyzer = TimingAnalyzer(graph, constraints)
+        slacks = {s.name: s.slack
+                  for s in analyzer.endpoint_slacks("setup")}
+        # capture clock early = 1.0 + 0.5 = 1.5; D late arrival =
+        # (1.5 clk late) + 0.8 + 0.3 c2q + 2.0 arc = 4.6
+        # slack = 1.5 + 6.0 - 0.2 - 4.6 = 2.7
+        assert slacks["ffb"] == pytest.approx(2.7)
+
+    def test_two_ff_hold_slack_by_hand(self):
+        graph, constraints = two_ff_design()
+        analyzer = TimingAnalyzer(graph, constraints)
+        slacks = {s.name: s.slack for s in analyzer.endpoint_slacks("hold")}
+        # D early = 1.0 + 0.5 + 0.2 + 1.0 = 2.7; capture late =
+        # 1.5 + 0.6 = 2.1; slack = 2.7 - 2.1 - 0.1 = 0.5
+        assert slacks["ffb"] == pytest.approx(0.5)
+
+    def test_unreachable_endpoint_reports_none(self):
+        graph, constraints = two_ff_design()
+        analyzer = TimingAnalyzer(graph, constraints)
+        slacks = {s.name: s.slack for s in analyzer.endpoint_slacks("setup")}
+        assert slacks["ffa"] is None
+
+    def test_worst_endpoint_is_minimum(self):
+        analyzer = demo_analyzer()
+        slacks = [s for s in analyzer.endpoint_slacks("setup")
+                  if s.slack is not None]
+        worst = analyzer.worst_endpoint("setup")
+        assert worst.slack == min(s.slack for s in slacks)
+
+    def test_po_endpoint_included(self):
+        analyzer = demo_analyzer()
+        names = {s.name for s in analyzer.endpoint_slacks("setup")}
+        assert "out0" in names
+
+
+class TestPathEvaluation:
+    def test_path_delay_sums_mode_delays(self):
+        analyzer = demo_analyzer()
+        graph = analyzer.graph
+        pins = [graph.pin(p).index for p in ("ff1/Q", "g1/A0", "g1/Y",
+                                             "ff2/D")]
+        assert analyzer.path_delay(pins, "setup") == pytest.approx(
+            0.2 + 2.0 + 0.3)
+        assert analyzer.path_delay(pins, "hold") == pytest.approx(
+            0.1 + 1.0 + 0.1)
+
+    def test_path_delay_unknown_edge_raises(self):
+        analyzer = demo_analyzer()
+        graph = analyzer.graph
+        pins = [graph.pin("ff1/Q").index, graph.pin("ff4/D").index]
+        with pytest.raises(AnalysisError, match="no data edge"):
+            analyzer.path_delay(pins, "setup")
+
+    def test_pre_cppr_slack_matches_definition_one(self):
+        analyzer = demo_analyzer()
+        graph = analyzer.graph
+        tree = graph.clock_tree
+        pins = [graph.pin(p).index for p in ("ff1/Q", "g1/A0", "g1/Y",
+                                             "ff2/D")]
+        ff1 = graph.ff_by_name("ff1")
+        ff2 = graph.ff_by_name("ff2")
+        launch_late = tree.at_late(ff1.tree_node) + ff1.clk_to_q_late
+        delay = analyzer.path_delay(pins, "setup")
+        expected = (tree.at_early(ff2.tree_node)
+                    + analyzer.constraints.clock_period - ff2.t_setup
+                    - launch_late - delay)
+        assert analyzer.path_pre_cppr_slack(pins, "setup") == (
+            pytest.approx(expected))
+
+    def test_post_cppr_adds_lca_credit(self):
+        analyzer = demo_analyzer()
+        graph = analyzer.graph
+        pins = [graph.pin(p).index for p in ("ff1/Q", "g1/A0", "g1/Y",
+                                             "ff2/D")]
+        credit = analyzer.path_credit(pins)
+        # ff1 and ff2 share buffer b1 (their LCA): credit(b1) =
+        # at_late(b1) - at_early(b1) = 1.5 - 1.0 = 0.5
+        assert credit == pytest.approx(0.5)
+        assert analyzer.path_post_cppr_slack(pins, "setup") == (
+            pytest.approx(analyzer.path_pre_cppr_slack(pins, "setup")
+                          + 0.5))
+
+    def test_pi_path_has_no_credit(self):
+        analyzer = demo_analyzer()
+        graph = analyzer.graph
+        pins = [graph.pin(p).index for p in ("in0", "g3/A0", "g3/Y",
+                                             "ff1/D")]
+        assert analyzer.path_credit(pins) == 0.0
+
+    def test_path_must_start_at_source(self):
+        analyzer = demo_analyzer()
+        graph = analyzer.graph
+        pins = [graph.pin(p).index for p in ("g1/Y", "ff2/D")]
+        with pytest.raises(AnalysisError, match="must start"):
+            analyzer.path_pre_cppr_slack(pins, "setup")
+
+    def test_po_path_uses_required_time(self):
+        analyzer = demo_analyzer()
+        graph = analyzer.graph
+        pins = [graph.pin(p).index for p in ("ff1/Q", "g1/A0", "g1/Y",
+                                             "g2/A0", "g2/Y", "out0")]
+        slack = analyzer.path_pre_cppr_slack(pins, "setup")
+        arrival = (graph.clock_tree.at_late(
+            graph.ff_by_name("ff1").tree_node) + 0.3
+            + analyzer.path_delay(pins, "setup"))
+        assert slack == pytest.approx(20.0 - arrival)
+
+
+class TestPinSlack:
+    def test_endpoint_pin_slack_matches_endpoint_slack(self):
+        analyzer = demo_analyzer()
+        for endpoint in analyzer.endpoint_slacks("setup"):
+            if endpoint.slack is None:
+                continue
+            pin_level = analyzer.slack_at_pin(endpoint.pin, "setup")
+            # The per-pin slack can only be tighter (other endpoints may
+            # constrain the same pin through fanout), never looser.
+            assert pin_level <= endpoint.slack + 1e-9
+
+    def test_unconstrained_pin_slack_is_none(self):
+        graph, constraints = two_ff_design()
+        analyzer = TimingAnalyzer(graph, constraints)
+        ffb_q = graph.ff_by_name("ffb").q_pin
+        assert analyzer.slack_at_pin(ffb_q, "setup") is None
+
+
+@given(st.integers(min_value=0, max_value=200))
+def test_worst_pin_slack_equals_worst_endpoint_slack(seed):
+    """The most critical per-pin slack appears at some endpoint."""
+    graph, constraints = random_small(seed)
+    analyzer = TimingAnalyzer(graph, constraints)
+    for mode in (AnalysisMode.SETUP, AnalysisMode.HOLD):
+        endpoint_values = [s.slack for s in analyzer.endpoint_slacks(mode)
+                           if s.slack is not None]
+        if not endpoint_values:
+            continue
+        worst_endpoint = min(endpoint_values)
+        pin_values = [analyzer.slack_at_pin(p, mode)
+                      for p in range(graph.num_pins)]
+        pin_values = [v for v in pin_values if v is not None]
+        assert min(pin_values) == pytest.approx(worst_endpoint)

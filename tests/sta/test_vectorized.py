@@ -1,0 +1,63 @@
+"""Equivalence tests: vectorized vs scalar arrival propagation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sta.arrival import propagate_arrivals
+from repro.sta.vectorized import propagate_arrivals_vectorized
+from tests.helpers import demo_design, random_small
+
+
+def assert_equivalent(graph):
+    scalar = propagate_arrivals(graph)
+    vector = propagate_arrivals_vectorized(graph)
+    for pin in range(graph.num_pins):
+        assert scalar.is_reachable(pin) == vector.is_reachable(pin), pin
+        if scalar.early_at(pin) is not None:
+            assert vector.early[pin] == pytest.approx(scalar.early[pin],
+                                                      abs=1e-12)
+        if scalar.late_at(pin) is not None:
+            assert vector.late[pin] == pytest.approx(scalar.late[pin],
+                                                     abs=1e-12)
+
+
+class TestVectorized:
+    def test_demo_design(self):
+        graph, _constraints = demo_design()
+        assert_equivalent(graph)
+
+    def test_unreachable_pins_stay_unreachable(self):
+        from tests.helpers import two_ff_design
+        graph, _constraints = two_ff_design()
+        vector = propagate_arrivals_vectorized(graph)
+        ffa = graph.ff_by_name("ffa")
+        assert not vector.is_reachable(ffa.d_pin)
+
+    def test_levelized_edges_cached(self):
+        graph, _constraints = demo_design()
+        propagate_arrivals_vectorized(graph)
+        cached = graph._vectorized_edges
+        propagate_arrivals_vectorized(graph)
+        assert graph._vectorized_edges is cached
+
+    def test_suite_design(self):
+        from repro.workloads.suite import build_design
+        graph, _constraints = build_design("vga_lcdv2", scale=0.3)
+        assert_equivalent(graph)
+
+
+@settings(max_examples=40)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_random_designs_equivalent(seed):
+    graph, _constraints = random_small(seed)
+    assert_equivalent(graph)
+
+
+@settings(max_examples=15)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_random_layered_designs_equivalent(seed):
+    graph, _constraints = random_small(seed, layers=3, channels=2,
+                                       num_gates=15)
+    assert_equivalent(graph)

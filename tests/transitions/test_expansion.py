@@ -1,0 +1,212 @@
+"""Tests for the rise/fall expansion semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (CpprEngine, ExhaustiveTimer, TimingAnalyzer,
+                   TimingConstraints, validate_graph)
+from repro.library.cells import (CellFunction, FlipFlopCell, LibraryCell,
+                                 StandardCellLibrary)
+from repro.sta.arrival import propagate_arrivals
+from repro.transitions.netlist import RiseFallNetlist, mangle, unmangle
+from repro.transitions.random_rf import (RandomRiseFallSpec,
+                                         random_rise_fall_design)
+from tests.helpers import assert_slacks_equal
+
+
+def tiny_library() -> StandardCellLibrary:
+    library = StandardCellLibrary("tiny")
+    library.add(LibraryCell("INV", CellFunction.INV, 1,
+                            ((1.0, 1.0),), ((2.0, 2.0),)))
+    library.add(LibraryCell("BUF", CellFunction.BUF, 1,
+                            ((0.5, 0.5),), ((0.7, 0.7),)))
+    library.add(LibraryCell("XOR", CellFunction.XOR, 2,
+                            ((1.5, 1.5), (1.6, 1.6)),
+                            ((1.7, 1.7), (1.8, 1.8))))
+    library.add(FlipFlopCell("DFF", t_setup_rise=0.1, t_setup_fall=0.2,
+                             t_hold_rise=0.05, t_hold_fall=0.06,
+                             clk_to_q_rise=(0.3, 0.3),
+                             clk_to_q_fall=(0.4, 0.4)))
+    return library
+
+
+class TestMangling:
+    def test_roundtrip(self):
+        assert unmangle(mangle("u1", "r")) == ("u1", "r")
+        assert unmangle(mangle("x3", "ck")) == ("x3", "ck")
+
+    def test_plain_names_pass_through(self):
+        assert unmangle("clk") == ("clk", None)
+        assert unmangle("weird@name") == ("weird@name", None)
+
+
+class TestInverterChain:
+    """PI -> INV -> INV -> DFF/D with hand-computable transition times."""
+
+    @pytest.fixture()
+    def design(self):
+        netlist = RiseFallNetlist("chain", tiny_library())
+        netlist.set_clock_root("clk")
+        netlist.add_flipflop("x0", "DFF")
+        netlist.connect_clock("x0", "clk", 1.0, 1.0)
+        netlist.add_primary_input("a", rise_at=(0.0, 0.0),
+                                  fall_at=(0.0, 0.0))
+        netlist.add_gate("i1", "INV")
+        netlist.add_gate("i2", "INV")
+        netlist.connect("a", "i1/A0")
+        netlist.connect("i1/Y", "i2/A0")
+        netlist.connect("i2/Y", "x0/D")
+        return netlist.elaborate()
+
+    def test_expansion_is_valid(self, design):
+        validate_graph(design.graph)
+
+    def test_transition_propagation_times(self, design):
+        graph = design.graph
+        arrivals = propagate_arrivals(graph)
+        # Output rise of i2 comes from i1 falling (INV), which comes from
+        # 'a' rising: a.r -> i1.f (fall delay 2.0) -> i2.r (rise 1.0).
+        i2_rise = graph.pin("i2@r/Y").index
+        assert arrivals.late[i2_rise] == pytest.approx(2.0 + 1.0)
+        # Output fall of i2: a.f -> i1.r (1.0) -> i2.f (2.0).
+        i2_fall = graph.pin("i2@f/Y").index
+        assert arrivals.late[i2_fall] == pytest.approx(1.0 + 2.0)
+
+    def test_capture_constraints_per_transition(self, design):
+        graph = design.graph
+        rise_ff = graph.ff_by_name("x0@r")
+        fall_ff = graph.ff_by_name("x0@f")
+        assert rise_ff.t_setup == pytest.approx(0.1)
+        assert fall_ff.t_setup == pytest.approx(0.2)
+
+    def test_launch_uses_per_transition_clk_to_q(self, design):
+        graph = design.graph
+        arrivals = propagate_arrivals(graph)
+        rise_q = graph.ff_by_name("x0@r").q_pin
+        fall_q = graph.ff_by_name("x0@f").q_pin
+        # clock at leaf = 1.0 (+0 pseudo edges)
+        assert arrivals.late[rise_q] == pytest.approx(1.0 + 0.3)
+        assert arrivals.late[fall_q] == pytest.approx(1.0 + 0.4)
+
+
+class TestUnatenessWiring:
+    def test_xor_both_transitions_reach_output(self):
+        netlist = RiseFallNetlist("xo", tiny_library())
+        netlist.set_clock_root("clk")
+        netlist.add_flipflop("x0", "DFF")
+        netlist.connect_clock("x0", "clk", 1.0, 1.0)
+        netlist.add_primary_input("a")
+        netlist.add_primary_input("b")
+        netlist.add_gate("g", "XOR")
+        netlist.connect("a", "g/A0")
+        netlist.connect("b", "g/A1")
+        netlist.connect("g/Y", "x0/D")
+        graph = netlist.elaborate().graph
+        # Each expanded XOR output has 4 input slots (2 inputs x both
+        # transitions).
+        rise_gate_inputs = [p for p in graph.pins
+                            if p.cell == "g@r" and "A" in p.name]
+        assert len(rise_gate_inputs) == 4
+
+    def test_buf_preserves_transition(self):
+        netlist = RiseFallNetlist("bf", tiny_library())
+        netlist.set_clock_root("clk")
+        netlist.add_flipflop("x0", "DFF")
+        netlist.connect_clock("x0", "clk", 1.0, 1.0)
+        netlist.add_primary_input("a", rise_at=(0.0, 0.0),
+                                  fall_at=(5.0, 5.0))
+        netlist.add_gate("g", "BUF")
+        netlist.connect("a", "g/A0")
+        netlist.connect("g/Y", "x0/D")
+        graph = netlist.elaborate().graph
+        arrivals = propagate_arrivals(graph)
+        rise_y = graph.pin("g@r/Y").index
+        fall_y = graph.pin("g@f/Y").index
+        assert arrivals.late[rise_y] == pytest.approx(0.0 + 0.5)
+        assert arrivals.late[fall_y] == pytest.approx(5.0 + 0.7)
+
+
+class TestCreditsPreserved:
+    def test_same_register_cross_transition_gets_leaf_credit(self):
+        netlist = RiseFallNetlist("loop", tiny_library())
+        netlist.set_clock_root("clk")
+        netlist.add_flipflop("x0", "DFF")
+        netlist.connect_clock("x0", "clk", 1.0, 1.7)
+        netlist.add_gate("g", "INV")
+        netlist.connect("x0/Q", "g/A0")
+        netlist.connect("g/Y", "x0/D")
+        design = netlist.elaborate()
+        tree = design.graph.clock_tree
+        rise_ff, fall_ff = design.flip_flop_indices("x0")
+        rise_node = design.graph.ffs[rise_ff].tree_node
+        fall_node = design.graph.ffs[fall_ff].tree_node
+        # LCA of the two expanded FFs is the physical clock pin, whose
+        # credit is the full leaf credit 0.7.
+        assert tree.pair_credit(rise_node, fall_node) == pytest.approx(0.7)
+        assert tree.pair_credit(rise_node, rise_node) == pytest.approx(0.7)
+
+    def test_pretty_pin_and_path(self):
+        netlist = RiseFallNetlist("pp", tiny_library())
+        netlist.set_clock_root("clk")
+        netlist.add_flipflop("x0", "DFF")
+        netlist.connect_clock("x0", "clk", 1.0, 1.2)
+        netlist.add_primary_input("a")
+        netlist.add_gate("g", "INV")
+        netlist.connect("a", "g/A0")
+        netlist.connect("g/Y", "x0/D")
+        design = netlist.elaborate()
+        analyzer = TimingAnalyzer(design.graph, TimingConstraints(10.0))
+        path = CpprEngine(analyzer).top_paths(1, "setup")[0]
+        pretty = design.pretty_path(path)
+        assert "(rise)" in pretty or "(fall)" in pretty
+        assert "@" not in pretty
+
+
+class TestRandomRiseFall:
+    def test_generated_designs_validate(self):
+        for seed in range(10):
+            design = random_rise_fall_design(RandomRiseFallSpec(seed=seed))
+            validate_graph(design.graph)
+
+    def test_engine_matches_oracle_on_rf_designs(self):
+        for seed in range(8):
+            design = random_rise_fall_design(RandomRiseFallSpec(seed=seed))
+            period = 6.0 * (3 + 2)
+            analyzer = TimingAnalyzer(design.graph,
+                                      TimingConstraints(period))
+            for mode in ("setup", "hold"):
+                assert_slacks_equal(
+                    CpprEngine(analyzer).top_slacks(15, mode),
+                    ExhaustiveTimer(analyzer).top_slacks(15, mode))
+
+    def test_deterministic(self):
+        a = random_rise_fall_design(RandomRiseFallSpec(seed=4))
+        b = random_rise_fall_design(RandomRiseFallSpec(seed=4))
+        assert a.graph.fanout == b.graph.fanout
+
+
+class TestBuilderErrors:
+    def test_unknown_gate_in_connect(self):
+        netlist = RiseFallNetlist("e", tiny_library())
+        netlist.add_primary_input("a")
+        with pytest.raises(Exception, match="unknown gate"):
+            netlist.connect("a", "nope/A0")
+
+    def test_unknown_driver(self):
+        netlist = RiseFallNetlist("e", tiny_library())
+        with pytest.raises(Exception, match="unknown"):
+            netlist.connect("ghost/Y", "alsoghost/A0")
+
+    def test_out_of_range_input(self):
+        netlist = RiseFallNetlist("e", tiny_library())
+        netlist.add_primary_input("a")
+        netlist.add_gate("g", "INV")
+        with pytest.raises(Exception, match="out of range"):
+            netlist.connect("a", "g/A5")
+
+    def test_connect_clock_unknown_ff(self):
+        netlist = RiseFallNetlist("e", tiny_library())
+        netlist.set_clock_root("clk")
+        with pytest.raises(Exception, match="unknown flip-flop"):
+            netlist.connect_clock("ghost", "clk", 0.1, 0.2)

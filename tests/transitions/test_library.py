@@ -1,0 +1,128 @@
+"""Tests for the standard-cell library layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import TimingConstraintError
+from repro.library.cells import (CellFunction, FlipFlopCell, LibraryCell,
+                                 StandardCellLibrary, Unateness)
+from repro.library.standard import default_library
+
+
+class TestCellFunction:
+    def test_unateness_classes(self):
+        assert CellFunction.BUF.unateness is Unateness.POSITIVE
+        assert CellFunction.AND.unateness is Unateness.POSITIVE
+        assert CellFunction.OR.unateness is Unateness.POSITIVE
+        assert CellFunction.INV.unateness is Unateness.NEGATIVE
+        assert CellFunction.NAND.unateness is Unateness.NEGATIVE
+        assert CellFunction.NOR.unateness is Unateness.NEGATIVE
+        assert CellFunction.XOR.unateness is Unateness.NON_UNATE
+        assert CellFunction.XNOR.unateness is Unateness.NON_UNATE
+
+    def test_min_inputs(self):
+        assert CellFunction.INV.min_inputs == 1
+        assert CellFunction.NAND.min_inputs == 2
+
+
+def _cell(function, num_inputs=2):
+    arcs = tuple((0.5, 0.8) for _ in range(num_inputs))
+    return LibraryCell("test", function, num_inputs, arcs, arcs)
+
+
+class TestLibraryCell:
+    def test_too_few_inputs_rejected(self):
+        with pytest.raises(TimingConstraintError, match="at least"):
+            _cell(CellFunction.NAND, num_inputs=1)
+
+    def test_wrong_arc_count_rejected(self):
+        with pytest.raises(TimingConstraintError, match="entries"):
+            LibraryCell("bad", CellFunction.NAND, 2,
+                        ((0.5, 0.8),), ((0.5, 0.8), (0.5, 0.8)))
+
+    def test_inverted_arc_rejected(self):
+        with pytest.raises(TimingConstraintError, match="exceeds"):
+            LibraryCell("bad", CellFunction.BUF, 1,
+                        ((0.9, 0.5),), ((0.5, 0.8),))
+
+    def test_positive_unate_arcs(self):
+        cell = _cell(CellFunction.AND)
+        rise = cell.arcs_to_output_rise()
+        # input rise -> output rise, one arc per input
+        assert [(i, t) for i, t, _d in rise] == [(0, "r"), (1, "r")]
+        fall = cell.arcs_to_output_fall()
+        assert [(i, t) for i, t, _d in fall] == [(0, "f"), (1, "f")]
+
+    def test_negative_unate_arcs(self):
+        cell = _cell(CellFunction.NOR)
+        rise = cell.arcs_to_output_rise()
+        assert [(i, t) for i, t, _d in rise] == [(0, "f"), (1, "f")]
+        fall = cell.arcs_to_output_fall()
+        assert [(i, t) for i, t, _d in fall] == [(0, "r"), (1, "r")]
+
+    def test_non_unate_arcs_cover_both(self):
+        cell = _cell(CellFunction.XOR)
+        rise = cell.arcs_to_output_rise()
+        assert [(i, t) for i, t, _d in rise] == [
+            (0, "r"), (0, "f"), (1, "r"), (1, "f")]
+        assert len(cell.arcs_to_output_fall()) == 4
+
+
+class TestFlipFlopCell:
+    def test_inverted_clk_to_q_rejected(self):
+        with pytest.raises(TimingConstraintError):
+            FlipFlopCell("bad", clk_to_q_rise=(0.5, 0.2))
+
+
+class TestStandardCellLibrary:
+    def test_duplicate_name_rejected(self):
+        library = StandardCellLibrary()
+        library.add(_cell(CellFunction.BUF, 1))
+        with pytest.raises(TimingConstraintError, match="already"):
+            library.add(FlipFlopCell("test"))
+
+    def test_lookup_and_membership(self):
+        library = StandardCellLibrary()
+        library.add(_cell(CellFunction.BUF, 1))
+        library.add(FlipFlopCell("dff"))
+        assert library.cell("test").function is CellFunction.BUF
+        assert library.flip_flop("dff").name == "dff"
+        assert library.is_flip_flop("dff")
+        assert not library.is_flip_flop("test")
+        assert "test" in library and "dff" in library
+        assert len(library) == 2
+
+    def test_missing_cell_message_lists_available(self):
+        library = StandardCellLibrary("lib")
+        with pytest.raises(KeyError, match="available"):
+            library.cell("nope")
+        with pytest.raises(KeyError, match="available"):
+            library.flip_flop("nope")
+
+
+class TestDefaultLibrary:
+    def test_expected_cells_present(self):
+        library = default_library()
+        for name in ("INV_X1", "BUF_X2", "NAND2_X1", "NOR3_X4",
+                     "AND4_X2", "XOR2_X1", "DFF_X1", "DFF_X4"):
+            assert name in library, name
+
+    def test_drive_strength_scales_delay(self):
+        library = default_library()
+        x1 = library.cell("NAND2_X1").rise_delays[0][0]
+        x4 = library.cell("NAND2_X4").rise_delays[0][0]
+        assert x4 == pytest.approx(x1 / 4)
+
+    def test_rise_slower_than_fall(self):
+        cell = default_library().cell("INV_X1")
+        assert cell.rise_delays[0][0] > cell.fall_delays[0][0]
+
+    def test_late_exceeds_early_everywhere(self):
+        library = default_library()
+        for name in library:
+            if library.is_flip_flop(name):
+                continue
+            cell = library.cell(name)
+            for early, late in cell.rise_delays + cell.fall_delays:
+                assert late > early

@@ -1,0 +1,167 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.io.tau_format import save_design
+from tests.helpers import demo_design
+
+
+@pytest.fixture()
+def design_file(tmp_path):
+    graph, constraints = demo_design()
+    path = tmp_path / "demo.cppr"
+    save_design(graph, constraints, path)
+    return str(path)
+
+
+class TestStats:
+    def test_stats_on_file(self, design_file, capsys):
+        assert main(["stats", design_file]) == 0
+        out = capsys.readouterr().out
+        assert "Benchmark" in out and "demo" in out
+        assert "clock period" in out
+
+    def test_stats_on_suite_design(self, capsys):
+        assert main(["stats", "--suite", "vga_lcdv2",
+                     "--suite-scale", "0.1"]) == 0
+        assert "vga_lcdv2" in capsys.readouterr().out
+
+    def test_missing_design_errors(self, capsys):
+        assert main(["stats"]) == 1
+        assert "no design given" in capsys.readouterr().err
+
+    def test_missing_file_errors(self, capsys):
+        assert main(["stats", "/nonexistent/file.cppr"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestReport:
+    def test_post_cppr_report(self, design_file, capsys):
+        assert main(["report", design_file, "-k", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Top-3 post-CPPR setup paths" in out
+        assert "post-CPPR slack" in out
+
+    def test_hold_mode(self, design_file, capsys):
+        assert main(["report", design_file, "--mode", "hold",
+                     "-k", "2"]) == 0
+        assert "hold" in capsys.readouterr().out
+
+    def test_pre_cppr_summary(self, design_file, capsys):
+        assert main(["report", design_file, "--pre"]) == 0
+        assert "Pre-CPPR" in capsys.readouterr().out
+
+
+class TestGenerateConvert:
+    def test_generate_random(self, tmp_path, capsys):
+        out_file = tmp_path / "gen.cppr"
+        assert main(["generate", str(out_file), "--ffs", "10",
+                     "--gates", "20", "--depth", "3"]) == 0
+        assert out_file.exists()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_generate_layered(self, tmp_path):
+        out_file = tmp_path / "gen.json"
+        assert main(["generate", str(out_file), "--ffs", "12",
+                     "--gates", "40", "--depth", "3", "--layers", "4",
+                     "--channels", "2"]) == 0
+        assert out_file.exists()
+
+    def test_generate_suite(self, tmp_path):
+        out_file = tmp_path / "suite.cppr"
+        assert main(["generate", str(out_file), "--suite", "vga_lcdv2",
+                     "--suite-scale", "0.1"]) == 0
+        assert out_file.exists()
+
+    def test_convert_text_to_json_and_back(self, design_file, tmp_path,
+                                           capsys):
+        json_file = tmp_path / "demo.json"
+        assert main(["convert", design_file, str(json_file)]) == 0
+        back = tmp_path / "back.cppr"
+        assert main(["convert", str(json_file), str(back)]) == 0
+        assert back.exists()
+
+
+class TestCompare:
+    def test_compare_agrees(self, design_file, capsys):
+        assert main(["compare", design_file, "-k", "5",
+                     "--timers", "ours,block,bnb,exhaustive"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("exact match") == 3
+        assert "MISMATCH" not in out
+
+    def test_unknown_timer_errors(self, design_file, capsys):
+        assert main(["compare", design_file,
+                     "--timers", "ours,quantum"]) == 1
+        assert "unknown timer" in capsys.readouterr().err
+
+
+class TestReportQueries:
+    def test_endpoint_filter(self, design_file, capsys):
+        assert main(["report", design_file, "--endpoint", "ff2",
+                     "-k", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "into ff2" in out
+        assert "capture FF ff2" in out
+
+    def test_pair_filter(self, design_file, capsys):
+        assert main(["report", design_file, "--pair", "ff1:ff2",
+                     "-k", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "ff1 -> ff2" in out
+        assert "launch  FF ff1" in out
+
+    def test_malformed_pair_errors(self, design_file, capsys):
+        assert main(["report", design_file, "--pair", "ff1"]) == 1
+        assert "LAUNCH:CAPTURE" in capsys.readouterr().err
+
+    def test_unknown_endpoint_errors(self, design_file, capsys):
+        assert main(["report", design_file, "--endpoint", "ff99"]) == 1
+        assert "unknown flip-flop" in capsys.readouterr().err
+
+
+class TestVerilogInput:
+    VERILOG = (
+        "module m (clk, a, y);\n input clk, a;\n output y;\n"
+        " wire w, q;\n"
+        " BUF_X1 cb (.A0(clk), .Y(w));\n"
+        " DFF_X1 r (.CK(w), .D(a), .Q(q));\n"
+        " BUF_X1 ob (.A0(q), .Y(y));\nendmodule\n")
+    SDC = ("create_clock -period 5 [get_ports clk]\n"
+           "set_output_delay 0.5 [get_ports y]\n")
+
+    @pytest.fixture()
+    def verilog_files(self, tmp_path):
+        (tmp_path / "m.v").write_text(self.VERILOG)
+        (tmp_path / "m.sdc").write_text(self.SDC)
+        return str(tmp_path / "m.v"), str(tmp_path / "m.sdc")
+
+    def test_stats_on_verilog(self, verilog_files, capsys):
+        verilog, sdc = verilog_files
+        assert main(["stats", verilog, "--sdc", sdc]) == 0
+        assert "m" in capsys.readouterr().out
+
+    def test_report_on_verilog(self, verilog_files, capsys):
+        verilog, sdc = verilog_files
+        assert main(["report", verilog, "--sdc", sdc, "-k", "2"]) == 0
+        assert "post-CPPR" in capsys.readouterr().out
+
+    def test_verilog_without_sdc_errors(self, verilog_files, capsys):
+        verilog, _sdc = verilog_files
+        assert main(["stats", verilog]) == 1
+        assert "--sdc" in capsys.readouterr().err
+
+
+class TestSaveJson:
+    def test_report_save_json(self, design_file, tmp_path, capsys):
+        out = tmp_path / "paths.json"
+        assert main(["report", design_file, "-k", "4",
+                     "--save-json", str(out)]) == 0
+        assert "wrote 4 paths" in capsys.readouterr().out
+        from repro.io.reports import load_paths_json
+        payload = load_paths_json(out)
+        assert payload["design"] == "demo"
+        assert len(payload["paths"]) == 4

@@ -1,0 +1,55 @@
+"""Tests for the measurement harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.measure import (measure_full, measure_memory,
+                                 measure_runtime)
+
+
+class TestMeasureRuntime:
+    def test_returns_value_and_time(self):
+        result = measure_runtime(lambda: 42)
+        assert result.value == 42
+        assert result.seconds is not None and result.seconds >= 0
+        assert result.peak_mib is None
+
+    def test_repeat_takes_fastest(self):
+        calls = []
+
+        def fn():
+            calls.append(None)
+            return len(calls)
+
+        result = measure_runtime(fn, repeat=3)
+        assert len(calls) == 3
+        assert result.value == 3  # value from the last run
+
+    def test_repeat_zero_rejected(self):
+        with pytest.raises(ValueError):
+            measure_runtime(lambda: None, repeat=0)
+
+
+class TestMeasureMemory:
+    def test_reports_positive_peak_for_allocation(self):
+        result = measure_memory(lambda: [0] * 500_000)
+        assert result.peak_mib is not None
+        assert result.peak_mib > 1.0  # 500k pointers ~ 4 MiB
+        assert result.seconds is None
+
+    def test_small_allocation_smaller_than_big(self):
+        small = measure_memory(lambda: [0] * 10_000)
+        big = measure_memory(lambda: [0] * 1_000_000)
+        assert big.peak_mib > small.peak_mib
+
+    def test_value_passed_through(self):
+        assert measure_memory(lambda: "ok").value == "ok"
+
+
+class TestMeasureFull:
+    def test_has_both_dimensions(self):
+        result = measure_full(lambda: list(range(1000)))
+        assert result.seconds is not None
+        assert result.peak_mib is not None
+        assert result.value == list(range(1000))

@@ -1,0 +1,91 @@
+"""Tests for the parametric random design generator."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.circuit.validate import validate_graph
+from repro.workloads.random_circuit import RandomDesignSpec, random_design
+
+
+class TestSpecValidation:
+    def test_zero_ffs_rejected(self):
+        with pytest.raises(ValueError):
+            RandomDesignSpec(num_ffs=0)
+
+    def test_zero_depth_rejected(self):
+        with pytest.raises(ValueError):
+            RandomDesignSpec(clock_depth=0)
+
+    def test_bad_global_mix_rejected(self):
+        with pytest.raises(ValueError):
+            RandomDesignSpec(global_mix=1.5)
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ValueError):
+            RandomDesignSpec(recent_window=0)
+
+    def test_zero_gate_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            RandomDesignSpec(max_gate_inputs=0)
+
+
+class TestGeneration:
+    def test_deterministic_for_same_seed(self):
+        spec = RandomDesignSpec(seed=5, num_ffs=10, num_gates=20)
+        a = random_design(spec)
+        b = random_design(spec)
+        assert a.num_pins == b.num_pins
+        assert a.num_edges == b.num_edges
+        assert [p.name for p in a.pins] == [p.name for p in b.pins]
+        assert a.fanout == b.fanout
+
+    def test_different_seeds_differ(self):
+        a = random_design(RandomDesignSpec(seed=1, num_ffs=10,
+                                           num_gates=30))
+        b = random_design(RandomDesignSpec(seed=2, num_ffs=10,
+                                           num_gates=30))
+        assert a.fanout != b.fanout
+
+    def test_counts_match_spec(self):
+        spec = RandomDesignSpec(seed=3, num_ffs=12, num_gates=25,
+                                num_pis=3, num_pos=5)
+        graph = random_design(spec)
+        assert graph.num_ffs == 12
+        assert len(graph.primary_inputs) == 3
+        assert len(graph.primary_outputs) == 5
+
+    def test_every_d_pin_is_driven(self):
+        graph = random_design(RandomDesignSpec(seed=4, num_ffs=15,
+                                               num_gates=30))
+        for ff in graph.ffs:
+            assert graph.fanin[ff.d_pin], f"{ff.name} D pin undriven"
+
+    def test_clock_depth_is_respected(self):
+        spec = RandomDesignSpec(seed=6, num_ffs=64, num_gates=10,
+                                clock_depth=4, depth_jitter=0.0)
+        graph = random_design(spec)
+        assert graph.clock_tree.num_levels == 4
+
+    def test_depth_jitter_allows_shallower_leaves(self):
+        spec = RandomDesignSpec(seed=6, num_ffs=64, num_gates=10,
+                                clock_depth=4, depth_jitter=0.9)
+        tree = random_design(spec).clock_tree
+        depths = {tree.depth(leaf) for leaf in tree.leaves()}
+        assert min(depths) < 4  # some leaves attached early
+        assert tree.num_levels <= 4
+
+    def test_minimal_design(self):
+        graph = random_design(RandomDesignSpec(
+            seed=0, num_ffs=1, num_gates=1, num_pis=0, num_pos=0,
+            clock_depth=1))
+        validate_graph(graph)
+        assert graph.num_ffs == 1
+
+
+@given(st.integers(min_value=0, max_value=3000))
+def test_generated_designs_are_always_valid(seed):
+    spec = RandomDesignSpec(seed=seed, num_ffs=8, num_gates=15,
+                            num_pis=2, num_pos=2, clock_depth=3)
+    validate_graph(random_design(spec))

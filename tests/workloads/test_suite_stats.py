@@ -1,0 +1,118 @@
+"""Tests for the scaled benchmark suite and design statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit.validate import validate_graph
+from repro.sta.arrival import propagate_arrivals
+from repro.sta.timing import TimingAnalyzer
+from repro.workloads.stats import (DesignStats, design_statistics,
+                                   total_connected_pairs)
+from repro.workloads.suite import (SUITE_SPECS, build_design, design_names,
+                                   suggest_clock_period)
+from tests.helpers import demo_netlist, two_ff_design
+
+
+class TestSuite:
+    def test_eight_designs_in_table_three_order(self):
+        assert design_names() == ["vga_lcdv2", "combo4v2", "combo5v2",
+                                  "combo6v2", "combo7v2", "netcard",
+                                  "leon2", "leon3mp"]
+
+    def test_unknown_design_rejected(self):
+        with pytest.raises(KeyError, match="unknown design"):
+            build_design("nonexistent")
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError, match="scale"):
+            build_design("vga_lcdv2", scale=0)
+
+    def test_small_scale_builds_and_validates(self):
+        for name in design_names():
+            graph, constraints = build_design(name, scale=0.05)
+            validate_graph(graph)
+            assert constraints.clock_period > 0
+
+    def test_scale_grows_the_design(self):
+        small, _c1 = build_design("vga_lcdv2", scale=0.05)
+        big, _c2 = build_design("vga_lcdv2", scale=0.2)
+        assert big.num_ffs > small.num_ffs
+        assert big.num_edges > small.num_edges
+
+    def test_build_is_deterministic(self):
+        a, ca = build_design("combo4v2", scale=0.1)
+        b, cb = build_design("combo4v2", scale=0.1)
+        assert a.fanout == b.fanout
+        assert ca.clock_period == cb.clock_period
+
+    def test_period_makes_worst_setup_slack_slightly_negative(self):
+        graph, constraints = build_design("vga_lcdv2", scale=0.1)
+        analyzer = TimingAnalyzer(graph, constraints)
+        worst = analyzer.worst_endpoint("setup")
+        assert worst.slack < 0
+        # utilization 0.95 -> at most ~5% of the period below zero.
+        assert worst.slack > -0.2 * constraints.clock_period
+
+
+class TestSuggestClockPeriod:
+    def test_bad_utilization_rejected(self):
+        graph, _ = build_design("vga_lcdv2", scale=0.05)
+        with pytest.raises(ValueError):
+            suggest_clock_period(graph, utilization=0)
+
+    def test_utilization_one_makes_worst_slack_zero(self):
+        from repro import TimingConstraints
+        graph, _constraints = two_ff_design()
+        period = suggest_clock_period(graph, utilization=1.0)
+        analyzer = TimingAnalyzer(graph, TimingConstraints(period))
+        worst = analyzer.worst_endpoint("setup")
+        assert worst.slack == pytest.approx(0.0, abs=1e-9)
+
+    def test_design_without_reachable_endpoints_defaults(self):
+        # A clock-less design has no FF endpoints at all.
+        from repro import Netlist
+        clockless = Netlist("c")
+        clockless.add_primary_input("a")
+        clockless.add_primary_output("y", rat_late=1.0)
+        clockless.connect("a", "y")
+        graph = clockless.elaborate()
+        assert suggest_clock_period(graph) == 1.0
+
+
+class TestStats:
+    def test_two_ff_connected_pairs(self):
+        graph, _ = two_ff_design()
+        # Only ffa -> ffb.
+        assert total_connected_pairs(graph) == 1
+
+    def test_demo_connected_pairs(self):
+        graph = demo_netlist().elaborate()
+        # ff1 -> {ff2, ff4}; ff3 -> {ff2, ff4}; ff2 -> ff1.
+        assert total_connected_pairs(graph) == 5
+
+    def test_design_statistics_fields(self):
+        graph = demo_netlist().elaborate()
+        stats = design_statistics(graph)
+        assert stats.name == "demo"
+        assert stats.num_ffs == 4
+        assert stats.num_levels == 2
+        assert stats.ffs_per_level == pytest.approx(2.0)
+        assert stats.ff_connectivity == pytest.approx(5 / 4)
+        # data edges + clock tree edges (root + 2 buffers + 4 leaves - 1)
+        assert stats.num_edges == graph.num_edges + 6
+
+    def test_row_and_header_align(self):
+        graph = demo_netlist().elaborate()
+        stats = design_statistics(graph)
+        assert len(stats.row()) > 0
+        assert DesignStats.header().split() == [
+            "Benchmark", "#Edges", "#FFs", "D", "#FFs/D", "FFconn"]
+
+    def test_suite_connectivity_ordering(self):
+        """The dense designs must dominate the sparse ones (Table III)."""
+        connectivity = {}
+        for name in ("vga_lcdv2", "leon2"):
+            graph, _c = build_design(name, scale=0.25)
+            connectivity[name] = design_statistics(graph).ff_connectivity
+        assert connectivity["leon2"] > 2 * connectivity["vga_lcdv2"]
