@@ -12,11 +12,15 @@ Environment knobs (all optional):
 
 from __future__ import annotations
 
+import json
 import os
+import time
 from functools import lru_cache
+from pathlib import Path
 
 from repro import (BlockBasedTimer, BranchBoundTimer, CpprEngine,
                    CpprOptions, PairEnumTimer, TimingAnalyzer)
+from repro.obs import Profile, collecting
 from repro.workloads.suite import build_design
 
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
@@ -59,3 +63,37 @@ def make_timer(name: str, analyzer: TimingAnalyzer, workers: int = 8):
 def run_both_modes(timer, k: int) -> tuple[list[float], list[float]]:
     """One Table IV 'run': top-k for the setup AND the hold test."""
     return timer.top_slacks(k, "setup"), timer.top_slacks(k, "hold")
+
+
+# ----------------------------------------------------------------------
+# Observability hooks
+# ----------------------------------------------------------------------
+def profiled_run(timer, k: int, mode: str = "setup"
+                 ) -> tuple[float, Profile]:
+    """One instrumented run: ``(wall seconds, obs profile)``.
+
+    The wall clock includes the (small) collector overhead, so profiled
+    timings are reported separately from the uninstrumented Table IV
+    numbers rather than replacing them.
+    """
+    start = time.perf_counter()
+    with collecting() as col:
+        timer.top_slacks(k, mode)
+    return time.perf_counter() - start, col.profile()
+
+
+def per_pass_seconds(profile: Profile) -> dict[str, float]:
+    """Wall seconds of each candidate-generation pass, by span label."""
+    passes: dict[str, float] = {}
+    for node in profile.iter_spans():
+        if (node.name.startswith("level[")
+                or node.name in ("self_loop", "primary_input", "output")):
+            passes[node.name] = passes.get(node.name, 0.0) + node.seconds
+    return passes
+
+
+def write_bench_profile(path: str | Path, payload: dict) -> None:
+    """Write one machine-readable bench-profile JSON document."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2) + "\n")

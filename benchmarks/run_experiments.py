@@ -8,8 +8,11 @@ Usage::
     python benchmarks/run_experiments.py fig5 --scale 0.5
 
 Subcommands: ``table3``, ``table4``, ``fig5``, ``fig6``, ``ablation``,
-``all``.  Results are printed as markdown and also written under
-``benchmarks/results/``.
+``profile``, ``all``.  Results are printed as markdown and also written
+under ``benchmarks/results/``; ``profile`` additionally writes the
+machine-readable ``benchmarks/results/BENCH_profile.json`` (per-pass
+wall time + counters per design) so profiles stay comparable across
+PRs.
 
 Measurement methodology (mirrors the paper's Table IV):
 
@@ -28,7 +31,8 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from harness import get_analyzer, make_timer, run_both_modes  # noqa: E402
+from harness import (get_analyzer, make_timer, per_pass_seconds,  # noqa: E402
+                     profiled_run, run_both_modes, write_bench_profile)
 
 from repro import CpprEngine, CpprOptions, PairEnumTimer  # noqa: E402
 from repro.cppr.parallel import available_executors  # noqa: E402
@@ -238,10 +242,49 @@ def run_ablation(args) -> None:
 
 
 # ----------------------------------------------------------------------
+# Profile (observability trajectory)
+# ----------------------------------------------------------------------
+def run_profile(args) -> None:
+    k = max(args.k_values)
+    payload = {
+        "schema": "repro.bench/profile@1",
+        "scale": args.scale,
+        "k": k,
+        "mode": "setup",
+        "designs": {},
+    }
+    lines = [f"# Profile — per-pass wall time (s), k={k}, setup analysis",
+             "",
+             "| Benchmark | total | slowest pass | passes | counters |",
+             "|---|---:|---|---:|---:|"]
+    for design in args.designs:
+        analyzer = get_analyzer(design, args.scale)
+        engine = make_timer("ours", analyzer)
+        seconds, profile = profiled_run(engine, k, "setup")
+        passes = per_pass_seconds(profile)
+        slowest = (max(passes, key=passes.get) if passes else "-")
+        payload["designs"][design] = {
+            "seconds": seconds,
+            "per_pass_seconds": passes,
+            "counters": profile.counters,
+            "profile": profile.to_dict(),
+        }
+        lines.append(f"| {design} | {seconds:.3f} | {slowest} | "
+                     f"{len(passes)} | {len(profile.counters)} |")
+        print(f"[profile] {design} done", file=sys.stderr)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    write_bench_profile(RESULTS_DIR / "BENCH_profile.json", payload)
+    print(f"[profile] wrote {RESULTS_DIR / 'BENCH_profile.json'}",
+          file=sys.stderr)
+    _emit(lines, "profile.md")
+
+
+# ----------------------------------------------------------------------
 def main(argv=None) -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("what", choices=["table3", "table4", "fig5",
-                                         "fig6", "ablation", "all"])
+                                         "fig6", "ablation", "profile",
+                                         "all"])
     parser.add_argument("--scale", type=float, default=1.0,
                         help="design scale factor (default 1.0)")
     parser.add_argument("--quick", action="store_true",
@@ -257,7 +300,8 @@ def main(argv=None) -> None:
     args.workers_sweep = [1, 2, 4, 8]
 
     steps = {"table3": run_table3, "table4": run_table4, "fig5": run_fig5,
-             "fig6": run_fig6, "ablation": run_ablation}
+             "fig6": run_fig6, "ablation": run_ablation,
+             "profile": run_profile}
     if args.what == "all":
         for step in steps.values():
             step(args)

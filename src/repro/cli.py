@@ -101,35 +101,58 @@ def _cmd_stats(args) -> int:
 
 def _cmd_report(args) -> int:
     from repro.cppr.queries import endpoint_paths, pair_paths
+    from repro.obs import collecting, format_profile, profile_to_json
 
+    profiling = args.profile or args.profile_json
     graph, constraints = _design_from_args(args)
     analyzer = TimingAnalyzer(graph, constraints)
-    if args.pre:
-        print(format_endpoint_report(analyzer, args.mode,
-                                     limit=args.k))
-        return 0
-    if args.pair is not None:
-        launch, _, capture = args.pair.partition(":")
-        if not capture:
-            raise ReproError(
-                "--pair expects LAUNCH:CAPTURE flip-flop names")
-        paths = pair_paths(analyzer, launch, capture, args.k, args.mode)
-        title = (f"Top-{args.k} post-CPPR {args.mode} paths "
-                 f"{launch} -> {capture}")
-    elif args.endpoint is not None:
-        paths = endpoint_paths(analyzer, args.endpoint, args.k,
+
+    def run():
+        if args.pre:
+            return None, format_endpoint_report(analyzer, args.mode,
+                                                limit=args.k)
+        if args.pair is not None:
+            launch, _, capture = args.pair.partition(":")
+            if not capture:
+                raise ReproError(
+                    "--pair expects LAUNCH:CAPTURE flip-flop names")
+            paths = pair_paths(analyzer, launch, capture, args.k,
                                args.mode)
-        title = (f"Top-{args.k} post-CPPR {args.mode} paths into "
-                 f"{args.endpoint}")
+            title = (f"Top-{args.k} post-CPPR {args.mode} paths "
+                     f"{launch} -> {capture}")
+        elif args.endpoint is not None:
+            paths = endpoint_paths(analyzer, args.endpoint, args.k,
+                                   args.mode)
+            title = (f"Top-{args.k} post-CPPR {args.mode} paths into "
+                     f"{args.endpoint}")
+        else:
+            paths = CpprEngine(analyzer).top_paths(args.k, args.mode)
+            title = f"Top-{args.k} post-CPPR {args.mode} paths"
+        return paths, title
+
+    if profiling:
+        with collecting() as col:
+            paths, title = run()
+        profile = col.profile()
     else:
-        paths = CpprEngine(analyzer).top_paths(args.k, args.mode)
-        title = f"Top-{args.k} post-CPPR {args.mode} paths"
-    if args.save_json is not None:
+        paths, title = run()
+        profile = None
+
+    if args.profile_json:
+        # Machine-readable mode: the profile JSON is the whole output.
+        print(profile_to_json(profile))
+        return 0
+    if paths is None:  # --pre: title holds the rendered report
+        print(title)
+    elif args.save_json is not None:
         from repro.io.reports import save_paths_json
         save_paths_json(analyzer, paths, args.save_json)
         print(f"wrote {len(paths)} paths -> {args.save_json}")
-        return 0
-    print(format_path_report(analyzer, paths, title=title))
+    else:
+        print(format_path_report(analyzer, paths, title=title))
+    if profile is not None:
+        print()
+        print(format_profile(profile, title=f"Profile ({args.mode})"))
     return 0
 
 
@@ -157,10 +180,14 @@ def _cmd_convert(args) -> int:
 
 
 def _cmd_compare(args) -> int:
+    from repro.obs import collecting, format_profile, profile_to_json
+
+    profiling = args.profile or args.profile_json
     graph, constraints = _design_from_args(args)
     analyzer = TimingAnalyzer(graph, constraints)
     reference: list[float] | None = None
-    print(f"{'timer':<12} {'runtime':>10}   agreement")
+    profiles: list[tuple[str, float, object]] = []
+    table_lines = [f"{'timer':<12} {'runtime':>10}   agreement"]
     for name in args.timers.split(","):
         name = name.strip()
         if name not in _TIMERS:
@@ -168,8 +195,14 @@ def _cmd_compare(args) -> int:
                 f"unknown timer {name!r}; choose from "
                 f"{sorted(_TIMERS)}")
         timer = _TIMERS[name](analyzer)
-        result = measure_runtime(
-            lambda t=timer: t.top_slacks(args.k, args.mode))
+        if profiling:
+            with collecting() as col:
+                result = measure_runtime(
+                    lambda t=timer: t.top_slacks(args.k, args.mode))
+            profiles.append((name, result.seconds, col.profile()))
+        else:
+            result = measure_runtime(
+                lambda t=timer: t.top_slacks(args.k, args.mode))
         slacks = result.value
         if reference is None:
             reference = slacks
@@ -178,7 +211,19 @@ def _cmd_compare(args) -> int:
             same = len(slacks) == len(reference) and all(
                 abs(a - b) < 1e-9 for a, b in zip(slacks, reference))
             agreement = "exact match" if same else "MISMATCH"
-        print(f"{name:<12} {result.seconds:>9.3f}s   {agreement}")
+        table_lines.append(f"{name:<12} {result.seconds:>9.3f}s   "
+                           f"{agreement}")
+    if args.profile_json:
+        import json
+        payload = {name: {"seconds": seconds,
+                          "profile": profile.to_dict()}
+                   for name, seconds, profile in profiles}
+        print(json.dumps(payload, indent=2))
+        return 0
+    print("\n".join(table_lines))
+    for name, _seconds, profile in profiles:
+        print()
+        print(format_profile(profile, title=f"Profile: {name}"))
     return 0
 
 
@@ -205,6 +250,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="only paths for this flip-flop pair")
     report.add_argument("--save-json", metavar="FILE",
                         help="write a machine-readable report instead")
+    report.add_argument("--profile", action="store_true",
+                        help="also print a span tree + counter table")
+    report.add_argument("--profile-json", action="store_true",
+                        help="print the profile as JSON (and nothing "
+                             "else)")
     report.set_defaults(func=_cmd_report)
 
     generate = sub.add_parser("generate", help="synthesize a design")
@@ -232,6 +282,11 @@ def build_parser() -> argparse.ArgumentParser:
                          default="setup")
     compare.add_argument("--timers", default="ours,block,bnb",
                          help="comma list: ours,pair,block,bnb,exhaustive")
+    compare.add_argument("--profile", action="store_true",
+                         help="also print per-timer profiles")
+    compare.add_argument("--profile-json", action="store_true",
+                         help="print per-timer profiles as JSON (and "
+                              "nothing else)")
     compare.set_defaults(func=_cmd_compare)
 
     return parser

@@ -29,6 +29,7 @@ from repro.circuit.graph import TimingGraph
 from repro.cppr.tuples import NO_GROUP
 from repro.ds.minmax_heap import MinMaxHeap
 from repro.exceptions import AnalysisError
+from repro.obs import collector as _obs
 from repro.sta.modes import AnalysisMode
 
 __all__ = ["CaptureSeed", "SearchResult", "run_topk"]
@@ -129,6 +130,13 @@ def run_topk(graph: TimingGraph, arrays: _ArrivalArrays,
     is_clock_pin = graph.is_clock_pin
     fanin = graph.fanin
 
+    # Deviation-work counters: accumulated in locals and reported once at
+    # the end so the disabled path costs one cheap local test per edge.
+    col = _obs.ACTIVE
+    counting = col is not None
+    edges_explored = 0
+    edges_generated = 0
+
     heap = MinMaxHeap()
     for seed in seeds:
         heap.push_bounded(
@@ -156,6 +164,8 @@ def run_topk(graph: TimingGraph, arrays: _ArrivalArrays,
                 raise AnalysisError(
                     f"broken arrival chain at pin {graph.pin_name(pin)!r}")
             time_here, from_pin, _grp = record
+            if counting:
+                edges_explored += len(fanin[pin])
             for w, delay_early, delay_late in fanin[pin]:
                 if w == from_pin:
                     continue
@@ -167,6 +177,8 @@ def run_topk(graph: TimingGraph, arrays: _ArrivalArrays,
                     cost = time_here - w_record[0] - delay
                 else:
                     cost = w_record[0] + delay - time_here
+                if counting:
+                    edges_generated += 1
                 heap.push_bounded(
                     slack + cost,
                     _SearchState(w, group, devlist + ((w, pin),),
@@ -175,5 +187,11 @@ def run_topk(graph: TimingGraph, arrays: _ArrivalArrays,
             if from_pin < 0 or is_clock_pin[from_pin]:
                 break
             pin = from_pin
+
+    if counting:
+        col.add("deviation.seeds", len(seeds))
+        col.add("deviation.edges_explored", edges_explored)
+        col.add("deviation.edges_generated", edges_generated)
+        col.add("deviation.paths_reported", len(results))
 
     return results

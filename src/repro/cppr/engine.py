@@ -20,12 +20,15 @@ from dataclasses import dataclass, replace
 
 from repro.cppr.level_paths import paths_at_level
 from repro.cppr.output_paths import output_paths
-from repro.cppr.parallel import run_tasks
+from repro.cppr.parallel import available_executors, run_tasks
 from repro.cppr.pi_paths import primary_input_paths
 from repro.cppr.select import select_top_paths
 from repro.cppr.selfloop_paths import self_loop_paths
 from repro.cppr.types import TimingPath
 from repro.exceptions import AnalysisError
+from repro.obs import collector as _obs
+from repro.obs.collector import collecting
+from repro.obs.profile import Profile
 from repro.sta.modes import AnalysisMode
 from repro.sta.timing import TimingAnalyzer
 
@@ -79,13 +82,47 @@ def _run_family(analyzer: TimingAnalyzer, task: tuple, k: int,
     raise AnalysisError(f"unknown candidate family task {task!r}")
 
 
+def _validate_options(options: CpprOptions) -> None:
+    """Reject bad executor/worker settings at construction time.
+
+    Failing here — with the list of valid values — beats the obscure
+    failure the same mistake used to produce deep inside
+    :func:`repro.cppr.parallel.run_tasks` on the first query.
+    """
+    valid = available_executors()
+    if options.executor not in valid:
+        raise AnalysisError(
+            f"unknown executor {options.executor!r}; valid executors on "
+            f"this platform: {', '.join(valid)}")
+    workers = options.workers
+    if workers is not None:
+        if not isinstance(workers, int) or isinstance(workers, bool):
+            raise AnalysisError(
+                f"workers must be a positive int or None, "
+                f"got {workers!r}")
+        if workers < 1:
+            raise AnalysisError(
+                f"workers must be at least 1 (or None for automatic), "
+                f"got {workers}")
+
+
 class CpprEngine:
-    """Top-k post-CPPR critical-path engine (the paper's contribution)."""
+    """Top-k post-CPPR critical-path engine (the paper's contribution).
+
+    When a :mod:`repro.obs` collector is active during a query, the run
+    is traced (per-pass spans, heap/deviation/propagation counters) and
+    the resulting :class:`~repro.obs.profile.Profile` snapshot is kept in
+    :attr:`last_profile`.  Without a collector the engine runs exactly as
+    before and ``last_profile`` stays untouched.
+    """
 
     def __init__(self, analyzer: TimingAnalyzer,
                  options: CpprOptions | None = None) -> None:
         self.analyzer = analyzer
         self.options = options or CpprOptions()
+        _validate_options(self.options)
+        #: Profile of the most recent collected query, or ``None``.
+        self.last_profile: Profile | None = None
 
     def with_options(self, **changes) -> "CpprEngine":
         """A new engine sharing the analyzer with updated options."""
@@ -121,9 +158,10 @@ class CpprEngine:
         self.analyzer.graph.topo_order
         args = [(self.analyzer, task, k, mode, self.options.heap_capacity)
                 for task in self._tasks()]
-        results = run_tasks(_run_family, args,
-                            executor=self.options.executor,
-                            workers=self.options.workers)
+        with _obs.span("candidates"):
+            results = run_tasks(_run_family, args,
+                                executor=self.options.executor,
+                                workers=self.options.workers)
         return [path for family in results for path in family]
 
     # ------------------------------------------------------------------
@@ -135,8 +173,26 @@ class CpprEngine:
         Each returned path's ``slack`` is the exact post-CPPR slack of
         Equation (2) and its ``credit`` the removed pessimism.
         """
-        candidates = self.candidate_paths(k, mode)
-        return select_top_paths(self.analyzer, candidates, k)
+        col = _obs.ACTIVE
+        with _obs.span("top_paths"):
+            candidates = self.candidate_paths(k, mode)
+            selected = select_top_paths(self.analyzer, candidates, k)
+        if col is not None:
+            self.last_profile = col.profile()
+        return selected
+
+    def profiled_top_paths(self, k: int, mode: AnalysisMode | str
+                           ) -> tuple[list[TimingPath], Profile]:
+        """Run :meth:`top_paths` under a fresh collector.
+
+        Returns ``(paths, profile)``; the profile is also stored in
+        :attr:`last_profile`.  If a collector was already installed it
+        is shadowed for the duration of this call (its totals do not
+        include this run).
+        """
+        with collecting() as col:
+            paths = self.top_paths(k, mode)
+        return paths, col.profile()
 
     def top_slacks(self, k: int, mode: AnalysisMode | str) -> list[float]:
         """Just the slack values of :meth:`top_paths` (ascending)."""

@@ -17,6 +17,7 @@ from repro.cppr.deviation import CaptureSeed, run_topk
 from repro.cppr.grouping import group_for_level
 from repro.cppr.propagation import Seed, propagate_dual
 from repro.cppr.types import PathFamily, TimingPath
+from repro.obs import collector as _obs
 from repro.sta.modes import AnalysisMode
 from repro.sta.timing import TimingAnalyzer
 
@@ -32,6 +33,13 @@ def paths_at_level(analyzer: TimingAnalyzer, level: int, k: int,
     (``O(k log k)`` heap work along paths), matching the per-level cost in
     the paper's complexity theorem.
     """
+    with _obs.span("level", level):
+        return _paths_at_level(analyzer, level, k, mode, heap_capacity)
+
+
+def _paths_at_level(analyzer: TimingAnalyzer, level: int, k: int,
+                    mode: AnalysisMode | str,
+                    heap_capacity: int | None) -> list[TimingPath]:
     mode = AnalysisMode.coerce(mode)
     graph = analyzer.graph
     tree = graph.clock_tree
@@ -53,7 +61,8 @@ def paths_at_level(analyzer: TimingAnalyzer, level: int, k: int,
 
     if not seeds:
         return []
-    arrays = propagate_dual(graph, mode, seeds)
+    with _obs.span("propagate"):
+        arrays = propagate_dual(graph, mode, seeds)
 
     capture_seeds = []
     for ff in graph.ffs:
@@ -71,7 +80,9 @@ def paths_at_level(analyzer: TimingAnalyzer, level: int, k: int,
         capture_seeds.append(
             CaptureSeed(slack, ff.d_pin, capture_group, ff.index))
 
-    results = run_topk(graph, arrays, capture_seeds, k, mode, heap_capacity)
+    with _obs.span("search"):
+        results = run_topk(graph, arrays, capture_seeds, k, mode,
+                           heap_capacity)
 
     paths = []
     for result in results:
@@ -81,4 +92,5 @@ def paths_at_level(analyzer: TimingAnalyzer, level: int, k: int,
             credit=grouping.launch_offset[launch_ff], pins=result.pins,
             launch_ff=launch_ff, capture_ff=result.capture_ff,
             level=level))
+    _obs.add("candidates.produced.level", len(paths))
     return paths

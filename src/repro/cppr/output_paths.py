@@ -16,6 +16,7 @@ from __future__ import annotations
 from repro.cppr.deviation import CaptureSeed, run_topk
 from repro.cppr.propagation import Seed, propagate_single
 from repro.cppr.types import PathFamily, TimingPath
+from repro.obs import collector as _obs
 from repro.sta.modes import AnalysisMode
 from repro.sta.timing import TimingAnalyzer
 
@@ -26,6 +27,13 @@ def output_paths(analyzer: TimingAnalyzer, k: int,
                  mode: AnalysisMode | str,
                  heap_capacity: int | None = None) -> list[TimingPath]:
     """Top-``k`` paths ending at constrained primary outputs."""
+    with _obs.span("output"):
+        return _output_paths(analyzer, k, mode, heap_capacity)
+
+
+def _output_paths(analyzer: TimingAnalyzer, k: int,
+                  mode: AnalysisMode | str,
+                  heap_capacity: int | None) -> list[TimingPath]:
     mode = AnalysisMode.coerce(mode)
     graph = analyzer.graph
     tree = graph.clock_tree
@@ -45,7 +53,8 @@ def output_paths(analyzer: TimingAnalyzer, k: int,
                    is not None]
     if not seeds or not capture_pos:
         return []
-    arrays = propagate_single(graph, mode, seeds)
+    with _obs.span("propagate"):
+        arrays = propagate_single(graph, mode, seeds)
 
     capture_seeds = []
     for po in capture_pos:
@@ -58,10 +67,14 @@ def output_paths(analyzer: TimingAnalyzer, k: int,
             slack = record[0] - po.rat_early
         capture_seeds.append(CaptureSeed(slack, po.pin))
 
-    results = run_topk(graph, arrays, capture_seeds, k, mode, heap_capacity)
+    with _obs.span("search"):
+        results = run_topk(graph, arrays, capture_seeds, k, mode,
+                           heap_capacity)
 
-    return [TimingPath(mode=mode, family=PathFamily.OUTPUT,
-                       slack=result.slack, credit=0.0, pins=result.pins,
-                       launch_ff=graph.ff_of_q_pin.get(result.pins[0]),
-                       capture_ff=None)
-            for result in results]
+    paths = [TimingPath(mode=mode, family=PathFamily.OUTPUT,
+                        slack=result.slack, credit=0.0, pins=result.pins,
+                        launch_ff=graph.ff_of_q_pin.get(result.pins[0]),
+                        capture_ff=None)
+             for result in results]
+    _obs.add("candidates.produced.output", len(paths))
+    return paths

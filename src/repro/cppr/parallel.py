@@ -15,6 +15,13 @@ CPU work, so true speedup requires processes.  Three strategies:
   the paper's shared-memory threading as closely as Python allows.
 
 The Figure 6 thread-scaling experiment uses the process executor.
+
+Observability: when a :mod:`repro.obs` collector is active, every task's
+spans and counters are captured per task — in a detached thread state for
+the thread pool, in a per-process sub-collector (shipped back pickled as a
+profile dict) for the fork pool — and merged into the caller's collector
+in **task order**, so counter totals and span sets are identical across
+the three executors for the same workload.
 """
 
 from __future__ import annotations
@@ -25,10 +32,13 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Sequence
 
 from repro.exceptions import AnalysisError
+from repro.obs import collector as _obs
+from repro.obs.collector import Collector, collecting
+from repro.obs.profile import Profile
 
 __all__ = ["available_executors", "run_tasks"]
 
-_FORK_PAYLOAD: tuple[Callable[..., Any], Sequence[tuple]] | None = None
+_FORK_PAYLOAD: tuple[Callable[..., Any], Sequence[tuple], bool] | None = None
 
 
 def available_executors() -> list[str]:
@@ -40,10 +50,19 @@ def available_executors() -> list[str]:
 
 
 def _fork_entry(index: int) -> Any:
-    """Run task ``index`` of the fork-inherited payload (worker side)."""
+    """Run task ``index`` of the fork-inherited payload (worker side).
+
+    When the parent was collecting, the worker runs its task under a
+    fresh sub-collector (replacing the fork-inherited parent collector)
+    and returns ``(result, profile_dict)`` for the parent to merge.
+    """
     assert _FORK_PAYLOAD is not None, "fork payload missing in worker"
-    fn, args_list = _FORK_PAYLOAD
-    return fn(*args_list[index])
+    fn, args_list, collect = _FORK_PAYLOAD
+    if not collect:
+        return fn(*args_list[index])
+    with collecting(Collector()) as sub:
+        result = fn(*args_list[index])
+    return result, sub.profile().to_dict()
 
 
 def run_tasks(fn: Callable[..., Any], args_list: Sequence[tuple],
@@ -54,6 +73,8 @@ def run_tasks(fn: Callable[..., Any], args_list: Sequence[tuple],
     ``fn`` must be a module-level (picklable-by-reference) callable when
     the process executor is used.
     """
+    col = _obs.ACTIVE
+
     if executor == "serial":
         return [fn(*args) for args in args_list]
 
@@ -62,8 +83,22 @@ def run_tasks(fn: Callable[..., Any], args_list: Sequence[tuple],
     workers = max(1, workers)
 
     if executor == "thread":
+        if col is None:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                return list(pool.map(lambda args: fn(*args), args_list))
+
+        def run_detached(args: tuple) -> tuple[Any, Any]:
+            with col.capture() as state:
+                result = fn(*args)
+            return result, state
+
         with ThreadPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(lambda args: fn(*args), args_list))
+            packed = list(pool.map(run_detached, args_list))
+        results = []
+        for result, state in packed:
+            col.absorb_state(state)
+            results.append(result)
+        return results
 
     if executor == "process":
         if "fork" not in multiprocessing.get_all_start_methods():
@@ -77,12 +112,19 @@ def run_tasks(fn: Callable[..., Any], args_list: Sequence[tuple],
             raise AnalysisError(
                 "nested process-executor runs are not supported")
         context = multiprocessing.get_context("fork")
-        _FORK_PAYLOAD = (fn, args_list)
+        _FORK_PAYLOAD = (fn, args_list, col is not None)
         try:
             with context.Pool(processes=workers) as pool:
-                return pool.map(_fork_entry, range(len(args_list)))
+                packed = pool.map(_fork_entry, range(len(args_list)))
         finally:
             _FORK_PAYLOAD = None
+        if col is None:
+            return packed
+        results = []
+        for result, profile_dict in packed:
+            col.absorb(Profile.from_dict(profile_dict))
+            results.append(result)
+        return results
 
     raise AnalysisError(
         f"unknown executor {executor!r}; expected one of "

@@ -10,6 +10,7 @@ from __future__ import annotations
 from repro.cppr.deviation import CaptureSeed, run_topk
 from repro.cppr.propagation import Seed, propagate_single
 from repro.cppr.types import PathFamily, TimingPath
+from repro.obs import collector as _obs
 from repro.sta.modes import AnalysisMode
 from repro.sta.timing import TimingAnalyzer
 
@@ -21,6 +22,13 @@ def primary_input_paths(analyzer: TimingAnalyzer, k: int,
                         heap_capacity: int | None = None
                         ) -> list[TimingPath]:
     """Top-``k`` primary-input path candidates, best slack first."""
+    with _obs.span("primary_input"):
+        return _primary_input_paths(analyzer, k, mode, heap_capacity)
+
+
+def _primary_input_paths(analyzer: TimingAnalyzer, k: int,
+                         mode: AnalysisMode | str,
+                         heap_capacity: int | None) -> list[TimingPath]:
     mode = AnalysisMode.coerce(mode)
     graph = analyzer.graph
     tree = graph.clock_tree
@@ -30,7 +38,8 @@ def primary_input_paths(analyzer: TimingAnalyzer, k: int,
              for pi in graph.primary_inputs]
     if not seeds:
         return []
-    arrays = propagate_single(graph, mode, seeds)
+    with _obs.span("propagate"):
+        arrays = propagate_single(graph, mode, seeds)
 
     capture_seeds = []
     for ff in graph.ffs:
@@ -45,9 +54,13 @@ def primary_input_paths(analyzer: TimingAnalyzer, k: int,
         capture_seeds.append(
             CaptureSeed(slack, ff.d_pin, capture_ff=ff.index))
 
-    results = run_topk(graph, arrays, capture_seeds, k, mode, heap_capacity)
+    with _obs.span("search"):
+        results = run_topk(graph, arrays, capture_seeds, k, mode,
+                           heap_capacity)
 
-    return [TimingPath(mode=mode, family=PathFamily.PRIMARY_INPUT,
-                       slack=result.slack, credit=0.0, pins=result.pins,
-                       launch_ff=None, capture_ff=result.capture_ff)
-            for result in results]
+    paths = [TimingPath(mode=mode, family=PathFamily.PRIMARY_INPUT,
+                        slack=result.slack, credit=0.0, pins=result.pins,
+                        launch_ff=None, capture_ff=result.capture_ff)
+             for result in results]
+    _obs.add("candidates.produced.primary_input", len(paths))
+    return paths

@@ -27,6 +27,7 @@ from typing import Iterable
 
 from repro.circuit.graph import TimingGraph
 from repro.cppr.tuples import NO_GROUP, NO_NODE
+from repro.obs import collector as _obs
 from repro.sta.modes import AnalysisMode
 
 __all__ = ["DualArrivalArrays", "SingleArrivalArrays", "Seed",
@@ -142,7 +143,13 @@ def propagate_dual(graph: TimingGraph, mode: AnalysisMode,
                 from1[v] = frm
                 group1[v] = gid
 
+    col = _obs.ACTIVE
+    counting = col is not None
+    pins_visited = 0
+    num_seeds = 0
+
     for seed in seeds:
+        num_seeds += 1
         offer(seed.pin, seed.time, seed.from_pin, seed.group)
 
     fanout = graph.fanout
@@ -150,6 +157,8 @@ def propagate_dual(graph: TimingGraph, mode: AnalysisMode,
         t0 = time0[u]
         if t0 == empty:
             continue
+        if counting:
+            pins_visited += 1
         g0 = group0[u]
         t1 = time1[u]
         g1 = group1[u]
@@ -159,6 +168,10 @@ def propagate_dual(graph: TimingGraph, mode: AnalysisMode,
             offer(v, t0 + delay, u, g0)
             if has_fallback:
                 offer(v, t1 + delay, u, g1)
+
+    if counting:
+        col.add("propagation.seeds", num_seeds)
+        col.add("propagation.pins_visited", pins_visited)
 
     return DualArrivalArrays(mode, time0, from0, group0,
                              time1, from1, group1)
@@ -173,7 +186,13 @@ def propagate_single(graph: TimingGraph, mode: AnalysisMode,
     time = [empty] * n
     from_pin = [NO_NODE] * n
 
+    col = _obs.ACTIVE
+    counting = col is not None
+    pins_visited = 0
+    num_seeds = 0
+
     for seed in seeds:
+        num_seeds += 1
         t0 = time[seed.pin]
         if t0 == empty or ((seed.time > t0) if is_setup
                            else (seed.time < t0)):
@@ -185,11 +204,17 @@ def propagate_single(graph: TimingGraph, mode: AnalysisMode,
         t0 = time[u]
         if t0 == empty:
             continue
+        if counting:
+            pins_visited += 1
         for v, delay_early, delay_late in fanout[u]:
             t = t0 + (delay_late if is_setup else delay_early)
             tv = time[v]
             if tv == empty or ((t > tv) if is_setup else (t < tv)):
                 time[v] = t
                 from_pin[v] = u
+
+    if counting:
+        col.add("propagation.seeds", num_seeds)
+        col.add("propagation.pins_visited", pins_visited)
 
     return SingleArrivalArrays(mode, time, from_pin)

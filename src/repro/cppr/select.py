@@ -18,6 +18,7 @@ from typing import Iterable
 
 from repro.cppr.types import PathFamily, TimingPath
 from repro.ds.bounded import TopK
+from repro.obs import collector as _obs
 from repro.sta.timing import TimingAnalyzer
 
 __all__ = ["select_top_paths"]
@@ -31,19 +32,42 @@ def select_top_paths(analyzer: TimingAnalyzer,
     Returns paths sorted by post-CPPR slack (most critical first); ties
     are broken deterministically by the pin sequence.
     """
+    with _obs.span("select"):
+        return _select_top_paths(analyzer, candidates, k)
+
+
+def _select_top_paths(analyzer: TimingAnalyzer,
+                      candidates: Iterable[TimingPath],
+                      k: int) -> list[TimingPath]:
     graph = analyzer.graph
     tree = graph.clock_tree
+    col = _obs.ACTIVE
+    counting = col is not None
+    considered = 0
+    filtered_level = 0
+    filtered_self_loop = 0
     top = TopK(k)
     for path in candidates:
+        if counting:
+            considered += 1
         if path.family is PathFamily.LEVEL:
             launch = graph.ffs[path.launch_ff].tree_node
             capture = graph.ffs[path.capture_ff].tree_node
             if tree.lca_depth(launch, capture) != path.level:
+                if counting:
+                    filtered_level += 1
                 continue
         elif path.family is PathFamily.SELF_LOOP:
             if path.launch_ff != path.capture_ff:
+                if counting:
+                    filtered_self_loop += 1
                 continue
         top.offer(path.slack, path)
     selected = [path for _slack, path in top.sorted_items()]
     selected.sort(key=TimingPath.key)
+    if counting:
+        col.add("select.considered", considered)
+        col.add("select.filtered.level", filtered_level)
+        col.add("select.filtered.self_loop", filtered_self_loop)
+        col.add("select.selected", len(selected))
     return selected

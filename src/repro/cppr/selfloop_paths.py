@@ -17,6 +17,7 @@ from __future__ import annotations
 from repro.cppr.deviation import CaptureSeed, run_topk
 from repro.cppr.propagation import Seed, propagate_single
 from repro.cppr.types import PathFamily, TimingPath
+from repro.obs import collector as _obs
 from repro.sta.modes import AnalysisMode
 from repro.sta.timing import TimingAnalyzer
 
@@ -27,6 +28,13 @@ def self_loop_paths(analyzer: TimingAnalyzer, k: int,
                     mode: AnalysisMode | str,
                     heap_capacity: int | None = None) -> list[TimingPath]:
     """Top-``k`` self-loop path candidates, best slack first."""
+    with _obs.span("self_loop"):
+        return _self_loop_paths(analyzer, k, mode, heap_capacity)
+
+
+def _self_loop_paths(analyzer: TimingAnalyzer, k: int,
+                     mode: AnalysisMode | str,
+                     heap_capacity: int | None) -> list[TimingPath]:
     mode = AnalysisMode.coerce(mode)
     graph = analyzer.graph
     tree = graph.clock_tree
@@ -44,7 +52,8 @@ def self_loop_paths(analyzer: TimingAnalyzer, k: int,
 
     if not seeds:
         return []
-    arrays = propagate_single(graph, mode, seeds)
+    with _obs.span("propagate"):
+        arrays = propagate_single(graph, mode, seeds)
 
     capture_seeds = []
     for ff in graph.ffs:
@@ -59,7 +68,9 @@ def self_loop_paths(analyzer: TimingAnalyzer, k: int,
         capture_seeds.append(
             CaptureSeed(slack, ff.d_pin, capture_ff=ff.index))
 
-    results = run_topk(graph, arrays, capture_seeds, k, mode, heap_capacity)
+    with _obs.span("search"):
+        results = run_topk(graph, arrays, capture_seeds, k, mode,
+                           heap_capacity)
 
     paths = []
     for result in results:
@@ -69,4 +80,5 @@ def self_loop_paths(analyzer: TimingAnalyzer, k: int,
             credit=tree.credit(graph.ffs[launch_ff].tree_node),
             pins=result.pins, launch_ff=launch_ff,
             capture_ff=result.capture_ff))
+    _obs.add("candidates.produced.self_loop", len(paths))
     return paths

@@ -4,6 +4,10 @@ Used wherever the library accumulates candidates but only ever reports the
 best ``k`` of them: the baseline timers' per-endpoint merges and the final
 ``selectTopPaths`` reduction.  Internally a max-heap of size at most ``k``:
 an item worse than the current k-th best is rejected in ``O(1)``.
+
+With a :mod:`repro.obs` collector active, every ``offer`` emits
+``topk.offer`` plus one of ``topk.store`` (free slot), ``topk.evict``
+(displaced the current k-th best) or ``topk.reject``.
 """
 
 from __future__ import annotations
@@ -11,6 +15,8 @@ from __future__ import annotations
 import heapq
 import itertools
 from typing import Any, Iterable, Iterator
+
+from repro.obs import collector as _obs
 
 __all__ = ["TopK"]
 
@@ -49,15 +55,24 @@ class TopK:
 
     def offer(self, key: float, item: Any = None) -> bool:
         """Consider ``item``; returns True when it was retained."""
+        col = _obs.ACTIVE
+        if col is not None:
+            col.add("topk.offer")
         if self._capacity == 0:
             return False
         entry = (-key, next(self._counter), item)
         if len(self._heap) < self._capacity:
             heapq.heappush(self._heap, entry)
+            if col is not None:
+                col.add("topk.store")
             return True
         if -key <= self._heap[0][0]:
+            if col is not None:
+                col.add("topk.reject")
             return False
         heapq.heapreplace(self._heap, entry)
+        if col is not None:
+            col.add("topk.evict")
         return True
 
     def offer_many(self, items: Iterable[tuple[float, Any]]) -> int:

@@ -11,11 +11,19 @@ therefore its memory — bounded by ``O(k)`` per level.
 
 Entries are ``(key, payload)`` pairs ordered by ``key`` only; ties are broken
 by insertion order so payloads never need to be comparable.
+
+When a :mod:`repro.obs` collector is active, mutations emit the
+``heap.push`` / ``heap.pop_min`` / ``heap.pop_max`` counters and
+``push_bounded`` additionally emits ``heap.evict`` / ``heap.reject``
+(an eviction also counts as one ``pop_max`` plus one ``push`` because
+it is implemented with those primitives).
 """
 
 from __future__ import annotations
 
 from typing import Any, Iterable, Iterator
+
+from repro.obs import collector as _obs
 
 __all__ = ["MinMaxHeap"]
 
@@ -94,6 +102,9 @@ class MinMaxHeap:
     # ------------------------------------------------------------------
     def push(self, key: float, payload: Any = None) -> None:
         """Insert ``payload`` with priority ``key``."""
+        col = _obs.ACTIVE
+        if col is not None:
+            col.add("heap.push")
         self._entries.append((key, self._counter, payload))
         self._counter += 1
         self._bubble_up(len(self._entries) - 1)
@@ -114,8 +125,13 @@ class MinMaxHeap:
         if len(self._entries) < capacity:
             self.push(key, payload)
             return True
+        col = _obs.ACTIVE
         if key >= self.max_key():
+            if col is not None:
+                col.add("heap.reject")
             return False
+        if col is not None:
+            col.add("heap.evict")
         self.pop_max()
         self.push(key, payload)
         return True
@@ -124,6 +140,9 @@ class MinMaxHeap:
         """Remove and return the smallest ``(key, payload)``."""
         if not self._entries:
             raise IndexError("pop_min on empty MinMaxHeap")
+        col = _obs.ACTIVE
+        if col is not None:
+            col.add("heap.pop_min")
         entry = self._entries[0]
         self._remove_at(0)
         return entry[0], entry[2]
@@ -132,6 +151,9 @@ class MinMaxHeap:
         """Remove and return the largest ``(key, payload)``."""
         if not self._entries:
             raise IndexError("pop_max on empty MinMaxHeap")
+        col = _obs.ACTIVE
+        if col is not None:
+            col.add("heap.pop_max")
         index = self._max_index()
         entry = self._entries[index]
         self._remove_at(index)

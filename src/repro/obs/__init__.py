@@ -1,0 +1,38 @@
+"""repro.obs — structured tracing, counters, and profile reports.
+
+The engine's instrumentation layer: hierarchical spans with monotonic
+timing, named counters for heap/deviation/propagation work, and
+:class:`Profile` snapshots that aggregate deterministically across the
+``serial``/``thread``/``process`` executors.
+
+Quickstart::
+
+    from repro.obs import collecting, format_profile
+
+    with collecting() as col:
+        engine.top_paths(k=50, mode="setup")
+    print(format_profile(col.profile()))
+
+Instrumentation is zero-cost by default: until :func:`collecting`
+installs a collector, every instrumented call site reduces to a single
+module-attribute check (see :mod:`repro.obs.collector`).  The span and
+counter vocabulary is documented in ``docs/OBSERVABILITY.md``.
+"""
+
+from repro.obs.collector import (Collector, active_collector, add,
+                                 collecting, span)
+from repro.obs.profile import SCHEMA, Profile, SpanNode
+from repro.obs.render import format_profile, profile_to_json
+
+__all__ = [
+    "Collector",
+    "Profile",
+    "SCHEMA",
+    "SpanNode",
+    "active_collector",
+    "add",
+    "collecting",
+    "format_profile",
+    "profile_to_json",
+    "span",
+]

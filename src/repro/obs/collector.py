@@ -1,0 +1,244 @@
+"""The active collector and the zero-cost-by-default instrumentation API.
+
+Design constraints, in order of importance:
+
+1. **Disabled instrumentation must cost (almost) nothing.**  Hot loops
+   (heap pushes, deviation-edge scans, propagation relaxations) guard
+   every event with a single module-attribute check::
+
+       from repro.obs import collector as _obs
+       ...
+       col = _obs.ACTIVE
+       if col is not None:
+           col.add("heap.push")
+
+   When no collector is installed ``ACTIVE`` is ``None`` and the guard
+   is one attribute load plus an identity test — verified to stay under
+   the 5% overhead budget by ``tests/obs/test_overhead.py``.
+
+2. **Thread safety without hot-path locks.**  A :class:`Collector` keeps
+   per-thread state (counters, span stack, finished root spans) behind
+   ``threading.local``; the only lock is taken once per thread at
+   registration and once per snapshot.  Counter totals are therefore
+   exact under the thread executor, not approximate.
+
+3. **Deterministic aggregation across executors.**  Parallel executors
+   route each task's events into a detached state (:meth:`Collector.
+   capture`) or a per-process sub-collector, then merge them back in
+   task order (:meth:`Collector.absorb_state` / :meth:`Collector.
+   absorb`), so counter totals are identical for ``serial``, ``thread``
+   and ``process`` runs of the same workload.
+
+The module-level helpers :func:`add` and :func:`span` are convenience
+wrappers for call sites that are not performance-critical.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from repro.obs.profile import Profile, SpanNode
+
+__all__ = ["ACTIVE", "Collector", "active_collector", "add", "collecting",
+           "span"]
+
+#: The installed collector, or ``None`` when instrumentation is off.
+#: Hot paths read this attribute directly; everything else should go
+#: through :func:`collecting` / :func:`active_collector`.
+ACTIVE: "Collector | None" = None
+
+
+class _OpenSpan:
+    """A span still on some thread's stack; mutable while children finish."""
+
+    __slots__ = ("label", "children")
+
+    def __init__(self, label: str) -> None:
+        self.label = label
+        self.children: list[SpanNode] = []
+
+
+class _ThreadState:
+    """One thread's (or one detached task's) private event storage."""
+
+    __slots__ = ("counters", "roots", "stack")
+
+    def __init__(self) -> None:
+        self.counters: dict[str, int] = {}
+        self.roots: list[SpanNode] = []
+        self.stack: list[_OpenSpan] = []
+
+
+class Collector:
+    """Accumulates named counters and a hierarchical span tree.
+
+    Instances are cheap; create one per measurement window via
+    :func:`collecting`.  All methods are safe to call from multiple
+    threads concurrently.
+    """
+
+    def __init__(self, clock=time.perf_counter) -> None:
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._states: list[_ThreadState] = []
+        self._tls = threading.local()
+
+    # ------------------------------------------------------------------
+    # Per-thread state management
+    # ------------------------------------------------------------------
+    def _state(self) -> _ThreadState:
+        state = getattr(self._tls, "state", None)
+        if state is None:
+            state = _ThreadState()
+            self._tls.state = state
+            with self._lock:
+                self._states.append(state)
+        return state
+
+    @contextmanager
+    def capture(self) -> Iterator[_ThreadState]:
+        """Route this thread's events into a detached state.
+
+        Used by executors to give each task its own event bucket so the
+        buckets can be merged back in task order (deterministically)
+        with :meth:`absorb_state`.  The detached state is *not* included
+        in :meth:`profile` snapshots until absorbed.
+        """
+        detached = _ThreadState()
+        prev = getattr(self._tls, "state", None)
+        self._tls.state = detached
+        try:
+            yield detached
+        finally:
+            self._tls.state = prev
+
+    # ------------------------------------------------------------------
+    # Event recording
+    # ------------------------------------------------------------------
+    def add(self, name: str, amount: int = 1) -> None:
+        """Increment counter ``name`` by ``amount``."""
+        counters = self._state().counters
+        counters[name] = counters.get(name, 0) + amount
+
+    @contextmanager
+    def span(self, name: str, detail: Any = None) -> Iterator[None]:
+        """Time a region as ``name`` (or ``name[detail]``) with children."""
+        label = name if detail is None else f"{name}[{detail}]"
+        state = self._state()
+        node = _OpenSpan(label)
+        state.stack.append(node)
+        start = self._clock()
+        try:
+            yield
+        finally:
+            elapsed = self._clock() - start
+            state.stack.pop()
+            finished = SpanNode(label, elapsed, tuple(node.children))
+            if state.stack:
+                state.stack[-1].children.append(finished)
+            else:
+                state.roots.append(finished)
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+    def absorb_state(self, state: _ThreadState) -> None:
+        """Merge a detached state's events under the current span."""
+        current = self._state()
+        target = (current.stack[-1].children if current.stack
+                  else current.roots)
+        target.extend(state.roots)
+        counters = current.counters
+        for name, amount in state.counters.items():
+            counters[name] = counters.get(name, 0) + amount
+
+    def absorb(self, profile: Profile) -> None:
+        """Merge a worker's :class:`Profile` under the current span.
+
+        This is how per-process collectors returned from fork workers
+        are folded back into the parent's collector.
+        """
+        current = self._state()
+        target = (current.stack[-1].children if current.stack
+                  else current.roots)
+        target.extend(profile.spans)
+        counters = current.counters
+        for name, amount in profile.counters.items():
+            counters[name] = counters.get(name, 0) + amount
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    def profile(self) -> Profile:
+        """A point-in-time snapshot; open spans are not included."""
+        with self._lock:
+            states = list(self._states)
+        counters: dict[str, int] = {}
+        spans: list[SpanNode] = []
+        for state in states:
+            spans.extend(state.roots)
+            for name, amount in state.counters.items():
+                counters[name] = counters.get(name, 0) + amount
+        return Profile(spans=tuple(spans),
+                       counters=dict(sorted(counters.items())))
+
+
+# ----------------------------------------------------------------------
+# Module-level API
+# ----------------------------------------------------------------------
+def active_collector() -> Collector | None:
+    """The currently installed collector, or ``None``."""
+    return ACTIVE
+
+
+@contextmanager
+def collecting(collector: Collector | None = None) -> Iterator[Collector]:
+    """Install ``collector`` (or a fresh one) for the ``with`` body.
+
+    Installation is process-global: worker threads (and forked worker
+    processes) started inside the body observe the same collector.
+    Nesting replaces the outer collector for the inner body and restores
+    it on exit; the inner window's events are *not* forwarded to the
+    outer collector.
+    """
+    global ACTIVE
+    outer = ACTIVE
+    col = Collector() if collector is None else collector
+    ACTIVE = col
+    try:
+        yield col
+    finally:
+        ACTIVE = outer
+
+
+def add(name: str, amount: int = 1) -> None:
+    """Increment a counter on the active collector, if any."""
+    col = ACTIVE
+    if col is not None:
+        col.add(name, amount)
+
+
+class _NullSpan:
+    """Reusable no-op context manager for disabled spans."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def span(name: str, detail: Any = None):
+    """A timed span on the active collector; no-op when disabled."""
+    col = ACTIVE
+    if col is None:
+        return _NULL_SPAN
+    return col.span(name, detail)

@@ -1,0 +1,66 @@
+"""Human- and machine-readable renderings of :class:`Profile` objects.
+
+``format_profile`` produces the span tree + counter table printed by
+``python -m repro report --profile``; ``profile_to_json`` is the
+``--profile-json`` payload and the benchmark harness format.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.obs.profile import Profile
+
+__all__ = ["format_profile", "profile_to_json"]
+
+
+def _format_span_tree(profile: Profile) -> list[str]:
+    lines = [f"{'total s':>10}  {'self s':>10}  span"]
+    for root in profile.spans:
+        for depth, node in root.walk():
+            indent = "  " * depth
+            lines.append(f"{node.seconds:>10.4f}  {node.self_seconds:>10.4f}"
+                         f"  {indent}{node.name}")
+    return lines
+
+
+def _format_counters(profile: Profile) -> list[str]:
+    width = max((len(name) for name in profile.counters), default=7)
+    width = max(width, len("counter"))
+    lines = [f"{'counter':<{width}}  {'value':>12}"]
+    for name in sorted(profile.counters):
+        lines.append(f"{name:<{width}}  {profile.counters[name]:>12}")
+    return lines
+
+
+def format_profile(profile: Profile, title: str = "Profile") -> str:
+    """Render a profile as a span tree plus a counter table."""
+    lines = [f"== {title} =="]
+    lines.append("")
+    lines.append("-- span tree --")
+    if profile.spans:
+        lines.extend(_format_span_tree(profile))
+    else:
+        lines.append("(no spans recorded)")
+    lines.append("")
+    lines.append("-- counters --")
+    if profile.counters:
+        lines.extend(_format_counters(profile))
+    else:
+        lines.append("(no counters recorded)")
+    return "\n".join(lines)
+
+
+def profile_to_json(profile: Profile, *,
+                    extra: dict[str, Any] | None = None,
+                    indent: int | None = 2) -> str:
+    """Serialize a profile (plus optional metadata) as a JSON document."""
+    payload = profile.to_dict()
+    if extra:
+        for key, value in extra.items():
+            if key in payload:
+                raise ValueError(f"extra key {key!r} collides with the "
+                                 f"profile schema")
+            payload[key] = value
+    return json.dumps(payload, indent=indent, sort_keys=False)

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.circuit.graph import TimingGraph
+from repro.obs import collector as _obs
 
 __all__ = ["ArrivalTimes", "propagate_arrivals"]
 
@@ -71,11 +72,17 @@ def propagate_arrivals(graph: TimingGraph) -> ArrivalTimes:
         early[ff.q_pin] = min(early[ff.q_pin], launch_early)
         late[ff.q_pin] = max(late[ff.q_pin], launch_late)
 
+    col = _obs.ACTIVE
+    counting = col is not None
+    pins_visited = 0
+
     for u in graph.topo_order:
         early_u = early[u]
         late_u = late[u]
         if late_u == _NEG_INF and early_u == _POS_INF:
             continue
+        if counting:
+            pins_visited += 1
         for v, delay_early, delay_late in graph.fanout[u]:
             candidate = early_u + delay_early
             if candidate < early[v]:
@@ -83,5 +90,8 @@ def propagate_arrivals(graph: TimingGraph) -> ArrivalTimes:
             candidate = late_u + delay_late
             if candidate > late[v]:
                 late[v] = candidate
+
+    if counting:
+        col.add("sta.pins_visited", pins_visited)
 
     return ArrivalTimes(early, late)

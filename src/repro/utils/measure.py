@@ -52,7 +52,13 @@ def measure_memory(fn: Callable[[], Any]) -> Measurement:
     """Run ``fn`` once under tracemalloc, reporting peak heap in MiB.
 
     If tracing was already active (e.g. nested measurement), the peak is
-    measured relative to the current traced size.
+    measured relative to the current traced size, and the global peak is
+    reset again on exit.  tracemalloc keeps a *single* global peak, so
+    each measurement window owns its own peak reading: an enclosing
+    window's later reading starts from the traced size at the point the
+    nested measurement finished — it does not inherit (double-count) the
+    nested call's transient peak, nor does it retain any peak recorded
+    before the nested call.
     """
     already_tracing = tracemalloc.is_tracing()
     if not already_tracing:
@@ -65,6 +71,11 @@ def measure_memory(fn: Callable[[], Any]) -> Measurement:
     finally:
         if not already_tracing:
             tracemalloc.stop()
+        else:
+            # Restore a fresh peak window for the enclosing measurement:
+            # without this, the parent's next reading would report this
+            # nested call's transient peak as its own.
+            tracemalloc.reset_peak()
     return Measurement(value=value,
                        peak_mib=max(0.0, (peak - baseline)) / (1024 * 1024))
 

@@ -7,7 +7,7 @@ import pytest
 from repro import CpprEngine, CpprOptions, TimingAnalyzer
 from repro.cppr.parallel import available_executors, run_tasks
 from repro.exceptions import AnalysisError
-from tests.helpers import assert_slacks_equal, random_small
+from tests.helpers import assert_slacks_equal, demo_analyzer, random_small
 
 
 def _square(x):
@@ -51,6 +51,44 @@ class TestRunTasks:
     def test_available_executors_include_serial_and_thread(self):
         executors = available_executors()
         assert "serial" in executors and "thread" in executors
+
+
+class TestEagerOptionValidation:
+    """Bad executor/worker settings fail at engine construction."""
+
+    def test_unknown_executor_rejected_eagerly(self):
+        with pytest.raises(AnalysisError) as exc:
+            CpprEngine(demo_analyzer(), CpprOptions(executor="gpu"))
+        message = str(exc.value)
+        assert "unknown executor 'gpu'" in message
+        for name in available_executors():
+            assert name in message
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(AnalysisError, match="at least 1"):
+            CpprEngine(demo_analyzer(), CpprOptions(workers=0))
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(AnalysisError, match="at least 1"):
+            CpprEngine(demo_analyzer(), CpprOptions(workers=-4))
+
+    def test_bool_workers_rejected(self):
+        with pytest.raises(AnalysisError, match="positive int or None"):
+            CpprEngine(demo_analyzer(), CpprOptions(workers=True))
+
+    def test_non_int_workers_rejected(self):
+        with pytest.raises(AnalysisError, match="positive int or None"):
+            CpprEngine(demo_analyzer(), CpprOptions(workers=2.5))
+
+    def test_with_options_validates(self):
+        engine = CpprEngine(demo_analyzer())
+        with pytest.raises(AnalysisError, match="unknown executor"):
+            engine.with_options(executor="quantum")
+
+    def test_valid_options_accepted(self):
+        engine = CpprEngine(demo_analyzer(),
+                            CpprOptions(executor="thread", workers=2))
+        assert engine.options.workers == 2
 
 
 class TestEngineParallelEquivalence:

@@ -1,0 +1,214 @@
+"""Unit tests for the obs collector, profile model, and renderers."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import (Collector, Profile, SpanNode, active_collector, add,
+                       collecting, format_profile, profile_to_json, span)
+from repro.obs import collector as obs_collector
+
+
+class TestDisabledByDefault:
+    def test_no_collector_installed(self):
+        assert obs_collector.ACTIVE is None
+        assert active_collector() is None
+
+    def test_module_helpers_are_noops_when_disabled(self):
+        add("some.counter", 5)  # must not raise
+        with span("some.span"):
+            pass
+        assert active_collector() is None
+
+    def test_collecting_restores_previous_state(self):
+        assert active_collector() is None
+        with collecting() as outer:
+            assert active_collector() is outer
+            with collecting() as inner:
+                assert active_collector() is inner
+            assert active_collector() is outer
+        assert active_collector() is None
+
+    def test_collecting_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with collecting():
+                raise RuntimeError("boom")
+        assert active_collector() is None
+
+
+class TestCounters:
+    def test_add_accumulates(self):
+        with collecting() as col:
+            add("a")
+            add("a", 2)
+            add("b", 10)
+        profile = col.profile()
+        assert profile.counter("a") == 3
+        assert profile.counter("b") == 10
+        assert profile.counter("missing") == 0
+
+    def test_counters_sorted_by_name(self):
+        with collecting() as col:
+            add("zzz")
+            add("aaa")
+        assert list(col.profile().counters) == ["aaa", "zzz"]
+
+    def test_threaded_counting_is_exact(self):
+        with collecting() as col:
+            def work():
+                for _ in range(10_000):
+                    col.add("hits")
+
+            threads = [threading.Thread(target=work) for _ in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert col.profile().counter("hits") == 40_000
+
+
+class TestSpans:
+    def test_nesting_structure(self):
+        with collecting() as col:
+            with span("outer"):
+                with span("inner", 1):
+                    pass
+                with span("inner", 2):
+                    pass
+        profile = col.profile()
+        assert len(profile.spans) == 1
+        outer = profile.spans[0]
+        assert outer.name == "outer"
+        assert [c.name for c in outer.children] == ["inner[1]", "inner[2]"]
+        assert outer.seconds >= sum(c.seconds for c in outer.children)
+        assert outer.self_seconds >= 0.0
+
+    def test_span_closed_on_exception(self):
+        with collecting() as col:
+            with pytest.raises(ValueError):
+                with span("broken"):
+                    raise ValueError("boom")
+        assert [s.name for s in col.profile().spans] == ["broken"]
+
+    def test_open_spans_not_in_snapshot(self):
+        with collecting() as col:
+            with col.span("open"):
+                assert col.profile().spans == ()
+
+    def test_span_seconds_query(self):
+        with collecting() as col:
+            with span("a"):
+                pass
+            with span("a"):
+                pass
+        assert col.profile().span_seconds("a") >= 0.0
+        assert len(col.profile().spans) == 2
+
+
+class TestCaptureAbsorb:
+    def test_capture_detaches_and_absorb_merges(self):
+        with collecting() as col:
+            col.add("before")
+            with col.capture() as state:
+                col.add("inside", 7)
+                with col.span("task"):
+                    pass
+            # Detached events are invisible until absorbed.
+            assert col.profile().counter("inside") == 0
+            assert col.profile().spans == ()
+            col.absorb_state(state)
+        profile = col.profile()
+        assert profile.counter("inside") == 7
+        assert profile.counter("before") == 1
+        assert [s.name for s in profile.spans] == ["task"]
+
+    def test_absorb_state_under_open_span(self):
+        with collecting() as col:
+            with col.capture() as state:
+                with col.span("child"):
+                    pass
+            with col.span("parent"):
+                col.absorb_state(state)
+        profile = col.profile()
+        assert len(profile.spans) == 1
+        parent = profile.spans[0]
+        assert parent.name == "parent"
+        assert [c.name for c in parent.children] == ["child"]
+
+    def test_absorb_profile(self):
+        worker = Profile(spans=(SpanNode("w", 0.5),),
+                         counters={"x": 3})
+        with collecting() as col:
+            col.add("x", 1)
+            col.absorb(worker)
+        profile = col.profile()
+        assert profile.counter("x") == 4
+        assert [s.name for s in profile.spans] == ["w"]
+
+
+class TestProfileModel:
+    def _profile(self) -> Profile:
+        with collecting() as col:
+            with span("root"):
+                with span("leaf"):
+                    pass
+            add("n", 4)
+        return col.profile()
+
+    def test_roundtrip_dict(self):
+        profile = self._profile()
+        clone = Profile.from_dict(profile.to_dict())
+        assert clone == profile
+
+    def test_roundtrip_through_json(self):
+        profile = self._profile()
+        clone = Profile.from_dict(json.loads(profile_to_json(profile)))
+        assert clone == profile
+
+    def test_merged(self):
+        a = Profile(spans=(SpanNode("a", 1.0),), counters={"x": 1})
+        b = Profile(spans=(SpanNode("b", 2.0),), counters={"x": 2, "y": 5})
+        merged = a.merged(b)
+        assert [s.name for s in merged.spans] == ["a", "b"]
+        assert merged.counters == {"x": 3, "y": 5}
+        assert merged.total_seconds() == pytest.approx(3.0)
+
+    def test_iter_spans_depth_first(self):
+        root = SpanNode("r", 3.0, (SpanNode("c1", 1.0,
+                                            (SpanNode("g", 0.5),)),
+                                   SpanNode("c2", 1.0)))
+        profile = Profile(spans=(root,))
+        assert [s.name for s in profile.iter_spans()] == \
+            ["r", "c1", "g", "c2"]
+        assert profile.span_seconds("c1") == pytest.approx(1.0)
+
+    def test_self_seconds_clamped(self):
+        node = SpanNode("odd", 1.0, (SpanNode("child", 2.0),))
+        assert node.self_seconds == 0.0
+
+
+class TestRender:
+    def test_format_profile_contains_tree_and_counters(self):
+        with collecting() as col:
+            with span("alpha"):
+                with span("beta"):
+                    pass
+            add("my.counter", 42)
+        text = format_profile(col.profile())
+        assert "span tree" in text
+        assert "alpha" in text and "beta" in text
+        assert "my.counter" in text and "42" in text
+
+    def test_format_empty_profile(self):
+        text = format_profile(Profile())
+        assert "no spans recorded" in text
+        assert "no counters recorded" in text
+
+    def test_profile_to_json_extra_metadata(self):
+        payload = json.loads(profile_to_json(Profile(), extra={"k": 5}))
+        assert payload["k"] == 5
+        with pytest.raises(ValueError):
+            profile_to_json(Profile(), extra={"schema": "clash"})

@@ -155,6 +155,65 @@ class TestVerilogInput:
         assert "--sdc" in capsys.readouterr().err
 
 
+class TestProfileFlags:
+    def test_report_profile_prints_span_tree_and_counters(
+            self, design_file, capsys):
+        assert main(["report", design_file, "-k", "3", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "Top-3 post-CPPR setup paths" in out
+        assert "span tree" in out
+        assert "level[0]" in out
+        assert "self_loop" in out
+        assert "primary_input" in out
+        assert "select" in out
+        assert "heap.push" in out
+        assert "deviation.edges_explored" in out
+
+    def test_report_profile_json_is_valid_json(self, design_file, capsys):
+        import json
+        assert main(["report", design_file, "-k", "3",
+                     "--profile-json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro.obs/profile@1"
+        assert payload["counters"]["heap.push"] > 0
+        names = [span["name"] for span in payload["spans"]]
+        assert "top_paths" in names
+
+    def test_report_profile_json_matches_profile_data(self, design_file,
+                                                      capsys):
+        import json
+        assert main(["report", design_file, "-k", "2",
+                     "--profile-json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert main(["report", design_file, "-k", "2", "--profile"]) == 0
+        text = capsys.readouterr().out
+        for name in payload["counters"]:
+            assert name in text
+
+    def test_compare_profile(self, design_file, capsys):
+        assert main(["compare", design_file, "-k", "3",
+                     "--timers", "ours,block", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "Profile: ours" in out
+        assert "Profile: block" in out
+        assert "exact match" in out
+
+    def test_compare_profile_json(self, design_file, capsys):
+        import json
+        assert main(["compare", design_file, "-k", "3",
+                     "--timers", "ours,block", "--profile-json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {"ours", "block"}
+        assert payload["ours"]["seconds"] >= 0
+        assert payload["ours"]["profile"]["counters"]["heap.push"] > 0
+
+    def test_pre_report_with_profile(self, design_file, capsys):
+        assert main(["report", design_file, "--pre", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "Pre-CPPR" in out
+        assert "counters" in out
+
+
 class TestSaveJson:
     def test_report_save_json(self, design_file, tmp_path, capsys):
         out = tmp_path / "paths.json"

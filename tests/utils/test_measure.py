@@ -46,6 +46,37 @@ class TestMeasureMemory:
     def test_value_passed_through(self):
         assert measure_memory(lambda: "ok").value == "ok"
 
+    def test_nested_child_reports_its_own_peak(self):
+        import tracemalloc
+        tracemalloc.start()
+        try:
+            result = measure_memory(lambda: [0] * 1_000_000)
+            assert result.peak_mib > 4.0
+        finally:
+            tracemalloc.stop()
+
+    def test_nested_measurement_resets_peak_for_parent(self):
+        # Regression: a nested measure_memory used to leave the global
+        # tracemalloc peak at the child's transient high-water mark, so
+        # a parent window reading the peak afterwards double-counted the
+        # child's (already freed and already reported) allocations.
+        import tracemalloc
+        tracemalloc.start()
+        try:
+            tracemalloc.reset_peak()
+            baseline = tracemalloc.get_traced_memory()[0]
+            # ~8 MiB transient inside the child, freed before it returns.
+            measure_memory(lambda: len([0] * 1_000_000))
+            keep = [0] * 10_000  # parent's own small allocation
+            _current, peak = tracemalloc.get_traced_memory()
+            parent_mib = (peak - baseline) / (1024 * 1024)
+            assert parent_mib < 1.0, (
+                f"parent window inherited the nested peak: "
+                f"{parent_mib:.1f} MiB")
+            del keep
+        finally:
+            tracemalloc.stop()
+
 
 class TestMeasureFull:
     def test_has_both_dimensions(self):
