@@ -30,8 +30,8 @@ BENCH_FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
 #: smallest, a mid-size, and the densest (leon2).
 QUICK_DESIGNS = ["vga_lcdv2", "combo4v2", "leon2"]
 
-TIMER_NAMES = ["ours", "ours-mt", "pair_enum", "block_based",
-               "branch_bound"]
+TIMER_NAMES = ["ours", "ours-scalar", "ours-array", "ours-mt",
+               "pair_enum", "block_based", "branch_bound"]
 
 
 @lru_cache(maxsize=None)
@@ -48,6 +48,10 @@ def make_timer(name: str, analyzer: TimingAnalyzer, workers: int = 8):
     """Instantiate a timer by its benchmark name."""
     if name == "ours":
         return CpprEngine(analyzer)
+    if name == "ours-scalar":
+        return CpprEngine(analyzer, CpprOptions(backend="scalar"))
+    if name == "ours-array":
+        return CpprEngine(analyzer, CpprOptions(backend="array"))
     if name == "ours-mt":
         return CpprEngine(analyzer, CpprOptions(executor="process",
                                                 workers=workers))

@@ -242,6 +242,60 @@ def run_ablation(args) -> None:
 
 
 # ----------------------------------------------------------------------
+# Backend dimension: scalar reference vs numpy array substrate
+# ----------------------------------------------------------------------
+def run_backend(args) -> None:
+    k = max(args.k_values)
+    payload = {
+        "schema": "repro.bench/backend@1",
+        "scale": args.scale,
+        "k": k,
+        "mode": "setup",
+        "designs": {},
+    }
+    lines = [f"# Backend — scalar vs array substrate, k={k}, "
+             "setup analysis, serial executor", "",
+             "| Benchmark | scalar RT(s) | array RT(s) | speedup | "
+             "scalar propagate(s) | array propagate(s) | "
+             "propagate speedup |",
+             "|---|---:|---:|---:|---:|---:|---:|"]
+    for design in args.designs:
+        analyzer = get_analyzer(design, args.scale)
+        per_backend = {}
+        for backend in ("scalar", "array"):
+            engine = make_timer(f"ours-{backend}", analyzer)
+            engine.top_slacks(1, "setup")  # warm lazy caches (CSR etc.)
+            seconds = measure_runtime(
+                lambda e=engine: e.top_slacks(k, "setup")).seconds
+            _traced_seconds, profile = profiled_run(engine, k, "setup")
+            per_backend[backend] = {
+                "seconds": seconds,
+                "propagate_seconds": profile.span_seconds("propagate"),
+                "counters": profile.counters,
+            }
+        scalar, array = per_backend["scalar"], per_backend["array"]
+        speedup = scalar["seconds"] / array["seconds"]
+        prop_speedup = (scalar["propagate_seconds"]
+                        / array["propagate_seconds"])
+        payload["designs"][design] = {
+            "scalar": scalar, "array": array,
+            "speedup": speedup, "propagate_speedup": prop_speedup,
+        }
+        lines.append(
+            f"| {design} | {scalar['seconds']:.3f} | "
+            f"{array['seconds']:.3f} | {speedup:.2f}x | "
+            f"{scalar['propagate_seconds']:.3f} | "
+            f"{array['propagate_seconds']:.3f} | {prop_speedup:.2f}x |")
+        print(f"[backend] {design} done ({speedup:.2f}x overall, "
+              f"{prop_speedup:.2f}x propagate)", file=sys.stderr)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    write_bench_profile(RESULTS_DIR / "BENCH_backend.json", payload)
+    print(f"[backend] wrote {RESULTS_DIR / 'BENCH_backend.json'}",
+          file=sys.stderr)
+    _emit(lines, "backend.md")
+
+
+# ----------------------------------------------------------------------
 # Profile (observability trajectory)
 # ----------------------------------------------------------------------
 def run_profile(args) -> None:
@@ -283,8 +337,8 @@ def run_profile(args) -> None:
 def main(argv=None) -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("what", choices=["table3", "table4", "fig5",
-                                         "fig6", "ablation", "profile",
-                                         "all"])
+                                         "fig6", "ablation", "backend",
+                                         "profile", "all"])
     parser.add_argument("--scale", type=float, default=1.0,
                         help="design scale factor (default 1.0)")
     parser.add_argument("--quick", action="store_true",
@@ -301,7 +355,7 @@ def main(argv=None) -> None:
 
     steps = {"table3": run_table3, "table4": run_table4, "fig5": run_fig5,
              "fig6": run_fig6, "ablation": run_ablation,
-             "profile": run_profile}
+             "backend": run_backend, "profile": run_profile}
     if args.what == "all":
         for step in steps.values():
             step(args)

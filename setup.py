@@ -2,7 +2,9 @@
 
 Kept so `python setup.py develop` works on minimal offline environments
 that lack the `wheel` package (PEP 660 editable installs need it).  All
-real metadata lives in pyproject.toml.
+real metadata lives in pyproject.toml — including the optional extras:
+the package has zero hard dependencies, and ``repro[fast]`` pulls in
+numpy for the array backend (scalar fallback otherwise).
 """
 
 from setuptools import setup

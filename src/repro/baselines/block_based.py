@@ -25,6 +25,7 @@ from __future__ import annotations
 from repro.baselines.common import (build_timing_path, fanin_cone,
                                     launchers_in_cone,
                                     primary_inputs_in_cone)
+from repro.core import resolve_backend
 from repro.cppr.deviation import CaptureSeed, run_topk
 from repro.cppr.propagation import Seed, propagate_single
 from repro.cppr.types import TimingPath
@@ -39,8 +40,10 @@ __all__ = ["BlockBasedTimer"]
 class BlockBasedTimer:
     """Credit-table + pruning CPPR timer; see module docstring."""
 
-    def __init__(self, analyzer: TimingAnalyzer) -> None:
+    def __init__(self, analyzer: TimingAnalyzer,
+                 backend: str = "auto") -> None:
         self.analyzer = analyzer
+        self.backend = resolve_backend(backend)
         self._credit_table: dict[int, list[tuple[int, float]]] | None = None
         self._pi_table: dict[int, list[int]] | None = None
 
@@ -128,7 +131,7 @@ class BlockBasedTimer:
                                   else pi.at_early))
             if not seeds:
                 continue
-            arrays = propagate_single(graph, mode, seeds)
+            arrays = propagate_single(graph, mode, seeds, self.backend)
             record = arrays.best(capture.d_pin)
             if record is None:
                 continue

@@ -23,6 +23,7 @@ from __future__ import annotations
 from repro.baselines.common import (build_timing_path, fanin_cone,
                                     launchers_in_cone,
                                     primary_inputs_in_cone)
+from repro.core import resolve_backend
 from repro.cppr.deviation import CaptureSeed, run_topk
 from repro.cppr.parallel import run_tasks
 from repro.cppr.propagation import Seed, propagate_single
@@ -36,7 +37,8 @@ __all__ = ["PairEnumTimer"]
 
 
 def _analyze_endpoint(analyzer: TimingAnalyzer, ff_index: int, k: int,
-                      mode: AnalysisMode) -> list[tuple[float, tuple]]:
+                      mode: AnalysisMode,
+                      backend: str = "scalar") -> list[tuple[float, tuple]]:
     """Top-k (slack, pins) for one capturing flip-flop."""
     graph = analyzer.graph
     tree = graph.clock_tree
@@ -62,7 +64,7 @@ def _analyze_endpoint(analyzer: TimingAnalyzer, ff_index: int, k: int,
     if not seeds:
         return []
 
-    arrays = propagate_single(graph, mode, seeds)
+    arrays = propagate_single(graph, mode, seeds, backend)
     record = arrays.best(capture.d_pin)
     if record is None:
         return []
@@ -82,10 +84,12 @@ class PairEnumTimer:
     """Exact per-endpoint CPPR timer; see module docstring."""
 
     def __init__(self, analyzer: TimingAnalyzer, executor: str = "serial",
-                 workers: int | None = None) -> None:
+                 workers: int | None = None,
+                 backend: str = "auto") -> None:
         self.analyzer = analyzer
         self.executor = executor
         self.workers = workers
+        self.backend = resolve_backend(backend)
 
     def top_paths(self, k: int, mode: AnalysisMode | str) -> list[TimingPath]:
         """Global top-``k`` post-CPPR critical paths, worst first."""
@@ -95,7 +99,11 @@ class PairEnumTimer:
         graph = self.analyzer.graph
         graph.topo_order  # share the cached order with forked workers
 
-        args = [(self.analyzer, ff.index, k, mode) for ff in graph.ffs]
+        if self.backend == "array":
+            from repro.core.arrays import get_core
+            get_core(graph)  # build once; workers inherit the cache
+        args = [(self.analyzer, ff.index, k, mode, self.backend)
+                for ff in graph.ffs]
         per_endpoint = run_tasks(_analyze_endpoint, args,
                                  executor=self.executor,
                                  workers=self.workers)

@@ -24,7 +24,7 @@ from typing import Sequence
 
 from repro.baselines import (BlockBasedTimer, BranchBoundTimer,
                              ExhaustiveTimer, PairEnumTimer)
-from repro.cppr.engine import CpprEngine
+from repro.cppr.engine import CpprEngine, CpprOptions
 from repro.cppr.report import format_path_report
 from repro.exceptions import ReproError
 from repro.io.json_format import load_design_json, save_design_json
@@ -47,6 +47,17 @@ _TIMERS = {
     "bnb": BranchBoundTimer,
     "exhaustive": ExhaustiveTimer,
 }
+
+
+def _make_timer(name: str, analyzer, backend: str):
+    """One timer instance, passing the backend to those that take it."""
+    if name == "ours":
+        return CpprEngine(analyzer, CpprOptions(backend=backend))
+    if name == "pair":
+        return PairEnumTimer(analyzer, backend=backend)
+    if name == "block":
+        return BlockBasedTimer(analyzer, backend=backend)
+    return _TIMERS[name](analyzer)
 
 
 def _load(path: str):
@@ -117,16 +128,18 @@ def _cmd_report(args) -> int:
                 raise ReproError(
                     "--pair expects LAUNCH:CAPTURE flip-flop names")
             paths = pair_paths(analyzer, launch, capture, args.k,
-                               args.mode)
+                               args.mode, backend=args.backend)
             title = (f"Top-{args.k} post-CPPR {args.mode} paths "
                      f"{launch} -> {capture}")
         elif args.endpoint is not None:
             paths = endpoint_paths(analyzer, args.endpoint, args.k,
-                                   args.mode)
+                                   args.mode, backend=args.backend)
             title = (f"Top-{args.k} post-CPPR {args.mode} paths into "
                      f"{args.endpoint}")
         else:
-            paths = CpprEngine(analyzer).top_paths(args.k, args.mode)
+            engine = CpprEngine(analyzer,
+                                CpprOptions(backend=args.backend))
+            paths = engine.top_paths(args.k, args.mode)
             title = f"Top-{args.k} post-CPPR {args.mode} paths"
         return paths, title
 
@@ -194,7 +207,7 @@ def _cmd_compare(args) -> int:
             raise ReproError(
                 f"unknown timer {name!r}; choose from "
                 f"{sorted(_TIMERS)}")
-        timer = _TIMERS[name](analyzer)
+        timer = _make_timer(name, analyzer, args.backend)
         if profiling:
             with collecting() as col:
                 result = measure_runtime(
@@ -255,6 +268,11 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--profile-json", action="store_true",
                         help="print the profile as JSON (and nothing "
                              "else)")
+    report.add_argument("--backend",
+                        choices=["auto", "scalar", "array"],
+                        default="auto",
+                        help="compute substrate: scalar reference or "
+                             "numpy arrays (default auto)")
     report.set_defaults(func=_cmd_report)
 
     generate = sub.add_parser("generate", help="synthesize a design")
@@ -287,6 +305,11 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--profile-json", action="store_true",
                          help="print per-timer profiles as JSON (and "
                               "nothing else)")
+    compare.add_argument("--backend",
+                         choices=["auto", "scalar", "array"],
+                         default="auto",
+                         help="compute substrate for timers that "
+                              "support it (default auto)")
     compare.set_defaults(func=_cmd_compare)
 
     return parser

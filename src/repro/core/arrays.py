@@ -1,0 +1,190 @@
+"""CSR/struct-of-arrays view of a :class:`TimingGraph`.
+
+One :class:`CoreArrays` instance holds every flat representation the
+array backend needs, built in a single pass over ``graph.fanout`` and
+cached on the graph object (:func:`get_core`):
+
+* ``level_of`` — longest-path level per pin.  Every data edge goes from
+  a lower to a strictly higher level, so relaxing the edge buckets in
+  increasing source-level order is equivalent to relaxing edges in
+  topological order (the invariant behind every level-wise pass).
+* the **edge table** ``edge_src/edge_dst/edge_early/edge_late`` sorted
+  by ``(level_of[src], dst, src, early, late)`` with ``level_ptr``
+  offsets — the per-level buckets consumed by the forward passes
+  (:mod:`repro.core.propagate` and
+  :func:`repro.sta.vectorized.propagate_arrivals_vectorized`).
+  Sorting each level by destination groups every target pin's incoming
+  edges into one contiguous *segment*, so a level relaxation is a
+  handful of ``ufunc.reduceat`` segment reductions instead of a runtime
+  sort.  :class:`LevelBucket` precomputes the segment geometry
+  (``estarts``/``eseg``/``seg_dst`` plus the pair-expanded
+  ``cstarts``/``cseg``/``cand_src`` used by the dual two-tuple pass).
+* the **fanin CSR** ``fanin_ptr/fanin_src/fanin_early/fanin_late``
+  sorted by ``(dst, src, early, late)`` — consumed by the deviation
+  search, which walks backward.  ``fanin_dst`` is the expanded per-edge
+  destination column used to precompute deviation costs in one
+  vectorized pass.  Plain-list mirrors of the CSR (``fanin_ptr_list``,
+  ``fanin_src_list``, ``fanin_early_list``, ``fanin_late_list``) are
+  kept alongside because the deviation walk indexes single elements in
+  a tight loop, where Python lists beat numpy scalars.
+
+The sort keys make both tables fully deterministic functions of the
+graph, independent of ``graph.fanout`` adjacency-list ordering — one
+half of the cross-backend tie-breaking contract (see
+:mod:`repro.core`).
+
+Observability: building emits a ``core.build`` span with counters
+``core.builds``, ``core.edges`` and ``core.levels``; cache hits count
+``core.reuses``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.graph import TimingGraph
+from repro.ds.topo import longest_path_levels
+from repro.obs import collector as _obs
+
+__all__ = ["CoreArrays", "LevelBucket", "get_core"]
+
+
+class LevelBucket:
+    """One source level's edges, segmented by destination pin.
+
+    The edge table is sorted so each destination's fanin inside a level
+    is contiguous; ``estarts[s]`` is the first edge of segment ``s``,
+    ``seg_dst[s]`` its destination pin (unique within the level), and
+    ``eseg[i]`` the segment of edge ``i``.  The ``c``-prefixed arrays
+    are the same geometry expanded 2x for the dual pass, where every
+    edge contributes two candidate slots (the source's best tuple and
+    its different-group fallback): slots ``2i`` and ``2i + 1`` belong
+    to edge ``i``, and ``cand_src`` repeats each source pin twice.
+    """
+
+    __slots__ = ("src", "early", "late", "seg_dst", "estarts", "eseg",
+                 "cstarts", "cseg", "cand_src")
+
+    def __init__(self, src: np.ndarray, dst: np.ndarray,
+                 early: np.ndarray, late: np.ndarray) -> None:
+        self.src = src
+        self.early = early
+        self.late = late
+        starts = np.flatnonzero(np.r_[True, dst[1:] != dst[:-1]])
+        self.seg_dst = dst[starts]
+        self.estarts = starts
+        counts = np.diff(np.r_[starts, len(dst)])
+        self.eseg = np.repeat(np.arange(len(starts)), counts)
+        self.cstarts = starts * 2
+        self.cseg = np.repeat(self.eseg, 2)
+        self.cand_src = np.repeat(src, 2)
+
+
+class CoreArrays:
+    """Flat arrays for one graph; construct via :func:`get_core`."""
+
+    __slots__ = (
+        "num_pins", "num_edges", "num_levels", "level_of",
+        "edge_src", "edge_dst", "edge_early", "edge_late", "level_ptr",
+        "level_buckets",
+        "fanin_ptr", "fanin_src", "fanin_dst", "fanin_early",
+        "fanin_late",
+        "fanin_ptr_list", "fanin_src_list", "fanin_early_list",
+        "fanin_late_list",
+    )
+
+    def __init__(self, graph: TimingGraph) -> None:
+        n = graph.num_pins
+        fanout = graph.fanout
+        m = sum(len(adj) for adj in fanout)
+        self.num_pins = n
+        self.num_edges = m
+
+        src = np.empty(m, dtype=np.int64)
+        dst = np.empty(m, dtype=np.int64)
+        early = np.empty(m, dtype=np.float64)
+        late = np.empty(m, dtype=np.float64)
+        i = 0
+        for u in range(n):
+            for v, e, l in fanout[u]:
+                src[i] = u
+                dst[i] = v
+                early[i] = e
+                late[i] = l
+                i += 1
+
+        levels = np.asarray(
+            longest_path_levels(n, [[v for v, _e, _l in adj]
+                                    for adj in fanout],
+                                graph.topo_order),
+            dtype=np.int64)
+        self.level_of = levels
+
+        # Edge table bucketed by source level, each level segmented by
+        # destination (forward passes).
+        order = np.lexsort((late, early, src, dst, levels[src]))
+        self.edge_src = src[order]
+        self.edge_dst = dst[order]
+        self.edge_early = early[order]
+        self.edge_late = late[order]
+        src_levels = levels[self.edge_src]
+        self.num_levels = int(levels.max()) + 1 if n else 0
+        # level_ptr[L]..level_ptr[L+1] is the slice of edges whose
+        # source sits at level L (possibly empty for sink-only levels).
+        self.level_ptr = np.searchsorted(
+            src_levels, np.arange(self.num_levels + 1))
+        self.level_buckets = []
+        for level in range(self.num_levels):
+            lo, hi = self.level_ptr[level], self.level_ptr[level + 1]
+            if lo == hi:
+                continue
+            self.level_buckets.append(LevelBucket(
+                self.edge_src[lo:hi], self.edge_dst[lo:hi],
+                self.edge_early[lo:hi], self.edge_late[lo:hi]))
+
+        # Fanin CSR (backward deviation walk).
+        order = np.lexsort((late, early, src, dst))
+        self.fanin_src = src[order]
+        self.fanin_dst = dst[order]
+        self.fanin_early = early[order]
+        self.fanin_late = late[order]
+        self.fanin_ptr = np.searchsorted(self.fanin_dst,
+                                         np.arange(n + 1))
+        self.fanin_ptr_list = self.fanin_ptr.tolist()
+        self.fanin_src_list = self.fanin_src.tolist()
+        self.fanin_early_list = self.fanin_early.tolist()
+        self.fanin_late_list = self.fanin_late.tolist()
+
+    def level_slices(self):
+        """Yield ``(src, dst, early, late)`` per source level, in order."""
+        ptr = self.level_ptr
+        for level in range(self.num_levels):
+            lo, hi = ptr[level], ptr[level + 1]
+            if lo == hi:
+                continue
+            yield (self.edge_src[lo:hi], self.edge_dst[lo:hi],
+                   self.edge_early[lo:hi], self.edge_late[lo:hi])
+
+
+def get_core(graph: TimingGraph) -> CoreArrays:
+    """The graph's cached :class:`CoreArrays`, building it on first use.
+
+    Thread-safe in the benign sense: concurrent first calls may build
+    twice and one result wins, exactly like the graph's other lazy
+    caches.  Forked workers inherit an already-built core for free.
+    """
+    core = getattr(graph, "_core_arrays", None)
+    if core is None:
+        with _obs.span("core.build"):
+            core = CoreArrays(graph)
+        col = _obs.ACTIVE
+        if col is not None:
+            col.add("core.builds")
+            col.add("core.edges", core.num_edges)
+            col.add("core.levels", core.num_levels)
+        graph._core_arrays = core
+    else:
+        col = _obs.ACTIVE
+        if col is not None:
+            col.add("core.reuses")
+    return core

@@ -18,6 +18,15 @@ The same engine serves all candidate families; grouped passes supply
 :class:`~repro.cppr.propagation.DualArrivalArrays` (whose ``auto`` honours
 the excluded group) and ungrouped passes supply
 :class:`~repro.cppr.propagation.SingleArrivalArrays`.
+
+When the arrival arrays were produced by the array backend they carry a
+:class:`~repro.core.propagate.FastDeviation` in their ``fast`` slot:
+per-edge deviation costs precomputed in one vectorized pass over the
+fanin CSR.  The expansion loop then reads a single precomputed cost per
+edge — ``cost0[i]`` plus a per-pin adjustment when the popped tuple is
+not the pin's primary one — and only falls back to an ``auto()`` query
+for the rare edge whose source's primary group is the excluded group.
+Both loops compute identical costs; the scalar loop is the reference.
 """
 
 from __future__ import annotations
@@ -130,6 +139,25 @@ def run_topk(graph: TimingGraph, arrays: _ArrivalArrays,
     is_clock_pin = graph.is_clock_pin
     fanin = graph.fanin
 
+    # Array-backend fast path: precomputed per-edge deviation costs over
+    # the fanin CSR (see module docstring).  ``None`` from the scalar
+    # backend, in which case the reference loop below runs.
+    fast = getattr(arrays, "fast", None)
+    if fast is not None:
+        fptr = fast.ptr
+        fsrc = fast.src
+        fdelay = fast.delay
+        fcost0 = fast.cost0
+        group0 = getattr(arrays, "group0", None)
+        if group0 is not None:
+            t0col = arrays.time0
+            t1col = arrays.time1
+        else:
+            t0col = arrays.time
+            t1col = None
+        empty = mode.empty_time
+        inf = float("inf")
+
     # Deviation-work counters: accumulated in locals and reported once at
     # the end so the disabled path costs one cheap local test per edge.
     col = _obs.ACTIVE
@@ -164,6 +192,41 @@ def run_topk(graph: TimingGraph, arrays: _ArrivalArrays,
                 raise AnalysisError(
                     f"broken arrival chain at pin {graph.pin_name(pin)!r}")
             time_here, from_pin, _grp = record
+            if fast is not None:
+                # ``cost0[i] + adj`` equals the scalar cost below: the
+                # adjustment re-bases the precomputed (primary-tuple)
+                # cost onto the tuple actually popped at ``pin``.
+                lo = fptr[pin]
+                hi = fptr[pin + 1]
+                if counting:
+                    edges_explored += hi - lo
+                adj = (time_here - t0col[pin] if is_setup
+                       else t0col[pin] - time_here)
+                for i in range(lo, hi):
+                    w = fsrc[i]
+                    if w == from_pin:
+                        continue
+                    if group0 is None or group0[w] != group:
+                        cost = fcost0[i] + adj
+                        if cost == inf:
+                            continue
+                    else:
+                        t1 = t1col[w]
+                        if t1 == empty:
+                            continue
+                        cost = (time_here - t1 - fdelay[i] if is_setup
+                                else t1 + fdelay[i] - time_here)
+                    if counting:
+                        edges_generated += 1
+                    heap.push_bounded(
+                        slack + cost,
+                        _SearchState(w, group, devlist + ((w, pin),),
+                                     state.capture_pin, state.capture_ff),
+                        capacity)
+                if from_pin < 0 or is_clock_pin[from_pin]:
+                    break
+                pin = from_pin
+                continue
             if counting:
                 edges_explored += len(fanin[pin])
             for w, delay_early, delay_late in fanin[pin]:

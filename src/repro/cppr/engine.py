@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from repro.core import resolve_backend
 from repro.cppr.level_paths import paths_at_level
 from repro.cppr.output_paths import output_paths
 from repro.cppr.parallel import available_executors, run_tasks
@@ -56,6 +57,13 @@ class CpprOptions:
     heap_capacity:
         Live-path bound per pass; ``None`` uses ``k`` (always correct).
         Larger values exist only for the unbounded-heap memory ablation.
+    backend:
+        ``"auto"``, ``"scalar"`` or ``"array"`` — the compute substrate
+        for the per-pass propagation, grouping and deviation costs (see
+        :mod:`repro.core`).  ``"auto"`` picks ``"array"`` when numpy is
+        importable and falls back to ``"scalar"`` otherwise; requesting
+        ``"array"`` without numpy raises at engine construction.  Both
+        backends produce identical reports.
     """
 
     executor: str = "serial"
@@ -64,36 +72,44 @@ class CpprOptions:
     include_primary_inputs: bool = True
     include_output_tests: bool = False
     heap_capacity: int | None = None
+    backend: str = "auto"
 
 
 def _run_family(analyzer: TimingAnalyzer, task: tuple, k: int,
-                mode: AnalysisMode,
-                heap_capacity: int | None) -> list[TimingPath]:
+                mode: AnalysisMode, heap_capacity: int | None,
+                backend: str) -> list[TimingPath]:
     """Dispatch one candidate-generation pass (module-level for pickling)."""
     kind = task[0]
     if kind == "level":
-        return paths_at_level(analyzer, task[1], k, mode, heap_capacity)
+        return paths_at_level(analyzer, task[1], k, mode, heap_capacity,
+                              backend)
     if kind == "self_loop":
-        return self_loop_paths(analyzer, k, mode, heap_capacity)
+        return self_loop_paths(analyzer, k, mode, heap_capacity, backend)
     if kind == "primary_input":
-        return primary_input_paths(analyzer, k, mode, heap_capacity)
+        return primary_input_paths(analyzer, k, mode, heap_capacity,
+                                   backend)
     if kind == "output":
-        return output_paths(analyzer, k, mode, heap_capacity)
+        return output_paths(analyzer, k, mode, heap_capacity, backend)
     raise AnalysisError(f"unknown candidate family task {task!r}")
 
 
-def _validate_options(options: CpprOptions) -> None:
-    """Reject bad executor/worker settings at construction time.
+def _validate_options(options: CpprOptions) -> str:
+    """Reject bad executor/worker/backend settings at construction time.
 
     Failing here — with the list of valid values — beats the obscure
     failure the same mistake used to produce deep inside
-    :func:`repro.cppr.parallel.run_tasks` on the first query.
+    :func:`repro.cppr.parallel.run_tasks` on the first query.  Returns
+    the resolved concrete backend (``"scalar"`` or ``"array"``).
     """
     valid = available_executors()
     if options.executor not in valid:
         raise AnalysisError(
             f"unknown executor {options.executor!r}; valid executors on "
             f"this platform: {', '.join(valid)}")
+    try:
+        backend = resolve_backend(options.backend)
+    except ValueError as exc:
+        raise AnalysisError(str(exc)) from None
     workers = options.workers
     if workers is not None:
         if not isinstance(workers, int) or isinstance(workers, bool):
@@ -104,6 +120,7 @@ def _validate_options(options: CpprOptions) -> None:
             raise AnalysisError(
                 f"workers must be at least 1 (or None for automatic), "
                 f"got {workers}")
+    return backend
 
 
 class CpprEngine:
@@ -120,7 +137,8 @@ class CpprEngine:
                  options: CpprOptions | None = None) -> None:
         self.analyzer = analyzer
         self.options = options or CpprOptions()
-        _validate_options(self.options)
+        #: The concrete backend ``"auto"`` resolved to at construction.
+        self.backend: str = _validate_options(self.options)
         #: Profile of the most recent collected query, or ``None``.
         self.last_profile: Profile | None = None
 
@@ -156,7 +174,16 @@ class CpprEngine:
         # The analyzer's topological order is cached lazily; force it here
         # so forked workers inherit it instead of recomputing it each.
         self.analyzer.graph.topo_order
-        args = [(self.analyzer, task, k, mode, self.options.heap_capacity)
+        if self.backend == "array":
+            # Same reasoning for the array substrate: build the CSR and
+            # the clock-tree lifting mirror once in this process so every
+            # worker (thread or forked process) reuses them.
+            from repro.core.arrays import get_core
+            from repro.core.grouping import tree_lift
+            get_core(self.analyzer.graph)
+            tree_lift(self.analyzer.clock_tree)
+        args = [(self.analyzer, task, k, mode, self.options.heap_capacity,
+                 self.backend)
                 for task in self._tasks()]
         with _obs.span("candidates"):
             results = run_tasks(_run_family, args,

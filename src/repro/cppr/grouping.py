@@ -50,12 +50,18 @@ class LevelGrouping:
         return len({g for g in self.group if g >= 0})
 
 
-def group_for_level(tree: ClockTree, level: int,
-                    num_ffs: int) -> LevelGrouping:
+def group_for_level(tree: ClockTree, level: int, num_ffs: int,
+                    backend: str = "scalar") -> LevelGrouping:
     """Build the :class:`LevelGrouping` for clock-tree level ``level``.
 
     Costs ``O(#FF log D)`` via binary lifting; called once per level.
+    ``backend="array"`` answers the same ancestor/credit lookups for
+    all leaves at once over the numpy lifting table
+    (:mod:`repro.core.grouping`); the results are identical.
     """
+    if backend == "array":
+        from repro.core.grouping import group_for_level_array
+        return group_for_level_array(tree, level, num_ffs)
     if level < 0:
         raise ValueError(f"level must be non-negative, got {level}")
     group = [-1] * num_ffs

@@ -26,25 +26,29 @@ __all__ = ["paths_at_level"]
 
 def paths_at_level(analyzer: TimingAnalyzer, level: int, k: int,
                    mode: AnalysisMode | str,
-                   heap_capacity: int | None = None) -> list[TimingPath]:
+                   heap_capacity: int | None = None,
+                   backend: str = "scalar") -> list[TimingPath]:
     """Top-``k`` level-``level`` path candidates, best slack first.
 
     Runs one grouped forward pass (``O(n)``) plus the deviation search
     (``O(k log k)`` heap work along paths), matching the per-level cost in
-    the paper's complexity theorem.
+    the paper's complexity theorem.  ``backend`` selects the scalar or
+    array substrate for the pass (see :mod:`repro.core`); results are
+    identical.
     """
     with _obs.span("level", level):
-        return _paths_at_level(analyzer, level, k, mode, heap_capacity)
+        return _paths_at_level(analyzer, level, k, mode, heap_capacity,
+                               backend)
 
 
 def _paths_at_level(analyzer: TimingAnalyzer, level: int, k: int,
-                    mode: AnalysisMode | str,
-                    heap_capacity: int | None) -> list[TimingPath]:
+                    mode: AnalysisMode | str, heap_capacity: int | None,
+                    backend: str) -> list[TimingPath]:
     mode = AnalysisMode.coerce(mode)
     graph = analyzer.graph
     tree = graph.clock_tree
     clock_period = analyzer.constraints.clock_period
-    grouping = group_for_level(tree, level, graph.num_ffs)
+    grouping = group_for_level(tree, level, graph.num_ffs, backend)
 
     seeds = []
     for ff in graph.ffs:
@@ -62,7 +66,7 @@ def _paths_at_level(analyzer: TimingAnalyzer, level: int, k: int,
     if not seeds:
         return []
     with _obs.span("propagate"):
-        arrays = propagate_dual(graph, mode, seeds)
+        arrays = propagate_dual(graph, mode, seeds, backend)
 
     capture_seeds = []
     for ff in graph.ffs:

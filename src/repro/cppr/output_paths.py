@@ -25,15 +25,17 @@ __all__ = ["output_paths"]
 
 def output_paths(analyzer: TimingAnalyzer, k: int,
                  mode: AnalysisMode | str,
-                 heap_capacity: int | None = None) -> list[TimingPath]:
+                 heap_capacity: int | None = None,
+                 backend: str = "scalar") -> list[TimingPath]:
     """Top-``k`` paths ending at constrained primary outputs."""
     with _obs.span("output"):
-        return _output_paths(analyzer, k, mode, heap_capacity)
+        return _output_paths(analyzer, k, mode, heap_capacity, backend)
 
 
 def _output_paths(analyzer: TimingAnalyzer, k: int,
                   mode: AnalysisMode | str,
-                  heap_capacity: int | None) -> list[TimingPath]:
+                  heap_capacity: int | None,
+                  backend: str) -> list[TimingPath]:
     mode = AnalysisMode.coerce(mode)
     graph = analyzer.graph
     tree = graph.clock_tree
@@ -54,7 +56,7 @@ def _output_paths(analyzer: TimingAnalyzer, k: int,
     if not seeds or not capture_pos:
         return []
     with _obs.span("propagate"):
-        arrays = propagate_single(graph, mode, seeds)
+        arrays = propagate_single(graph, mode, seeds, backend)
 
     capture_seeds = []
     for po in capture_pos:

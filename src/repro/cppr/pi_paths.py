@@ -19,16 +19,18 @@ __all__ = ["primary_input_paths"]
 
 def primary_input_paths(analyzer: TimingAnalyzer, k: int,
                         mode: AnalysisMode | str,
-                        heap_capacity: int | None = None
-                        ) -> list[TimingPath]:
+                        heap_capacity: int | None = None,
+                        backend: str = "scalar") -> list[TimingPath]:
     """Top-``k`` primary-input path candidates, best slack first."""
     with _obs.span("primary_input"):
-        return _primary_input_paths(analyzer, k, mode, heap_capacity)
+        return _primary_input_paths(analyzer, k, mode, heap_capacity,
+                                    backend)
 
 
 def _primary_input_paths(analyzer: TimingAnalyzer, k: int,
                          mode: AnalysisMode | str,
-                         heap_capacity: int | None) -> list[TimingPath]:
+                         heap_capacity: int | None,
+                         backend: str) -> list[TimingPath]:
     mode = AnalysisMode.coerce(mode)
     graph = analyzer.graph
     tree = graph.clock_tree
@@ -39,7 +41,7 @@ def _primary_input_paths(analyzer: TimingAnalyzer, k: int,
     if not seeds:
         return []
     with _obs.span("propagate"):
-        arrays = propagate_single(graph, mode, seeds)
+        arrays = propagate_single(graph, mode, seeds, backend)
 
     capture_seeds = []
     for ff in graph.ffs:

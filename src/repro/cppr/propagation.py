@@ -10,10 +10,27 @@ Two variants, matching the paper:
   and 4 (self-loop and primary-input candidates), which needs no group
   bookkeeping and only one tuple per pin.
 
+Both come in two interchangeable **backends** selected by the
+``backend`` argument:
+
+* ``"scalar"`` — the readable pure-Python reference below: one
+  ``offer`` per (edge, tuple), pins walked in topological order.
+* ``"array"`` — :mod:`repro.core.propagate`: the same computation as
+  level-wise numpy scatter relaxation over the CSR substrate of
+  :mod:`repro.core.arrays`, which also precomputes the deviation-cost
+  columns the top-k search consumes.
+
+The two backends agree **exactly** (same times, same ``from`` pointers,
+same groups) because both implement the shared tie-breaking contract:
+among candidates with equal arrival time, the smaller ``from``-pin id
+wins, then the smaller group id.  The scalar implementation spells the
+rule out per offer; the array implementation gets it from one
+``np.lexsort`` per level.  :class:`repro.cppr.tuples.DualArrival` is
+the readable per-pin reference both are tested against.
+
 Both store tuples in parallel arrays rather than per-pin objects: the
 per-level passes dominate the engine's runtime, and flat lists of floats
-and ints keep the inner loop tight.  :class:`repro.cppr.tuples.DualArrival`
-is the readable reference implementation these arrays are tested against.
+and ints keep the inner loop tight.
 
 Both array types expose the same ``auto(pin, excluded_group)`` query (the
 paper's ``at_auto``), so the deviation search in
@@ -51,7 +68,12 @@ class Seed:
 
 @dataclass(slots=True)
 class DualArrivalArrays:
-    """Array-of-fields storage for the dual tuples of Table II."""
+    """Array-of-fields storage for the dual tuples of Table II.
+
+    ``fast`` optionally carries the precomputed deviation-cost columns
+    (:class:`repro.core.propagate.FastDeviation`) when the array backend
+    produced this instance; the scalar backend leaves it ``None``.
+    """
 
     mode: AnalysisMode
     time0: list[float]
@@ -60,6 +82,7 @@ class DualArrivalArrays:
     time1: list[float]
     from1: list[int]
     group1: list[int]
+    fast: object | None = None
 
     def auto(self, pin: int,
              excluded_group: int) -> tuple[float, int, int] | None:
@@ -82,11 +105,16 @@ class DualArrivalArrays:
 
 @dataclass(slots=True)
 class SingleArrivalArrays:
-    """Single-tuple storage for the ungrouped passes."""
+    """Single-tuple storage for the ungrouped passes.
+
+    ``fast`` is the array backend's precomputed deviation-cost column,
+    or ``None`` from the scalar backend.
+    """
 
     mode: AnalysisMode
     time: list[float]
     from_pin: list[int]
+    fast: object | None = None
 
     def auto(self, pin: int,
              excluded_group: int) -> tuple[float, int, int] | None:
@@ -100,13 +128,20 @@ class SingleArrivalArrays:
 
 
 def propagate_dual(graph: TimingGraph, mode: AnalysisMode,
-                   seeds: Iterable[Seed]) -> DualArrivalArrays:
+                   seeds: Iterable[Seed],
+                   backend: str = "scalar") -> DualArrivalArrays:
     """Grouped forward pass (Algorithm 2 lines 1-13).
 
     Runs in ``O(n)`` per call: each data edge is relaxed with at most two
     candidate tuples.  The update rule is the one proven correct in
-    :class:`repro.cppr.tuples.DualArrival`.
+    :class:`repro.cppr.tuples.DualArrival`.  ``backend`` selects the
+    scalar reference loop or the numpy level-wise implementation; both
+    produce identical arrays (see module docstring).
     """
+    if backend == "array":
+        from repro.core.propagate import propagate_dual_array
+        return propagate_dual_array(graph, mode, seeds)
+
     n = graph.num_pins
     empty = mode.empty_time
     is_setup = mode.is_setup
@@ -128,8 +163,13 @@ def propagate_dual(graph: TimingGraph, mode: AnalysisMode,
             if (t > t0) if is_setup else (t < t0):
                 time0[v] = t
                 from0[v] = frm
+            elif t == t0 and frm < from0[v]:
+                from0[v] = frm
             return
-        if (t > t0) if is_setup else (t < t0):
+        if (((t > t0) if is_setup else (t < t0))
+                or (t == t0 and (frm < from0[v]
+                                 or (frm == from0[v]
+                                     and gid < group0[v])))):
             time1[v] = t0
             from1[v] = from0[v]
             group1[v] = group0[v]
@@ -138,7 +178,10 @@ def propagate_dual(graph: TimingGraph, mode: AnalysisMode,
             group0[v] = gid
         else:
             t1 = time1[v]
-            if t1 == empty or ((t > t1) if is_setup else (t < t1)):
+            if (t1 == empty or ((t > t1) if is_setup else (t < t1))
+                    or (t == t1 and (frm < from1[v]
+                                     or (frm == from1[v]
+                                         and gid < group1[v])))):
                 time1[v] = t
                 from1[v] = frm
                 group1[v] = gid
@@ -178,8 +221,13 @@ def propagate_dual(graph: TimingGraph, mode: AnalysisMode,
 
 
 def propagate_single(graph: TimingGraph, mode: AnalysisMode,
-                     seeds: Iterable[Seed]) -> SingleArrivalArrays:
+                     seeds: Iterable[Seed],
+                     backend: str = "scalar") -> SingleArrivalArrays:
     """Ungrouped forward pass (Algorithm 3 lines 1-12 / Algorithm 4)."""
+    if backend == "array":
+        from repro.core.propagate import propagate_single_array
+        return propagate_single_array(graph, mode, seeds)
+
     n = graph.num_pins
     empty = mode.empty_time
     is_setup = mode.is_setup
@@ -194,8 +242,10 @@ def propagate_single(graph: TimingGraph, mode: AnalysisMode,
     for seed in seeds:
         num_seeds += 1
         t0 = time[seed.pin]
-        if t0 == empty or ((seed.time > t0) if is_setup
-                           else (seed.time < t0)):
+        if (t0 == empty or ((seed.time > t0) if is_setup
+                            else (seed.time < t0))
+                or (seed.time == t0
+                    and seed.from_pin < from_pin[seed.pin])):
             time[seed.pin] = seed.time
             from_pin[seed.pin] = seed.from_pin
 
@@ -209,7 +259,8 @@ def propagate_single(graph: TimingGraph, mode: AnalysisMode,
         for v, delay_early, delay_late in fanout[u]:
             t = t0 + (delay_late if is_setup else delay_early)
             tv = time[v]
-            if tv == empty or ((t > tv) if is_setup else (t < tv)):
+            if (tv == empty or ((t > tv) if is_setup else (t < tv))
+                    or (t == tv and u < from_pin[v])):
                 time[v] = t
                 from_pin[v] = u
 

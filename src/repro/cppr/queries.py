@@ -11,6 +11,7 @@ the pair-enumeration baseline applies to every endpoint at once.
 
 from __future__ import annotations
 
+from repro.core import resolve_backend
 from repro.cppr.pathutils import (build_timing_path, fanin_cone,
                                   launchers_in_cone,
                                   primary_inputs_in_cone)
@@ -57,8 +58,8 @@ def _resolve_ff(analyzer: TimingAnalyzer, ff: int | str):
 
 def endpoint_paths(analyzer: TimingAnalyzer, capture_ff: int | str,
                    k: int, mode: AnalysisMode | str,
-                   include_primary_inputs: bool = True
-                   ) -> list[TimingPath]:
+                   include_primary_inputs: bool = True,
+                   backend: str = "auto") -> list[TimingPath]:
     """Top-``k`` post-CPPR paths captured by one flip-flop, worst first.
 
     ``capture_ff`` is a flip-flop index or name.  Costs one cone-limited
@@ -66,6 +67,7 @@ def endpoint_paths(analyzer: TimingAnalyzer, capture_ff: int | str,
     of work the pair-enumeration baseline pays ``#FF`` times.
     """
     mode = AnalysisMode.coerce(mode)
+    backend = resolve_backend(backend)
     graph = analyzer.graph
     capture = _resolve_ff(analyzer, capture_ff)
     if k < 1:
@@ -86,7 +88,7 @@ def endpoint_paths(analyzer: TimingAnalyzer, capture_ff: int | str,
     if not seeds:
         return []
 
-    arrays = propagate_single(graph, mode, seeds)
+    arrays = propagate_single(graph, mode, seeds, backend)
     record = arrays.best(capture.d_pin)
     if record is None:
         return []
@@ -101,12 +103,14 @@ def endpoint_paths(analyzer: TimingAnalyzer, capture_ff: int | str,
 
 def pair_paths(analyzer: TimingAnalyzer, launch_ff: int | str,
                capture_ff: int | str, k: int,
-               mode: AnalysisMode | str) -> list[TimingPath]:
+               mode: AnalysisMode | str,
+               backend: str = "auto") -> list[TimingPath]:
     """Top-``k`` post-CPPR paths for one specific launch/capture pair.
 
     Returns an empty list when no data path connects the pair.
     """
     mode = AnalysisMode.coerce(mode)
+    backend = resolve_backend(backend)
     graph = analyzer.graph
     launch = _resolve_ff(analyzer, launch_ff)
     capture = _resolve_ff(analyzer, capture_ff)
@@ -116,7 +120,8 @@ def pair_paths(analyzer: TimingAnalyzer, launch_ff: int | str,
     tree = graph.clock_tree
     credit = tree.pair_credit(launch.tree_node, capture.tree_node)
     arrays = propagate_single(
-        graph, mode, [_launch_seed(analyzer, launch, credit, mode)])
+        graph, mode, [_launch_seed(analyzer, launch, credit, mode)],
+        backend)
     record = arrays.best(capture.d_pin)
     if record is None:
         return []

@@ -26,15 +26,17 @@ __all__ = ["self_loop_paths"]
 
 def self_loop_paths(analyzer: TimingAnalyzer, k: int,
                     mode: AnalysisMode | str,
-                    heap_capacity: int | None = None) -> list[TimingPath]:
+                    heap_capacity: int | None = None,
+                    backend: str = "scalar") -> list[TimingPath]:
     """Top-``k`` self-loop path candidates, best slack first."""
     with _obs.span("self_loop"):
-        return _self_loop_paths(analyzer, k, mode, heap_capacity)
+        return _self_loop_paths(analyzer, k, mode, heap_capacity, backend)
 
 
 def _self_loop_paths(analyzer: TimingAnalyzer, k: int,
                      mode: AnalysisMode | str,
-                     heap_capacity: int | None) -> list[TimingPath]:
+                     heap_capacity: int | None,
+                     backend: str) -> list[TimingPath]:
     mode = AnalysisMode.coerce(mode)
     graph = analyzer.graph
     tree = graph.clock_tree
@@ -53,7 +55,7 @@ def _self_loop_paths(analyzer: TimingAnalyzer, k: int,
     if not seeds:
         return []
     with _obs.span("propagate"):
-        arrays = propagate_single(graph, mode, seeds)
+        arrays = propagate_single(graph, mode, seeds, backend)
 
     capture_seeds = []
     for ff in graph.ffs:

@@ -64,6 +64,13 @@ class DualArrival:
       to ``fallback`` (it dominates everything outside the new group) and
       the candidate becomes ``best``;
     * different group otherwise — compete for ``fallback``.
+
+    "More pessimistic" uses the shared cross-backend tie-breaking
+    contract (see :mod:`repro.core`): candidates are ordered by time
+    (later for setup, earlier for hold), then by smaller ``from``-pin
+    id, then by smaller group id — so the final tuples are a
+    deterministic, order-independent function of the offered set, and
+    the scalar and array propagation backends agree exactly.
     """
 
     __slots__ = ("mode", "best", "fallback")
@@ -73,6 +80,15 @@ class DualArrival:
         self.best: ArrivalTuple | None = None
         self.fallback: ArrivalTuple | None = None
 
+    def _beats(self, candidate: ArrivalTuple,
+               incumbent: ArrivalTuple) -> bool:
+        """Lexicographic (time, from-pin, group) tie-breaking order."""
+        if candidate.time != incumbent.time:
+            return self.mode.prefer(candidate.time, incumbent.time)
+        if candidate.from_pin != incumbent.from_pin:
+            return candidate.from_pin < incumbent.from_pin
+        return candidate.group < incumbent.group
+
     def offer(self, time: float, from_pin: int, group: int) -> None:
         """Consider a new arrival candidate."""
         candidate = ArrivalTuple(time, from_pin, group)
@@ -80,14 +96,14 @@ class DualArrival:
             self.best = candidate
             return
         if group == self.best.group:
-            if self.mode.prefer(time, self.best.time):
+            if self._beats(candidate, self.best):
                 self.best = candidate
             return
-        if self.mode.prefer(time, self.best.time):
+        if self._beats(candidate, self.best):
             self.fallback = self.best
             self.best = candidate
         elif (self.fallback is None
-              or self.mode.prefer(time, self.fallback.time)):
+              or self._beats(candidate, self.fallback)):
             self.fallback = candidate
 
     def auto(self, excluded_group: int) -> ArrivalTuple | None:

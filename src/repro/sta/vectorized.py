@@ -2,19 +2,20 @@
 
 The paper's stated future work is a GPU port; the Python analogue of
 that direction is replacing the per-edge interpreter loop with bulk
-array operations.  This module levelizes the data graph once (longest-
-path levels, so every edge goes from a lower to a strictly higher
-level), groups edges by source level, and relaxes each level with
-``numpy`` scatter reductions (``minimum.at`` / ``maximum.at``).
+array operations.  This module rides the shared CSR substrate of
+:mod:`repro.core.arrays` — the data graph is levelized and bucketed by
+source level once per graph (cached on it, shared with the CPPR array
+backend) — and relaxes each level with ``reduceat`` segment reductions
+over the precomputed per-destination segments (within a level every
+target pin is unique per segment, so the merge back into the running
+columns is a plain element-wise min/max).
 
 It computes exactly what :func:`repro.sta.arrival.propagate_arrivals`
 computes — the test suite asserts bit-level equality is not required
 (floating-point reduction order differs) but value equality within
-1e-12 on randomized designs.  The CPPR passes themselves still use the
-scalar propagation because they need ``from``-pointer and group
-bookkeeping per pin; this module accelerates the block-based STA that
-the baselines and reports lean on, and documents the vectorization
-seam a GPU port would widen.
+1e-12 on randomized designs.  The CPPR passes use the same substrate
+through :mod:`repro.core.propagate`, which adds the ``from``-pointer
+and group bookkeeping this plain STA sweep does not need.
 """
 
 from __future__ import annotations
@@ -22,42 +23,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.circuit.graph import TimingGraph
-from repro.ds.topo import longest_path_levels
+from repro.core.arrays import get_core
 from repro.sta.arrival import ArrivalTimes
 
 __all__ = ["propagate_arrivals_vectorized"]
-
-
-class _LevelizedEdges:
-    """Per-level edge arrays, built once per graph and cached on it."""
-
-    def __init__(self, graph: TimingGraph) -> None:
-        order = graph.topo_order
-        levels = longest_path_levels(graph.num_pins,
-                                     [[v for v, _e, _l in adj]
-                                      for adj in graph.fanout], order)
-        per_level: dict[int, list[tuple[int, int, float, float]]] = {}
-        for u in range(graph.num_pins):
-            for v, early, late in graph.fanout[u]:
-                per_level.setdefault(levels[u], []).append(
-                    (u, v, early, late))
-        self.levels = []
-        for level in sorted(per_level):
-            edges = per_level[level]
-            self.levels.append((
-                np.fromiter((e[0] for e in edges), dtype=np.int64),
-                np.fromiter((e[1] for e in edges), dtype=np.int64),
-                np.fromiter((e[2] for e in edges), dtype=np.float64),
-                np.fromiter((e[3] for e in edges), dtype=np.float64),
-            ))
-
-
-def _levelized(graph: TimingGraph) -> _LevelizedEdges:
-    cached = getattr(graph, "_vectorized_edges", None)
-    if cached is None:
-        cached = _LevelizedEdges(graph)
-        graph._vectorized_edges = cached
-    return cached
 
 
 def propagate_arrivals_vectorized(graph: TimingGraph) -> ArrivalTimes:
@@ -81,13 +50,13 @@ def propagate_arrivals_vectorized(graph: TimingGraph) -> ArrivalTimes:
         early[ff.q_pin] = min(early[ff.q_pin], launch_early)
         late[ff.q_pin] = max(late[ff.q_pin], launch_late)
 
-    for sources, targets, delay_early, delay_late in \
-            _levelized(graph).levels:
-        candidate_early = early[sources] + delay_early
-        candidate_late = late[sources] + delay_late
+    for b in get_core(graph).level_buckets:
         # Unreachable sources produce inf + x = inf (and -inf): the
         # reductions ignore them naturally.
-        np.minimum.at(early, targets, candidate_early)
-        np.maximum.at(late, targets, candidate_late)
+        seg_early = np.minimum.reduceat(early[b.src] + b.early,
+                                        b.estarts)
+        seg_late = np.maximum.reduceat(late[b.src] + b.late, b.estarts)
+        early[b.seg_dst] = np.minimum(early[b.seg_dst], seg_early)
+        late[b.seg_dst] = np.maximum(late[b.seg_dst], seg_late)
 
     return ArrivalTimes(early.tolist(), late.tolist())

@@ -1,0 +1,91 @@
+"""CoreArrays: CSR consistency with the graph's adjacency lists."""
+
+from __future__ import annotations
+
+import pytest
+
+np = pytest.importorskip("numpy", exc_type=ImportError)
+
+from repro.core.arrays import get_core
+from repro.obs import collecting
+from tests.helpers import demo_design, random_small
+
+
+def _graph_edges(graph):
+    return sorted((u, v, e, l)
+                  for u in range(graph.num_pins)
+                  for v, e, l in graph.fanout[u])
+
+
+class TestCoreArrays:
+    def test_edge_table_matches_fanout(self):
+        graph, _ = demo_design()
+        core = get_core(graph)
+        got = sorted(zip(core.edge_src.tolist(), core.edge_dst.tolist(),
+                         core.edge_early.tolist(),
+                         core.edge_late.tolist()))
+        assert got == _graph_edges(graph)
+        assert core.num_edges == len(got)
+
+    def test_fanin_csr_matches_fanin(self):
+        graph, _ = demo_design()
+        core = get_core(graph)
+        for v in range(graph.num_pins):
+            lo = core.fanin_ptr_list[v]
+            hi = core.fanin_ptr_list[v + 1]
+            got = sorted(zip(core.fanin_src_list[lo:hi],
+                             core.fanin_early_list[lo:hi],
+                             core.fanin_late_list[lo:hi]))
+            want = sorted((u, e, l) for u, e, l in graph.fanin[v])
+            assert got == want, f"pin {v}"
+            assert all(core.fanin_dst[i] == v for i in range(lo, hi))
+
+    def test_edges_cross_levels_upward(self):
+        graph, _ = random_small(3)
+        core = get_core(graph)
+        levels = core.level_of
+        assert bool((levels[core.edge_src]
+                     < levels[core.edge_dst]).all())
+
+    def test_level_ptr_partitions_edge_table(self):
+        graph, _ = random_small(4)
+        core = get_core(graph)
+        assert core.level_ptr[0] == 0
+        assert core.level_ptr[-1] == core.num_edges
+        assert bool((np.diff(core.level_ptr) >= 0).all())
+        src_levels = core.level_of[core.edge_src]
+        for lvl in range(core.num_levels):
+            lo, hi = core.level_ptr[lvl], core.level_ptr[lvl + 1]
+            assert bool((src_levels[lo:hi] == lvl).all())
+
+    def test_level_slices_cover_all_edges(self):
+        graph, _ = random_small(5)
+        core = get_core(graph)
+        total = sum(len(src) for src, _d, _e, _l in core.level_slices())
+        assert total == core.num_edges
+
+    def test_cached_on_graph(self):
+        graph, _ = demo_design()
+        first = get_core(graph)
+        assert get_core(graph) is first
+        assert graph._core_arrays is first
+
+    def test_deterministic_vs_adjacency_order(self):
+        # The same design elaborated twice yields identical tables.
+        g1, _ = random_small(6)
+        g2, _ = random_small(6)
+        c1, c2 = get_core(g1), get_core(g2)
+        assert c1.edge_src.tolist() == c2.edge_src.tolist()
+        assert c1.edge_dst.tolist() == c2.edge_dst.tolist()
+        assert c1.fanin_src_list == c2.fanin_src_list
+
+    def test_observability_counters(self):
+        graph, _ = demo_design()
+        with collecting() as col:
+            get_core(graph)
+            get_core(graph)
+        profile = col.profile()
+        assert profile.counters["core.builds"] == 1
+        assert profile.counters["core.reuses"] == 1
+        assert profile.counters["core.edges"] == get_core(graph).num_edges
+        assert any(s.name == "core.build" for s in profile.iter_spans())

@@ -1,0 +1,134 @@
+"""End-to-end scalar-vs-array backend equivalence at the engine level.
+
+The acceptance bar for the array backend: identical top-k reports —
+slacks within 1e-12 and the *same pin sequences* — on randomized
+designs, for setup and hold, across every candidate family, and
+composed with every executor.  The scalar backend is the readable
+reference; these tests are what lets ``backend="auto"`` default to the
+array substrate safely.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+pytest.importorskip("numpy", exc_type=ImportError)
+
+from repro import CpprEngine
+from repro.baselines import BlockBasedTimer, PairEnumTimer
+from repro.cppr.queries import endpoint_paths, pair_paths
+from repro.sta.modes import AnalysisMode
+from repro.sta.timing import TimingAnalyzer
+from tests.helpers import demo_design, random_small
+
+MODES = list(AnalysisMode)
+SLACK_TOL = 1e-12
+
+
+def _assert_same_reports(got, want):
+    assert len(got) == len(want), (
+        f"path count: {len(got)} != {len(want)}")
+    for i, (a, b) in enumerate(zip(got, want)):
+        assert abs(a.slack - b.slack) <= SLACK_TOL, (
+            f"path {i}: slack {a.slack} != {b.slack}")
+        assert a.pins == b.pins, f"path {i}: pin sequences differ"
+        assert a.family == b.family, f"path {i}"
+        assert abs(a.credit - b.credit) <= SLACK_TOL, f"path {i}"
+
+
+def _engines(analyzer, **options):
+    scalar = CpprEngine(analyzer).with_options(backend="scalar",
+                                               **options)
+    array = CpprEngine(analyzer).with_options(backend="array", **options)
+    return scalar, array
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000),
+       st.sampled_from(MODES),
+       st.integers(min_value=1, max_value=25))
+def test_engine_reports_identical(design_seed, mode, k):
+    graph, constraints = random_small(design_seed)
+    analyzer = TimingAnalyzer(graph, constraints)
+    scalar, array = _engines(analyzer, include_output_tests=True)
+    _assert_same_reports(array.top_paths(k, mode),
+                         scalar.top_paths(k, mode))
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000),
+       st.sampled_from(MODES))
+def test_layered_designs_identical(design_seed, mode):
+    graph, constraints = random_small(design_seed, layers=3, channels=2,
+                                      num_gates=18)
+    analyzer = TimingAnalyzer(graph, constraints)
+    scalar, array = _engines(analyzer)
+    _assert_same_reports(array.top_paths(15, mode),
+                         scalar.top_paths(15, mode))
+
+
+@pytest.mark.parametrize("mode", MODES)
+@pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+def test_backends_compose_with_executors(mode, executor):
+    from repro.cppr.parallel import available_executors
+    if executor not in available_executors():
+        pytest.skip(f"executor {executor} unavailable here")
+    graph, constraints = random_small(11)
+    analyzer = TimingAnalyzer(graph, constraints)
+    reference = CpprEngine(analyzer).with_options(
+        backend="scalar").top_paths(10, mode)
+    for backend in ("scalar", "array"):
+        engine = CpprEngine(analyzer).with_options(backend=backend,
+                                                   executor=executor)
+        _assert_same_reports(engine.top_paths(10, mode), reference)
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_candidate_families_identical(mode):
+    # Family-by-family, not just the merged selection.
+    graph, constraints = random_small(23)
+    analyzer = TimingAnalyzer(graph, constraints)
+    scalar, array = _engines(analyzer, include_output_tests=True)
+    got = sorted(array.candidate_paths(8, mode),
+                 key=lambda p: (p.family.name, p.level or 0, p.slack,
+                                p.pins))
+    want = sorted(scalar.candidate_paths(8, mode),
+                  key=lambda p: (p.family.name, p.level or 0, p.slack,
+                                 p.pins))
+    _assert_same_reports(got, want)
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_queries_identical(mode):
+    graph, constraints = random_small(31)
+    analyzer = TimingAnalyzer(graph, constraints)
+    for ff in range(min(graph.num_ffs, 4)):
+        scalar = endpoint_paths(analyzer, ff, 6, mode, backend="scalar")
+        array = endpoint_paths(analyzer, ff, 6, mode, backend="array")
+        _assert_same_reports(array, scalar)
+    scalar = pair_paths(analyzer, 0, 1, 6, mode, backend="scalar")
+    array = pair_paths(analyzer, 0, 1, 6, mode, backend="array")
+    _assert_same_reports(array, scalar)
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_baselines_identical(mode):
+    graph, constraints = random_small(17)
+    analyzer = TimingAnalyzer(graph, constraints)
+    _assert_same_reports(
+        BlockBasedTimer(analyzer, backend="array").top_paths(10, mode),
+        BlockBasedTimer(analyzer, backend="scalar").top_paths(10, mode))
+    _assert_same_reports(
+        PairEnumTimer(analyzer, backend="array").top_paths(10, mode),
+        PairEnumTimer(analyzer, backend="scalar").top_paths(10, mode))
+
+
+def test_demo_design_identical_all_k():
+    graph, constraints = demo_design()
+    analyzer = TimingAnalyzer(graph, constraints)
+    scalar, array = _engines(analyzer, include_output_tests=True)
+    for mode in MODES:
+        for k in (1, 3, 10, 50):
+            _assert_same_reports(array.top_paths(k, mode),
+                                 scalar.top_paths(k, mode))

@@ -5,6 +5,8 @@ from __future__ import annotations
 import pytest
 from hypothesis import given, settings, strategies as st
 
+pytest.importorskip("numpy", exc_type=ImportError)
+
 from repro.sta.arrival import propagate_arrivals
 from repro.sta.vectorized import propagate_arrivals_vectorized
 from tests.helpers import demo_design, random_small
@@ -35,12 +37,12 @@ class TestVectorized:
         ffa = graph.ff_by_name("ffa")
         assert not vector.is_reachable(ffa.d_pin)
 
-    def test_levelized_edges_cached(self):
+    def test_core_arrays_cached(self):
         graph, _constraints = demo_design()
         propagate_arrivals_vectorized(graph)
-        cached = graph._vectorized_edges
+        cached = graph._core_arrays
         propagate_arrivals_vectorized(graph)
-        assert graph._vectorized_edges is cached
+        assert graph._core_arrays is cached
 
     def test_suite_design(self):
         from repro.workloads.suite import build_design
