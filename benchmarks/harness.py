@@ -30,7 +30,8 @@ BENCH_FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
 #: smallest, a mid-size, and the densest (leon2).
 QUICK_DESIGNS = ["vga_lcdv2", "combo4v2", "leon2"]
 
-TIMER_NAMES = ["ours", "ours-scalar", "ours-array", "ours-mt",
+TIMER_NAMES = ["ours", "ours-scalar", "ours-array", "ours-batched",
+               "ours-nobatch", "ours-mt",
                "pair_enum", "block_based", "branch_bound"]
 
 
@@ -51,7 +52,16 @@ def make_timer(name: str, analyzer: TimingAnalyzer, workers: int = 8):
     if name == "ours-scalar":
         return CpprEngine(analyzer, CpprOptions(backend="scalar"))
     if name == "ours-array":
-        return CpprEngine(analyzer, CpprOptions(backend="array"))
+        # Pinned to per-level sweeps so BENCH_backend keeps measuring
+        # the PR 2 array substrate, not the batched path on top of it.
+        return CpprEngine(analyzer, CpprOptions(backend="array",
+                                                batch_levels="off"))
+    if name == "ours-batched":
+        return CpprEngine(analyzer, CpprOptions(backend="array",
+                                                batch_levels="on"))
+    if name == "ours-nobatch":
+        return CpprEngine(analyzer, CpprOptions(backend="array",
+                                                batch_levels="off"))
     if name == "ours-mt":
         return CpprEngine(analyzer, CpprOptions(executor="process",
                                                 workers=workers))
@@ -94,6 +104,25 @@ def per_pass_seconds(profile: Profile) -> dict[str, float]:
                 or node.name in ("self_loop", "primary_input", "output")):
             passes[node.name] = passes.get(node.name, 0.0) + node.seconds
     return passes
+
+
+def level_propagate_seconds(profile: Profile) -> float:
+    """Total forward-propagation seconds inside the ``level[d]`` passes.
+
+    Sums the ``propagate`` child of each per-level span — or, on a
+    batched run, the (tiny) ``propagate.slice`` that materializes the
+    level's slice of the shared sweep.  The batched sweep itself is a
+    separate top-level phase; read it with
+    ``profile.span_seconds("propagate.batched")``.
+    """
+    total = 0.0
+    for node in profile.iter_spans():
+        if not node.name.startswith("level["):
+            continue
+        for child in node.children:
+            if child.name in ("propagate", "propagate.slice"):
+                total += child.seconds
+    return total
 
 
 def write_bench_profile(path: str | Path, payload: dict) -> None:

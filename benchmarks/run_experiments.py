@@ -8,11 +8,14 @@ Usage::
     python benchmarks/run_experiments.py fig5 --scale 0.5
 
 Subcommands: ``table3``, ``table4``, ``fig5``, ``fig6``, ``ablation``,
-``profile``, ``all``.  Results are printed as markdown and also written
-under ``benchmarks/results/``; ``profile`` additionally writes the
-machine-readable ``benchmarks/results/BENCH_profile.json`` (per-pass
-wall time + counters per design) so profiles stay comparable across
-PRs.
+``backend``, ``batched``, ``profile``, ``all`` — several may be given
+at once (``backend batched``).  Results are printed as markdown and
+also written under ``benchmarks/results/``; ``profile`` additionally
+writes the machine-readable ``benchmarks/results/BENCH_profile.json``
+(per-pass wall time + counters per design), ``backend`` writes
+``BENCH_backend.json``, and ``batched`` writes ``BENCH_batched.json``
+(including the report-identity check) so the numbers stay comparable
+across PRs.
 
 Measurement methodology (mirrors the paper's Table IV):
 
@@ -31,8 +34,9 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from harness import (get_analyzer, make_timer, per_pass_seconds,  # noqa: E402
-                     profiled_run, run_both_modes, write_bench_profile)
+from harness import (get_analyzer, level_propagate_seconds,  # noqa: E402
+                     make_timer, per_pass_seconds, profiled_run,
+                     run_both_modes, write_bench_profile)
 
 from repro import CpprEngine, CpprOptions, PairEnumTimer  # noqa: E402
 from repro.cppr.parallel import available_executors  # noqa: E402
@@ -61,9 +65,23 @@ def _emit(lines: list[str], filename: str) -> None:
     print(text)
 
 
-def _measure(fn, with_memory: bool = True) -> tuple[float, float | None]:
-    seconds = measure_runtime(fn).seconds
-    peak = measure_memory(fn).peak_mib if with_memory else None
+def _measure(fn, with_memory: bool = True, timer=None,
+             repeat: int = 1) -> tuple[float, float | None]:
+    """Runtime then (optionally) tracemalloc peak of one call.
+
+    When ``timer`` is given, its memoized-query cache is dropped before
+    every measured call so both measurements do the full analysis
+    instead of replaying the first run's cached result.  ``repeat``
+    takes the best of several timed calls for noise-sensitive steps.
+    """
+    def call():
+        clear = getattr(timer, "clear_cache", None)
+        if clear is not None:
+            clear()
+        return fn()
+
+    seconds = measure_runtime(call, repeat=repeat).seconds
+    peak = measure_memory(call).peak_mib if with_memory else None
     return seconds, peak
 
 
@@ -108,7 +126,7 @@ def run_table4(args) -> None:
                 timer = make_timer(timer_name, analyzer)
                 seconds, peak = _measure(
                     lambda t=timer: run_both_modes(t, k),
-                    with_memory=not args.no_memory)
+                    with_memory=not args.no_memory, timer=timer)
                 results[timer_name] = (seconds, peak)
             base = results["ours"][0]
             for timer_name in timers:
@@ -140,7 +158,7 @@ def run_fig5(args) -> None:
             timer = make_timer(timer_name, analyzer)
             seconds, peak = _measure(
                 lambda t=timer: t.top_slacks(k, "setup"),
-                with_memory=not args.no_memory)
+                with_memory=not args.no_memory, timer=timer)
             mem = f"{peak:.1f}" if peak is not None else "-"
             cells.append(f"{seconds:.2f} / {mem}")
         lines.append(f"| {k} | " + " | ".join(cells) + " |")
@@ -189,8 +207,10 @@ def run_ablation(args) -> None:
 
     bounded = CpprEngine(analyzer)
     unbounded = CpprEngine(analyzer, CpprOptions(heap_capacity=1_000_000))
-    b_s, b_m = _measure(lambda: bounded.top_slacks(k, "setup"))
-    u_s, u_m = _measure(lambda: unbounded.top_slacks(k, "setup"))
+    b_s, b_m = _measure(lambda: bounded.top_slacks(k, "setup"),
+                        timer=bounded)
+    u_s, u_m = _measure(lambda: unbounded.top_slacks(k, "setup"),
+                        timer=unbounded)
     lines += ["## A2 — bounded min-max heap (Algorithm 5)", "",
               "| variant | RT(s) | peak MiB |", "|---|---:|---:|",
               f"| heap capacity = k | {b_s:.3f} | {b_m:.1f} |",
@@ -265,8 +285,9 @@ def run_backend(args) -> None:
         for backend in ("scalar", "array"):
             engine = make_timer(f"ours-{backend}", analyzer)
             engine.top_slacks(1, "setup")  # warm lazy caches (CSR etc.)
-            seconds = measure_runtime(
-                lambda e=engine: e.top_slacks(k, "setup")).seconds
+            seconds, _ = _measure(
+                lambda e=engine: e.top_slacks(k, "setup"),
+                with_memory=False, timer=engine)
             _traced_seconds, profile = profiled_run(engine, k, "setup")
             per_backend[backend] = {
                 "seconds": seconds,
@@ -293,6 +314,93 @@ def run_backend(args) -> None:
     print(f"[backend] wrote {RESULTS_DIR / 'BENCH_backend.json'}",
           file=sys.stderr)
     _emit(lines, "backend.md")
+
+
+# ----------------------------------------------------------------------
+# Level batching: one (D x n) sweep vs D per-level array sweeps
+# ----------------------------------------------------------------------
+def _path_fingerprint(paths) -> list[tuple]:
+    return [(p.slack, tuple(p.pins), p.launch_ff, p.capture_ff,
+             p.credit, p.family.name, p.level) for p in paths]
+
+
+def run_batched(args) -> None:
+    k = max(args.k_values)
+    repeats = 5
+    payload = {
+        "schema": "repro.bench/batched@1",
+        "scale": args.scale,
+        "k": k,
+        "mode": "setup",
+        "designs": {},
+    }
+    lines = [f"# Batched — one (D x n) sweep vs D per-level array "
+             f"sweeps, k={k}, setup analysis, serial executor", "",
+             "| Benchmark | nobatch RT(s) | batched RT(s) | speedup | "
+             "per-level propagate(s) | batched propagate(s) | "
+             "propagate speedup | reports |",
+             "|---|---:|---:|---:|---:|---:|---:|---|"]
+    for design in args.designs:
+        analyzer = get_analyzer(design, args.scale)
+        per = {}
+        fingerprints = {}
+        for variant in ("nobatch", "batched"):
+            engine = make_timer(f"ours-{variant}", analyzer)
+            engine.top_slacks(1, "setup")  # warm lazy caches (CSR etc.)
+            seconds, _ = _measure(
+                lambda e=engine: e.top_slacks(k, "setup"),
+                with_memory=False, timer=engine, repeat=3)
+            # Propagation wall time from the best of a few profiled
+            # runs (single-shot span timings are noisy at this scale).
+            best = None
+            for _ in range(repeats):
+                _t, profile = profiled_run(engine, k, "setup")
+                prop = (level_propagate_seconds(profile)
+                        + profile.span_seconds("propagate.batched"))
+                if best is None or prop < best[0]:
+                    best = (prop, profile)
+            prop_seconds, profile = best
+            per[variant] = {
+                "seconds": seconds,
+                "propagate_seconds": prop_seconds,
+                "level_propagate_seconds":
+                    level_propagate_seconds(profile),
+                "batched_propagate_seconds":
+                    profile.span_seconds("propagate.batched"),
+                "counters": profile.counters,
+            }
+            engine.clear_cache()
+            fingerprints[variant] = {
+                mode: _path_fingerprint(engine.top_paths(k, mode))
+                for mode in ("setup", "hold")
+            }
+        identical = fingerprints["nobatch"] == fingerprints["batched"]
+        if not identical:
+            raise SystemExit(
+                f"[batched] MISMATCH on {design}: batched top-{k} "
+                f"reports differ from the per-level array sweep")
+        nobatch, batched = per["nobatch"], per["batched"]
+        speedup = nobatch["seconds"] / batched["seconds"]
+        prop_speedup = (nobatch["propagate_seconds"]
+                        / batched["propagate_seconds"])
+        payload["designs"][design] = {
+            "nobatch": nobatch, "batched": batched,
+            "speedup": speedup, "propagate_speedup": prop_speedup,
+            "reports_identical": True,
+        }
+        lines.append(
+            f"| {design} | {nobatch['seconds']:.3f} | "
+            f"{batched['seconds']:.3f} | {speedup:.2f}x | "
+            f"{nobatch['propagate_seconds']:.3f} | "
+            f"{batched['propagate_seconds']:.3f} | "
+            f"{prop_speedup:.2f}x | identical |")
+        print(f"[batched] {design} done ({speedup:.2f}x overall, "
+              f"{prop_speedup:.2f}x propagate)", file=sys.stderr)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    write_bench_profile(RESULTS_DIR / "BENCH_batched.json", payload)
+    print(f"[batched] wrote {RESULTS_DIR / 'BENCH_batched.json'}",
+          file=sys.stderr)
+    _emit(lines, "batched.md")
 
 
 # ----------------------------------------------------------------------
@@ -336,31 +444,44 @@ def run_profile(args) -> None:
 # ----------------------------------------------------------------------
 def main(argv=None) -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("what", choices=["table3", "table4", "fig5",
-                                         "fig6", "ablation", "backend",
-                                         "profile", "all"])
+    parser.add_argument("what", nargs="+",
+                        choices=["table3", "table4", "fig5", "fig6",
+                                 "ablation", "backend", "batched",
+                                 "profile", "all"])
     parser.add_argument("--scale", type=float, default=1.0,
                         help="design scale factor (default 1.0)")
     parser.add_argument("--quick", action="store_true",
                         help="small matrix: 3 designs, k in {1, 50}")
     parser.add_argument("--no-memory", action="store_true",
                         help="skip the tracemalloc passes (faster)")
+    parser.add_argument("--designs", metavar="A,B,...",
+                        help="comma list of suite designs to run "
+                             "(default: the full suite, or the quick "
+                             "trio with --quick)")
     args = parser.parse_args(argv)
 
-    args.designs = (["vga_lcdv2", "combo4v2", "leon2"] if args.quick
-                    else design_names())
+    if args.designs is not None:
+        designs = [d.strip() for d in args.designs.split(",") if d.strip()]
+        unknown = sorted(set(designs) - set(design_names()))
+        if unknown:
+            parser.error(f"unknown designs {unknown}; choose from "
+                         f"{design_names()}")
+        args.designs = designs
+    else:
+        args.designs = (["vga_lcdv2", "combo4v2", "leon2"] if args.quick
+                        else design_names())
     args.k_values = [1, 50] if args.quick else [1, 50, 500]
     args.k_sweep = [1, 10, 50, 200, 500] if not args.quick else [1, 50]
     args.workers_sweep = [1, 2, 4, 8]
 
     steps = {"table3": run_table3, "table4": run_table4, "fig5": run_fig5,
              "fig6": run_fig6, "ablation": run_ablation,
-             "backend": run_backend, "profile": run_profile}
-    if args.what == "all":
-        for step in steps.values():
-            step(args)
-    else:
-        steps[args.what](args)
+             "backend": run_backend, "batched": run_batched,
+             "profile": run_profile}
+    selected = (list(steps) if "all" in args.what
+                else list(dict.fromkeys(args.what)))
+    for name in selected:
+        steps[name](args)
 
 
 if __name__ == "__main__":

@@ -48,7 +48,7 @@ class ClockTree:
     __slots__ = ("names", "parents", "delays_early", "delays_late",
                  "pin_ids", "ff_of_node", "source_at", "_at_early",
                  "_at_late", "_credits", "_table", "_node_of_pin",
-                 "_num_levels", "_core_lift")
+                 "_num_levels", "_core_lift", "_group_cache")
 
     def __init__(self, names: Sequence[str], parents: Sequence[int],
                  delays_early: Sequence[float], delays_late: Sequence[float],
@@ -102,6 +102,9 @@ class ClockTree:
                              for node, pin in enumerate(self.pin_ids)}
         #: Lazily-built numpy mirror for repro.core.grouping.
         self._core_lift = None
+        #: Memoized LevelGrouping results keyed by (level, backend);
+        #: groupings are pure functions of the immutable tree.
+        self._group_cache: dict = {}
         leaf_depths = [self._table.depth(i) for i in range(n)
                        if self.ff_of_node[i] >= 0]
         self._num_levels = max(leaf_depths, default=0)

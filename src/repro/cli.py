@@ -49,10 +49,12 @@ _TIMERS = {
 }
 
 
-def _make_timer(name: str, analyzer, backend: str):
+def _make_timer(name: str, analyzer, backend: str,
+                batch_levels: str = "auto"):
     """One timer instance, passing the backend to those that take it."""
     if name == "ours":
-        return CpprEngine(analyzer, CpprOptions(backend=backend))
+        return CpprEngine(analyzer, CpprOptions(backend=backend,
+                                                batch_levels=batch_levels))
     if name == "pair":
         return PairEnumTimer(analyzer, backend=backend)
     if name == "block":
@@ -137,8 +139,8 @@ def _cmd_report(args) -> int:
             title = (f"Top-{args.k} post-CPPR {args.mode} paths into "
                      f"{args.endpoint}")
         else:
-            engine = CpprEngine(analyzer,
-                                CpprOptions(backend=args.backend))
+            engine = CpprEngine(analyzer, CpprOptions(
+                backend=args.backend, batch_levels=args.batch_levels))
             paths = engine.top_paths(args.k, args.mode)
             title = f"Top-{args.k} post-CPPR {args.mode} paths"
         return paths, title
@@ -207,7 +209,8 @@ def _cmd_compare(args) -> int:
             raise ReproError(
                 f"unknown timer {name!r}; choose from "
                 f"{sorted(_TIMERS)}")
-        timer = _make_timer(name, analyzer, args.backend)
+        timer = _make_timer(name, analyzer, args.backend,
+                            args.batch_levels)
         if profiling:
             with collecting() as col:
                 result = measure_runtime(
@@ -273,6 +276,12 @@ def build_parser() -> argparse.ArgumentParser:
                         default="auto",
                         help="compute substrate: scalar reference or "
                              "numpy arrays (default auto)")
+    report.add_argument("--batch-levels",
+                        choices=["auto", "on", "off"],
+                        default="auto",
+                        help="run all per-level propagations as one "
+                             "(D x n) batched sweep (array backend "
+                             "only; default auto)")
     report.set_defaults(func=_cmd_report)
 
     generate = sub.add_parser("generate", help="synthesize a design")
@@ -310,6 +319,11 @@ def build_parser() -> argparse.ArgumentParser:
                          default="auto",
                          help="compute substrate for timers that "
                               "support it (default auto)")
+    compare.add_argument("--batch-levels",
+                         choices=["auto", "on", "off"],
+                         default="auto",
+                         help="level-batched propagation for the "
+                              "'ours' engine (default auto)")
     compare.set_defaults(func=_cmd_compare)
 
     return parser

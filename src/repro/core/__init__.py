@@ -13,7 +13,12 @@ instead of per-pin Python objects.  This package provides it:
   that also recovers argmin ``from``-pointers and carries group ids, so
   the Table II dual-tuple semantics survive vectorization).
 * :mod:`repro.core.grouping` — vectorized ``f_{d+1}``/credit lookups
-  for the per-level node grouping.
+  for the per-level node grouping, including the one-shot ``(D, n_ff)``
+  grouping matrix.
+* :mod:`repro.core.batched` — the level-batched grouped propagation:
+  all ``D`` per-level forward passes as one sweep over ``(D, n_pins)``
+  dual-tuple state (``CpprOptions.batch_levels``, gated by
+  :func:`resolve_batch_levels`).
 
 ``numpy`` is an *optional* dependency (the ``fast`` extra).  This module
 is importable without it; only the gate helpers live here so that
@@ -41,10 +46,14 @@ try:
 except Exception:  # pragma: no cover - exercised by the no-numpy CI job
     HAVE_NUMPY = False
 
-__all__ = ["BACKENDS", "HAVE_NUMPY", "resolve_backend", "require_numpy"]
+__all__ = ["BACKENDS", "BATCH_LEVELS", "HAVE_NUMPY", "resolve_backend",
+           "resolve_batch_levels", "require_numpy"]
 
 #: The values accepted by ``CpprOptions.backend`` and the CLI flag.
 BACKENDS = ("auto", "scalar", "array")
+
+#: The values accepted by ``CpprOptions.batch_levels`` and the CLI flag.
+BATCH_LEVELS = ("auto", "on", "off")
 
 
 def require_numpy(context: str = "the array backend") -> None:
@@ -75,3 +84,30 @@ def resolve_backend(backend: str) -> str:
         return "array"
     raise ValueError(
         f"unknown backend {backend!r}; expected one of {BACKENDS}")
+
+
+def resolve_batch_levels(batch_levels: str, backend: str) -> bool:
+    """Decide whether the per-level passes share one batched sweep.
+
+    ``backend`` must already be concrete (``"scalar"``/``"array"``, the
+    output of :func:`resolve_backend`).  ``"auto"`` turns batching on
+    exactly when the array backend is in use; ``"off"`` never batches;
+    ``"on"`` demands it — raising ``ImportError`` (the same
+    ``repro[fast]`` guidance as ``backend="array"``) when numpy is
+    missing, and ``ValueError`` when combined with an explicit scalar
+    backend, whose whole point is to avoid the array substrate.
+    """
+    if batch_levels not in BATCH_LEVELS:
+        raise ValueError(
+            f"unknown batch_levels {batch_levels!r}; expected one of "
+            f"{BATCH_LEVELS}")
+    if batch_levels == "off":
+        return False
+    if batch_levels == "on":
+        require_numpy("batch_levels='on'")
+        if backend == "scalar":
+            raise ValueError(
+                "batch_levels='on' requires the array backend; "
+                "got backend='scalar'")
+        return True
+    return backend == "array"

@@ -1,0 +1,630 @@
+"""Level-batched grouped propagation: one ``(D, n)`` sweep for all levels.
+
+The engine's per-level candidate passes (``paths_at_level`` for
+``d = 0 .. D-1``) differ only in their *inputs*: the grouping column and
+the per-FF launch offset.  The graph topology, the topological edge
+schedule, the edge delays, and the deviation-cost formula are identical
+across levels.  This module exploits that: instead of ``D`` independent
+forward sweeps it relaxes each topological level bucket for **all**
+``D`` cut-levels simultaneously.  The dual-tuple state is *stacked* —
+one ``(2D, n_pins)`` matrix per component, best-tuple rows ``0..D-1``
+and different-group-fallback rows ``D..2D-1``, with the public
+``time0``/``time1`` etc. exposed as row-range views — so each gather,
+candidate computation, and segment reduction is ONE numpy call for
+both halves of all levels.  That matters because at realistic ``D``
+the sweep is dispatch-bound, not bandwidth-bound.
+
+Segment reductions avoid per-segment ``reduceat`` dispatch where
+geometry allows: ragged destination segments are duplicate-padded to a
+dense ``(rows, nseg, w)`` block (``_bucket_pads``) and reduced along
+the last axis.  Padding repeats a segment's *first* edge index, which
+never changes a ``max``/``min``, and in the argmin-recovery pass the
+duplicate carries that first edge's slot — already the segment's
+smallest candidate — so tie-breaks are unchanged.  Buckets whose
+destinations provably still hold their initial empty state (a static
+scan over the bucket order, also in ``_bucket_pads``) skip the merge
+tournament entirely and scatter the batch summary directly.
+
+Because the batch axis multiplies every per-element cost by ``D``, this
+sweep also trims the per-element work the 1-D pass can afford to waste:
+
+* no pair expansion — instead of interleaving each edge's two candidate
+  slots into a ``(D, 2m)`` matrix, the best-tuple and fallback-tuple
+  halves are reduced separately over the edge-granularity segments
+  (``estarts``/``eseg``) and merged per segment.  The interleaved
+  "earliest slot achieving the extremum" tie-break is recovered
+  exactly: the earlier edge wins, and on an equal-edge tie the
+  pre-swap rule degenerates to the smaller group (both slots of one
+  edge share a from-pin, and a best/fallback time tie makes the swap
+  predicate a pure group comparison) — see ``_first_at``;
+* ``int32`` from-pin/group state — pin and group ids are well inside
+  32 bits, so four of the six state matrices (and all slot-index
+  scratch) carry half the memory traffic.  Converting a row with
+  ``tolist`` yields the same Python ints as the 1-D pass's ``int64``;
+* the per-FF seed columns are built once and cached on the graph.
+
+Bit-for-bit equivalence with the per-level sweeps (and hence with the
+scalar reference) holds because every row of the batched state sees the
+exact same IEEE-754 operation sequence as a standalone level-``d`` pass:
+
+* seeds — ``(clock arrival + clk-to-q) ∓ launch offset`` with the same
+  association, assigned directly (Q pins are distinct per flip-flop, so
+  no seed merge is needed);
+* relaxation — the same candidate times over the same pre-sorted
+  :class:`~repro.core.arrays.LevelBucket` geometry; ``max``/``min``
+  segment reductions are exact, and the two-half argmin merge recovers
+  the same (time, from-pin, group) tie-break winner as the interleaved
+  argmin (see above);
+* the element-wise dual-state combine processes every segment with a
+  validity guard instead of filtering active segments per row (activity
+  differs across rows); invalid batches provably leave the row's state
+  untouched;
+* deviation costs — the same three-operation column formula, evaluated
+  once as a ``(D, m)`` matrix.
+
+The result object serves each level's slice back as the ordinary
+:class:`~repro.cppr.propagation.DualArrivalArrays` /
+:class:`~repro.core.propagate.FastDeviation` pair, so the deviation
+search and everything downstream are reused unchanged.
+
+Observability: building emits one ``propagate.batched`` span with
+``grouping`` / ``seeds`` / ``sweep`` / ``deviation_costs`` children,
+the same ``propagation.seeds`` / ``propagation.pins_visited`` totals
+the ``D`` separate passes would have emitted (empty levels contribute
+zero to both, exactly like their skipped passes), and a per-level
+breakdown under ``batched.seeds.level[d]`` /
+``batched.pins_visited.level[d]``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.graph import TimingGraph
+from repro.core.arrays import get_core
+from repro.core.grouping import group_matrix
+from repro.core.propagate import FastDeviation, _beats, _lex_beats
+from repro.cppr.tuples import NO_GROUP, NO_NODE
+from repro.obs import collector as _obs
+from repro.sta.modes import AnalysisMode
+
+__all__ = ["BatchedLevels", "propagate_dual_batched"]
+
+_INF = float("inf")
+
+
+class _LazyColumn:
+    """Scalar access into one row of a batched state matrix.
+
+    The fallback columns (``time1``/``from1``/``group1``) are consulted
+    only when an ``auto()`` query's excluded group matches the pin's
+    primary group — the rare case by design of the dual tuples — so
+    eagerly converting the whole row with ``tolist`` (as the hot
+    primary columns do) would cost more than every access it serves.
+    ``.item()`` converts one element per query into the same Python
+    scalar a list would have held.
+    """
+
+    __slots__ = ("row",)
+
+    def __init__(self, row: np.ndarray) -> None:
+        self.row = row
+
+    def __getitem__(self, i):
+        return self.row[i].item()
+
+    def __len__(self) -> int:
+        return len(self.row)
+
+
+class BatchedLevels:
+    """The batched sweep's result: per-level views over shared matrices.
+
+    ``time0 .. group1`` are the ``(D, n_pins)`` dual-tuple matrices,
+    ``cost0`` the ``(D, m_fanin)`` deviation-cost matrix; row ``d`` is
+    exactly what a standalone level-``d`` array pass would produce.
+    :meth:`arrays` materializes one row as the
+    :class:`~repro.cppr.propagation.DualArrivalArrays` the deviation
+    search consumes: the hot primary/cost columns as plain lists, the
+    rarely-touched fallback columns as :class:`_LazyColumn` views (the
+    fanin CSR columns are shared across levels).
+    """
+
+    __slots__ = ("mode", "num_levels", "groupings", "seed_counts",
+                 "time0", "from0", "group0", "time1", "from1", "group1",
+                 "cost0", "fanin_ptr", "fanin_src", "fanin_delay")
+
+    def __init__(self, mode, num_levels, groupings, seed_counts,
+                 time0, from0, group0, time1, from1, group1,
+                 cost0, fanin_ptr, fanin_src, fanin_delay) -> None:
+        self.mode = mode
+        self.num_levels = num_levels
+        self.groupings = groupings
+        self.seed_counts = seed_counts
+        self.time0 = time0
+        self.from0 = from0
+        self.group0 = group0
+        self.time1 = time1
+        self.from1 = from1
+        self.group1 = group1
+        self.cost0 = cost0
+        self.fanin_ptr = fanin_ptr
+        self.fanin_src = fanin_src
+        self.fanin_delay = fanin_delay
+
+    def grouping(self, level: int):
+        """The level's :class:`~repro.cppr.grouping.LevelGrouping`."""
+        return self.groupings[level]
+
+    def num_seeds(self, level: int) -> int:
+        """Participating flip-flops (= launch seeds) at ``level``."""
+        return self.seed_counts[level]
+
+    def arrays(self, level: int):
+        """Level ``level``'s slice as ordinary dual-arrival arrays.
+
+        The primary and cost columns the search touches on every edge
+        or walk pin are eagerly converted to lists; the fallback
+        columns are consulted only on an ``auto()`` group-exclusion
+        miss — rare by design of the dual tuples — where a lazy
+        per-element view is cheaper than the up-front ``tolist``.
+        """
+        from repro.cppr.propagation import DualArrivalArrays
+
+        fast = FastDeviation(self.fanin_ptr, self.fanin_src,
+                             self.fanin_delay,
+                             self.cost0[level].tolist())
+        return DualArrivalArrays(
+            self.mode,
+            self.time0[level].tolist(),
+            self.from0[level].tolist(),
+            self.group0[level].tolist(),
+            _LazyColumn(self.time1[level]),
+            _LazyColumn(self.from1[level]),
+            _LazyColumn(self.group1[level]),
+            fast=fast)
+
+
+def _combine_dual_batched(state, levels, empty, is_setup, upd,
+                          b0t, b0f, b0g, b1t, b1f, b1g, virgin):
+    """2-D variant of :func:`repro.core.propagate._combine_dual`.
+
+    ``state`` is the stacked ``(timeS, fromS, groupS)`` matrices —
+    rows ``0..D-1`` the best tuple, rows ``D..2D-1`` the fallback —
+    so each current-state gather is one numpy call for both halves.
+    ``upd`` holds the bucket's distinct destination pins (columns);
+    the batch summaries are ``(D, len(upd))``.  Unlike the 1-D pass —
+    which filters inactive segments before combining — activity here
+    differs per row, so every segment is processed and a per-element
+    ``bvalid`` guard masks segments whose batch is empty for that row:
+    with ``bvalid`` false the best keeps the current tuple, the losing
+    "best" entering the fallback tournament is the empty batch best
+    (never valid), and the row's own fallback wins its slot back, so
+    the state is preserved exactly.
+
+    ``virgin`` is the statically precomputed guarantee (see
+    :func:`_bucket_pads`) that the destination columns still hold
+    their initial empty state, making the merge a direct scatter.
+    """
+    timeS, fromS, groupS = state
+    bvalid = b0t != empty
+    if virgin:
+        # Virgin destinations: the merge against all-empty state is the
+        # batch summary itself.  The batch fallback is valid exactly
+        # where non-empty and always differs from the batch best's
+        # group, so it needs no re-masking.
+        timeS[:levels, upd] = b0t
+        fromS[:levels, upd] = np.where(bvalid, b0f, NO_NODE)
+        groupS[:levels, upd] = np.where(bvalid, b0g, NO_GROUP)
+        timeS[levels:, upd] = b1t
+        fromS[levels:, upd] = b1f
+        groupS[levels:, upd] = b1g
+        return
+    ctS = timeS[:, upd]
+    cfS = fromS[:, upd]
+    cgS = groupS[:, upd]
+    c0t, c1t = ctS[:levels], ctS[levels:]
+    c0f, c1f = cfS[:levels], cfS[levels:]
+    c0g, c1g = cgS[:levels], cgS[levels:]
+    bwin = bvalid & _lex_beats(is_setup, b0t, b0f, b0g, c0t, c0f, c0g)
+    n0t = np.where(bwin, b0t, c0t)
+    n0f = np.where(bwin, b0f, c0f)
+    n0g = np.where(bwin, b0g, c0g)
+    # Fallback tournament: losing best, then each side's fallback.
+    rt = np.where(bwin, c0t, b0t)
+    rf = np.where(bwin, c0f, b0f)
+    rg = np.where(bwin, c0g, b0g)
+    rv = (rt != empty) & (rg != n0g)
+    for xt, xf, xg in ((c1t, c1f, c1g), (b1t, b1f, b1g)):
+        xv = (xt != empty) & (xg != n0g)
+        take = (xv & ~rv) | (xv & rv
+                             & _lex_beats(is_setup, xt, xf, xg,
+                                          rt, rf, rg))
+        rt = np.where(take, xt, rt)
+        rf = np.where(take, xf, rf)
+        rg = np.where(take, xg, rg)
+        rv = rv | xv
+    timeS[:levels, upd] = n0t
+    fromS[:levels, upd] = n0f
+    groupS[:levels, upd] = n0g
+    timeS[levels:, upd] = np.where(rv, rt, empty)
+    fromS[levels:, upd] = np.where(rv, rf, NO_NODE)
+    groupS[levels:, upd] = np.where(rv, rg, NO_GROUP)
+
+
+def _first_at(t, g, bt, eseg, slots, sentinel, seg_min):
+    """Earliest edge slot per segment achieving the extremum ``bt``.
+
+    Returns ``(first, idx, group_at_idx)`` where ``first`` is the edge
+    index, or ``sentinel`` (= the edge count) for segments in which
+    this half never reaches ``bt``; the group is gathered at the
+    clamped index and is garbage exactly where ``first`` is the
+    sentinel (callers mask those via the sentinel comparison or the
+    batch-validity guard).
+    """
+    pos = np.where(t == bt[:, eseg], slots, sentinel)
+    first = seg_min(pos)
+    idx = np.minimum(first, sentinel - 1)
+    return first, idx, np.take_along_axis(g, idx, axis=1)
+
+
+def _build_groupings(tree, gm, om):
+    """Wrap the matrix rows as cached LevelGrouping objects.
+
+    Rows are exactly what ``group_for_level(tree, d, n, "array")``
+    computes, so they populate (and reuse) the tree's ``(level,
+    "array")`` grouping cache.
+    """
+    from repro.cppr.grouping import LevelGrouping
+
+    cache = tree._group_cache
+    groupings = []
+    for level in range(gm.shape[0]):
+        key = (level, "array")
+        grouping = cache.get(key)
+        if grouping is None:
+            grouping = LevelGrouping(level, gm[level].tolist(),
+                                     om[level].tolist())
+            cache[key] = grouping
+        groupings.append(grouping)
+    return groupings
+
+
+def _bucket_pads(graph: TimingGraph, core):
+    """Per-bucket padded-gather geometry, built once per graph.
+
+    ``reduceat`` over ragged segments pays per-segment ufunc dispatch;
+    a dense ``(D, nseg, w)`` axis reduction is far cheaper.  Each
+    segment is padded to the bucket's widest segment ``w`` by
+    *repeating its own first edge index* — duplicates of an element
+    never change a ``max``/``min`` (the reduction still returns one of
+    the segment's original IEEE-754 values, and in the argmin recovery
+    the duplicate carries the first edge's original slot index, which
+    is already the segment's minimum candidate) — so the padded
+    reduction is bit-for-bit the reduceat result.
+
+    Pad entries are ``None`` for single-segment buckets (they never
+    reduce) and for buckets where padding would more than double the
+    work (``w * nseg > 2 * m``); those keep the reduceat path.
+
+    Each entry also carries the bucket's static *virginity*: whether
+    its destination columns are guaranteed to still hold their initial
+    empty state when the bucket combines — true unless a destination
+    is a (potentially seeded) flip-flop Q pin or was already a
+    destination of an earlier bucket.  This is conservative (an
+    earlier bucket may have been skipped as all-empty at run time);
+    non-virgin buckets take the full merge, which handles empty state
+    correctly either way.
+    """
+    pads = getattr(graph, "_batched_pads", None)
+    if pads is None:
+        written = np.zeros(core.num_pins, dtype=bool)
+        written[_ff_columns(graph)[0]] = True
+        pads = []
+        for b in core.level_buckets:
+            virgin = not written[b.seg_dst].any()
+            written[b.seg_dst] = True
+            m = len(b.src)
+            nseg = len(b.seg_dst)
+            if nseg == m:
+                pads.append((None, virgin))
+                continue
+            estarts = np.asarray(b.estarts, dtype=np.intp)
+            sizes = np.append(estarts[1:], m) - estarts
+            w = int(sizes.max())
+            if w * nseg > 2 * m:
+                pads.append((None, virgin))
+                continue
+            offs = np.arange(w, dtype=np.intp)
+            idx = np.where(offs[None, :] >= sizes[:, None],
+                           estarts[:, None],
+                           estarts[:, None] + offs[None, :])
+            pads.append(((idx.ravel(), nseg, w), virgin))
+        graph._batched_pads = pads
+    return pads
+
+
+def _ff_columns(graph: TimingGraph):
+    """Per-FF launch columns, built once and cached on the graph."""
+    cols = getattr(graph, "_batched_ff_columns", None)
+    if cols is None:
+        num_ffs = graph.num_ffs
+        q_pin = np.empty(num_ffs, dtype=np.int64)
+        ck_pin = np.empty(num_ffs, dtype=np.int64)
+        node = np.empty(num_ffs, dtype=np.int64)
+        ctq_early = np.empty(num_ffs, dtype=np.float64)
+        ctq_late = np.empty(num_ffs, dtype=np.float64)
+        for ff in graph.ffs:
+            i = ff.index
+            q_pin[i] = ff.q_pin
+            ck_pin[i] = ff.ck_pin
+            node[i] = ff.tree_node
+            ctq_early[i] = ff.clk_to_q_early
+            ctq_late[i] = ff.clk_to_q_late
+        cols = (q_pin, ck_pin, node, ctq_early, ctq_late)
+        graph._batched_ff_columns = cols
+    return cols
+
+
+def propagate_dual_batched(graph: TimingGraph,
+                           mode: AnalysisMode) -> BatchedLevels:
+    """Run the grouped forward pass for **all** levels in one sweep."""
+    mode = AnalysisMode.coerce(mode)
+    core = get_core(graph)
+    tree = graph.clock_tree
+    num_levels = tree.num_levels
+    n = graph.num_pins
+    num_ffs = graph.num_ffs
+    empty = mode.empty_time
+    is_setup = mode.is_setup
+    reduce_best = np.maximum.reduceat if is_setup else np.minimum.reduceat
+    pick_best = np.maximum if is_setup else np.minimum
+
+    with _obs.span("propagate.batched"):
+        with _obs.span("grouping"):
+            gm, om = group_matrix(tree, num_ffs)
+            groupings = _build_groupings(tree, gm, om)
+
+        with _obs.span("seeds"):
+            q_pin, ck_pin, node, ctq_early, ctq_late = _ff_columns(graph)
+            clk_to_q = ctq_late if is_setup else ctq_early
+            at = np.asarray(tree._at_late if is_setup else tree._at_early,
+                            dtype=np.float64)
+            # Same association as the scalar seed formula:
+            # (clock arrival + clk-to-q) -/+ launch offset.
+            base = at[node] + clk_to_q
+            q_time = base - om if is_setup else base + om
+
+            # Best tuple in rows 0..D-1, fallback tuple in rows D..2D-1:
+            # one stacked matrix per field means every sweep gather and
+            # element-wise step handles both halves with a single numpy
+            # dispatch (the batch rows are small, so the sweep is
+            # dispatch-bound, not bandwidth-bound).
+            timeS = np.full((2 * num_levels, n), empty, dtype=np.float64)
+            fromS = np.full((2 * num_levels, n), NO_NODE, dtype=np.int32)
+            groupS = np.full((2 * num_levels, n), NO_GROUP,
+                             dtype=np.int32)
+            time0, time1 = timeS[:num_levels], timeS[num_levels:]
+            from0, from1 = fromS[:num_levels], fromS[num_levels:]
+            group0, group1 = groupS[:num_levels], groupS[num_levels:]
+            state = (timeS, fromS, groupS)
+
+            part = gm >= 0
+            rows, cols = np.nonzero(part)
+            # Q pins are distinct per flip-flop, so seeding is a plain
+            # scatter — no per-pin merge like the irregular seed batches
+            # of the single-level pass.
+            time0[rows, q_pin[cols]] = q_time[rows, cols]
+            from0[rows, q_pin[cols]] = ck_pin[cols]
+            group0[rows, q_pin[cols]] = gm[rows, cols]
+            seed_counts = part.sum(axis=1)
+            num_seeds = int(seed_counts.sum())
+
+        with _obs.span("sweep"):
+            if num_seeds:
+                levels = num_levels
+                slots_cache: dict[int, np.ndarray] = {}
+                pads = _bucket_pads(graph, core)
+                for bi, b in enumerate(core.level_buckets):
+                    pad, virgin = pads[bi]
+                    src = b.src
+                    delay = b.late if is_setup else b.early
+                    tS = timeS[:, src] + delay
+                    ta, tb = tS[:levels], tS[levels:]
+                    # Buckets whose sources carry no fallback state yet
+                    # (common near the launch seeds) skip the whole
+                    # fallback half: with every B slot empty the merged
+                    # best is the A-side result and every B-side
+                    # candidate loses its tie-break or validity guard.
+                    has_b = (tb != empty).any()
+                    m = len(src)
+                    src32 = src.astype(np.int32)
+                    if len(b.seg_dst) == m:
+                        # Every destination has exactly one edge in this
+                        # bucket, so the segment extremum degenerates to
+                        # the edge's two-slot tournament — the pre-swap
+                        # rule of the 1-D pass, applied element-wise
+                        # with no reductions or argmin recovery at all.
+                        if not has_b:
+                            if not (ta != empty).any():
+                                continue
+                            ga = groupS[:levels, src]
+                            _combine_dual_batched(
+                                state, levels, empty, is_setup,
+                                b.seg_dst, ta, src32, ga,
+                                empty, NO_NODE, NO_GROUP, virgin)
+                            continue
+                        gS = groupS[:, src]
+                        ga, gb = gS[:levels], gS[levels:]
+                        useb = (_beats(is_setup, tb, ta)
+                                | ((tb == ta) & (gb < ga)))
+                        bt = np.where(useb, tb, ta)
+                        if not (bt != empty).any():
+                            continue
+                        bg = np.where(useb, gb, ga)
+                        # The losing slot is the fallback iff its group
+                        # differs (the winner's group is ``bg`` itself).
+                        ft = np.where(ga != gb,
+                                      np.where(useb, ta, tb), empty)
+                        has_fb = ft != empty
+                        fallback_f = np.where(has_fb, src32, NO_NODE)
+                        fallback_g = np.where(
+                            has_fb, np.where(useb, ga, gb), NO_GROUP)
+                        _combine_dual_batched(state, levels, empty,
+                                              is_setup, b.seg_dst,
+                                              bt, src32, bg,
+                                              ft, fallback_f, fallback_g,
+                                              virgin)
+                        continue
+                    estarts = b.estarts
+                    if pad is not None:
+                        # Duplicate-padded dense reduction (see
+                        # _bucket_pads): same values, no per-segment
+                        # reduceat dispatch.
+                        pad_idx, nseg, w = pad
+                        if is_setup:
+                            def seg_best(x):
+                                return x[:, pad_idx].reshape(
+                                    len(x), nseg, w).max(axis=2)
+                        else:
+                            def seg_best(x):
+                                return x[:, pad_idx].reshape(
+                                    len(x), nseg, w).min(axis=2)
+
+                        def seg_min(x):
+                            return x[:, pad_idx].reshape(
+                                len(x), nseg, w).min(axis=2)
+                    else:
+                        def seg_best(x):
+                            return reduce_best(x, estarts, axis=1)
+
+                        def seg_min(x):
+                            return np.minimum.reduceat(x, estarts,
+                                                       axis=1)
+                    slots = slots_cache.get(m)
+                    if slots is None:
+                        slots = slots_cache[m] = np.arange(
+                            m, dtype=np.int32)
+                    sentinel = np.int32(m)
+                    eseg = b.eseg
+                    if not has_b:
+                        bt = seg_best(ta)
+                        if not (bt != empty).any():
+                            continue
+                        ga = groupS[:levels, src]
+                        _fa, ia, gaw = _first_at(ta, ga, bt, eseg,
+                                                 slots, sentinel, seg_min)
+                        bf = src32[ia]
+                        bg = gaw
+                        t2a = np.where(ga != bg[:, eseg], ta, empty)
+                        ft = seg_best(t2a)
+                        if not (ft != empty).any():
+                            _combine_dual_batched(
+                                state, levels, empty, is_setup,
+                                b.seg_dst, bt, bf, bg,
+                                empty, NO_NODE, NO_GROUP, virgin)
+                            continue
+                        _fa, ia, gaw = _first_at(t2a, ga, ft, eseg,
+                                                 slots, sentinel, seg_min)
+                        has_fb = ft != empty
+                        fallback_f = np.where(has_fb, src32[ia], NO_NODE)
+                        fallback_g = np.where(has_fb, gaw, NO_GROUP)
+                        _combine_dual_batched(state, levels, empty,
+                                              is_setup, b.seg_dst,
+                                              bt, bf, bg,
+                                              ft, fallback_f, fallback_g,
+                                              virgin)
+                        continue
+                    # Both halves reduce and argmin-recover in single
+                    # stacked calls; the (2, D, m) reshape views let the
+                    # per-half extremum broadcast without a tiled copy.
+                    btS = seg_best(tS)
+                    bt = pick_best(btS[:levels], btS[levels:])
+                    if not (bt != empty).any():
+                        continue
+                    gS = groupS[:, src]
+                    tS3 = tS.reshape(2, levels, m)
+                    pos = np.where(tS3 == bt[:, eseg][None], slots,
+                                   sentinel).reshape(2 * levels, m)
+                    first = seg_min(pos)
+                    idx = np.minimum(first, sentinel - 1)
+                    gw = np.take_along_axis(gS, idx, axis=1)
+                    fa, fb = first[:levels], first[levels:]
+                    gaw, gbw = gw[:levels], gw[levels:]
+                    useb = (fb < fa) | ((fb == fa) & (gbw < gaw))
+                    bf = src32[np.where(useb, idx[levels:], idx[:levels])]
+                    bg = np.where(useb, gbw, gaw)
+                    # Batch fallback: most pessimistic slot in a group
+                    # different from the batch best's.
+                    t2S = np.where(gS.reshape(2, levels, m)
+                                   != bg[:, eseg][None],
+                                   tS3, empty).reshape(2 * levels, m)
+                    ftS = seg_best(t2S)
+                    ft = pick_best(ftS[:levels], ftS[levels:])
+                    if not (ft != empty).any():
+                        # No segment produced a different-group
+                        # fallback anywhere: skip the argmin recovery.
+                        _combine_dual_batched(
+                            state, levels, empty, is_setup,
+                            b.seg_dst, bt, bf, bg,
+                            empty, NO_NODE, NO_GROUP, virgin)
+                        continue
+                    pos = np.where(t2S.reshape(2, levels, m)
+                                   == ft[:, eseg][None], slots,
+                                   sentinel).reshape(2 * levels, m)
+                    first = seg_min(pos)
+                    idx = np.minimum(first, sentinel - 1)
+                    gw = np.take_along_axis(gS, idx, axis=1)
+                    fa, fb = first[:levels], first[levels:]
+                    gaw, gbw = gw[:levels], gw[levels:]
+                    useb = (fb < fa) | ((fb == fa) & (gbw < gaw))
+                    has_fb = ft != empty
+                    fallback_f = np.where(
+                        has_fb,
+                        src32[np.where(useb, idx[levels:], idx[:levels])],
+                        NO_NODE)
+                    fallback_g = np.where(
+                        has_fb, np.where(useb, gbw, gaw), NO_GROUP)
+                    _combine_dual_batched(state, levels, empty, is_setup,
+                                          b.seg_dst, bt, bf, bg,
+                                          ft, fallback_f, fallback_g,
+                                          virgin)
+
+        with _obs.span("deviation_costs"):
+            with np.errstate(invalid="ignore"):
+                if is_setup:
+                    cost0 = time0[:, core.fanin_dst]
+                    np.subtract(cost0, time0[:, core.fanin_src],
+                                out=cost0)
+                    np.subtract(cost0, core.fanin_late, out=cost0)
+                    delay_list = core.fanin_late_list
+                else:
+                    cost0 = time0[:, core.fanin_src]
+                    np.add(cost0, core.fanin_early, out=cost0)
+                    np.subtract(cost0, time0[:, core.fanin_dst],
+                                out=cost0)
+                    delay_list = core.fanin_early_list
+            # Any non-finite cost (unreached endpoint, or inf - inf =
+            # nan) means "no deviation here": collapse them all to +inf
+            # in one in-place pass.
+            np.nan_to_num(cost0, copy=False,
+                          nan=_INF, posinf=_INF, neginf=_INF)
+
+    col = _obs.ACTIVE
+    if col is not None:
+        visited = (time0 != empty).sum(axis=1)
+        col.add("batched.builds")
+        col.add("batched.levels", num_levels)
+        col.add("propagation.seeds", num_seeds)
+        col.add("propagation.pins_visited", int(visited.sum()))
+        for level in range(num_levels):
+            col.add(f"batched.seeds.level[{level}]",
+                    int(seed_counts[level]))
+            col.add(f"batched.pins_visited.level[{level}]",
+                    int(visited[level]))
+
+    return BatchedLevels(mode, num_levels, groupings,
+                         seed_counts.tolist(),
+                         time0, from0, group0, time1, from1, group1,
+                         cost0, core.fanin_ptr_list, core.fanin_src_list,
+                         delay_list)

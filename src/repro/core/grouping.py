@@ -8,6 +8,13 @@ clock tree's binary-lifting table is flattened into a ``(log D, n)``
 numpy matrix once per tree (cached on it), and one ancestor lookup per
 level is ``log D`` fancy-indexing steps over the whole leaf set.
 
+:func:`group_matrix` goes one step further for the batched level sweep
+(:mod:`repro.core.batched`): every level's grouping column at once as
+one ``(D, n_ff)`` matrix, from a single bottom-up parent walk over all
+leaves — each leaf's full ancestor chain is materialized once, so the
+per-level rows are plain row reads instead of ``D`` separate lifting
+walks.
+
 Results are integer tree-node ids and exact float credits — identical
 to the scalar path, which the equivalence suite asserts.
 """
@@ -18,7 +25,7 @@ import numpy as np
 
 from repro.circuit.clocktree import ClockTree
 
-__all__ = ["group_for_level_array", "tree_lift"]
+__all__ = ["group_for_level_array", "group_matrix", "tree_lift"]
 
 
 class _TreeLift:
@@ -81,3 +88,51 @@ def group_for_level_array(tree: ClockTree, level: int,
         offset[ffs] = lift.credits[
             _ancestors_at_depth(lift, nodes, depths, level)]
     return LevelGrouping(level, group.tolist(), offset.tolist())
+
+
+def group_matrix(tree: ClockTree,
+                 num_ffs: int) -> tuple[np.ndarray, np.ndarray]:
+    """All ``D`` grouping columns at once: ``(group, offset)`` matrices.
+
+    Row ``d`` of the ``(D, num_ffs)`` result holds exactly what
+    :func:`group_for_level_array` computes for level ``d``: the
+    ``f_{d+1}`` group node id (``-1`` for non-participants) and the
+    ``credit(f_d)`` launch offset (``0.0`` for non-participants).
+
+    Instead of ``D`` binary-lifting walks, one bottom-up parent walk
+    materializes every leaf's full ancestor chain (``anc[d, j]`` = the
+    depth-``d`` ancestor of leaf ``j``) in ``O(max_depth)`` vectorized
+    steps; each level's row is then two fancy-indexed reads.  Group ids
+    are exact integers and offsets exact credit floats, so the rows are
+    bit-for-bit the per-level results.
+    """
+    lift = tree_lift(tree)
+    num_levels = tree.num_levels
+    gm = np.full((num_levels, num_ffs), -1, dtype=np.int64)
+    om = np.zeros((num_levels, num_ffs), dtype=np.float64)
+    num_leaves = len(lift.leaf_nodes)
+    if num_levels == 0 or num_leaves == 0:
+        return gm, om
+
+    max_depth = int(lift.leaf_depths.max())
+    anc = np.full((max_depth + 1, num_leaves), -1, dtype=np.int64)
+    parent = lift.up[0]
+    cur = lift.leaf_nodes.copy()
+    depth = lift.leaf_depths.copy()
+    cols = np.arange(num_leaves)
+    while True:
+        active = depth >= 0
+        if not active.any():
+            break
+        anc[depth[active], cols[active]] = cur[active]
+        cur[active] = parent[cur[active]]
+        depth -= 1
+
+    for level in range(num_levels):
+        mask = lift.leaf_depths > level
+        if not mask.any():
+            continue
+        ffs = lift.leaf_ffs[mask]
+        gm[level, ffs] = anc[level + 1, mask]
+        om[level, ffs] = lift.credits[anc[level, mask]]
+    return gm, om

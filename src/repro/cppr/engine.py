@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
-from repro.core import resolve_backend
+from repro.core import resolve_backend, resolve_batch_levels
 from repro.cppr.level_paths import paths_at_level
 from repro.cppr.output_paths import output_paths
 from repro.cppr.parallel import available_executors, run_tasks
@@ -64,6 +64,15 @@ class CpprOptions:
         importable and falls back to ``"scalar"`` otherwise; requesting
         ``"array"`` without numpy raises at engine construction.  Both
         backends produce identical reports.
+    batch_levels:
+        ``"auto"``, ``"on"`` or ``"off"`` — whether the ``D`` per-level
+        forward propagations run as one ``(D, n)`` batched sweep
+        (:mod:`repro.core.batched`) instead of ``D`` independent
+        passes.  ``"auto"`` batches exactly when the array backend is
+        in use; ``"on"`` without numpy raises the same ``repro[fast]``
+        ``ImportError`` as ``backend="array"``, and combined with an
+        explicit ``backend="scalar"`` raises at construction.  Batching
+        never changes reports — it is the same computation, row-wise.
     """
 
     executor: str = "serial"
@@ -73,16 +82,17 @@ class CpprOptions:
     include_output_tests: bool = False
     heap_capacity: int | None = None
     backend: str = "auto"
+    batch_levels: str = "auto"
 
 
 def _run_family(analyzer: TimingAnalyzer, task: tuple, k: int,
                 mode: AnalysisMode, heap_capacity: int | None,
-                backend: str) -> list[TimingPath]:
+                backend: str, batch=None) -> list[TimingPath]:
     """Dispatch one candidate-generation pass (module-level for pickling)."""
     kind = task[0]
     if kind == "level":
         return paths_at_level(analyzer, task[1], k, mode, heap_capacity,
-                              backend)
+                              backend, batch)
     if kind == "self_loop":
         return self_loop_paths(analyzer, k, mode, heap_capacity, backend)
     if kind == "primary_input":
@@ -93,13 +103,14 @@ def _run_family(analyzer: TimingAnalyzer, task: tuple, k: int,
     raise AnalysisError(f"unknown candidate family task {task!r}")
 
 
-def _validate_options(options: CpprOptions) -> str:
+def _validate_options(options: CpprOptions) -> tuple[str, bool]:
     """Reject bad executor/worker/backend settings at construction time.
 
     Failing here — with the list of valid values — beats the obscure
     failure the same mistake used to produce deep inside
     :func:`repro.cppr.parallel.run_tasks` on the first query.  Returns
-    the resolved concrete backend (``"scalar"`` or ``"array"``).
+    the resolved concrete backend (``"scalar"`` or ``"array"``) and
+    whether the per-level passes share one batched sweep.
     """
     valid = available_executors()
     if options.executor not in valid:
@@ -108,6 +119,7 @@ def _validate_options(options: CpprOptions) -> str:
             f"this platform: {', '.join(valid)}")
     try:
         backend = resolve_backend(options.backend)
+        batched = resolve_batch_levels(options.batch_levels, backend)
     except ValueError as exc:
         raise AnalysisError(str(exc)) from None
     workers = options.workers
@@ -120,7 +132,7 @@ def _validate_options(options: CpprOptions) -> str:
             raise AnalysisError(
                 f"workers must be at least 1 (or None for automatic), "
                 f"got {workers}")
-    return backend
+    return backend, batched
 
 
 class CpprEngine:
@@ -137,15 +149,32 @@ class CpprEngine:
                  options: CpprOptions | None = None) -> None:
         self.analyzer = analyzer
         self.options = options or CpprOptions()
-        #: The concrete backend ``"auto"`` resolved to at construction.
-        self.backend: str = _validate_options(self.options)
+        #: The concrete backend ``"auto"`` resolved to at construction,
+        #: and whether per-level passes share one batched sweep.
+        self.backend, self.batched = _validate_options(self.options)
         #: Profile of the most recent collected query, or ``None``.
         self.last_profile: Profile | None = None
+        #: Memoized last top-paths result: ``(mode, k, paths)``.
+        self._topk_cache: tuple[AnalysisMode, int,
+                                tuple[TimingPath, ...]] | None = None
 
     def with_options(self, **changes) -> "CpprEngine":
-        """A new engine sharing the analyzer with updated options."""
+        """A new engine sharing the analyzer with updated options.
+
+        The new engine starts with an empty memoized-query cache: any
+        option can change which paths a query returns or how it runs,
+        so results never carry over.
+        """
         return CpprEngine(self.analyzer,
                           replace(self.options, **changes))
+
+    def clear_cache(self) -> None:
+        """Drop the memoized top-paths result.
+
+        Benchmarks call this between repeated measurements of the same
+        query so each run does the full analysis.
+        """
+        self._topk_cache = None
 
     # ------------------------------------------------------------------
     # Candidate generation (Algorithm 1 lines 1-5)
@@ -182,10 +211,19 @@ class CpprEngine:
             from repro.core.grouping import tree_lift
             get_core(self.analyzer.graph)
             tree_lift(self.analyzer.clock_tree)
-        args = [(self.analyzer, task, k, mode, self.options.heap_capacity,
-                 self.backend)
-                for task in self._tasks()]
         with _obs.span("candidates"):
+            # One (D x n) sweep replaces the D per-level propagations;
+            # it runs in this process before the pool starts, so thread
+            # and forked workers inherit the shared matrices for free
+            # and parallelize the per-level deviation searches.
+            batch = None
+            if self.batched and self.analyzer.clock_tree.num_levels > 0:
+                from repro.core.batched import propagate_dual_batched
+                batch = propagate_dual_batched(self.analyzer.graph, mode)
+            args = [(self.analyzer, task, k, mode,
+                     self.options.heap_capacity, self.backend,
+                     batch if task[0] == "level" else None)
+                    for task in self._tasks()]
             results = run_tasks(_run_family, args,
                                 executor=self.options.executor,
                                 workers=self.options.workers)
@@ -199,13 +237,31 @@ class CpprEngine:
 
         Each returned path's ``slack`` is the exact post-CPPR slack of
         Equation (2) and its ``credit`` the removed pessimism.
+
+        The last result is memoized per ``(k, mode)``: repeating the
+        query — or asking for a smaller ``k`` in the same mode, the
+        ``worst_path`` / ``top_slacks`` / ``report`` after ``top_paths``
+        pattern — serves a prefix of the cached list instead of
+        redoing the analysis (candidate generation and selection are
+        deterministic, so the top-``k`` is a prefix of the top-``k'``
+        for ``k <= k'``).  The cache is skipped whenever a collector is
+        active, so profiled runs always measure real work.
         """
+        if k < 1:
+            raise AnalysisError(f"k must be at least 1, got {k}")
+        mode = AnalysisMode.coerce(mode)
         col = _obs.ACTIVE
+        if col is None:
+            cached = self._topk_cache
+            if (cached is not None and cached[0] == mode
+                    and cached[1] >= k):
+                return list(cached[2][:k])
         with _obs.span("top_paths"):
             candidates = self.candidate_paths(k, mode)
             selected = select_top_paths(self.analyzer, candidates, k)
         if col is not None:
             self.last_profile = col.profile()
+        self._topk_cache = (mode, k, tuple(selected))
         return selected
 
     def profiled_top_paths(self, k: int, mode: AnalysisMode | str
@@ -229,3 +285,18 @@ class CpprEngine:
         """The single most critical post-CPPR path, or ``None``."""
         paths = self.top_paths(1, mode)
         return paths[0] if paths else None
+
+    def report(self, k: int, mode: AnalysisMode | str,
+               title: str | None = None) -> str:
+        """The human-readable report of :meth:`top_paths`.
+
+        Reuses the memoized result when :meth:`top_paths` already ran
+        for this ``(k, mode)`` (or a larger ``k``, same mode).
+        """
+        from repro.cppr.report import format_path_report
+
+        mode = AnalysisMode.coerce(mode)
+        paths = self.top_paths(k, mode)
+        if title is None:
+            title = f"Top-{k} post-CPPR {mode.value} paths"
+        return format_path_report(self.analyzer, paths, title=title)

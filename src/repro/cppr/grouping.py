@@ -54,22 +54,33 @@ def group_for_level(tree: ClockTree, level: int, num_ffs: int,
                     backend: str = "scalar") -> LevelGrouping:
     """Build the :class:`LevelGrouping` for clock-tree level ``level``.
 
-    Costs ``O(#FF log D)`` via binary lifting; called once per level.
-    ``backend="array"`` answers the same ancestor/credit lookups for
-    all leaves at once over the numpy lifting table
-    (:mod:`repro.core.grouping`); the results are identical.
+    Costs ``O(#FF log D)`` via binary lifting; results are memoized on
+    the (immutable) tree keyed by ``(level, backend)``, so repeated
+    queries — every mode, every ``k``, every engine sharing the
+    analyzer — reuse the same grouping columns.  ``backend="array"``
+    answers the same ancestor/credit lookups for all leaves at once
+    over the numpy lifting table (:mod:`repro.core.grouping`); the
+    results are identical (the batched sweep pre-populates the
+    ``"array"`` entries from its one-shot grouping matrix).
     """
+    key = (level, backend)
+    cached = tree._group_cache.get(key)
+    if cached is not None:
+        return cached
     if backend == "array":
         from repro.core.grouping import group_for_level_array
-        return group_for_level_array(tree, level, num_ffs)
-    if level < 0:
-        raise ValueError(f"level must be non-negative, got {level}")
-    group = [-1] * num_ffs
-    offset = [0.0] * num_ffs
-    for node in tree.leaves():
-        ff = tree.ff_of_node[node]
-        if tree.depth(node) <= level:
-            continue
-        group[ff] = tree.ancestor_at_depth(node, level + 1)
-        offset[ff] = tree.credit(tree.ancestor_at_depth(node, level))
-    return LevelGrouping(level, group, offset)
+        result = group_for_level_array(tree, level, num_ffs)
+    else:
+        if level < 0:
+            raise ValueError(f"level must be non-negative, got {level}")
+        group = [-1] * num_ffs
+        offset = [0.0] * num_ffs
+        for node in tree.leaves():
+            ff = tree.ff_of_node[node]
+            if tree.depth(node) <= level:
+                continue
+            group[ff] = tree.ancestor_at_depth(node, level + 1)
+            offset[ff] = tree.credit(tree.ancestor_at_depth(node, level))
+        result = LevelGrouping(level, group, offset)
+    tree._group_cache[key] = result
+    return result

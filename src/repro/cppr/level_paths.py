@@ -27,46 +27,61 @@ __all__ = ["paths_at_level"]
 def paths_at_level(analyzer: TimingAnalyzer, level: int, k: int,
                    mode: AnalysisMode | str,
                    heap_capacity: int | None = None,
-                   backend: str = "scalar") -> list[TimingPath]:
+                   backend: str = "scalar",
+                   batch=None) -> list[TimingPath]:
     """Top-``k`` level-``level`` path candidates, best slack first.
 
     Runs one grouped forward pass (``O(n)``) plus the deviation search
     (``O(k log k)`` heap work along paths), matching the per-level cost in
     the paper's complexity theorem.  ``backend`` selects the scalar or
     array substrate for the pass (see :mod:`repro.core`); results are
-    identical.
+    identical.  When ``batch`` carries a pre-computed
+    :class:`~repro.core.batched.BatchedLevels` sweep for this mode, the
+    pass consumes its level slice instead of propagating — only the
+    deviation search runs here, which is what lets the engine's
+    executors still parallelize the searches.
     """
     with _obs.span("level", level):
         return _paths_at_level(analyzer, level, k, mode, heap_capacity,
-                               backend)
+                               backend, batch)
 
 
 def _paths_at_level(analyzer: TimingAnalyzer, level: int, k: int,
                     mode: AnalysisMode | str, heap_capacity: int | None,
-                    backend: str) -> list[TimingPath]:
+                    backend: str, batch=None) -> list[TimingPath]:
     mode = AnalysisMode.coerce(mode)
     graph = analyzer.graph
     tree = graph.clock_tree
     clock_period = analyzer.constraints.clock_period
-    grouping = group_for_level(tree, level, graph.num_ffs, backend)
 
-    seeds = []
-    for ff in graph.ffs:
-        if not grouping.participates(ff.index):
-            continue
-        node = ff.tree_node
-        offset = grouping.launch_offset[ff.index]
-        if mode.is_setup:
-            q_at = tree.at_late(node) + ff.clk_to_q_late - offset
-        else:
-            q_at = tree.at_early(node) + ff.clk_to_q_early + offset
-        seeds.append(Seed(ff.q_pin, q_at, ff.ck_pin,
-                          grouping.group[ff.index]))
+    if batch is not None:
+        grouping = batch.grouping(level)
+        if not batch.num_seeds(level):
+            # Mirrors the empty-seed early return below: a standalone
+            # pass would not have propagated either.
+            return []
+        with _obs.span("propagate.slice"):
+            arrays = batch.arrays(level)
+    else:
+        grouping = group_for_level(tree, level, graph.num_ffs, backend)
 
-    if not seeds:
-        return []
-    with _obs.span("propagate"):
-        arrays = propagate_dual(graph, mode, seeds, backend)
+        seeds = []
+        for ff in graph.ffs:
+            if not grouping.participates(ff.index):
+                continue
+            node = ff.tree_node
+            offset = grouping.launch_offset[ff.index]
+            if mode.is_setup:
+                q_at = tree.at_late(node) + ff.clk_to_q_late - offset
+            else:
+                q_at = tree.at_early(node) + ff.clk_to_q_early + offset
+            seeds.append(Seed(ff.q_pin, q_at, ff.ck_pin,
+                              grouping.group[ff.index]))
+
+        if not seeds:
+            return []
+        with _obs.span("propagate"):
+            arrays = propagate_dual(graph, mode, seeds, backend)
 
     capture_seeds = []
     for ff in graph.ffs:

@@ -20,13 +20,22 @@ Both come in two interchangeable **backends** selected by the
   :mod:`repro.core.arrays`, which also precomputes the deviation-cost
   columns the top-k search consumes.
 
-The two backends agree **exactly** (same times, same ``from`` pointers,
-same groups) because both implement the shared tie-breaking contract:
+A third producer exists for the dual arrays only:
+:func:`repro.core.batched.propagate_dual_batched` runs **all** ``D``
+per-level grouped passes as one sweep over ``(D, n)`` state matrices
+and serves each level back as a :class:`DualArrivalArrays` slice
+(``CpprOptions.batch_levels``).  It is not a separate semantics —
+row ``d`` of the batched state is bit-for-bit the level-``d`` array
+pass — which is why consumers never need to know which of the three
+producers built their arrays.
+
+All producers agree **exactly** (same times, same ``from`` pointers,
+same groups) because all implement the shared tie-breaking contract:
 among candidates with equal arrival time, the smaller ``from``-pin id
 wins, then the smaller group id.  The scalar implementation spells the
-rule out per offer; the array implementation gets it from one
-``np.lexsort`` per level.  :class:`repro.cppr.tuples.DualArrival` is
-the readable per-pin reference both are tested against.
+rule out per offer; the array implementations get it from the
+pre-sorted level buckets.  :class:`repro.cppr.tuples.DualArrival` is
+the readable per-pin reference all are tested against.
 
 Both store tuples in parallel arrays rather than per-pin objects: the
 per-level passes dominate the engine's runtime, and flat lists of floats
@@ -70,9 +79,14 @@ class Seed:
 class DualArrivalArrays:
     """Array-of-fields storage for the dual tuples of Table II.
 
-    ``fast`` optionally carries the precomputed deviation-cost columns
-    (:class:`repro.core.propagate.FastDeviation`) when the array backend
-    produced this instance; the scalar backend leaves it ``None``.
+    Three producers build these: the scalar loop below, the array
+    backend's level-wise pass, and the batched sweep's per-level
+    slices (:meth:`repro.core.batched.BatchedLevels.arrays`) — all
+    bit-for-bit identical.  ``fast`` optionally carries the
+    precomputed deviation-cost columns
+    (:class:`repro.core.propagate.FastDeviation`) when an array-based
+    producer built this instance; the scalar backend leaves it
+    ``None``.
     """
 
     mode: AnalysisMode

@@ -1,0 +1,130 @@
+"""Raw per-level equality: the batched sweep's rows vs standalone passes.
+
+Every row of the batched state must be *bit-for-bit* what the per-level
+array sweep produces — same IEEE-754 arrival values, same from-pointers
+and group ids, same deviation-cost column — because the deviation search
+consumes either interchangeably and the engine promises identical
+reports either way.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+np = pytest.importorskip("numpy", exc_type=ImportError)
+
+from repro.core.batched import propagate_dual_batched
+from repro.cppr.grouping import group_for_level
+from repro.cppr.propagation import Seed, propagate_dual
+from repro.obs import collecting
+from repro.sta.modes import AnalysisMode
+from tests.helpers import demo_design, random_small
+
+MODES = list(AnalysisMode)
+DESIGN_SEEDS = [0, 7, 23, 101]
+
+
+def _reference_pass(graph, level, mode):
+    """One standalone level pass, exactly as ``level_paths`` runs it."""
+    tree = graph.clock_tree
+    grouping = group_for_level(tree, level, graph.num_ffs, "array")
+    seeds = []
+    for ff in graph.ffs:
+        if not grouping.participates(ff.index):
+            continue
+        node = ff.tree_node
+        offset = grouping.launch_offset[ff.index]
+        if mode.is_setup:
+            q_at = tree.at_late(node) + ff.clk_to_q_late - offset
+        else:
+            q_at = tree.at_early(node) + ff.clk_to_q_early + offset
+        seeds.append(Seed(ff.q_pin, q_at, ff.ck_pin,
+                          grouping.group[ff.index]))
+    if not seeds:
+        return grouping, None
+    return grouping, propagate_dual(graph, mode, seeds, "array")
+
+
+def _assert_row_equal(got, ref):
+    # Primary columns are eager lists; exact (bitwise) equality.
+    assert got.time0 == ref.time0
+    assert got.from0 == ref.from0
+    assert got.group0 == ref.group0
+    # Fallback columns are lazy views; every element must still match.
+    assert list(got.time1) == list(ref.time1)
+    assert list(got.from1) == list(ref.from1)
+    assert list(got.group1) == list(ref.group1)
+    # The precomputed deviation machinery: shared CSR, equal costs.
+    assert got.fast.ptr == ref.fast.ptr
+    assert got.fast.src == ref.fast.src
+    assert got.fast.delay == ref.fast.delay
+    assert got.fast.cost0 == ref.fast.cost0
+
+
+@pytest.mark.parametrize("mode", MODES)
+@pytest.mark.parametrize("design_seed", DESIGN_SEEDS)
+def test_rows_match_standalone_passes(design_seed, mode):
+    graph, _constraints = random_small(design_seed)
+    batch = propagate_dual_batched(graph, mode)
+    tree = graph.clock_tree
+    assert batch.num_levels == tree.num_levels
+    for level in range(tree.num_levels):
+        grouping, ref = _reference_pass(graph, level, mode)
+        if ref is None:
+            assert batch.num_seeds(level) == 0
+            continue
+        assert batch.num_seeds(level) > 0
+        _assert_row_equal(batch.arrays(level), ref)
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_layered_design_rows_match(mode):
+    graph, _constraints = random_small(5, layers=3, channels=2,
+                                       num_gates=18)
+    batch = propagate_dual_batched(graph, mode)
+    for level in range(graph.clock_tree.num_levels):
+        _grouping, ref = _reference_pass(graph, level, mode)
+        if ref is not None:
+            _assert_row_equal(batch.arrays(level), ref)
+
+
+def test_groupings_match_scalar_reference():
+    graph, _constraints = demo_design()
+    tree = graph.clock_tree
+    batch = propagate_dual_batched(graph, AnalysisMode.SETUP)
+    for level in range(tree.num_levels):
+        got = batch.grouping(level)
+        want = group_for_level(tree, level, graph.num_ffs, "scalar")
+        assert got.level == want.level == level
+        assert list(got.group) == list(want.group)
+        assert list(got.launch_offset) == list(want.launch_offset)
+
+
+def test_grouping_cache_prepopulated():
+    # The batch's one-shot grouping matrix must land in the clock tree's
+    # (level, backend) memo so later per-level lookups are cache hits.
+    graph, _constraints = demo_design()
+    tree = graph.clock_tree
+    batch = propagate_dual_batched(graph, AnalysisMode.SETUP)
+    for level in range(tree.num_levels):
+        assert tree._group_cache[(level, "array")] is batch.grouping(level)
+
+
+def test_counters_cover_every_level():
+    graph, _constraints = demo_design()
+    num_levels = graph.clock_tree.num_levels
+    with collecting() as col:
+        propagate_dual_batched(graph, AnalysisMode.SETUP)
+    profile = col.profile()
+    assert profile.counter("batched.builds") == 1
+    assert profile.counter("batched.levels") == num_levels
+    seeds = [profile.counter(f"batched.seeds.level[{d}]")
+             for d in range(num_levels)]
+    visited = [profile.counter(f"batched.pins_visited.level[{d}]")
+               for d in range(num_levels)]
+    # The totals the D separate passes would have emitted.
+    assert profile.counter("propagation.seeds") == sum(seeds)
+    assert profile.counter("propagation.pins_visited") == sum(visited)
+    # A level with no seeds visits no pins, and vice versa.
+    for s, v in zip(seeds, visited):
+        assert (s == 0) == (v == 0)

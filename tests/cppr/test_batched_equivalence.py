@@ -1,0 +1,132 @@
+"""Engine-level equivalence: batched vs per-level sweeps.
+
+The batched sweep shares one IEEE-754 operation sequence with the
+per-level array passes, so its reports must be *exactly* equal to the
+``batch_levels="off"`` array backend — identical pin sequences and
+bitwise-equal slacks, not merely close — and within the usual 1e-12 of
+the scalar reference.  This is the contract that lets ``batch_levels``
+default to ``"auto"``.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+pytest.importorskip("numpy", exc_type=ImportError)
+
+from repro import CpprEngine
+from repro.sta.modes import AnalysisMode
+from repro.sta.timing import TimingAnalyzer
+from tests.helpers import demo_design, random_small
+
+MODES = list(AnalysisMode)
+SLACK_TOL = 1e-12
+
+#: Counters that measure algorithmic work the batch must not change.
+PARITY_COUNTERS = (
+    "propagation.seeds", "propagation.pins_visited",
+    "deviation.seeds", "deviation.edges_explored",
+    "deviation.edges_generated", "deviation.paths_reported",
+    "candidates.produced.level", "select.considered", "select.selected",
+)
+
+
+def _assert_bitwise_same(got, want):
+    assert len(got) == len(want)
+    for i, (a, b) in enumerate(zip(got, want)):
+        assert a.slack == b.slack, f"path {i}: slack differs"
+        assert a.pins == b.pins, f"path {i}: pin sequences differ"
+        assert a.family == b.family, f"path {i}"
+        assert a.credit == b.credit, f"path {i}"
+        assert a.level == b.level, f"path {i}"
+
+
+def _assert_close_same(got, want):
+    assert len(got) == len(want)
+    for i, (a, b) in enumerate(zip(got, want)):
+        assert abs(a.slack - b.slack) <= SLACK_TOL, f"path {i}"
+        assert a.pins == b.pins, f"path {i}: pin sequences differ"
+
+
+def _engine(analyzer, batch_levels, **options):
+    return CpprEngine(analyzer).with_options(
+        backend="array", batch_levels=batch_levels, **options)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000),
+       st.sampled_from(MODES),
+       st.integers(min_value=1, max_value=25))
+def test_engine_reports_identical(design_seed, mode, k):
+    graph, constraints = random_small(design_seed)
+    analyzer = TimingAnalyzer(graph, constraints)
+    batched = _engine(analyzer, "on").top_paths(k, mode)
+    nobatch = _engine(analyzer, "off").top_paths(k, mode)
+    scalar = CpprEngine(analyzer).with_options(
+        backend="scalar").top_paths(k, mode)
+    _assert_bitwise_same(batched, nobatch)
+    _assert_close_same(batched, scalar)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000),
+       st.sampled_from(MODES))
+def test_layered_designs_identical(design_seed, mode):
+    graph, constraints = random_small(design_seed, layers=3, channels=2,
+                                      num_gates=18)
+    analyzer = TimingAnalyzer(graph, constraints)
+    _assert_bitwise_same(_engine(analyzer, "on").top_paths(15, mode),
+                         _engine(analyzer, "off").top_paths(15, mode))
+
+
+@pytest.mark.parametrize("mode", MODES)
+@pytest.mark.parametrize("heap_capacity", [None, 8])
+def test_heap_capacity_composes(mode, heap_capacity):
+    graph, constraints = random_small(13)
+    analyzer = TimingAnalyzer(graph, constraints)
+    _assert_bitwise_same(
+        _engine(analyzer, "on", heap_capacity=heap_capacity)
+        .top_paths(8, mode),
+        _engine(analyzer, "off", heap_capacity=heap_capacity)
+        .top_paths(8, mode))
+
+
+@pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+def test_executors_compose(executor):
+    # The batch is built in the parent before the pool starts; workers
+    # must consume the shared matrices without re-propagating.
+    from repro.cppr.parallel import available_executors
+    if executor not in available_executors():
+        pytest.skip(f"executor {executor} unavailable here")
+    graph, constraints = random_small(11)
+    analyzer = TimingAnalyzer(graph, constraints)
+    reference = _engine(analyzer, "off").top_paths(10, "setup")
+    got = _engine(analyzer, "on", executor=executor).top_paths(10, "setup")
+    _assert_bitwise_same(got, reference)
+
+
+def test_demo_design_identical_all_k():
+    graph, constraints = demo_design()
+    analyzer = TimingAnalyzer(graph, constraints)
+    for mode in MODES:
+        for k in (1, 3, 10, 50):
+            _assert_bitwise_same(
+                _engine(analyzer, "on").top_paths(k, mode),
+                _engine(analyzer, "off").top_paths(k, mode))
+
+
+def test_counter_parity():
+    # Batching changes *where* propagation work happens, not how much:
+    # the algorithmic counters agree with the per-level sweeps, and the
+    # batched run additionally reports its own build accounting.
+    graph, constraints = demo_design()
+    analyzer = TimingAnalyzer(graph, constraints)
+    _paths, on = _engine(analyzer, "on").profiled_top_paths(10, "setup")
+    _paths, off = _engine(analyzer, "off").profiled_top_paths(10, "setup")
+    for name in PARITY_COUNTERS:
+        assert on.counter(name) == off.counter(name), name
+    assert on.counter("batched.builds") == 1
+    assert on.counter("batched.levels") == graph.clock_tree.num_levels
+    assert off.counter("batched.builds") == 0
+    assert on.span_seconds("propagate.batched") > 0.0

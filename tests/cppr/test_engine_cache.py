@@ -1,0 +1,101 @@
+"""The engine's memoized last query — when it serves and when it must not.
+
+``CpprEngine.top_paths`` keeps its last ``(mode, k)`` result; repeating
+the query, or asking for a *smaller* ``k`` in the same mode (the
+``worst_path`` / ``top_slacks`` / ``report`` after ``top_paths``
+pattern), must replay the memo without re-running candidate generation.
+Anything that can change the answer — a larger ``k``, the other mode,
+new options — must recompute, and profiled runs must always measure
+real work.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CpprEngine
+from repro.sta.timing import TimingAnalyzer
+from tests.helpers import random_small
+
+
+def _counting_engine(seed: int = 3):
+    graph, constraints = random_small(seed, num_ffs=10, num_gates=24)
+    engine = CpprEngine(TimingAnalyzer(graph, constraints))
+    calls = {"n": 0}
+    original = engine.candidate_paths
+
+    def counting(k, mode):
+        calls["n"] += 1
+        return original(k, mode)
+
+    engine.candidate_paths = counting
+    return engine, calls
+
+
+def test_repeat_query_served_from_memo():
+    engine, calls = _counting_engine()
+    first = engine.top_paths(5, "setup")
+    second = engine.top_paths(5, "setup")
+    assert calls["n"] == 1
+    assert first == second
+
+
+def test_smaller_k_is_a_prefix_of_the_memo():
+    engine, calls = _counting_engine()
+    full = engine.top_paths(8, "setup")
+    assert engine.top_paths(3, "setup") == full[:3]
+    assert engine.worst_path("setup") == full[0]
+    assert engine.top_slacks(5, "setup") == [p.slack for p in full[:5]]
+    engine.report(4, "setup")
+    assert calls["n"] == 1
+
+
+def test_larger_k_recomputes():
+    engine, calls = _counting_engine()
+    engine.top_paths(3, "setup")
+    engine.top_paths(8, "setup")
+    assert calls["n"] == 2
+    # ... and the larger result becomes the new memo.
+    engine.top_paths(5, "setup")
+    assert calls["n"] == 2
+
+
+def test_mode_switch_recomputes():
+    engine, calls = _counting_engine()
+    engine.top_paths(5, "setup")
+    engine.top_paths(5, "hold")
+    assert calls["n"] == 2
+    # Only one entry is kept: coming back to setup recomputes.
+    engine.top_paths(5, "setup")
+    assert calls["n"] == 3
+
+
+def test_clear_cache_forces_recompute():
+    engine, calls = _counting_engine()
+    engine.top_paths(5, "setup")
+    engine.clear_cache()
+    engine.top_paths(5, "setup")
+    assert calls["n"] == 2
+
+
+def test_profiled_runs_bypass_the_memo():
+    engine, calls = _counting_engine()
+    engine.top_paths(5, "setup")
+    _paths, profile = engine.profiled_top_paths(5, "setup")
+    assert calls["n"] == 2
+    assert profile.counter("propagation.seeds") > 0
+
+
+def test_with_options_starts_cold():
+    engine, calls = _counting_engine()
+    warm = engine.top_paths(5, "setup")
+    clone = engine.with_options(heap_capacity=1_000)
+    assert clone.top_paths(5, "setup") == warm
+    assert calls["n"] == 1  # the clone's run used its own (uncounted) method
+
+
+def test_invalid_k_still_rejected():
+    engine, _calls = _counting_engine()
+    from repro.exceptions import AnalysisError
+    with pytest.raises(AnalysisError, match="k must be at least 1"):
+        engine.top_paths(0, "setup")
