@@ -62,6 +62,11 @@ def make_timer(name: str, analyzer: TimingAnalyzer, workers: int = 8):
     if name == "ours-nobatch":
         return CpprEngine(analyzer, CpprOptions(backend="array",
                                                 batch_levels="off"))
+    if name == "ours-raw":
+        # Resilience disabled (no retries => the scheduler's bare-loop
+        # fast path): the pre-fault-tolerance dispatch, kept as the
+        # baseline for the faults overhead step.
+        return CpprEngine(analyzer, CpprOptions(max_retries=0))
     if name == "ours-mt":
         return CpprEngine(analyzer, CpprOptions(executor="process",
                                                 workers=workers))

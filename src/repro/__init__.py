@@ -29,6 +29,7 @@ from repro.cppr import (CpprEngine, CpprOptions, PathFamily, TimingPath,
                         endpoint_paths, format_path, format_path_report,
                         pair_paths)
 from repro.exceptions import (AnalysisError, CircuitStructureError,
+                              DegradedResultWarning, ExecutionError,
                               FormatError, ReproError,
                               TimingConstraintError)
 from repro.io import (load_design, load_design_json, save_design,
@@ -48,6 +49,8 @@ __all__ = [
     "ClockTree",
     "CpprEngine",
     "CpprOptions",
+    "DegradedResultWarning",
+    "ExecutionError",
     "ExhaustiveTimer",
     "FormatError",
     "Netlist",

@@ -50,11 +50,13 @@ _TIMERS = {
 
 
 def _make_timer(name: str, analyzer, backend: str,
-                batch_levels: str = "auto"):
+                batch_levels: str = "auto",
+                resilience: dict | None = None):
     """One timer instance, passing the backend to those that take it."""
     if name == "ours":
         return CpprEngine(analyzer, CpprOptions(backend=backend,
-                                                batch_levels=batch_levels))
+                                                batch_levels=batch_levels,
+                                                **(resilience or {})))
     if name == "pair":
         return PairEnumTimer(analyzer, backend=backend)
     if name == "block":
@@ -90,6 +92,32 @@ def _design_from_args(args):
                                           default_library())
         return design.graph, constraints
     return _load(args.design)
+
+
+def _add_resilience_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--task-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-task wall-clock budget before the "
+                             "scheduler abandons and retries it "
+                             "(default: none)")
+    parser.add_argument("--max-retries", type=int, default=2,
+                        metavar="N",
+                        help="retries per failed task before falling "
+                             "back to a safer executor (default 2)")
+    parser.add_argument("--retry-backoff", type=float, default=0.05,
+                        metavar="SECONDS",
+                        help="base delay between retry waves, doubled "
+                             "each attempt (default 0.05)")
+    parser.add_argument("--strict", action="store_true",
+                        help="fail fast: raise instead of degrading to "
+                             "a safer executor/backend")
+
+
+def _resilience_from_args(args) -> dict:
+    return {"task_timeout": args.task_timeout,
+            "max_retries": args.max_retries,
+            "retry_backoff": args.retry_backoff,
+            "strict": args.strict}
 
 
 def _add_design_arguments(parser: argparse.ArgumentParser) -> None:
@@ -130,17 +158,20 @@ def _cmd_report(args) -> int:
                 raise ReproError(
                     "--pair expects LAUNCH:CAPTURE flip-flop names")
             paths = pair_paths(analyzer, launch, capture, args.k,
-                               args.mode, backend=args.backend)
+                               args.mode, backend=args.backend,
+                               strict=args.strict)
             title = (f"Top-{args.k} post-CPPR {args.mode} paths "
                      f"{launch} -> {capture}")
         elif args.endpoint is not None:
             paths = endpoint_paths(analyzer, args.endpoint, args.k,
-                                   args.mode, backend=args.backend)
+                                   args.mode, backend=args.backend,
+                                   strict=args.strict)
             title = (f"Top-{args.k} post-CPPR {args.mode} paths into "
                      f"{args.endpoint}")
         else:
             engine = CpprEngine(analyzer, CpprOptions(
-                backend=args.backend, batch_levels=args.batch_levels))
+                backend=args.backend, batch_levels=args.batch_levels,
+                **_resilience_from_args(args)))
             paths = engine.top_paths(args.k, args.mode)
             title = f"Top-{args.k} post-CPPR {args.mode} paths"
         return paths, title
@@ -210,7 +241,8 @@ def _cmd_compare(args) -> int:
                 f"unknown timer {name!r}; choose from "
                 f"{sorted(_TIMERS)}")
         timer = _make_timer(name, analyzer, args.backend,
-                            args.batch_levels)
+                            args.batch_levels,
+                            resilience=_resilience_from_args(args))
         if profiling:
             with collecting() as col:
                 result = measure_runtime(
@@ -282,6 +314,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run all per-level propagations as one "
                              "(D x n) batched sweep (array backend "
                              "only; default auto)")
+    _add_resilience_arguments(report)
     report.set_defaults(func=_cmd_report)
 
     generate = sub.add_parser("generate", help="synthesize a design")
@@ -324,6 +357,7 @@ def build_parser() -> argparse.ArgumentParser:
                          default="auto",
                          help="level-batched propagation for the "
                               "'ours' engine (default auto)")
+    _add_resilience_arguments(compare)
     compare.set_defaults(func=_cmd_compare)
 
     return parser

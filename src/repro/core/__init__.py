@@ -47,7 +47,7 @@ except Exception:  # pragma: no cover - exercised by the no-numpy CI job
     HAVE_NUMPY = False
 
 __all__ = ["BACKENDS", "BATCH_LEVELS", "HAVE_NUMPY", "resolve_backend",
-           "resolve_batch_levels", "require_numpy"]
+           "resolve_batch_levels", "require_numpy", "safer_backend"]
 
 #: The values accepted by ``CpprOptions.backend`` and the CLI flag.
 BACKENDS = ("auto", "scalar", "array")
@@ -84,6 +84,25 @@ def resolve_backend(backend: str) -> str:
         return "array"
     raise ValueError(
         f"unknown backend {backend!r}; expected one of {BACKENDS}")
+
+
+def safer_backend(backend: str) -> str | None:
+    """The next rung of the backend degradation ladder, or ``None``.
+
+    ``"array" -> "scalar"`` (the dependency-free reference that computes
+    bit-for-bit the same reports), ``"scalar" -> None`` (there is no
+    safer substrate).  The engine walks this ladder when an array or
+    batched pass dies at runtime — a numpy import vanishing inside a
+    worker, an allocation failure mid-sweep — so a query degrades to a
+    slower-but-identical answer instead of failing.
+    """
+    if backend == "array":
+        return "scalar"
+    if backend == "scalar":
+        return None
+    raise ValueError(
+        f"unknown concrete backend {backend!r}; expected 'scalar' or "
+        f"'array'")
 
 
 def resolve_batch_levels(batch_levels: str, backend: str) -> bool:

@@ -80,6 +80,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import faults
 from repro.circuit.graph import TimingGraph
 from repro.core.arrays import get_core
 from repro.core.grouping import group_matrix
@@ -370,6 +371,7 @@ def propagate_dual_batched(graph: TimingGraph,
                            mode: AnalysisMode) -> BatchedLevels:
     """Run the grouped forward pass for **all** levels in one sweep."""
     mode = AnalysisMode.coerce(mode)
+    faults.check("numpy.import")
     core = get_core(graph)
     tree = graph.clock_tree
     num_levels = tree.num_levels

@@ -56,6 +56,7 @@ from typing import Iterable
 
 import numpy as np
 
+from repro import faults
 from repro.circuit.graph import TimingGraph
 from repro.core.arrays import CoreArrays, get_core
 from repro.cppr.tuples import NO_GROUP, NO_NODE
@@ -218,6 +219,7 @@ def propagate_dual_array(graph: TimingGraph, mode: AnalysisMode,
     """Array-backend grouped forward pass (Algorithm 2 lines 1-13)."""
     from repro.cppr.propagation import DualArrivalArrays
 
+    faults.check("numpy.import")
     core = get_core(graph)
     n = graph.num_pins
     empty = mode.empty_time
@@ -298,6 +300,7 @@ def propagate_single_array(graph: TimingGraph, mode: AnalysisMode,
     """Array-backend ungrouped forward pass (Algorithms 3 and 4)."""
     from repro.cppr.propagation import SingleArrivalArrays
 
+    faults.check("numpy.import")
     core = get_core(graph)
     n = graph.num_pins
     empty = mode.empty_time

@@ -16,9 +16,10 @@ Example::
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, replace
 
-from repro.core import resolve_backend, resolve_batch_levels
+from repro.core import resolve_backend, resolve_batch_levels, safer_backend
 from repro.cppr.level_paths import paths_at_level
 from repro.cppr.output_paths import output_paths
 from repro.cppr.parallel import available_executors, run_tasks
@@ -26,7 +27,8 @@ from repro.cppr.pi_paths import primary_input_paths
 from repro.cppr.select import select_top_paths
 from repro.cppr.selfloop_paths import self_loop_paths
 from repro.cppr.types import TimingPath
-from repro.exceptions import AnalysisError
+from repro.exceptions import (AnalysisError, DegradedResultWarning,
+                              ExecutionError, ReproError)
 from repro.obs import collector as _obs
 from repro.obs.collector import collecting
 from repro.obs.profile import Profile
@@ -73,6 +75,20 @@ class CpprOptions:
         ``ImportError`` as ``backend="array"``, and combined with an
         explicit ``backend="scalar"`` raises at construction.  Batching
         never changes reports — it is the same computation, row-wise.
+    task_timeout:
+        Seconds each pooled per-level task may take before the
+        scheduler declares it hung and re-runs it on a safer executor
+        rung; ``None`` (default) never times out.  Unenforceable under
+        the serial executor, which runs tasks inline.
+    max_retries / retry_backoff:
+        Bounded same-rung re-runs of tasks that raised, sleeping
+        ``retry_backoff * 2**attempt`` seconds between waves.
+    strict:
+        Disable every recovery mechanism — no retries, no executor
+        fallback, no backend degradation — and raise
+        :class:`~repro.exceptions.ExecutionError` on the first fault
+        instead.  For callers that prefer failing fast over a slower
+        (but still exact) degraded answer.
     """
 
     executor: str = "serial"
@@ -83,6 +99,10 @@ class CpprOptions:
     heap_capacity: int | None = None
     backend: str = "auto"
     batch_levels: str = "auto"
+    task_timeout: float | None = None
+    max_retries: int = 2
+    retry_backoff: float = 0.05
+    strict: bool = False
 
 
 def _run_family(analyzer: TimingAnalyzer, task: tuple, k: int,
@@ -101,6 +121,48 @@ def _run_family(analyzer: TimingAnalyzer, task: tuple, k: int,
     if kind == "output":
         return output_paths(analyzer, k, mode, heap_capacity, backend)
     raise AnalysisError(f"unknown candidate family task {task!r}")
+
+
+def _run_family_resilient(analyzer: TimingAnalyzer, task: tuple, k: int,
+                          mode: AnalysisMode, heap_capacity: int | None,
+                          backend: str, batch, strict: bool
+                          ) -> tuple[list[TimingPath], tuple]:
+    """One candidate pass with the backend degradation ladder.
+
+    When a pass dies inside the array substrate (numpy import vanishing
+    in a worker, an allocation failure mid-sweep), the *same* pass is
+    re-run on the next-safer producer — ``batched -> array -> scalar``
+    — each rung of which computes bit-for-bit identical paths.  Returns
+    ``(paths, degradation_events)`` so the engine can surface what
+    happened; deliberate library errors (:class:`ReproError`) and
+    strict mode propagate unchanged.  Module-level for pickling.
+    """
+    events: list[dict] = []
+    attempt_backend, attempt_batch = backend, batch
+    while True:
+        try:
+            paths = _run_family(analyzer, task, k, mode, heap_capacity,
+                                attempt_backend, attempt_batch)
+            return paths, tuple(events)
+        except ReproError:
+            raise
+        except Exception as exc:
+            if strict:
+                raise
+            if attempt_batch is not None:
+                events.append({"event": "degrade.batched",
+                               "task": "/".join(map(str, task)),
+                               "error": repr(exc)})
+                attempt_batch = None
+                continue
+            safer = safer_backend(attempt_backend)
+            if safer is None:
+                raise
+            events.append({"event": "degrade.backend",
+                           "task": "/".join(map(str, task)),
+                           "source": attempt_backend, "target": safer,
+                           "error": repr(exc)})
+            attempt_backend = safer
 
 
 def _validate_options(options: CpprOptions) -> tuple[str, bool]:
@@ -132,6 +194,28 @@ def _validate_options(options: CpprOptions) -> tuple[str, bool]:
             raise AnalysisError(
                 f"workers must be at least 1 (or None for automatic), "
                 f"got {workers}")
+    timeout = options.task_timeout
+    if timeout is not None:
+        if (isinstance(timeout, bool)
+                or not isinstance(timeout, (int, float))
+                or timeout <= 0):
+            raise AnalysisError(
+                f"task_timeout must be a positive number of seconds or "
+                f"None, got {timeout!r}")
+    retries = options.max_retries
+    if (isinstance(retries, bool) or not isinstance(retries, int)
+            or retries < 0):
+        raise AnalysisError(
+            f"max_retries must be a non-negative int, got {retries!r}")
+    backoff = options.retry_backoff
+    if (isinstance(backoff, bool)
+            or not isinstance(backoff, (int, float)) or backoff < 0):
+        raise AnalysisError(
+            f"retry_backoff must be a non-negative number of seconds, "
+            f"got {backoff!r}")
+    if not isinstance(options.strict, bool):
+        raise AnalysisError(
+            f"strict must be a bool, got {options.strict!r}")
     return backend, batched
 
 
@@ -154,6 +238,10 @@ class CpprEngine:
         self.backend, self.batched = _validate_options(self.options)
         #: Profile of the most recent collected query, or ``None``.
         self.last_profile: Profile | None = None
+        #: Fault/degradation events of the most recent full query —
+        #: empty for clean runs.  Also embedded as the ``degraded``
+        #: section of :attr:`last_profile` when a collector was active.
+        self.last_degraded: tuple[dict, ...] = ()
         #: Memoized last top-paths result: ``(mode, k, paths)``.
         self._topk_cache: tuple[AnalysisMode, int,
                                 tuple[TimingPath, ...]] | None = None
@@ -211,6 +299,9 @@ class CpprEngine:
             from repro.core.grouping import tree_lift
             get_core(self.analyzer.graph)
             tree_lift(self.analyzer.clock_tree)
+        strict = self.options.strict
+        degraded: list[dict] = []
+        col = _obs.ACTIVE
         with _obs.span("candidates"):
             # One (D x n) sweep replaces the D per-level propagations;
             # it runs in this process before the pool starts, so thread
@@ -218,15 +309,64 @@ class CpprEngine:
             # and parallelize the per-level deviation searches.
             batch = None
             if self.batched and self.analyzer.clock_tree.num_levels > 0:
-                from repro.core.batched import propagate_dual_batched
-                batch = propagate_dual_batched(self.analyzer.graph, mode)
+                try:
+                    from repro.core.batched import propagate_dual_batched
+                    batch = propagate_dual_batched(self.analyzer.graph,
+                                                   mode)
+                except ReproError:
+                    raise
+                except Exception as exc:
+                    if strict:
+                        raise ExecutionError(
+                            "batched propagation failed in strict "
+                            "mode") from exc
+                    degraded.append({"event": "degrade.batched",
+                                     "task": "build",
+                                     "error": repr(exc)})
             args = [(self.analyzer, task, k, mode,
                      self.options.heap_capacity, self.backend,
-                     batch if task[0] == "level" else None)
+                     batch if task[0] == "level" else None, strict)
                     for task in self._tasks()]
-            results = run_tasks(_run_family, args,
-                                executor=self.options.executor,
-                                workers=self.options.workers)
+            try:
+                packed = run_tasks(
+                    _run_family_resilient, args,
+                    executor=self.options.executor,
+                    workers=self.options.workers,
+                    task_timeout=self.options.task_timeout,
+                    max_retries=0 if strict else self.options.max_retries,
+                    retry_backoff=self.options.retry_backoff,
+                    fallback=not strict,
+                    events=degraded)
+            except ReproError:
+                raise
+            except Exception as exc:
+                raise ExecutionError(
+                    "candidate generation failed"
+                    + (" in strict mode" if strict else
+                       " after exhausting every fallback")) from exc
+        results = []
+        for family, task_events in packed:
+            results.append(family)
+            degraded.extend(task_events)
+        if col is not None:
+            # Scheduler events were counted by run_tasks as they
+            # happened; the backend-ladder events travelled back from
+            # the (possibly forked) tasks and are counted here.
+            for event in degraded:
+                if event["event"] in ("degrade.batched",
+                                      "degrade.backend"):
+                    col.add(event["event"])
+        self.last_degraded = tuple(degraded)
+        if degraded:
+            summary = {}
+            for event in degraded:
+                summary[event["event"]] = summary.get(event["event"], 0) + 1
+            warnings.warn(
+                "CPPR query completed degraded ("
+                + ", ".join(f"{name} x{count}"
+                            for name, count in sorted(summary.items()))
+                + "); the report is still exact",
+                DegradedResultWarning, stacklevel=3)
         return [path for family in results for path in family]
 
     # ------------------------------------------------------------------
@@ -260,7 +400,8 @@ class CpprEngine:
             candidates = self.candidate_paths(k, mode)
             selected = select_top_paths(self.analyzer, candidates, k)
         if col is not None:
-            self.last_profile = col.profile()
+            self.last_profile = col.profile().with_degraded(
+                self.last_degraded)
         self._topk_cache = (mode, k, tuple(selected))
         return selected
 
@@ -275,7 +416,7 @@ class CpprEngine:
         """
         with collecting() as col:
             paths = self.top_paths(k, mode)
-        return paths, col.profile()
+        return paths, col.profile().with_degraded(self.last_degraded)
 
     def top_slacks(self, k: int, mode: AnalysisMode | str) -> list[float]:
         """Just the slack values of :meth:`top_paths` (ascending)."""

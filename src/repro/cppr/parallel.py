@@ -1,4 +1,4 @@
-"""Executors for the engine's independent per-level tasks.
+"""Resilient executors for the engine's independent per-level tasks.
 
 Algorithm 1 performs ``D + 2`` independent passes over the graph (one per
 clock-tree level, plus self-loop and primary-input passes).  The paper
@@ -16,29 +16,71 @@ CPU work, so true speedup requires processes.  Three strategies:
 
 The Figure 6 thread-scaling experiment uses the process executor.
 
+Fault tolerance: :func:`run_tasks` is a *scheduler*, not a thin pool
+wrapper.  Each task gets an optional per-task ``task_timeout`` and up to
+``max_retries`` re-runs with exponential backoff on its current rung;
+worker crashes surface as a broken pool, and any rung-level failure
+(timeout, broken pool, exhausted retries) moves the **failed/unfinished
+tasks only** down the fallback ladder ``process -> thread -> serial``.
+Because every task is a pure function of its arguments, re-running it on
+a safer rung returns the identical result — the whole ladder is
+bit-for-bit equivalent to a clean serial run.  The serial rung is the
+floor: a task that still fails there re-raises its original exception
+(with ``fallback=False`` an unfinished run raises
+:class:`~repro.exceptions.ExecutionError` instead).  Fault events are
+counted as ``faults.*`` / ``degrade.*`` on the active collector and
+appended to the caller's ``events`` list.  Injected chaos (module
+:mod:`repro.faults`) strikes inside :func:`_call_task` and at pool
+creation, so the recovery paths are exercised deterministically in CI.
+
 Observability: when a :mod:`repro.obs` collector is active, every task's
 spans and counters are captured per task — in a detached thread state for
-the thread pool, in a per-process sub-collector (shipped back pickled as a
-profile dict) for the fork pool — and merged into the caller's collector
-in **task order**, so counter totals and span sets are identical across
-the three executors for the same workload.
+the serial/thread rungs, in a per-process sub-collector (shipped back
+pickled as a profile dict) for the fork pool — and merged into the
+caller's collector in **task order**, so counter totals and span sets
+are identical across the three executors for the same workload.  Only a
+task's *successful* attempt is merged; abandoned attempts leave no trace
+beyond the ``faults.*`` counters.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
-from concurrent.futures import ThreadPoolExecutor
+import threading
+import time
+from concurrent.futures import (Future, ProcessPoolExecutor,
+                                ThreadPoolExecutor)
+from concurrent.futures import TimeoutError as _WaitTimeout
+from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Sequence
 
-from repro.exceptions import AnalysisError
+from repro import faults
+from repro.exceptions import AnalysisError, ExecutionError
 from repro.obs import collector as _obs
 from repro.obs.collector import Collector, collecting
 from repro.obs.profile import Profile
 
 __all__ = ["available_executors", "run_tasks"]
 
+#: Fallback rungs tried for each requested executor, safest last.
+FALLBACK_LADDER = {
+    "process": ("process", "thread", "serial"),
+    "thread": ("thread", "serial"),
+    "serial": ("serial",),
+}
+
+#: Guards the fork payload: concurrent ``run_tasks`` calls from
+#: different threads serialize here instead of clobbering each other's
+#: payload (or spuriously reporting nesting).
+_FORK_LOCK = threading.Lock()
 _FORK_PAYLOAD: tuple[Callable[..., Any], Sequence[tuple], bool] | None = None
+
+#: ``True`` only in forked worker processes (set by :func:`_fork_entry`,
+#: inherited ``False`` everywhere else).  This is what makes the nesting
+#: check genuinely about nesting: only a *worker* that tries to start
+#: another fork pool is rejected.
+_IN_FORK_WORKER = False
 
 
 def available_executors() -> list[str]:
@@ -49,83 +91,307 @@ def available_executors() -> list[str]:
     return executors
 
 
-def _fork_entry(index: int) -> Any:
+def _call_task(fn: Callable[..., Any], args: tuple) -> Any:
+    """Run one task through the fault-injection gauntlet."""
+    if faults.armed():
+        faults.check("task.exception")
+        faults.check("memory.pressure")
+        faults.check("task.timeout")
+        faults.check("task.crash")
+    return fn(*args)
+
+
+def _fork_entry(index: int) -> tuple[Any, dict | None]:
     """Run task ``index`` of the fork-inherited payload (worker side).
 
     When the parent was collecting, the worker runs its task under a
     fresh sub-collector (replacing the fork-inherited parent collector)
-    and returns ``(result, profile_dict)`` for the parent to merge.
+    and ships the profile back as a dict for the parent to merge.
     """
+    global _IN_FORK_WORKER
+    _IN_FORK_WORKER = True
+    faults.mark_worker_process()
     assert _FORK_PAYLOAD is not None, "fork payload missing in worker"
     fn, args_list, collect = _FORK_PAYLOAD
     if not collect:
-        return fn(*args_list[index])
+        return _call_task(fn, args_list[index]), None
     with collecting(Collector()) as sub:
-        result = fn(*args_list[index])
+        result = _call_task(fn, args_list[index])
     return result, sub.profile().to_dict()
+
+
+def _thread_entry(fn: Callable[..., Any], args: tuple,
+                  col: Collector | None) -> tuple[Any, Any]:
+    if col is None:
+        return _call_task(fn, args), None
+    with col.capture() as state:
+        result = _call_task(fn, args)
+    return result, state
+
+
+def _record(events: list | None, col: Collector | None, name: str,
+            **fields: Any) -> None:
+    """Count one fault/degradation event and log it for the caller."""
+    if col is not None:
+        col.add(name)
+    if events is not None:
+        events.append({"event": name, **fields})
+
+
+def _run_serial(fn, args_list, pending, results, payloads, done, col,
+                max_retries, retry_backoff, events) -> None:
+    """The ladder floor: inline execution with bounded retries.
+
+    A task that exhausts its retries re-raises its original exception —
+    there is no safer rung left to absorb it.
+    """
+    for i in pending:
+        attempt = 0
+        while True:
+            try:
+                if col is None:
+                    results[i] = _call_task(fn, args_list[i])
+                else:
+                    with col.capture() as state:
+                        results[i] = _call_task(fn, args_list[i])
+                    payloads[i] = state
+                done[i] = True
+                break
+            except Exception as exc:
+                _record(events, col, "faults.task_error", task=i,
+                        rung="serial", error=repr(exc))
+                if attempt >= max_retries:
+                    raise
+                _record(events, col, "faults.retry", task=i,
+                        rung="serial", attempt=attempt + 1)
+                time.sleep(retry_backoff * (2 ** attempt))
+                attempt += 1
+
+
+def _collect_wave(rung, futures, order, results, payloads, done,
+                  task_timeout, events, col
+                  ) -> tuple[list[int], bool, BaseException | None]:
+    """Wait on one wave of futures in task order.
+
+    Returns ``(failed_task_indices, pool_broken, last_error)``.  Timed
+    out and broken-pool tasks are left undone for the next rung; only
+    tasks that raised an ordinary exception are candidates for retry on
+    this rung.
+    """
+    failed: list[int] = []
+    broken = False
+    last_exc: BaseException | None = None
+    for i in order:
+        fut = futures[i]
+        if broken:
+            # The pool died; keep anything that already finished.
+            if fut.done() and not fut.cancelled():
+                exc = fut.exception()
+                if exc is None:
+                    results[i], payloads[i] = fut.result()
+                    done[i] = True
+            continue
+        try:
+            value, payload = fut.result(timeout=task_timeout)
+        except _WaitTimeout:
+            _record(events, col, "faults.task_timeout", task=i, rung=rung,
+                    timeout=task_timeout)
+            fut.cancel()
+            continue
+        except BrokenProcessPool as exc:
+            _record(events, col, "faults.pool_broken", rung=rung,
+                    error=repr(exc))
+            broken = True
+            last_exc = exc
+            continue
+        except Exception as exc:
+            _record(events, col, "faults.task_error", task=i, rung=rung,
+                    error=repr(exc))
+            failed.append(i)
+            last_exc = exc
+            continue
+        results[i] = value
+        payloads[i] = payload
+        done[i] = True
+    return failed, broken, last_exc
+
+
+def _run_pool_rung(rung, fn, args_list, pending, results, payloads, done,
+                   col, workers, task_timeout, max_retries, retry_backoff,
+                   events) -> BaseException | None:
+    """Run ``pending`` tasks on a thread or fork-process pool.
+
+    Marks completed tasks done; leaves failed/timed-out/orphaned tasks
+    undone for the next rung.  Never raises on task or pool failure —
+    the returned exception (if any) is the last failure observed, kept
+    for error chaining if the ladder runs out.
+    """
+    if workers is None:
+        workers = min(len(pending), os.cpu_count() or 1)
+    workers = max(1, workers)
+
+    if rung == "process":
+        try:
+            faults.check("pool.broken")
+        except BrokenProcessPool as exc:
+            _record(events, col, "faults.pool_broken", rung=rung,
+                    error=repr(exc))
+            return exc
+        if _IN_FORK_WORKER:
+            raise AnalysisError(
+                "nested process-executor runs are not supported: a fork "
+                "worker cannot start another fork pool")
+        context = multiprocessing.get_context("fork")
+        lock = _FORK_LOCK
+    else:
+        context = None
+        lock = None
+
+    global _FORK_PAYLOAD
+    pool = None
+    last_exc: BaseException | None = None
+    if lock is not None:
+        lock.acquire()
+    try:
+        if rung == "process":
+            _FORK_PAYLOAD = (fn, args_list, col is not None)
+            pool = ProcessPoolExecutor(max_workers=workers,
+                                       mp_context=context)
+
+            def submit(i: int) -> Future:
+                return pool.submit(_fork_entry, i)
+        else:
+            pool = ThreadPoolExecutor(max_workers=workers)
+
+            def submit(i: int) -> Future:
+                return pool.submit(_thread_entry, fn, args_list[i], col)
+
+        to_run = list(pending)
+        attempt = 0
+        while to_run:
+            try:
+                futures = {i: submit(i) for i in to_run}
+            except BrokenProcessPool as exc:
+                _record(events, col, "faults.pool_broken", rung=rung,
+                        error=repr(exc))
+                return exc
+            failed, broken, exc = _collect_wave(
+                rung, futures, to_run, results, payloads, done,
+                task_timeout, events, col)
+            last_exc = exc or last_exc
+            if broken or not failed:
+                break
+            if attempt >= max_retries:
+                break
+            for i in failed:
+                _record(events, col, "faults.retry", task=i, rung=rung,
+                        attempt=attempt + 1)
+            time.sleep(retry_backoff * (2 ** attempt))
+            attempt += 1
+            to_run = failed
+    finally:
+        if rung == "process":
+            _FORK_PAYLOAD = None
+        if lock is not None:
+            lock.release()
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+    return last_exc
 
 
 def run_tasks(fn: Callable[..., Any], args_list: Sequence[tuple],
               executor: str = "serial",
-              workers: int | None = None) -> list[Any]:
+              workers: int | None = None, *,
+              task_timeout: float | None = None,
+              max_retries: int = 0,
+              retry_backoff: float = 0.05,
+              fallback: bool = True,
+              events: list | None = None) -> list[Any]:
     """Apply ``fn`` to each argument tuple, preserving input order.
 
     ``fn`` must be a module-level (picklable-by-reference) callable when
-    the process executor is used.
+    the process executor is used, and must be a *pure* function of its
+    arguments: the scheduler re-runs tasks after faults, so repeated
+    execution must be harmless and deterministic.
+
+    Resilience knobs (all optional; defaults reproduce the plain
+    pool-mapping behaviour):
+
+    ``task_timeout``
+        Seconds to wait for each pooled task's result before declaring
+        it hung and re-running it on the next rung.  ``None`` waits
+        forever.  Not enforceable on the serial rung, which runs tasks
+        inline.
+    ``max_retries`` / ``retry_backoff``
+        Bounded same-rung re-runs of tasks that raised, sleeping
+        ``retry_backoff * 2**attempt`` between waves.
+    ``fallback``
+        Walk the ``process -> thread -> serial`` ladder for tasks a
+        rung could not finish.  With ``False``, an unfinished run
+        raises :class:`~repro.exceptions.ExecutionError` (strict mode).
+    ``events``
+        A caller-owned list; every fault/degradation event is appended
+        as a dict (``{"event": "faults.task_timeout", "task": 3, ...}``).
     """
+    if executor not in FALLBACK_LADDER:
+        raise AnalysisError(
+            f"unknown executor {executor!r}; expected one of "
+            f"{available_executors()}")
+    if (executor == "process"
+            and "fork" not in multiprocessing.get_all_start_methods()):
+        raise AnalysisError(
+            "the 'process' executor requires fork start method "
+            "support; use 'serial' or 'thread' on this platform")
+    n = len(args_list)
+    if n == 0:
+        return []
     col = _obs.ACTIVE
 
-    if executor == "serial":
+    # Fast path: a clean serial run with no collector is the common
+    # production configuration; keep it a bare loop.
+    if (executor == "serial" and col is None and max_retries == 0
+            and not faults.armed()):
         return [fn(*args) for args in args_list]
 
-    if workers is None:
-        workers = min(len(args_list), os.cpu_count() or 1)
-    workers = max(1, workers)
+    results: list[Any] = [None] * n
+    payloads: list[Any] = [None] * n
+    done = [False] * n
 
-    if executor == "thread":
-        if col is None:
-            with ThreadPoolExecutor(max_workers=workers) as pool:
-                return list(pool.map(lambda args: fn(*args), args_list))
+    rungs = FALLBACK_LADDER[executor] if fallback else (executor,)
+    last_exc: BaseException | None = None
+    previous = executor
+    for rung in rungs:
+        pending = [i for i in range(n) if not done[i]]
+        if not pending:
+            break
+        if rung != previous:
+            _record(events, col, "degrade.executor",
+                    source=previous, target=rung, tasks=len(pending))
+            previous = rung
+        if rung == "serial":
+            _run_serial(fn, args_list, pending, results, payloads, done,
+                        col, max_retries, retry_backoff, events)
+        else:
+            exc = _run_pool_rung(rung, fn, args_list, pending, results,
+                                 payloads, done, col, workers,
+                                 task_timeout, max_retries, retry_backoff,
+                                 events)
+            last_exc = exc or last_exc
 
-        def run_detached(args: tuple) -> tuple[Any, Any]:
-            with col.capture() as state:
-                result = fn(*args)
-            return result, state
+    remaining = [i for i in range(n) if not done[i]]
+    if remaining:
+        raise ExecutionError(
+            f"{len(remaining)} of {n} tasks failed on the "
+            f"{'/'.join(rungs)} executor"
+            + ("" if fallback else " (fallback disabled)")
+        ) from last_exc
 
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            packed = list(pool.map(run_detached, args_list))
-        results = []
-        for result, state in packed:
-            col.absorb_state(state)
-            results.append(result)
-        return results
-
-    if executor == "process":
-        if "fork" not in multiprocessing.get_all_start_methods():
-            raise AnalysisError(
-                "the 'process' executor requires fork start method "
-                "support; use 'serial' or 'thread' on this platform")
-        if not args_list:
-            return []
-        global _FORK_PAYLOAD
-        if _FORK_PAYLOAD is not None:
-            raise AnalysisError(
-                "nested process-executor runs are not supported")
-        context = multiprocessing.get_context("fork")
-        _FORK_PAYLOAD = (fn, args_list, col is not None)
-        try:
-            with context.Pool(processes=workers) as pool:
-                packed = pool.map(_fork_entry, range(len(args_list)))
-        finally:
-            _FORK_PAYLOAD = None
-        if col is None:
-            return packed
-        results = []
-        for result, profile_dict in packed:
-            col.absorb(Profile.from_dict(profile_dict))
-            results.append(result)
-        return results
-
-    raise AnalysisError(
-        f"unknown executor {executor!r}; expected one of "
-        f"{available_executors()}")
+    if col is not None:
+        for payload in payloads:
+            if payload is None:
+                continue
+            if isinstance(payload, dict):
+                col.absorb(Profile.from_dict(payload))
+            else:
+                col.absorb_state(payload)
+    return results

@@ -11,18 +11,51 @@ the pair-enumeration baseline applies to every endpoint at once.
 
 from __future__ import annotations
 
-from repro.core import resolve_backend
+from repro.core import resolve_backend, safer_backend
 from repro.cppr.pathutils import (build_timing_path, fanin_cone,
                                   launchers_in_cone,
                                   primary_inputs_in_cone)
 from repro.cppr.deviation import CaptureSeed, run_topk
 from repro.cppr.propagation import Seed, propagate_single
 from repro.cppr.types import TimingPath
-from repro.exceptions import AnalysisError
+from repro.exceptions import AnalysisError, ExecutionError, ReproError
+from repro.obs import collector as _obs
 from repro.sta.modes import AnalysisMode
 from repro.sta.timing import TimingAnalyzer
 
 __all__ = ["endpoint_paths", "pair_paths"]
+
+
+def _propagate_resilient(graph, mode, seeds, backend: str, strict: bool):
+    """Run ``propagate_single``, walking the backend ladder on failure.
+
+    The targeted queries share the engine's degradation contract: a
+    runtime fault inside the array substrate (numpy vanishing in a
+    worker, an allocation failure) retries the propagation on the next
+    safer backend — both compute bit-for-bit identical answers — unless
+    ``strict`` asks for an :class:`ExecutionError` instead.  Modelled
+    faults (``ReproError``) always propagate; they describe the input,
+    not the execution strategy.
+    """
+    while True:
+        try:
+            return propagate_single(graph, mode, seeds, backend)
+        except ReproError:
+            raise
+        except Exception as exc:
+            if strict:
+                raise ExecutionError(
+                    f"single-source propagation failed in strict mode "
+                    f"on backend {backend!r}") from exc
+            safer = safer_backend(backend)
+            if safer is None:
+                raise ExecutionError(
+                    f"single-source propagation failed on the last-"
+                    f"resort backend {backend!r}") from exc
+            col = _obs.ACTIVE
+            if col is not None:
+                col.add("degrade.backend")
+            backend = safer
 
 
 def _capture_slack(analyzer: TimingAnalyzer, capture, record,
@@ -59,7 +92,8 @@ def _resolve_ff(analyzer: TimingAnalyzer, ff: int | str):
 def endpoint_paths(analyzer: TimingAnalyzer, capture_ff: int | str,
                    k: int, mode: AnalysisMode | str,
                    include_primary_inputs: bool = True,
-                   backend: str = "auto") -> list[TimingPath]:
+                   backend: str = "auto",
+                   strict: bool = False) -> list[TimingPath]:
     """Top-``k`` post-CPPR paths captured by one flip-flop, worst first.
 
     ``capture_ff`` is a flip-flop index or name.  Costs one cone-limited
@@ -88,7 +122,7 @@ def endpoint_paths(analyzer: TimingAnalyzer, capture_ff: int | str,
     if not seeds:
         return []
 
-    arrays = propagate_single(graph, mode, seeds, backend)
+    arrays = _propagate_resilient(graph, mode, seeds, backend, strict)
     record = arrays.best(capture.d_pin)
     if record is None:
         return []
@@ -104,7 +138,8 @@ def endpoint_paths(analyzer: TimingAnalyzer, capture_ff: int | str,
 def pair_paths(analyzer: TimingAnalyzer, launch_ff: int | str,
                capture_ff: int | str, k: int,
                mode: AnalysisMode | str,
-               backend: str = "auto") -> list[TimingPath]:
+               backend: str = "auto",
+               strict: bool = False) -> list[TimingPath]:
     """Top-``k`` post-CPPR paths for one specific launch/capture pair.
 
     Returns an empty list when no data path connects the pair.
@@ -119,9 +154,9 @@ def pair_paths(analyzer: TimingAnalyzer, launch_ff: int | str,
 
     tree = graph.clock_tree
     credit = tree.pair_credit(launch.tree_node, capture.tree_node)
-    arrays = propagate_single(
+    arrays = _propagate_resilient(
         graph, mode, [_launch_seed(analyzer, launch, credit, mode)],
-        backend)
+        backend, strict)
     record = arrays.best(capture.d_pin)
     if record is None:
         return []

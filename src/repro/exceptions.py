@@ -33,6 +33,27 @@ class AnalysisError(ReproError):
     """
 
 
+class ExecutionError(AnalysisError):
+    """A query's task execution failed beyond recovery.
+
+    Raised by the resilient scheduler (:mod:`repro.cppr.parallel`) and
+    :class:`repro.cppr.engine.CpprEngine` when a task keeps failing
+    after every configured retry and every fallback rung — or, with
+    ``strict=True``, on the *first* fault instead of degrading.  The
+    original failure is chained as ``__cause__``.
+    """
+
+
+class DegradedResultWarning(RuntimeWarning):
+    """A query completed, but only by degrading its execution strategy.
+
+    Emitted (via :mod:`warnings`) when the engine fell back to a safer
+    executor or compute backend mid-query.  The result is still exact —
+    every degradation rung is bit-for-bit equivalent — but the run was
+    slower than configured, which operators may want to alert on.
+    """
+
+
 class FormatError(ReproError):
     """A design file could not be parsed or serialized."""
 

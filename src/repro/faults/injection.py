@@ -1,0 +1,308 @@
+"""Named injection sites with seeded, reproducible trigger schedules.
+
+A *site* is a point in production code where a real-world fault can
+strike; a :class:`FaultSpec` describes *when* an armed site actually
+fires (which hit indices, with what probability, how many times).  A
+:class:`FaultPlan` binds several specs together and tracks per-site hit
+counts, so schedules like "fail the third task once" are deterministic
+across runs — and across the ``serial``/``thread``/``process``
+executors, because forked workers inherit the armed plan.
+
+The firing *action* is site-specific and models the real failure:
+
+========================  ==============================================
+``task.crash``            hard worker death: ``os._exit`` inside a fork
+                          worker (detected as a broken pool by the
+                          scheduler); raises :class:`InjectedFault` when
+                          the current process is not expendable.
+``task.timeout``          a hang: sleeps ``seconds`` (default 60) so a
+                          configured task timeout expires.
+``task.exception``        raises :class:`InjectedFault`.
+``numpy.import``          raises ``ImportError`` from the array/batched
+                          compute paths, as if numpy vanished mid-run.
+``pool.broken``           raises ``BrokenProcessPool`` when the
+                          scheduler starts a process rung.
+``memory.pressure``       raises ``MemoryError`` inside a task.
+========================  ==============================================
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.obs import collector as _obs
+
+__all__ = ["SITES", "FaultPlan", "FaultSpec", "InjectedFault",
+           "active_plan", "armed", "check", "inject",
+           "mark_worker_process", "plan_from_env", "plan_from_specs"]
+
+#: Every named injection site production code consults.
+SITES = ("task.crash", "task.timeout", "task.exception", "numpy.import",
+         "pool.broken", "memory.pressure")
+
+#: Environment variable holding the ambient fault plan (see
+#: :func:`plan_from_env` for the format).
+ENV_VAR = "REPRO_FAULTS"
+
+#: ``True`` in processes that may be killed outright by ``task.crash``
+#: (fork-pool workers); set by :func:`mark_worker_process`.
+WORKER_PROCESS = False
+
+
+class InjectedFault(RuntimeError):
+    """The error raised by ``task.exception`` (and non-worker crashes)."""
+
+    def __init__(self, site: str) -> None:
+        super().__init__(f"injected fault at site {site!r}")
+        self.site = site
+
+
+@dataclass(frozen=True, slots=True)
+class FaultSpec:
+    """One site's trigger schedule.
+
+    Attributes
+    ----------
+    site:
+        One of :data:`SITES`.
+    times:
+        Maximum number of firings (``None`` = unlimited).
+    after:
+        Zero-based hit index of the first eligible firing: ``after=2``
+        skips the first two times the site is reached.
+    rate:
+        ``None`` fires on every eligible hit; otherwise each eligible
+        hit fires with this probability, drawn from a ``random.Random``
+        seeded with ``seed`` — reproducible by construction.
+    seed:
+        Seed for the per-site RNG (only consulted when ``rate`` is set).
+    seconds:
+        Sleep duration for ``task.timeout`` firings.
+    """
+
+    site: str
+    times: int | None = 1
+    after: int = 0
+    rate: float | None = None
+    seed: int = 0
+    seconds: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.site not in SITES:
+            raise ValueError(f"unknown fault site {self.site!r}; "
+                             f"expected one of {SITES}")
+        if self.times is not None and self.times < 0:
+            raise ValueError(f"times must be >= 0, got {self.times}")
+        if self.after < 0:
+            raise ValueError(f"after must be >= 0, got {self.after}")
+        if self.rate is not None and not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {self.rate}")
+        if self.seconds < 0:
+            raise ValueError(f"seconds must be >= 0, got {self.seconds}")
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultSpec":
+        """Parse ``site[:key=value,...]``.
+
+        Keys: ``times`` (int or ``inf``), ``after``, ``rate``, ``seed``,
+        ``seconds``.  Example: ``task.timeout:times=1,seconds=0.2``.
+        """
+        site, _, params = text.strip().partition(":")
+        kwargs: dict = {}
+        if params:
+            for item in params.split(","):
+                key, eq, value = item.partition("=")
+                key = key.strip()
+                value = value.strip()
+                if not eq or not value:
+                    raise ValueError(
+                        f"bad fault parameter {item!r} in {text!r}; "
+                        f"expected key=value")
+                if key == "times":
+                    kwargs["times"] = (None if value == "inf"
+                                       else int(value))
+                elif key in ("after", "seed"):
+                    kwargs[key] = int(value)
+                elif key in ("rate", "seconds"):
+                    kwargs[key] = float(value)
+                else:
+                    raise ValueError(
+                        f"unknown fault parameter {key!r} in {text!r}; "
+                        f"expected times/after/rate/seed/seconds")
+        return cls(site=site.strip(), **kwargs)
+
+
+class _SiteState:
+    """Mutable trigger bookkeeping for one armed site."""
+
+    __slots__ = ("spec", "hits", "fired", "rng")
+
+    def __init__(self, spec: FaultSpec) -> None:
+        self.spec = spec
+        self.hits = 0
+        self.fired = 0
+        self.rng = random.Random(spec.seed)
+
+
+class FaultPlan:
+    """A set of armed sites with thread-safe schedule evaluation."""
+
+    def __init__(self, specs: Iterator[FaultSpec] | list[FaultSpec]) -> None:
+        self._lock = threading.Lock()
+        self._sites: dict[str, _SiteState] = {}
+        for spec in specs:
+            if spec.site in self._sites:
+                raise ValueError(
+                    f"duplicate fault site {spec.site!r} in plan")
+            self._sites[spec.site] = _SiteState(spec)
+
+    @property
+    def sites(self) -> tuple[str, ...]:
+        return tuple(self._sites)
+
+    def spec(self, site: str) -> FaultSpec | None:
+        state = self._sites.get(site)
+        return state.spec if state is not None else None
+
+    def should_trigger(self, site: str) -> bool:
+        """Advance ``site``'s hit counter; ``True`` when it fires now."""
+        state = self._sites.get(site)
+        if state is None:
+            return False
+        with self._lock:
+            index = state.hits
+            state.hits += 1
+            spec = state.spec
+            if index < spec.after:
+                return False
+            if spec.times is not None and state.fired >= spec.times:
+                return False
+            if spec.rate is not None and state.rng.random() >= spec.rate:
+                return False
+            state.fired += 1
+            return True
+
+    def stats(self) -> dict[str, tuple[int, int]]:
+        """``{site: (hits, fired)}`` — for assertions in chaos tests."""
+        with self._lock:
+            return {site: (st.hits, st.fired)
+                    for site, st in self._sites.items()}
+
+
+def plan_from_specs(*specs: FaultSpec | str) -> FaultPlan:
+    """Build a plan from specs or ``site:key=value,...`` strings."""
+    return FaultPlan([spec if isinstance(spec, FaultSpec)
+                      else FaultSpec.parse(spec) for spec in specs])
+
+
+def plan_from_env(value: str | None = None) -> FaultPlan | None:
+    """Parse the ``REPRO_FAULTS`` format: specs joined with ``;``.
+
+    ``None`` (or an empty/whitespace value) arms nothing.  Example::
+
+        REPRO_FAULTS="task.exception:times=1;numpy.import:times=1,after=2"
+    """
+    if value is None:
+        value = os.environ.get(ENV_VAR)
+    if value is None or not value.strip():
+        return None
+    return plan_from_specs(*[entry for entry in value.split(";")
+                             if entry.strip()])
+
+
+#: The armed plan, or ``None``.  Hot call sites read this through
+#: :func:`check`; arming goes through :func:`inject` (or the
+#: environment at import time).
+_ACTIVE: FaultPlan | None = plan_from_env()
+
+
+def armed() -> bool:
+    """Whether any fault plan is currently armed."""
+    return _ACTIVE is not None
+
+
+def active_plan() -> FaultPlan | None:
+    """The armed plan, or ``None``."""
+    return _ACTIVE
+
+
+@contextmanager
+def inject(*specs: FaultSpec | str, plan: FaultPlan | None = None):
+    """Arm a fault plan for the ``with`` body (process-global).
+
+    The new plan *shadows* whatever was armed before (including the
+    ``REPRO_FAULTS`` ambient plan) so programmatic chaos tests stay
+    deterministic under an env-armed run; the previous plan is restored
+    on exit.  Yields the armed :class:`FaultPlan` so tests can assert
+    on :meth:`FaultPlan.stats`.
+    """
+    global _ACTIVE
+    if plan is None:
+        plan = plan_from_specs(*specs)
+    elif specs:
+        raise ValueError("pass either specs or a prebuilt plan, not both")
+    outer = _ACTIVE
+    _ACTIVE = plan
+    try:
+        yield plan
+    finally:
+        _ACTIVE = outer
+
+
+def mark_worker_process() -> None:
+    """Declare this process expendable (a fork-pool worker).
+
+    Inside a marked process ``task.crash`` firings kill the process
+    outright (``os._exit``), modelling a segfaulting worker; elsewhere
+    they raise :class:`InjectedFault` so a crash injected under the
+    serial or thread executor cannot take down the caller's process.
+    """
+    global WORKER_PROCESS
+    WORKER_PROCESS = True
+
+
+def check(site: str) -> None:
+    """Fire ``site``'s fault action if an armed schedule says so.
+
+    Disarmed cost is one module-global load plus an identity test.
+    """
+    plan = _ACTIVE
+    if plan is None:
+        return
+    if not plan.should_trigger(site):
+        return
+    col = _obs.ACTIVE
+    if col is not None:
+        # Durable: the attempt this firing kills is discarded, but the
+        # evidence that a fault was injected must not be.
+        col.add_durable(f"faults.injected.{site}")
+    spec = plan.spec(site)
+    _fire(site, spec)
+
+
+def _fire(site: str, spec: FaultSpec) -> None:
+    if site == "task.exception":
+        raise InjectedFault(site)
+    if site == "memory.pressure":
+        raise MemoryError(f"injected fault at site {site!r}")
+    if site == "numpy.import":
+        raise ImportError(
+            f"numpy is unavailable (injected fault at site {site!r})")
+    if site == "task.timeout":
+        import time
+        time.sleep(spec.seconds)
+        return
+    if site == "task.crash":
+        if WORKER_PROCESS:
+            os._exit(70)
+        raise InjectedFault(site)
+    if site == "pool.broken":
+        from concurrent.futures.process import BrokenProcessPool
+        raise BrokenProcessPool(
+            f"injected fault at site {site!r}")
+    raise AssertionError(f"unhandled fault site {site!r}")

@@ -74,6 +74,7 @@ class _Tokens:
                     f"unexpected characters {leftover!r}",
                     line=line_no, path=path)
         self._pos = 0
+        self._last_line: int | None = None
 
     def peek(self) -> str | None:
         if self._pos < len(self._items):
@@ -88,18 +89,19 @@ class _Tokens:
         if self._pos >= len(self._items):
             raise FormatError("unexpected end of file",
                               line=self.line(), path=self.path)
-        token, _line = self._items[self._pos]
+        token, line = self._items[self._pos]
         self._pos += 1
         if expected is not None and token != expected:
             raise FormatError(f"expected {expected!r}, got {token!r}",
-                              line=self.line(), path=self.path)
+                              line=line, path=self.path)
+        self._last_line = line
         return token
 
     def next_identifier(self, what: str) -> str:
         token = self.next()
         if not re.fullmatch(r"[A-Za-z_][A-Za-z0-9_$]*", token):
             raise FormatError(f"expected {what}, got {token!r}",
-                              line=self.line(), path=self.path)
+                              line=self._last_line, path=self.path)
         return token
 
 

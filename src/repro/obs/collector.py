@@ -89,13 +89,21 @@ class Collector:
     # ------------------------------------------------------------------
     # Per-thread state management
     # ------------------------------------------------------------------
+    def _attached_state(self) -> _ThreadState:
+        """This thread's permanent state — what :meth:`profile` reads."""
+        state = getattr(self._tls, "attached", None)
+        if state is None:
+            state = _ThreadState()
+            self._tls.attached = state
+            with self._lock:
+                self._states.append(state)
+        return state
+
     def _state(self) -> _ThreadState:
         state = getattr(self._tls, "state", None)
         if state is None:
-            state = _ThreadState()
+            state = self._attached_state()
             self._tls.state = state
-            with self._lock:
-                self._states.append(state)
         return state
 
     @contextmanager
@@ -121,6 +129,19 @@ class Collector:
     def add(self, name: str, amount: int = 1) -> None:
         """Increment counter ``name`` by ``amount``."""
         counters = self._state().counters
+        counters[name] = counters.get(name, 0) + amount
+
+    def add_durable(self, name: str, amount: int = 1) -> None:
+        """Increment ``name`` so it survives a discarded task attempt.
+
+        :meth:`capture` routes events into a detached state that is only
+        merged when the task *succeeds* — the right policy for work
+        counters, the wrong one for fault evidence.  This records on the
+        thread's permanent state instead, bypassing any active capture,
+        so injected-fault counters remain visible even when the attempt
+        that triggered them is abandoned.
+        """
+        counters = self._attached_state().counters
         counters[name] = counters.get(name, 0) + amount
 
     @contextmanager

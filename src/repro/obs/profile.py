@@ -70,6 +70,10 @@ class Profile:
 
     spans: tuple[SpanNode, ...] = ()
     counters: dict[str, int] = field(default_factory=dict)
+    #: Fault/degradation events (dicts with an ``"event"`` key) recorded
+    #: by the resilient scheduler and the engine's backend ladder during
+    #: the profiled window; empty for clean runs.
+    degraded: tuple[Mapping[str, Any], ...] = ()
 
     # ------------------------------------------------------------------
     # Queries
@@ -102,7 +106,13 @@ class Profile:
         for name, amount in other.counters.items():
             counters[name] = counters.get(name, 0) + amount
         return Profile(spans=self.spans + other.spans,
-                       counters=dict(sorted(counters.items())))
+                       counters=dict(sorted(counters.items())),
+                       degraded=self.degraded + other.degraded)
+
+    def with_degraded(self, events) -> "Profile":
+        """This profile with ``events`` as its degradation record."""
+        return Profile(spans=self.spans, counters=self.counters,
+                       degraded=tuple(dict(e) for e in events))
 
     # ------------------------------------------------------------------
     # Serialization
@@ -110,7 +120,8 @@ class Profile:
     def to_dict(self) -> dict[str, Any]:
         return {"schema": SCHEMA,
                 "spans": [root.to_dict() for root in self.spans],
-                "counters": dict(self.counters)}
+                "counters": dict(self.counters),
+                "degraded": [dict(e) for e in self.degraded]}
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "Profile":
@@ -118,4 +129,6 @@ class Profile:
                     for k, v in data.get("counters", {}).items()}
         return cls(spans=tuple(SpanNode.from_dict(s)
                                for s in data.get("spans", ())),
-                   counters=dict(sorted(counters.items())))
+                   counters=dict(sorted(counters.items())),
+                   degraded=tuple(dict(e)
+                                  for e in data.get("degraded", ())))

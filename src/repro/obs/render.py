@@ -49,6 +49,14 @@ def format_profile(profile: Profile, title: str = "Profile") -> str:
         lines.extend(_format_counters(profile))
     else:
         lines.append("(no counters recorded)")
+    if profile.degraded:
+        lines.append("")
+        lines.append("-- degraded --")
+        for event in profile.degraded:
+            name = event.get("event", "?")
+            detail = ", ".join(f"{k}={v}" for k, v in sorted(event.items())
+                               if k != "event")
+            lines.append(f"{name}  {detail}" if detail else name)
     return "\n".join(lines)
 
 

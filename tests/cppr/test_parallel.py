@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
+import threading
+
 import pytest
 
 from repro import CpprEngine, CpprOptions, TimingAnalyzer
+from repro.cppr import parallel
 from repro.cppr.parallel import available_executors, run_tasks
 from repro.exceptions import AnalysisError
 from tests.helpers import assert_slacks_equal, demo_analyzer, random_small
@@ -51,6 +54,52 @@ class TestRunTasks:
     def test_available_executors_include_serial_and_thread(self):
         executors = available_executors()
         assert "serial" in executors and "thread" in executors
+
+
+@pytest.mark.skipif("process" not in available_executors(),
+                    reason="no fork support")
+class TestForkPayloadIsolation:
+    """The fork payload is shared module state; guard its two hazards."""
+
+    def test_concurrent_process_runs_do_not_clobber_payloads(self):
+        # Two threads race run_tasks(executor="process").  Before the
+        # payload was lock-protected, one call could fork workers that
+        # inherited the *other* call's payload (or see it cleared) and
+        # return wrong results.
+        results: dict[str, list] = {}
+        errors: list[BaseException] = []
+
+        def launch(name: str, offset: int) -> None:
+            try:
+                results[name] = run_tasks(
+                    _square, [(offset + i,) for i in range(6)],
+                    executor="process", workers=2)
+            except BaseException as exc:  # noqa: BLE001 - recorded
+                errors.append(exc)
+
+        threads = [threading.Thread(target=launch, args=("a", 0)),
+                   threading.Thread(target=launch, args=("b", 100))]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert results["a"] == [i * i for i in range(6)]
+        assert results["b"] == [(100 + i) ** 2 for i in range(6)]
+
+    def test_nesting_check_rejects_only_real_workers(self):
+        # The nesting guard must key on "am I a fork worker", not on
+        # payload presence — a sibling call's payload is not nesting.
+        original = parallel._IN_FORK_WORKER
+        parallel._IN_FORK_WORKER = True
+        try:
+            with pytest.raises(AnalysisError, match="nested"):
+                run_tasks(_square, [(1,)], executor="process",
+                          fallback=False)
+        finally:
+            parallel._IN_FORK_WORKER = original
+        # Back in the parent, the same call must succeed.
+        assert run_tasks(_square, [(2,)], executor="process") == [4]
 
 
 class TestEagerOptionValidation:

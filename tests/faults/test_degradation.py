@@ -1,0 +1,144 @@
+"""Graceful degradation: backend ladder, strict mode, targeted queries."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from tests.helpers import demo_analyzer
+
+from repro import (CpprEngine, CpprOptions, DegradedResultWarning,
+                   ExecutionError)
+from repro.core import HAVE_NUMPY, safer_backend
+from repro.cppr.queries import endpoint_paths, pair_paths
+from repro.exceptions import AnalysisError
+from repro.faults import FaultSpec, inject
+
+needs_numpy = pytest.mark.skipif(not HAVE_NUMPY,
+                                 reason="array substrate needs numpy")
+
+
+def _fingerprint(paths):
+    return [(round(p.slack, 9), tuple(p.pins)) for p in paths]
+
+
+class TestSaferBackend:
+    def test_ladder(self):
+        assert safer_backend("array") == "scalar"
+        assert safer_backend("scalar") is None
+
+    def test_rejects_unresolved_names(self):
+        with pytest.raises(ValueError):
+            safer_backend("auto")
+
+
+@needs_numpy
+class TestEngineBackendLadder:
+    def test_batched_build_failure_degrades(self):
+        analyzer = demo_analyzer()
+        want = _fingerprint(CpprEngine(analyzer, CpprOptions(
+            backend="scalar", batch_levels="off")).top_paths(6, "setup"))
+        engine = CpprEngine(analyzer, CpprOptions(backend="array",
+                                                  batch_levels="on"))
+        with inject(FaultSpec("numpy.import", times=1)):
+            with pytest.warns(DegradedResultWarning):
+                got = _fingerprint(engine.top_paths(6, "setup"))
+        assert got == want
+        assert {"event": "degrade.batched", "task": "build"} == {
+            k: v for k, v in engine.last_degraded[0].items()
+            if k != "error"}
+
+    def test_array_pass_falls_to_scalar(self):
+        # First firing kills the batched build, the second an in-task
+        # array propagation — the pass re-runs on the scalar rung.
+        analyzer = demo_analyzer()
+        want = _fingerprint(CpprEngine(analyzer, CpprOptions(
+            backend="scalar", batch_levels="off")).top_paths(6, "setup"))
+        engine = CpprEngine(analyzer, CpprOptions(backend="array",
+                                                  batch_levels="on"))
+        with inject(FaultSpec("numpy.import", times=2)):
+            with pytest.warns(DegradedResultWarning):
+                got = _fingerprint(engine.top_paths(6, "setup"))
+        assert got == want
+        names = [e["event"] for e in engine.last_degraded]
+        assert "degrade.batched" in names
+        assert "degrade.backend" in names
+        backend_event = next(e for e in engine.last_degraded
+                             if e["event"] == "degrade.backend")
+        assert backend_event["source"] == "array"
+        assert backend_event["target"] == "scalar"
+
+    def test_strict_raises_instead_of_degrading(self):
+        engine = CpprEngine(demo_analyzer(), CpprOptions(
+            backend="array", batch_levels="on", strict=True))
+        with inject(FaultSpec("numpy.import", times=None)):
+            with pytest.raises(ExecutionError):
+                engine.top_paths(6, "setup")
+
+    def test_strict_task_fault_raises(self):
+        engine = CpprEngine(demo_analyzer(), CpprOptions(strict=True))
+        with inject(FaultSpec("task.exception", times=None)):
+            with pytest.raises(ExecutionError):
+                engine.top_paths(6, "setup")
+
+
+class TestOptionValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"task_timeout": 0}, {"task_timeout": -1.0},
+        {"task_timeout": True}, {"task_timeout": "5"},
+        {"max_retries": -1}, {"max_retries": 1.5}, {"max_retries": True},
+        {"retry_backoff": -0.1}, {"retry_backoff": "fast"},
+        {"strict": "yes"},
+    ])
+    def test_bad_resilience_options_rejected_eagerly(self, kwargs):
+        with pytest.raises(AnalysisError):
+            CpprEngine(demo_analyzer(), CpprOptions(**kwargs))
+
+    def test_good_resilience_options_accepted(self):
+        engine = CpprEngine(demo_analyzer(), CpprOptions(
+            task_timeout=5.0, max_retries=0, retry_backoff=0.0,
+            strict=True))
+        assert engine.options.strict
+
+
+@needs_numpy
+class TestQueryDegradation:
+    def test_endpoint_paths_degrade_to_scalar(self):
+        analyzer = demo_analyzer()
+        want = _fingerprint(endpoint_paths(analyzer, "ff2", 4, "setup",
+                                           backend="scalar"))
+        with inject(FaultSpec("numpy.import", times=1)):
+            got = _fingerprint(endpoint_paths(analyzer, "ff2", 4,
+                                              "setup", backend="array"))
+        assert got == want
+
+    def test_pair_paths_degrade_to_scalar(self):
+        analyzer = demo_analyzer()
+        want = _fingerprint(pair_paths(analyzer, "ff1", "ff2", 4,
+                                       "setup", backend="scalar"))
+        with inject(FaultSpec("numpy.import", times=1)):
+            got = _fingerprint(pair_paths(analyzer, "ff1", "ff2", 4,
+                                          "setup", backend="array"))
+        assert got == want
+
+    def test_strict_query_raises(self):
+        analyzer = demo_analyzer()
+        with inject(FaultSpec("numpy.import", times=None)):
+            with pytest.raises(ExecutionError):
+                endpoint_paths(analyzer, "ff2", 4, "setup",
+                               backend="array", strict=True)
+            with pytest.raises(ExecutionError):
+                pair_paths(analyzer, "ff1", "ff2", 4, "setup",
+                           backend="array", strict=True)
+
+    def test_scalar_floor_failure_surfaces(self):
+        # When even the last rung dies the query must raise, not loop.
+        analyzer = demo_analyzer()
+        with inject(FaultSpec("memory.pressure", times=None)):
+            with pytest.raises((ExecutionError, MemoryError)):
+                with warnings.catch_warnings():
+                    warnings.simplefilter("ignore")
+                    engine = CpprEngine(analyzer, CpprOptions(
+                        max_retries=0, retry_backoff=0.0))
+                    engine.top_paths(4, "setup")

@@ -1,0 +1,173 @@
+"""The resilient scheduler: retries, timeouts, and the fallback ladder."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.exceptions import AnalysisError, ExecutionError
+from repro.faults import FaultSpec, InjectedFault, inject
+from repro.cppr import parallel
+from repro.cppr.parallel import available_executors, run_tasks
+
+
+def _square(x):
+    return x * x
+
+
+def _fail(x):
+    raise RuntimeError(f"boom {x}")
+
+
+class _FlakyUntil:
+    """Fails the first ``failures`` calls per argument, then succeeds.
+
+    Serial/thread rungs share this instance's memory, so retries of the
+    same task observe earlier attempts — exactly what a transient fault
+    looks like.  (Not picklable by design: process-rung transients are
+    modelled with injected faults instead.)
+    """
+
+    def __init__(self, failures: int) -> None:
+        self.failures = failures
+        self.calls: dict[int, int] = {}
+        self.lock = threading.Lock()
+
+    def __call__(self, x):
+        with self.lock:
+            seen = self.calls.get(x, 0)
+            self.calls[x] = seen + 1
+        if seen < self.failures:
+            raise RuntimeError(f"transient {x}/{seen}")
+        return x * x
+
+
+class TestRetries:
+    @pytest.mark.parametrize("executor", ["serial", "thread"])
+    def test_transient_failures_are_retried(self, executor):
+        flaky = _FlakyUntil(failures=2)
+        events = []
+        result = run_tasks(flaky, [(i,) for i in range(4)],
+                           executor=executor, max_retries=2,
+                           retry_backoff=0.0, events=events)
+        assert result == [0, 1, 4, 9]
+        retries = [e for e in events if e["event"] == "faults.retry"]
+        assert len(retries) == 8  # 4 tasks x 2 transient failures
+
+    def test_serial_exhaustion_reraises_the_original(self):
+        flaky = _FlakyUntil(failures=5)
+        with pytest.raises(RuntimeError, match="transient"):
+            run_tasks(flaky, [(1,)], max_retries=2, retry_backoff=0.0)
+
+    def test_thread_exhaustion_falls_back_to_serial(self):
+        # 2 thread-rung attempts + 1 retry fail; the serial floor then
+        # absorbs the remaining transients.
+        flaky = _FlakyUntil(failures=3)
+        events = []
+        result = run_tasks(flaky, [(2,)], executor="thread",
+                           max_retries=1, retry_backoff=0.0,
+                           events=events)
+        assert result == [4]
+        assert {"event": "degrade.executor", "source": "thread",
+                "target": "serial", "tasks": 1} in events
+
+
+class TestInjectedFaults:
+    @pytest.mark.parametrize("site", ["task.exception", "memory.pressure"])
+    @pytest.mark.parametrize("executor", ["serial", "thread"])
+    def test_injected_task_faults_recovered(self, executor, site):
+        with inject(FaultSpec(site, times=1)):
+            result = run_tasks(_square, [(i,) for i in range(4)],
+                               executor=executor, max_retries=1,
+                               retry_backoff=0.0)
+        assert result == [0, 1, 4, 9]
+
+    def test_timeout_moves_the_task_down_the_ladder(self):
+        events = []
+        with inject(FaultSpec("task.timeout", times=1, seconds=10.0)):
+            result = run_tasks(_square, [(i,) for i in range(3)],
+                               executor="thread", task_timeout=0.2,
+                               retry_backoff=0.0, events=events)
+        assert result == [0, 1, 4]
+        names = [e["event"] for e in events]
+        assert "faults.task_timeout" in names
+        assert "degrade.executor" in names
+
+    def test_crash_is_catchable_outside_the_process_pool(self):
+        with inject(FaultSpec("task.crash", times=1)):
+            result = run_tasks(_square, [(3,)], max_retries=1,
+                               retry_backoff=0.0)
+        assert result == [9]
+
+
+@pytest.mark.skipif("process" not in available_executors(),
+                    reason="fork start method unavailable")
+class TestProcessLadder:
+    def test_broken_pool_falls_back(self):
+        events = []
+        with inject(FaultSpec("pool.broken", times=1)):
+            result = run_tasks(_square, [(i,) for i in range(4)],
+                               executor="process", workers=2,
+                               retry_backoff=0.0, events=events)
+        assert result == [0, 1, 4, 9]
+        names = [e["event"] for e in events]
+        assert "faults.pool_broken" in names
+        assert {"event": "degrade.executor", "source": "process",
+                "target": "thread", "tasks": 4} in events
+
+    def test_worker_crash_is_detected_and_recovered(self):
+        # task.crash os._exits a fork worker; the scheduler must see the
+        # broken pool and finish the work on safer rungs.
+        events = []
+        with inject(FaultSpec("task.crash", times=1)):
+            result = run_tasks(_square, [(i,) for i in range(4)],
+                               executor="process", workers=2,
+                               task_timeout=30.0, max_retries=1,
+                               retry_backoff=0.0, events=events)
+        assert result == [0, 1, 4, 9]
+        assert any(e["event"] == "degrade.executor" for e in events)
+
+    def test_nested_process_rungs_rejected(self):
+        original = parallel._IN_FORK_WORKER
+        parallel._IN_FORK_WORKER = True
+        try:
+            with pytest.raises(AnalysisError, match="nested"):
+                run_tasks(_square, [(1,)], executor="process",
+                          fallback=False)
+        finally:
+            parallel._IN_FORK_WORKER = original
+
+
+class TestStrictMode:
+    def test_no_fallback_raises_execution_error(self):
+        with pytest.raises(ExecutionError) as info:
+            run_tasks(_fail, [(1,)], executor="thread", fallback=False)
+        assert isinstance(info.value.__cause__, RuntimeError)
+
+    def test_no_fallback_with_injected_fault(self):
+        with inject(FaultSpec("task.exception", times=None)):
+            with pytest.raises(ExecutionError) as info:
+                run_tasks(_square, [(1,)], executor="thread",
+                          fallback=False)
+        assert isinstance(info.value.__cause__, InjectedFault)
+
+
+class TestSchedulerBasics:
+    def test_empty_task_list(self):
+        assert run_tasks(_square, [], executor="thread") == []
+
+    def test_order_preserved_under_threads(self):
+        result = run_tasks(_square, [(i,) for i in range(32)],
+                           executor="thread", workers=4)
+        assert result == [i * i for i in range(32)]
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(AnalysisError, match="unknown executor"):
+            run_tasks(_square, [(1,)], executor="cluster")
+
+    def test_events_list_untouched_on_clean_runs(self):
+        events = []
+        run_tasks(_square, [(i,) for i in range(4)], executor="thread",
+                  events=events)
+        assert events == []
