@@ -85,6 +85,87 @@ def run_both_modes(timer, k: int) -> tuple[list[float], list[float]]:
 
 
 # ----------------------------------------------------------------------
+# ECO edit sampling (the `incremental` bench step)
+# ----------------------------------------------------------------------
+def competitive_edit_pool(analyzer: TimingAnalyzer, graph=None,
+                          margin: float = 0.3,
+                          cone_cap: int | None = None) -> list[tuple]:
+    """Edges whose edits a warm session should absorb incrementally.
+
+    An ECO batch only exercises the incremental machinery when the
+    edited edges are *competitive* — close enough to the locally
+    winning arrival that shrinking them perturbs real timing state —
+    yet *off-critical* with a small fanout cone, so the dirty region
+    stays a sliver of the design (the regime the paper's ECO loop
+    lives in).  Returns ``(driver, sink, margin)`` triples where at
+    sink ``v`` every driver is reachable, and the edge loses both the
+    late max and the early min race by more than ``margin`` (computed
+    from the analyzer's pre-CPPR arrival times), with ``v``'s fanout
+    cone within ``cone_cap`` pins (default: 0.1% of the design).
+    """
+    from repro.pipeline.dirty import fanout_cone, topo_positions
+
+    graph = analyzer.graph if graph is None else graph
+    at = analyzer.arrivals
+    if cone_cap is None:
+        cone_cap = max(8, round(0.001 * graph.num_pins))
+    positions = topo_positions(graph)
+    pool = []
+    for v in range(graph.num_pins):
+        row = graph.fanin[v]
+        if len(row) < 2:
+            continue
+        if not all(at.is_reachable(u) for u, _e, _l in row):
+            continue
+        win_l = max(at.late[u] + l for u, e, l in row)
+        win_e = min(at.early[u] + e for u, e, l in row)
+        cone_ok = None  # computed lazily, once per sink
+        for u, e, l in row:
+            if (win_l - (at.late[u] + l) > margin
+                    and (at.early[u] + e) - win_e > margin
+                    and l - e > 1e-6):
+                if cone_ok is None:
+                    cone_ok = fanout_cone(graph, [v], positions,
+                                          cap=cone_cap) is not None
+                if cone_ok:
+                    pool.append((u, v,
+                                 min(win_l - (at.late[u] + l),
+                                     (at.early[u] + e) - win_e)))
+    return pool
+
+
+def pick_eco_batch(graph, pool: list[tuple], rng, count: int) -> list:
+    """Draw ``count`` distinct-edge shrink edits from the pool.
+
+    Each edit re-reads the edge's *current* ``(early, late)`` pair
+    (the pool may be older than the graph by several applied batches)
+    and shrinks the interval from both ends by
+    ``min(0.25 * margin, 0.45 * (late - early))`` — small enough to
+    keep the edge off-critical, large enough to move real state.
+    """
+    from repro import DelayUpdate
+
+    out, seen = [], set()
+    shuffled = list(pool)
+    rng.shuffle(shuffled)
+    for u, v, margin in shuffled:
+        if len(out) == count:
+            break
+        if (u, v) in seen:
+            continue
+        seen.add((u, v))
+        early, late = next((e, l) for t, e, l in graph.fanout[u]
+                           if t == v)
+        d = min(0.25 * margin, 0.45 * (late - early))
+        out.append(DelayUpdate(u, v, early + d, late - d))
+    if len(out) < count:
+        raise RuntimeError(
+            f"edit pool too small: wanted {count} edits, "
+            f"found {len(out)} distinct competitive edges")
+    return out
+
+
+# ----------------------------------------------------------------------
 # Observability hooks
 # ----------------------------------------------------------------------
 def profiled_run(timer, k: int, mode: str = "setup"

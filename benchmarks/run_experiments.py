@@ -8,14 +8,17 @@ Usage::
     python benchmarks/run_experiments.py fig5 --scale 0.5
 
 Subcommands: ``table3``, ``table4``, ``fig5``, ``fig6``, ``ablation``,
-``backend``, ``batched``, ``faults``, ``profile``, ``all`` — several
-may be given at once (``backend batched``).  Results are printed as
-markdown and also written under ``benchmarks/results/``; ``profile``
-additionally writes the machine-readable
+``backend``, ``batched``, ``incremental``, ``faults``, ``profile``,
+``all`` — several may be given at once (``backend batched``).  Results
+are printed as markdown and also written under ``benchmarks/results/``;
+``profile`` additionally writes the machine-readable
 ``benchmarks/results/BENCH_profile.json`` (per-pass wall time +
 counters per design), ``backend`` writes ``BENCH_backend.json``,
 ``batched`` writes ``BENCH_batched.json`` (including the
-report-identity check), and ``faults`` writes ``BENCH_faults.json``
+report-identity check), ``incremental`` writes
+``BENCH_incremental.json`` (warm ECO sessions vs from-scratch rebuilds
+on leon2 — hard-fails unless sessions are >= 3x faster at <= 1% dirty
+with bit-identical reports), and ``faults`` writes ``BENCH_faults.json``
 (clean-path overhead of the resilient scheduler, capped at 3%, plus
 chaos report-identity checks) so the numbers stay comparable across
 PRs.
@@ -501,6 +504,128 @@ def run_faults(args) -> None:
 
 
 # ----------------------------------------------------------------------
+# Incremental (ECO sessions vs from-scratch re-analysis)
+# ----------------------------------------------------------------------
+def run_incremental(args) -> None:
+    """ECO loop on leon2: a warm session absorbs batches of delay
+    edits and must beat rebuilding the engine from scratch by >= 3x
+    while reproducing its top-k reports bit for bit."""
+    import random
+    import time
+
+    from harness import competitive_edit_pool, pick_eco_batch
+
+    from repro import CpprEngine, TimingAnalyzer
+    from repro.sta.incremental import apply_delay_updates
+
+    design = "leon2"  # the paper's densest benchmark; dirty cones
+    #                   under the 0.1% cap only exist at real scale
+    rounds, batch_size, k = 5, 8, 50
+    min_speedup, dirty_budget = 3.0, 0.01
+    payload = {
+        "schema": "repro.bench/incremental@1",
+        "scale": args.scale,
+        "design": design,
+        "rounds": rounds,
+        "edits_per_round": batch_size,
+        "k": k,
+        "min_speedup": min_speedup,
+        "dirty_budget": dirty_budget,
+        "per_round": [],
+    }
+    lines = [f"# Incremental — warm ECO session vs from-scratch "
+             f"rebuild, {design}, {rounds} rounds x {batch_size} "
+             f"delay edits, k={k}, setup+hold", "",
+             "| Round | dirty | families kept | dropped | "
+             "session(s) | scratch(s) | speedup | reports |",
+             "|---:|---:|---:|---:|---:|---:|---:|---|"]
+
+    analyzer = get_analyzer(design, args.scale)
+    session = CpprEngine(analyzer).session()
+    t0 = time.perf_counter()
+    session.top_paths(k, "setup")
+    session.top_paths(k, "hold")
+    payload["warm_seconds"] = time.perf_counter() - t0
+    pool = competitive_edit_pool(analyzer)
+    payload["edit_pool_size"] = len(pool)
+    print(f"[incremental] {design}: {len(pool)} competitive "
+          f"small-cone edges", file=sys.stderr)
+
+    rng = random.Random(7)
+    fresh_graph = analyzer.graph
+    total_inc = total_scratch = 0.0
+    dirty_fractions = []
+    for rnd in range(rounds):
+        batch = pick_eco_batch(session.graph, pool, rng, batch_size)
+        t0 = time.perf_counter()
+        summary = session.update(delays=batch)
+        inc = {mode: session.top_paths(k, mode)
+               for mode in ("setup", "hold")}
+        inc_seconds = time.perf_counter() - t0
+        # Reference: the same cumulative edits applied functionally,
+        # analyzed by a brand-new engine (what an ECO loop without
+        # sessions would have to do every iteration).
+        fresh_graph = apply_delay_updates(fresh_graph, batch)
+        t0 = time.perf_counter()
+        engine = CpprEngine(TimingAnalyzer(fresh_graph,
+                                           analyzer.constraints))
+        scratch = {mode: engine.top_paths(k, mode)
+                   for mode in ("setup", "hold")}
+        scratch_seconds = time.perf_counter() - t0
+        identical = all(_path_fingerprint(inc[mode])
+                        == _path_fingerprint(scratch[mode])
+                        for mode in ("setup", "hold"))
+        if not identical:
+            raise SystemExit(
+                f"[incremental] MISMATCH on {design} round {rnd}: "
+                f"the session's top-{k} reports differ from a "
+                f"from-scratch rebuild")
+        total_inc += inc_seconds
+        total_scratch += scratch_seconds
+        dirty_fractions.append(summary["dirty_fraction"])
+        speedup = scratch_seconds / inc_seconds
+        payload["per_round"].append({
+            "edits": len(batch),
+            "dirty_fraction": summary["dirty_fraction"],
+            "families_kept": summary["families_kept"],
+            "families_dropped": summary["families_dropped"],
+            "session_seconds": inc_seconds,
+            "scratch_seconds": scratch_seconds,
+            "speedup": speedup,
+            "reports_identical": True,
+        })
+        lines.append(
+            f"| {rnd} | {summary['dirty_fraction']:.4%} | "
+            f"{summary['families_kept']} | "
+            f"{summary['families_dropped']} | {inc_seconds:.3f} | "
+            f"{scratch_seconds:.3f} | {speedup:.1f}x | identical |")
+        print(f"[incremental] round {rnd}: "
+              f"dirty={summary['dirty_fraction']:.4%} "
+              f"kept={summary['families_kept']} "
+              f"speedup={speedup:.1f}x", file=sys.stderr)
+    total_speedup = total_scratch / total_inc
+    mean_dirty = sum(dirty_fractions) / len(dirty_fractions)
+    payload["total_speedup"] = total_speedup
+    payload["mean_dirty_fraction"] = mean_dirty
+    lines += ["", f"Total: {total_scratch:.3f}s from scratch vs "
+                  f"{total_inc:.3f}s in-session — "
+                  f"**{total_speedup:.2f}x** at "
+                  f"{mean_dirty:.4%} mean dirty fraction."]
+    if mean_dirty <= dirty_budget and total_speedup < min_speedup:
+        raise SystemExit(
+            f"[incremental] TOO SLOW on {design}: {total_speedup:.2f}x "
+            f"at {mean_dirty:.4%} mean dirty fraction (sessions must "
+            f"be >= {min_speedup:.0f}x faster than from-scratch "
+            f"rebuilds when under {dirty_budget:.0%} of the design "
+            f"is dirty)")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    write_bench_profile(RESULTS_DIR / "BENCH_incremental.json", payload)
+    print(f"[incremental] wrote "
+          f"{RESULTS_DIR / 'BENCH_incremental.json'}", file=sys.stderr)
+    _emit(lines, "incremental.md")
+
+
+# ----------------------------------------------------------------------
 # Profile (observability trajectory)
 # ----------------------------------------------------------------------
 def run_profile(args) -> None:
@@ -544,7 +669,8 @@ def main(argv=None) -> None:
     parser.add_argument("what", nargs="+",
                         choices=["table3", "table4", "fig5", "fig6",
                                  "ablation", "backend", "batched",
-                                 "faults", "profile", "all"])
+                                 "incremental", "faults", "profile",
+                                 "all"])
     parser.add_argument("--scale", type=float, default=1.0,
                         help="design scale factor (default 1.0)")
     parser.add_argument("--quick", action="store_true",
@@ -574,6 +700,7 @@ def main(argv=None) -> None:
     steps = {"table3": run_table3, "table4": run_table4, "fig5": run_fig5,
              "fig6": run_fig6, "ablation": run_ablation,
              "backend": run_backend, "batched": run_batched,
+             "incremental": run_incremental,
              "faults": run_faults, "profile": run_profile}
     selected = (list(steps) if "all" in args.what
                 else list(dict.fromkeys(args.what)))

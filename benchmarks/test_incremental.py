@@ -1,0 +1,94 @@
+"""Benchmark: incremental (ECO) re-analysis sessions on leon2.
+
+A warm :class:`~repro.pipeline.session.CpprSession` absorbs a batch of
+competitive off-critical delay edits and re-serves the top-k setup and
+hold reports; the baseline is what an ECO loop without sessions has to
+do — rebuild the analyzer and engine from scratch over the
+functionally edited design.  Reports must match bit for bit (the
+session is an exact cache, never an approximation); the hard >= 3x
+speedup gate lives in ``run_experiments.py incremental``, this file
+records the numbers for trend tracking.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from harness import competitive_edit_pool, get_analyzer, pick_eco_batch
+from repro import CpprEngine, TimingAnalyzer
+from repro.sta.incremental import apply_delay_updates
+
+K = 50
+BATCH = 8
+
+
+def _fingerprint(paths):
+    return [(p.slack, tuple(p.pins), p.launch_ff, p.capture_ff,
+             p.credit, p.family.name, p.level) for p in paths]
+
+
+@pytest.fixture(scope="module")
+def leon2_pool():
+    analyzer = get_analyzer("leon2")
+    return analyzer, competitive_edit_pool(analyzer)
+
+
+def test_incremental_session_vs_scratch(benchmark, leon2_pool):
+    analyzer, pool = leon2_pool
+    session = CpprEngine(analyzer).session()
+    session.top_paths(K, "setup")
+    session.top_paths(K, "hold")
+    rng = random.Random(7)
+    batch = pick_eco_batch(session.graph, pool, rng, BATCH)
+
+    state = {}
+
+    def eco_round():
+        state["summary"] = session.update(delays=batch)
+        return {mode: session.top_paths(K, mode)
+                for mode in ("setup", "hold")}
+
+    inc = benchmark.pedantic(eco_round, rounds=1, iterations=1)
+
+    t0 = time.perf_counter()
+    engine = CpprEngine(TimingAnalyzer(
+        apply_delay_updates(analyzer.graph, batch),
+        analyzer.constraints))
+    scratch = {mode: engine.top_paths(K, mode)
+               for mode in ("setup", "hold")}
+    scratch_seconds = time.perf_counter() - t0
+
+    for mode in ("setup", "hold"):
+        assert _fingerprint(inc[mode]) == _fingerprint(scratch[mode])
+    summary = state["summary"]
+    assert summary["families_kept"] > 0  # sigma-bound serving engaged
+    benchmark.extra_info.update({
+        "design": "leon2", "k": K, "edits": BATCH,
+        "dirty_fraction": summary["dirty_fraction"],
+        "families_kept": summary["families_kept"],
+        "families_dropped": summary["families_dropped"],
+        "scratch_seconds": scratch_seconds,
+    })
+
+
+def test_incremental_rounds_stay_identical(leon2_pool):
+    """Three cumulative ECO rounds: every re-query bit-identical to a
+    fresh engine over the functionally edited design."""
+    analyzer, pool = leon2_pool
+    session = CpprEngine(analyzer).session()
+    session.top_paths(K, "setup")
+    session.top_paths(K, "hold")
+    rng = random.Random(11)
+    fresh_graph = analyzer.graph
+    for _ in range(3):
+        batch = pick_eco_batch(session.graph, pool, rng, BATCH)
+        session.update(delays=batch)
+        fresh_graph = apply_delay_updates(fresh_graph, batch)
+        engine = CpprEngine(TimingAnalyzer(fresh_graph,
+                                           analyzer.constraints))
+        for mode in ("setup", "hold"):
+            assert (_fingerprint(session.top_paths(K, mode))
+                    == _fingerprint(engine.top_paths(K, mode)))

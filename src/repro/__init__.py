@@ -34,7 +34,9 @@ from repro.exceptions import (AnalysisError, CircuitStructureError,
                               TimingConstraintError)
 from repro.io import (load_design, load_design_json, save_design,
                       save_design_json)
+from repro.pipeline import CpprSession
 from repro.sta import AnalysisMode, TimingAnalyzer, TimingConstraints
+from repro.sta.incremental import DelayUpdate
 from repro.workloads import (RandomDesignSpec, build_design, design_names,
                              design_statistics, random_design)
 
@@ -49,7 +51,9 @@ __all__ = [
     "ClockTree",
     "CpprEngine",
     "CpprOptions",
+    "CpprSession",
     "DegradedResultWarning",
+    "DelayUpdate",
     "ExecutionError",
     "ExhaustiveTimer",
     "FormatError",

@@ -174,3 +174,58 @@ class TimingGraph:
                 f"{len(self.primary_inputs)} PIs, "
                 f"{len(self.primary_outputs)} POs, "
                 f"clock tree depth D={self.clock_tree.num_levels}")
+
+    # ------------------------------------------------------------------
+    # Derived graphs (the incremental fast paths)
+    # ------------------------------------------------------------------
+    @classmethod
+    def _derived(cls, parent: "TimingGraph", *,
+                 fanout: list[list[tuple[int, float, float]]] | None = None,
+                 fanin: list[list[tuple[int, float, float]]] | None = None,
+                 clock_tree: ClockTree | None = None) -> "TimingGraph":
+        """A graph sharing ``parent``'s topology-derived state.
+
+        The incremental entry points (:mod:`repro.sta.incremental`,
+        :class:`repro.pipeline.session.CpprSession`) construct edited graphs
+        through here instead of ``__init__``: the pin table, FF/port
+        records, name maps and — crucially — the already-computed
+        ``topo_order`` are shared, because a delay or clock edit never
+        changes the topology.  Callers that pass ``fanout``/``fanin``
+        must pass copy-on-touch row lists: untouched rows may alias the
+        parent's, touched rows must be fresh lists.
+
+        The per-graph lazy caches (``_core_arrays``, batched pads, ...)
+        are deliberately *not* carried over; whoever derives the graph
+        decides which ones are still valid and plants them explicitly.
+        """
+        graph = cls.__new__(cls)
+        graph.name = parent.name
+        graph.pins = parent.pins
+        graph.fanout = parent.fanout if fanout is None else fanout
+        graph.fanin = parent.fanin if fanin is None else fanin
+        graph.ffs = parent.ffs
+        graph.primary_inputs = parent.primary_inputs
+        graph.primary_outputs = parent.primary_outputs
+        graph.clock_tree = (parent.clock_tree if clock_tree is None
+                            else clock_tree)
+        graph.ff_of_d_pin = parent.ff_of_d_pin
+        graph.ff_of_q_pin = parent.ff_of_q_pin
+        graph.ff_of_ck_pin = parent.ff_of_ck_pin
+        graph.pin_index = parent.pin_index
+        graph.is_clock_pin = parent.is_clock_pin
+        # cached_property: copying the value into __dict__ makes the
+        # derived graph's first topo_order read free.
+        graph.__dict__["topo_order"] = parent.topo_order
+        return graph
+
+    def session_copy(self) -> "TimingGraph":
+        """A privately mutable clone for :class:`~repro.pipeline.session.CpprSession`.
+
+        Adjacency *rows* are copied (so the session may patch delay
+        entries in place without aliasing the parent's rows); everything
+        else — pins, records, maps, ``topo_order`` — is shared.
+        """
+        return TimingGraph._derived(
+            self,
+            fanout=[list(row) for row in self.fanout],
+            fanin=[list(row) for row in self.fanin])

@@ -5,7 +5,11 @@ Commands:
 * ``stats`` — Table III-style statistics of a design file or suite
   design.
 * ``report`` — top-k post-CPPR critical paths (or the pre-CPPR endpoint
-  summary with ``--pre``).
+  summary with ``--pre``); ``--eco updates.json`` reports the design
+  *after* applying the ECO edits, via an incremental session.
+* ``eco`` — before/after what-if analysis: baseline query, apply the
+  update file through a :class:`~repro.pipeline.session.CpprSession`,
+  re-query incrementally, and print both reports plus pipeline stats.
 * ``generate`` — synthesize a suite or random design to a file.
 * ``convert`` — convert between the ``.cppr`` text and ``.json``
   formats.
@@ -146,9 +150,24 @@ def _cmd_report(args) -> int:
 
     profiling = args.profile or args.profile_json
     graph, constraints = _design_from_args(args)
+    eco = None
+    if getattr(args, "eco", None) is not None:
+        from repro.io.eco import load_eco_updates
+        eco = load_eco_updates(args.eco)
+        if args.pre or args.pair is not None or args.endpoint is not None:
+            # Filtered queries have no session entry point; apply the
+            # edits functionally and analyze the derived design.
+            from repro.sta.incremental import (apply_clock_updates,
+                                               apply_delay_updates)
+            if eco.delays:
+                graph = apply_delay_updates(graph, list(eco.delays))
+            if eco.clock:
+                graph = apply_clock_updates(graph, eco.clock)
     analyzer = TimingAnalyzer(graph, constraints)
+    eco_suffix = f" (ECO: {eco.describe()})" if eco else ""
 
     def run():
+        nonlocal analyzer
         if args.pre:
             return None, format_endpoint_report(analyzer, args.mode,
                                                 limit=args.k)
@@ -161,19 +180,26 @@ def _cmd_report(args) -> int:
                                args.mode, backend=args.backend,
                                strict=args.strict)
             title = (f"Top-{args.k} post-CPPR {args.mode} paths "
-                     f"{launch} -> {capture}")
+                     f"{launch} -> {capture}{eco_suffix}")
         elif args.endpoint is not None:
             paths = endpoint_paths(analyzer, args.endpoint, args.k,
                                    args.mode, backend=args.backend,
                                    strict=args.strict)
             title = (f"Top-{args.k} post-CPPR {args.mode} paths into "
-                     f"{args.endpoint}")
+                     f"{args.endpoint}{eco_suffix}")
         else:
             engine = CpprEngine(analyzer, CpprOptions(
                 backend=args.backend, batch_levels=args.batch_levels,
                 **_resilience_from_args(args)))
-            paths = engine.top_paths(args.k, args.mode)
-            title = f"Top-{args.k} post-CPPR {args.mode} paths"
+            if eco:
+                session = engine.session()
+                session.update(delays=list(eco.delays), clock=eco.clock)
+                paths = session.top_paths(args.k, args.mode)
+                analyzer = session.analyzer
+            else:
+                paths = engine.top_paths(args.k, args.mode)
+            title = (f"Top-{args.k} post-CPPR {args.mode} paths"
+                     f"{eco_suffix}")
         return paths, title
 
     if profiling:
@@ -196,6 +222,62 @@ def _cmd_report(args) -> int:
         print(f"wrote {len(paths)} paths -> {args.save_json}")
     else:
         print(format_path_report(analyzer, paths, title=title))
+    if profile is not None:
+        print()
+        print(format_profile(profile, title=f"Profile ({args.mode})"))
+    return 0
+
+
+def _cmd_eco(args) -> int:
+    from repro.io.eco import load_eco_updates
+    from repro.obs import collecting, format_profile
+
+    graph, constraints = _design_from_args(args)
+    updates = load_eco_updates(args.updates)
+    if not updates:
+        raise ReproError(f"{args.updates}: no delay or clock edits")
+    analyzer = TimingAnalyzer(graph, constraints)
+    engine = CpprEngine(analyzer, CpprOptions(
+        backend=args.backend, batch_levels=args.batch_levels,
+        **_resilience_from_args(args)))
+    session = engine.session()
+
+    def go():
+        baseline = measure_runtime(
+            lambda: session.top_paths(args.k, args.mode))
+        summary = session.update(delays=list(updates.delays),
+                                 clock=updates.clock)
+        requery = measure_runtime(
+            lambda: session.top_paths(args.k, args.mode))
+        return baseline, summary, requery
+
+    if args.profile:
+        with collecting() as col:
+            baseline, summary, requery = go()
+        profile = col.profile()
+    else:
+        baseline, summary, requery = go()
+        profile = None
+
+    before, after = baseline.value, requery.value
+    print(format_path_report(
+        session.analyzer, after,
+        title=f"Top-{args.k} post-CPPR {args.mode} paths after ECO "
+              f"({updates.describe()})"))
+    print()
+    worst_before = before[0].slack if before else float("inf")
+    worst_after = after[0].slack if after else float("inf")
+    print(f"worst slack: {worst_before:.4f} -> {worst_after:.4f}")
+    print(f"baseline query: {baseline.seconds:.3f}s   "
+          f"incremental re-query: {requery.seconds:.3f}s")
+    print(f"dirty: {summary['dirty_pins']} pins "
+          f"({summary['dirty_fraction']:.2%})"
+          + ("  [full rebuild]" if summary["full_rebuild"] else ""))
+    print(f"families kept: {summary['families_kept']}   "
+          f"dropped: {summary['families_dropped']}")
+    stats = session.stats()
+    print(f"family cache: {stats['families']}   "
+          f"select cache: {stats['select']}")
     if profile is not None:
         print()
         print(format_profile(profile, title=f"Profile ({args.mode})"))
@@ -296,6 +378,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="only paths captured by this flip-flop")
     report.add_argument("--pair", metavar="LAUNCH:CAPTURE",
                         help="only paths for this flip-flop pair")
+    report.add_argument("--eco", metavar="UPDATES.json",
+                        help="apply the ECO update file (delay/clock "
+                             "edits) before reporting, via an "
+                             "incremental session")
     report.add_argument("--save-json", metavar="FILE",
                         help="write a machine-readable report instead")
     report.add_argument("--profile", action="store_true",
@@ -316,6 +402,26 @@ def build_parser() -> argparse.ArgumentParser:
                              "only; default auto)")
     _add_resilience_arguments(report)
     report.set_defaults(func=_cmd_report)
+
+    eco = sub.add_parser("eco", help="incremental before/after ECO "
+                                     "what-if analysis")
+    _add_design_arguments(eco)
+    eco.add_argument("updates", help="ECO update file (JSON; see "
+                                     "docs/INCREMENTAL.md)")
+    eco.add_argument("-k", type=int, default=10,
+                     help="number of paths (default 10)")
+    eco.add_argument("--mode", choices=["setup", "hold"],
+                     default="setup")
+    eco.add_argument("--profile", action="store_true",
+                     help="also print a span tree + counter table")
+    eco.add_argument("--backend", choices=["auto", "scalar", "array"],
+                     default="auto",
+                     help="compute substrate (default auto)")
+    eco.add_argument("--batch-levels", choices=["auto", "on", "off"],
+                     default="auto",
+                     help="level-batched propagation (default auto)")
+    _add_resilience_arguments(eco)
+    eco.set_defaults(func=_cmd_eco)
 
     generate = sub.add_parser("generate", help="synthesize a design")
     generate.add_argument("output", help="output file (.cppr or .json)")

@@ -1,8 +1,21 @@
-"""CSR/struct-of-arrays view of a :class:`TimingGraph`.
+"""CSR/struct-of-arrays view of a :class:`TimingGraph`, split into an
+immutable structure half and a mutable value half.
 
-One :class:`CoreArrays` instance holds every flat representation the
-array backend needs, built in a single pass over ``graph.fanout`` and
-cached on the graph object (:func:`get_core`):
+One :class:`CoreArrays` instance pairs
+
+* a :class:`CoreStructure` — every index array that depends only on the
+  graph's *topology*: ``level_of``, the levelized edge-table CSR with its
+  per-level segment geometry, and the fanin CSR index columns.  The
+  structure is immutable and shareable: two graphs with identical
+  topology but different delays (an ECO edit) reuse one structure; and
+* :class:`CoreValues` — the delay columns of both tables
+  (``edge_early/edge_late`` and ``fanin_early/fanin_late`` with their
+  plain-list mirrors) plus a monotonically increasing ``version``.
+  Values are mutable: :meth:`CoreArrays.apply_value_updates` rewrites
+  delay entries in place — the pipeline's ``values`` stage — so an
+  incremental delay edit never rebuilds CSR.
+
+Layout recap (unchanged from the single-object days):
 
 * ``level_of`` — longest-path level per pin.  Every data edge goes from
   a lower to a strictly higher level, so relaxing the edge buckets in
@@ -23,10 +36,16 @@ cached on the graph object (:func:`get_core`):
   sorted by ``(dst, src, early, late)`` — consumed by the deviation
   search, which walks backward.  ``fanin_dst`` is the expanded per-edge
   destination column used to precompute deviation costs in one
-  vectorized pass.  Plain-list mirrors of the CSR (``fanin_ptr_list``,
-  ``fanin_src_list``, ``fanin_early_list``, ``fanin_late_list``) are
-  kept alongside because the deviation walk indexes single elements in
-  a tight loop, where Python lists beat numpy scalars.
+  vectorized pass.  Plain-list mirrors of the CSR are kept alongside
+  because the deviation walk indexes single elements in a tight loop,
+  where Python lists beat numpy scalars.
+
+Only the *within-run* order of parallel edges (equal ``(src, dst)``)
+depends on delay values: runs are kept sorted by ``(early, late)``, and
+:meth:`CoreArrays.apply_value_updates` re-sorts an edited run so the
+arrays remain exactly what a from-scratch build of the edited graph
+would produce.  Every index array is therefore a pure function of
+topology, which is what makes structure sharing sound.
 
 The sort keys make both tables fully deterministic functions of the
 graph, independent of ``graph.fanout`` adjacency-list ordering — one
@@ -35,7 +54,9 @@ half of the cross-backend tie-breaking contract (see
 
 Observability: building emits a ``core.build`` span with counters
 ``core.builds``, ``core.edges`` and ``core.levels``; cache hits count
-``core.reuses``.
+``core.reuses``; a shared-structure value build counts
+``core.structure_reuses``; in-place delay rewrites count
+``core.value_updates``.
 """
 
 from __future__ import annotations
@@ -46,7 +67,8 @@ from repro.circuit.graph import TimingGraph
 from repro.ds.topo import longest_path_levels
 from repro.obs import collector as _obs
 
-__all__ = ["CoreArrays", "LevelBucket", "get_core"]
+__all__ = ["CoreArrays", "CoreStructure", "CoreValues", "LevelBucket",
+           "get_core"]
 
 
 class LevelBucket:
@@ -60,6 +82,10 @@ class LevelBucket:
     edge contributes two candidate slots (the source's best tuple and
     its different-group fallback): slots ``2i`` and ``2i + 1`` belong
     to edge ``i``, and ``cand_src`` repeats each source pin twice.
+
+    ``early``/``late`` are *views* into the owning
+    :class:`CoreValues` columns, so in-place value updates are visible
+    here without rebuilding the bucket.
     """
 
     __slots__ = ("src", "early", "late", "seg_dst", "estarts", "eseg",
@@ -79,26 +105,174 @@ class LevelBucket:
         self.cseg = np.repeat(self.eseg, 2)
         self.cand_src = np.repeat(src, 2)
 
+    @classmethod
+    def _from_geometry(cls, geom: "LevelBucket", early: np.ndarray,
+                       late: np.ndarray) -> "LevelBucket":
+        """A bucket sharing ``geom``'s index arrays over new delay views.
+
+        The segment geometry is a pure function of ``(src, dst)``, so a
+        graph reusing another graph's :class:`CoreStructure` clones its
+        buckets without recomputing any of it.
+        """
+        bucket = cls.__new__(cls)
+        bucket.src = geom.src
+        bucket.early = early
+        bucket.late = late
+        bucket.seg_dst = geom.seg_dst
+        bucket.estarts = geom.estarts
+        bucket.eseg = geom.eseg
+        bucket.cstarts = geom.cstarts
+        bucket.cseg = geom.cseg
+        bucket.cand_src = geom.cand_src
+        return bucket
+
+
+class CoreStructure:
+    """The topology-keyed half: every index array, no delay values.
+
+    Immutable once built; safely shared between graphs whose topology
+    (pin count, edge multiset of ``(src, dst)`` pairs, adjacency-row
+    order) is identical — exactly what an ECO delay edit preserves.
+    Also lazily caches the derived geometries the incremental pipeline
+    needs: the per-bucket backward (source-grouped) relaxation geometry
+    for required-time bound sweeps, and the fanin-position-by-source
+    index for deviation-cost column maintenance.
+    """
+
+    __slots__ = ("num_pins", "num_edges", "num_levels", "level_of",
+                 "edge_src", "edge_dst", "level_ptr", "bucket_spans",
+                 "fanin_ptr", "fanin_src", "fanin_dst",
+                 "fanin_ptr_list", "fanin_src_list", "fanin_dst_list",
+                 "_backward_geo", "_fanin_by_src")
+
+    def __init__(self) -> None:
+        self._backward_geo = None
+        self._fanin_by_src = None
+
+    # ------------------------------------------------------------------
+    # Edge/fanin run location (parallel edges share one run)
+    # ------------------------------------------------------------------
+    def fanin_run(self, u: int, v: int) -> tuple[int, int]:
+        """Fanin-CSR slice ``[lo, hi)`` of the ``u -> v`` edge(s)."""
+        lo = self.fanin_ptr_list[v]
+        hi = self.fanin_ptr_list[v + 1]
+        sub = self.fanin_src[lo:hi]
+        a = lo + int(np.searchsorted(sub, u, side="left"))
+        b = lo + int(np.searchsorted(sub, u, side="right"))
+        return a, b
+
+    def edge_run(self, u: int, v: int) -> tuple[int, int]:
+        """Edge-table slice ``[lo, hi)`` of the ``u -> v`` edge(s)."""
+        level = int(self.level_of[u])
+        lo = int(self.level_ptr[level])
+        hi = int(self.level_ptr[level + 1])
+        dsub = self.edge_dst[lo:hi]
+        a = lo + int(np.searchsorted(dsub, v, side="left"))
+        b = lo + int(np.searchsorted(dsub, v, side="right"))
+        ssub = self.edge_src[a:b]
+        a2 = a + int(np.searchsorted(ssub, u, side="left"))
+        b2 = a + int(np.searchsorted(ssub, u, side="right"))
+        return a2, b2
+
+    # ------------------------------------------------------------------
+    # Lazy derived geometry for the incremental pipeline
+    # ------------------------------------------------------------------
+    def backward_geometry(self):
+        """Per-bucket source-grouped relaxation geometry, highest first.
+
+        For each non-empty level bucket (in *descending* source-level
+        order, the schedule of a backward required-time sweep) yields
+        ``(positions, sstarts, ssrc, dst_by_src)``: ``positions``
+        reorders the bucket's edge-table slice by source pin (stable,
+        so within one source the ``(dst, early, late)`` order is kept),
+        ``sstarts`` marks equal-source runs, ``ssrc`` their source
+        pins, and ``dst_by_src`` the reordered destination column.
+        """
+        if self._backward_geo is None:
+            geos = []
+            for lo, hi in reversed(self.bucket_spans):
+                src = self.edge_src[lo:hi]
+                order = np.argsort(src, kind="stable")
+                positions = lo + order
+                s = src[order]
+                sstarts = np.flatnonzero(np.r_[True, s[1:] != s[:-1]])
+                geos.append((positions, sstarts, s[sstarts],
+                             self.edge_dst[positions]))
+            self._backward_geo = geos
+        return self._backward_geo
+
+    def fanin_by_src(self):
+        """``(order, starts)``: fanin positions grouped by source pin.
+
+        ``order[starts[u]:starts[u + 1]]`` are the fanin-CSR positions
+        whose *source* is ``u`` — the forward mirror of ``fanin_ptr``,
+        used to patch deviation-cost entries after an arrival change at
+        ``u``.
+        """
+        if self._fanin_by_src is None:
+            order = np.argsort(self.fanin_src, kind="stable")
+            starts = np.searchsorted(
+                self.fanin_src[order], np.arange(self.num_pins + 1))
+            self._fanin_by_src = (order.tolist(), starts.tolist())
+        return self._fanin_by_src
+
+
+class CoreValues:
+    """The mutable half: delay columns of both tables, plus a version.
+
+    ``version`` increments on every in-place rewrite
+    (:meth:`CoreArrays.apply_value_updates`); pipeline artifacts embed
+    it in their validity keys so a stale cache can never be served.
+    """
+
+    __slots__ = ("edge_early", "edge_late", "fanin_early", "fanin_late",
+                 "fanin_early_list", "fanin_late_list", "version")
+
+    def __init__(self, edge_early: np.ndarray, edge_late: np.ndarray,
+                 fanin_early: np.ndarray, fanin_late: np.ndarray) -> None:
+        self.edge_early = edge_early
+        self.edge_late = edge_late
+        self.fanin_early = fanin_early
+        self.fanin_late = fanin_late
+        self.fanin_early_list = fanin_early.tolist()
+        self.fanin_late_list = fanin_late.tolist()
+        self.version = 0
+
 
 class CoreArrays:
-    """Flat arrays for one graph; construct via :func:`get_core`."""
+    """Flat arrays for one graph; construct via :func:`get_core`.
 
-    __slots__ = (
-        "num_pins", "num_edges", "num_levels", "level_of",
-        "edge_src", "edge_dst", "edge_early", "edge_late", "level_ptr",
-        "level_buckets",
-        "fanin_ptr", "fanin_src", "fanin_dst", "fanin_early",
-        "fanin_late",
-        "fanin_ptr_list", "fanin_src_list", "fanin_early_list",
-        "fanin_late_list",
-    )
+    A thin pairing of one (possibly shared) :class:`CoreStructure` with
+    one graph-private :class:`CoreValues`; every historical attribute
+    (``edge_src``, ``fanin_early_list``, ...) is still reachable here,
+    so consumers never need to know about the split.
+    """
 
-    def __init__(self, graph: TimingGraph) -> None:
+    __slots__ = ("structure", "values", "level_buckets")
+
+    def __init__(self, graph: TimingGraph,
+                 structure: CoreStructure | None = None,
+                 values: CoreValues | None = None) -> None:
+        if structure is not None:
+            if values is None:
+                raise ValueError(
+                    "a shared CoreStructure needs explicit CoreValues")
+            self.structure = structure
+            self.values = values
+            self._build_buckets(shared_from=None)
+            return
+        self._build(graph)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build(self, graph: TimingGraph) -> None:
         n = graph.num_pins
         fanout = graph.fanout
         m = sum(len(adj) for adj in fanout)
-        self.num_pins = n
-        self.num_edges = m
+        s = CoreStructure()
+        s.num_pins = n
+        s.num_edges = m
 
         src = np.empty(m, dtype=np.int64)
         dst = np.empty(m, dtype=np.int64)
@@ -118,52 +292,217 @@ class CoreArrays:
                                     for adj in fanout],
                                 graph.topo_order),
             dtype=np.int64)
-        self.level_of = levels
+        s.level_of = levels
 
         # Edge table bucketed by source level, each level segmented by
-        # destination (forward passes).
+        # destination (forward passes).  Parallel edges tie on
+        # (level, dst, src) and land sorted by (early, late) — the
+        # run order apply_value_updates maintains.
         order = np.lexsort((late, early, src, dst, levels[src]))
-        self.edge_src = src[order]
-        self.edge_dst = dst[order]
-        self.edge_early = early[order]
-        self.edge_late = late[order]
-        src_levels = levels[self.edge_src]
-        self.num_levels = int(levels.max()) + 1 if n else 0
+        s.edge_src = src[order]
+        s.edge_dst = dst[order]
+        edge_early = early[order]
+        edge_late = late[order]
+        src_levels = levels[s.edge_src]
+        s.num_levels = int(levels.max()) + 1 if n else 0
         # level_ptr[L]..level_ptr[L+1] is the slice of edges whose
         # source sits at level L (possibly empty for sink-only levels).
-        self.level_ptr = np.searchsorted(
-            src_levels, np.arange(self.num_levels + 1))
-        self.level_buckets = []
-        for level in range(self.num_levels):
-            lo, hi = self.level_ptr[level], self.level_ptr[level + 1]
+        s.level_ptr = np.searchsorted(
+            src_levels, np.arange(s.num_levels + 1))
+        s.bucket_spans = []
+        for level in range(s.num_levels):
+            lo, hi = int(s.level_ptr[level]), int(s.level_ptr[level + 1])
             if lo == hi:
                 continue
-            self.level_buckets.append(LevelBucket(
-                self.edge_src[lo:hi], self.edge_dst[lo:hi],
-                self.edge_early[lo:hi], self.edge_late[lo:hi]))
+            s.bucket_spans.append((lo, hi))
 
         # Fanin CSR (backward deviation walk).
         order = np.lexsort((late, early, src, dst))
-        self.fanin_src = src[order]
-        self.fanin_dst = dst[order]
-        self.fanin_early = early[order]
-        self.fanin_late = late[order]
-        self.fanin_ptr = np.searchsorted(self.fanin_dst,
-                                         np.arange(n + 1))
-        self.fanin_ptr_list = self.fanin_ptr.tolist()
-        self.fanin_src_list = self.fanin_src.tolist()
-        self.fanin_early_list = self.fanin_early.tolist()
-        self.fanin_late_list = self.fanin_late.tolist()
+        s.fanin_src = src[order]
+        s.fanin_dst = dst[order]
+        s.fanin_ptr = np.searchsorted(s.fanin_dst, np.arange(n + 1))
+        s.fanin_ptr_list = s.fanin_ptr.tolist()
+        s.fanin_src_list = s.fanin_src.tolist()
+        s.fanin_dst_list = s.fanin_dst.tolist()
+
+        self.structure = s
+        self.values = CoreValues(edge_early, edge_late,
+                                 early[order], late[order])
+        self._build_buckets(shared_from=None)
+
+    def _build_buckets(self, shared_from) -> None:
+        s, v = self.structure, self.values
+        self.level_buckets = []
+        for lo, hi in s.bucket_spans:
+            self.level_buckets.append(LevelBucket(
+                s.edge_src[lo:hi], s.edge_dst[lo:hi],
+                v.edge_early[lo:hi], v.edge_late[lo:hi]))
+
+    # ------------------------------------------------------------------
+    # Incremental value rewrites (the pipeline's ``values`` stage)
+    # ------------------------------------------------------------------
+    def apply_value_updates(
+            self, updates: list[tuple[int, int, float, float,
+                                      float, float]]) -> None:
+        """Rewrite delay entries in place; no index array is touched.
+
+        ``updates`` holds ``(u, v, old_early, old_late, new_early,
+        new_late)`` tuples; the entry holding the old pair is replaced
+        (mirroring the adjacency-row patch that accompanies it) and a
+        parallel-edge run containing the entry is re-sorted by
+        ``(early, late)`` so the tables stay exactly what a fresh build
+        of the edited graph would produce.
+        """
+        vals = self.values
+        for u, v, old_e, old_l, new_e, new_l in updates:
+            flo, fhi = self.structure.fanin_run(u, v)
+            if flo == fhi:
+                raise ValueError(f"no data edge {u} -> {v} in the core")
+            elo, ehi = self.structure.edge_run(u, v)
+            if fhi - flo == 1:
+                vals.fanin_early[flo] = new_e
+                vals.fanin_late[flo] = new_l
+                vals.fanin_early_list[flo] = new_e
+                vals.fanin_late_list[flo] = new_l
+                vals.edge_early[elo] = new_e
+                vals.edge_late[elo] = new_l
+                continue
+            # Parallel-edge run: replace the entry matching the old
+            # pair, then restore the (early, late) run order in both
+            # tables.
+            for i in range(flo, fhi):
+                if (vals.fanin_early_list[i] == old_e
+                        and vals.fanin_late_list[i] == old_l):
+                    break
+            else:
+                raise ValueError(
+                    f"edge {u} -> {v}: no entry with delays "
+                    f"({old_e}, {old_l}) to replace")
+            vals.fanin_early_list[i] = new_e
+            vals.fanin_late_list[i] = new_l
+            pairs = sorted(zip(vals.fanin_early_list[flo:fhi],
+                               vals.fanin_late_list[flo:fhi]))
+            for j, (e, l) in enumerate(pairs):
+                vals.fanin_early[flo + j] = e
+                vals.fanin_late[flo + j] = l
+                vals.fanin_early_list[flo + j] = e
+                vals.fanin_late_list[flo + j] = l
+                vals.edge_early[elo + j] = e
+                vals.edge_late[elo + j] = l
+        vals.version += 1
+        col = _obs.ACTIVE
+        if col is not None:
+            col.add("core.value_updates", len(updates))
+
+    def updated_copy(self, graph: TimingGraph,
+                     updates: list[tuple[int, int, float, float,
+                                         float, float]]) -> "CoreArrays":
+        """A new :class:`CoreArrays` for ``graph``: shared structure,
+        copied value columns with ``updates`` applied.
+
+        The structure-sharing fast path behind
+        :func:`repro.sta.incremental.apply_delay_updates` — the derived
+        graph pays one array copy instead of a CSR rebuild.
+        """
+        old = self.values
+        vals = CoreValues(old.edge_early.copy(), old.edge_late.copy(),
+                          old.fanin_early.copy(), old.fanin_late.copy())
+        new = CoreArrays(graph, structure=self.structure, values=vals)
+        new.apply_value_updates(updates)
+        col = _obs.ACTIVE
+        if col is not None:
+            col.add("core.structure_reuses")
+        return new
+
+    # ------------------------------------------------------------------
+    # The historical flat-attribute surface (facade)
+    # ------------------------------------------------------------------
+    @property
+    def num_pins(self) -> int:
+        return self.structure.num_pins
+
+    @property
+    def num_edges(self) -> int:
+        return self.structure.num_edges
+
+    @property
+    def num_levels(self) -> int:
+        return self.structure.num_levels
+
+    @property
+    def level_of(self) -> np.ndarray:
+        return self.structure.level_of
+
+    @property
+    def edge_src(self) -> np.ndarray:
+        return self.structure.edge_src
+
+    @property
+    def edge_dst(self) -> np.ndarray:
+        return self.structure.edge_dst
+
+    @property
+    def level_ptr(self) -> np.ndarray:
+        return self.structure.level_ptr
+
+    @property
+    def edge_early(self) -> np.ndarray:
+        return self.values.edge_early
+
+    @property
+    def edge_late(self) -> np.ndarray:
+        return self.values.edge_late
+
+    @property
+    def fanin_ptr(self) -> np.ndarray:
+        return self.structure.fanin_ptr
+
+    @property
+    def fanin_src(self) -> np.ndarray:
+        return self.structure.fanin_src
+
+    @property
+    def fanin_dst(self) -> np.ndarray:
+        return self.structure.fanin_dst
+
+    @property
+    def fanin_early(self) -> np.ndarray:
+        return self.values.fanin_early
+
+    @property
+    def fanin_late(self) -> np.ndarray:
+        return self.values.fanin_late
+
+    @property
+    def fanin_ptr_list(self) -> list[int]:
+        return self.structure.fanin_ptr_list
+
+    @property
+    def fanin_src_list(self) -> list[int]:
+        return self.structure.fanin_src_list
+
+    @property
+    def fanin_dst_list(self) -> list[int]:
+        return self.structure.fanin_dst_list
+
+    @property
+    def fanin_early_list(self) -> list[float]:
+        return self.values.fanin_early_list
+
+    @property
+    def fanin_late_list(self) -> list[float]:
+        return self.values.fanin_late_list
 
     def level_slices(self):
         """Yield ``(src, dst, early, late)`` per source level, in order."""
-        ptr = self.level_ptr
-        for level in range(self.num_levels):
+        s, v = self.structure, self.values
+        ptr = s.level_ptr
+        for level in range(s.num_levels):
             lo, hi = ptr[level], ptr[level + 1]
             if lo == hi:
                 continue
-            yield (self.edge_src[lo:hi], self.edge_dst[lo:hi],
-                   self.edge_early[lo:hi], self.edge_late[lo:hi])
+            yield (s.edge_src[lo:hi], s.edge_dst[lo:hi],
+                   v.edge_early[lo:hi], v.edge_late[lo:hi])
 
 
 def get_core(graph: TimingGraph) -> CoreArrays:
@@ -172,6 +511,9 @@ def get_core(graph: TimingGraph) -> CoreArrays:
     Thread-safe in the benign sense: concurrent first calls may build
     twice and one result wins, exactly like the graph's other lazy
     caches.  Forked workers inherit an already-built core for free.
+    Derived graphs (:func:`repro.sta.incremental.apply_delay_updates`,
+    session clones) arrive with a pre-planted core that shares the
+    parent's :class:`CoreStructure`, so only the value columns differ.
     """
     core = getattr(graph, "_core_arrays", None)
     if core is None:

@@ -242,9 +242,14 @@ class CpprEngine:
         #: empty for clean runs.  Also embedded as the ``degraded``
         #: section of :attr:`last_profile` when a collector was active.
         self.last_degraded: tuple[dict, ...] = ()
-        #: Memoized last top-paths result: ``(mode, k, paths)``.
-        self._topk_cache: tuple[AnalysisMode, int,
-                                tuple[TimingPath, ...]] | None = None
+        # Memoized select-stage results keyed (mode, k) — a small LRU
+        # (both modes times a few k values) with hit/miss/eviction
+        # counters under ``select.cache.*``.  The engine's graph is
+        # immutable, so entries never go stale; incremental sessions
+        # (which *do* mutate) keep their own validity-stamped caches.
+        from repro.pipeline.artifacts import LruCache
+        self._topk_cache = LruCache(capacity=8,
+                                    counter_prefix="select.cache")
 
     def with_options(self, **changes) -> "CpprEngine":
         """A new engine sharing the analyzer with updated options.
@@ -256,13 +261,30 @@ class CpprEngine:
         return CpprEngine(self.analyzer,
                           replace(self.options, **changes))
 
+    def session(self, **option_changes) -> "CpprSession":
+        """Open an incremental (ECO) re-analysis session.
+
+        The returned :class:`~repro.pipeline.session.CpprSession` owns a
+        private clone of the analyzer's graph; ``session.update(...)``
+        applies delay/clock edits to the clone (never to this engine's
+        graph) and ``session.top_paths(...)`` re-answers queries by
+        re-relaxing only the edit's dirty cone and re-running only the
+        invalidated candidate families — bit-for-bit identical to a
+        fresh engine on the edited design.  See ``docs/INCREMENTAL.md``.
+        """
+        from repro.pipeline.session import CpprSession
+
+        options = (replace(self.options, **option_changes)
+                   if option_changes else self.options)
+        return CpprSession(self.analyzer, options)
+
     def clear_cache(self) -> None:
-        """Drop the memoized top-paths result.
+        """Drop the memoized top-paths results.
 
         Benchmarks call this between repeated measurements of the same
         query so each run does the full analysis.
         """
-        self._topk_cache = None
+        self._topk_cache.clear()
 
     # ------------------------------------------------------------------
     # Candidate generation (Algorithm 1 lines 1-5)
@@ -378,32 +400,46 @@ class CpprEngine:
         Each returned path's ``slack`` is the exact post-CPPR slack of
         Equation (2) and its ``credit`` the removed pessimism.
 
-        The last result is memoized per ``(k, mode)``: repeating the
-        query — or asking for a smaller ``k`` in the same mode, the
-        ``worst_path`` / ``top_slacks`` / ``report`` after ``top_paths``
-        pattern — serves a prefix of the cached list instead of
-        redoing the analysis (candidate generation and selection are
-        deterministic, so the top-``k`` is a prefix of the top-``k'``
-        for ``k <= k'``).  The cache is skipped whenever a collector is
-        active, so profiled runs always measure real work.
+        Results are memoized in a small keyed LRU (the pipeline's
+        ``select`` artifact): repeating a ``(mode, k)`` query — or
+        asking for a smaller ``k`` in the same mode, the ``worst_path``
+        / ``top_slacks`` / ``report`` after ``top_paths`` pattern —
+        serves a prefix of a cached list instead of redoing the
+        analysis (candidate generation and selection are deterministic,
+        so the top-``k`` is a prefix of the top-``k'`` for ``k <=
+        k'``).  Traffic is counted under ``select.cache.*``.  The cache
+        is skipped whenever a collector is active, so profiled runs
+        always measure real work.
         """
         if k < 1:
             raise AnalysisError(f"k must be at least 1, got {k}")
         mode = AnalysisMode.coerce(mode)
         col = _obs.ACTIVE
         if col is None:
-            cached = self._topk_cache
-            if (cached is not None and cached[0] == mode
-                    and cached[1] >= k):
-                return list(cached[2][:k])
+            served = self._serve_cached(mode, k)
+            if served is not None:
+                return served
         with _obs.span("top_paths"):
             candidates = self.candidate_paths(k, mode)
             selected = select_top_paths(self.analyzer, candidates, k)
         if col is not None:
             self.last_profile = col.profile().with_degraded(
                 self.last_degraded)
-        self._topk_cache = (mode, k, tuple(selected))
+        self._topk_cache.store((mode, k), tuple(selected))
         return selected
+
+    def _serve_cached(self, mode: AnalysisMode,
+                      k: int) -> list[TimingPath] | None:
+        """A cached ``(mode, k' >= k)`` prefix, or ``None`` (a miss)."""
+        best = None
+        for entry_mode, entry_k in self._topk_cache.keys():
+            if entry_mode == mode and entry_k >= k:
+                if best is None or entry_k < best:
+                    best = entry_k
+        if best is None:
+            self._topk_cache.get((mode, k))  # records the miss
+            return None
+        return list(self._topk_cache.get((mode, best))[:k])
 
     def profiled_top_paths(self, k: int, mode: AnalysisMode | str
                            ) -> tuple[list[TimingPath], Profile]:

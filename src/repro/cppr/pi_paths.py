@@ -20,28 +20,38 @@ __all__ = ["primary_input_paths"]
 def primary_input_paths(analyzer: TimingAnalyzer, k: int,
                         mode: AnalysisMode | str,
                         heap_capacity: int | None = None,
-                        backend: str = "scalar") -> list[TimingPath]:
-    """Top-``k`` primary-input path candidates, best slack first."""
+                        backend: str = "scalar",
+                        arrays=None) -> list[TimingPath]:
+    """Top-``k`` primary-input path candidates, best slack first.
+
+    ``arrays`` optionally supplies this family's already-propagated
+    :class:`~repro.cppr.propagation.SingleArrivalArrays` (an incremental
+    session's maintained state), skipping the forward pass here.
+    """
     with _obs.span("primary_input"):
         return _primary_input_paths(analyzer, k, mode, heap_capacity,
-                                    backend)
+                                    backend, arrays)
 
 
 def _primary_input_paths(analyzer: TimingAnalyzer, k: int,
                          mode: AnalysisMode | str,
                          heap_capacity: int | None,
-                         backend: str) -> list[TimingPath]:
+                         backend: str, arrays=None) -> list[TimingPath]:
     mode = AnalysisMode.coerce(mode)
     graph = analyzer.graph
     tree = graph.clock_tree
     clock_period = analyzer.constraints.clock_period
 
-    seeds = [Seed(pi.pin, pi.at_late if mode.is_setup else pi.at_early)
-             for pi in graph.primary_inputs]
-    if not seeds:
+    if arrays is None:
+        seeds = [Seed(pi.pin,
+                      pi.at_late if mode.is_setup else pi.at_early)
+                 for pi in graph.primary_inputs]
+        if not seeds:
+            return []
+        with _obs.span("propagate"):
+            arrays = propagate_single(graph, mode, seeds, backend)
+    elif not graph.primary_inputs:
         return []
-    with _obs.span("propagate"):
-        arrays = propagate_single(graph, mode, seeds, backend)
 
     capture_seeds = []
     for ff in graph.ffs:

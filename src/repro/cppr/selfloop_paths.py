@@ -27,35 +27,47 @@ __all__ = ["self_loop_paths"]
 def self_loop_paths(analyzer: TimingAnalyzer, k: int,
                     mode: AnalysisMode | str,
                     heap_capacity: int | None = None,
-                    backend: str = "scalar") -> list[TimingPath]:
-    """Top-``k`` self-loop path candidates, best slack first."""
+                    backend: str = "scalar",
+                    arrays=None) -> list[TimingPath]:
+    """Top-``k`` self-loop path candidates, best slack first.
+
+    ``arrays`` optionally supplies this family's already-propagated
+    :class:`~repro.cppr.propagation.SingleArrivalArrays` (an incremental
+    session's maintained state), skipping the forward pass here — the
+    same contract as the ``batch`` parameter of
+    :func:`~repro.cppr.level_paths.paths_at_level`.
+    """
     with _obs.span("self_loop"):
-        return _self_loop_paths(analyzer, k, mode, heap_capacity, backend)
+        return _self_loop_paths(analyzer, k, mode, heap_capacity, backend,
+                                arrays)
 
 
 def _self_loop_paths(analyzer: TimingAnalyzer, k: int,
                      mode: AnalysisMode | str,
                      heap_capacity: int | None,
-                     backend: str) -> list[TimingPath]:
+                     backend: str, arrays=None) -> list[TimingPath]:
     mode = AnalysisMode.coerce(mode)
     graph = analyzer.graph
     tree = graph.clock_tree
     clock_period = analyzer.constraints.clock_period
 
-    seeds = []
-    for ff in graph.ffs:
-        node = ff.tree_node
-        credit = tree.credit(node)
-        if mode.is_setup:
-            q_at = tree.at_late(node) + ff.clk_to_q_late - credit
-        else:
-            q_at = tree.at_early(node) + ff.clk_to_q_early + credit
-        seeds.append(Seed(ff.q_pin, q_at, ff.ck_pin))
+    if arrays is None:
+        seeds = []
+        for ff in graph.ffs:
+            node = ff.tree_node
+            credit = tree.credit(node)
+            if mode.is_setup:
+                q_at = tree.at_late(node) + ff.clk_to_q_late - credit
+            else:
+                q_at = tree.at_early(node) + ff.clk_to_q_early + credit
+            seeds.append(Seed(ff.q_pin, q_at, ff.ck_pin))
 
-    if not seeds:
+        if not seeds:
+            return []
+        with _obs.span("propagate"):
+            arrays = propagate_single(graph, mode, seeds, backend)
+    elif not graph.ffs:
         return []
-    with _obs.span("propagate"):
-        arrays = propagate_single(graph, mode, seeds, backend)
 
     capture_seeds = []
     for ff in graph.ffs:

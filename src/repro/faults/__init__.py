@@ -29,7 +29,8 @@ See ``docs/ROBUSTNESS.md`` for the full site reference.
 from repro.faults.injection import (ENV_VAR, SITES, FaultPlan, FaultSpec,
                                     InjectedFault, active_plan, armed,
                                     check, inject, mark_worker_process,
-                                    plan_from_env, plan_from_specs)
+                                    plan_from_env, plan_from_specs,
+                                    triggered)
 
 __all__ = [
     "ENV_VAR",
@@ -44,4 +45,5 @@ __all__ = [
     "mark_worker_process",
     "plan_from_env",
     "plan_from_specs",
+    "triggered",
 ]

@@ -23,6 +23,15 @@ The firing *action* is site-specific and models the real failure:
 ``pool.broken``           raises ``BrokenProcessPool`` when the
                           scheduler starts a process rung.
 ``memory.pressure``       raises ``MemoryError`` inside a task.
+``pipeline.stale_artifact``  *corrupts* instead of raising: the
+                          incremental pipeline's artifact cache consults
+                          :func:`triggered` at store time and poisons
+                          the stored entry's validity basis, modelling a
+                          cache whose invalidation hook was missed.  A
+                          correct pipeline must then *detect* the key
+                          mismatch and recompute rather than serve the
+                          stale artifact (counter
+                          ``pipeline.stale.detected``).
 ========================  ==============================================
 """
 
@@ -39,11 +48,12 @@ from repro.obs import collector as _obs
 
 __all__ = ["SITES", "FaultPlan", "FaultSpec", "InjectedFault",
            "active_plan", "armed", "check", "inject",
-           "mark_worker_process", "plan_from_env", "plan_from_specs"]
+           "mark_worker_process", "plan_from_env", "plan_from_specs",
+           "triggered"]
 
 #: Every named injection site production code consults.
 SITES = ("task.crash", "task.timeout", "task.exception", "numpy.import",
-         "pool.broken", "memory.pressure")
+         "pool.broken", "memory.pressure", "pipeline.stale_artifact")
 
 #: Environment variable holding the ambient fault plan (see
 #: :func:`plan_from_env` for the format).
@@ -285,6 +295,25 @@ def check(site: str) -> None:
     _fire(site, spec)
 
 
+def triggered(site: str) -> bool:
+    """Non-raising variant of :func:`check` for *corruption* sites.
+
+    Advances the schedule and records the durable evidence counter
+    exactly like :func:`check`, but returns ``True`` instead of raising
+    so the call site can model a silent corruption (e.g. poisoning a
+    cached artifact's validity basis at ``pipeline.stale_artifact``).
+    """
+    plan = _ACTIVE
+    if plan is None:
+        return False
+    if not plan.should_trigger(site):
+        return False
+    col = _obs.ACTIVE
+    if col is not None:
+        col.add_durable(f"faults.injected.{site}")
+    return True
+
+
 def _fire(site: str, spec: FaultSpec) -> None:
     if site == "task.exception":
         raise InjectedFault(site)
@@ -305,4 +334,6 @@ def _fire(site: str, spec: FaultSpec) -> None:
         from concurrent.futures.process import BrokenProcessPool
         raise BrokenProcessPool(
             f"injected fault at site {site!r}")
-    raise AssertionError(f"unhandled fault site {site!r}")
+    # Corruption sites (pipeline.stale_artifact) are normally consulted
+    # via :func:`triggered`; a plain check() still fails loudly.
+    raise InjectedFault(site)

@@ -10,15 +10,19 @@ nested-dict snapshot of the netlist) with two concrete formats:
 
 from repro.io.design_io import DesignDescription, describe_design, \
     reconstruct_design
+from repro.io.eco import EcoUpdates, load_eco_updates, save_eco_updates
 from repro.io.json_format import load_design_json, save_design_json
 from repro.io.tau_format import load_design, save_design
 
 __all__ = [
     "DesignDescription",
+    "EcoUpdates",
     "describe_design",
     "load_design",
     "load_design_json",
+    "load_eco_updates",
     "reconstruct_design",
     "save_design",
     "save_design_json",
+    "save_eco_updates",
 ]

@@ -1,0 +1,126 @@
+"""ECO update files: delay/clock edits as JSON.
+
+An update file drives the incremental pipeline from the command line
+(``python -m repro eco``, ``report --eco``) and gives what-if scripts a
+durable format::
+
+    {
+      "delays": [
+        {"driver": "u3/Y", "sink": "u7/A0", "early": 0.12, "late": 0.31}
+      ],
+      "clock": {
+        "b2": [0.50, 0.85]
+      }
+    }
+
+``delays`` entries name a data edge by driver/sink pin and give its new
+``(early, late)`` delay pair (the fields of
+:class:`~repro.sta.incremental.DelayUpdate`).  ``clock`` maps a
+clock-tree node name to the new delay pair of the edge from its parent
+(the contract of :func:`~repro.sta.incremental.apply_clock_updates`).
+Either section may be omitted.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.exceptions import FormatError
+from repro.sta.incremental import DelayUpdate
+
+__all__ = ["EcoUpdates", "load_eco_updates", "save_eco_updates"]
+
+
+@dataclass(frozen=True, slots=True)
+class EcoUpdates:
+    """One parsed update file: delay edits plus clock-tree edits."""
+
+    delays: tuple[DelayUpdate, ...] = ()
+    clock: dict[str, tuple[float, float]] = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        return bool(self.delays or self.clock)
+
+    def describe(self) -> str:
+        return (f"{len(self.delays)} delay edit(s), "
+                f"{len(self.clock)} clock edit(s)")
+
+
+def _number(value, where: str) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise FormatError(f"{where}: expected a number, got {value!r}")
+    return float(value)
+
+
+def load_eco_updates(path: str) -> EcoUpdates:
+    """Parse ``path`` as an ECO update file.
+
+    Raises :class:`~repro.exceptions.FormatError` for malformed JSON,
+    unknown keys, or bad entry shapes — edits are double-checked again
+    at apply time against the actual design (unknown pins/nodes raise
+    :class:`~repro.exceptions.AnalysisError` there).
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            raw = json.load(handle)
+    except json.JSONDecodeError as exc:
+        raise FormatError(f"{path}: not valid JSON: {exc}") from None
+    if not isinstance(raw, dict):
+        raise FormatError(f"{path}: expected a JSON object at top level")
+    unknown = set(raw) - {"delays", "clock"}
+    if unknown:
+        raise FormatError(
+            f"{path}: unknown section(s) {sorted(unknown)}; expected "
+            f"'delays' and/or 'clock'")
+
+    delays = []
+    for index, entry in enumerate(raw.get("delays", [])):
+        where = f"{path}: delays[{index}]"
+        if not isinstance(entry, dict):
+            raise FormatError(f"{where}: expected an object")
+        missing = {"driver", "sink", "early", "late"} - set(entry)
+        if missing:
+            raise FormatError(f"{where}: missing {sorted(missing)}")
+        driver, sink = entry["driver"], entry["sink"]
+        if not isinstance(driver, (str, int)) or isinstance(driver, bool):
+            raise FormatError(f"{where}: driver must be a pin name or id")
+        if not isinstance(sink, (str, int)) or isinstance(sink, bool):
+            raise FormatError(f"{where}: sink must be a pin name or id")
+        delays.append(DelayUpdate(driver, sink,
+                                  _number(entry["early"], where),
+                                  _number(entry["late"], where)))
+
+    clock_raw = raw.get("clock", {})
+    if not isinstance(clock_raw, dict):
+        raise FormatError(f"{path}: 'clock' must map node names to "
+                          f"[early, late] pairs")
+    clock: dict[str, tuple[float, float]] = {}
+    for name, pair in clock_raw.items():
+        where = f"{path}: clock[{name!r}]"
+        if (not isinstance(pair, (list, tuple)) or len(pair) != 2):
+            raise FormatError(f"{where}: expected [early, late]")
+        early = _number(pair[0], where)
+        late = _number(pair[1], where)
+        if early > late:
+            raise FormatError(f"{where}: early {early} exceeds late {late}")
+        clock[name] = (early, late)
+
+    return EcoUpdates(delays=tuple(delays), clock=clock)
+
+
+def save_eco_updates(updates: EcoUpdates, path: str) -> None:
+    """Write ``updates`` in the format :func:`load_eco_updates` reads."""
+    payload: dict = {}
+    if updates.delays:
+        payload["delays"] = [
+            {"driver": u.driver, "sink": u.sink,
+             "early": u.early, "late": u.late}
+            for u in updates.delays]
+    if updates.clock:
+        payload["clock"] = {name: [early, late]
+                            for name, (early, late)
+                            in updates.clock.items()}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")

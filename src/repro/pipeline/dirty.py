@@ -1,0 +1,73 @@
+"""Dirty-cone tracking for incremental re-analysis.
+
+A delay edit on data edge ``u -> v`` can change arrival state only at
+``v`` and its transitive fanout — every candidate tuple at a pin is a
+max/min over paths *ending* at that pin, and a path through the edited
+edge ends inside ``v``'s fanout cone.  A clock edit on tree edge
+``parent -> node`` changes launch seeds (and capture constants) only for
+flip-flops whose leaf lies under ``node``, so its data-side cone is the
+fanout of those flip-flops' Q pins.
+
+Both helpers return pins ordered by topological position, which is the
+replay order (:func:`repro.pipeline.state.replay`): a pin's recompute
+reads only its fanin sources, which sit strictly earlier.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.circuit.clocktree import ClockTree
+from repro.circuit.graph import TimingGraph
+
+__all__ = ["clock_dirty_ffs", "fanout_cone", "topo_positions"]
+
+
+def topo_positions(graph: TimingGraph) -> dict[int, int]:
+    """``{pin: index in topo_order}`` — the replay sort key."""
+    return {pin: index for index, pin in enumerate(graph.topo_order)}
+
+
+def fanout_cone(graph: TimingGraph, roots: Iterable[int],
+                positions: dict[int, int],
+                cap: int | None = None) -> list[int] | None:
+    """All pins reachable from ``roots`` (inclusive), in topo order.
+
+    Returns ``None`` as soon as the cone exceeds ``cap`` pins — the
+    caller's signal to fall back to a full re-sweep instead of a
+    per-pin replay.
+    """
+    seen = set(roots)
+    if cap is not None and len(seen) > cap:
+        return None
+    frontier = list(seen)
+    fanout = graph.fanout
+    while frontier:
+        pin = frontier.pop()
+        for target, _early, _late in fanout[pin]:
+            if target not in seen:
+                seen.add(target)
+                if cap is not None and len(seen) > cap:
+                    return None
+                frontier.append(target)
+    return sorted(seen, key=positions.__getitem__)
+
+
+def clock_dirty_ffs(old_tree: ClockTree, new_tree: ClockTree) -> list[int]:
+    """Flip-flop indices whose launch/capture timing a clock edit touched.
+
+    A leaf is affected iff any edge on its root path changed delay —
+    equivalently iff its arrival pair or credit differs between the old
+    and new trees (credits fold in the min-arrival prefix, so comparing
+    ``(at_early, at_late, credit)`` at the leaf is exact).
+    """
+    dirty = []
+    for node in old_tree.leaves():
+        ff = old_tree.ff_of_node[node]
+        if ff is None:
+            continue
+        if (old_tree.at_early(node) != new_tree.at_early(node)
+                or old_tree.at_late(node) != new_tree.at_late(node)
+                or old_tree.credit(node) != new_tree.credit(node)):
+            dirty.append(ff)
+    return dirty

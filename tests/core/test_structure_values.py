@@ -1,0 +1,196 @@
+"""The structure/value split of the array core: shared immutable
+:class:`CoreStructure`, per-graph mutable :class:`CoreValues`, and the
+in-place value rewrites behind the pipeline's ``values`` stage."""
+
+from __future__ import annotations
+
+import pytest
+
+np = pytest.importorskip("numpy", exc_type=ImportError)
+
+from repro import DelayUpdate, TimingAnalyzer
+from repro.core.arrays import CoreArrays, get_core
+from repro.sta.incremental import apply_delay_updates, \
+    resolve_delay_updates
+from tests.helpers import demo_design, random_small
+
+
+def _an_edge(graph):
+    for u in range(graph.num_pins):
+        for v, e, l in graph.fanout[u]:
+            return u, v, e, l
+    raise AssertionError("no edges")
+
+
+def _value_columns(core):
+    return (core.edge_early.tolist(), core.edge_late.tolist(),
+            core.fanin_early.tolist(), core.fanin_late.tolist())
+
+
+class TestFacade:
+    def test_flat_attributes_delegate_to_the_halves(self):
+        graph, _ = demo_design()
+        core = get_core(graph)
+        assert core.edge_src is core.structure.edge_src
+        assert core.fanin_ptr is core.structure.fanin_ptr
+        assert core.level_of is core.structure.level_of
+        assert core.edge_early is core.values.edge_early
+        assert core.fanin_late is core.values.fanin_late
+        assert core.fanin_early_list is core.values.fanin_early_list
+        assert core.num_pins == graph.num_pins
+        assert core.num_edges == graph.num_edges
+
+    def test_runs_locate_edges(self):
+        graph, _ = demo_design()
+        core = get_core(graph)
+        u, v, early, late = _an_edge(graph)
+        flo, fhi = core.structure.fanin_run(u, v)
+        assert fhi - flo == 1
+        assert core.fanin_early[flo] == early
+        assert core.fanin_late[flo] == late
+        elo, ehi = core.structure.edge_run(u, v)
+        assert ehi - elo == 1
+        assert core.edge_early[elo] == early
+        # The reverse direction is not an edge: its run is empty.
+        lo, hi = core.structure.fanin_run(v, u)
+        assert lo == hi
+
+
+class TestUpdatedCopy:
+    def test_structure_is_shared_values_are_not(self):
+        graph, constraints = random_small(5)
+        core = get_core(graph)
+        u, v, early, late = _an_edge(graph)
+        edited = apply_delay_updates(
+            graph, [DelayUpdate(u, v, early + 0.1, late + 0.9)])
+        derived = get_core(edited)
+        assert derived.structure is core.structure
+        assert derived.values is not core.values
+        assert derived.edge_early is not core.edge_early
+
+    def test_original_columns_are_untouched(self):
+        graph, constraints = random_small(5)
+        core = get_core(graph)
+        before = _value_columns(core)
+        u, v, early, late = _an_edge(graph)
+        apply_delay_updates(graph,
+                            [DelayUpdate(u, v, early - 0.1, late + 0.5)])
+        assert _value_columns(core) == before
+        assert core.values.version == 0
+
+    def test_copy_equals_fresh_build_of_edited_graph(self):
+        graph, constraints = random_small(9)
+        u, v, early, late = _an_edge(graph)
+        update = DelayUpdate(u, v, early + 0.3, late + 0.4)
+        edited = apply_delay_updates(graph, [update])
+        fresh = CoreArrays(edited)
+        derived = get_core(edited)
+        assert _value_columns(derived) == _value_columns(fresh)
+
+
+class TestInPlaceUpdates:
+    def test_version_bumps_once_per_batch(self):
+        graph, _ = random_small(11)
+        g = graph.session_copy()
+        core = CoreArrays(g)
+        edges = [(u, v, e, l) for u in range(g.num_pins)
+                 for v, e, l in g.fanout[u]][:3]
+        batch = [(u, v, e, l, e + 0.1, l + 0.2) for u, v, e, l in edges]
+        assert core.values.version == 0
+        core.apply_value_updates(batch)
+        assert core.values.version == 1
+        core.apply_value_updates(batch[:1])
+        assert core.values.version == 2
+
+    def test_rewrite_matches_fresh_build(self):
+        graph, constraints = random_small(13)
+        mutable = graph.session_copy()
+        core = CoreArrays(mutable)
+        updates = []
+        for u in range(mutable.num_pins):
+            row = mutable.fanout[u]
+            if row and len(updates) < 4:
+                v, e, l = row[0]
+                updates.append(DelayUpdate(u, v, e + 0.25, l + 0.5))
+        resolved = resolve_delay_updates(mutable, updates)
+        core.apply_value_updates(resolved)
+        # Reference: a functionally edited graph, built from scratch.
+        edited = apply_delay_updates(graph, updates)
+        fresh = CoreArrays(edited)
+        assert _value_columns(core) == _value_columns(fresh)
+        assert core.values.fanin_early_list == \
+            fresh.values.fanin_early_list
+        assert core.values.fanin_late_list == fresh.values.fanin_late_list
+
+    def test_level_bucket_views_see_the_write(self):
+        """Buckets slice the value arrays — an in-place rewrite must be
+        visible through them without any rebuild."""
+        graph, _ = random_small(15)
+        mutable = graph.session_copy()
+        core = CoreArrays(mutable)
+        u, v, early, late = _an_edge(mutable)
+        elo, _ehi = core.structure.edge_run(u, v)
+        level = int(core.level_of[u])
+        span_index = [i for i, (lo, hi)
+                      in enumerate(core.structure.bucket_spans)
+                      if lo <= elo < hi]
+        assert len(span_index) == 1
+        bucket = core.level_buckets[span_index[0]]
+        lo = core.structure.bucket_spans[span_index[0]][0]
+        assert bucket.early[elo - lo] == early
+        core.apply_value_updates([(u, v, early, late,
+                                   early + 0.125, late + 0.25)])
+        assert bucket.early[elo - lo] == early + 0.125
+        assert bucket.late[elo - lo] == late + 0.25
+        assert level == int(core.level_of[bucket.src[elo - lo]])
+
+    def test_unknown_edge_and_wrong_old_pair_raise(self):
+        graph, _ = random_small(17)
+        mutable = graph.session_copy()
+        core = CoreArrays(mutable)
+        u, v, early, late = _an_edge(mutable)
+        with pytest.raises(ValueError):
+            core.apply_value_updates([(v, u, 0.0, 0.0, 0.1, 0.2)])
+
+
+class TestParallelRuns:
+    def _with_parallel_edge(self, shift=0.4):
+        """The demo graph plus a second, slower u -> v edge."""
+        graph, constraints = demo_design()
+        u, v, early, late = _an_edge(graph)
+        clone = graph.session_copy()
+        clone.fanout[u].append((v, early + shift, late + shift))
+        clone.fanin[v].append((u, early + shift, late + shift))
+        return clone, (u, v, early, late, shift)
+
+    def test_build_sorts_runs_by_delay(self):
+        clone, (u, v, early, late, shift) = self._with_parallel_edge()
+        core = CoreArrays(clone)
+        flo, fhi = core.structure.fanin_run(u, v)
+        assert fhi - flo == 2
+        assert core.fanin_early[flo] == early
+        assert core.fanin_early[flo + 1] == early + shift
+
+    def test_update_resorts_the_run(self):
+        """Replacing the slow entry with the new fastest one must leave
+        the tables exactly as a fresh build of the edited rows."""
+        clone, (u, v, early, late, shift) = self._with_parallel_edge()
+        core = CoreArrays(clone)
+        new_e, new_l = early - 0.2, late - 0.1
+        core.apply_value_updates(
+            [(u, v, early + shift, late + shift, new_e, new_l)])
+        flo, fhi = core.structure.fanin_run(u, v)
+        assert core.fanin_early[flo:fhi].tolist() == [new_e, early]
+        assert core.fanin_late[flo:fhi].tolist() == [new_l, late]
+        elo, ehi = core.structure.edge_run(u, v)
+        assert core.edge_early[elo:ehi].tolist() == [new_e, early]
+        # The list mirrors track the arrays entry for entry.
+        assert core.fanin_early_list[flo:fhi] == [new_e, early]
+        assert core.fanin_late_list[flo:fhi] == [new_l, late]
+
+    def test_update_with_stale_old_pair_raises(self):
+        clone, (u, v, early, late, shift) = self._with_parallel_edge()
+        core = CoreArrays(clone)
+        with pytest.raises(ValueError):
+            core.apply_value_updates(
+                [(u, v, early + 99.0, late + 99.0, 0.0, 0.0)])

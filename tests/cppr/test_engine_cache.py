@@ -1,12 +1,13 @@
-"""The engine's memoized last query — when it serves and when it must not.
+"""The engine's keyed select-stage LRU — when it serves, when it must not.
 
-``CpprEngine.top_paths`` keeps its last ``(mode, k)`` result; repeating
-the query, or asking for a *smaller* ``k`` in the same mode (the
-``worst_path`` / ``top_slacks`` / ``report`` after ``top_paths``
-pattern), must replay the memo without re-running candidate generation.
-Anything that can change the answer — a larger ``k``, the other mode,
-new options — must recompute, and profiled runs must always measure
-real work.
+``CpprEngine.top_paths`` memoizes results in a small ``(mode, k)``-keyed
+LRU (the pipeline's ``select`` artifact).  Repeating a query, asking for
+a *smaller* ``k`` in the same mode (the ``worst_path`` / ``top_slacks``
+/ ``report`` after ``top_paths`` pattern), or alternating modes must all
+serve from the cache without re-running candidate generation.  Anything
+that can change the answer — a larger ``k``, new options — must
+recompute; capacity overflow evicts (and counts) the oldest entry; and
+profiled runs must always measure real work.
 """
 
 from __future__ import annotations
@@ -38,6 +39,7 @@ def test_repeat_query_served_from_memo():
     second = engine.top_paths(5, "setup")
     assert calls["n"] == 1
     assert first == second
+    assert engine._topk_cache.hits == 1
 
 
 def test_smaller_k_is_a_prefix_of_the_memo():
@@ -55,19 +57,44 @@ def test_larger_k_recomputes():
     engine.top_paths(3, "setup")
     engine.top_paths(8, "setup")
     assert calls["n"] == 2
-    # ... and the larger result becomes the new memo.
+    # ... and the larger entry serves the in-between query.
     engine.top_paths(5, "setup")
     assert calls["n"] == 2
 
 
-def test_mode_switch_recomputes():
+def test_prefix_serves_smallest_sufficient_entry():
+    engine, calls = _counting_engine()
+    three = engine.top_paths(3, "setup")
+    eight = engine.top_paths(8, "setup")
+    # Both entries live in the LRU; k=2 is served from the k=3 entry.
+    assert engine.top_paths(2, "setup") == three[:2] == eight[:2]
+    assert calls["n"] == 2
+
+
+def test_both_modes_stay_cached():
     engine, calls = _counting_engine()
     engine.top_paths(5, "setup")
     engine.top_paths(5, "hold")
     assert calls["n"] == 2
-    # Only one entry is kept: coming back to setup recomputes.
+    # The LRU keeps both: coming back to setup is a hit, not a rerun.
     engine.top_paths(5, "setup")
-    assert calls["n"] == 3
+    engine.top_paths(5, "hold")
+    assert calls["n"] == 2
+
+
+def test_capacity_overflow_evicts_oldest():
+    engine, calls = _counting_engine()
+    capacity = engine._topk_cache.capacity
+    for k in range(1, capacity + 2):
+        engine.top_paths(k, "hold")
+    assert calls["n"] == capacity + 1
+    assert engine._topk_cache.evictions == 1
+    assert len(engine._topk_cache) == capacity
+    # k=1 (the oldest entry) was evicted... but every survivor with a
+    # larger k still serves it as a prefix.
+    assert (1, "hold") not in [(k, m) for m, k in engine._topk_cache.keys()]
+    engine.top_paths(1, "hold")
+    assert calls["n"] == capacity + 1
 
 
 def test_clear_cache_forces_recompute():
@@ -76,6 +103,16 @@ def test_clear_cache_forces_recompute():
     engine.clear_cache()
     engine.top_paths(5, "setup")
     assert calls["n"] == 2
+
+
+def test_cache_traffic_is_counted():
+    engine, _calls = _counting_engine()
+    engine.top_paths(5, "setup")
+    engine.top_paths(5, "setup")
+    engine.top_paths(3, "setup")
+    stats = engine._topk_cache.stats()
+    assert stats["misses"] >= 1
+    assert stats["hits"] >= 2
 
 
 def test_profiled_runs_bypass_the_memo():

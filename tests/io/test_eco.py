@@ -1,0 +1,95 @@
+"""ECO update files (``repro.io.eco``)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import FormatError, ReproError
+from repro.io import EcoUpdates, load_eco_updates, save_eco_updates
+from repro.sta.incremental import DelayUpdate
+
+
+def _write(tmp_path, payload):
+    path = tmp_path / "updates.json"
+    if isinstance(payload, str):
+        path.write_text(payload)
+    else:
+        path.write_text(json.dumps(payload))
+    return str(path)
+
+
+class TestRoundTrip:
+    def test_save_then_load(self, tmp_path):
+        updates = EcoUpdates(
+            delays=(DelayUpdate("g1/Y", "ff2/D", 0.2, 0.5),
+                    DelayUpdate(3, 7, 0.0, 0.1)),
+            clock={"b1": (1.0, 2.0)})
+        path = str(tmp_path / "eco.json")
+        save_eco_updates(updates, path)
+        assert load_eco_updates(path) == updates
+
+    def test_sections_are_optional(self, tmp_path):
+        only_clock = load_eco_updates(
+            _write(tmp_path, {"clock": {"b2": [0.5, 0.9]}}))
+        assert only_clock.delays == ()
+        assert only_clock.clock == {"b2": (0.5, 0.9)}
+        empty = load_eco_updates(_write(tmp_path, {}))
+        assert not empty
+        assert bool(only_clock)
+
+    def test_describe(self):
+        updates = EcoUpdates(
+            delays=(DelayUpdate("a", "b", 0.0, 0.1),),
+            clock={"n": (0.0, 0.0)})
+        assert updates.describe() == "1 delay edit(s), 1 clock edit(s)"
+
+
+class TestValidation:
+    def test_invalid_json(self, tmp_path):
+        with pytest.raises(FormatError, match="not valid JSON"):
+            load_eco_updates(_write(tmp_path, "{nope"))
+
+    def test_top_level_must_be_object(self, tmp_path):
+        with pytest.raises(FormatError, match="JSON object"):
+            load_eco_updates(_write(tmp_path, [1, 2]))
+
+    def test_unknown_section(self, tmp_path):
+        with pytest.raises(FormatError, match="unknown section"):
+            load_eco_updates(_write(tmp_path, {"delayz": []}))
+
+    def test_delay_entry_missing_fields(self, tmp_path):
+        with pytest.raises(FormatError, match="missing"):
+            load_eco_updates(_write(
+                tmp_path, {"delays": [{"driver": "a", "sink": "b"}]}))
+
+    def test_delay_entry_not_an_object(self, tmp_path):
+        with pytest.raises(FormatError, match="expected an object"):
+            load_eco_updates(_write(tmp_path, {"delays": ["x"]}))
+
+    def test_delay_pin_must_be_name_or_id(self, tmp_path):
+        entry = {"driver": True, "sink": "b", "early": 0, "late": 1}
+        with pytest.raises(FormatError, match="driver"):
+            load_eco_updates(_write(tmp_path, {"delays": [entry]}))
+
+    def test_delay_values_must_be_numbers(self, tmp_path):
+        entry = {"driver": "a", "sink": "b", "early": "x", "late": 1}
+        with pytest.raises(FormatError, match="expected a number"):
+            load_eco_updates(_write(tmp_path, {"delays": [entry]}))
+
+    def test_inverted_delay_pair_rejected(self, tmp_path):
+        entry = {"driver": "a", "sink": "b", "early": 2.0, "late": 1.0}
+        with pytest.raises(ReproError):
+            load_eco_updates(_write(tmp_path, {"delays": [entry]}))
+
+    def test_clock_pair_shape(self, tmp_path):
+        with pytest.raises(FormatError, match="early, late"):
+            load_eco_updates(_write(tmp_path, {"clock": {"b1": [1.0]}}))
+        with pytest.raises(FormatError, match="must map"):
+            load_eco_updates(_write(tmp_path, {"clock": [1.0, 2.0]}))
+
+    def test_clock_inverted_pair_rejected(self, tmp_path):
+        with pytest.raises(FormatError, match="exceeds"):
+            load_eco_updates(_write(tmp_path,
+                                    {"clock": {"b1": [2.0, 1.0]}}))

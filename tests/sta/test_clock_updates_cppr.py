@@ -1,0 +1,141 @@
+"""Clock-tree edits x CPPR credits: :func:`apply_clock_updates` must
+leave every credit, grouping, and top-k report exactly what a
+from-scratch build of the edited design produces — swept over random
+small trees with hypothesis (satellite of the incremental pipeline)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro import CpprEngine, ExhaustiveTimer, TimingAnalyzer
+from repro.io import describe_design, reconstruct_design
+from repro.sta.incremental import apply_clock_updates
+from tests.helpers import assert_slacks_equal, demo_design, random_small
+
+TOL = 1e-9
+
+
+def _random_edit(tree, node_pick, early_scale, widen):
+    """One legal clock-edge edit on a non-source node."""
+    node = 1 + node_pick % (len(tree.names) - 1)
+    early = tree.delays_early[node] * early_scale
+    late = max(early, tree.delays_late[node]) + widen
+    return tree.names[node], node, (early, late)
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=400),
+       node_pick=st.integers(min_value=0, max_value=10 ** 6),
+       early_scale=st.floats(min_value=0.25, max_value=1.0),
+       widen=st.floats(min_value=0.0, max_value=1.5))
+def test_edited_tree_matches_rebuilt_design(seed, node_pick,
+                                            early_scale, widen):
+    """Derived graph vs from-scratch reconstruction of the edited
+    design: identical credits at every node, identical top-k slacks."""
+    graph, constraints = random_small(seed)
+    name, node, delays = _random_edit(graph.clock_tree, node_pick,
+                                      early_scale, widen)
+    updated = apply_clock_updates(graph, {name: delays})
+
+    rebuilt, _ = reconstruct_design(describe_design(updated,
+                                                    constraints))
+    old_tree, new_tree = updated.clock_tree, rebuilt.clock_tree
+    assert list(new_tree.names) == list(old_tree.names)
+    for n in range(len(new_tree.names)):
+        assert abs(old_tree.credit(n) - new_tree.credit(n)) <= TOL
+        assert abs(old_tree.at_early(n) - new_tree.at_early(n)) <= TOL
+        assert abs(old_tree.at_late(n) - new_tree.at_late(n)) <= TOL
+
+    for mode in ("setup", "hold"):
+        assert_slacks_equal(
+            CpprEngine(TimingAnalyzer(updated, constraints)
+                       ).top_slacks(8, mode),
+            CpprEngine(TimingAnalyzer(rebuilt, constraints)
+                       ).top_slacks(8, mode))
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=400),
+       node_pick=st.integers(min_value=0, max_value=10 ** 6),
+       widen=st.floats(min_value=0.05, max_value=1.0))
+def test_edited_tree_matches_exhaustive_oracle(seed, node_pick, widen):
+    """Post-edit CPPR reports stay exact against the exhaustive timer."""
+    graph, constraints = random_small(seed)
+    name, node, delays = _random_edit(graph.clock_tree, node_pick,
+                                      1.0, widen)
+    updated = apply_clock_updates(graph, {name: delays})
+    analyzer = TimingAnalyzer(updated, constraints)
+    engine = CpprEngine(analyzer)
+    oracle = ExhaustiveTimer(analyzer)
+    for mode in ("setup", "hold"):
+        assert_slacks_equal(engine.top_slacks(8, mode),
+                            oracle.top_slacks(8, mode))
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=400),
+       node_pick=st.integers(min_value=0, max_value=10 ** 6),
+       widen=st.floats(min_value=0.0, max_value=2.0))
+def test_credits_widen_exactly_under_the_edited_node(seed, node_pick,
+                                                     widen):
+    """Widening one clock edge's (early, late) gap by ``w`` adds
+    exactly ``w`` to the credit of the edited node and every node below
+    it, and leaves every other node's credit untouched (Definition 2:
+    credit is the accumulated late-early gap of the common prefix)."""
+    graph, _constraints = random_small(seed)
+    tree = graph.clock_tree
+    node = 1 + node_pick % (len(tree.names) - 1)
+    delays = (tree.delays_early[node],
+              tree.delays_late[node] + widen)
+    updated = apply_clock_updates(graph, {tree.names[node]: delays})
+    new_tree = updated.clock_tree
+
+    below = {node}
+    for n in range(len(tree.names)):
+        d = n
+        while d > 0 and d not in below:
+            d = tree.parent(d)
+        if d in below:
+            below.add(n)
+    for n in range(len(tree.names)):
+        delta = new_tree.credit(n) - tree.credit(n)
+        want = widen if n in below else 0.0
+        assert abs(delta - want) <= TOL, (n, delta, want)
+
+
+def test_pair_credit_follows_the_lca():
+    """The demo design: widening ``b1`` changes the credit of FF pairs
+    whose LCA is ``b1`` (ff1/ff2) but not of cross-subtree pairs whose
+    LCA is the root."""
+    graph, _constraints = demo_design()
+    tree = graph.clock_tree
+    ck = {ff.name: tree.node_of_pin(graph.pin(f"{ff.name}/CK").index)
+          for ff in graph.ffs}
+    before_same = tree.pair_credit(ck["ff1"], ck["ff2"])
+    before_cross = tree.pair_credit(ck["ff1"], ck["ff3"])
+    updated = apply_clock_updates(graph, {"b1": (1.0, 2.0)})
+    after = updated.clock_tree
+    assert after.pair_credit(ck["ff1"], ck["ff2"]) > before_same
+    assert abs(after.pair_credit(ck["ff1"], ck["ff3"])
+               - before_cross) <= TOL
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=200),
+       node_pick=st.integers(min_value=0, max_value=10 ** 6),
+       widen=st.floats(min_value=0.0, max_value=1.0))
+def test_session_clock_update_matches_functional_edit(seed, node_pick,
+                                                      widen):
+    """The stateful session path agrees with the functional one under
+    the same random clock edit."""
+    graph, constraints = random_small(seed)
+    name, node, delays = _random_edit(graph.clock_tree, node_pick,
+                                      1.0, widen)
+    session = CpprEngine(TimingAnalyzer(graph, constraints)).session()
+    session.top_slacks(6, "setup")
+    session.update(clock={name: delays})
+    fresh = CpprEngine(TimingAnalyzer(
+        apply_clock_updates(graph, {name: delays}), constraints))
+    for mode in ("setup", "hold"):
+        assert_slacks_equal(session.top_slacks(6, mode),
+                            fresh.top_slacks(6, mode))

@@ -224,3 +224,82 @@ class TestSaveJson:
         payload = load_paths_json(out)
         assert payload["design"] == "demo"
         assert len(payload["paths"]) == 4
+
+
+class TestEco:
+    @pytest.fixture()
+    def updates_file(self, tmp_path):
+        import json
+        path = tmp_path / "updates.json"
+        path.write_text(json.dumps({
+            "delays": [{"driver": "g1/Y", "sink": "ff2/D",
+                        "early": 0.3, "late": 0.9}],
+            "clock": {"b1": [1.0, 2.0]},
+        }))
+        return str(path)
+
+    def test_eco_before_after(self, design_file, updates_file, capsys):
+        assert main(["eco", design_file, updates_file, "-k", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "after ECO (1 delay edit(s), 1 clock edit(s))" in out
+        assert "worst slack:" in out
+        assert "incremental re-query:" in out
+        assert "families kept:" in out
+
+    def test_eco_with_profile(self, design_file, updates_file, capsys):
+        assert main(["eco", design_file, updates_file, "-k", "2",
+                     "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "Profile (setup)" in out
+        assert "pipeline.update" in out
+
+    def test_eco_empty_updates_errors(self, design_file, tmp_path,
+                                      capsys):
+        empty = tmp_path / "empty.json"
+        empty.write_text("{}")
+        assert main(["eco", design_file, str(empty)]) == 1
+        assert "no delay or clock edits" in capsys.readouterr().err
+
+    def test_eco_malformed_updates_errors(self, design_file, tmp_path,
+                                          capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{nope")
+        assert main(["eco", design_file, str(bad)]) == 1
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_report_eco_matches_functional_edit(self, design_file,
+                                                updates_file, tmp_path,
+                                                capsys):
+        """``report --eco`` (session path) must print the same path
+        report the functionally edited design does."""
+        assert main(["report", design_file, "--eco", updates_file,
+                     "-k", "3"]) == 0
+        via_session = capsys.readouterr().out
+        assert "(ECO: 1 delay edit(s), 1 clock edit(s))" in via_session
+
+        from repro.io.eco import load_eco_updates
+        from repro.io.tau_format import load_design, save_design
+        from repro.sta.incremental import (apply_clock_updates,
+                                           apply_delay_updates)
+        graph, constraints = load_design(design_file)
+        eco = load_eco_updates(updates_file)
+        graph = apply_delay_updates(graph, list(eco.delays))
+        graph = apply_clock_updates(graph, eco.clock)
+        edited_file = tmp_path / "edited.cppr"
+        save_design(graph, constraints, edited_file)
+        assert main(["report", str(edited_file), "-k", "3"]) == 0
+        plain = capsys.readouterr().out
+
+        def body(text):
+            return [line for line in text.splitlines()
+                    if "Top-3" not in line
+                    and set(line.strip()) not in ({"="}, {"-"})]
+
+        # Identical apart from the title (and its separator rules).
+        assert body(via_session) == body(plain)
+
+    def test_report_eco_pre_summary(self, design_file, updates_file,
+                                    capsys):
+        assert main(["report", design_file, "--pre",
+                     "--eco", updates_file]) == 0
+        assert "Pre-CPPR" in capsys.readouterr().out
