@@ -15,6 +15,13 @@ Commands:
   formats.
 * ``compare`` — run several timer architectures on one design and print
   their runtimes and agreement.
+* ``bench-check`` — the perf-regression sentinel: compare the
+  ``BENCH_*.json`` family against a rolling baseline and exit nonzero
+  on regression (see :mod:`repro.obs.sentinel`).
+
+``report`` and ``eco`` accept ``--trace-out FILE`` (a Chrome
+trace-event JSON, loadable in Perfetto) and ``--span-log FILE`` (JSONL,
+one record per span); see ``docs/OBSERVABILITY.md``.
 
 Designs are read from ``.cppr``/``.json`` files, or generated on the
 fly with ``--suite NAME [--suite-scale S]``.
@@ -144,11 +151,27 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _write_trace_outputs(args, profile) -> None:
+    """Honor ``--trace-out`` / ``--span-log`` for a collected profile."""
+    from repro.obs import write_chrome_trace, write_span_log
+
+    if getattr(args, "trace_out", None) is not None:
+        trace_id = write_chrome_trace(args.trace_out, profile)
+        print(f"wrote Chrome trace {trace_id} -> {args.trace_out}",
+              file=sys.stderr)
+    if getattr(args, "span_log", None) is not None:
+        count = write_span_log(args.span_log, profile)
+        print(f"wrote {count} span records -> {args.span_log}",
+              file=sys.stderr)
+
+
 def _cmd_report(args) -> int:
     from repro.cppr.queries import endpoint_paths, pair_paths
     from repro.obs import collecting, format_profile, profile_to_json
 
-    profiling = args.profile or args.profile_json
+    profiling = (args.profile or args.profile_json
+                 or args.trace_out is not None
+                 or args.span_log is not None)
     graph, constraints = _design_from_args(args)
     eco = None
     if getattr(args, "eco", None) is not None:
@@ -206,6 +229,7 @@ def _cmd_report(args) -> int:
         with collecting() as col:
             paths, title = run()
         profile = col.profile()
+        _write_trace_outputs(args, profile)
     else:
         paths, title = run()
         profile = None
@@ -222,7 +246,7 @@ def _cmd_report(args) -> int:
         print(f"wrote {len(paths)} paths -> {args.save_json}")
     else:
         print(format_path_report(analyzer, paths, title=title))
-    if profile is not None:
+    if profile is not None and args.profile:
         print()
         print(format_profile(profile, title=f"Profile ({args.mode})"))
     return 0
@@ -232,6 +256,8 @@ def _cmd_eco(args) -> int:
     from repro.io.eco import load_eco_updates
     from repro.obs import collecting, format_profile
 
+    profiling = (args.profile or args.trace_out is not None
+                 or args.span_log is not None)
     graph, constraints = _design_from_args(args)
     updates = load_eco_updates(args.updates)
     if not updates:
@@ -251,10 +277,11 @@ def _cmd_eco(args) -> int:
             lambda: session.top_paths(args.k, args.mode))
         return baseline, summary, requery
 
-    if args.profile:
+    if profiling:
         with collecting() as col:
             baseline, summary, requery = go()
         profile = col.profile()
+        _write_trace_outputs(args, profile)
     else:
         baseline, summary, requery = go()
         profile = None
@@ -278,7 +305,7 @@ def _cmd_eco(args) -> int:
     stats = session.stats()
     print(f"family cache: {stats['families']}   "
           f"select cache: {stats['select']}")
-    if profile is not None:
+    if profile is not None and args.profile:
         print()
         print(format_profile(profile, title=f"Profile ({args.mode})"))
     return 0
@@ -357,6 +384,28 @@ def _cmd_compare(args) -> int:
     return 0
 
 
+def _cmd_bench_check(args) -> int:
+    from repro.obs.sentinel import run_check
+
+    code, lines = run_check(
+        args.results_dir, args.baseline,
+        tolerance_pct=args.tolerance,
+        window=args.window,
+        update=args.update,
+        skip_absolute=args.skip_absolute)
+    print("\n".join(lines))
+    return code
+
+
+def _add_trace_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace-out", metavar="FILE",
+                        help="write the run's Chrome trace-event JSON "
+                             "(open in https://ui.perfetto.dev)")
+    parser.add_argument("--span-log", metavar="FILE",
+                        help="write the run's spans as JSONL, one "
+                             "record per span")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Common Path Pessimism Removal toolkit")
@@ -400,6 +449,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run all per-level propagations as one "
                              "(D x n) batched sweep (array backend "
                              "only; default auto)")
+    _add_trace_arguments(report)
     _add_resilience_arguments(report)
     report.set_defaults(func=_cmd_report)
 
@@ -420,6 +470,7 @@ def build_parser() -> argparse.ArgumentParser:
     eco.add_argument("--batch-levels", choices=["auto", "on", "off"],
                      default="auto",
                      help="level-batched propagation (default auto)")
+    _add_trace_arguments(eco)
     _add_resilience_arguments(eco)
     eco.set_defaults(func=_cmd_eco)
 
@@ -465,6 +516,35 @@ def build_parser() -> argparse.ArgumentParser:
                               "'ours' engine (default auto)")
     _add_resilience_arguments(compare)
     compare.set_defaults(func=_cmd_compare)
+
+    bench = sub.add_parser(
+        "bench-check",
+        help="perf-regression sentinel over BENCH_*.json results")
+    bench.add_argument("--results-dir", default="benchmarks/results",
+                       metavar="DIR",
+                       help="directory holding BENCH_*.json files "
+                            "(default benchmarks/results)")
+    bench.add_argument("--baseline",
+                       default="benchmarks/results/BENCH_baseline.json",
+                       metavar="FILE",
+                       help="rolling-baseline file; created on first "
+                            "run (default benchmarks/results/"
+                            "BENCH_baseline.json)")
+    bench.add_argument("--tolerance", type=float, default=15.0,
+                       metavar="PCT",
+                       help="tolerance band around the rolling median, "
+                            "percent (default 15)")
+    bench.add_argument("--window", type=int, default=5, metavar="N",
+                       help="rolling-window length for new baselines "
+                            "(default 5)")
+    bench.add_argument("--update", action="store_true",
+                       help="on a passing check, fold the current "
+                            "values into the rolling window")
+    bench.add_argument("--skip-absolute", action="store_true",
+                       help="ignore wall-clock (seconds) metrics — use "
+                            "when the baseline was recorded on "
+                            "different hardware")
+    bench.set_defaults(func=_cmd_bench_check)
 
     return parser
 

@@ -256,5 +256,6 @@ def run_topk(graph: TimingGraph, arrays: _ArrivalArrays,
         col.add("deviation.edges_explored", edges_explored)
         col.add("deviation.edges_generated", edges_generated)
         col.add("deviation.paths_reported", len(results))
+        heap.flush_counters(col)
 
     return results

@@ -16,6 +16,7 @@ Example::
 
 from __future__ import annotations
 
+import time
 import warnings
 from dataclasses import dataclass, replace
 
@@ -30,12 +31,26 @@ from repro.cppr.types import TimingPath
 from repro.exceptions import (AnalysisError, DegradedResultWarning,
                               ExecutionError, ReproError)
 from repro.obs import collector as _obs
+from repro.obs import metrics as _metrics
 from repro.obs.collector import collecting
 from repro.obs.profile import Profile
 from repro.sta.modes import AnalysisMode
 from repro.sta.timing import TimingAnalyzer
 
 __all__ = ["CpprEngine", "CpprOptions"]
+
+#: Collected full queries by analysis mode (rides the counter merge, so
+#: totals stay executor-independent like every other work counter).
+_QUERIES = _metrics.REGISTRY.counter(
+    "engine.queries", labels=("mode",),
+    help="Collected top_paths queries by analysis mode")
+#: Last collected query's wall seconds per mode.  A gauge (registry
+#: local, last-write-wins) rather than a histogram on purpose: bucketed
+#: wall time would put timing jitter into ``Profile.counters`` and break
+#: their executor-independence guarantee.
+_QUERY_SECONDS = _metrics.REGISTRY.gauge(
+    "engine.query_seconds", labels=("mode",),
+    help="Wall seconds of the most recent collected top_paths query")
 
 
 @dataclass(frozen=True, slots=True)
@@ -238,6 +253,10 @@ class CpprEngine:
         self.backend, self.batched = _validate_options(self.options)
         #: Profile of the most recent collected query, or ``None``.
         self.last_profile: Profile | None = None
+        #: Trace id of the most recent collected query, or ``None``.
+        #: Matches ``last_profile.trace_id`` and the id stamped on
+        #: exported traces and degradation events of that window.
+        self.last_trace_id: str | None = None
         #: Fault/degradation events of the most recent full query —
         #: empty for clean runs.  Also embedded as the ``degraded``
         #: section of :attr:`last_profile` when a collector was active.
@@ -310,62 +329,76 @@ class CpprEngine:
         if k < 1:
             raise AnalysisError(f"k must be at least 1, got {k}")
         mode = AnalysisMode.coerce(mode)
-        # The analyzer's topological order is cached lazily; force it here
-        # so forked workers inherit it instead of recomputing it each.
-        self.analyzer.graph.topo_order
-        if self.backend == "array":
-            # Same reasoning for the array substrate: build the CSR and
-            # the clock-tree lifting mirror once in this process so every
-            # worker (thread or forked process) reuses them.
-            from repro.core.arrays import get_core
-            from repro.core.grouping import tree_lift
-            get_core(self.analyzer.graph)
-            tree_lift(self.analyzer.clock_tree)
         strict = self.options.strict
         degraded: list[dict] = []
         col = _obs.ACTIVE
         with _obs.span("candidates"):
+            # The stage[...] spans mirror the staged pipeline's
+            # vocabulary (repro.pipeline.STAGES) so a one-shot engine
+            # trace and an incremental-session trace read the same way.
+            with _obs.span("stage", "structure"):
+                # The analyzer's topological order is cached lazily;
+                # force it here so forked workers inherit it instead of
+                # recomputing it each.  Same reasoning for the
+                # clock-tree lifting mirror on the array backend.
+                self.analyzer.graph.topo_order
+                if self.backend == "array":
+                    from repro.core.grouping import tree_lift
+                    tree_lift(self.analyzer.clock_tree)
+            with _obs.span("stage", "values"):
+                if self.backend == "array":
+                    # Build the CSR core (adjacency plus the bound
+                    # delay-value columns) once in this process so
+                    # every worker (thread or forked process) reuses
+                    # it.  On the scalar backend values live on the
+                    # graph already and this stage is empty.
+                    from repro.core.arrays import get_core
+                    get_core(self.analyzer.graph)
             # One (D x n) sweep replaces the D per-level propagations;
             # it runs in this process before the pool starts, so thread
             # and forked workers inherit the shared matrices for free
             # and parallelize the per-level deviation searches.
             batch = None
-            if self.batched and self.analyzer.clock_tree.num_levels > 0:
-                try:
-                    from repro.core.batched import propagate_dual_batched
-                    batch = propagate_dual_batched(self.analyzer.graph,
-                                                   mode)
-                except ReproError:
-                    raise
-                except Exception as exc:
-                    if strict:
-                        raise ExecutionError(
-                            "batched propagation failed in strict "
-                            "mode") from exc
-                    degraded.append({"event": "degrade.batched",
-                                     "task": "build",
-                                     "error": repr(exc)})
+            with _obs.span("stage", "propagation"):
+                if self.batched and self.analyzer.clock_tree.num_levels > 0:
+                    try:
+                        from repro.core.batched import \
+                            propagate_dual_batched
+                        batch = propagate_dual_batched(
+                            self.analyzer.graph, mode)
+                    except ReproError:
+                        raise
+                    except Exception as exc:
+                        if strict:
+                            raise ExecutionError(
+                                "batched propagation failed in strict "
+                                "mode") from exc
+                        degraded.append({"event": "degrade.batched",
+                                         "task": "build",
+                                         "error": repr(exc)})
             args = [(self.analyzer, task, k, mode,
                      self.options.heap_capacity, self.backend,
                      batch if task[0] == "level" else None, strict)
                     for task in self._tasks()]
-            try:
-                packed = run_tasks(
-                    _run_family_resilient, args,
-                    executor=self.options.executor,
-                    workers=self.options.workers,
-                    task_timeout=self.options.task_timeout,
-                    max_retries=0 if strict else self.options.max_retries,
-                    retry_backoff=self.options.retry_backoff,
-                    fallback=not strict,
-                    events=degraded)
-            except ReproError:
-                raise
-            except Exception as exc:
-                raise ExecutionError(
-                    "candidate generation failed"
-                    + (" in strict mode" if strict else
-                       " after exhausting every fallback")) from exc
+            with _obs.span("stage", "families"):
+                try:
+                    packed = run_tasks(
+                        _run_family_resilient, args,
+                        executor=self.options.executor,
+                        workers=self.options.workers,
+                        task_timeout=self.options.task_timeout,
+                        max_retries=0 if strict
+                        else self.options.max_retries,
+                        retry_backoff=self.options.retry_backoff,
+                        fallback=not strict,
+                        events=degraded)
+                except ReproError:
+                    raise
+                except Exception as exc:
+                    raise ExecutionError(
+                        "candidate generation failed"
+                        + (" in strict mode" if strict else
+                           " after exhausting every fallback")) from exc
         results = []
         for family, task_events in packed:
             results.append(family)
@@ -373,11 +406,14 @@ class CpprEngine:
         if col is not None:
             # Scheduler events were counted by run_tasks as they
             # happened; the backend-ladder events travelled back from
-            # the (possibly forked) tasks and are counted here.
+            # the (possibly forked) tasks and are counted here.  Every
+            # event is stamped with the window's trace id so exported
+            # traces and degradation records correlate.
             for event in degraded:
                 if event["event"] in ("degrade.batched",
                                       "degrade.backend"):
                     col.add(event["event"])
+                event.setdefault("trace", col.trace_id)
         self.last_degraded = tuple(degraded)
         if degraded:
             summary = {}
@@ -419,10 +455,16 @@ class CpprEngine:
             served = self._serve_cached(mode, k)
             if served is not None:
                 return served
+        _QUERIES.labels(mode=mode.value).inc()
+        started = time.perf_counter()
         with _obs.span("top_paths"):
             candidates = self.candidate_paths(k, mode)
-            selected = select_top_paths(self.analyzer, candidates, k)
+            with _obs.span("stage", "select"):
+                selected = select_top_paths(self.analyzer, candidates, k)
         if col is not None:
+            _QUERY_SECONDS.labels(mode=mode.value).set(
+                time.perf_counter() - started)
+            self.last_trace_id = col.trace_id
             self.last_profile = col.profile().with_degraded(
                 self.last_degraded)
         self._topk_cache.store((mode, k), tuple(selected))

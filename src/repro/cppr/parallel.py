@@ -58,10 +58,17 @@ from typing import Any, Callable, Sequence
 from repro import faults
 from repro.exceptions import AnalysisError, ExecutionError
 from repro.obs import collector as _obs
+from repro.obs import metrics as _metrics
 from repro.obs.collector import Collector, collecting
 from repro.obs.profile import Profile
 
 __all__ = ["available_executors", "run_tasks"]
+
+#: Fault/degradation events, labeled by event name and the rung they
+#: struck on (``degrade.executor`` is labeled by its target rung).
+_SCHED_EVENTS = _metrics.REGISTRY.counter(
+    "scheduler.event", labels=("event", "rung"),
+    help="Resilient-scheduler fault/degradation events by name and rung")
 
 #: Fallback rungs tried for each requested executor, safest last.
 FALLBACK_LADDER = {
@@ -131,9 +138,22 @@ def _thread_entry(fn: Callable[..., Any], args: tuple,
 
 def _record(events: list | None, col: Collector | None, name: str,
             **fields: Any) -> None:
-    """Count one fault/degradation event and log it for the caller."""
+    """Count one fault/degradation event and log it for the caller.
+
+    Collected runs get two extras: a labeled ``scheduler.event`` metric
+    sample and the collector's trace id stamped on the event dict (so
+    exported traces and degradation records correlate).  Uncollected
+    runs record the bare event dict, exactly as before.
+    """
     if col is not None:
         col.add(name)
+        _SCHED_EVENTS.labels(
+            event=name,
+            rung=str(fields.get("rung") or fields.get("target") or "-"),
+        ).inc()
+        if events is not None:
+            events.append({"event": name, "trace": col.trace_id, **fields})
+        return
     if events is not None:
         events.append({"event": name, **fields})
 

@@ -45,6 +45,7 @@ from dataclasses import dataclass
 from typing import Iterator
 
 from repro.obs import collector as _obs
+from repro.obs import metrics as _metrics
 
 __all__ = ["SITES", "FaultPlan", "FaultSpec", "InjectedFault",
            "active_plan", "armed", "check", "inject",
@@ -62,6 +63,13 @@ ENV_VAR = "REPRO_FAULTS"
 #: ``True`` in processes that may be killed outright by ``task.crash``
 #: (fork-pool workers); set by :func:`mark_worker_process`.
 WORKER_PROCESS = False
+
+#: Labeled view of injected firings (one sample per site), recorded
+#: durably next to the flat ``faults.injected.<site>`` counters.
+_FAULTS_INJECTED = _metrics.REGISTRY.counter(
+    "fault.injected", labels=("site",),
+    help="Injected chaos firings by fault site (durable: survives "
+         "discarded task attempts)")
 
 
 class InjectedFault(RuntimeError):
@@ -291,6 +299,7 @@ def check(site: str) -> None:
         # Durable: the attempt this firing kills is discarded, but the
         # evidence that a fault was injected must not be.
         col.add_durable(f"faults.injected.{site}")
+        _FAULTS_INJECTED.labels(site=site).inc_durable()
     spec = plan.spec(site)
     _fire(site, spec)
 
@@ -311,6 +320,7 @@ def triggered(site: str) -> bool:
     col = _obs.ACTIVE
     if col is not None:
         col.add_durable(f"faults.injected.{site}")
+        _FAULTS_INJECTED.labels(site=site).inc_durable()
     return True
 
 

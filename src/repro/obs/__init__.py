@@ -1,17 +1,27 @@
-"""repro.obs — structured tracing, counters, and profile reports.
+"""repro.obs — the observability plane: traces, metrics, sentinel.
 
-The engine's instrumentation layer: hierarchical spans with monotonic
-timing, named counters for heap/deviation/propagation work, and
-:class:`Profile` snapshots that aggregate deterministically across the
-``serial``/``thread``/``process`` executors.
+Three subsystems on one substrate:
+
+* **Profiling/tracing** — hierarchical spans with monotonic timing and
+  per-window trace ids, named counters for heap/deviation/propagation
+  work, and :class:`Profile` snapshots that aggregate deterministically
+  across the ``serial``/``thread``/``process`` executors.
+* **Metrics** (:mod:`repro.obs.metrics`) — typed counters, gauges and
+  fixed-bucket histograms with label sets, encoded onto the collector's
+  counter substrate so they ride the same executor-aware merge.
+* **Export and regression gating** — :mod:`repro.obs.export` renders a
+  profile as Chrome trace-event JSON (Perfetto-loadable) or a JSONL
+  span log; :mod:`repro.obs.sentinel` checks ``BENCH_*.json`` results
+  against a rolling baseline (``repro bench-check``).
 
 Quickstart::
 
-    from repro.obs import collecting, format_profile
+    from repro.obs import collecting, format_profile, write_chrome_trace
 
     with collecting() as col:
         engine.top_paths(k=50, mode="setup")
     print(format_profile(col.profile()))
+    write_chrome_trace("trace.json", col.profile())
 
 Instrumentation is zero-cost by default: until :func:`collecting`
 installs a collector, every instrumented call site reduces to a single
@@ -20,19 +30,33 @@ counter vocabulary is documented in ``docs/OBSERVABILITY.md``.
 """
 
 from repro.obs.collector import (Collector, active_collector, add,
-                                 collecting, span)
+                                 collecting, new_trace_id, span)
+from repro.obs.export import (to_chrome_trace, to_span_log,
+                              write_chrome_trace, write_span_log)
+from repro.obs.metrics import REGISTRY, MetricsRegistry
 from repro.obs.profile import SCHEMA, Profile, SpanNode
 from repro.obs.render import format_profile, profile_to_json
+from repro.obs.sentinel import Baseline, collect_results, run_check
 
 __all__ = [
+    "Baseline",
     "Collector",
+    "MetricsRegistry",
     "Profile",
+    "REGISTRY",
     "SCHEMA",
     "SpanNode",
     "active_collector",
     "add",
+    "collect_results",
     "collecting",
     "format_profile",
+    "new_trace_id",
     "profile_to_json",
+    "run_check",
     "span",
+    "to_chrome_trace",
+    "to_span_log",
+    "write_chrome_trace",
+    "write_span_log",
 ]

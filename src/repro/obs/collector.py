@@ -37,13 +37,19 @@ from __future__ import annotations
 
 import threading
 import time
+import uuid
 from contextlib import contextmanager
 from typing import Any, Iterator
 
 from repro.obs.profile import Profile, SpanNode
 
 __all__ = ["ACTIVE", "Collector", "active_collector", "add", "collecting",
-           "span"]
+           "new_trace_id", "span"]
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-digit trace identifier."""
+    return uuid.uuid4().hex[:16]
 
 #: The installed collector, or ``None`` when instrumentation is off.
 #: Hot paths read this attribute directly; everything else should go
@@ -80,11 +86,17 @@ class Collector:
     threads concurrently.
     """
 
-    def __init__(self, clock=time.perf_counter) -> None:
+    def __init__(self, clock=time.perf_counter,
+                 trace_id: str | None = None) -> None:
         self._clock = clock
         self._lock = threading.Lock()
         self._states: list[_ThreadState] = []
         self._tls = threading.local()
+        #: Identifier stamped on every snapshot and exported trace; pass
+        #: one in to correlate this window with an external request id.
+        self.trace_id = new_trace_id() if trace_id is None else trace_id
+        #: Creation instant — span ``start`` offsets are relative to it.
+        self._epoch = clock()
 
     # ------------------------------------------------------------------
     # Per-thread state management
@@ -157,7 +169,8 @@ class Collector:
         finally:
             elapsed = self._clock() - start
             state.stack.pop()
-            finished = SpanNode(label, elapsed, tuple(node.children))
+            finished = SpanNode(label, elapsed, tuple(node.children),
+                                start=start - self._epoch)
             if state.stack:
                 state.stack[-1].children.append(finished)
             else:
@@ -204,7 +217,8 @@ class Collector:
             for name, amount in state.counters.items():
                 counters[name] = counters.get(name, 0) + amount
         return Profile(spans=tuple(spans),
-                       counters=dict(sorted(counters.items())))
+                       counters=dict(sorted(counters.items())),
+                       trace_id=self.trace_id)
 
 
 # ----------------------------------------------------------------------

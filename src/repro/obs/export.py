@@ -1,0 +1,145 @@
+"""Trace export: Chrome trace-event JSON and a compact JSONL span log.
+
+A :class:`Profile` already carries everything a trace needs — a span
+forest with durations and start offsets, counters, degradation events
+and a ``trace_id`` — so export is a pure function of the snapshot.  Two
+formats:
+
+* :func:`to_chrome_trace` — the Chrome trace-event format (``ph: "X"``
+  complete events, microsecond timestamps), loadable in Perfetto
+  (https://ui.perfetto.dev) or ``chrome://tracing``.  This is the
+  per-request export surface the ROADMAP's serving tier reuses.
+* :func:`to_span_log` — one flat JSON record per span (trace id, slash
+  path, depth, start, total/self seconds), the grep/jq-friendly form.
+
+Timeline layout: events are placed by *sequential packing* — each root
+span starts where the previous root ended and children pack left to
+right inside their parent, using only the recorded durations.  Packing
+is deterministic and always properly nested, which keeps exported
+traces diffable across runs and correct for spans absorbed from worker
+processes (whose recorded wall starts are relative to a different
+process epoch).  The recorded wall start is preserved per event under
+``args.wall_start`` for when the true gap structure matters.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterator
+
+from repro.obs.collector import new_trace_id
+from repro.obs.profile import Profile, SpanNode
+
+__all__ = ["SCHEMA", "new_trace_id", "to_chrome_trace", "to_span_log",
+           "write_chrome_trace", "write_span_log"]
+
+#: Schema tag embedded in every exported Chrome trace's ``otherData``.
+SCHEMA = "repro.obs/trace@1"
+
+
+def _category(name: str) -> str:
+    """Event category: the span family, stripped of its ``[detail]``."""
+    return name.partition("[")[0]
+
+
+def _pack_events(node: SpanNode, ts_us: float, events: list[dict],
+                 trace_id: str, pid: int, tid: int) -> None:
+    events.append({
+        "name": node.name,
+        "cat": _category(node.name),
+        "ph": "X",
+        "pid": pid,
+        "tid": tid,
+        "ts": round(ts_us, 3),
+        "dur": round(node.seconds * 1e6, 3),
+        "args": {"trace_id": trace_id,
+                 "self_seconds": round(node.self_seconds, 9),
+                 "wall_start": round(node.start, 9)},
+    })
+    child_ts = ts_us
+    for child in node.children:
+        _pack_events(child, child_ts, events, trace_id, pid, tid)
+        child_ts += child.seconds * 1e6
+
+
+def to_chrome_trace(profile: Profile, *, trace_id: str | None = None,
+                    pid: int = 1) -> dict[str, Any]:
+    """``profile`` as a Chrome trace-event document (a JSON-able dict)."""
+    trace_id = trace_id or profile.trace_id or new_trace_id()
+    events: list[dict] = [
+        {"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+         "args": {"name": f"repro trace {trace_id}"}},
+        {"name": "thread_name", "ph": "M", "pid": pid, "tid": 1,
+         "args": {"name": "spans"}},
+    ]
+    cursor = 0.0
+    for root in profile.spans:
+        _pack_events(root, cursor, events, trace_id, pid, tid=1)
+        cursor += root.seconds * 1e6
+    for index, event in enumerate(profile.degraded):
+        record = {
+            "name": str(event.get("event", "degraded")),
+            "cat": "degraded",
+            "ph": "i",
+            "s": "p",
+            "pid": pid,
+            "tid": 1,
+            "ts": round(cursor, 3) + index,
+            "args": dict(event, trace_id=trace_id),
+        }
+        events.append(record)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "schema": SCHEMA,
+            "trace_id": trace_id,
+            "counters": dict(profile.counters),
+            "degraded_events": len(profile.degraded),
+        },
+    }
+
+
+def write_chrome_trace(path, profile: Profile, *,
+                       trace_id: str | None = None) -> str:
+    """Write :func:`to_chrome_trace` JSON to ``path``; returns trace id."""
+    document = to_chrome_trace(profile, trace_id=trace_id)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return document["otherData"]["trace_id"]
+
+
+def _iter_records(node: SpanNode, path: tuple, depth: int,
+                  trace_id: str) -> Iterator[dict[str, Any]]:
+    path = path + (node.name,)
+    yield {"trace": trace_id,
+           "span": node.name,
+           "path": "/".join(path),
+           "depth": depth,
+           "start": round(node.start, 9),
+           "seconds": round(node.seconds, 9),
+           "self_seconds": round(node.self_seconds, 9)}
+    for child in node.children:
+        yield from _iter_records(child, path, depth + 1, trace_id)
+
+
+def to_span_log(profile: Profile, *,
+                trace_id: str | None = None) -> list[dict[str, Any]]:
+    """One flat record per span, depth-first in stable span order."""
+    trace_id = trace_id or profile.trace_id or new_trace_id()
+    records: list[dict[str, Any]] = []
+    for root in profile.spans:
+        records.extend(_iter_records(root, (), 0, trace_id))
+    return records
+
+
+def write_span_log(path, profile: Profile, *,
+                   trace_id: str | None = None) -> int:
+    """Write :func:`to_span_log` as JSONL; returns the record count."""
+    records = to_span_log(profile, trace_id=trace_id)
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=True))
+            handle.write("\n")
+    return len(records)

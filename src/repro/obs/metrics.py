@@ -1,0 +1,358 @@
+"""Typed, labeled metrics riding the collector's counter substrate.
+
+The PR 1 collector gives us exactly one process-safe, executor-aware
+aggregation primitive: integer counters merged in task order.  Rather
+than bolt a second aggregation pipeline next to it, labeled metrics are
+*encoded into counter names*::
+
+    cache.lookup{cache=pipeline.family,outcome=hit}
+    replay.dirty_pins{bucket=le64}
+
+Label keys are sorted inside the braces, so an encoded name is a
+canonical key: the same metric sample encodes identically on every
+thread, process and run.  Because samples are plain counters they ride
+:meth:`Collector.absorb_state` / :meth:`Collector.absorb` unchanged and
+inherit the determinism the obs tests pin (identical totals under the
+serial/thread/process executors).
+
+Three instrument types:
+
+* :class:`Counter` — monotonically increasing integer totals.
+* :class:`Histogram` — fixed, declared-up-front buckets; an observation
+  increments the single ``bucket=le<bound>`` (or ``bucket=inf``) sample
+  it falls into.  Fixed buckets keep histograms mergeable by addition.
+* :class:`Gauge` — last-write-wins floats.  Gauges are *not* additive,
+  so they live in the registry (process-local) rather than in collector
+  counters; they appear in snapshots but never in ``Profile.counters``.
+
+Hot-path cost: :meth:`Counter.labels` returns a bound instrument whose
+encoded name was computed once, so recording is the same two dict
+operations as a plain ``col.add(name)`` — and when no collector is
+installed it is the usual single ``ACTIVE``-is-``None`` test.
+
+:class:`MetricsRegistry.snapshot` inverts the encoding: it decodes the
+labeled counters of a :class:`Profile` back into per-metric sample
+tables and merges in gauge values, producing a deterministic
+point-in-time JSON document (schema ``repro.obs/metrics@1``).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Any, Iterable, Mapping
+
+from repro.obs import collector as _obs
+from repro.obs.profile import Profile
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "REGISTRY",
+           "SCHEMA", "encode_metric", "parse_metric"]
+
+#: Schema tag embedded in every metrics snapshot.
+SCHEMA = "repro.obs/metrics@1"
+
+#: Characters that would break the ``name{k=v,...}`` encoding.
+_RESERVED = set("{}=,\n")
+
+
+def _check_token(token: str, what: str) -> str:
+    if not token or _RESERVED.intersection(token):
+        raise ValueError(f"invalid {what} {token!r}: must be non-empty "
+                         f"and free of '{{', '}}', '=', ',' and newlines")
+    return token
+
+
+def encode_metric(name: str, labels: Mapping[str, Any] = ()) -> str:
+    """The canonical encoded form ``name{k1=v1,k2=v2}`` (keys sorted)."""
+    if not labels:
+        return name
+    body = ",".join(f"{key}={_check_token(str(labels[key]), 'label value')}"
+                    for key in sorted(labels))
+    return f"{name}{{{body}}}"
+
+
+def parse_metric(encoded: str) -> tuple[str, dict[str, str]]:
+    """Invert :func:`encode_metric`; plain names parse to empty labels."""
+    if not encoded.endswith("}") or "{" not in encoded:
+        return encoded, {}
+    name, _, body = encoded.partition("{")
+    labels: dict[str, str] = {}
+    for item in body[:-1].split(","):
+        key, _, value = item.partition("=")
+        labels[key] = value
+    return name, labels
+
+
+def format_bucket(bound: float) -> str:
+    """The ``bucket`` label value for an upper bound (``inf`` for +inf)."""
+    if bound == float("inf"):
+        return "inf"
+    return f"le{bound:g}"
+
+
+class _Bound:
+    """An instrument with its label values resolved and name pre-encoded."""
+
+    __slots__ = ("_encoded",)
+
+    def __init__(self, encoded: str) -> None:
+        self._encoded = encoded
+
+    @property
+    def encoded_name(self) -> str:
+        return self._encoded
+
+
+class BoundCounter(_Bound):
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:
+        col = _obs.ACTIVE
+        if col is not None:
+            col.add(self._encoded, amount)
+
+    def inc_durable(self, amount: int = 1) -> None:
+        """Increment so the sample survives a discarded task attempt."""
+        col = _obs.ACTIVE
+        if col is not None:
+            col.add_durable(self._encoded, amount)
+
+
+class BoundGauge(_Bound):
+    __slots__ = ("_store", "_lock")
+
+    def __init__(self, encoded: str, store: dict, lock) -> None:
+        super().__init__(encoded)
+        self._store = store
+        self._lock = lock
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._store[self._encoded] = float(value)
+
+
+class BoundHistogram(_Bound):
+    """Pre-encoded ``(upper_bound, counter_name)`` rows, ascending."""
+
+    __slots__ = ("_rows",)
+
+    def __init__(self, rows: tuple) -> None:
+        super().__init__(rows[-1][1])
+        self._rows = rows
+
+    def observe(self, value: float) -> None:
+        col = _obs.ACTIVE
+        if col is None:
+            return
+        for bound, encoded in self._rows:
+            if value <= bound:
+                col.add(encoded)
+                return
+
+
+class _Metric:
+    """Shared bookkeeping: identity, label schema, bound-instrument cache."""
+
+    type_name = "untyped"
+
+    def __init__(self, registry: "MetricsRegistry", name: str,
+                 label_names: tuple, help: str) -> None:
+        self.registry = registry
+        self.name = _check_token(name, "metric name")
+        self.label_names = tuple(_check_token(label, "label name")
+                                 for label in label_names)
+        self.help = help
+        self._bound: dict[tuple, Any] = {}
+
+    def _resolve(self, labels: dict) -> tuple[tuple, dict]:
+        if set(labels) != set(self.label_names):
+            raise ValueError(
+                f"metric {self.name!r} takes labels "
+                f"{sorted(self.label_names)}, got {sorted(labels)}")
+        key = tuple(str(labels[label]) for label in self.label_names)
+        return key, labels
+
+    def labels(self, **labels: Any):
+        """The bound instrument for one label-value combination."""
+        key, labels = self._resolve(labels)
+        bound = self._bound.get(key)
+        if bound is None:
+            bound = self._make_bound(labels)
+            self._bound[key] = bound
+        return bound
+
+    def describe(self) -> dict[str, Any]:
+        return {"type": self.type_name, "help": self.help,
+                "labels": list(self.label_names)}
+
+
+class Counter(_Metric):
+    type_name = "counter"
+
+    def _make_bound(self, labels: dict) -> BoundCounter:
+        return BoundCounter(encode_metric(self.name, labels))
+
+    def inc(self, amount: int = 1, **labels: Any) -> None:
+        self.labels(**labels).inc(amount)
+
+
+class Gauge(_Metric):
+    type_name = "gauge"
+
+    def _make_bound(self, labels: dict) -> BoundGauge:
+        return BoundGauge(encode_metric(self.name, labels),
+                          self.registry._gauges, self.registry._lock)
+
+    def set(self, value: float, **labels: Any) -> None:
+        self.labels(**labels).set(value)
+
+
+class Histogram(_Metric):
+    type_name = "histogram"
+
+    def __init__(self, registry, name, label_names, help,
+                 buckets: Iterable[float]) -> None:
+        super().__init__(registry, name, label_names, help)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            raise ValueError(f"histogram {name!r} buckets must be a "
+                             f"non-empty strictly increasing sequence, "
+                             f"got {bounds}")
+        if bounds[-1] != float("inf"):
+            bounds = bounds + (float("inf"),)
+        self.buckets = bounds
+
+    def _make_bound(self, labels: dict) -> BoundHistogram:
+        rows = tuple(
+            (bound,
+             encode_metric(self.name,
+                           {**labels, "bucket": format_bucket(bound)}))
+            for bound in self.buckets)
+        return BoundHistogram(rows)
+
+    def observe(self, value: float, **labels: Any) -> None:
+        self.labels(**labels).observe(value)
+
+    def describe(self) -> dict[str, Any]:
+        described = super().describe()
+        described["buckets"] = [format_bucket(b) for b in self.buckets]
+        return described
+
+
+class MetricsRegistry:
+    """Declares metrics once and decodes snapshots of their samples.
+
+    Registration is idempotent: re-declaring a metric with the same
+    type and label schema returns the existing instance (so modules can
+    declare their instruments at import time without ordering concerns);
+    a conflicting re-declaration raises ``ValueError``.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, _Metric] = {}
+        self._gauges: dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # Declaration
+    # ------------------------------------------------------------------
+    def _register(self, cls, name, labels, help, **extra):
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls) or \
+                        existing.label_names != tuple(labels):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.type_name} with labels "
+                        f"{existing.label_names}")
+                return existing
+            metric = cls(self, name, tuple(labels), help, **extra)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, labels: Iterable[str] = (),
+                help: str = "") -> Counter:
+        return self._register(Counter, name, tuple(labels), help)
+
+    def gauge(self, name: str, labels: Iterable[str] = (),
+              help: str = "") -> Gauge:
+        return self._register(Gauge, name, tuple(labels), help)
+
+    def histogram(self, name: str, buckets: Iterable[float],
+                  labels: Iterable[str] = (), help: str = "") -> Histogram:
+        return self._register(Histogram, name, tuple(labels), help,
+                              buckets=tuple(buckets))
+
+    def get(self, name: str) -> _Metric | None:
+        return self._metrics.get(name)
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    def snapshot(self, profile: Profile | None = None, *,
+                 include_unregistered: bool = True) -> dict[str, Any]:
+        """A point-in-time document of every metric's current samples.
+
+        Counter and histogram samples come from ``profile`` (or the
+        active collector's snapshot when omitted); gauge values come
+        from the registry itself.  Labeled counters that were never
+        declared are included as untyped counters unless
+        ``include_unregistered`` is false — plain unlabeled profile
+        counters (the classic ``heap.push`` vocabulary) are left to the
+        profile document they already live in.
+        """
+        if profile is None:
+            col = _obs.ACTIVE
+            profile = col.profile() if col is not None else Profile()
+        families: dict[str, dict[str, Any]] = {}
+
+        def family(name: str, metric: _Metric | None) -> dict[str, Any]:
+            entry = families.get(name)
+            if entry is None:
+                described = (metric.describe() if metric is not None
+                             else {"type": "counter", "help": "",
+                                   "labels": None})
+                entry = dict(described, samples=[])
+                families[name] = entry
+            return entry
+
+        for encoded, value in profile.counters.items():
+            name, labels = parse_metric(encoded)
+            metric = self._metrics.get(name)
+            if metric is None and (not labels or not include_unregistered):
+                continue
+            family(name, metric)["samples"].append(
+                {"labels": labels, "value": value})
+        with self._lock:
+            gauges = dict(self._gauges)
+        for encoded in sorted(gauges):
+            name, labels = parse_metric(encoded)
+            family(name, self._metrics.get(name))["samples"].append(
+                {"labels": labels, "value": gauges[encoded]})
+        for entry in families.values():
+            entry["samples"].sort(
+                key=lambda sample: sorted(sample["labels"].items()))
+        return {"schema": SCHEMA,
+                "trace_id": profile.trace_id,
+                "metrics": {name: families[name]
+                            for name in sorted(families)}}
+
+    def snapshot_json(self, profile: Profile | None = None, *,
+                      indent: int | None = 2) -> str:
+        """The :meth:`snapshot` document as deterministic JSON."""
+        return json.dumps(self.snapshot(profile), indent=indent,
+                          sort_keys=True)
+
+    def reset_gauges(self) -> None:
+        """Forget all gauge values (test isolation helper)."""
+        with self._lock:
+            self._gauges.clear()
+
+
+#: The process-wide default registry; modules declare instruments on it
+#: at import time.
+REGISTRY = MetricsRegistry()

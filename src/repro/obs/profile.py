@@ -31,6 +31,9 @@ class SpanNode:
     name: str
     seconds: float
     children: tuple["SpanNode", ...] = ()
+    #: Wall-clock offset (seconds) of the span's start relative to the
+    #: collector's creation; ``0.0`` for hand-built or legacy profiles.
+    start: float = 0.0
 
     @property
     def self_seconds(self) -> float:
@@ -48,6 +51,7 @@ class SpanNode:
 
     def to_dict(self) -> dict[str, Any]:
         return {"name": self.name, "seconds": self.seconds,
+                "start": self.start,
                 "children": [c.to_dict() for c in self.children]}
 
     @classmethod
@@ -55,7 +59,8 @@ class SpanNode:
         return cls(name=str(data["name"]),
                    seconds=float(data["seconds"]),
                    children=tuple(cls.from_dict(c)
-                                  for c in data.get("children", ())))
+                                  for c in data.get("children", ())),
+                   start=float(data.get("start", 0.0)))
 
 
 @dataclass(frozen=True, slots=True)
@@ -74,6 +79,9 @@ class Profile:
     #: by the resilient scheduler and the engine's backend ladder during
     #: the profiled window; empty for clean runs.
     degraded: tuple[Mapping[str, Any], ...] = ()
+    #: The collector's trace identifier, threading this snapshot to its
+    #: exported trace (``None`` for hand-built or legacy profiles).
+    trace_id: str | None = None
 
     # ------------------------------------------------------------------
     # Queries
@@ -107,18 +115,21 @@ class Profile:
             counters[name] = counters.get(name, 0) + amount
         return Profile(spans=self.spans + other.spans,
                        counters=dict(sorted(counters.items())),
-                       degraded=self.degraded + other.degraded)
+                       degraded=self.degraded + other.degraded,
+                       trace_id=self.trace_id or other.trace_id)
 
     def with_degraded(self, events) -> "Profile":
         """This profile with ``events`` as its degradation record."""
         return Profile(spans=self.spans, counters=self.counters,
-                       degraded=tuple(dict(e) for e in events))
+                       degraded=tuple(dict(e) for e in events),
+                       trace_id=self.trace_id)
 
     # ------------------------------------------------------------------
     # Serialization
     # ------------------------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
         return {"schema": SCHEMA,
+                "trace_id": self.trace_id,
                 "spans": [root.to_dict() for root in self.spans],
                 "counters": dict(self.counters),
                 "degraded": [dict(e) for e in self.degraded]}
@@ -127,8 +138,10 @@ class Profile:
     def from_dict(cls, data: Mapping[str, Any]) -> "Profile":
         counters = {str(k): int(v)
                     for k, v in data.get("counters", {}).items()}
+        trace_id = data.get("trace_id")
         return cls(spans=tuple(SpanNode.from_dict(s)
                                for s in data.get("spans", ())),
                    counters=dict(sorted(counters.items())),
                    degraded=tuple(dict(e)
-                                  for e in data.get("degraded", ())))
+                                  for e in data.get("degraded", ())),
+                   trace_id=None if trace_id is None else str(trace_id))

@@ -14,6 +14,10 @@ from repro.obs.profile import Profile
 
 __all__ = ["format_profile", "profile_to_json"]
 
+#: Counter suffixes that mark a cache-traffic counter; ``<prefix>.<suffix>``
+#: rows are regrouped into the ``-- caches --`` table.
+_CACHE_SUFFIXES = ("hit", "miss", "evict", "stale.detected")
+
 
 def _format_span_tree(profile: Profile) -> list[str]:
     lines = [f"{'total s':>10}  {'self s':>10}  span"]
@@ -34,9 +38,43 @@ def _format_counters(profile: Profile) -> list[str]:
     return lines
 
 
+def _cache_traffic(profile: Profile) -> dict[str, dict[str, int]]:
+    """Cache counters regrouped as ``{prefix: {suffix: value}}``."""
+    stats: dict[str, dict[str, int]] = {}
+    for name, value in profile.counters.items():
+        if "{" in name:  # labeled metric samples render in the counter table
+            continue
+        for suffix in _CACHE_SUFFIXES:
+            tail = "." + suffix
+            if name.endswith(tail):
+                stats.setdefault(name[:-len(tail)], {})[suffix] = value
+                break
+    # A lone ``.evict`` counter (heap.evict, topk.evict) is not a cache;
+    # only prefixes with lookup traffic qualify.
+    return {prefix: row for prefix, row in stats.items()
+            if "hit" in row or "miss" in row}
+
+
+def _format_caches(stats: dict[str, dict[str, int]]) -> list[str]:
+    width = max(max(len(prefix) for prefix in stats), len("cache"))
+    lines = [f"{'cache':<{width}}  {'hit':>8}  {'miss':>8}  {'evict':>8}"
+             f"  {'stale':>8}  {'hit rate':>8}"]
+    for prefix in sorted(stats):
+        row = stats[prefix]
+        hit, miss = row.get("hit", 0), row.get("miss", 0)
+        lookups = hit + miss
+        rate = f"{hit / lookups:.1%}" if lookups else "n/a"
+        lines.append(f"{prefix:<{width}}  {hit:>8}  {miss:>8}"
+                     f"  {row.get('evict', 0):>8}"
+                     f"  {row.get('stale.detected', 0):>8}  {rate:>8}")
+    return lines
+
+
 def format_profile(profile: Profile, title: str = "Profile") -> str:
-    """Render a profile as a span tree plus a counter table."""
+    """Render a profile as a span tree plus counter and cache tables."""
     lines = [f"== {title} =="]
+    if profile.trace_id:
+        lines.append(f"trace: {profile.trace_id}")
     lines.append("")
     lines.append("-- span tree --")
     if profile.spans:
@@ -49,6 +87,11 @@ def format_profile(profile: Profile, title: str = "Profile") -> str:
         lines.extend(_format_counters(profile))
     else:
         lines.append("(no counters recorded)")
+    caches = _cache_traffic(profile)
+    if caches:
+        lines.append("")
+        lines.append("-- caches --")
+        lines.extend(_format_caches(caches))
     if profile.degraded:
         lines.append("")
         lines.append("-- degraded --")
@@ -63,7 +106,12 @@ def format_profile(profile: Profile, title: str = "Profile") -> str:
 def profile_to_json(profile: Profile, *,
                     extra: dict[str, Any] | None = None,
                     indent: int | None = 2) -> str:
-    """Serialize a profile (plus optional metadata) as a JSON document."""
+    """Serialize a profile (plus optional metadata) as a JSON document.
+
+    Output is deterministic: keys are sorted and span order is the
+    profile's stable collection/task order, so two structurally equal
+    runs diff cleanly (only timings and the trace id vary).
+    """
     payload = profile.to_dict()
     if extra:
         for key, value in extra.items():
@@ -71,4 +119,4 @@ def profile_to_json(profile: Profile, *,
                 raise ValueError(f"extra key {key!r} collides with the "
                                  f"profile schema")
             payload[key] = value
-    return json.dumps(payload, indent=indent, sort_keys=False)
+    return json.dumps(payload, indent=indent, sort_keys=True)

@@ -1,0 +1,253 @@
+"""Perf-regression sentinel over the ``BENCH_*.json`` family.
+
+The benchmark harness (``benchmarks/run_experiments.py``) writes one
+``BENCH_<step>.json`` per step.  Until now CI only archived them; the
+sentinel makes the trajectory actionable:
+
+1. :func:`collect_results` flattens every ``BENCH_*.json`` under a
+   results directory into scalar metrics named by their JSON path
+   (``batched/designs/leon2/batched/seconds``), keeping only leaves
+   whose last segment ends in ``seconds`` / ``speedup`` / ``pct`` /
+   ``fraction`` — the performance surface — and skipping work-counter
+   and per-pass subtrees, which are covered by equivalence tests.
+2. :class:`Baseline` keeps a rolling window of recent values per metric
+   (median = reference) in a committed JSON file.
+3. :meth:`Baseline.check` compares a current run against the reference
+   with a tolerance band per metric.  Direction is inferred from the
+   name: ``speedup`` metrics must not fall, everything else must not
+   rise.  Tiny references are padded with a per-kind absolute floor so
+   timer jitter on sub-hundredth-second metrics cannot fire the gate.
+
+``repro bench-check`` (see :mod:`repro.cli`) wires this up and exits
+nonzero on any regression, so CI consumes the benchmark trajectory
+instead of just storing it.  ``--skip-absolute`` drops wall-clock
+(``seconds``) metrics from the comparison — the right mode when the
+baseline was recorded on different hardware, leaving the
+machine-independent ratios (speedups, fractions, percentages) as the
+cross-machine contract.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from statistics import median
+from typing import Any, Iterable, Iterator, Mapping
+
+__all__ = ["Baseline", "Regression", "SCHEMA", "collect_results",
+           "iter_bench_metrics", "run_check"]
+
+#: Schema tag of the rolling-baseline file.
+SCHEMA = "repro.obs/bench-baseline@1"
+
+DEFAULT_TOLERANCE_PCT = 15.0
+DEFAULT_WINDOW = 5
+
+#: Value-bearing suffixes; everything else in a BENCH file is config or
+#: work-counter data.
+_VALUE_SUFFIXES = ("seconds", "speedup", "pct", "fraction")
+
+#: Subtrees that hold work counters / per-span detail, not perf scalars.
+_SKIP_SEGMENTS = frozenset({"counters", "per_pass_seconds", "profile",
+                            "spans"})
+
+#: Absolute slack added to the tolerance band, per metric kind, so a
+#: near-zero reference (e.g. a -8% overhead measurement) keeps a usable
+#: band instead of a vanishing one.
+_ABSOLUTE_FLOOR = {"seconds": 0.02, "speedup": 0.25, "pct": 2.0,
+                   "fraction": 0.005}
+
+
+def metric_kind(name: str) -> str:
+    """Which of ``_VALUE_SUFFIXES`` the metric's last segment ends in."""
+    leaf = name.rsplit("/", 1)[-1]
+    for suffix in _VALUE_SUFFIXES:
+        if leaf.endswith(suffix):
+            return suffix
+    return ""
+
+
+def higher_is_better(name: str) -> bool:
+    return metric_kind(name) == "speedup"
+
+
+def is_absolute(name: str) -> bool:
+    """Machine-dependent wall-clock metrics (not comparable across hosts)."""
+    return metric_kind(name) == "seconds"
+
+
+def iter_bench_metrics(stem: str, payload: Any,
+                       _path: tuple = ()) -> Iterator[tuple[str, float]]:
+    """Flatten one BENCH payload into ``(metric_name, value)`` pairs."""
+    if isinstance(payload, Mapping):
+        for key, value in payload.items():
+            key = str(key)
+            if key in _SKIP_SEGMENTS:
+                continue
+            yield from iter_bench_metrics(stem, value, _path + (key,))
+    elif isinstance(payload, (list, tuple)):
+        for index, value in enumerate(payload):
+            yield from iter_bench_metrics(stem, value, _path + (str(index),))
+    elif isinstance(payload, (int, float)) and not isinstance(payload, bool):
+        if _path and metric_kind(_path[-1]):
+            yield "/".join((stem,) + _path), float(payload)
+
+
+def collect_results(results_dir) -> dict[str, float]:
+    """Every perf metric from every ``BENCH_*.json`` under a directory."""
+    metrics: dict[str, float] = {}
+    for path in sorted(Path(results_dir).glob("BENCH_*.json")):
+        stem = path.stem[len("BENCH_"):]
+        if stem == "baseline":
+            continue
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        metrics.update(iter_bench_metrics(stem, payload))
+    return dict(sorted(metrics.items()))
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One metric outside its tolerance band."""
+
+    metric: str
+    current: float
+    reference: float
+    bound: float
+    direction: str  # "<=" (lower is better) or ">=" (higher is better)
+
+    def describe(self) -> str:
+        return (f"{self.metric}: {self.current:.6g} violates "
+                f"{self.direction} {self.bound:.6g} "
+                f"(reference {self.reference:.6g})")
+
+
+class Baseline:
+    """A rolling window of recent values per metric, stored as JSON."""
+
+    def __init__(self, window: int = DEFAULT_WINDOW,
+                 metrics: dict[str, list[float]] | None = None) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.window = window
+        self.metrics = {name: list(values)[-window:]
+                        for name, values in (metrics or {}).items()}
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, path) -> "Baseline":
+        data = json.loads(Path(path).read_text())
+        if data.get("schema") != SCHEMA:
+            raise ValueError(f"{path}: not a bench baseline "
+                             f"(schema {data.get('schema')!r})")
+        return cls(window=int(data.get("window", DEFAULT_WINDOW)),
+                   metrics={str(k): [float(x) for x in v]
+                            for k, v in data.get("metrics", {}).items()})
+
+    def save(self, path) -> None:
+        document = {"schema": SCHEMA, "window": self.window,
+                    "metrics": {name: self.metrics[name]
+                                for name in sorted(self.metrics)}}
+        Path(path).write_text(
+            json.dumps(document, indent=2, sort_keys=True) + "\n")
+
+    # ------------------------------------------------------------------
+    # The rolling window
+    # ------------------------------------------------------------------
+    def record(self, current: Mapping[str, float]) -> None:
+        """Append a run's values, trimming each window to ``window``."""
+        for name, value in current.items():
+            history = self.metrics.setdefault(name, [])
+            history.append(float(value))
+            del history[:-self.window]
+
+    def reference(self, name: str) -> float | None:
+        history = self.metrics.get(name)
+        return median(history) if history else None
+
+    # ------------------------------------------------------------------
+    # The gate
+    # ------------------------------------------------------------------
+    def check(self, current: Mapping[str, float], *,
+              tolerance_pct: float = DEFAULT_TOLERANCE_PCT,
+              skip_absolute: bool = False) -> list[Regression]:
+        """Regressions of ``current`` against the rolling references.
+
+        Metrics with no recorded history pass (they enter the window on
+        the next ``record``); metrics in the baseline but absent from
+        ``current`` are ignored (their step simply did not rerun).
+        """
+        regressions: list[Regression] = []
+        slack = tolerance_pct / 100.0
+        for name in sorted(current):
+            if skip_absolute and is_absolute(name):
+                continue
+            reference = self.reference(name)
+            if reference is None:
+                continue
+            floor = _ABSOLUTE_FLOOR.get(metric_kind(name), 0.0)
+            value = float(current[name])
+            if higher_is_better(name):
+                bound = reference - max(abs(reference) * slack, floor)
+                if value < bound:
+                    regressions.append(Regression(name, value, reference,
+                                                  bound, ">="))
+            else:
+                bound = reference + max(abs(reference) * slack, floor)
+                if value > bound:
+                    regressions.append(Regression(name, value, reference,
+                                                  bound, "<="))
+        return regressions
+
+
+def run_check(results_dir, baseline_path, *,
+              tolerance_pct: float = DEFAULT_TOLERANCE_PCT,
+              window: int = DEFAULT_WINDOW,
+              update: bool = False,
+              skip_absolute: bool = False) -> tuple[int, list[str]]:
+    """The full sentinel pass: ``(exit_code, report_lines)``.
+
+    A missing baseline file is initialized from the current results and
+    reported as a pass — the first run seeds the window.  With
+    ``update``, a passing run's values are appended to the rolling
+    window and the baseline rewritten; a failing run never updates the
+    baseline (regressed values must not poison the reference).
+    """
+    current = collect_results(results_dir)
+    lines = [f"bench-check: {len(current)} metrics from "
+             f"BENCH_*.json in {results_dir}"]
+    if not current:
+        lines.append("no BENCH_*.json results found — nothing to check")
+        return 1, lines
+    baseline_path = Path(baseline_path)
+    if not baseline_path.exists():
+        baseline = Baseline(window=window)
+        baseline.record(current)
+        baseline.save(baseline_path)
+        lines.append(f"initialized baseline {baseline_path} "
+                     f"({len(current)} metrics) — PASS")
+        return 0, lines
+    baseline = Baseline.load(baseline_path)
+    regressions = baseline.check(current, tolerance_pct=tolerance_pct,
+                                 skip_absolute=skip_absolute)
+    compared = sum(1 for name in current
+                   if baseline.reference(name) is not None
+                   and not (skip_absolute and is_absolute(name)))
+    lines.append(f"compared {compared} metrics against {baseline_path} "
+                 f"(tolerance {tolerance_pct:g}%"
+                 f"{', wall-clock skipped' if skip_absolute else ''})")
+    if regressions:
+        lines.append(f"REGRESSIONS ({len(regressions)}):")
+        lines.extend(f"  {r.describe()}" for r in regressions)
+        return 1, lines
+    if update:
+        baseline.record(current)
+        baseline.save(baseline_path)
+        lines.append("baseline window updated")
+    lines.append("no regressions — PASS")
+    return 0, lines

@@ -26,11 +26,21 @@ from typing import Any, Callable, Hashable, Iterable
 
 from repro import faults
 from repro.obs import collector as _obs
+from repro.obs import metrics as _metrics
 
 __all__ = ["ArtifactCache", "LruCache"]
 
 #: Basis wrapper marking an entry poisoned by ``pipeline.stale_artifact``.
 _POISONED = "#poisoned"
+
+#: Labeled view of cache traffic: one metric, one sample per
+#: ``(cache, outcome)`` pair.  The flat ``<prefix>.hit``-style counters
+#: below are kept as the stable legacy vocabulary; this is the form
+#: metrics snapshots and dashboards consume.
+_CACHE_LOOKUPS = _metrics.REGISTRY.counter(
+    "cache.lookup", labels=("cache", "outcome"),
+    help="Pipeline cache lookups by cache name and outcome "
+         "(hit/miss/stale) plus evictions under outcome=evict")
 
 
 class LruCache:
@@ -51,6 +61,14 @@ class LruCache:
         self.misses = 0
         self.evictions = 0
         self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        # Bound label sets resolve the encoded sample names once here,
+        # keeping the lookup hot path at one extra dict increment.
+        self._m_hit = _CACHE_LOOKUPS.labels(cache=counter_prefix,
+                                            outcome="hit")
+        self._m_miss = _CACHE_LOOKUPS.labels(cache=counter_prefix,
+                                             outcome="miss")
+        self._m_evict = _CACHE_LOOKUPS.labels(cache=counter_prefix,
+                                              outcome="evict")
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -69,10 +87,12 @@ class LruCache:
         except KeyError:
             self.misses += 1
             _obs.add(f"{self.counter_prefix}.miss")
+            self._m_miss.inc()
             return default
         self._entries.move_to_end(key)
         self.hits += 1
         _obs.add(f"{self.counter_prefix}.hit")
+        self._m_hit.inc()
         return value
 
     def peek(self, key: Hashable, default: Any = None) -> Any:
@@ -87,6 +107,7 @@ class LruCache:
             self._entries.popitem(last=False)
             self.evictions += 1
             _obs.add(f"{self.counter_prefix}.evict")
+            self._m_evict.inc()
 
     def drop(self, key: Hashable) -> None:
         self._entries.pop(key, None)
@@ -115,6 +136,8 @@ class ArtifactCache:
         self._lru = LruCache(capacity, counter_prefix)
         self.counter_prefix = counter_prefix
         self.stale_detected = 0
+        self._m_stale = _CACHE_LOOKUPS.labels(cache=counter_prefix,
+                                              outcome="stale")
 
     def __len__(self) -> int:
         return len(self._lru)
@@ -143,6 +166,7 @@ class ArtifactCache:
         if recorded != basis:
             self.stale_detected += 1
             _obs.add(f"{self.counter_prefix}.stale.detected")
+            self._m_stale.inc()
             self._lru.drop(key)
             return None
         return value

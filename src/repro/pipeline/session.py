@@ -44,6 +44,7 @@ from repro.cppr.selfloop_paths import self_loop_paths
 from repro.cppr.types import TimingPath
 from repro.exceptions import AnalysisError
 from repro.obs import collector as _obs
+from repro.obs import metrics as _metrics
 from repro.pipeline.artifacts import ArtifactCache
 from repro.pipeline.bounds import sigma_min
 from repro.pipeline.dirty import clock_dirty_ffs, fanout_cone, topo_positions
@@ -57,6 +58,13 @@ from repro.sta.timing import TimingAnalyzer
 __all__ = ["CpprSession"]
 
 _INF = float("inf")
+
+#: Distribution of dirty-cone sizes across replayed updates.  Buckets
+#: are fixed (powers of four around the full-rebuild threshold) so the
+#: samples merge by addition like every other counter.
+_DIRTY_PINS = _metrics.REGISTRY.histogram(
+    "replay.dirty_pins", buckets=(16, 64, 256, 1024, 4096, 16384),
+    help="Dirty-cone size (pins) per replayed incremental update")
 
 #: Dirty-cone fraction above which replay loses to a full re-sweep.
 FULL_SWEEP_FRACTION = 0.25
@@ -228,10 +236,14 @@ class CpprSession:
             num_pins = max(1, self.graph.num_pins)
             self.last_dirty_fraction = (1.0 if full_rebuild
                                         else dirty / num_pins)
-            return {"dirty_pins": dirty,
-                    "dirty_fraction": self.last_dirty_fraction,
-                    "families_kept": kept, "families_dropped": dropped,
-                    "full_rebuild": full_rebuild}
+            summary = {"dirty_pins": dirty,
+                       "dirty_fraction": self.last_dirty_fraction,
+                       "families_kept": kept, "families_dropped": dropped,
+                       "full_rebuild": full_rebuild}
+            col = _obs.ACTIVE
+            if col is not None:
+                summary["trace_id"] = col.trace_id
+            return summary
 
     def _patch_rows(self, resolved: tuple) -> None:
         """Rewrite one edge's entry in the session's private rows.
@@ -284,6 +296,7 @@ class CpprSession:
             return changed, old_times, True, self.graph.num_pins
 
         _obs.add("pipeline.dirty_pins", len(cone))
+        _DIRTY_PINS.observe(len(cone))
         edited_positions: list[int] = []
         if self._core is not None:
             for u, v in run_vals:

@@ -33,6 +33,7 @@ import math
 
 from repro.circuit.graph import TimingGraph
 from repro.cppr.grouping import group_for_level
+from repro.obs import collector as _obs
 from repro.cppr.propagation import (DualArrivalArrays, Seed,
                                     SingleArrivalArrays, propagate_dual,
                                     propagate_single)
@@ -267,6 +268,13 @@ def replay(state: ModeState, graph: TimingGraph, cone: list[int]
     num_levels = len(levels)
     changed: list[set[int]] = [set() for _ in range(num_levels + 2)]
     old_times: list[dict[int, float]] = [{} for _ in range(num_levels + 2)]
+
+    col = _obs.ACTIVE
+    if col is not None:
+        # One replayed cell per (pin, row): D level rows plus the
+        # self-loop and primary-input rows.
+        col.add("replay.pins", len(cone))
+        col.add("replay.cells", len(cone) * (num_levels + 2))
 
     singles = ((num_levels, state.self_loop),
                (num_levels + 1, state.primary_input))

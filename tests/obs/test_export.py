@@ -1,0 +1,123 @@
+"""Tests for trace export (``repro.obs.export``)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import (collecting, to_chrome_trace, to_span_log,
+                       write_chrome_trace, write_span_log)
+from repro.obs.profile import Profile, SpanNode
+
+
+def _sample_profile() -> Profile:
+    inner = SpanNode("propagate", 0.25, (), start=0.05)
+    search = SpanNode("search", 0.5, (), start=0.3)
+    level = SpanNode("level[0]", 1.0, (inner, search), start=0.0)
+    select = SpanNode("select", 0.5, (), start=1.0)
+    return Profile(spans=(level, select),
+                   counters={"heap.push": 3},
+                   degraded=({"event": "degrade.executor",
+                              "source": "process", "target": "thread"},),
+                   trace_id="abc123def4567890")
+
+
+class TestChromeTrace:
+    def test_document_shape(self):
+        doc = to_chrome_trace(_sample_profile())
+        assert doc["otherData"]["schema"] == "repro.obs/trace@1"
+        assert doc["otherData"]["trace_id"] == "abc123def4567890"
+        assert doc["otherData"]["counters"] == {"heap.push": 3}
+        assert doc["otherData"]["degraded_events"] == 1
+        assert doc["displayTimeUnit"] == "ms"
+
+    def test_metadata_events_name_process_and_thread(self):
+        events = to_chrome_trace(_sample_profile())["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        assert {e["name"] for e in meta} == {"process_name", "thread_name"}
+
+    def test_complete_events_carry_duration_and_args(self):
+        events = to_chrome_trace(_sample_profile())["traceEvents"]
+        spans = {e["name"]: e for e in events if e["ph"] == "X"}
+        assert set(spans) == {"level[0]", "propagate", "search", "select"}
+        level = spans["level[0]"]
+        assert level["dur"] == 1.0 * 1e6
+        assert level["cat"] == "level"
+        assert level["args"]["trace_id"] == "abc123def4567890"
+        assert level["args"]["wall_start"] == 0.0
+
+    def test_sequential_packing_nests_children_inside_parents(self):
+        events = to_chrome_trace(_sample_profile())["traceEvents"]
+        spans = {e["name"]: e for e in events if e["ph"] == "X"}
+        level = spans["level[0]"]
+        for child_name in ("propagate", "search"):
+            child = spans[child_name]
+            assert child["ts"] >= level["ts"]
+            assert child["ts"] + child["dur"] <= level["ts"] + level["dur"]
+        # Siblings pack left to right without overlap; roots likewise.
+        assert spans["search"]["ts"] >= \
+            spans["propagate"]["ts"] + spans["propagate"]["dur"]
+        assert spans["select"]["ts"] >= level["ts"] + level["dur"]
+
+    def test_degraded_events_become_instants(self):
+        events = to_chrome_trace(_sample_profile())["traceEvents"]
+        instants = [e for e in events if e["ph"] == "i"]
+        assert len(instants) == 1
+        assert instants[0]["name"] == "degrade.executor"
+        assert instants[0]["args"]["source"] == "process"
+        assert instants[0]["args"]["trace_id"] == "abc123def4567890"
+
+    def test_trace_id_fallbacks(self):
+        profile = Profile(spans=(SpanNode("a", 1.0),))
+        doc = to_chrome_trace(profile, trace_id="override1234")
+        assert doc["otherData"]["trace_id"] == "override1234"
+        generated = to_chrome_trace(profile)["otherData"]["trace_id"]
+        assert len(generated) == 16
+
+    def test_write_is_valid_sorted_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        trace_id = write_chrome_trace(path, _sample_profile())
+        assert trace_id == "abc123def4567890"
+        doc = json.loads(path.read_text())
+        assert doc["otherData"]["trace_id"] == trace_id
+        # Deterministic serialization: a rewrite is byte-identical.
+        first = path.read_text()
+        write_chrome_trace(path, _sample_profile())
+        assert path.read_text() == first
+
+
+class TestSpanLog:
+    def test_records_are_depth_first_with_slash_paths(self):
+        records = to_span_log(_sample_profile())
+        assert [(r["path"], r["depth"]) for r in records] == [
+            ("level[0]", 0),
+            ("level[0]/propagate", 1),
+            ("level[0]/search", 1),
+            ("select", 0),
+        ]
+        assert all(r["trace"] == "abc123def4567890" for r in records)
+
+    def test_self_seconds_excludes_children(self):
+        records = {r["path"]: r for r in to_span_log(_sample_profile())}
+        assert records["level[0]"]["seconds"] == 1.0
+        assert records["level[0]"]["self_seconds"] == 0.25
+
+    def test_write_jsonl(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        count = write_span_log(path, _sample_profile())
+        lines = path.read_text().splitlines()
+        assert count == len(lines) == 4
+        parsed = [json.loads(line) for line in lines]
+        assert parsed[0]["span"] == "level[0]"
+
+
+class TestLiveCollector:
+    def test_collector_spans_round_trip_to_trace(self):
+        with collecting() as col:
+            with col.span("outer"):
+                with col.span("inner"):
+                    pass
+        profile = col.profile()
+        doc = to_chrome_trace(profile)
+        names = [e["name"] for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert names == ["outer", "inner"]
+        assert doc["otherData"]["trace_id"] == col.trace_id

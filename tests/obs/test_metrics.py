@@ -1,0 +1,219 @@
+"""Tests for the labeled metrics registry (``repro.obs.metrics``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import collecting
+from repro.obs.metrics import (MetricsRegistry, encode_metric, format_bucket,
+                               parse_metric)
+from repro.obs.profile import Profile
+
+
+class TestEncoding:
+    def test_plain_name_passes_through(self):
+        assert encode_metric("engine.queries") == "engine.queries"
+
+    def test_labels_sorted_inside_braces(self):
+        encoded = encode_metric("cache.lookup",
+                                {"outcome": "hit", "cache": "family"})
+        assert encoded == "cache.lookup{cache=family,outcome=hit}"
+
+    def test_parse_inverts_encode(self):
+        encoded = encode_metric("m", {"b": "2", "a": "1"})
+        assert parse_metric(encoded) == ("m", {"a": "1", "b": "2"})
+
+    def test_parse_plain_name(self):
+        assert parse_metric("heap.push") == ("heap.push", {})
+
+    def test_reserved_characters_rejected(self):
+        with pytest.raises(ValueError):
+            encode_metric("m", {"key": "a,b"})
+        with pytest.raises(ValueError):
+            encode_metric("m", {"key": "a=b"})
+
+    def test_format_bucket(self):
+        assert format_bucket(64) == "le64"
+        assert format_bucket(0.5) == "le0.5"
+        assert format_bucket(float("inf")) == "inf"
+
+
+class TestCounter:
+    def test_inc_records_encoded_sample(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("t.lookups", labels=("outcome",))
+        with collecting() as col:
+            counter.labels(outcome="hit").inc()
+            counter.labels(outcome="hit").inc(2)
+            counter.labels(outcome="miss").inc()
+        counters = col.profile().counters
+        assert counters["t.lookups{outcome=hit}"] == 3
+        assert counters["t.lookups{outcome=miss}"] == 1
+
+    def test_inc_without_collector_is_a_noop(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("t.noop", labels=("k",))
+        counter.labels(k="v").inc()  # must not raise
+
+    def test_bound_instrument_is_cached(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("t.cached", labels=("k",))
+        assert counter.labels(k="v") is counter.labels(k="v")
+
+    def test_wrong_label_set_rejected(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("t.schema", labels=("a", "b"))
+        with pytest.raises(ValueError):
+            counter.labels(a="1")
+        with pytest.raises(ValueError):
+            counter.labels(a="1", b="2", c="3")
+
+    def test_durable_increment_survives_discarded_capture(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("t.durable", labels=("site",))
+        with collecting() as col:
+            with col.capture():
+                counter.labels(site="x").inc()          # discarded
+                counter.labels(site="x").inc_durable()  # survives
+        counters = col.profile().counters
+        assert counters["t.durable{site=x}"] == 1
+
+
+class TestGauge:
+    def test_last_write_wins_and_stays_out_of_profile(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("t.gauge", labels=("mode",))
+        with collecting() as col:
+            gauge.labels(mode="setup").set(1.5)
+            gauge.labels(mode="setup").set(2.5)
+        assert col.profile().counters == {}
+        snapshot = registry.snapshot(col.profile())
+        samples = snapshot["metrics"]["t.gauge"]["samples"]
+        assert samples == [{"labels": {"mode": "setup"}, "value": 2.5}]
+
+
+class TestHistogram:
+    def test_observation_lands_in_one_bucket(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("t.hist", buckets=(16, 64, 256))
+        with collecting() as col:
+            histogram.labels().observe(10)
+            histogram.labels().observe(16)
+            histogram.labels().observe(100)
+            histogram.labels().observe(10_000)
+        counters = col.profile().counters
+        assert counters == {"t.hist{bucket=le16}": 2,
+                            "t.hist{bucket=le256}": 1,
+                            "t.hist{bucket=inf}": 1}
+
+    def test_inf_bucket_appended_when_absent(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("t.inf", buckets=(1, 2))
+        assert histogram.buckets[-1] == float("inf")
+
+    def test_buckets_must_increase(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.histogram("t.bad", buckets=(4, 2))
+        with pytest.raises(ValueError):
+            registry.histogram("t.empty", buckets=())
+
+
+class TestRegistry:
+    def test_redeclaration_is_idempotent(self):
+        registry = MetricsRegistry()
+        first = registry.counter("t.idem", labels=("k",))
+        second = registry.counter("t.idem", labels=("k",))
+        assert first is second
+
+    def test_conflicting_redeclaration_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("t.conflict", labels=("k",))
+        with pytest.raises(ValueError):
+            registry.gauge("t.conflict", labels=("k",))
+        with pytest.raises(ValueError):
+            registry.counter("t.conflict", labels=("other",))
+
+    def test_snapshot_decodes_labeled_counters(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("t.snap", labels=("outcome",),
+                                   help="lookups")
+        with collecting() as col:
+            counter.labels(outcome="miss").inc()
+            counter.labels(outcome="hit").inc(4)
+        snapshot = registry.snapshot(col.profile())
+        assert snapshot["schema"] == "repro.obs/metrics@1"
+        assert snapshot["trace_id"] == col.trace_id
+        entry = snapshot["metrics"]["t.snap"]
+        assert entry["type"] == "counter"
+        assert entry["help"] == "lookups"
+        # Samples sorted by label items, independent of record order.
+        assert entry["samples"] == [
+            {"labels": {"outcome": "hit"}, "value": 4},
+            {"labels": {"outcome": "miss"}, "value": 1},
+        ]
+
+    def test_snapshot_skips_plain_unlabeled_counters(self):
+        registry = MetricsRegistry()
+        profile = Profile(counters={"heap.push": 9,
+                                    "other{k=v}": 1})
+        snapshot = registry.snapshot(profile)
+        assert "heap.push" not in snapshot["metrics"]
+        assert snapshot["metrics"]["other"]["labels"] is None
+
+    def test_snapshot_can_exclude_unregistered(self):
+        registry = MetricsRegistry()
+        profile = Profile(counters={"other{k=v}": 1})
+        snapshot = registry.snapshot(profile, include_unregistered=False)
+        assert snapshot["metrics"] == {}
+
+    def test_snapshot_json_is_deterministic(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("t.det", labels=("k",))
+        with collecting() as col:
+            counter.labels(k="b").inc()
+            counter.labels(k="a").inc()
+        profile = col.profile()
+        assert registry.snapshot_json(profile) == \
+            registry.snapshot_json(profile)
+
+    def test_reset_gauges(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("t.reset")
+        gauge.labels().set(3.0)
+        registry.reset_gauges()
+        snapshot = registry.snapshot(Profile())
+        assert "t.reset" not in snapshot["metrics"]
+
+
+class TestEngineIntegration:
+    def test_engine_run_produces_labeled_samples(self):
+        from repro import CpprEngine
+        from repro.obs.metrics import REGISTRY
+        from tests.helpers import demo_analyzer
+
+        engine = CpprEngine(demo_analyzer())
+        _, profile = engine.profiled_top_paths(3, "setup")
+        assert profile.counters["engine.queries{mode=setup}"] == 1
+        snapshot = REGISTRY.snapshot(profile)
+        assert "engine.queries" in snapshot["metrics"]
+        # The per-query wall-time gauge lives in the registry, not in
+        # the (executor-deterministic) profile counters.
+        assert "engine.query_seconds" in snapshot["metrics"]
+
+    def test_cache_traffic_is_sampled(self):
+        from repro.obs.metrics import REGISTRY
+        from repro.pipeline.artifacts import LruCache
+
+        cache = LruCache(capacity=2, counter_prefix="t.integration")
+        with collecting() as col:
+            cache.get("absent")
+            cache.store("a", 1)
+            cache.get("a")
+        counters = col.profile().counters
+        assert counters[
+            "cache.lookup{cache=t.integration,outcome=miss}"] == 1
+        assert counters[
+            "cache.lookup{cache=t.integration,outcome=hit}"] == 1
+        snapshot = REGISTRY.snapshot(col.profile())
+        assert "cache.lookup" in snapshot["metrics"]

@@ -1,0 +1,74 @@
+"""Tests for profile rendering (``repro.obs.render``)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import format_profile
+from repro.obs.render import profile_to_json
+from repro.obs.profile import Profile
+
+
+class TestCacheTable:
+    COUNTERS = {
+        "pipeline.family.hit": 6,
+        "pipeline.family.miss": 2,
+        "pipeline.family.evict": 1,
+        "pipeline.family.stale.detected": 1,
+        "select.cache.miss": 3,
+        "heap.evict": 500,   # not a cache: no lookup traffic
+        "heap.push": 900,
+        "cache.lookup{cache=pipeline.family,outcome=hit}": 6,
+    }
+
+    def test_cache_traffic_renders_as_a_table(self):
+        text = format_profile(Profile(counters=self.COUNTERS))
+        assert "-- caches --" in text
+        cache_section = text.partition("-- caches --")[2]
+        assert "pipeline.family" in cache_section
+        assert "select.cache" in cache_section
+        assert "75.0%" in cache_section  # 6 hits / 8 lookups
+        assert "0.0%" in cache_section   # select.cache: all misses
+
+    def test_non_cache_evictions_stay_out(self):
+        text = format_profile(Profile(counters=self.COUNTERS))
+        cache_section = text.partition("-- caches --")[2]
+        assert "heap" not in cache_section
+
+    def test_labeled_samples_stay_in_the_counter_table(self):
+        text = format_profile(Profile(counters=self.COUNTERS))
+        cache_section = text.partition("-- caches --")[2]
+        assert "cache.lookup{" not in cache_section
+        assert "cache.lookup{cache=pipeline.family,outcome=hit}" in text
+
+    def test_no_cache_traffic_no_section(self):
+        text = format_profile(Profile(counters={"heap.push": 3}))
+        assert "-- caches --" not in text
+
+
+class TestTraceLine:
+    def test_trace_id_is_shown(self):
+        text = format_profile(Profile(trace_id="deadbeef00000000"))
+        assert "trace: deadbeef00000000" in text
+
+    def test_absent_trace_id_is_omitted(self):
+        assert "trace:" not in format_profile(Profile())
+
+
+class TestProfileJson:
+    def test_keys_are_sorted(self):
+        profile = Profile(counters={"b": 1, "a": 2},
+                          trace_id="deadbeef00000000")
+        text = profile_to_json(profile)
+        assert text == json.dumps(json.loads(text), indent=2,
+                                  sort_keys=True)
+
+    def test_extra_keys_merge_but_never_collide(self):
+        profile = Profile()
+        payload = json.loads(profile_to_json(profile,
+                                             extra={"design": "demo"}))
+        assert payload["design"] == "demo"
+        with pytest.raises(ValueError):
+            profile_to_json(profile, extra={"counters": {}})

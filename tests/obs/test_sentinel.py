@@ -1,0 +1,222 @@
+"""Tests for the perf-regression sentinel (``repro.obs.sentinel``)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.sentinel import (Baseline, collect_results,
+                                higher_is_better, is_absolute,
+                                iter_bench_metrics, metric_kind, run_check)
+
+
+def _write_bench(results_dir, stem: str, payload: dict) -> None:
+    results_dir.mkdir(parents=True, exist_ok=True)
+    (results_dir / f"BENCH_{stem}.json").write_text(
+        json.dumps(payload, indent=2))
+
+
+SAMPLE = {
+    "schema": "repro.bench/batched@1",
+    "scale": 0.5,
+    "designs": {
+        "vga_lcdv2": {
+            "nobatch": {"seconds": 2.0,
+                        "counters": {"heap.push": 100}},
+            "batched": {"seconds": 1.0},
+            "speedup": 2.0,
+            "reports_identical": True,
+        },
+    },
+}
+
+
+class TestFlattening:
+    def test_metric_names_are_json_paths(self):
+        metrics = dict(iter_bench_metrics("batched", SAMPLE))
+        assert metrics["batched/designs/vga_lcdv2/speedup"] == 2.0
+        assert metrics["batched/designs/vga_lcdv2/nobatch/seconds"] == 2.0
+
+    def test_counters_and_booleans_are_skipped(self):
+        metrics = dict(iter_bench_metrics("batched", SAMPLE))
+        assert not any("counters" in name for name in metrics)
+        assert not any("reports_identical" in name for name in metrics)
+
+    def test_non_value_leaves_are_skipped(self):
+        metrics = dict(iter_bench_metrics("batched", SAMPLE))
+        assert "batched/scale" not in metrics
+
+    def test_lists_flatten_by_index(self):
+        payload = {"per_round": [{"speedup": 3.0}, {"speedup": 4.0}]}
+        metrics = dict(iter_bench_metrics("incremental", payload))
+        assert metrics["incremental/per_round/0/speedup"] == 3.0
+        assert metrics["incremental/per_round/1/speedup"] == 4.0
+
+    def test_collect_results(self, tmp_path):
+        _write_bench(tmp_path, "batched", SAMPLE)
+        _write_bench(tmp_path, "other", {"total_seconds": 5.0})
+        (tmp_path / "BENCH_baseline.json").write_text("{}")  # ignored
+        (tmp_path / "BENCH_broken.json").write_text("not json")
+        metrics = collect_results(tmp_path)
+        assert "batched/designs/vga_lcdv2/speedup" in metrics
+        assert metrics["other/total_seconds"] == 5.0
+        assert not any(name.startswith("baseline/") for name in metrics)
+
+
+class TestDirections:
+    def test_kinds(self):
+        assert metric_kind("x/raw_seconds") == "seconds"
+        assert metric_kind("x/speedup") == "speedup"
+        assert metric_kind("x/overhead_pct") == "pct"
+        assert metric_kind("x/other") == ""
+
+    def test_speedups_are_higher_better(self):
+        assert higher_is_better("a/propagate_speedup")
+        assert not higher_is_better("a/seconds")
+
+    def test_only_seconds_are_machine_dependent(self):
+        assert is_absolute("a/resilient_seconds")
+        assert not is_absolute("a/overhead_pct")
+
+
+class TestBaseline:
+    def test_window_trims_history(self):
+        baseline = Baseline(window=3)
+        for value in (1.0, 2.0, 3.0, 4.0, 5.0):
+            baseline.record({"m/seconds": value})
+        assert baseline.metrics["m/seconds"] == [3.0, 4.0, 5.0]
+        assert baseline.reference("m/seconds") == 4.0
+
+    def test_save_load_round_trip(self, tmp_path):
+        baseline = Baseline(window=2)
+        baseline.record({"m/speedup": 2.0})
+        path = tmp_path / "BENCH_baseline.json"
+        baseline.save(path)
+        loaded = Baseline.load(path)
+        assert loaded.window == 2
+        assert loaded.metrics == {"m/speedup": [2.0]}
+
+    def test_load_rejects_foreign_documents(self, tmp_path):
+        path = tmp_path / "BENCH_baseline.json"
+        path.write_text(json.dumps({"schema": "something-else"}))
+        with pytest.raises(ValueError):
+            Baseline.load(path)
+
+    def test_slower_seconds_regress(self):
+        baseline = Baseline()
+        baseline.record({"m/seconds": 1.0})
+        assert baseline.check({"m/seconds": 1.5})
+        assert not baseline.check({"m/seconds": 1.1})  # inside 15%
+
+    def test_lower_speedup_regresses(self):
+        baseline = Baseline()
+        baseline.record({"m/speedup": 4.0})
+        regressions = baseline.check({"m/speedup": 2.0})
+        assert len(regressions) == 1
+        assert regressions[0].direction == ">="
+        assert "violates" in regressions[0].describe()
+        assert not baseline.check({"m/speedup": 6.0})  # faster is fine
+
+    def test_absolute_floor_pads_tiny_references(self):
+        baseline = Baseline()
+        baseline.record({"m/overhead_pct": 0.1})
+        # 15% of 0.1 is microscopic; the 2-point pct floor must absorb
+        # ordinary jitter around a near-zero overhead.
+        assert not baseline.check({"m/overhead_pct": 1.5})
+        assert baseline.check({"m/overhead_pct": 5.0})
+
+    def test_unknown_and_missing_metrics_pass(self):
+        baseline = Baseline()
+        baseline.record({"m/seconds": 1.0})
+        assert not baseline.check({"new/seconds": 99.0})
+        assert not baseline.check({})
+
+    def test_skip_absolute_ignores_seconds(self):
+        baseline = Baseline()
+        baseline.record({"m/seconds": 1.0, "m/speedup": 4.0})
+        regressions = baseline.check({"m/seconds": 9.0, "m/speedup": 4.0},
+                                     skip_absolute=True)
+        assert not regressions
+
+
+class TestRunCheck:
+    def test_first_run_initializes_and_passes(self, tmp_path):
+        _write_bench(tmp_path, "batched", SAMPLE)
+        baseline_path = tmp_path / "BENCH_baseline.json"
+        code, lines = run_check(tmp_path, baseline_path)
+        assert code == 0
+        assert baseline_path.exists()
+        assert any("initialized" in line for line in lines)
+
+    def test_empty_results_fail(self, tmp_path):
+        code, lines = run_check(tmp_path, tmp_path / "BENCH_baseline.json")
+        assert code == 1
+
+    def test_pass_then_synthetic_regression(self, tmp_path):
+        _write_bench(tmp_path, "batched", SAMPLE)
+        baseline_path = tmp_path / "BENCH_baseline.json"
+        assert run_check(tmp_path, baseline_path)[0] == 0
+        assert run_check(tmp_path, baseline_path)[0] == 0
+        regressed = json.loads(json.dumps(SAMPLE))
+        regressed["designs"]["vga_lcdv2"]["speedup"] = 1.0
+        _write_bench(tmp_path, "batched", regressed)
+        code, lines = run_check(tmp_path, baseline_path)
+        assert code == 1
+        assert any("REGRESSIONS" in line for line in lines)
+        assert any("vga_lcdv2/speedup" in line for line in lines)
+
+    def test_update_records_only_passing_runs(self, tmp_path):
+        _write_bench(tmp_path, "batched", SAMPLE)
+        baseline_path = tmp_path / "BENCH_baseline.json"
+        run_check(tmp_path, baseline_path)
+        run_check(tmp_path, baseline_path, update=True)
+        history = Baseline.load(baseline_path).metrics[
+            "batched/designs/vga_lcdv2/speedup"]
+        assert history == [2.0, 2.0]
+        regressed = json.loads(json.dumps(SAMPLE))
+        regressed["designs"]["vga_lcdv2"]["speedup"] = 1.0
+        _write_bench(tmp_path, "batched", regressed)
+        assert run_check(tmp_path, baseline_path, update=True)[0] == 1
+        history = Baseline.load(baseline_path).metrics[
+            "batched/designs/vga_lcdv2/speedup"]
+        assert history == [2.0, 2.0]  # the regressed value never lands
+
+
+class TestCliBenchCheck:
+    def test_pass_against_committed_baselines(self, capsys):
+        """The repo's own BENCH_*.json family must pass its baseline."""
+        from pathlib import Path
+        if not Path("benchmarks/results/BENCH_baseline.json").exists():
+            pytest.skip("committed benchmark results not in reach "
+                        "(test needs the repo root as cwd)")
+        assert main(["bench-check"]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_synthetic_regression_exits_nonzero(self, tmp_path, capsys):
+        _write_bench(tmp_path, "batched", SAMPLE)
+        baseline = str(tmp_path / "BENCH_baseline.json")
+        assert main(["bench-check", "--results-dir", str(tmp_path),
+                     "--baseline", baseline]) == 0
+        regressed = json.loads(json.dumps(SAMPLE))
+        regressed["designs"]["vga_lcdv2"]["speedup"] = 1.0
+        _write_bench(tmp_path, "batched", regressed)
+        assert main(["bench-check", "--results-dir", str(tmp_path),
+                     "--baseline", baseline]) == 1
+        assert "REGRESSIONS" in capsys.readouterr().out
+
+    def test_tolerance_flag_widens_the_band(self, tmp_path):
+        _write_bench(tmp_path, "batched", SAMPLE)
+        baseline = str(tmp_path / "BENCH_baseline.json")
+        main(["bench-check", "--results-dir", str(tmp_path),
+              "--baseline", baseline])
+        slower = json.loads(json.dumps(SAMPLE))
+        slower["designs"]["vga_lcdv2"]["nobatch"]["seconds"] = 2.5
+        _write_bench(tmp_path, "batched", slower)
+        assert main(["bench-check", "--results-dir", str(tmp_path),
+                     "--baseline", baseline]) == 1
+        assert main(["bench-check", "--results-dir", str(tmp_path),
+                     "--baseline", baseline, "--tolerance", "50"]) == 0
+        assert main(["bench-check", "--results-dir", str(tmp_path),
+                     "--baseline", baseline, "--skip-absolute"]) == 0
