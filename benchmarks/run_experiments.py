@@ -8,8 +8,9 @@ Usage::
     python benchmarks/run_experiments.py fig5 --scale 0.5
 
 Subcommands: ``table3``, ``table4``, ``fig5``, ``fig6``, ``ablation``,
-``backend``, ``batched``, ``incremental``, ``faults``, ``profile``,
-``obs``, ``all`` — several may be given at once (``backend batched``).  Results
+``backend``, ``batched``, ``incremental``, ``faults``, ``parallel``,
+``profile``, ``obs``, ``all`` — several may be given at once
+(``backend batched``).  Results
 are printed as markdown and also written under ``benchmarks/results/``;
 ``profile`` additionally writes the machine-readable
 ``benchmarks/results/BENCH_profile.json`` (per-pass wall time +
@@ -20,7 +21,11 @@ report-identity check), ``incremental`` writes
 on leon2 — hard-fails unless sessions are >= 3x faster at <= 1% dirty
 with bit-identical reports), ``faults`` writes ``BENCH_faults.json``
 (clean-path overhead of the resilient scheduler, capped at 3%, plus
-chaos report-identity checks), and ``obs`` writes ``BENCH_obs.json``
+chaos report-identity checks), ``parallel`` writes
+``BENCH_parallel.json`` (shared-memory process-pool scaling at 1-4
+workers on leon2 plus the executor x substrate report-identity
+matrix — the >= 2.5x speedup gate hard-fails on machines with >= 4
+CPUs), and ``obs`` writes ``BENCH_obs.json``
 (collector-armed vs disarmed wall time, capped at 2%) so the numbers
 stay comparable across PRs.  ``repro bench-check`` compares the whole
 ``BENCH_*.json`` family against a rolling baseline and fails on
@@ -667,6 +672,128 @@ def run_profile(args) -> None:
 
 
 # ----------------------------------------------------------------------
+# Parallel (zero-copy memory plane: scaling + executor identity)
+# ----------------------------------------------------------------------
+def run_parallel(args) -> None:
+    """Shared-memory process sharding: scaling and the identity matrix.
+
+    Two gates on leon2.  First, every executor x substrate combination
+    (serial/thread/process x scalar/array/batched) must reproduce the
+    first combination's top-k reports bit for bit — the memory plane's
+    descriptor path may never change an answer.  Second, the process
+    pool at 1-4 workers is timed against the serial baseline; on a
+    machine where real scaling is possible (>= 4 effective CPUs, fork
+    support, shared memory up) the 4-worker run must be >= 2.5x faster
+    than serial, and the ``gate_enforced`` flag in the payload records
+    whether that hard gate applied.  Speedups always feed the
+    ``repro bench-check`` rolling baseline either way.
+    """
+    import os
+
+    from repro.core import shm as _shm
+
+    design = "leon2"
+    k = 100  # pinned (Figure 6's protocol) so the speedup baselines
+    #          stay comparable across --quick and full invocations
+    min_speedup = 2.5
+    cpus = (len(os.sched_getaffinity(0))
+            if hasattr(os, "sched_getaffinity") else os.cpu_count() or 1)
+    have_fork = "process" in available_executors()
+    shm_up = _shm.available()
+    gate_enforced = have_fork and shm_up and cpus >= 4
+    analyzer = get_analyzer(design, args.scale)
+    payload = {
+        "schema": "repro.bench/parallel@1",
+        "scale": args.scale,
+        "k": k,
+        "design": design,
+        "cpus": cpus,
+        "shm_available": shm_up,
+        "min_speedup": min_speedup,
+        "gate_enforced": gate_enforced,
+        "identity": {},
+        "scaling": {},
+    }
+
+    configs = {
+        "scalar": {"backend": "scalar"},
+        "array": {"backend": "array", "batch_levels": "off"},
+        "batched": {"backend": "array", "batch_levels": "on"},
+    }
+    executors = [name for name in ("serial", "thread", "process")
+                 if name in available_executors()]
+    reference = None
+    combos = 0
+    for config_name, config in configs.items():
+        for executor in executors:
+            engine = CpprEngine(analyzer, CpprOptions(
+                executor=executor, workers=4, **config))
+            fingerprint = {
+                mode: _path_fingerprint(engine.top_paths(k, mode))
+                for mode in ("setup", "hold")
+            }
+            if reference is None:
+                reference = fingerprint
+            elif fingerprint != reference:
+                raise SystemExit(
+                    f"[parallel] MISMATCH on {design}: "
+                    f"{executor}/{config_name} top-{k} reports differ "
+                    f"from the {executors[0]}/scalar reference")
+            combos += 1
+        print(f"[parallel] identity {config_name} x "
+              f"{'/'.join(executors)} ok", file=sys.stderr)
+    payload["identity"] = {"combos": combos, "reports_identical": True}
+
+    lines = [f"# Parallel — shared-memory process sharding on {design}, "
+             f"k={k}, setup + hold per run", "",
+             f"Identity: {combos} executor x substrate combinations, "
+             f"reports bit-identical.", "",
+             "| configuration | RT(s) | speedup | resolved workers |",
+             "|---|---:|---:|---:|"]
+    serial = CpprEngine(analyzer)
+    serial_seconds, _ = _measure(
+        lambda: run_both_modes(serial, k), with_memory=False,
+        timer=serial, repeat=3)
+    payload["scaling"]["serial"] = {"seconds": serial_seconds}
+    lines.append(f"| serial | {serial_seconds:.3f} | 1.00x | 1 |")
+    print(f"[parallel] serial {serial_seconds:.3f}s", file=sys.stderr)
+    speedup_at_4 = None
+    for workers in (1, 2, 4):
+        engine = CpprEngine(analyzer, CpprOptions(
+            executor="process" if have_fork else "thread",
+            workers=workers))
+        seconds, _ = _measure(
+            lambda e=engine: run_both_modes(e, k), with_memory=False,
+            timer=engine, repeat=3)
+        speedup = serial_seconds / seconds
+        if workers == 4:
+            speedup_at_4 = speedup
+        payload["scaling"][f"workers{workers}"] = {
+            "seconds": seconds,
+            "speedup": speedup,
+            "resolved_workers": engine.resolved_workers,
+        }
+        lines.append(f"| process x{workers} | {seconds:.3f} | "
+                     f"{speedup:.2f}x | {engine.resolved_workers} |")
+        print(f"[parallel] workers={workers} {seconds:.3f}s "
+              f"({speedup:.2f}x)", file=sys.stderr)
+    lines += ["", f"{cpus} effective CPUs; >= {min_speedup:.1f}x gate "
+                  + ("ENFORCED" if gate_enforced else "not enforced "
+                     "(needs >= 4 CPUs, fork, and shared memory)")
+                  + "."]
+    if gate_enforced and speedup_at_4 < min_speedup:
+        raise SystemExit(
+            f"[parallel] TOO SLOW on {design}: {speedup_at_4:.2f}x at "
+            f"4 process workers (the memory plane must deliver >= "
+            f"{min_speedup:.1f}x over serial on a >= 4-CPU machine)")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    write_bench_profile(RESULTS_DIR / "BENCH_parallel.json", payload)
+    print(f"[parallel] wrote {RESULTS_DIR / 'BENCH_parallel.json'}",
+          file=sys.stderr)
+    _emit(lines, "parallel.md")
+
+
+# ----------------------------------------------------------------------
 # Obs (instrumentation overhead of the observability plane)
 # ----------------------------------------------------------------------
 def run_obs(args) -> None:
@@ -775,8 +902,8 @@ def main(argv=None) -> None:
     parser.add_argument("what", nargs="+",
                         choices=["table3", "table4", "fig5", "fig6",
                                  "ablation", "backend", "batched",
-                                 "incremental", "faults", "profile",
-                                 "obs", "all"])
+                                 "incremental", "faults", "parallel",
+                                 "profile", "obs", "all"])
     parser.add_argument("--scale", type=float, default=1.0,
                         help="design scale factor (default 1.0)")
     parser.add_argument("--quick", action="store_true",
@@ -807,8 +934,8 @@ def main(argv=None) -> None:
              "fig6": run_fig6, "ablation": run_ablation,
              "backend": run_backend, "batched": run_batched,
              "incremental": run_incremental,
-             "faults": run_faults, "profile": run_profile,
-             "obs": run_obs}
+             "faults": run_faults, "parallel": run_parallel,
+             "profile": run_profile, "obs": run_obs}
     selected = (list(steps) if "all" in args.what
                 else list(dict.fromkeys(args.what)))
     for name in selected:

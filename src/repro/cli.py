@@ -189,8 +189,10 @@ def _cmd_report(args) -> int:
     analyzer = TimingAnalyzer(graph, constraints)
     eco_suffix = f" (ECO: {eco.describe()})" if eco else ""
 
+    meta_engine = None  # set when the full engine runs the query
+
     def run():
-        nonlocal analyzer
+        nonlocal analyzer, meta_engine
         if args.pre:
             return None, format_endpoint_report(analyzer, args.mode,
                                                 limit=args.k)
@@ -214,6 +216,7 @@ def _cmd_report(args) -> int:
             engine = CpprEngine(analyzer, CpprOptions(
                 backend=args.backend, batch_levels=args.batch_levels,
                 **_resilience_from_args(args)))
+            meta_engine = engine
             if eco:
                 session = engine.session()
                 session.update(delays=list(eco.delays), clock=eco.clock)
@@ -229,6 +232,8 @@ def _cmd_report(args) -> int:
         with collecting() as col:
             paths, title = run()
         profile = col.profile()
+        if meta_engine is not None:
+            profile = profile.with_meta(meta_engine.profile_meta())
         _write_trace_outputs(args, profile)
     else:
         paths, title = run()

@@ -143,11 +143,13 @@ class CoreStructure:
                  "edge_src", "edge_dst", "level_ptr", "bucket_spans",
                  "fanin_ptr", "fanin_src", "fanin_dst",
                  "fanin_ptr_list", "fanin_src_list", "fanin_dst_list",
-                 "_backward_geo", "_fanin_by_src")
+                 "_backward_geo", "_fanin_by_src", "shm_layout",
+                 "__weakref__")
 
     def __init__(self) -> None:
         self._backward_geo = None
         self._fanin_by_src = None
+        self.shm_layout = None
 
     # ------------------------------------------------------------------
     # Edge/fanin run location (parallel edges share one run)
@@ -216,6 +218,75 @@ class CoreStructure:
             self._fanin_by_src = (order.tolist(), starts.tolist())
         return self._fanin_by_src
 
+    # ------------------------------------------------------------------
+    # The shared-memory plane
+    # ------------------------------------------------------------------
+    def to_shared(self, kind: str = "structure"):
+        """Publish the index columns into a shared-memory segment.
+
+        Rebinds this object's arrays to segment-backed views (the list
+        mirrors and lazy geometries are untouched — they are process
+        local by design) and returns the picklable
+        :class:`repro.core.shm.BufferLayout`.  Idempotent: a second
+        call returns the existing layout.
+        """
+        from repro.core import shm as _shm
+        if self.shm_layout is not None:
+            return self.shm_layout
+        layout, views = _shm.REGISTRY.publish(
+            kind,
+            {"level_of": self.level_of, "edge_src": self.edge_src,
+             "edge_dst": self.edge_dst, "level_ptr": self.level_ptr,
+             "fanin_ptr": self.fanin_ptr, "fanin_src": self.fanin_src,
+             "fanin_dst": self.fanin_dst},
+            version=0,
+            meta={"num_pins": self.num_pins, "num_edges": self.num_edges,
+                  "num_levels": self.num_levels})
+        self.level_of = views["level_of"]
+        self.edge_src = views["edge_src"]
+        self.edge_dst = views["edge_dst"]
+        self.level_ptr = views["level_ptr"]
+        self.fanin_ptr = views["fanin_ptr"]
+        self.fanin_src = views["fanin_src"]
+        self.fanin_dst = views["fanin_dst"]
+        self.shm_layout = layout
+        import weakref
+        weakref.finalize(self, _shm.REGISTRY.release, layout.segment)
+        return layout
+
+    @classmethod
+    def attach(cls, layout) -> "CoreStructure":
+        """Rebuild a structure from a published segment (read-only).
+
+        Everything derivable is rederived locally: the list mirrors,
+        the per-level ``bucket_spans``, and (lazily) the backward
+        geometry — only the seven index columns come from the segment.
+        """
+        from repro.core import shm as _shm
+        views = _shm.REGISTRY.views(layout, expected_version=0)
+        meta = layout.meta_dict
+        s = cls()
+        s.num_pins = int(meta["num_pins"])
+        s.num_edges = int(meta["num_edges"])
+        s.num_levels = int(meta["num_levels"])
+        s.level_of = views["level_of"]
+        s.edge_src = views["edge_src"]
+        s.edge_dst = views["edge_dst"]
+        s.level_ptr = views["level_ptr"]
+        s.fanin_ptr = views["fanin_ptr"]
+        s.fanin_src = views["fanin_src"]
+        s.fanin_dst = views["fanin_dst"]
+        s.fanin_ptr_list = s.fanin_ptr.tolist()
+        s.fanin_src_list = s.fanin_src.tolist()
+        s.fanin_dst_list = s.fanin_dst.tolist()
+        s.bucket_spans = []
+        for level in range(s.num_levels):
+            lo, hi = int(s.level_ptr[level]), int(s.level_ptr[level + 1])
+            if lo != hi:
+                s.bucket_spans.append((lo, hi))
+        s.shm_layout = layout
+        return s
+
 
 class CoreValues:
     """The mutable half: delay columns of both tables, plus a version.
@@ -226,7 +297,8 @@ class CoreValues:
     """
 
     __slots__ = ("edge_early", "edge_late", "fanin_early", "fanin_late",
-                 "fanin_early_list", "fanin_late_list", "version")
+                 "fanin_early_list", "fanin_late_list", "_version",
+                 "_version_slot", "shm_layout", "__weakref__")
 
     def __init__(self, edge_early: np.ndarray, edge_late: np.ndarray,
                  fanin_early: np.ndarray, fanin_late: np.ndarray) -> None:
@@ -236,7 +308,73 @@ class CoreValues:
         self.fanin_late = fanin_late
         self.fanin_early_list = fanin_early.tolist()
         self.fanin_late_list = fanin_late.tolist()
-        self.version = 0
+        self._version = 0
+        self._version_slot = None
+        self.shm_layout = None
+
+    @property
+    def version(self) -> int:
+        return self._version
+
+    @version.setter
+    def version(self, value: int) -> None:
+        # Mirror every bump into the published segment's version slot,
+        # so attached readers holding an older descriptor detect the
+        # update (ShmStaleError) instead of reading mixed values.
+        self._version = value
+        if self._version_slot is not None:
+            self._version_slot[0] = value
+
+    # ------------------------------------------------------------------
+    # The shared-memory plane
+    # ------------------------------------------------------------------
+    def to_shared(self, kind: str = "values"):
+        """Publish the delay columns into a shared-memory segment.
+
+        Rebinds the four arrays to *writable* segment-backed views, so
+        subsequent :meth:`CoreArrays.apply_value_updates` rewrites hit
+        shared pages directly — an ECO patch republishes nothing, it
+        just bumps the version slot.  Returns the picklable layout;
+        idempotent on repeat calls.
+        """
+        from repro.core import shm as _shm
+        if self.shm_layout is not None:
+            return self.shm_layout
+        layout, views = _shm.REGISTRY.publish(
+            kind,
+            {"edge_early": self.edge_early, "edge_late": self.edge_late,
+             "fanin_early": self.fanin_early,
+             "fanin_late": self.fanin_late},
+            version=self._version)
+        self.edge_early = views["edge_early"]
+        self.edge_late = views["edge_late"]
+        self.fanin_early = views["fanin_early"]
+        self.fanin_late = views["fanin_late"]
+        self._version_slot = _shm.REGISTRY.version_slot(layout)
+        self.shm_layout = layout
+        import weakref
+        weakref.finalize(self, _shm.REGISTRY.release, layout.segment)
+        return layout
+
+    @classmethod
+    def attach(cls, layout, expected_version: int) -> "CoreValues":
+        """Values over a published segment, validated at a version.
+
+        Raises :class:`~repro.exceptions.ShmStaleError` when the
+        segment's version slot disagrees with ``expected_version`` —
+        the descriptor was minted before an in-place update.  The list
+        mirrors are *copies snapshotted now*; callers cache the result
+        keyed by ``(segment, version)`` so a later bump builds fresh
+        mirrors instead of serving stale ones.
+        """
+        from repro.core import shm as _shm
+        views = _shm.REGISTRY.views(layout,
+                                    expected_version=expected_version)
+        vals = cls(views["edge_early"], views["edge_late"],
+                   views["fanin_early"], views["fanin_late"])
+        vals._version = expected_version
+        vals.shm_layout = layout
+        return vals
 
 
 class CoreArrays:
@@ -337,6 +475,23 @@ class CoreArrays:
             self.level_buckets.append(LevelBucket(
                 s.edge_src[lo:hi], s.edge_dst[lo:hi],
                 v.edge_early[lo:hi], v.edge_late[lo:hi]))
+
+    # ------------------------------------------------------------------
+    # The shared-memory plane
+    # ------------------------------------------------------------------
+    def share_values(self, kind: str = "values"):
+        """Publish the value columns and rebind the level buckets.
+
+        After this, the buckets' ``early``/``late`` views alias the
+        shared segment, so every consumer of this core (STA, CPPR
+        passes, batched propagation) reads the same pages workers
+        attach.  Returns the values :class:`~repro.core.shm.BufferLayout`.
+        """
+        already = self.values.shm_layout is not None
+        layout = self.values.to_shared(kind)
+        if not already:
+            self._build_buckets(shared_from=None)
+        return layout
 
     # ------------------------------------------------------------------
     # Incremental value rewrites (the pipeline's ``values`` stage)

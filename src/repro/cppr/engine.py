@@ -16,6 +16,7 @@ Example::
 
 from __future__ import annotations
 
+import os
 import time
 import warnings
 from dataclasses import dataclass, replace
@@ -180,14 +181,18 @@ def _run_family_resilient(analyzer: TimingAnalyzer, task: tuple, k: int,
             attempt_backend = safer
 
 
-def _validate_options(options: CpprOptions) -> tuple[str, bool]:
+def _validate_options(options: CpprOptions) -> tuple[str, bool, int]:
     """Reject bad executor/worker/backend settings at construction time.
 
     Failing here — with the list of valid values — beats the obscure
     failure the same mistake used to produce deep inside
     :func:`repro.cppr.parallel.run_tasks` on the first query.  Returns
-    the resolved concrete backend (``"scalar"`` or ``"array"``) and
-    whether the per-level passes share one batched sweep.
+    the resolved concrete backend (``"scalar"`` or ``"array"``),
+    whether the per-level passes share one batched sweep, and the
+    resolved worker count.  Requesting more workers than the machine
+    has CPUs is not an error — it is clamped here (oversubscribed
+    pools only add contention), and the clamp is visible as the
+    ``requested->resolved`` worker entry in the profile header.
     """
     valid = available_executors()
     if options.executor not in valid:
@@ -199,8 +204,11 @@ def _validate_options(options: CpprOptions) -> tuple[str, bool]:
         batched = resolve_batch_levels(options.batch_levels, backend)
     except ValueError as exc:
         raise AnalysisError(str(exc)) from None
+    cpus = os.cpu_count() or 1
     workers = options.workers
-    if workers is not None:
+    if workers is None:
+        resolved_workers = cpus
+    else:
         if not isinstance(workers, int) or isinstance(workers, bool):
             raise AnalysisError(
                 f"workers must be a positive int or None, "
@@ -209,6 +217,7 @@ def _validate_options(options: CpprOptions) -> tuple[str, bool]:
             raise AnalysisError(
                 f"workers must be at least 1 (or None for automatic), "
                 f"got {workers}")
+        resolved_workers = min(workers, cpus)
     timeout = options.task_timeout
     if timeout is not None:
         if (isinstance(timeout, bool)
@@ -231,7 +240,7 @@ def _validate_options(options: CpprOptions) -> tuple[str, bool]:
     if not isinstance(options.strict, bool):
         raise AnalysisError(
             f"strict must be a bool, got {options.strict!r}")
-    return backend, batched
+    return backend, batched, resolved_workers
 
 
 class CpprEngine:
@@ -249,8 +258,10 @@ class CpprEngine:
         self.analyzer = analyzer
         self.options = options or CpprOptions()
         #: The concrete backend ``"auto"`` resolved to at construction,
-        #: and whether per-level passes share one batched sweep.
-        self.backend, self.batched = _validate_options(self.options)
+        #: whether per-level passes share one batched sweep, and the
+        #: worker count after clamping to the machine's CPUs.
+        (self.backend, self.batched,
+         self.resolved_workers) = _validate_options(self.options)
         #: Profile of the most recent collected query, or ``None``.
         self.last_profile: Profile | None = None
         #: Trace id of the most recent collected query, or ``None``.
@@ -296,6 +307,26 @@ class CpprEngine:
         options = (replace(self.options, **option_changes)
                    if option_changes else self.options)
         return CpprSession(self.analyzer, options)
+
+    def profile_meta(self) -> dict[str, str]:
+        """Header metadata stamped on every collected profile.
+
+        The ``workers`` entry shows ``requested->resolved`` whenever
+        construction clamped an oversubscribed request, making the
+        clamp visible in ``repro report --profile`` output.
+        """
+        requested = self.options.workers
+        if requested is not None and requested != self.resolved_workers:
+            workers = f"{requested}->{self.resolved_workers}"
+        else:
+            workers = str(self.resolved_workers)
+        from repro.core import shm as _shm
+        shm_on = self.backend == "array" and _shm.available()
+        return {"executor": self.options.executor,
+                "workers": workers,
+                "backend": self.backend,
+                "batched": "on" if self.batched else "off",
+                "shm": "on" if shm_on else "off"}
 
     def clear_cache(self) -> None:
         """Drop the memoized top-paths results.
@@ -376,22 +407,58 @@ class CpprEngine:
                         degraded.append({"event": "degrade.batched",
                                          "task": "build",
                                          "error": repr(exc)})
+            # Shared-memory plane: on the array backend (when the
+            # platform supports it) the query's value/batch columns are
+            # published once and the tasks become descriptor tuples —
+            # workers attach the segments instead of unpickling a fork
+            # payload.  The same descriptor path runs under every
+            # executor so spans and counters stay executor-independent.
+            fn, process_pool, shard_ctx = _run_family_resilient, "fork", None
             args = [(self.analyzer, task, k, mode,
                      self.options.heap_capacity, self.backend,
                      batch if task[0] == "level" else None, strict)
                     for task in self._tasks()]
+            if self.backend == "array":
+                from repro.core import shm as _shm
+                if _shm.available():
+                    from repro.cppr import shard as _shard
+                    with _obs.span("stage", "shm_publish"):
+                        try:
+                            shard_ctx = _shard.open_query(
+                                self.analyzer, batch, mode,
+                                publish_batch=(
+                                    self.options.executor == "process"))
+                        except ReproError:
+                            raise
+                        except Exception as exc:
+                            if strict:
+                                raise ExecutionError(
+                                    "shared-memory publish failed in "
+                                    "strict mode") from exc
+                            degraded.append({"event": "degrade.shm",
+                                             "task": "publish",
+                                             "error": repr(exc)})
+                    if shard_ctx is not None:
+                        fn, process_pool = (_shard.run_family_descriptor,
+                                            "shared")
+                        args = [(shard_ctx.descriptor(
+                                    task, k, mode,
+                                    self.options.heap_capacity,
+                                    self.backend, strict),)
+                                for task in self._tasks()]
             with _obs.span("stage", "families"):
                 try:
                     packed = run_tasks(
-                        _run_family_resilient, args,
+                        fn, args,
                         executor=self.options.executor,
-                        workers=self.options.workers,
+                        workers=self.resolved_workers,
                         task_timeout=self.options.task_timeout,
                         max_retries=0 if strict
                         else self.options.max_retries,
                         retry_backoff=self.options.retry_backoff,
                         fallback=not strict,
-                        events=degraded)
+                        events=degraded,
+                        process_pool=process_pool)
                 except ReproError:
                     raise
                 except Exception as exc:
@@ -399,6 +466,9 @@ class CpprEngine:
                         "candidate generation failed"
                         + (" in strict mode" if strict else
                            " after exhausting every fallback")) from exc
+                finally:
+                    if shard_ctx is not None:
+                        shard_ctx.close()
         results = []
         for family, task_events in packed:
             results.append(family)
@@ -466,7 +536,7 @@ class CpprEngine:
                 time.perf_counter() - started)
             self.last_trace_id = col.trace_id
             self.last_profile = col.profile().with_degraded(
-                self.last_degraded)
+                self.last_degraded).with_meta(self.profile_meta())
         self._topk_cache.store((mode, k), tuple(selected))
         return selected
 
@@ -494,7 +564,8 @@ class CpprEngine:
         """
         with collecting() as col:
             paths = self.top_paths(k, mode)
-        return paths, col.profile().with_degraded(self.last_degraded)
+        return paths, (col.profile().with_degraded(self.last_degraded)
+                       .with_meta(self.profile_meta()))
 
     def top_slacks(self, k: int, mode: AnalysisMode | str) -> list[float]:
         """Just the slack values of :meth:`top_paths` (ascending)."""

@@ -238,17 +238,30 @@ def _collect_wave(rung, futures, order, results, payloads, done,
 
 def _run_pool_rung(rung, fn, args_list, pending, results, payloads, done,
                    col, workers, task_timeout, max_retries, retry_backoff,
-                   events) -> BaseException | None:
+                   events, process_pool="fork") -> BaseException | None:
     """Run ``pending`` tasks on a thread or fork-process pool.
 
     Marks completed tasks done; leaves failed/timed-out/orphaned tasks
     undone for the next rung.  Never raises on task or pool failure —
     the returned exception (if any) is the last failure observed, kept
     for error chaining if the ladder runs out.
+
+    ``process_pool`` selects the process-rung strategy: ``"fork"`` (the
+    legacy per-call pool fed through the fork-inherited payload) or
+    ``"shared"`` (the persistent :mod:`repro.cppr.shard` pool fed
+    per-task argument tuples — used with descriptor tasks, whose
+    arguments are tiny by construction).  A broken shared pool is
+    retired through :func:`repro.cppr.shard.handle_broken_pool`, which
+    also sweeps the ephemeral batch segments.
     """
     if workers is None:
         workers = min(len(pending), os.cpu_count() or 1)
     workers = max(1, workers)
+    shared = rung == "process" and process_pool == "shared"
+    if shared:
+        from repro.cppr import shard
+    else:
+        shard = None
 
     if rung == "process":
         try:
@@ -256,24 +269,40 @@ def _run_pool_rung(rung, fn, args_list, pending, results, payloads, done,
         except BrokenProcessPool as exc:
             _record(events, col, "faults.pool_broken", rung=rung,
                     error=repr(exc))
+            if shared:
+                shard.handle_broken_pool()
             return exc
         if _IN_FORK_WORKER:
             raise AnalysisError(
                 "nested process-executor runs are not supported: a fork "
                 "worker cannot start another fork pool")
         context = multiprocessing.get_context("fork")
-        lock = _FORK_LOCK
+        lock = None if shared else _FORK_LOCK
     else:
         context = None
         lock = None
 
     global _FORK_PAYLOAD
     pool = None
+    owns_pool = not shared
     last_exc: BaseException | None = None
     if lock is not None:
         lock.acquire()
     try:
-        if rung == "process":
+        if shared:
+            try:
+                pool = shard.ensure_pool(workers)
+            except Exception as exc:
+                _record(events, col, "faults.pool_broken", rung=rung,
+                        error=repr(exc))
+                shard.handle_broken_pool()
+                return exc
+            plan_state = faults.export_plan_state()
+
+            def submit(i: int) -> Future:
+                return pool.submit(shard.worker_entry, fn, args_list[i],
+                                   col is not None, plan_state)
+        elif rung == "process":
             _FORK_PAYLOAD = (fn, args_list, col is not None)
             pool = ProcessPoolExecutor(max_workers=workers,
                                        mp_context=context)
@@ -294,12 +323,18 @@ def _run_pool_rung(rung, fn, args_list, pending, results, payloads, done,
             except BrokenProcessPool as exc:
                 _record(events, col, "faults.pool_broken", rung=rung,
                         error=repr(exc))
+                if shared:
+                    shard.handle_broken_pool()
                 return exc
             failed, broken, exc = _collect_wave(
                 rung, futures, to_run, results, payloads, done,
                 task_timeout, events, col)
             last_exc = exc or last_exc
-            if broken or not failed:
+            if broken:
+                if shared:
+                    shard.handle_broken_pool()
+                break
+            if not failed:
                 break
             if attempt >= max_retries:
                 break
@@ -310,11 +345,11 @@ def _run_pool_rung(rung, fn, args_list, pending, results, payloads, done,
             attempt += 1
             to_run = failed
     finally:
-        if rung == "process":
+        if rung == "process" and not shared:
             _FORK_PAYLOAD = None
         if lock is not None:
             lock.release()
-        if pool is not None:
+        if pool is not None and owns_pool:
             pool.shutdown(wait=False, cancel_futures=True)
     return last_exc
 
@@ -326,7 +361,8 @@ def run_tasks(fn: Callable[..., Any], args_list: Sequence[tuple],
               max_retries: int = 0,
               retry_backoff: float = 0.05,
               fallback: bool = True,
-              events: list | None = None) -> list[Any]:
+              events: list | None = None,
+              process_pool: str = "fork") -> list[Any]:
     """Apply ``fn`` to each argument tuple, preserving input order.
 
     ``fn`` must be a module-level (picklable-by-reference) callable when
@@ -352,6 +388,11 @@ def run_tasks(fn: Callable[..., Any], args_list: Sequence[tuple],
     ``events``
         A caller-owned list; every fault/degradation event is appended
         as a dict (``{"event": "faults.task_timeout", "task": 3, ...}``).
+    ``process_pool``
+        Process-rung strategy: ``"fork"`` (legacy per-call pool with
+        the fork-inherited payload) or ``"shared"`` (the persistent
+        :mod:`repro.cppr.shard` pool; task arguments are pickled per
+        task, so use it only with small descriptor arguments).
     """
     if executor not in FALLBACK_LADDER:
         raise AnalysisError(
@@ -395,7 +436,7 @@ def run_tasks(fn: Callable[..., Any], args_list: Sequence[tuple],
             exc = _run_pool_rung(rung, fn, args_list, pending, results,
                                  payloads, done, col, workers,
                                  task_timeout, max_retries, retry_backoff,
-                                 events)
+                                 events, process_pool)
             last_exc = exc or last_exc
 
     remaining = [i for i in range(n) if not done[i]]

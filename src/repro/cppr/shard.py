@@ -1,0 +1,425 @@
+"""Descriptor-only process sharding over the shared-memory plane.
+
+The legacy process executor ships each task's full argument tuple —
+analyzer included — to workers through fork-time inheritance of a
+module-global payload, which forces a **fresh pool per query** (the
+payload is only valid for the fork's lifetime) and re-pays the fork cost
+every time.  This module is the zero-copy alternative:
+
+* the parent *publishes* the design once — a token for the analyzer
+  (resolved in workers through fork inheritance) plus the
+  :class:`~repro.core.arrays.CoreValues` columns as a shared-memory
+  segment (:meth:`~repro.core.arrays.CoreArrays.share_values`);
+* per query, each task is reduced to a tiny picklable
+  :class:`FamilyDescriptor` — design token, values
+  :class:`~repro.core.shm.BufferLayout` + expected version, optional
+  batched-propagation segment, and the ``(task, k, mode, ...)`` scalars;
+* workers attach the segments **lazily and cache the mapping**, so the
+  per-task wire cost is a few hundred bytes regardless of design size,
+  and the pool itself is *persistent* — created once and reused across
+  queries (recycled only when the worker count changes, a new design is
+  published, or the pool breaks).
+
+Because a persistent pool's workers were forked long before the current
+``faults.inject()`` window, every submitted task also carries the armed
+plan's exported state (:func:`repro.faults.export_plan_state`), which
+workers install idempotently per arming generation — chaos schedules
+keep striking inside pooled workers exactly like they strike forked
+ones.
+
+Resolution failures (:class:`~repro.exceptions.ShmAttachError` /
+:class:`~repro.exceptions.ShmStaleError`) are ordinary task failures:
+the resilient scheduler retries and then walks the
+``process -> thread -> serial`` ladder, whose lower rungs resolve the
+same descriptors from the parent's live objects — reports stay
+bit-for-bit identical.
+
+Observability contract: descriptor resolution emits **no spans** and
+exactly one ``scheduler.event{event=shm_attach}`` sample per task on
+every executor (serial and thread resolve descriptors too), keeping
+``Profile.counters`` and span sets executor-independent.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import threading
+import weakref
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any
+
+from repro import faults
+from repro.core import shm
+from repro.exceptions import ShmAttachError
+from repro.obs import metrics as _metrics
+from repro.obs.collector import Collector, collecting
+
+__all__ = ["FamilyDescriptor", "ShardContext", "ensure_pool",
+           "handle_broken_pool", "open_query", "run_family_descriptor",
+           "shutdown_pool", "worker_entry"]
+
+#: Re-declares the scheduler's labeled event metric (registration is
+#: idempotent) so resolution can stamp its per-task attach sample.
+_SCHED_EVENTS = _metrics.REGISTRY.counter(
+    "scheduler.event", labels=("event", "rung"),
+    help="Resilient-scheduler fault/degradation events by name and rung")
+
+# ----------------------------------------------------------------------
+# Design registry (parent publishes; workers resolve via fork-inherited
+# module state)
+# ----------------------------------------------------------------------
+
+#: token -> weakref to the published analyzer.  Weak on purpose: the
+#: registry must not keep dead analyzers (and their graphs) alive.
+_DESIGNS: dict[str, Any] = {}
+
+#: Bumped on every :func:`publish_design`; the pool snapshots it at fork
+#: so :func:`ensure_pool` knows when workers are missing a design.
+_DESIGN_SEQ = 0
+
+_DESIGN_LOCK = threading.Lock()
+
+# ----------------------------------------------------------------------
+# Per-query batch registry
+# ----------------------------------------------------------------------
+
+#: Parent-side: batch key -> live BatchedLevels (serial/thread rungs and
+#: the owner process resolve here, no shared memory involved).
+_QUERY_BATCHES: dict[str, Any] = {}
+
+#: Worker-side: batch key -> (BatchedLevels, segment name) rebuilt from
+#: an attached segment.  At most one entry: queries are sequential, so a
+#: new key evicts (and releases) the previous attachment.
+_WORKER_BATCHES: dict[str, tuple[Any, str]] = {}
+
+_BATCH_SEQ = 0
+
+
+def publish_design(analyzer) -> str:
+    """Register ``analyzer`` for descriptor resolution; returns a token.
+
+    Idempotent per analyzer (the token is cached on the instance).  The
+    analyzer itself never crosses the pipe — workers resolve the token
+    against the fork-inherited :data:`_DESIGNS` mirror, and
+    :func:`ensure_pool` recycles the pool when it was forked before
+    this registration.
+    """
+    global _DESIGN_SEQ
+    token = getattr(analyzer, "_shard_token", None)
+    if token is not None and token in _DESIGNS:
+        return token
+    with _DESIGN_LOCK:
+        _DESIGN_SEQ += 1
+        token = f"design-{_DESIGN_SEQ}"
+        _DESIGNS[token] = weakref.ref(
+            analyzer, lambda _ref, _token=token: _DESIGNS.pop(_token, None))
+    analyzer._shard_token = token
+    return token
+
+
+@dataclass(frozen=True, slots=True)
+class FamilyDescriptor:
+    """Everything one candidate-family task needs, in a few hundred bytes.
+
+    This is the only thing pickled into pool workers per task.  The
+    heavyweight state is reached indirectly: ``design`` through the
+    fork-inherited registry, ``values_layout`` / ``batch_layout``
+    through shared-memory attach (validated against
+    ``values_version``).
+    """
+
+    design: str
+    values_layout: shm.BufferLayout
+    values_version: int
+    batch_key: str | None
+    batch_layout: shm.BufferLayout | None
+    task: tuple
+    k: int
+    mode: Any
+    heap_capacity: int | None
+    backend: str
+    strict: bool
+
+
+class ShardContext:
+    """One query's published plane: descriptors out, cleanup on close."""
+
+    __slots__ = ("token", "values_layout", "values_version", "batch",
+                 "batch_key", "batch_layout")
+
+    def __init__(self, token: str, values_layout, values_version: int,
+                 batch, batch_key: str | None, batch_layout) -> None:
+        self.token = token
+        self.values_layout = values_layout
+        self.values_version = values_version
+        self.batch = batch
+        self.batch_key = batch_key
+        self.batch_layout = batch_layout
+
+    def descriptor(self, task: tuple, k: int, mode, heap_capacity,
+                   backend: str, strict: bool) -> FamilyDescriptor:
+        use_batch = self.batch_key is not None and task[0] == "level"
+        return FamilyDescriptor(
+            design=self.token,
+            values_layout=self.values_layout,
+            values_version=self.values_version,
+            batch_key=self.batch_key if use_batch else None,
+            batch_layout=self.batch_layout if use_batch else None,
+            task=task, k=k, mode=mode, heap_capacity=heap_capacity,
+            backend=backend, strict=strict)
+
+    def close(self) -> None:
+        """Retire the query's ephemeral batch segment (idempotent)."""
+        if self.batch_key is not None:
+            _QUERY_BATCHES.pop(self.batch_key, None)
+        if self.batch_layout is not None:
+            shm.REGISTRY.release(self.batch_layout.segment)
+
+
+def open_query(analyzer, batch, mode, *,
+               publish_batch: bool) -> ShardContext:
+    """Publish one query's plane and return its :class:`ShardContext`.
+
+    ``batch`` is the parent's :class:`~repro.core.batched.BatchedLevels`
+    (or ``None``).  The values segment is published once per analyzer
+    (idempotent, survives across queries — in-place ECO updates just
+    bump its version slot); the batch matrices are per-query ephemerals
+    and are only copied into a segment when ``publish_batch`` is set
+    (the process executor — thread/serial rungs read the live object).
+    """
+    global _BATCH_SEQ
+    token = publish_design(analyzer)
+    core = getattr(analyzer.graph, "_core_arrays", None)
+    if core is None:
+        raise ShmAttachError(
+            "cannot open a shard query before the core arrays are built")
+    values_layout = core.share_values()
+    batch_key = None
+    batch_layout = None
+    if batch is not None:
+        _BATCH_SEQ += 1
+        batch_key = f"batch-{_BATCH_SEQ}"
+        _QUERY_BATCHES[batch_key] = batch
+        if publish_batch:
+            batch_layout, _views = shm.REGISTRY.publish(
+                "batch",
+                {"time0": batch.time0, "from0": batch.from0,
+                 "group0": batch.group0, "time1": batch.time1,
+                 "from1": batch.from1, "group1": batch.group1,
+                 "cost0": batch.cost0},
+                meta={"num_levels": batch.num_levels,
+                      "mode": batch.mode.value,
+                      "seed_counts": tuple(batch.seed_counts)})
+    return ShardContext(token, values_layout, core.values.version,
+                        batch, batch_key, batch_layout)
+
+
+# ----------------------------------------------------------------------
+# Worker-side resolution
+# ----------------------------------------------------------------------
+
+def _resolve_design(token: str):
+    ref = _DESIGNS.get(token)
+    analyzer = ref() if ref is not None else None
+    if analyzer is None:
+        # This worker was forked before the design was published (the
+        # parent recycles the pool on publish, but a race or a manual
+        # pool is possible) — fail the task; the ladder's lower rungs
+        # resolve from the parent's live registry.
+        raise ShmAttachError(
+            f"design {token!r} is not available in this process")
+    return analyzer
+
+
+def _resolve_values(analyzer, desc: FamilyDescriptor):
+    """The analyzer's core at the descriptor's values version.
+
+    Every path revalidates the segment version (and, off the owner
+    process, runs the ``shm.attach`` / ``shm.stale`` chaos gates) via
+    :meth:`~repro.core.shm.SegmentRegistry.views`.  When this process's
+    cached core is already bound to the right segment at the right
+    version — always true in the owner process, and true in workers
+    until an ECO bumps the slot — the core is reused as-is; otherwise
+    the value columns are rebound to the validated views and *fresh*
+    list mirrors are built, so a stale fork-inherited mirror can never
+    be served.
+    """
+    from repro.core.arrays import CoreArrays, CoreValues
+
+    graph = analyzer.graph
+    core = getattr(graph, "_core_arrays", None)
+    if core is None:
+        raise ShmAttachError(
+            f"design {desc.design!r} has no core arrays in this process")
+    layout = desc.values_layout
+    views = shm.REGISTRY.views(layout,
+                               expected_version=desc.values_version)
+    vals = core.values
+    if (vals.shm_layout is not None
+            and vals.shm_layout.segment == layout.segment
+            and vals.version == desc.values_version):
+        return core
+    fresh = CoreValues(views["edge_early"], views["edge_late"],
+                       views["fanin_early"], views["fanin_late"])
+    fresh._version = desc.values_version
+    fresh.shm_layout = layout
+    refreshed = CoreArrays(graph, structure=core.structure, values=fresh)
+    graph._core_arrays = refreshed
+    return refreshed
+
+
+def _resolve_batch(analyzer, core, desc: FamilyDescriptor):
+    """The query's :class:`BatchedLevels` in this process.
+
+    Owner process (and fork-lucky workers): the live object from
+    :data:`_QUERY_BATCHES`.  Pool workers: rebuilt from the attached
+    segment — the six state matrices and the cost matrix map in place;
+    groupings, seed counts and the fanin columns are rederived from the
+    (fork-inherited) clock tree and the resolved core.  Cached per
+    batch key; a new key evicts and releases the previous attachment.
+    """
+    from repro.core.batched import BatchedLevels, _build_groupings
+    from repro.core.grouping import group_matrix
+    from repro.sta.modes import AnalysisMode
+
+    batch = _QUERY_BATCHES.get(desc.batch_key)
+    if batch is not None:
+        return batch
+    cached = _WORKER_BATCHES.get(desc.batch_key)
+    if cached is not None:
+        return cached[0]
+    layout = desc.batch_layout
+    if layout is None:
+        raise ShmAttachError(
+            f"batch {desc.batch_key!r} has no segment to attach")
+    views = shm.REGISTRY.views(layout)
+    meta = layout.meta_dict
+    mode = AnalysisMode.coerce(meta["mode"])
+    num_levels = int(meta["num_levels"])
+    seed_counts = list(meta["seed_counts"])
+    tree = analyzer.clock_tree
+    gm, om = group_matrix(tree, analyzer.graph.num_ffs)
+    groupings = _build_groupings(tree, gm, om)
+    delay_list = (core.fanin_late_list if mode.is_setup
+                  else core.fanin_early_list)
+    batch = BatchedLevels(
+        mode, num_levels, groupings, seed_counts,
+        views["time0"], views["from0"], views["group0"],
+        views["time1"], views["from1"], views["group1"],
+        views["cost0"], core.fanin_ptr_list, core.fanin_src_list,
+        delay_list)
+    for old_key in [key for key in _WORKER_BATCHES
+                    if key != desc.batch_key]:
+        _old_batch, old_segment = _WORKER_BATCHES.pop(old_key)
+        shm.REGISTRY.release(old_segment)
+    _WORKER_BATCHES[desc.batch_key] = (batch, layout.segment)
+    return batch
+
+
+def run_family_descriptor(desc: FamilyDescriptor):
+    """Resolve ``desc`` and run its candidate pass (any executor).
+
+    Module-level and unary so it pickles by reference with one small
+    argument.  Returns ``(paths, degradation_events)`` exactly like
+    :func:`repro.cppr.engine._run_family_resilient`, which it wraps.
+    """
+    _SCHED_EVENTS.labels(event="shm_attach", rung="-").inc()
+    analyzer = _resolve_design(desc.design)
+    core = _resolve_values(analyzer, desc)
+    batch = None
+    if desc.batch_key is not None:
+        batch = _resolve_batch(analyzer, core, desc)
+    from repro.cppr.engine import _run_family_resilient
+    return _run_family_resilient(analyzer, desc.task, desc.k, desc.mode,
+                                 desc.heap_capacity, desc.backend, batch,
+                                 desc.strict)
+
+
+# ----------------------------------------------------------------------
+# The persistent fork pool
+# ----------------------------------------------------------------------
+
+_POOL: ProcessPoolExecutor | None = None
+_POOL_WORKERS = 0
+_POOL_SEQ = -1
+_POOL_LOCK = threading.Lock()
+
+
+def _worker_init() -> None:
+    """Runs in every pool worker at spawn (fork) time."""
+    from repro.cppr import parallel as _parallel
+    _parallel._IN_FORK_WORKER = True
+    faults.mark_worker_process()
+
+
+def worker_entry(fn, args: tuple, collect: bool, plan_state: tuple):
+    """Run one task in a persistent-pool worker.
+
+    Mirrors the legacy ``_fork_entry`` (sub-collector, profile dict
+    shipped back) but takes everything as arguments instead of a
+    fork-inherited payload, and installs the parent's exported fault
+    plan first — a worker forked before the current ``inject()`` window
+    would otherwise never see its schedule.
+    """
+    from repro.cppr import parallel as _parallel
+    faults.install_plan_state(plan_state)
+    if not collect:
+        return _parallel._call_task(fn, args), None
+    with collecting(Collector()) as sub:
+        result = _parallel._call_task(fn, args)
+    return result, sub.profile().to_dict()
+
+
+def ensure_pool(workers: int) -> ProcessPoolExecutor:
+    """The shared fork pool, (re)created as needed.
+
+    Recycled when the worker count changes or a design was published
+    after the pool forked (its workers could not resolve the new
+    token); otherwise the same processes serve query after query —
+    the whole point of descriptor sharding.
+    """
+    global _POOL, _POOL_WORKERS, _POOL_SEQ
+    with _POOL_LOCK:
+        if _POOL is not None and (_POOL_WORKERS != workers
+                                  or _POOL_SEQ != _DESIGN_SEQ):
+            _POOL.shutdown(wait=False, cancel_futures=True)
+            _POOL = None
+        if _POOL is None:
+            context = multiprocessing.get_context("fork")
+            _POOL = ProcessPoolExecutor(max_workers=workers,
+                                        mp_context=context,
+                                        initializer=_worker_init)
+            _POOL_WORKERS = workers
+            _POOL_SEQ = _DESIGN_SEQ
+        return _POOL
+
+
+def handle_broken_pool() -> None:
+    """Recover from a broken shared pool.
+
+    Drops the pool (a fresh one forks on the next process-rung use) and
+    eagerly releases the ephemeral batch segments so a crash never
+    leaks ``/dev/shm`` entries.  Values/structure segments are left
+    alone — the parent still owns and serves them; their lifetime is
+    tied to the core objects (finalizers) and the exit sweep.
+    """
+    global _POOL
+    with _POOL_LOCK:
+        pool, _POOL = _POOL, None
+    if pool is not None:
+        pool.shutdown(wait=False, cancel_futures=True)
+    shm.REGISTRY.sweep_kind("batch")
+
+
+def shutdown_pool() -> None:
+    """Tear down the shared pool (interpreter exit, tests)."""
+    global _POOL
+    with _POOL_LOCK:
+        pool, _POOL = _POOL, None
+    if pool is not None:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+atexit.register(shutdown_pool)

@@ -44,6 +44,39 @@ class ExecutionError(AnalysisError):
     """
 
 
+class ShmError(ReproError):
+    """A shared-memory plane operation failed.
+
+    Base class for the :mod:`repro.core.shm` failure modes.  Both
+    subclasses are *recoverable* by design: the resilient scheduler
+    treats them as ordinary task failures, so a query whose workers
+    cannot attach (or see a stale segment) degrades down the
+    ``process -> thread -> serial`` ladder and still returns the exact
+    report from the parent's live objects.
+    """
+
+
+class ShmAttachError(ShmError):
+    """A worker could not attach a published shared-memory segment.
+
+    Raised when the named segment no longer exists (unlinked by the
+    owner, or the descriptor outlived its query), when the platform
+    refuses the mapping, or by the injected ``shm.attach`` chaos site.
+    """
+
+
+class ShmStaleError(ShmError):
+    """A segment's version slot disagrees with the descriptor.
+
+    The publisher stamps every segment with a version counter
+    (:attr:`repro.core.arrays.CoreValues.version` for value columns) and
+    in-place updates bump the slot; a reader holding a descriptor minted
+    before the update must *detect* the mismatch — this error — rather
+    than serve values the descriptor's query never saw.  Also raised by
+    the injected ``shm.stale`` chaos site.
+    """
+
+
 class DegradedResultWarning(RuntimeWarning):
     """A query completed, but only by degrading its execution strategy.
 

@@ -28,9 +28,10 @@ See ``docs/ROBUSTNESS.md`` for the full site reference.
 
 from repro.faults.injection import (ENV_VAR, SITES, FaultPlan, FaultSpec,
                                     InjectedFault, active_plan, armed,
-                                    check, inject, mark_worker_process,
+                                    check, export_plan_state, inject,
+                                    install_plan_state, mark_worker_process,
                                     plan_from_env, plan_from_specs,
-                                    triggered)
+                                    site_armed, triggered)
 
 __all__ = [
     "ENV_VAR",
@@ -41,9 +42,12 @@ __all__ = [
     "active_plan",
     "armed",
     "check",
+    "export_plan_state",
     "inject",
+    "install_plan_state",
     "mark_worker_process",
     "plan_from_env",
     "plan_from_specs",
+    "site_armed",
     "triggered",
 ]

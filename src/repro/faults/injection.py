@@ -32,7 +32,29 @@ The firing *action* is site-specific and models the real failure:
                           mismatch and recompute rather than serve the
                           stale artifact (counter
                           ``pipeline.stale.detected``).
+``shm.attach``            raises :class:`~repro.exceptions
+                          .ShmAttachError` when a worker attaches a
+                          shared-memory segment, as if the named
+                          segment vanished.  Arming it with
+                          ``times=inf`` is special-cased by
+                          :func:`repro.core.shm.available`: an attach
+                          that fails *forever* is indistinguishable
+                          from a platform without
+                          ``multiprocessing.shared_memory``, so the
+                          memory plane disables itself up front and the
+                          engine exercises its pickling/fork fallback.
+``shm.stale``             raises :class:`~repro.exceptions
+                          .ShmStaleError` at segment version
+                          validation, as if a reader held a descriptor
+                          minted before an in-place update.
 ========================  ==============================================
+
+Persistent worker pools (:mod:`repro.cppr.shard`) outlive ``inject()``
+windows, so fork-time plan inheritance is not enough for them: the
+scheduler ships :func:`export_plan_state` with each task and workers
+apply it via :func:`install_plan_state`, which installs each armed plan
+*once per arming generation* — reproducing the per-worker-process
+trigger semantics of the fork-inherited ephemeral pools.
 """
 
 from __future__ import annotations
@@ -48,13 +70,14 @@ from repro.obs import collector as _obs
 from repro.obs import metrics as _metrics
 
 __all__ = ["SITES", "FaultPlan", "FaultSpec", "InjectedFault",
-           "active_plan", "armed", "check", "inject",
-           "mark_worker_process", "plan_from_env", "plan_from_specs",
-           "triggered"]
+           "active_plan", "armed", "check", "export_plan_state",
+           "inject", "install_plan_state", "mark_worker_process",
+           "plan_from_env", "plan_from_specs", "site_armed", "triggered"]
 
 #: Every named injection site production code consults.
 SITES = ("task.crash", "task.timeout", "task.exception", "numpy.import",
-         "pool.broken", "memory.pressure", "pipeline.stale_artifact")
+         "pool.broken", "memory.pressure", "pipeline.stale_artifact",
+         "shm.attach", "shm.stale")
 
 #: Environment variable holding the ambient fault plan (see
 #: :func:`plan_from_env` for the format).
@@ -238,6 +261,15 @@ def plan_from_env(value: str | None = None) -> FaultPlan | None:
 #: environment at import time).
 _ACTIVE: FaultPlan | None = plan_from_env()
 
+#: Arming generation: bumped every time :data:`_ACTIVE` is reassigned,
+#: so persistent pool workers can tell a freshly armed plan from the
+#: one they already installed (see :func:`install_plan_state`).
+_GEN = 0
+
+#: The generation this process last installed via
+#: :func:`install_plan_state` (worker-side bookkeeping).
+_INSTALLED_GEN: int | None = None
+
 
 def armed() -> bool:
     """Whether any fault plan is currently armed."""
@@ -247,6 +279,55 @@ def armed() -> bool:
 def active_plan() -> FaultPlan | None:
     """The armed plan, or ``None``."""
     return _ACTIVE
+
+
+def site_armed(site: str) -> FaultSpec | None:
+    """The armed spec for ``site``, or ``None`` when it cannot fire."""
+    plan = _ACTIVE
+    return None if plan is None else plan.spec(site)
+
+
+def export_plan_state() -> tuple:
+    """A picklable snapshot of the armed plan for pool workers.
+
+    Returns ``(generation, specs, stats)`` — ``specs``/``stats`` are
+    ``None`` when nothing is armed.  Shipped with every task submitted
+    to a *persistent* process pool, whose workers were forked before
+    the current ``inject()`` window and therefore did not inherit it.
+    """
+    plan = _ACTIVE
+    if plan is None:
+        return (_GEN, None, None)
+    return (_GEN, tuple(state.spec for state in plan._sites.values()),
+            plan.stats())
+
+
+def install_plan_state(state: tuple) -> None:
+    """Adopt an exported plan snapshot (idempotent per generation).
+
+    Installing the same generation twice is a no-op, so one worker
+    process running many tasks of the same arming window keeps a single
+    plan whose trigger schedule advances across its tasks — exactly the
+    per-worker semantics of a fork-inherited plan.  Each site's
+    hit/fired counters are fast-forwarded to the parent's snapshot,
+    mirroring what a fork at submit time would have copied.
+    """
+    global _ACTIVE, _INSTALLED_GEN
+    gen, specs, stats = state
+    if gen == _INSTALLED_GEN:
+        return
+    _INSTALLED_GEN = gen
+    if specs is None:
+        _ACTIVE = None
+        return
+    plan = FaultPlan(list(specs))
+    if stats:
+        for site, (hits, fired) in stats.items():
+            site_state = plan._sites.get(site)
+            if site_state is not None:
+                site_state.hits = hits
+                site_state.fired = fired
+    _ACTIVE = plan
 
 
 @contextmanager
@@ -259,17 +340,19 @@ def inject(*specs: FaultSpec | str, plan: FaultPlan | None = None):
     on exit.  Yields the armed :class:`FaultPlan` so tests can assert
     on :meth:`FaultPlan.stats`.
     """
-    global _ACTIVE
+    global _ACTIVE, _GEN
     if plan is None:
         plan = plan_from_specs(*specs)
     elif specs:
         raise ValueError("pass either specs or a prebuilt plan, not both")
     outer = _ACTIVE
     _ACTIVE = plan
+    _GEN += 1
     try:
         yield plan
     finally:
         _ACTIVE = outer
+        _GEN += 1
 
 
 def mark_worker_process() -> None:
@@ -344,6 +427,12 @@ def _fire(site: str, spec: FaultSpec) -> None:
         from concurrent.futures.process import BrokenProcessPool
         raise BrokenProcessPool(
             f"injected fault at site {site!r}")
+    if site == "shm.attach":
+        from repro.exceptions import ShmAttachError
+        raise ShmAttachError(f"injected fault at site {site!r}")
+    if site == "shm.stale":
+        from repro.exceptions import ShmStaleError
+        raise ShmStaleError(f"injected fault at site {site!r}")
     # Corruption sites (pipeline.stale_artifact) are normally consulted
     # via :func:`triggered`; a plain check() still fails loudly.
     raise InjectedFault(site)

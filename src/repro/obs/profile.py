@@ -82,6 +82,11 @@ class Profile:
     #: The collector's trace identifier, threading this snapshot to its
     #: exported trace (``None`` for hand-built or legacy profiles).
     trace_id: str | None = None
+    #: Free-form header metadata (executor, resolved worker count,
+    #: backend, shared-memory plane state...) stamped by the producer;
+    #: rendered as header lines by ``format_profile``.  Values are
+    #: short strings — never measurements, which belong in counters.
+    meta: dict[str, str] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     # Queries
@@ -116,23 +121,34 @@ class Profile:
         return Profile(spans=self.spans + other.spans,
                        counters=dict(sorted(counters.items())),
                        degraded=self.degraded + other.degraded,
-                       trace_id=self.trace_id or other.trace_id)
+                       trace_id=self.trace_id or other.trace_id,
+                       meta={**self.meta, **other.meta})
 
     def with_degraded(self, events) -> "Profile":
         """This profile with ``events`` as its degradation record."""
         return Profile(spans=self.spans, counters=self.counters,
                        degraded=tuple(dict(e) for e in events),
-                       trace_id=self.trace_id)
+                       trace_id=self.trace_id, meta=dict(self.meta))
+
+    def with_meta(self, meta: Mapping[str, str]) -> "Profile":
+        """This profile with ``meta`` merged into its header metadata."""
+        return Profile(spans=self.spans, counters=self.counters,
+                       degraded=self.degraded, trace_id=self.trace_id,
+                       meta={**self.meta,
+                             **{str(k): str(v) for k, v in meta.items()}})
 
     # ------------------------------------------------------------------
     # Serialization
     # ------------------------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
-        return {"schema": SCHEMA,
+        data = {"schema": SCHEMA,
                 "trace_id": self.trace_id,
                 "spans": [root.to_dict() for root in self.spans],
                 "counters": dict(self.counters),
                 "degraded": [dict(e) for e in self.degraded]}
+        if self.meta:
+            data["meta"] = dict(sorted(self.meta.items()))
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "Profile":
@@ -144,4 +160,6 @@ class Profile:
                    counters=dict(sorted(counters.items())),
                    degraded=tuple(dict(e)
                                   for e in data.get("degraded", ())),
-                   trace_id=None if trace_id is None else str(trace_id))
+                   trace_id=None if trace_id is None else str(trace_id),
+                   meta={str(k): str(v)
+                         for k, v in data.get("meta", {}).items()})

@@ -75,6 +75,8 @@ def format_profile(profile: Profile, title: str = "Profile") -> str:
     lines = [f"== {title} =="]
     if profile.trace_id:
         lines.append(f"trace: {profile.trace_id}")
+    for key in sorted(profile.meta):
+        lines.append(f"{key}: {profile.meta[key]}")
     lines.append("")
     lines.append("-- span tree --")
     if profile.spans:

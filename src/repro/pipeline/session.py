@@ -87,7 +87,8 @@ class CpprSession:
     def __init__(self, analyzer: TimingAnalyzer,
                  options: CpprOptions | None = None) -> None:
         self.options = options or CpprOptions()
-        self.backend, self.batched = _validate_options(self.options)
+        (self.backend, self.batched,
+         self.resolved_workers) = _validate_options(self.options)
         self.graph = analyzer.graph.session_copy()
         self.analyzer = TimingAnalyzer(self.graph, analyzer.constraints)
         self.tree_epoch = 0
@@ -110,6 +111,19 @@ class CpprSession:
                                     structure=parent.structure,
                                     values=values)
             self.graph._core_arrays = self._core
+            # Back the session's private value columns with a shared
+            # segment when the memory plane is up: ``update()`` then
+            # patches the segment in place and the version slot bump
+            # (inside ``apply_value_updates``) lets any reader holding
+            # an older descriptor detect staleness instead of serving
+            # pre-edit delays.  Plain in-process arrays are the
+            # bit-identical fallback, so a failed publish is harmless.
+            from repro.core import shm as _shm
+            if _shm.available():
+                try:
+                    self._core.share_values()
+                except Exception:
+                    pass
             # Batched pad geometry and FF pin columns are topology-keyed;
             # share whatever the parent has already built.
             for attr in ("_batched_pads", "_batched_ff_columns"):

@@ -139,6 +139,32 @@ class TestEagerOptionValidation:
                             CpprOptions(executor="thread", workers=2))
         assert engine.options.workers == 2
 
+    def test_oversubscribed_workers_clamped_to_cpus(self):
+        import os
+        cpus = os.cpu_count() or 1
+        engine = CpprEngine(demo_analyzer(),
+                            CpprOptions(executor="thread",
+                                        workers=cpus + 99))
+        assert engine.options.workers == cpus + 99  # the request
+        assert engine.resolved_workers == cpus      # the clamp
+
+    def test_none_workers_resolve_to_cpu_count(self):
+        import os
+        engine = CpprEngine(demo_analyzer())
+        assert engine.resolved_workers == (os.cpu_count() or 1)
+
+    def test_clamp_is_visible_in_the_profile_header(self):
+        import os
+        cpus = os.cpu_count() or 1
+        engine = CpprEngine(demo_analyzer(),
+                            CpprOptions(executor="thread",
+                                        workers=cpus + 99))
+        _paths, profile = engine.profiled_top_paths(3, "setup")
+        assert profile.meta["workers"] == f"{cpus + 99}->{cpus}"
+        assert profile.meta["executor"] == "thread"
+        from repro.obs.render import format_profile
+        assert f"workers: {cpus + 99}->{cpus}" in format_profile(profile)
+
 
 class TestEngineParallelEquivalence:
     @pytest.mark.parametrize("executor", ["thread", "process"])

@@ -112,8 +112,22 @@ class TestEnvPlan:
         assert plan.spec("pool.broken").times == 3
 
 
+@pytest.fixture
+def no_ambient_plan(monkeypatch):
+    """Disarm any ``REPRO_FAULTS`` ambient plan for one test.
+
+    The disarmed-state assertions below describe the framework's
+    resting state; under an env-armed CI job (the chaos and no-shm
+    workflows) that resting state is a live plan, so these tests
+    neutralize it instead of failing on it.
+    """
+    from repro.faults import injection
+
+    monkeypatch.setattr(injection, "_ACTIVE", None)
+
+
 class TestInjectContext:
-    def test_arms_and_disarms(self):
+    def test_arms_and_disarms(self, no_ambient_plan):
         assert not armed()
         with inject(FaultSpec("task.exception")) as plan:
             assert armed()
@@ -138,7 +152,7 @@ class TestInjectContext:
             with inject(FaultSpec("task.crash"), plan=plan):
                 pass
 
-    def test_disarmed_on_exception(self):
+    def test_disarmed_on_exception(self, no_ambient_plan):
         with pytest.raises(RuntimeError, match="boom"):
             with inject(FaultSpec("task.exception")):
                 raise RuntimeError("boom")
@@ -146,7 +160,7 @@ class TestInjectContext:
 
 
 class TestCheckActions:
-    def test_disarmed_check_is_a_no_op(self):
+    def test_disarmed_check_is_a_no_op(self, no_ambient_plan):
         for site in SITES:
             check(site)
 

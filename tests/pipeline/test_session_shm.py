@@ -1,0 +1,101 @@
+"""Session value segments: in-place ECO patches with version stamps.
+
+Two sessions opened over one engine share a single
+:class:`CoreStructure` (topology is immutable) but own private
+:class:`CoreValues` segments.  ``update()`` patches a session's
+segment *in place* and bumps its version slot; any reader holding a
+descriptor stamped with the pre-edit version must get
+:class:`ShmStaleError`, never the pre-edit delays — and the sibling
+session's segment must be untouched.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+pytest.importorskip("numpy")
+
+from tests.helpers import random_small  # noqa: E402
+
+from repro import CpprEngine, TimingAnalyzer  # noqa: E402
+from repro.core import shm  # noqa: E402
+from repro.exceptions import ShmStaleError  # noqa: E402
+from repro.sta.incremental import DelayUpdate  # noqa: E402
+
+pytestmark = pytest.mark.skipif(
+    not shm.available(),
+    reason="shared memory unavailable (platform or ambient fault plan)")
+
+
+def _sessions(seed: int = 41):
+    graph, constraints = random_small(seed)
+    engine = CpprEngine(TimingAnalyzer(graph, constraints))
+    return engine, engine.session(), engine.session()
+
+
+def _an_edge(graph) -> tuple[int, int, float, float]:
+    for u in range(graph.num_pins):
+        for v, early, late in graph.fanout[u]:
+            return u, v, early, late
+    raise AssertionError("graph has no edges")
+
+
+class TestTwoSessionVersionStamps:
+    def test_structure_shared_values_private(self):
+        _engine, s1, s2 = _sessions(41)
+        assert s1._core.structure is s2._core.structure
+        assert (s1._core.values.shm_layout.segment
+                != s2._core.values.shm_layout.segment)
+
+    def test_update_patches_in_place_with_a_version_bump(self):
+        _engine, s1, _s2 = _sessions(42)
+        layout = s1._core.values.shm_layout
+        before = s1._core.values.version
+        u, v, early, late = _an_edge(s1.graph)
+        s1.update(delays=[DelayUpdate(u, v, early + 0.1, late + 0.4)])
+        # Same segment, new version: the edit rewrote columns in place.
+        assert s1._core.values.shm_layout.segment == layout.segment
+        after = s1._core.values.version
+        assert after > before
+        views = shm.REGISTRY.views(layout, expected_version=after)
+        assert views["edge_late"].tolist() == \
+            s1._core.values.edge_late.tolist()
+
+    def test_stale_version_read_detected_not_served(self):
+        _engine, s1, _s2 = _sessions(43)
+        layout = s1._core.values.shm_layout
+        stale_version = s1._core.values.version
+        u, v, early, late = _an_edge(s1.graph)
+        s1.update(delays=[DelayUpdate(u, v, early + 0.05, late + 0.3)])
+        with pytest.raises(ShmStaleError):
+            shm.REGISTRY.views(layout, expected_version=stale_version)
+
+    def test_sibling_session_segment_untouched(self):
+        _engine, s1, s2 = _sessions(44)
+        sibling_layout = s2._core.values.shm_layout
+        sibling_version = s2._core.values.version
+        sibling_late = list(s2._core.values.edge_late)
+        u, v, early, late = _an_edge(s1.graph)
+        s1.update(delays=[DelayUpdate(u, v, early + 0.2, late + 0.5)])
+        assert s2._core.values.version == sibling_version
+        views = shm.REGISTRY.views(sibling_layout,
+                                   expected_version=sibling_version)
+        assert views["edge_late"].tolist() == sibling_late
+
+    def test_edited_session_answers_like_a_fresh_engine(self):
+        _engine, s1, s2 = _sessions(45)
+        u, v, early, late = _an_edge(s1.graph)
+        edit = DelayUpdate(u, v, early + 0.15, late + 0.45)
+        s1.update(delays=[edit])
+
+        from repro.sta.incremental import apply_delay_updates
+        graph, constraints = random_small(45)
+        edited = apply_delay_updates(graph, [edit])
+        fresh = CpprEngine(TimingAnalyzer(edited, constraints))
+        assert [p.slack for p in s1.top_paths(5, "setup")] == \
+            [p.slack for p in fresh.top_paths(5, "setup")]
+        # The un-edited sibling still answers for the original design.
+        graph0, constraints0 = random_small(45)
+        baseline = CpprEngine(TimingAnalyzer(graph0, constraints0))
+        assert [p.slack for p in s2.top_paths(5, "setup")] == \
+            [p.slack for p in baseline.top_paths(5, "setup")]
