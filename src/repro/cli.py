@@ -21,7 +21,10 @@ Commands:
 
 ``report`` and ``eco`` accept ``--trace-out FILE`` (a Chrome
 trace-event JSON, loadable in Perfetto) and ``--span-log FILE`` (JSONL,
-one record per span); see ``docs/OBSERVABILITY.md``.
+one record per span); see ``docs/OBSERVABILITY.md``.  Both also take a
+repeatable ``--corner NAME=FILE`` flag (an ECO-update JSON naming a
+delay corner; ``NAME=-`` is the base design) plus ``--merged-worst``
+for one cross-corner worst-paths report; see ``docs/MCMM.md``.
 
 Designs are read from ``.cppr``/``.json`` files, or generated on the
 fly with ``--suite NAME [--suite-scale S]``.
@@ -131,6 +134,49 @@ def _resilience_from_args(args) -> dict:
             "strict": args.strict}
 
 
+def _add_corner_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--corner", action="append", default=None,
+                        metavar="NAME=FILE", dest="corners",
+                        help="analyze a named delay corner (ECO-update "
+                             "JSON delta from the base design); repeat "
+                             "for multiple corners.  NAME=- names the "
+                             "base design itself (empty delta)")
+    parser.add_argument("--merged-worst", action="store_true",
+                        help="with --corner: one merged report of the "
+                             "k worst paths across all corners instead "
+                             "of per-corner reports")
+
+
+def _corners_from_args(args):
+    """The validated :class:`~repro.corners.CornerSet`, or ``None``.
+
+    Spec-shape problems fail here; unknown pins or clock nodes inside a
+    corner file fail eagerly at engine construction (both before any
+    query runs), and file-format problems carry the loader's usual
+    ``path: context`` diagnostics.
+    """
+    specs = getattr(args, "corners", None)
+    if not specs:
+        if getattr(args, "merged_worst", False):
+            raise ReproError(
+                "--merged-worst needs at least one --corner NAME=FILE")
+        return None
+    from repro.corners import Corner, CornerSet
+
+    corners = []
+    for spec in specs:
+        name, sep, path = spec.partition("=")
+        if not sep or not name or not path:
+            raise ReproError(
+                f"--corner {spec!r}: expected NAME=FILE (a corner name "
+                f"and an ECO-update JSON path)")
+        if path == "-":
+            corners.append(Corner(name))
+        else:
+            corners.append(Corner.load(name, path))
+    return CornerSet(corners)
+
+
 def _add_design_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("design", nargs="?",
                         help="design file (.cppr, .json, or .v)")
@@ -173,6 +219,14 @@ def _cmd_report(args) -> int:
                  or args.trace_out is not None
                  or args.span_log is not None)
     graph, constraints = _design_from_args(args)
+    corner_set = _corners_from_args(args)
+    if corner_set is not None:
+        if args.pre or args.pair is not None or args.endpoint is not None:
+            raise ReproError(
+                "--corner applies to the full engine report; drop "
+                "--pre / --pair / --endpoint")
+        if args.save_json is not None:
+            raise ReproError("--save-json is not supported with --corner")
     eco = None
     if getattr(args, "eco", None) is not None:
         from repro.io.eco import load_eco_updates
@@ -215,8 +269,31 @@ def _cmd_report(args) -> int:
         else:
             engine = CpprEngine(analyzer, CpprOptions(
                 backend=args.backend, batch_levels=args.batch_levels,
+                corners=corner_set,
                 **_resilience_from_args(args)))
             meta_engine = engine
+            if corner_set is not None:
+                # Multi-corner: the rendered report(s) are the result.
+                source = engine
+                if eco:
+                    source = engine.session()
+                    source.update(delays=list(eco.delays),
+                                  clock=eco.clock)
+                if args.merged_worst:
+                    text = source.merged_worst_report(
+                        args.k, args.mode,
+                        title=f"Top-{args.k} post-CPPR {args.mode} "
+                              f"paths (merged worst across corners)"
+                              f"{eco_suffix}")
+                else:
+                    text = "\n".join(
+                        source.report(
+                            args.k, args.mode,
+                            title=f"Top-{args.k} post-CPPR {args.mode} "
+                                  f"paths [corner {name}]{eco_suffix}",
+                            corner=name)
+                        for name in corner_set.names)
+                return None, text
             if eco:
                 session = engine.session()
                 session.update(delays=list(eco.delays), clock=eco.clock)
@@ -264,22 +341,30 @@ def _cmd_eco(args) -> int:
     profiling = (args.profile or args.trace_out is not None
                  or args.span_log is not None)
     graph, constraints = _design_from_args(args)
+    corner_set = _corners_from_args(args)
     updates = load_eco_updates(args.updates)
     if not updates:
         raise ReproError(f"{args.updates}: no delay or clock edits")
     analyzer = TimingAnalyzer(graph, constraints)
     engine = CpprEngine(analyzer, CpprOptions(
         backend=args.backend, batch_levels=args.batch_levels,
+        corners=corner_set,
         **_resilience_from_args(args)))
     session = engine.session()
 
+    def query():
+        if corner_set is None:
+            return session.top_paths(args.k, args.mode)
+        if args.merged_worst:
+            # (corner, path) pairs; slack order matches top_paths.
+            return session.merged_worst(args.k, args.mode)
+        return session.top_paths_by_corner(args.k, args.mode)
+
     def go():
-        baseline = measure_runtime(
-            lambda: session.top_paths(args.k, args.mode))
+        baseline = measure_runtime(query)
         summary = session.update(delays=list(updates.delays),
                                  clock=updates.clock)
-        requery = measure_runtime(
-            lambda: session.top_paths(args.k, args.mode))
+        requery = measure_runtime(query)
         return baseline, summary, requery
 
     if profiling:
@@ -292,14 +377,37 @@ def _cmd_eco(args) -> int:
         profile = None
 
     before, after = baseline.value, requery.value
-    print(format_path_report(
-        session.analyzer, after,
-        title=f"Top-{args.k} post-CPPR {args.mode} paths after ECO "
-              f"({updates.describe()})"))
+
+    def worst_slack(result) -> float:
+        if not result:
+            return float("inf")
+        if corner_set is None:
+            return result[0].slack
+        if args.merged_worst:
+            return result[0][1].slack
+        return min((paths[0].slack for paths in result.values()
+                    if paths), default=float("inf"))
+
+    if corner_set is None:
+        print(format_path_report(
+            session.analyzer, after,
+            title=f"Top-{args.k} post-CPPR {args.mode} paths after ECO "
+                  f"({updates.describe()})"))
+    elif args.merged_worst:
+        print(session.merged_worst_report(
+            args.k, args.mode,
+            title=f"Top-{args.k} post-CPPR {args.mode} paths after ECO "
+                  f"({updates.describe()}; merged worst across "
+                  f"corners)"))
+    else:
+        print("\n".join(session.report(
+            args.k, args.mode,
+            title=f"Top-{args.k} post-CPPR {args.mode} paths after ECO "
+                  f"({updates.describe()}) [corner {name}]",
+            corner=name) for name in corner_set.names))
     print()
-    worst_before = before[0].slack if before else float("inf")
-    worst_after = after[0].slack if after else float("inf")
-    print(f"worst slack: {worst_before:.4f} -> {worst_after:.4f}")
+    print(f"worst slack: {worst_slack(before):.4f} -> "
+          f"{worst_slack(after):.4f}")
     print(f"baseline query: {baseline.seconds:.3f}s   "
           f"incremental re-query: {requery.seconds:.3f}s")
     print(f"dirty: {summary['dirty_pins']} pins "
@@ -308,8 +416,13 @@ def _cmd_eco(args) -> int:
     print(f"families kept: {summary['families_kept']}   "
           f"dropped: {summary['families_dropped']}")
     stats = session.stats()
-    print(f"family cache: {stats['families']}   "
-          f"select cache: {stats['select']}")
+    if corner_set is None:
+        print(f"family cache: {stats['families']}   "
+              f"select cache: {stats['select']}")
+    else:
+        for name, row in stats["corners"].items():
+            print(f"[corner {name}] family cache: {row['families']}   "
+                  f"select cache: {row['select']}")
     if profile is not None and args.profile:
         print()
         print(format_profile(profile, title=f"Profile ({args.mode})"))
@@ -454,6 +567,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run all per-level propagations as one "
                              "(D x n) batched sweep (array backend "
                              "only; default auto)")
+    _add_corner_arguments(report)
     _add_trace_arguments(report)
     _add_resilience_arguments(report)
     report.set_defaults(func=_cmd_report)
@@ -475,6 +589,7 @@ def build_parser() -> argparse.ArgumentParser:
     eco.add_argument("--batch-levels", choices=["auto", "on", "off"],
                      default="auto",
                      help="level-batched propagation (default auto)")
+    _add_corner_arguments(eco)
     _add_trace_arguments(eco)
     _add_resilience_arguments(eco)
     eco.set_defaults(func=_cmd_eco)

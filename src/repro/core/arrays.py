@@ -297,7 +297,7 @@ class CoreValues:
     """
 
     __slots__ = ("edge_early", "edge_late", "fanin_early", "fanin_late",
-                 "fanin_early_list", "fanin_late_list", "_version",
+                 "_fanin_early_list", "_fanin_late_list", "_version",
                  "_version_slot", "shm_layout", "__weakref__")
 
     def __init__(self, edge_early: np.ndarray, edge_late: np.ndarray,
@@ -306,11 +306,29 @@ class CoreValues:
         self.edge_late = edge_late
         self.fanin_early = fanin_early
         self.fanin_late = fanin_late
-        self.fanin_early_list = fanin_early.tolist()
-        self.fanin_late_list = fanin_late.tolist()
+        self._fanin_early_list = None
+        self._fanin_late_list = None
         self._version = 0
         self._version_slot = None
         self.shm_layout = None
+
+    # The scalar-walk mirrors are built on first use: a setup query
+    # only ever reads the late list (and hold the early one), and a
+    # corner realized but not yet queried reads neither — eager
+    # ``tolist`` here would charge every CoreValues copy for both.
+    @property
+    def fanin_early_list(self) -> list[float]:
+        mirror = self._fanin_early_list
+        if mirror is None:
+            mirror = self._fanin_early_list = self.fanin_early.tolist()
+        return mirror
+
+    @property
+    def fanin_late_list(self) -> list[float]:
+        mirror = self._fanin_late_list
+        if mirror is None:
+            mirror = self._fanin_late_list = self.fanin_late.tolist()
+        return mirror
 
     @property
     def version(self) -> int:
@@ -372,6 +390,11 @@ class CoreValues:
                                     expected_version=expected_version)
         vals = cls(views["edge_early"], views["edge_late"],
                    views["fanin_early"], views["fanin_late"])
+        # Materialize the scalar mirrors immediately — the arrays are
+        # views into a segment the publisher may rewrite later, so the
+        # "snapshotted now" contract above must not be lazy here.
+        vals._fanin_early_list = vals.fanin_early.tolist()
+        vals._fanin_late_list = vals.fanin_late.tolist()
         vals._version = expected_version
         vals.shm_layout = layout
         return vals
@@ -509,6 +532,8 @@ class CoreArrays:
         of the edited graph would produce.
         """
         vals = self.values
+        e_mirror = vals._fanin_early_list
+        l_mirror = vals._fanin_late_list
         for u, v, old_e, old_l, new_e, new_l in updates:
             flo, fhi = self.structure.fanin_run(u, v)
             if flo == fhi:
@@ -517,8 +542,10 @@ class CoreArrays:
             if fhi - flo == 1:
                 vals.fanin_early[flo] = new_e
                 vals.fanin_late[flo] = new_l
-                vals.fanin_early_list[flo] = new_e
-                vals.fanin_late_list[flo] = new_l
+                if e_mirror is not None:
+                    e_mirror[flo] = new_e
+                if l_mirror is not None:
+                    l_mirror[flo] = new_l
                 vals.edge_early[elo] = new_e
                 vals.edge_late[elo] = new_l
                 continue
@@ -526,22 +553,24 @@ class CoreArrays:
             # pair, then restore the (early, late) run order in both
             # tables.
             for i in range(flo, fhi):
-                if (vals.fanin_early_list[i] == old_e
-                        and vals.fanin_late_list[i] == old_l):
+                if (vals.fanin_early[i] == old_e
+                        and vals.fanin_late[i] == old_l):
                     break
             else:
                 raise ValueError(
                     f"edge {u} -> {v}: no entry with delays "
                     f"({old_e}, {old_l}) to replace")
-            vals.fanin_early_list[i] = new_e
-            vals.fanin_late_list[i] = new_l
-            pairs = sorted(zip(vals.fanin_early_list[flo:fhi],
-                               vals.fanin_late_list[flo:fhi]))
+            vals.fanin_early[i] = new_e
+            vals.fanin_late[i] = new_l
+            pairs = sorted(zip(vals.fanin_early[flo:fhi].tolist(),
+                               vals.fanin_late[flo:fhi].tolist()))
             for j, (e, l) in enumerate(pairs):
                 vals.fanin_early[flo + j] = e
                 vals.fanin_late[flo + j] = l
-                vals.fanin_early_list[flo + j] = e
-                vals.fanin_late_list[flo + j] = l
+                if e_mirror is not None:
+                    e_mirror[flo + j] = e
+                if l_mirror is not None:
+                    l_mirror[flo + j] = l
                 vals.edge_early[elo + j] = e
                 vals.edge_late[elo + j] = l
         vals.version += 1

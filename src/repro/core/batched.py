@@ -67,6 +67,14 @@ The result object serves each level's slice back as the ordinary
 :class:`~repro.core.propagate.FastDeviation` pair, so the deviation
 search and everything downstream are reused unchanged.
 
+The same stacking generalizes along a second axis:
+:func:`propagate_dual_batched_corners` fuses ``C`` delay corners that
+share one :class:`~repro.core.arrays.CoreStructure` into a single
+``(C * 2D, n)`` sweep — corner ``c``'s rows are exactly the ``(2D, n)``
+state its standalone sweep would hold, per-bucket delays broadcast from
+a ``(C, m)`` stack, and the result is served back as ``C`` ordinary
+:class:`BatchedLevels` slices.  See ``docs/MCMM.md``.
+
 Observability: building emits one ``propagate.batched`` span with
 ``grouping`` / ``seeds`` / ``sweep`` / ``deviation_costs`` children,
 the same ``propagation.seeds`` / ``propagation.pins_visited`` totals
@@ -89,7 +97,8 @@ from repro.cppr.tuples import NO_GROUP, NO_NODE
 from repro.obs import collector as _obs
 from repro.sta.modes import AnalysisMode
 
-__all__ = ["BatchedLevels", "propagate_dual_batched"]
+__all__ = ["BatchedLevels", "propagate_dual_batched",
+           "propagate_dual_batched_corners"]
 
 _INF = float("inf")
 
@@ -367,6 +376,190 @@ def _ff_columns(graph: TimingGraph):
     return cols
 
 
+def _sweep(graph: TimingGraph, core, state, levels, empty, is_setup,
+           candidates) -> None:
+    """Relax every level bucket over the stacked dual-tuple state.
+
+    ``levels`` is the row-half size of ``state`` (``D`` for a
+    single-graph sweep, ``C * D`` for the corner-fused one) and
+    ``candidates(bi, b)`` produces bucket ``bi``'s stacked candidate
+    matrix — the current source state plus the bucket's edge delays,
+    shaped ``(2 * levels, m)``.  Everything else here — segment
+    geometry, reductions, argmin recovery, the dual-state combine — is
+    row-count agnostic, which is what lets
+    :func:`propagate_dual_batched_corners` reuse this body unchanged
+    for ``C`` stacked corners.
+    """
+    timeS, fromS, groupS = state
+    reduce_best = np.maximum.reduceat if is_setup else np.minimum.reduceat
+    pick_best = np.maximum if is_setup else np.minimum
+    slots_cache: dict[int, np.ndarray] = {}
+    pads = _bucket_pads(graph, core)
+    for bi, b in enumerate(core.level_buckets):
+        pad, virgin = pads[bi]
+        src = b.src
+        tS = candidates(bi, b)
+        ta, tb = tS[:levels], tS[levels:]
+        # Buckets whose sources carry no fallback state yet
+        # (common near the launch seeds) skip the whole
+        # fallback half: with every B slot empty the merged
+        # best is the A-side result and every B-side
+        # candidate loses its tie-break or validity guard.
+        has_b = (tb != empty).any()
+        m = len(src)
+        src32 = src.astype(np.int32)
+        if len(b.seg_dst) == m:
+            # Every destination has exactly one edge in this
+            # bucket, so the segment extremum degenerates to
+            # the edge's two-slot tournament — the pre-swap
+            # rule of the 1-D pass, applied element-wise
+            # with no reductions or argmin recovery at all.
+            if not has_b:
+                if not (ta != empty).any():
+                    continue
+                ga = groupS[:levels, src]
+                _combine_dual_batched(
+                    state, levels, empty, is_setup,
+                    b.seg_dst, ta, src32, ga,
+                    empty, NO_NODE, NO_GROUP, virgin)
+                continue
+            gS = groupS[:, src]
+            ga, gb = gS[:levels], gS[levels:]
+            useb = (_beats(is_setup, tb, ta)
+                    | ((tb == ta) & (gb < ga)))
+            bt = np.where(useb, tb, ta)
+            if not (bt != empty).any():
+                continue
+            bg = np.where(useb, gb, ga)
+            # The losing slot is the fallback iff its group
+            # differs (the winner's group is ``bg`` itself).
+            ft = np.where(ga != gb,
+                          np.where(useb, ta, tb), empty)
+            has_fb = ft != empty
+            fallback_f = np.where(has_fb, src32, NO_NODE)
+            fallback_g = np.where(
+                has_fb, np.where(useb, ga, gb), NO_GROUP)
+            _combine_dual_batched(state, levels, empty,
+                                  is_setup, b.seg_dst,
+                                  bt, src32, bg,
+                                  ft, fallback_f, fallback_g,
+                                  virgin)
+            continue
+        estarts = b.estarts
+        if pad is not None:
+            # Duplicate-padded dense reduction (see
+            # _bucket_pads): same values, no per-segment
+            # reduceat dispatch.
+            pad_idx, nseg, w = pad
+            if is_setup:
+                def seg_best(x):
+                    return x[:, pad_idx].reshape(
+                        len(x), nseg, w).max(axis=2)
+            else:
+                def seg_best(x):
+                    return x[:, pad_idx].reshape(
+                        len(x), nseg, w).min(axis=2)
+
+            def seg_min(x):
+                return x[:, pad_idx].reshape(
+                    len(x), nseg, w).min(axis=2)
+        else:
+            def seg_best(x):
+                return reduce_best(x, estarts, axis=1)
+
+            def seg_min(x):
+                return np.minimum.reduceat(x, estarts,
+                                           axis=1)
+        slots = slots_cache.get(m)
+        if slots is None:
+            slots = slots_cache[m] = np.arange(
+                m, dtype=np.int32)
+        sentinel = np.int32(m)
+        eseg = b.eseg
+        if not has_b:
+            bt = seg_best(ta)
+            if not (bt != empty).any():
+                continue
+            ga = groupS[:levels, src]
+            _fa, ia, gaw = _first_at(ta, ga, bt, eseg,
+                                     slots, sentinel, seg_min)
+            bf = src32[ia]
+            bg = gaw
+            t2a = np.where(ga != bg[:, eseg], ta, empty)
+            ft = seg_best(t2a)
+            if not (ft != empty).any():
+                _combine_dual_batched(
+                    state, levels, empty, is_setup,
+                    b.seg_dst, bt, bf, bg,
+                    empty, NO_NODE, NO_GROUP, virgin)
+                continue
+            _fa, ia, gaw = _first_at(t2a, ga, ft, eseg,
+                                     slots, sentinel, seg_min)
+            has_fb = ft != empty
+            fallback_f = np.where(has_fb, src32[ia], NO_NODE)
+            fallback_g = np.where(has_fb, gaw, NO_GROUP)
+            _combine_dual_batched(state, levels, empty,
+                                  is_setup, b.seg_dst,
+                                  bt, bf, bg,
+                                  ft, fallback_f, fallback_g,
+                                  virgin)
+            continue
+        # Both halves reduce and argmin-recover in single
+        # stacked calls; the (2, levels, m) reshape views let
+        # the per-half extremum broadcast without a tiled copy.
+        btS = seg_best(tS)
+        bt = pick_best(btS[:levels], btS[levels:])
+        if not (bt != empty).any():
+            continue
+        gS = groupS[:, src]
+        tS3 = tS.reshape(2, levels, m)
+        pos = np.where(tS3 == bt[:, eseg][None], slots,
+                       sentinel).reshape(2 * levels, m)
+        first = seg_min(pos)
+        idx = np.minimum(first, sentinel - 1)
+        gw = np.take_along_axis(gS, idx, axis=1)
+        fa, fb = first[:levels], first[levels:]
+        gaw, gbw = gw[:levels], gw[levels:]
+        useb = (fb < fa) | ((fb == fa) & (gbw < gaw))
+        bf = src32[np.where(useb, idx[levels:], idx[:levels])]
+        bg = np.where(useb, gbw, gaw)
+        # Batch fallback: most pessimistic slot in a group
+        # different from the batch best's.
+        t2S = np.where(gS.reshape(2, levels, m)
+                       != bg[:, eseg][None],
+                       tS3, empty).reshape(2 * levels, m)
+        ftS = seg_best(t2S)
+        ft = pick_best(ftS[:levels], ftS[levels:])
+        if not (ft != empty).any():
+            # No segment produced a different-group
+            # fallback anywhere: skip the argmin recovery.
+            _combine_dual_batched(
+                state, levels, empty, is_setup,
+                b.seg_dst, bt, bf, bg,
+                empty, NO_NODE, NO_GROUP, virgin)
+            continue
+        pos = np.where(t2S.reshape(2, levels, m)
+                       == ft[:, eseg][None], slots,
+                       sentinel).reshape(2 * levels, m)
+        first = seg_min(pos)
+        idx = np.minimum(first, sentinel - 1)
+        gw = np.take_along_axis(gS, idx, axis=1)
+        fa, fb = first[:levels], first[levels:]
+        gaw, gbw = gw[:levels], gw[levels:]
+        useb = (fb < fa) | ((fb == fa) & (gbw < gaw))
+        has_fb = ft != empty
+        fallback_f = np.where(
+            has_fb,
+            src32[np.where(useb, idx[levels:], idx[:levels])],
+            NO_NODE)
+        fallback_g = np.where(
+            has_fb, np.where(useb, gbw, gaw), NO_GROUP)
+        _combine_dual_batched(state, levels, empty, is_setup,
+                              b.seg_dst, bt, bf, bg,
+                              ft, fallback_f, fallback_g,
+                              virgin)
+
+
 def propagate_dual_batched(graph: TimingGraph,
                            mode: AnalysisMode) -> BatchedLevels:
     """Run the grouped forward pass for **all** levels in one sweep."""
@@ -379,8 +572,6 @@ def propagate_dual_batched(graph: TimingGraph,
     num_ffs = graph.num_ffs
     empty = mode.empty_time
     is_setup = mode.is_setup
-    reduce_best = np.maximum.reduceat if is_setup else np.minimum.reduceat
-    pick_best = np.maximum if is_setup else np.minimum
 
     with _obs.span("propagate.batched"):
         with _obs.span("grouping"):
@@ -424,173 +615,12 @@ def propagate_dual_batched(graph: TimingGraph,
 
         with _obs.span("sweep"):
             if num_seeds:
-                levels = num_levels
-                slots_cache: dict[int, np.ndarray] = {}
-                pads = _bucket_pads(graph, core)
-                for bi, b in enumerate(core.level_buckets):
-                    pad, virgin = pads[bi]
-                    src = b.src
+                def candidates(bi, b):
                     delay = b.late if is_setup else b.early
-                    tS = timeS[:, src] + delay
-                    ta, tb = tS[:levels], tS[levels:]
-                    # Buckets whose sources carry no fallback state yet
-                    # (common near the launch seeds) skip the whole
-                    # fallback half: with every B slot empty the merged
-                    # best is the A-side result and every B-side
-                    # candidate loses its tie-break or validity guard.
-                    has_b = (tb != empty).any()
-                    m = len(src)
-                    src32 = src.astype(np.int32)
-                    if len(b.seg_dst) == m:
-                        # Every destination has exactly one edge in this
-                        # bucket, so the segment extremum degenerates to
-                        # the edge's two-slot tournament — the pre-swap
-                        # rule of the 1-D pass, applied element-wise
-                        # with no reductions or argmin recovery at all.
-                        if not has_b:
-                            if not (ta != empty).any():
-                                continue
-                            ga = groupS[:levels, src]
-                            _combine_dual_batched(
-                                state, levels, empty, is_setup,
-                                b.seg_dst, ta, src32, ga,
-                                empty, NO_NODE, NO_GROUP, virgin)
-                            continue
-                        gS = groupS[:, src]
-                        ga, gb = gS[:levels], gS[levels:]
-                        useb = (_beats(is_setup, tb, ta)
-                                | ((tb == ta) & (gb < ga)))
-                        bt = np.where(useb, tb, ta)
-                        if not (bt != empty).any():
-                            continue
-                        bg = np.where(useb, gb, ga)
-                        # The losing slot is the fallback iff its group
-                        # differs (the winner's group is ``bg`` itself).
-                        ft = np.where(ga != gb,
-                                      np.where(useb, ta, tb), empty)
-                        has_fb = ft != empty
-                        fallback_f = np.where(has_fb, src32, NO_NODE)
-                        fallback_g = np.where(
-                            has_fb, np.where(useb, ga, gb), NO_GROUP)
-                        _combine_dual_batched(state, levels, empty,
-                                              is_setup, b.seg_dst,
-                                              bt, src32, bg,
-                                              ft, fallback_f, fallback_g,
-                                              virgin)
-                        continue
-                    estarts = b.estarts
-                    if pad is not None:
-                        # Duplicate-padded dense reduction (see
-                        # _bucket_pads): same values, no per-segment
-                        # reduceat dispatch.
-                        pad_idx, nseg, w = pad
-                        if is_setup:
-                            def seg_best(x):
-                                return x[:, pad_idx].reshape(
-                                    len(x), nseg, w).max(axis=2)
-                        else:
-                            def seg_best(x):
-                                return x[:, pad_idx].reshape(
-                                    len(x), nseg, w).min(axis=2)
+                    return timeS[:, b.src] + delay
 
-                        def seg_min(x):
-                            return x[:, pad_idx].reshape(
-                                len(x), nseg, w).min(axis=2)
-                    else:
-                        def seg_best(x):
-                            return reduce_best(x, estarts, axis=1)
-
-                        def seg_min(x):
-                            return np.minimum.reduceat(x, estarts,
-                                                       axis=1)
-                    slots = slots_cache.get(m)
-                    if slots is None:
-                        slots = slots_cache[m] = np.arange(
-                            m, dtype=np.int32)
-                    sentinel = np.int32(m)
-                    eseg = b.eseg
-                    if not has_b:
-                        bt = seg_best(ta)
-                        if not (bt != empty).any():
-                            continue
-                        ga = groupS[:levels, src]
-                        _fa, ia, gaw = _first_at(ta, ga, bt, eseg,
-                                                 slots, sentinel, seg_min)
-                        bf = src32[ia]
-                        bg = gaw
-                        t2a = np.where(ga != bg[:, eseg], ta, empty)
-                        ft = seg_best(t2a)
-                        if not (ft != empty).any():
-                            _combine_dual_batched(
-                                state, levels, empty, is_setup,
-                                b.seg_dst, bt, bf, bg,
-                                empty, NO_NODE, NO_GROUP, virgin)
-                            continue
-                        _fa, ia, gaw = _first_at(t2a, ga, ft, eseg,
-                                                 slots, sentinel, seg_min)
-                        has_fb = ft != empty
-                        fallback_f = np.where(has_fb, src32[ia], NO_NODE)
-                        fallback_g = np.where(has_fb, gaw, NO_GROUP)
-                        _combine_dual_batched(state, levels, empty,
-                                              is_setup, b.seg_dst,
-                                              bt, bf, bg,
-                                              ft, fallback_f, fallback_g,
-                                              virgin)
-                        continue
-                    # Both halves reduce and argmin-recover in single
-                    # stacked calls; the (2, D, m) reshape views let the
-                    # per-half extremum broadcast without a tiled copy.
-                    btS = seg_best(tS)
-                    bt = pick_best(btS[:levels], btS[levels:])
-                    if not (bt != empty).any():
-                        continue
-                    gS = groupS[:, src]
-                    tS3 = tS.reshape(2, levels, m)
-                    pos = np.where(tS3 == bt[:, eseg][None], slots,
-                                   sentinel).reshape(2 * levels, m)
-                    first = seg_min(pos)
-                    idx = np.minimum(first, sentinel - 1)
-                    gw = np.take_along_axis(gS, idx, axis=1)
-                    fa, fb = first[:levels], first[levels:]
-                    gaw, gbw = gw[:levels], gw[levels:]
-                    useb = (fb < fa) | ((fb == fa) & (gbw < gaw))
-                    bf = src32[np.where(useb, idx[levels:], idx[:levels])]
-                    bg = np.where(useb, gbw, gaw)
-                    # Batch fallback: most pessimistic slot in a group
-                    # different from the batch best's.
-                    t2S = np.where(gS.reshape(2, levels, m)
-                                   != bg[:, eseg][None],
-                                   tS3, empty).reshape(2 * levels, m)
-                    ftS = seg_best(t2S)
-                    ft = pick_best(ftS[:levels], ftS[levels:])
-                    if not (ft != empty).any():
-                        # No segment produced a different-group
-                        # fallback anywhere: skip the argmin recovery.
-                        _combine_dual_batched(
-                            state, levels, empty, is_setup,
-                            b.seg_dst, bt, bf, bg,
-                            empty, NO_NODE, NO_GROUP, virgin)
-                        continue
-                    pos = np.where(t2S.reshape(2, levels, m)
-                                   == ft[:, eseg][None], slots,
-                                   sentinel).reshape(2 * levels, m)
-                    first = seg_min(pos)
-                    idx = np.minimum(first, sentinel - 1)
-                    gw = np.take_along_axis(gS, idx, axis=1)
-                    fa, fb = first[:levels], first[levels:]
-                    gaw, gbw = gw[:levels], gw[levels:]
-                    useb = (fb < fa) | ((fb == fa) & (gbw < gaw))
-                    has_fb = ft != empty
-                    fallback_f = np.where(
-                        has_fb,
-                        src32[np.where(useb, idx[levels:], idx[:levels])],
-                        NO_NODE)
-                    fallback_g = np.where(
-                        has_fb, np.where(useb, gbw, gaw), NO_GROUP)
-                    _combine_dual_batched(state, levels, empty, is_setup,
-                                          b.seg_dst, bt, bf, bg,
-                                          ft, fallback_f, fallback_g,
-                                          virgin)
+                _sweep(graph, core, state, num_levels, empty, is_setup,
+                       candidates)
 
         with _obs.span("deviation_costs"):
             with np.errstate(invalid="ignore"):
@@ -630,3 +660,163 @@ def propagate_dual_batched(graph: TimingGraph,
                          time0, from0, group0, time1, from1, group1,
                          cost0, core.fanin_ptr_list, core.fanin_src_list,
                          delay_list)
+
+
+def propagate_dual_batched_corners(graphs, mode: AnalysisMode
+                                   ) -> list:
+    """Run the grouped forward pass for ``C`` corners in ONE sweep.
+
+    ``graphs`` are the corner-realized graphs: same topology, one
+    shared :class:`~repro.core.arrays.CoreStructure`, per-corner
+    :class:`~repro.core.arrays.CoreValues` columns and clock trees.
+    The dual-tuple state is stacked a second time — ``(2 * C * D, n)``
+    with corner ``c``'s level-``d`` best row at ``c * D + d`` — so the
+    whole multi-corner analysis pays *one* grouping-matrix application,
+    one relaxation per level bucket, and one deviation-cost pass
+    instead of ``C`` of each.  Per-bucket edge delays broadcast through
+    a ``(2, C, D, m)`` reshape view, and per-corner fanin delays
+    through a ``(C, D, m_fanin)`` view, so every corner's rows see the
+    exact IEEE-754 operation sequence of its standalone
+    :func:`propagate_dual_batched` — the returned list of per-corner
+    :class:`BatchedLevels` (row-slice views into the stacked matrices)
+    is bit-for-bit what ``C`` independent builds would produce.
+
+    Counters: one ``batched.builds``, ``batched.corners`` = ``C``,
+    ``batched.levels`` = ``C * D`` (total stacked rows), seed/visit
+    totals and per-level breakdowns summed across corners.
+    """
+    mode = AnalysisMode.coerce(mode)
+    if len(graphs) == 1:
+        return [propagate_dual_batched(graphs[0], mode)]
+    faults.check("numpy.import")
+    base = graphs[0]
+    cores = [get_core(g) for g in graphs]
+    structure = cores[0].structure
+    for c in cores[1:]:
+        if c.structure is not structure:
+            raise ValueError(
+                "corner graphs must share one CoreStructure; realize "
+                "corners with repro.corners.CornerSet.realize")
+    C = len(graphs)
+    D = base.clock_tree.num_levels
+    levels = C * D
+    n = base.num_pins
+    num_ffs = base.num_ffs
+    empty = mode.empty_time
+    is_setup = mode.is_setup
+
+    with _obs.span("propagate.batched"):
+        with _obs.span("grouping"):
+            # gm is a pure function of the (shared) tree topology —
+            # identical across corners — while om carries each corner's
+            # credits; calling group_matrix per tree also populates the
+            # lifting/grouping caches paths_at_level reads later.
+            gms, oms, groupings = [], [], []
+            for g in graphs:
+                gm, om = group_matrix(g.clock_tree, num_ffs)
+                gms.append(gm)
+                oms.append(om)
+                groupings.append(_build_groupings(g.clock_tree, gm, om))
+
+        with _obs.span("seeds"):
+            q_pin, ck_pin, node, ctq_early, ctq_late = _ff_columns(base)
+            clk_to_q = ctq_late if is_setup else ctq_early
+            timeS = np.full((2 * levels, n), empty, dtype=np.float64)
+            fromS = np.full((2 * levels, n), NO_NODE, dtype=np.int32)
+            groupS = np.full((2 * levels, n), NO_GROUP, dtype=np.int32)
+            time0, time1 = timeS[:levels], timeS[levels:]
+            from0, from1 = fromS[:levels], fromS[levels:]
+            group0, group1 = groupS[:levels], groupS[levels:]
+            state = (timeS, fromS, groupS)
+
+            seed_counts = np.zeros((C, D), dtype=np.int64)
+            for ci, g in enumerate(graphs):
+                tree = g.clock_tree
+                gm, om = gms[ci], oms[ci]
+                at = np.asarray(
+                    tree._at_late if is_setup else tree._at_early,
+                    dtype=np.float64)
+                base_t = at[node] + clk_to_q
+                q_time = base_t - om if is_setup else base_t + om
+                part = gm >= 0
+                rows, cols = np.nonzero(part)
+                time0[ci * D + rows, q_pin[cols]] = q_time[rows, cols]
+                from0[ci * D + rows, q_pin[cols]] = ck_pin[cols]
+                group0[ci * D + rows, q_pin[cols]] = gm[rows, cols]
+                seed_counts[ci] = part.sum(axis=1)
+            num_seeds = int(seed_counts.sum())
+
+        with _obs.span("sweep"):
+            if num_seeds:
+                def candidates(bi, b):
+                    m = len(b.src)
+                    # (C, m) per-corner delay rows broadcast against a
+                    # (2, C, D, m) view of the gathered source state:
+                    # each corner block sees exactly its standalone
+                    # ``timeS[:, src] + delay`` element-wise adds.
+                    if is_setup:
+                        delays = np.stack(
+                            [c.level_buckets[bi].late for c in cores])
+                    else:
+                        delays = np.stack(
+                            [c.level_buckets[bi].early for c in cores])
+                    gathered = timeS[:, b.src]
+                    return (gathered.reshape(2, C, D, m)
+                            + delays[None, :, None, :]
+                            ).reshape(2 * levels, m)
+
+                _sweep(base, cores[0], state, levels, empty, is_setup,
+                       candidates)
+
+        with _obs.span("deviation_costs"):
+            mf = len(structure.fanin_dst)
+            with np.errstate(invalid="ignore"):
+                if is_setup:
+                    cost0 = time0[:, structure.fanin_dst]
+                    np.subtract(cost0, time0[:, structure.fanin_src],
+                                out=cost0)
+                    lates = np.stack([c.values.fanin_late
+                                      for c in cores])
+                    c3 = cost0.reshape(C, D, mf)
+                    np.subtract(c3, lates[:, None, :], out=c3)
+                    delay_lists = [c.values.fanin_late_list
+                                   for c in cores]
+                else:
+                    cost0 = time0[:, structure.fanin_src]
+                    earlies = np.stack([c.values.fanin_early
+                                        for c in cores])
+                    c3 = cost0.reshape(C, D, mf)
+                    np.add(c3, earlies[:, None, :], out=c3)
+                    np.subtract(cost0, time0[:, structure.fanin_dst],
+                                out=cost0)
+                    delay_lists = [c.values.fanin_early_list
+                                   for c in cores]
+            np.nan_to_num(cost0, copy=False,
+                          nan=_INF, posinf=_INF, neginf=_INF)
+
+    col = _obs.ACTIVE
+    if col is not None:
+        visited = (time0 != empty).sum(axis=1).reshape(C, D)
+        col.add("batched.builds")
+        col.add("batched.corners", C)
+        col.add("batched.levels", levels)
+        col.add("propagation.seeds", num_seeds)
+        col.add("propagation.pins_visited", int(visited.sum()))
+        level_seeds = seed_counts.sum(axis=0)
+        level_visited = visited.sum(axis=0)
+        for level in range(D):
+            col.add(f"batched.seeds.level[{level}]",
+                    int(level_seeds[level]))
+            col.add(f"batched.pins_visited.level[{level}]",
+                    int(level_visited[level]))
+
+    results = []
+    for ci in range(C):
+        lo, hi = ci * D, (ci + 1) * D
+        results.append(BatchedLevels(
+            mode, D, groupings[ci], seed_counts[ci].tolist(),
+            time0[lo:hi], from0[lo:hi], group0[lo:hi],
+            time1[lo:hi], from1[lo:hi], group1[lo:hi],
+            cost0[lo:hi], structure.fanin_ptr_list,
+            structure.fanin_src_list, delay_lists[ci]))
+    return results

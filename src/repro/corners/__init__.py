@@ -1,0 +1,184 @@
+"""Multi-corner (MCMM) scenario modelling.
+
+Real sign-off repeats timing analysis per *delay corner* — slow/fast
+process, voltage and temperature scenarios that change edge and
+clock-tree delays but never the netlist topology.  The structure/value
+split of :mod:`repro.core.arrays` makes a corner a pure value-column
+set by construction: every corner-realized graph shares the base
+design's immutable :class:`~repro.core.arrays.CoreStructure` (and
+topology caches — ``topo_order``, batched pad geometry, FF seed
+columns), paying only a delay-column copy.
+
+A :class:`Corner` names one scenario as a *delta* from the base design
+(data-edge delay updates plus clock-tree edge updates, the exact
+vocabulary of :class:`~repro.io.eco.EcoUpdates`); a :class:`CornerSet`
+is the ordered, uniquely-named collection an engine analyzes together.
+Passing a set via ``CpprOptions(corners=...)`` makes
+:class:`~repro.cppr.engine.CpprEngine` run all ``C`` corners through
+one fused ``(C * 2D, n)`` propagation sweep
+(:func:`~repro.core.batched.propagate_dual_batched_corners`) and one
+task fan-out, with per-corner results bit-for-bit identical to ``C``
+independent single-corner engines.  See ``docs/MCMM.md``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping
+
+from repro.exceptions import AnalysisError
+from repro.sta.incremental import (DelayUpdate, apply_clock_updates,
+                                   apply_delay_updates)
+from repro.sta.timing import TimingAnalyzer
+
+__all__ = ["Corner", "CornerSet", "NO_CORNER"]
+
+#: The corner label stamped on metrics and cache keys when an engine
+#: has no corners configured.  Reserved — not a valid corner name.
+NO_CORNER = "-"
+
+#: Characters a corner name may not contain: names are embedded in
+#: metric label encodings (``engine.queries{corner=...}``), CLI
+#: ``NAME=FILE`` specs and profile header lines.
+_FORBIDDEN = set("{}=, \t\n")
+
+
+def _validate_name(name: object) -> str:
+    if not isinstance(name, str) or not name:
+        raise AnalysisError(
+            f"corner name must be a non-empty string, got {name!r}")
+    if name == NO_CORNER:
+        raise AnalysisError(
+            f"corner name {NO_CORNER!r} is reserved for the "
+            f"no-corner label")
+    bad = sorted(set(name) & _FORBIDDEN)
+    if bad:
+        raise AnalysisError(
+            f"corner name {name!r} may not contain "
+            f"{', '.join(map(repr, bad))} (names appear in metric "
+            f"labels and NAME=FILE specs)")
+    return name
+
+
+class Corner:
+    """One named delay scenario, expressed as a delta from the base.
+
+    ``delays`` are :class:`~repro.sta.incremental.DelayUpdate` entries
+    (data-edge delay replacements), ``clock`` maps clock-tree node
+    names to new ``(early, late)`` edge delays — together exactly an
+    :class:`~repro.io.eco.EcoUpdates`.  An empty delta is valid and
+    names the base design itself (the conventional ``typ`` corner).
+    Corners are immutable; edits resolve eagerly when the set is
+    realized, so a typo'd pin name fails at engine construction, not on
+    the first query.
+    """
+
+    __slots__ = ("name", "delays", "clock")
+
+    def __init__(self, name: str,
+                 delays: Iterable[DelayUpdate] = (),
+                 clock: Mapping[str, tuple[float, float]] | None = None
+                 ) -> None:
+        self.name = _validate_name(name)
+        self.delays = tuple(delays)
+        for update in self.delays:
+            if not isinstance(update, DelayUpdate):
+                raise AnalysisError(
+                    f"corner {name!r}: delays must be DelayUpdate "
+                    f"entries, got {update!r}")
+        self.clock = dict(clock or {})
+
+    @classmethod
+    def from_eco(cls, name: str, updates) -> "Corner":
+        """A corner from an :class:`~repro.io.eco.EcoUpdates` bundle."""
+        return cls(name, updates.delays, updates.clock)
+
+    @classmethod
+    def load(cls, name: str, path) -> "Corner":
+        """A corner from an ECO-update JSON file (eagerly validated).
+
+        File-format problems surface as the loader's
+        :class:`~repro.exceptions.FormatError` with its usual
+        ``path: context`` diagnostics.
+        """
+        from repro.io.eco import load_eco_updates
+        return cls.from_eco(name, load_eco_updates(path))
+
+    def __repr__(self) -> str:
+        return (f"Corner({self.name!r}, delays={len(self.delays)}, "
+                f"clock={len(self.clock)})")
+
+
+class CornerSet:
+    """An ordered set of uniquely-named corners analyzed together."""
+
+    __slots__ = ("corners", "_by_name")
+
+    def __init__(self, corners: Iterable[Corner]) -> None:
+        self.corners = tuple(corners)
+        if not self.corners:
+            raise AnalysisError("a CornerSet needs at least one corner")
+        self._by_name: dict[str, Corner] = {}
+        for corner in self.corners:
+            if not isinstance(corner, Corner):
+                raise AnalysisError(
+                    f"CornerSet entries must be Corner instances, "
+                    f"got {corner!r}")
+            if corner.name in self._by_name:
+                raise AnalysisError(
+                    f"duplicate corner name {corner.name!r}")
+            self._by_name[corner.name] = corner
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(corner.name for corner in self.corners)
+
+    def __len__(self) -> int:
+        return len(self.corners)
+
+    def __iter__(self) -> Iterator[Corner]:
+        return iter(self.corners)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._by_name
+
+    def __getitem__(self, name: str) -> Corner:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise AnalysisError(
+                f"unknown corner {name!r}; valid corners: "
+                f"{', '.join(self.names)}") from None
+
+    def __repr__(self) -> str:
+        return f"CornerSet({', '.join(self.names)})"
+
+    def realize(self, analyzer: TimingAnalyzer,
+                backend: str) -> dict[str, TimingAnalyzer]:
+        """Corner-realized analyzers over one shared structure.
+
+        On the array backend the base graph's core is built *first*,
+        so every derived graph shares its
+        :class:`~repro.core.arrays.CoreStructure` (the precondition of
+        the fused sweep) and pays only a value-column copy.  Unknown
+        pins or clock nodes raise :class:`AnalysisError` here — i.e.
+        at engine construction — prefixed with the corner's name.
+        """
+        graph = analyzer.graph
+        if backend == "array":
+            from repro.core.arrays import get_core
+            get_core(graph)
+        realized: dict[str, TimingAnalyzer] = {}
+        for corner in self.corners:
+            derived = graph
+            try:
+                if corner.delays:
+                    derived = apply_delay_updates(derived,
+                                                  list(corner.delays))
+                if corner.clock:
+                    derived = apply_clock_updates(derived, corner.clock)
+            except AnalysisError as exc:
+                raise AnalysisError(
+                    f"corner {corner.name!r}: {exc}") from None
+            realized[corner.name] = TimingAnalyzer(derived,
+                                                   analyzer.constraints)
+        return realized

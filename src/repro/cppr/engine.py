@@ -20,6 +20,10 @@ import os
 import time
 import warnings
 from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.corners import CornerSet
 
 from repro.core import resolve_backend, resolve_batch_levels, safer_backend
 from repro.cppr.level_paths import paths_at_level
@@ -40,11 +44,13 @@ from repro.sta.timing import TimingAnalyzer
 
 __all__ = ["CpprEngine", "CpprOptions"]
 
-#: Collected full queries by analysis mode (rides the counter merge, so
-#: totals stay executor-independent like every other work counter).
+#: Collected full queries by corner and analysis mode (rides the
+#: counter merge, so totals stay executor-independent like every other
+#: work counter).  ``corner="-"`` labels engines with no corners
+#: configured.
 _QUERIES = _metrics.REGISTRY.counter(
-    "engine.queries", labels=("mode",),
-    help="Collected top_paths queries by analysis mode")
+    "engine.queries", labels=("corner", "mode"),
+    help="Collected top_paths queries by corner and analysis mode")
 #: Last collected query's wall seconds per mode.  A gauge (registry
 #: local, last-write-wins) rather than a histogram on purpose: bucketed
 #: wall time would put timing jitter into ``Profile.counters`` and break
@@ -105,6 +111,16 @@ class CpprOptions:
         :class:`~repro.exceptions.ExecutionError` on the first fault
         instead.  For callers that prefer failing fast over a slower
         (but still exact) degraded answer.
+    corners:
+        A :class:`~repro.corners.CornerSet` to analyze, or ``None``
+        (single-corner analysis of the base design).  With corners
+        configured the engine realizes every corner at construction
+        (sharing one :class:`~repro.core.arrays.CoreStructure`), fuses
+        all ``C`` propagations into one stacked sweep, and answers
+        queries per corner (``top_paths(k, mode, corner=name)``,
+        :meth:`CpprEngine.top_paths_by_corner`,
+        :meth:`CpprEngine.merged_worst`) — bit-for-bit identical to
+        ``C`` independent single-corner engines.  See ``docs/MCMM.md``.
     """
 
     executor: str = "serial"
@@ -119,6 +135,7 @@ class CpprOptions:
     max_retries: int = 2
     retry_backoff: float = 0.05
     strict: bool = False
+    corners: "CornerSet | None" = None
 
 
 def _run_family(analyzer: TimingAnalyzer, task: tuple, k: int,
@@ -240,6 +257,12 @@ def _validate_options(options: CpprOptions) -> tuple[str, bool, int]:
     if not isinstance(options.strict, bool):
         raise AnalysisError(
             f"strict must be a bool, got {options.strict!r}")
+    if options.corners is not None:
+        from repro.corners import CornerSet
+        if not isinstance(options.corners, CornerSet):
+            raise AnalysisError(
+                f"corners must be a repro.corners.CornerSet or None, "
+                f"got {options.corners!r}")
     return backend, batched, resolved_workers
 
 
@@ -272,13 +295,25 @@ class CpprEngine:
         #: empty for clean runs.  Also embedded as the ``degraded``
         #: section of :attr:`last_profile` when a collector was active.
         self.last_degraded: tuple[dict, ...] = ()
-        # Memoized select-stage results keyed (mode, k) — a small LRU
-        # (both modes times a few k values) with hit/miss/eviction
-        # counters under ``select.cache.*``.  The engine's graph is
-        # immutable, so entries never go stale; incremental sessions
-        # (which *do* mutate) keep their own validity-stamped caches.
+        #: Corner-realized analyzers by name (empty when no corners are
+        #: configured).  Realization is eager — a typo'd pin or clock
+        #: node in a corner delta raises here, not on the first query —
+        #: and on the array backend every corner shares the base
+        #: graph's CoreStructure (the fused-sweep precondition).
+        self._corner_analyzers: dict[str, TimingAnalyzer] = {}
+        if self.options.corners is not None:
+            self._corner_analyzers = self.options.corners.realize(
+                analyzer, self.backend)
+        # Memoized select-stage results keyed (corner, mode, k) — a
+        # small LRU sized to hold every corner of a query, with
+        # hit/miss/eviction counters under ``select.cache.*``.  The
+        # corner id in the key keeps per-corner queries from aliasing
+        # the single-corner memo.  The engine's graphs are immutable,
+        # so entries never go stale; incremental sessions (which *do*
+        # mutate) keep their own validity-stamped caches.
         from repro.pipeline.artifacts import LruCache
-        self._topk_cache = LruCache(capacity=8,
+        capacity = max(8, 4 * len(self._corner_analyzers))
+        self._topk_cache = LruCache(capacity=capacity,
                                     counter_prefix="select.cache")
 
     def with_options(self, **changes) -> "CpprEngine":
@@ -301,11 +336,19 @@ class CpprEngine:
         re-relaxing only the edit's dirty cone and re-running only the
         invalidated candidate families — bit-for-bit identical to a
         fresh engine on the edited design.  See ``docs/INCREMENTAL.md``.
+
+        With corners configured this returns a
+        :class:`~repro.pipeline.session.MultiCornerSession` instead:
+        one ``update(...)`` applies the edit to every corner with a
+        single shared dirty cone, and queries take a ``corner=`` name.
+        See ``docs/MCMM.md``.
         """
-        from repro.pipeline.session import CpprSession
+        from repro.pipeline.session import CpprSession, MultiCornerSession
 
         options = (replace(self.options, **option_changes)
                    if option_changes else self.options)
+        if options.corners is not None:
+            return MultiCornerSession(self.analyzer, options)
         return CpprSession(self.analyzer, options)
 
     def profile_meta(self) -> dict[str, str]:
@@ -322,11 +365,15 @@ class CpprEngine:
             workers = str(self.resolved_workers)
         from repro.core import shm as _shm
         shm_on = self.backend == "array" and _shm.available()
-        return {"executor": self.options.executor,
+        meta = {"executor": self.options.executor,
                 "workers": workers,
                 "backend": self.backend,
                 "batched": "on" if self.batched else "off",
                 "shm": "on" if shm_on else "off"}
+        if self._corner_analyzers:
+            names = list(self._corner_analyzers)
+            meta["corners"] = f"{len(names)}: {', '.join(names)}"
+        return meta
 
     def clear_cache(self) -> None:
         """Drop the memoized top-paths results.
@@ -335,6 +382,45 @@ class CpprEngine:
         query so each run does the full analysis.
         """
         self._topk_cache.clear()
+
+    # ------------------------------------------------------------------
+    # The corner axis
+    # ------------------------------------------------------------------
+    def _corner_items(self) -> list[tuple[str | None, TimingAnalyzer]]:
+        """``(corner_name, analyzer)`` pairs this engine analyzes.
+
+        One ``(None, base_analyzer)`` pair without corners; the
+        realized corner analyzers (in corner-set order) otherwise.
+        """
+        if not self._corner_analyzers:
+            return [(None, self.analyzer)]
+        return list(self._corner_analyzers.items())
+
+    def _corner_key(self, corner: str | None) -> str | None:
+        """Validate a ``corner=`` argument against the configuration."""
+        if not self._corner_analyzers:
+            if corner is not None:
+                raise AnalysisError(
+                    f"no corners configured on this engine; drop "
+                    f"corner={corner!r} or construct with "
+                    f"CpprOptions(corners=...)")
+            return None
+        if corner is None:
+            raise AnalysisError(
+                "this engine analyzes corners "
+                f"({', '.join(self._corner_analyzers)}); pass "
+                "corner=<name>, or use top_paths_by_corner() / "
+                "merged_worst()")
+        if corner not in self._corner_analyzers:
+            raise AnalysisError(
+                f"unknown corner {corner!r}; valid corners: "
+                f"{', '.join(self._corner_analyzers)}")
+        return corner
+
+    @staticmethod
+    def _corner_label(corner: str | None) -> str:
+        """The metric/cache label of a corner key (``"-"`` = none)."""
+        return "-" if corner is None else corner
 
     # ------------------------------------------------------------------
     # Candidate generation (Algorithm 1 lines 1-5)
@@ -350,19 +436,37 @@ class CpprEngine:
             tasks.append(("output",))
         return tasks
 
-    def candidate_paths(self, k: int,
-                        mode: AnalysisMode | str) -> list[TimingPath]:
+    def candidate_paths(self, k: int, mode: AnalysisMode | str,
+                        corner: str | None = None) -> list[TimingPath]:
         """All family candidates (up to ``k (D + 2)`` paths), unselected.
 
-        Exposed for tests and ablations; most callers want
-        :meth:`top_paths`.
+        With corners configured, ``corner`` names which corner's
+        candidates to return (the underlying generation is always the
+        fused all-corner run).  Exposed for tests and ablations; most
+        callers want :meth:`top_paths`.
         """
         if k < 1:
             raise AnalysisError(f"k must be at least 1, got {k}")
         mode = AnalysisMode.coerce(mode)
+        key = self._corner_key(corner)
+        return self._generate_candidates(k, mode)[key]
+
+    def _generate_candidates(
+            self, k: int, mode: AnalysisMode
+    ) -> dict[str | None, list[TimingPath]]:
+        """One fused candidate-generation pass over every corner item.
+
+        All ``C`` corners (or the single base design) share one
+        structure/values/propagation prologue, one stacked ``(C * 2D,
+        n)`` sweep, and ONE task fan-out of ``C * (D + 2)`` family
+        passes — the amortization this engine's corner axis exists
+        for.  Returns per-corner candidate lists keyed like
+        :meth:`_corner_items`.
+        """
         strict = self.options.strict
         degraded: list[dict] = []
         col = _obs.ACTIVE
+        items = self._corner_items()
         with _obs.span("candidates"):
             # The stage[...] spans mirror the staged pipeline's
             # vocabulary (repro.pipeline.STAGES) so a one-shot engine
@@ -372,31 +476,41 @@ class CpprEngine:
                 # force it here so forked workers inherit it instead of
                 # recomputing it each.  Same reasoning for the
                 # clock-tree lifting mirror on the array backend.
-                self.analyzer.graph.topo_order
-                if self.backend == "array":
-                    from repro.core.grouping import tree_lift
-                    tree_lift(self.analyzer.clock_tree)
+                # Corner graphs share the base topo_order; their trees
+                # lift independently (per-corner clock deltas).
+                for _name, analyzer in items:
+                    analyzer.graph.topo_order
+                    if self.backend == "array":
+                        from repro.core.grouping import tree_lift
+                        tree_lift(analyzer.clock_tree)
             with _obs.span("stage", "values"):
                 if self.backend == "array":
-                    # Build the CSR core (adjacency plus the bound
-                    # delay-value columns) once in this process so
-                    # every worker (thread or forked process) reuses
-                    # it.  On the scalar backend values live on the
-                    # graph already and this stage is empty.
+                    # Build the CSR cores (shared structure plus each
+                    # corner's bound delay-value columns) once in this
+                    # process so every worker (thread or forked
+                    # process) reuses them.  On the scalar backend
+                    # values live on the graphs already and this stage
+                    # is empty.
                     from repro.core.arrays import get_core
-                    get_core(self.analyzer.graph)
-            # One (D x n) sweep replaces the D per-level propagations;
-            # it runs in this process before the pool starts, so thread
-            # and forked workers inherit the shared matrices for free
-            # and parallelize the per-level deviation searches.
-            batch = None
+                    for _name, analyzer in items:
+                        get_core(analyzer.graph)
+            # One stacked sweep replaces the C * D per-level
+            # propagations; it runs in this process before the pool
+            # starts, so thread and forked workers inherit the shared
+            # matrices for free and parallelize the per-level
+            # deviation searches.
+            batches: dict[str | None, object] = {name: None
+                                                 for name, _ in items}
             with _obs.span("stage", "propagation"):
                 if self.batched and self.analyzer.clock_tree.num_levels > 0:
                     try:
                         from repro.core.batched import \
-                            propagate_dual_batched
-                        batch = propagate_dual_batched(
-                            self.analyzer.graph, mode)
+                            propagate_dual_batched_corners
+                        built = propagate_dual_batched_corners(
+                            [analyzer.graph for _n, analyzer in items],
+                            mode)
+                        batches = {name: batch for (name, _a), batch
+                                   in zip(items, built)}
                     except ReproError:
                         raise
                     except Exception as exc:
@@ -408,29 +522,41 @@ class CpprEngine:
                                          "task": "build",
                                          "error": repr(exc)})
             # Shared-memory plane: on the array backend (when the
-            # platform supports it) the query's value/batch columns are
-            # published once and the tasks become descriptor tuples —
-            # workers attach the segments instead of unpickling a fork
-            # payload.  The same descriptor path runs under every
-            # executor so spans and counters stay executor-independent.
-            fn, process_pool, shard_ctx = _run_family_resilient, "fork", None
-            args = [(self.analyzer, task, k, mode,
+            # platform supports it) each corner's value/batch columns
+            # are published once and the tasks become descriptor tuples
+            # — workers attach the segments instead of unpickling a
+            # fork payload.  All C designs publish before the single
+            # fan-out so the persistent pool forks exactly once.  The
+            # same descriptor path runs under every executor so spans
+            # and counters stay executor-independent.
+            task_index = [(name, analyzer, task)
+                          for name, analyzer in items
+                          for task in self._tasks()]
+            fn, process_pool = _run_family_resilient, "fork"
+            shard_ctxs: dict[str | None, object] = {}
+            args = [(analyzer, task, k, mode,
                      self.options.heap_capacity, self.backend,
-                     batch if task[0] == "level" else None, strict)
-                    for task in self._tasks()]
+                     batches[name] if task[0] == "level" else None,
+                     strict)
+                    for name, analyzer, task in task_index]
             if self.backend == "array":
                 from repro.core import shm as _shm
                 if _shm.available():
                     from repro.cppr import shard as _shard
                     with _obs.span("stage", "shm_publish"):
                         try:
-                            shard_ctx = _shard.open_query(
-                                self.analyzer, batch, mode,
-                                publish_batch=(
-                                    self.options.executor == "process"))
+                            for name, analyzer in items:
+                                shard_ctxs[name] = _shard.open_query(
+                                    analyzer, batches[name], mode,
+                                    publish_batch=(
+                                        self.options.executor
+                                        == "process"))
                         except ReproError:
                             raise
                         except Exception as exc:
+                            for ctx in shard_ctxs.values():
+                                ctx.close()
+                            shard_ctxs = {}
                             if strict:
                                 raise ExecutionError(
                                     "shared-memory publish failed in "
@@ -438,14 +564,15 @@ class CpprEngine:
                             degraded.append({"event": "degrade.shm",
                                              "task": "publish",
                                              "error": repr(exc)})
-                    if shard_ctx is not None:
+                    if shard_ctxs:
                         fn, process_pool = (_shard.run_family_descriptor,
                                             "shared")
-                        args = [(shard_ctx.descriptor(
+                        args = [(shard_ctxs[name].descriptor(
                                     task, k, mode,
                                     self.options.heap_capacity,
-                                    self.backend, strict),)
-                                for task in self._tasks()]
+                                    self.backend, strict,
+                                    corner=self._corner_label(name)),)
+                                for name, _analyzer, task in task_index]
             with _obs.span("stage", "families"):
                 try:
                     packed = run_tasks(
@@ -467,11 +594,13 @@ class CpprEngine:
                         + (" in strict mode" if strict else
                            " after exhausting every fallback")) from exc
                 finally:
-                    if shard_ctx is not None:
-                        shard_ctx.close()
-        results = []
-        for family, task_events in packed:
-            results.append(family)
+                    for ctx in shard_ctxs.values():
+                        ctx.close()
+        results: dict[str | None, list[TimingPath]] = {
+            name: [] for name, _ in items}
+        for (name, _analyzer, _task), (family, task_events) in zip(
+                task_index, packed):
+            results[name].extend(family)
             degraded.extend(task_events)
         if col is not None:
             # Scheduler events were counted by run_tasks as they
@@ -495,65 +624,132 @@ class CpprEngine:
                             for name, count in sorted(summary.items()))
                 + "); the report is still exact",
                 DegradedResultWarning, stacklevel=3)
-        return [path for family in results for path in family]
+        return results
 
     # ------------------------------------------------------------------
     # The headline query (Algorithm 1 line 6)
     # ------------------------------------------------------------------
-    def top_paths(self, k: int, mode: AnalysisMode | str) -> list[TimingPath]:
+    def top_paths(self, k: int, mode: AnalysisMode | str,
+                  corner: str | None = None) -> list[TimingPath]:
         """The global top-``k`` post-CPPR critical paths, worst first.
 
         Each returned path's ``slack`` is the exact post-CPPR slack of
         Equation (2) and its ``credit`` the removed pessimism.
 
+        With corners configured ``corner`` is required (one fused run
+        computes *every* corner, so asking for the others afterwards is
+        a cache hit); without corners it must stay ``None``.
+
         Results are memoized in a small keyed LRU (the pipeline's
-        ``select`` artifact): repeating a ``(mode, k)`` query — or
-        asking for a smaller ``k`` in the same mode, the ``worst_path``
-        / ``top_slacks`` / ``report`` after ``top_paths`` pattern —
-        serves a prefix of a cached list instead of redoing the
-        analysis (candidate generation and selection are deterministic,
-        so the top-``k`` is a prefix of the top-``k'`` for ``k <=
-        k'``).  Traffic is counted under ``select.cache.*``.  The cache
-        is skipped whenever a collector is active, so profiled runs
-        always measure real work.
+        ``select`` artifact): repeating a ``(corner, mode, k)`` query —
+        or asking for a smaller ``k`` in the same corner and mode, the
+        ``worst_path`` / ``top_slacks`` / ``report`` after
+        ``top_paths`` pattern — serves a prefix of a cached list
+        instead of redoing the analysis (candidate generation and
+        selection are deterministic, so the top-``k`` is a prefix of
+        the top-``k'`` for ``k <= k'``).  Traffic is counted under
+        ``select.cache.*``.  The cache is skipped whenever a collector
+        is active, so profiled runs always measure real work.
         """
+        if k < 1:
+            raise AnalysisError(f"k must be at least 1, got {k}")
+        mode = AnalysisMode.coerce(mode)
+        key = self._corner_key(corner)
+        label = self._corner_label(key)
+        col = _obs.ACTIVE
+        if col is None:
+            served = self._serve_cached(mode, k, label)
+            if served is not None:
+                return served
+        _QUERIES.labels(corner=label, mode=mode.value).inc()
+        return self._run_query(k, mode)[key]
+
+    def top_paths_by_corner(
+            self, k: int, mode: AnalysisMode | str
+    ) -> dict[str, list[TimingPath]]:
+        """Every corner's top-``k``, from ONE fused analysis run.
+
+        Requires corners to be configured.  The returned dict preserves
+        corner-set order; each list is bit-for-bit what a single-corner
+        engine on that corner's realized design would return.
+        """
+        if not self._corner_analyzers:
+            raise AnalysisError(
+                "no corners configured; construct the engine with "
+                "CpprOptions(corners=...) to use top_paths_by_corner")
         if k < 1:
             raise AnalysisError(f"k must be at least 1, got {k}")
         mode = AnalysisMode.coerce(mode)
         col = _obs.ACTIVE
         if col is None:
-            served = self._serve_cached(mode, k)
-            if served is not None:
+            served = {name: self._serve_cached(mode, k, name)
+                      for name in self._corner_analyzers}
+            if all(paths is not None for paths in served.values()):
                 return served
-        _QUERIES.labels(mode=mode.value).inc()
+        for name in self._corner_analyzers:
+            _QUERIES.labels(corner=name, mode=mode.value).inc()
+        return {name: paths for name, paths
+                in self._run_query(k, mode).items()}
+
+    def merged_worst(self, k: int, mode: AnalysisMode | str
+                     ) -> list[tuple[str, TimingPath]]:
+        """The ``k`` most critical paths across *all* corners.
+
+        Merged-worst semantics (see ``docs/MCMM.md``): the union of
+        the per-corner top-``k`` lists, ordered worst-first by
+        ``(slack, pins, corner name)`` — the first two components are
+        the select stage's own path order, the corner name breaks
+        cross-corner ties deterministically.  Each entry is ``(corner
+        name, path)``; the same physical path may appear once per
+        corner that finds it critical, which is the sign-off-relevant
+        reading (it must be fixed at every corner it fails in).
+        """
+        by_corner = self.top_paths_by_corner(k, mode)
+        merged = [(name, path) for name, paths in by_corner.items()
+                  for path in paths]
+        merged.sort(key=lambda entry: (entry[1].key(), entry[0]))
+        return merged[:k]
+
+    def _run_query(self, k: int,
+                   mode: AnalysisMode) -> dict[str | None,
+                                               list[TimingPath]]:
+        """Fused candidates + per-corner select; memoizes every corner."""
+        col = _obs.ACTIVE
         started = time.perf_counter()
+        items = dict(self._corner_items())
         with _obs.span("top_paths"):
-            candidates = self.candidate_paths(k, mode)
+            candidates = self._generate_candidates(k, mode)
             with _obs.span("stage", "select"):
-                selected = select_top_paths(self.analyzer, candidates, k)
+                selected = {
+                    key: select_top_paths(items[key], paths, k)
+                    for key, paths in candidates.items()}
         if col is not None:
             _QUERY_SECONDS.labels(mode=mode.value).set(
                 time.perf_counter() - started)
             self.last_trace_id = col.trace_id
             self.last_profile = col.profile().with_degraded(
                 self.last_degraded).with_meta(self.profile_meta())
-        self._topk_cache.store((mode, k), tuple(selected))
+        for key, paths in selected.items():
+            self._topk_cache.store(
+                (self._corner_label(key), mode, k), tuple(paths))
         return selected
 
-    def _serve_cached(self, mode: AnalysisMode,
-                      k: int) -> list[TimingPath] | None:
-        """A cached ``(mode, k' >= k)`` prefix, or ``None`` (a miss)."""
+    def _serve_cached(self, mode: AnalysisMode, k: int,
+                      corner: str) -> list[TimingPath] | None:
+        """A cached ``(corner, mode, k' >= k)`` prefix, or ``None``."""
         best = None
-        for entry_mode, entry_k in self._topk_cache.keys():
-            if entry_mode == mode and entry_k >= k:
+        for entry_corner, entry_mode, entry_k in self._topk_cache.keys():
+            if (entry_corner == corner and entry_mode == mode
+                    and entry_k >= k):
                 if best is None or entry_k < best:
                     best = entry_k
         if best is None:
-            self._topk_cache.get((mode, k))  # records the miss
+            self._topk_cache.get((corner, mode, k))  # records the miss
             return None
-        return list(self._topk_cache.get((mode, best))[:k])
+        return list(self._topk_cache.get((corner, mode, best))[:k])
 
-    def profiled_top_paths(self, k: int, mode: AnalysisMode | str
+    def profiled_top_paths(self, k: int, mode: AnalysisMode | str,
+                           corner: str | None = None
                            ) -> tuple[list[TimingPath], Profile]:
         """Run :meth:`top_paths` under a fresh collector.
 
@@ -563,30 +759,54 @@ class CpprEngine:
         include this run).
         """
         with collecting() as col:
-            paths = self.top_paths(k, mode)
+            paths = self.top_paths(k, mode, corner=corner)
         return paths, (col.profile().with_degraded(self.last_degraded)
                        .with_meta(self.profile_meta()))
 
-    def top_slacks(self, k: int, mode: AnalysisMode | str) -> list[float]:
+    def top_slacks(self, k: int, mode: AnalysisMode | str,
+                   corner: str | None = None) -> list[float]:
         """Just the slack values of :meth:`top_paths` (ascending)."""
-        return [path.slack for path in self.top_paths(k, mode)]
+        return [path.slack
+                for path in self.top_paths(k, mode, corner=corner)]
 
-    def worst_path(self, mode: AnalysisMode | str) -> TimingPath | None:
+    def worst_path(self, mode: AnalysisMode | str,
+                   corner: str | None = None) -> TimingPath | None:
         """The single most critical post-CPPR path, or ``None``."""
-        paths = self.top_paths(1, mode)
+        paths = self.top_paths(1, mode, corner=corner)
         return paths[0] if paths else None
 
     def report(self, k: int, mode: AnalysisMode | str,
-               title: str | None = None) -> str:
+               title: str | None = None,
+               corner: str | None = None) -> str:
         """The human-readable report of :meth:`top_paths`.
 
         Reuses the memoized result when :meth:`top_paths` already ran
-        for this ``(k, mode)`` (or a larger ``k``, same mode).
+        for this ``(corner, mode, k)`` (or a larger ``k``, same corner
+        and mode).
         """
         from repro.cppr.report import format_path_report
 
         mode = AnalysisMode.coerce(mode)
-        paths = self.top_paths(k, mode)
+        key = self._corner_key(corner)
+        paths = self.top_paths(k, mode, corner=corner)
         if title is None:
             title = f"Top-{k} post-CPPR {mode.value} paths"
-        return format_path_report(self.analyzer, paths, title=title)
+            if key is not None:
+                title += f" [corner {key}]"
+        analyzer = (self.analyzer if key is None
+                    else self._corner_analyzers[key])
+        return format_path_report(analyzer, paths, title=title)
+
+    def merged_worst_report(self, k: int,
+                            mode: AnalysisMode | str,
+                            title: str | None = None) -> str:
+        """The human-readable report of :meth:`merged_worst`."""
+        from repro.cppr.report import format_merged_report
+
+        mode = AnalysisMode.coerce(mode)
+        entries = self.merged_worst(k, mode)
+        if title is None:
+            title = (f"Top-{k} post-CPPR {mode.value} paths "
+                     f"(merged worst across corners)")
+        return format_merged_report(self._corner_analyzers, entries,
+                                    title=title)

@@ -13,7 +13,7 @@ from typing import Iterable
 from repro.cppr.types import PathFamily, TimingPath
 from repro.sta.timing import TimingAnalyzer
 
-__all__ = ["format_path", "format_path_report"]
+__all__ = ["format_merged_report", "format_path", "format_path_report"]
 
 
 def _launch_description(analyzer: TimingAnalyzer, path: TimingPath) -> str:
@@ -63,5 +63,30 @@ def format_path_report(analyzer: TimingAnalyzer,
              f"design: {analyzer.graph.name}   paths: {len(paths)}", ""]
     for rank, path in enumerate(paths, start=1):
         lines.append(format_path(analyzer, path, rank))
+        lines.append("")
+    return "\n".join(lines)
+
+
+def format_merged_report(analyzers: dict[str, TimingAnalyzer],
+                         entries: Iterable[tuple[str, TimingPath]],
+                         title: str = "Post-CPPR critical paths "
+                                      "(merged worst)") -> str:
+    """A merged-worst multi-corner report.
+
+    ``entries`` are ``(corner name, path)`` pairs in merged-worst
+    order (see :meth:`~repro.cppr.engine.CpprEngine.merged_worst`);
+    ``analyzers`` maps each corner name to its realized analyzer so
+    pin names resolve against the right graph.  Each path block is
+    prefixed with the corner it was found in.
+    """
+    entries = list(entries)
+    names = ", ".join(analyzers)
+    some = next(iter(analyzers.values()))
+    lines = [title, "=" * len(title),
+             f"design: {some.graph.name}   corners: {names}   "
+             f"paths: {len(entries)}", ""]
+    for rank, (corner, path) in enumerate(entries, start=1):
+        lines.append(f"[corner {corner}]")
+        lines.append(format_path(analyzers[corner], path, rank))
         lines.append("")
     return "\n".join(lines)

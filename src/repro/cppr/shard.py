@@ -90,9 +90,15 @@ _DESIGN_LOCK = threading.Lock()
 _QUERY_BATCHES: dict[str, Any] = {}
 
 #: Worker-side: batch key -> (BatchedLevels, segment name) rebuilt from
-#: an attached segment.  At most one entry: queries are sequential, so a
-#: new key evicts (and releases) the previous attachment.
+#: an attached segment.  Bounded: a multi-corner query publishes one
+#: batch key per corner and workers interleave corners, so the cache
+#: keeps the most recent :data:`_WORKER_BATCH_CAP` attachments and
+#: releases older ones (previous queries' keys age out naturally).
 _WORKER_BATCHES: dict[str, tuple[Any, str]] = {}
+
+#: Enough for every corner of a reasonably sized CornerSet to stay
+#: attached for the whole query.
+_WORKER_BATCH_CAP = 16
 
 _BATCH_SEQ = 0
 
@@ -141,6 +147,11 @@ class FamilyDescriptor:
     heap_capacity: int | None
     backend: str
     strict: bool
+    #: Corner label for observability; ``"-"`` when the engine has no
+    #: corners configured.  Multi-corner queries publish one values
+    #: segment and one batch key per corner, so the label also tells a
+    #: human which plane a descriptor belongs to.
+    corner: str = "-"
 
 
 class ShardContext:
@@ -159,7 +170,8 @@ class ShardContext:
         self.batch_layout = batch_layout
 
     def descriptor(self, task: tuple, k: int, mode, heap_capacity,
-                   backend: str, strict: bool) -> FamilyDescriptor:
+                   backend: str, strict: bool,
+                   corner: str = "-") -> FamilyDescriptor:
         use_batch = self.batch_key is not None and task[0] == "level"
         return FamilyDescriptor(
             design=self.token,
@@ -168,7 +180,7 @@ class ShardContext:
             batch_key=self.batch_key if use_batch else None,
             batch_layout=self.batch_layout if use_batch else None,
             task=task, k=k, mode=mode, heap_capacity=heap_capacity,
-            backend=backend, strict=strict)
+            backend=backend, strict=strict, corner=corner)
 
     def close(self) -> None:
         """Retire the query's ephemeral batch segment (idempotent)."""
@@ -278,7 +290,9 @@ def _resolve_batch(analyzer, core, desc: FamilyDescriptor):
     segment — the six state matrices and the cost matrix map in place;
     groupings, seed counts and the fanin columns are rederived from the
     (fork-inherited) clock tree and the resolved core.  Cached per
-    batch key; a new key evicts and releases the previous attachment.
+    batch key in a small bounded map (multi-corner queries keep one
+    attachment per corner alive at once); the oldest attachment is
+    released when the cap is hit.
     """
     from repro.core.batched import BatchedLevels, _build_groupings
     from repro.core.grouping import group_matrix
@@ -310,8 +324,8 @@ def _resolve_batch(analyzer, core, desc: FamilyDescriptor):
         views["time1"], views["from1"], views["group1"],
         views["cost0"], core.fanin_ptr_list, core.fanin_src_list,
         delay_list)
-    for old_key in [key for key in _WORKER_BATCHES
-                    if key != desc.batch_key]:
+    while len(_WORKER_BATCHES) >= _WORKER_BATCH_CAP:
+        old_key = next(iter(_WORKER_BATCHES))
         _old_batch, old_segment = _WORKER_BATCHES.pop(old_key)
         shm.REGISTRY.release(old_segment)
     _WORKER_BATCHES[desc.batch_key] = (batch, layout.segment)

@@ -6,7 +6,7 @@ than bolt a second aggregation pipeline next to it, labeled metrics are
 *encoded into counter names*::
 
     cache.lookup{cache=pipeline.family,outcome=hit}
-    replay.dirty_pins{bucket=le64}
+    replay.dirty_pins{bucket=le64,corner=-}
 
 Label keys are sorted inside the braces, so an encoded name is a
 canonical key: the same metric sample encodes identically on every

@@ -31,6 +31,15 @@ Every result is bit-for-bit identical to a fresh
 equivalence the test-suite pins across the full backend x executor
 matrix.  Construct sessions through
 :meth:`repro.cppr.engine.CpprEngine.session`.
+
+:class:`MultiCornerSession` lifts the same machinery over a
+:class:`~repro.corners.CornerSet`: one per-corner :class:`CpprSession`
+family over graphs that share a single
+:class:`~repro.core.arrays.CoreStructure`, where one ``update(...)``
+applies the edit to every corner and pays the dirty-cone computation
+**once** (the cone is pure topology, identical across corners) while
+sigma revalidation stays per corner (old delay values differ, so the
+bounds do too).  See ``docs/MCMM.md``.
 """
 
 from __future__ import annotations
@@ -55,15 +64,21 @@ from repro.sta.incremental import (DelayUpdate, apply_clock_updates,
 from repro.sta.modes import AnalysisMode
 from repro.sta.timing import TimingAnalyzer
 
-__all__ = ["CpprSession"]
+__all__ = ["CpprSession", "MultiCornerSession"]
 
 _INF = float("inf")
 
-#: Distribution of dirty-cone sizes across replayed updates.  Buckets
-#: are fixed (powers of four around the full-rebuild threshold) so the
-#: samples merge by addition like every other counter.
+#: Sentinel distinguishing "compute the dirty cone here" from an
+#: injected cone (which may legitimately be ``None`` = full rebuild).
+_UNSET = object()
+
+#: Distribution of dirty-cone sizes across replayed updates, labeled
+#: by corner (``-`` outside multi-corner sessions).  Buckets are fixed
+#: (powers of four around the full-rebuild threshold) so the samples
+#: merge by addition like every other counter.
 _DIRTY_PINS = _metrics.REGISTRY.histogram(
-    "replay.dirty_pins", buckets=(16, 64, 256, 1024, 4096, 16384),
+    "replay.dirty_pins", labels=("corner",),
+    buckets=(16, 64, 256, 1024, 4096, 16384),
     help="Dirty-cone size (pins) per replayed incremental update")
 
 #: Dirty-cone fraction above which replay loses to a full re-sweep.
@@ -85,8 +100,12 @@ class CpprSession:
     """
 
     def __init__(self, analyzer: TimingAnalyzer,
-                 options: CpprOptions | None = None) -> None:
+                 options: CpprOptions | None = None,
+                 corner: str = "-") -> None:
         self.options = options or CpprOptions()
+        #: Corner label stamped on replay metrics (``-`` when this
+        #: session is not part of a :class:`MultiCornerSession`).
+        self.corner = corner
         (self.backend, self.batched,
          self.resolved_workers) = _validate_options(self.options)
         self.graph = analyzer.graph.session_copy()
@@ -201,63 +220,89 @@ class CpprSession:
                     "families_dropped": 0, "full_rebuild": False}
 
         with _obs.span("pipeline.update"):
-            roots: set[int] = set()
-            dirty_ffs: list[int] = []
+            roots, run_vals, dirty_ffs = self._apply_edits(delays, clock)
+            return self._finish_update(roots, run_vals, dirty_ffs,
+                                       len(delays))
 
-            if clock:
-                old_tree = self.graph.clock_tree
-                new_tree = apply_clock_updates(self.graph,
-                                               clock).clock_tree
-                dirty_ffs = clock_dirty_ffs(old_tree, new_tree)
-                self.graph.clock_tree = new_tree
-                self.tree_epoch += 1
-                for state in self._states.values():
-                    reseed(state, self.graph, self.backend)
-                for index in dirty_ffs:
-                    roots.add(self.graph.ffs[index].q_pin)
+    def _apply_edits(self, delays: list[DelayUpdate],
+                     clock: dict | None
+                     ) -> tuple[set[int], dict, list[int]]:
+        """The values stage: mutate the session's design in place.
 
-            # Delay edits apply one at a time so each resolves against
-            # the rows as the previous edit left them (repeat edits of
-            # one edge, parallel-edge runs).  run_vals accumulates every
-            # (early, late) value each touched run held at any point —
-            # the pessimization domain of the sigma bounds.
-            run_vals: dict[tuple[int, int], set] = {}
-            for update in delays:
-                resolved = resolve_delay_updates(self.graph, [update])
-                u, v, _old_e, _old_l, new_e, new_l = resolved[0]
-                key = (u, v)
-                if key not in run_vals:
-                    run_vals[key] = {(e, l) for t, e, l
-                                     in self.graph.fanout[u] if t == v}
-                run_vals[key].add((new_e, new_l))
-                self._patch_rows(resolved[0])
-                if self._core is not None:
-                    self._core.apply_value_updates(resolved)
-                roots.add(v)
-            if delays:
-                self.values_version += 1
-            _obs.add("pipeline.update.edits", len(delays) + len(dirty_ffs))
+        Returns ``(roots, run_vals, dirty_ffs)`` for
+        :meth:`_finish_update`.  Split out so
+        :class:`MultiCornerSession` can apply one edit to every corner
+        *before* computing the (shared, topology-only) dirty cone.
+        """
+        roots: set[int] = set()
+        dirty_ffs: list[int] = []
 
-            changed, old_times, full_rebuild, dirty = self._refresh_states(
-                roots, run_vals)
-            kept, dropped = self._revalidate_families(
-                dirty_ffs, run_vals, changed, old_times)
-            self._select.purge(keys=[key for key, basis, _
-                                     in self._select.entries()
-                                     if basis != self._basis])
-            self._invalidate_analyzer()
+        if clock:
+            old_tree = self.graph.clock_tree
+            new_tree = apply_clock_updates(self.graph,
+                                           clock).clock_tree
+            dirty_ffs = clock_dirty_ffs(old_tree, new_tree)
+            self.graph.clock_tree = new_tree
+            self.tree_epoch += 1
+            for state in self._states.values():
+                reseed(state, self.graph, self.backend)
+            for index in dirty_ffs:
+                roots.add(self.graph.ffs[index].q_pin)
 
-            num_pins = max(1, self.graph.num_pins)
-            self.last_dirty_fraction = (1.0 if full_rebuild
-                                        else dirty / num_pins)
-            summary = {"dirty_pins": dirty,
-                       "dirty_fraction": self.last_dirty_fraction,
-                       "families_kept": kept, "families_dropped": dropped,
-                       "full_rebuild": full_rebuild}
-            col = _obs.ACTIVE
-            if col is not None:
-                summary["trace_id"] = col.trace_id
-            return summary
+        # Delay edits apply one at a time so each resolves against
+        # the rows as the previous edit left them (repeat edits of
+        # one edge, parallel-edge runs).  run_vals accumulates every
+        # (early, late) value each touched run held at any point —
+        # the pessimization domain of the sigma bounds.
+        run_vals: dict[tuple[int, int], set] = {}
+        for update in delays:
+            resolved = resolve_delay_updates(self.graph, [update])
+            u, v, _old_e, _old_l, new_e, new_l = resolved[0]
+            key = (u, v)
+            if key not in run_vals:
+                run_vals[key] = {(e, l) for t, e, l
+                                 in self.graph.fanout[u] if t == v}
+            run_vals[key].add((new_e, new_l))
+            self._patch_rows(resolved[0])
+            if self._core is not None:
+                self._core.apply_value_updates(resolved)
+            roots.add(v)
+        if delays:
+            self.values_version += 1
+        return roots, run_vals, dirty_ffs
+
+    def _finish_update(self, roots: set[int], run_vals: dict,
+                       dirty_ffs: list[int], num_delays: int,
+                       cone=_UNSET) -> dict:
+        """Replay, revalidate, and summarize one applied edit.
+
+        ``cone`` injects a precomputed dirty cone (``None`` = full
+        rebuild); :class:`MultiCornerSession` passes the union cone it
+        computed once for all corners — a superset cone is exact,
+        since replaying a clean pin recomputes its unchanged value.
+        """
+        _obs.add("pipeline.update.edits", num_delays + len(dirty_ffs))
+
+        changed, old_times, full_rebuild, dirty = self._refresh_states(
+            roots, run_vals, cone)
+        kept, dropped = self._revalidate_families(
+            dirty_ffs, run_vals, changed, old_times)
+        self._select.purge(keys=[key for key, basis, _
+                                 in self._select.entries()
+                                 if basis != self._basis])
+        self._invalidate_analyzer()
+
+        num_pins = max(1, self.graph.num_pins)
+        self.last_dirty_fraction = (1.0 if full_rebuild
+                                    else dirty / num_pins)
+        summary = {"dirty_pins": dirty,
+                   "dirty_fraction": self.last_dirty_fraction,
+                   "families_kept": kept, "families_dropped": dropped,
+                   "full_rebuild": full_rebuild}
+        col = _obs.ACTIVE
+        if col is not None:
+            summary["trace_id"] = col.trace_id
+        return summary
 
     def _patch_rows(self, resolved: tuple) -> None:
         """Rewrite one edge's entry in the session's private rows.
@@ -279,22 +324,26 @@ class CpprSession:
                 row[index] = (u, new_e, new_l)
                 break
 
-    def _refresh_states(self, roots: set[int],
-                        run_vals: dict) -> tuple[dict, dict, bool, int]:
+    def _refresh_states(self, roots: set[int], run_vals: dict,
+                        cone=_UNSET) -> tuple[dict, dict, bool, int]:
         """Replay (or rebuild) every built mode state over the edit.
 
-        Returns per-mode changed-pin rows, per-mode old primary times,
-        whether the full-rebuild fallback ran, and the dirty pin count.
+        ``cone`` is normally computed here; a multi-corner update
+        injects its shared union cone instead (``None`` = full
+        rebuild).  Returns per-mode changed-pin rows, per-mode old
+        primary times, whether the full-rebuild fallback ran, and the
+        dirty pin count.
         """
         changed: dict[AnalysisMode, list[set[int]]] = {}
         old_times: dict[AnalysisMode, list[dict[int, float]]] = {}
         if not self._states:
             return changed, old_times, False, len(roots)
 
-        positions = self._topo_positions()
-        cap = max(64, int(FULL_SWEEP_FRACTION * self.graph.num_pins))
-        with _obs.span("pipeline.dirty_cone"):
-            cone = fanout_cone(self.graph, roots, positions, cap)
+        if cone is _UNSET:
+            positions = self._topo_positions()
+            cap = max(64, int(FULL_SWEEP_FRACTION * self.graph.num_pins))
+            with _obs.span("pipeline.dirty_cone"):
+                cone = fanout_cone(self.graph, roots, positions, cap)
 
         if cone is None:
             _obs.add("pipeline.fallback.full")
@@ -310,7 +359,7 @@ class CpprSession:
             return changed, old_times, True, self.graph.num_pins
 
         _obs.add("pipeline.dirty_pins", len(cone))
-        _DIRTY_PINS.observe(len(cone))
+        _DIRTY_PINS.labels(corner=self.corner).observe(len(cone))
         edited_positions: list[int] = []
         if self._core is not None:
             for u, v in run_vals:
@@ -557,3 +606,197 @@ class CpprSession:
             "families": self._families.stats(),
             "select": self._select.stats(),
         }
+
+
+class MultiCornerSession:
+    """One incremental what-if session across every configured corner.
+
+    A family of per-corner :class:`CpprSession` forks over corner
+    graphs that share one :class:`~repro.core.arrays.CoreStructure`.
+    ``update(...)`` applies the same edit to every corner, then pays
+    the dirty-cone traversal **once**: the cone is pure fanout
+    topology, identical across corners, so the union cone (over every
+    corner's roots) is computed on one graph and injected into each
+    corner's replay.  Replaying a superset cone is exact — a clean pin
+    recomputes its unchanged value — while sigma revalidation stays
+    per corner, because the *old* delay values (the pessimization
+    domain of the bounds) differ between corners.
+
+    Queries take a ``corner=`` name, mirroring the multi-corner
+    :class:`~repro.cppr.engine.CpprEngine` query surface
+    (``top_paths_by_corner`` / ``merged_worst`` included); every
+    per-corner answer is bit-for-bit what a single-corner session over
+    that corner's realized analyzer would produce.  Construct through
+    :meth:`CpprEngine.session` with ``CpprOptions(corners=...)``.  See
+    ``docs/MCMM.md``.
+    """
+
+    def __init__(self, analyzer: TimingAnalyzer,
+                 options: CpprOptions) -> None:
+        if options is None or options.corners is None:
+            raise AnalysisError(
+                "MultiCornerSession needs CpprOptions(corners=...); "
+                "use CpprSession for single-corner analysis")
+        self.options = options
+        backend, _batched, _workers = _validate_options(options)
+        realized = options.corners.realize(analyzer, backend)
+        self.sessions: dict[str, CpprSession] = {
+            name: CpprSession(corner_analyzer, options, corner=name)
+            for name, corner_analyzer in realized.items()}
+        #: Dirty fraction of the most recent :meth:`update` (shared
+        #: across corners — the cone is).
+        self.last_dirty_fraction = 0.0
+
+    @property
+    def corners(self) -> tuple[str, ...]:
+        return tuple(self.sessions)
+
+    def _session(self, corner: str | None) -> CpprSession:
+        if corner is None:
+            raise AnalysisError(
+                f"this session analyzes corners "
+                f"({', '.join(self.sessions)}); pass corner=<name>, or "
+                f"use top_paths_by_corner() / merged_worst()")
+        try:
+            return self.sessions[corner]
+        except KeyError:
+            raise AnalysisError(
+                f"unknown corner {corner!r}; valid corners: "
+                f"{', '.join(self.sessions)}") from None
+
+    # ------------------------------------------------------------------
+    # update(): one edit, every corner, one dirty cone
+    # ------------------------------------------------------------------
+    def update(self, delays: list[DelayUpdate] | tuple = (),
+               clock: dict[str, tuple[float, float]] | None = None) -> dict:
+        """Apply one delay/clock edit to **every** corner.
+
+        The edit vocabulary is exactly :meth:`CpprSession.update`;
+        delay updates name pins, so one physical edit resolves against
+        each corner's own current values.  Returns the shared summary
+        (``dirty_pins`` / ``dirty_fraction`` / ``full_rebuild`` of the
+        union cone, ``families_kept`` / ``families_dropped`` summed)
+        plus a ``corners`` dict of the per-corner summaries.
+        """
+        delays = list(delays)
+        if not delays and not clock:
+            per_corner = {name: session.update()
+                          for name, session in self.sessions.items()}
+            return {"dirty_pins": 0, "dirty_fraction": 0.0,
+                    "families_kept": sum(s["families_kept"]
+                                         for s in per_corner.values()),
+                    "families_dropped": 0, "full_rebuild": False,
+                    "corners": per_corner}
+
+        with _obs.span("pipeline.update"):
+            edits = {name: session._apply_edits(delays, clock)
+                     for name, session in self.sessions.items()}
+            union_roots: set[int] = set()
+            for roots, _run_vals, _dirty_ffs in edits.values():
+                union_roots |= roots
+
+            # One traversal: corner graphs share fanout topology, so
+            # the cone over the union of every corner's roots is a
+            # valid (superset) cone for each of them.
+            first = next(iter(self.sessions.values()))
+            positions = first._topo_positions()
+            cap = max(64,
+                      int(FULL_SWEEP_FRACTION * first.graph.num_pins))
+            with _obs.span("pipeline.dirty_cone"):
+                cone = fanout_cone(first.graph, union_roots, positions,
+                                   cap)
+
+            per_corner = {}
+            for name, session in self.sessions.items():
+                roots, run_vals, dirty_ffs = edits[name]
+                per_corner[name] = session._finish_update(
+                    roots, run_vals, dirty_ffs, len(delays), cone=cone)
+
+            full_rebuild = cone is None
+            dirty = (first.graph.num_pins if full_rebuild else len(cone))
+            self.last_dirty_fraction = (
+                1.0 if full_rebuild
+                else dirty / max(1, first.graph.num_pins))
+            summary = {
+                "dirty_pins": dirty,
+                "dirty_fraction": self.last_dirty_fraction,
+                "families_kept": sum(s["families_kept"]
+                                     for s in per_corner.values()),
+                "families_dropped": sum(s["families_dropped"]
+                                        for s in per_corner.values()),
+                "full_rebuild": full_rebuild,
+                "corners": per_corner,
+            }
+            col = _obs.ACTIVE
+            if col is not None:
+                summary["trace_id"] = col.trace_id
+            return summary
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def top_paths(self, k: int, mode: AnalysisMode | str,
+                  corner: str | None = None) -> list[TimingPath]:
+        """The top-``k`` post-CPPR paths of one corner's edited design."""
+        return self._session(corner).top_paths(k, mode)
+
+    def top_paths_by_corner(self, k: int, mode: AnalysisMode | str
+                            ) -> dict[str, list[TimingPath]]:
+        """Every corner's top-``k`` list, in corner-set order."""
+        return {name: session.top_paths(k, mode)
+                for name, session in self.sessions.items()}
+
+    def merged_worst(self, k: int, mode: AnalysisMode | str
+                     ) -> list[tuple[str, TimingPath]]:
+        """The ``k`` most critical paths across all corners.
+
+        Same merged-worst semantics as
+        :meth:`CpprEngine.merged_worst` (see ``docs/MCMM.md``).
+        """
+        by_corner = self.top_paths_by_corner(k, mode)
+        merged = [(name, path) for name, paths in by_corner.items()
+                  for path in paths]
+        merged.sort(key=lambda entry: (entry[1].key(), entry[0]))
+        return merged[:k]
+
+    def top_slacks(self, k: int, mode: AnalysisMode | str,
+                   corner: str | None = None) -> list[float]:
+        """Just the slack values of :meth:`top_paths` (ascending)."""
+        return [path.slack for path in self.top_paths(k, mode, corner)]
+
+    def worst_path(self, mode: AnalysisMode | str,
+                   corner: str | None = None) -> TimingPath | None:
+        """The single most critical post-CPPR path, or ``None``."""
+        paths = self.top_paths(1, mode, corner)
+        return paths[0] if paths else None
+
+    def report(self, k: int, mode: AnalysisMode | str,
+               title: str | None = None,
+               corner: str | None = None) -> str:
+        """The human-readable report of one corner's :meth:`top_paths`."""
+        session = self._session(corner)
+        mode = AnalysisMode.coerce(mode)
+        if title is None:
+            title = (f"Top-{k} post-CPPR {mode.value} paths "
+                     f"[corner {corner}]")
+        return session.report(k, mode, title=title)
+
+    def merged_worst_report(self, k: int, mode: AnalysisMode | str,
+                            title: str | None = None) -> str:
+        """The human-readable report of :meth:`merged_worst`."""
+        from repro.cppr.report import format_merged_report
+
+        mode = AnalysisMode.coerce(mode)
+        entries = self.merged_worst(k, mode)
+        if title is None:
+            title = (f"Top-{k} post-CPPR {mode.value} paths "
+                     f"(merged worst across corners)")
+        analyzers = {name: session.analyzer
+                     for name, session in self.sessions.items()}
+        return format_merged_report(analyzers, entries, title=title)
+
+    def stats(self) -> dict:
+        """Per-corner cache/validity snapshots plus the shared cone."""
+        return {"last_dirty_fraction": self.last_dirty_fraction,
+                "corners": {name: session.stats()
+                            for name, session in self.sessions.items()}}

@@ -1,0 +1,130 @@
+"""The ``--corner NAME=FILE`` / ``--merged-worst`` CLI surface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.io.tau_format import save_design
+from tests.helpers import demo_design
+
+
+@pytest.fixture()
+def design_file(tmp_path):
+    graph, constraints = demo_design()
+    path = tmp_path / "demo.cppr"
+    save_design(graph, constraints, path)
+    return str(path)
+
+
+@pytest.fixture()
+def corner_file(tmp_path):
+    path = tmp_path / "slow.json"
+    json.dump({"delays": [{"driver": "g1/Y", "sink": "ff2/D",
+                           "early": 0.2, "late": 0.6}]},
+              open(path, "w"))
+    return str(path)
+
+
+@pytest.fixture()
+def eco_file(tmp_path):
+    path = tmp_path / "edit.json"
+    json.dump({"delays": [{"driver": "g2/Y", "sink": "ff4/D",
+                           "early": 0.3, "late": 0.5}]},
+              open(path, "w"))
+    return str(path)
+
+
+class TestReportCorners:
+    def test_per_corner_reports(self, design_file, corner_file, capsys):
+        assert main(["report", design_file, "-k", "2",
+                     "--corner", "typ=-",
+                     "--corner", f"slow={corner_file}"]) == 0
+        out = capsys.readouterr().out
+        assert "[corner typ]" in out
+        assert "[corner slow]" in out
+
+    def test_merged_worst_report(self, design_file, corner_file,
+                                 capsys):
+        assert main(["report", design_file, "-k", "3",
+                     "--corner", "typ=-",
+                     "--corner", f"slow={corner_file}",
+                     "--merged-worst"]) == 0
+        out = capsys.readouterr().out
+        assert "merged worst across corners" in out
+        assert "corners: typ, slow" in out
+
+    def test_eco_flag_composes_with_corners(self, design_file,
+                                            corner_file, eco_file,
+                                            capsys):
+        assert main(["report", design_file, "-k", "2",
+                     "--corner", f"slow={corner_file}",
+                     "--eco", eco_file]) == 0
+        out = capsys.readouterr().out
+        assert "[corner slow]" in out
+        assert "ECO" in out
+
+    def test_bad_spec_is_rejected(self, design_file, capsys):
+        assert main(["report", design_file,
+                     "--corner", "noequals"]) == 1
+        assert "expected NAME=FILE" in capsys.readouterr().err
+
+    def test_bad_corner_name_is_rejected(self, design_file,
+                                         corner_file, capsys):
+        assert main(["report", design_file,
+                     "--corner", f"a b={corner_file}"]) == 1
+        assert "may not contain" in capsys.readouterr().err
+
+    def test_unknown_pin_fails_before_any_query(self, design_file,
+                                                tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        json.dump({"delays": [{"driver": "nope/X", "sink": "g1/A0",
+                               "early": 0.1, "late": 0.2}]},
+                  open(bad, "w"))
+        assert main(["report", design_file,
+                     "--corner", f"wc={bad}"]) == 1
+        err = capsys.readouterr().err
+        assert "corner 'wc'" in err and "unknown pin" in err
+
+    def test_malformed_file_keeps_format_diagnostics(self, design_file,
+                                                     tmp_path, capsys):
+        bad = tmp_path / "mangled.json"
+        bad.write_text('{"delays": [{"driver": "g1/Y"}]}')
+        assert main(["report", design_file,
+                     "--corner", f"wc={bad}"]) == 1
+        err = capsys.readouterr().err
+        assert "delays[0]" in err and "missing" in err
+
+    def test_merged_worst_requires_corners(self, design_file, capsys):
+        assert main(["report", design_file, "--merged-worst"]) == 1
+        assert "--merged-worst needs" in capsys.readouterr().err
+
+    def test_corners_reject_filtered_queries(self, design_file,
+                                             corner_file, capsys):
+        assert main(["report", design_file, "--pre",
+                     "--corner", f"slow={corner_file}"]) == 1
+        assert "--corner" in capsys.readouterr().err
+
+
+class TestEcoCorners:
+    def test_eco_per_corner(self, design_file, corner_file, eco_file,
+                            capsys):
+        assert main(["eco", design_file, eco_file, "-k", "2",
+                     "--corner", "typ=-",
+                     "--corner", f"slow={corner_file}"]) == 0
+        out = capsys.readouterr().out
+        assert "[corner typ]" in out and "[corner slow]" in out
+        assert "worst slack:" in out
+        assert "dirty:" in out
+
+    def test_eco_merged_worst(self, design_file, corner_file, eco_file,
+                              capsys):
+        assert main(["eco", design_file, eco_file, "-k", "3",
+                     "--corner", "typ=-",
+                     "--corner", f"slow={corner_file}",
+                     "--merged-worst"]) == 0
+        out = capsys.readouterr().out
+        assert "merged worst" in out
+        assert "worst slack:" in out

@@ -23,13 +23,13 @@ def _counting_engine(seed: int = 3):
     graph, constraints = random_small(seed, num_ffs=10, num_gates=24)
     engine = CpprEngine(TimingAnalyzer(graph, constraints))
     calls = {"n": 0}
-    original = engine.candidate_paths
+    original = engine._generate_candidates
 
     def counting(k, mode):
         calls["n"] += 1
         return original(k, mode)
 
-    engine.candidate_paths = counting
+    engine._generate_candidates = counting
     return engine, calls
 
 
@@ -91,8 +91,10 @@ def test_capacity_overflow_evicts_oldest():
     assert engine._topk_cache.evictions == 1
     assert len(engine._topk_cache) == capacity
     # k=1 (the oldest entry) was evicted... but every survivor with a
-    # larger k still serves it as a prefix.
-    assert (1, "hold") not in [(k, m) for m, k in engine._topk_cache.keys()]
+    # larger k still serves it as a prefix.  (Cache keys are
+    # ``(corner, mode, k)`` — corner is ``"-"`` without corners.)
+    assert (1, "hold") not in [(k, m) for _c, m, k
+                               in engine._topk_cache.keys()]
     engine.top_paths(1, "hold")
     assert calls["n"] == capacity + 1
 

@@ -194,7 +194,7 @@ class TestEngineIntegration:
 
         engine = CpprEngine(demo_analyzer())
         _, profile = engine.profiled_top_paths(3, "setup")
-        assert profile.counters["engine.queries{mode=setup}"] == 1
+        assert profile.counters["engine.queries{corner=-,mode=setup}"] == 1
         snapshot = REGISTRY.snapshot(profile)
         assert "engine.queries" in snapshot["metrics"]
         # The per-query wall-time gauge lives in the registry, not in
