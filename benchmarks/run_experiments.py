@@ -1074,13 +1074,162 @@ def run_obs(args) -> None:
 
 
 # ----------------------------------------------------------------------
+def run_server(args) -> None:
+    """The server load benchmark: N clients x M ECO rounds over real
+    HTTP, one injected ``server.session_crash`` per round.
+
+    Gates (machine-independent): ``corrupted_pct`` — served 200s that
+    differ bit-for-bit from a solo session replaying the same edit
+    history — must stay 0.0, and ``recovered_fraction`` — crashed
+    sessions restored by verified journal replay — must stay 1.0.
+    Latency quantiles are absolute seconds (skipped by the CI
+    sentinel's ``--skip-absolute``).
+    """
+    import json
+    import statistics
+    import threading
+    import time as _time
+
+    from repro import CpprOptions, faults
+    from repro.cppr.engine import CpprEngine
+    from repro.io.reports import paths_to_dicts
+    from repro.server import BackgroundServer, ServerOptions, \
+        TimingService
+    from repro.sta.timing import TimingAnalyzer
+    from repro.workloads.suite import build_design
+
+    clients = 8
+    rounds = 3 if args.quick else 5
+    k = 10
+    design = args.designs[0] if len(args.designs) < len(
+        design_names()) else "leon2"
+
+    graph, constraints = build_design(design, scale=args.scale)
+    service = TimingService(ServerOptions(
+        port=0, deadline=300.0, max_inflight=clients,
+        queue_depth=2 * clients))
+    service.add_design(graph, constraints)
+
+    edges = []
+    for source, adjacency in enumerate(graph.fanout):
+        for sink, _early, _late in adjacency:
+            edges.append((graph.pin_name(source),
+                          graph.pin_name(sink)))
+    edges.sort()
+
+    def edit_for(client: int, round_index: int) -> dict:
+        driver, sink = edges[(7 * client + round_index) % len(edges)]
+        bump = 0.05 * (client + 1) + 0.01 * round_index
+        return {"driver": driver, "sink": sink,
+                "early": round(0.1 + bump, 3),
+                "late": round(0.3 + 2 * bump, 3)}
+
+    update_latencies: list[float] = []
+    rank_latencies: list[float] = []
+    corrupted = 0
+    errors: dict[str, int] = {}
+    lock = threading.Lock()
+    start_barrier = threading.Barrier(clients + 1)
+    end_barrier = threading.Barrier(clients + 1)
+
+    def client_loop(index: int, server: BackgroundServer) -> None:
+        nonlocal corrupted
+        status, payload = server.request("POST", "/sessions",
+                                         {"design": design})
+        sid = payload["session"]["sid"]
+        solo = CpprEngine(TimingAnalyzer(graph, constraints),
+                          CpprOptions()).session()
+        from repro import DelayUpdate
+        for round_index in range(rounds):
+            start_barrier.wait(timeout=600)
+            edit = edit_for(index, round_index)
+            t0 = _time.perf_counter()
+            status, payload = server.request(
+                "POST", f"/sessions/{sid}/update", {"delays": [edit]})
+            t1 = _time.perf_counter()
+            ranked_status, ranked = server.request(
+                "POST", f"/sessions/{sid}/rank_paths", {"k": k})
+            t2 = _time.perf_counter()
+            with lock:
+                update_latencies.append(t1 - t0)
+                rank_latencies.append(t2 - t1)
+            solo.update(delays=[DelayUpdate(
+                edit["driver"], edit["sink"], edit["early"],
+                edit["late"])])
+            if status != 200 or ranked_status != 200:
+                code = (payload if status != 200
+                        else ranked)["error"]["code"]
+                with lock:
+                    errors[code] = errors.get(code, 0) + 1
+            else:
+                want = paths_to_dicts(solo.analyzer,
+                                      solo.top_paths(k, "setup"))
+                got = ranked["paths"]
+                for entry in got + want:
+                    entry.pop("rank")
+                if got != want:
+                    with lock:
+                        corrupted += 1
+            end_barrier.wait(timeout=600)
+        # Recovery-by-replay must have restored the exact version.
+        status, info = server.request("GET", f"/sessions/{sid}")
+        assert info["session"]["basis"] == [0, rounds], info
+
+    with BackgroundServer(service) as server:
+        threads = [threading.Thread(target=client_loop,
+                                    args=(index, server))
+                   for index in range(clients)]
+        for thread in threads:
+            thread.start()
+        for _ in range(rounds):
+            # Exactly one injected session crash somewhere this round.
+            with faults.inject("server.session_crash:times=1"):
+                start_barrier.wait(timeout=600)
+                end_barrier.wait(timeout=600)
+        for thread in threads:
+            thread.join(timeout=600)
+        _, health = server.request("GET", "/healthz")
+
+    total = clients * rounds
+    quantiles = statistics.quantiles(rank_latencies, n=100,
+                                     method="inclusive")
+    payload = {
+        "schema": "repro.bench/server@1",
+        "scale": args.scale,
+        "design": design,
+        "clients": clients,
+        "rounds": rounds,
+        "k": k,
+        "requests": 2 * total,
+        "crashes_injected": rounds,
+        "crashes_observed": health["crashes"],
+        "recovered": health["recovered"],
+        "recovered_fraction": (health["recovered"] / health["crashes"]
+                               if health["crashes"] else 1.0),
+        "corrupted_pct": 100.0 * corrupted / total,
+        "shed": health["shed"],
+        "error_counts": errors,
+        "update_p50_seconds": statistics.median(update_latencies),
+        "rank_p50_seconds": statistics.median(rank_latencies),
+        "rank_p99_seconds": quantiles[98],
+    }
+    write_bench_profile(RESULTS_DIR / "BENCH_server.json", payload)
+    print(f"[server] wrote {RESULTS_DIR / 'BENCH_server.json'}",
+          file=sys.stderr)
+    print(json.dumps(payload, indent=2))
+    assert payload["corrupted_pct"] == 0.0, \
+        f"{corrupted} corrupted responses"
+    assert payload["recovered_fraction"] == 1.0, payload
+
+
 def main(argv=None) -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("what", nargs="+",
                         choices=["table3", "table4", "fig5", "fig6",
                                  "ablation", "backend", "batched",
                                  "incremental", "faults", "parallel",
-                                 "corners", "profile", "obs", "all"])
+                                 "corners", "profile", "obs", "server",
+                                 "all"])
     parser.add_argument("--scale", type=float, default=1.0,
                         help="design scale factor (default 1.0)")
     parser.add_argument("--quick", action="store_true",
@@ -1113,7 +1262,8 @@ def main(argv=None) -> None:
              "incremental": run_incremental,
              "faults": run_faults, "parallel": run_parallel,
              "corners": run_corners,
-             "profile": run_profile, "obs": run_obs}
+             "profile": run_profile, "obs": run_obs,
+             "server": run_server}
     selected = (list(steps) if "all" in args.what
                 else list(dict.fromkeys(args.what)))
     for name in selected:

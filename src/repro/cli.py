@@ -515,6 +515,45 @@ def _cmd_bench_check(args) -> int:
     return code
 
 
+def _cmd_serve(args) -> int:
+    from repro.server import ServerOptions, TimingService, run_server
+
+    # Eager validation: every envelope flag is checked here, before any
+    # design is loaded — a bad --port fails in milliseconds, not after
+    # minutes of netlist parsing.
+    options = ServerOptions(
+        host=args.host, port=args.port,
+        max_inflight=args.max_inflight, queue_depth=args.queue_depth,
+        deadline=args.deadline, drain_grace=args.drain_grace,
+        breaker_failures=args.breaker_failures,
+        breaker_degraded=args.breaker_degraded,
+        breaker_cooldown=args.breaker_cooldown,
+        trace_out=args.trace_out, span_log=args.span_log)
+    service = TimingService(options)
+    if args.design is not None or args.suite is not None:
+        corners = _corners_from_args(args)
+        graph, constraints = _design_from_args(args)
+        token = service.add_design(
+            graph, constraints,
+            CpprOptions(backend=args.backend,
+                        batch_levels=args.batch_levels,
+                        executor=args.executor, workers=args.workers,
+                        corners=corners,
+                        **_resilience_from_args(args)),
+            token=args.token)
+        print(f"loaded design {token!r}: {graph.num_pins} pins, "
+              f"{graph.num_ffs} FFs"
+              + (f", {len(corners)} corners" if corners else ""))
+    print(f"serving on http://{options.host}:{options.port or '<auto>'} "
+          f"(max-inflight {options.max_inflight}, queue "
+          f"{options.queue_depth}, deadline "
+          f"{options.deadline if options.deadline is not None else 'none'}"
+          f"s); SIGTERM/SIGINT drains")
+    summary = run_server(service)
+    print(f"drained: {summary}")
+    return 0
+
+
 def _add_trace_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--trace-out", metavar="FILE",
                         help="write the run's Chrome trace-event JSON "
@@ -665,6 +704,65 @@ def build_parser() -> argparse.ArgumentParser:
                             "when the baseline was recorded on "
                             "different hardware")
     bench.set_defaults(func=_cmd_bench_check)
+
+    serve = sub.add_parser(
+        "serve",
+        help="persistent timing server (HTTP/JSON; see docs/SERVER.md)")
+    _add_design_arguments(serve)
+    serve.add_argument("--token", metavar="NAME",
+                       help="design token clients address the preloaded "
+                            "design by (default: the design's name)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8787,
+                       help="TCP port; 0 picks a free one (default 8787)")
+    serve.add_argument("--max-inflight", type=int, default=8,
+                       metavar="N",
+                       help="requests executing concurrently before new "
+                            "ones queue (default 8)")
+    serve.add_argument("--queue-depth", type=int, default=16, metavar="N",
+                       help="queued requests beyond which the server "
+                            "sheds with 429 (default 16)")
+    serve.add_argument("--deadline", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="default per-request deadline; requests "
+                            "override with a \"deadline\" field or "
+                            "X-Deadline header, tightest wins "
+                            "(default 30)")
+    serve.add_argument("--drain-grace", type=float, default=10.0,
+                       metavar="SECONDS",
+                       help="how long SIGTERM waits for in-flight "
+                            "requests before flushing (default 10)")
+    serve.add_argument("--breaker-failures", type=int, default=3,
+                       metavar="N",
+                       help="consecutive hard failures that open a "
+                            "design's circuit (default 3)")
+    serve.add_argument("--breaker-degraded", type=int, default=3,
+                       metavar="N",
+                       help="consecutive degraded results before "
+                            "demoting a design down the ladder "
+                            "(default 3)")
+    serve.add_argument("--breaker-cooldown", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="open-circuit / demotion cooldown "
+                            "(default 30)")
+    serve.add_argument("--executor",
+                       choices=["serial", "thread", "process"],
+                       default="serial",
+                       help="scheduler executor for the preloaded "
+                            "design (default serial)")
+    serve.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="worker count for thread/process executors")
+    serve.add_argument("--backend", choices=["auto", "scalar", "array"],
+                       default="auto",
+                       help="compute substrate (default auto)")
+    serve.add_argument("--batch-levels", choices=["auto", "on", "off"],
+                       default="auto",
+                       help="batched per-level sweeps (default auto)")
+    _add_corner_arguments(serve)
+    _add_trace_arguments(serve)
+    _add_resilience_arguments(serve)
+    serve.set_defaults(func=_cmd_serve)
 
     return parser
 

@@ -50,6 +50,7 @@ from __future__ import annotations
 import atexit
 import contextlib as _contextlib
 import os
+import signal as _signal
 import threading
 from dataclasses import dataclass, field
 from typing import Any, Mapping
@@ -94,6 +95,7 @@ __all__ = [
     "REGISTRY",
     "SegmentRegistry",
     "available",
+    "install_signal_handlers",
     "read_version",
 ]
 
@@ -327,6 +329,7 @@ class SegmentRegistry:
             offset += array.nbytes
             offset = (offset + ALIGNMENT - 1) // ALIGNMENT * ALIGNMENT
         nbytes = max(offset, HEADER_BYTES)
+        install_signal_handlers()
         segment = self._next_name()
         shm = _shared_memory.SharedMemory(
             name=segment, create=True, size=nbytes)
@@ -489,3 +492,54 @@ class SegmentRegistry:
 #: The process-lifetime registry; swept at interpreter exit.
 REGISTRY = SegmentRegistry()
 atexit.register(REGISTRY.sweep)
+
+#: Signals whose default disposition kills the process *without*
+#: running ``atexit`` hooks, which would orphan owned ``/dev/shm``
+#: segments until a reboot.
+_SWEEP_SIGNALS = (_signal.SIGTERM, _signal.SIGINT)
+
+_HANDLERS_INSTALLED = False
+_PREVIOUS_HANDLERS: dict[int, Any] = {}
+
+
+def _signal_sweep(signum, frame) -> None:
+    """Sweep owned segments, then deliver the signal's original fate."""
+    REGISTRY.sweep()
+    previous = _PREVIOUS_HANDLERS.get(signum)
+    if callable(previous):
+        previous(signum, frame)
+        return
+    if previous is _signal.SIG_IGN:
+        return
+    # SIG_DFL: restore the default disposition and re-raise so the
+    # process still dies by the signal with the proper wait status.
+    _signal.signal(signum, _signal.SIG_DFL)
+    os.kill(os.getpid(), signum)
+
+
+def install_signal_handlers() -> bool:
+    """Chain SIGTERM/SIGINT handlers that sweep owned segments.
+
+    ``atexit`` does not run when the process dies by an unhandled
+    signal, so a publisher killed with SIGTERM would leak its segments.
+    The installed handlers are *chained* (a previously installed Python
+    handler still runs afterwards) and *re-raising* (a default-action
+    signal still terminates the process, preserving the wait status
+    observed by the parent).  Idempotent; called automatically on first
+    publish.  Returns ``False`` without installing anything when called
+    off the main thread, where CPython forbids ``signal.signal`` — the
+    main thread's handlers, if any, stay in place.
+    """
+    global _HANDLERS_INSTALLED
+    if _HANDLERS_INSTALLED:
+        return True
+    if threading.current_thread() is not threading.main_thread():
+        return False
+    for signum in _SWEEP_SIGNALS:
+        previous = _signal.getsignal(signum)
+        if previous is _signal_sweep:  # pragma: no cover - paranoia
+            continue
+        _PREVIOUS_HANDLERS[signum] = previous
+        _signal.signal(signum, _signal_sweep)
+    _HANDLERS_INSTALLED = True
+    return True

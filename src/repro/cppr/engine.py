@@ -295,6 +295,12 @@ class CpprEngine:
         #: empty for clean runs.  Also embedded as the ``degraded``
         #: section of :attr:`last_profile` when a collector was active.
         self.last_degraded: tuple[dict, ...] = ()
+        #: Extra ``Profile.meta`` entries merged into every collected
+        #: query's header by :meth:`profile_meta`.  The timing server
+        #: stamps its serving context here (design token, session id,
+        #: corner count) so Chrome traces exported from concurrent
+        #: requests are distinguishable in Perfetto.
+        self.meta_context: dict[str, str] = {}
         #: Corner-realized analyzers by name (empty when no corners are
         #: configured).  Realization is eager — a typo'd pin or clock
         #: node in a corner delta raises here, not on the first query —
@@ -373,6 +379,8 @@ class CpprEngine:
         if self._corner_analyzers:
             names = list(self._corner_analyzers)
             meta["corners"] = f"{len(names)}: {', '.join(names)}"
+        for key, value in self.meta_context.items():
+            meta[str(key)] = str(value)
         return meta
 
     def clear_cache(self) -> None:

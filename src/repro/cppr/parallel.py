@@ -53,16 +53,18 @@ from concurrent.futures import (Future, ProcessPoolExecutor,
                                 ThreadPoolExecutor)
 from concurrent.futures import TimeoutError as _WaitTimeout
 from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
 from typing import Any, Callable, Sequence
 
 from repro import faults
-from repro.exceptions import AnalysisError, ExecutionError
+from repro.exceptions import AnalysisError, DeadlineExpired, ExecutionError
 from repro.obs import collector as _obs
 from repro.obs import metrics as _metrics
 from repro.obs.collector import Collector, collecting
 from repro.obs.profile import Profile
 
-__all__ = ["available_executors", "run_tasks"]
+__all__ = ["available_executors", "check_deadline", "deadline_scope",
+           "remaining_deadline", "run_tasks"]
 
 #: Fault/degradation events, labeled by event name and the rung they
 #: struck on (``degrade.executor`` is labeled by its target rung).
@@ -96,6 +98,54 @@ def available_executors() -> list[str]:
     if "fork" in multiprocessing.get_all_start_methods():
         executors.append("process")
     return executors
+
+
+#: Per-thread cooperative deadline (absolute ``time.monotonic``
+#: seconds).  Thread-local so concurrent server requests sharing one
+#: process each carry their own budget.
+_DEADLINE = threading.local()
+
+
+@contextmanager
+def deadline_scope(expires_at: float | None):
+    """Arm a cooperative deadline for this thread's ``with`` body.
+
+    ``expires_at`` is an absolute ``time.monotonic()`` timestamp
+    (``None`` arms nothing).  Scopes nest with tightest-wins semantics;
+    deadline-aware loops — :func:`run_tasks`'s serial rung and wave
+    collection, the session's family replay — poll
+    :func:`check_deadline` and abandon the run with
+    :class:`~repro.exceptions.DeadlineExpired` once the budget is
+    spent.  Partial work is discarded, never returned.
+    """
+    previous = getattr(_DEADLINE, "expires_at", None)
+    if expires_at is None:
+        effective = previous
+    elif previous is None:
+        effective = expires_at
+    else:
+        effective = min(previous, expires_at)
+    _DEADLINE.expires_at = effective
+    try:
+        yield
+    finally:
+        _DEADLINE.expires_at = previous
+
+
+def remaining_deadline() -> float | None:
+    """Seconds left in this thread's deadline scope (``None`` = no cap)."""
+    expires_at = getattr(_DEADLINE, "expires_at", None)
+    if expires_at is None:
+        return None
+    return expires_at - time.monotonic()
+
+
+def check_deadline() -> None:
+    """Raise :class:`DeadlineExpired` when the ambient budget is spent."""
+    remaining = remaining_deadline()
+    if remaining is not None and remaining <= 0.0:
+        raise DeadlineExpired(
+            f"cooperative deadline expired {-remaining:.3f}s ago")
 
 
 def _call_task(fn: Callable[..., Any], args: tuple) -> Any:
@@ -166,6 +216,7 @@ def _run_serial(fn, args_list, pending, results, payloads, done, col,
     there is no safer rung left to absorb it.
     """
     for i in pending:
+        check_deadline()
         attempt = 0
         while True:
             try:
@@ -211,9 +262,19 @@ def _collect_wave(rung, futures, order, results, payloads, done,
                     results[i], payloads[i] = fut.result()
                     done[i] = True
             continue
+        check_deadline()
+        wait_timeout = task_timeout
+        remaining = remaining_deadline()
+        if remaining is not None:
+            wait_timeout = (remaining if wait_timeout is None
+                            else min(wait_timeout, remaining))
         try:
-            value, payload = fut.result(timeout=task_timeout)
+            value, payload = fut.result(timeout=wait_timeout)
         except _WaitTimeout:
+            # A wait clamped by the ambient deadline is a deadline
+            # expiry, not a hung task — abandon the run instead of
+            # walking the ladder with no budget left.
+            check_deadline()
             _record(events, col, "faults.task_timeout", task=i, rung=rung,
                     timeout=task_timeout)
             fut.cancel()
@@ -408,10 +469,17 @@ def run_tasks(fn: Callable[..., Any], args_list: Sequence[tuple],
         return []
     col = _obs.ACTIVE
 
+    remaining = remaining_deadline()
+    if remaining is not None:
+        check_deadline()
+        # The per-task wait may never outlive the request's budget.
+        task_timeout = (remaining if task_timeout is None
+                        else min(task_timeout, remaining))
+
     # Fast path: a clean serial run with no collector is the common
     # production configuration; keep it a bare loop.
     if (executor == "serial" and col is None and max_retries == 0
-            and not faults.armed()):
+            and remaining is None and not faults.armed()):
         return [fn(*args) for args in args_list]
 
     results: list[Any] = [None] * n

@@ -44,6 +44,17 @@ class ExecutionError(AnalysisError):
     """
 
 
+class DeadlineExpired(AnalysisError):
+    """A cooperative deadline ran out before the work completed.
+
+    Raised by the resilient scheduler (and other deadline-aware loops)
+    when the ambient :func:`repro.cppr.parallel.deadline_scope` budget
+    is exhausted.  The partial work is discarded — a deadline-expired
+    query never returns a partial report; the timing server maps this
+    to a structured 408 response.
+    """
+
+
 class ShmError(ReproError):
     """A shared-memory plane operation failed.
 

@@ -47,6 +47,18 @@ The firing *action* is site-specific and models the real failure:
                           .ShmStaleError` at segment version
                           validation, as if a reader held a descriptor
                           minted before an in-place update.
+``server.request_timeout``  a hung request handler: sleeps ``seconds``
+                          (default 60) inside the server's query worker
+                          so the request's deadline expires and the
+                          service must answer with a structured 408.
+``server.session_crash``  raises :class:`InjectedFault` inside a server
+                          session operation, modelling a worker that
+                          died mid-ECO; the service must rebuild the
+                          session by journal replay and retry.
+``server.queue_overflow`` *corrupts* instead of raising: the server's
+                          admission gate consults :func:`triggered` and
+                          sheds the request as if the bounded queue
+                          were full (structured 429).
 ========================  ==============================================
 
 Persistent worker pools (:mod:`repro.cppr.shard`) outlive ``inject()``
@@ -77,7 +89,8 @@ __all__ = ["SITES", "FaultPlan", "FaultSpec", "InjectedFault",
 #: Every named injection site production code consults.
 SITES = ("task.crash", "task.timeout", "task.exception", "numpy.import",
          "pool.broken", "memory.pressure", "pipeline.stale_artifact",
-         "shm.attach", "shm.stale")
+         "shm.attach", "shm.stale", "server.request_timeout",
+         "server.session_crash", "server.queue_overflow")
 
 #: Environment variable holding the ambient fault plan (see
 #: :func:`plan_from_env` for the format).
@@ -415,10 +428,12 @@ def _fire(site: str, spec: FaultSpec) -> None:
     if site == "numpy.import":
         raise ImportError(
             f"numpy is unavailable (injected fault at site {site!r})")
-    if site == "task.timeout":
+    if site in ("task.timeout", "server.request_timeout"):
         import time
         time.sleep(spec.seconds)
         return
+    if site == "server.session_crash":
+        raise InjectedFault(site)
     if site == "task.crash":
         if WORKER_PROCESS:
             os._exit(70)
@@ -433,6 +448,7 @@ def _fire(site: str, spec: FaultSpec) -> None:
     if site == "shm.stale":
         from repro.exceptions import ShmStaleError
         raise ShmStaleError(f"injected fault at site {site!r}")
-    # Corruption sites (pipeline.stale_artifact) are normally consulted
-    # via :func:`triggered`; a plain check() still fails loudly.
+    # Corruption sites (pipeline.stale_artifact, server.queue_overflow)
+    # are normally consulted via :func:`triggered`; a plain check()
+    # still fails loudly.
     raise InjectedFault(site)

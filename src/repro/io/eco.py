@@ -29,7 +29,8 @@ from dataclasses import dataclass, field
 from repro.exceptions import FormatError
 from repro.sta.incremental import DelayUpdate
 
-__all__ = ["EcoUpdates", "load_eco_updates", "save_eco_updates"]
+__all__ = ["EcoUpdates", "eco_to_dict", "load_eco_updates",
+           "parse_eco_updates", "save_eco_updates"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -66,51 +67,65 @@ def load_eco_updates(path: str) -> EcoUpdates:
             raw = json.load(handle)
     except json.JSONDecodeError as exc:
         raise FormatError(f"{path}: not valid JSON: {exc}") from None
+    return parse_eco_updates(raw, where=str(path))
+
+
+def parse_eco_updates(raw, where: str = "<eco>") -> EcoUpdates:
+    """Validate an already-decoded ECO-update JSON object.
+
+    The validation (and :class:`~repro.exceptions.FormatError`
+    diagnostics) of :func:`load_eco_updates`, for payloads that never
+    touched a file — the timing server's update endpoint and the
+    session-journal checkpoint format both speak this shape.  ``where``
+    prefixes every diagnostic the way a file path would.
+    """
     if not isinstance(raw, dict):
-        raise FormatError(f"{path}: expected a JSON object at top level")
+        raise FormatError(f"{where}: expected a JSON object at top level")
     unknown = set(raw) - {"delays", "clock"}
     if unknown:
         raise FormatError(
-            f"{path}: unknown section(s) {sorted(unknown)}; expected "
+            f"{where}: unknown section(s) {sorted(unknown)}; expected "
             f"'delays' and/or 'clock'")
 
+    if not isinstance(raw.get("delays", []), list):
+        raise FormatError(f"{where}: 'delays' must be a list")
     delays = []
     for index, entry in enumerate(raw.get("delays", [])):
-        where = f"{path}: delays[{index}]"
+        here = f"{where}: delays[{index}]"
         if not isinstance(entry, dict):
-            raise FormatError(f"{where}: expected an object")
+            raise FormatError(f"{here}: expected an object")
         missing = {"driver", "sink", "early", "late"} - set(entry)
         if missing:
-            raise FormatError(f"{where}: missing {sorted(missing)}")
+            raise FormatError(f"{here}: missing {sorted(missing)}")
         driver, sink = entry["driver"], entry["sink"]
         if not isinstance(driver, (str, int)) or isinstance(driver, bool):
-            raise FormatError(f"{where}: driver must be a pin name or id")
+            raise FormatError(f"{here}: driver must be a pin name or id")
         if not isinstance(sink, (str, int)) or isinstance(sink, bool):
-            raise FormatError(f"{where}: sink must be a pin name or id")
+            raise FormatError(f"{here}: sink must be a pin name or id")
         delays.append(DelayUpdate(driver, sink,
-                                  _number(entry["early"], where),
-                                  _number(entry["late"], where)))
+                                  _number(entry["early"], here),
+                                  _number(entry["late"], here)))
 
     clock_raw = raw.get("clock", {})
     if not isinstance(clock_raw, dict):
-        raise FormatError(f"{path}: 'clock' must map node names to "
+        raise FormatError(f"{where}: 'clock' must map node names to "
                           f"[early, late] pairs")
     clock: dict[str, tuple[float, float]] = {}
     for name, pair in clock_raw.items():
-        where = f"{path}: clock[{name!r}]"
+        here = f"{where}: clock[{name!r}]"
         if (not isinstance(pair, (list, tuple)) or len(pair) != 2):
-            raise FormatError(f"{where}: expected [early, late]")
-        early = _number(pair[0], where)
-        late = _number(pair[1], where)
+            raise FormatError(f"{here}: expected [early, late]")
+        early = _number(pair[0], here)
+        late = _number(pair[1], here)
         if early > late:
-            raise FormatError(f"{where}: early {early} exceeds late {late}")
+            raise FormatError(f"{here}: early {early} exceeds late {late}")
         clock[name] = (early, late)
 
     return EcoUpdates(delays=tuple(delays), clock=clock)
 
 
-def save_eco_updates(updates: EcoUpdates, path: str) -> None:
-    """Write ``updates`` in the format :func:`load_eco_updates` reads."""
+def eco_to_dict(updates: EcoUpdates) -> dict:
+    """The JSON-ready object form :func:`parse_eco_updates` reads."""
     payload: dict = {}
     if updates.delays:
         payload["delays"] = [
@@ -121,6 +136,12 @@ def save_eco_updates(updates: EcoUpdates, path: str) -> None:
         payload["clock"] = {name: [early, late]
                             for name, (early, late)
                             in updates.clock.items()}
+    return payload
+
+
+def save_eco_updates(updates: EcoUpdates, path: str) -> None:
+    """Write ``updates`` in the format :func:`load_eco_updates` reads."""
+    payload = eco_to_dict(updates)
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")

@@ -46,6 +46,7 @@ from __future__ import annotations
 
 from repro.cppr.engine import CpprOptions, _validate_options
 from repro.cppr.level_paths import paths_at_level
+from repro.cppr.parallel import check_deadline
 from repro.cppr.output_paths import output_paths
 from repro.cppr.pi_paths import primary_input_paths
 from repro.cppr.select import select_top_paths
@@ -115,6 +116,10 @@ class CpprSession:
         #: Dirty fraction of the most recent :meth:`update` (pins
         #: replayed over total pins; 1.0 for a full-rebuild fallback).
         self.last_dirty_fraction = 0.0
+        #: Extra ``Profile.meta`` entries merged by :meth:`profile_meta`
+        #: — the timing server stamps its serving context (design
+        #: token, session id) here.
+        self.meta_context: dict[str, str] = {}
 
         self._core = None
         if self.backend == "array":
@@ -518,8 +523,14 @@ class CpprSession:
                                  self.backend)
             candidates: list[TimingPath] = []
             for task in self._tasks():
+                # Cooperative cancellation: a served request whose
+                # deadline ran out abandons the query between families
+                # (partial candidate lists are discarded, never
+                # selected from).
+                check_deadline()
                 candidates.extend(self._family(task, state, batch, k,
                                                mode, basis))
+            check_deadline()
             with _obs.span("pipeline.select"):
                 selected = select_top_paths(self.analyzer, candidates, k)
             self._select.store((mode.value, k), basis, tuple(selected))
@@ -607,6 +618,33 @@ class CpprSession:
             "select": self._select.stats(),
         }
 
+    def basis(self) -> tuple[int, int]:
+        """The public validity basis ``(tree_epoch, values_version)``.
+
+        Every propagation/family/select artifact is stamped with this
+        pair; the timing server's session journal records it after each
+        applied update so a crash-replayed session can be verified to
+        have reached the exact pre-crash state.
+        """
+        return self._basis
+
+    def profile_meta(self) -> dict[str, str]:
+        """Header metadata for profiles collected around session queries.
+
+        Mirrors :meth:`CpprEngine.profile_meta` for the incremental
+        query surface, adding the validity basis and any
+        :attr:`meta_context` entries (the server's serving context).
+        """
+        meta = {"executor": self.options.executor,
+                "backend": self.backend,
+                "batched": "on" if self.batched else "off",
+                "basis": f"{self.tree_epoch}/{self.values_version}"}
+        if self.corner != "-":
+            meta["corner"] = self.corner
+        for key, value in self.meta_context.items():
+            meta[str(key)] = str(value)
+        return meta
+
 
 class MultiCornerSession:
     """One incremental what-if session across every configured corner.
@@ -646,6 +684,8 @@ class MultiCornerSession:
         #: Dirty fraction of the most recent :meth:`update` (shared
         #: across corners — the cone is).
         self.last_dirty_fraction = 0.0
+        #: Extra ``Profile.meta`` entries merged by :meth:`profile_meta`.
+        self.meta_context: dict[str, str] = {}
 
     @property
     def corners(self) -> tuple[str, ...]:
@@ -800,3 +840,20 @@ class MultiCornerSession:
         return {"last_dirty_fraction": self.last_dirty_fraction,
                 "corners": {name: session.stats()
                             for name, session in self.sessions.items()}}
+
+    def basis(self) -> dict[str, tuple[int, int]]:
+        """Every corner's ``(tree_epoch, values_version)`` basis."""
+        return {name: session.basis()
+                for name, session in self.sessions.items()}
+
+    def profile_meta(self) -> dict[str, str]:
+        """Header metadata for profiles collected around session queries."""
+        first = next(iter(self.sessions.values()))
+        meta = {"executor": self.options.executor,
+                "backend": first.backend,
+                "batched": "on" if first.batched else "off",
+                "corners": f"{len(self.sessions)}: "
+                           f"{', '.join(self.sessions)}"}
+        for key, value in self.meta_context.items():
+            meta[str(key)] = str(value)
+        return meta

@@ -1,0 +1,28 @@
+"""CPPR-as-a-service: the fault-tolerant persistent timing server.
+
+Designs load once; many concurrent sessions (copy-on-write values over
+one shared immutable structure) serve the ``rank_paths`` /
+``compute_slack`` / ``verify_path`` vocabulary per corner and mode,
+with journaled ECO updates and checkpoint/restore.  The robustness
+envelope — per-request deadlines, bounded admission with load-shedding,
+a per-design circuit breaker over the degradation ladder, and
+crash recovery by journal replay — lives in the submodules:
+
+========================  ============================================
+:mod:`repro.server.service`   the transport-independent request core
+:mod:`repro.server.http`      asyncio HTTP/1.1 adapter + drain
+:mod:`repro.server.admission` bounded queue, 429 shedding, metrics
+:mod:`repro.server.breaker`   per-design circuit breaker / demotion
+:mod:`repro.server.journal`   ECO journal, checkpoint, verified replay
+:mod:`repro.server.errors`    the structured error vocabulary
+========================  ============================================
+
+See ``docs/SERVER.md`` for the endpoint reference and semantics.
+"""
+
+from repro.server.errors import ApiError
+from repro.server.http import BackgroundServer, run_server
+from repro.server.service import ServerOptions, TimingService
+
+__all__ = ["ApiError", "BackgroundServer", "ServerOptions",
+           "TimingService", "run_server"]

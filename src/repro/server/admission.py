@@ -1,0 +1,138 @@
+"""Bounded admission: at most ``max_inflight`` requests execute, at
+most ``queue_depth`` wait, everything beyond that is shed with a
+structured 429.
+
+The gate is thread-based (requests execute on a worker pool, so a
+queued request parks its worker thread in ``Semaphore.acquire``) and
+deadline-aware: the wait for an execution slot is capped at the
+request's remaining budget, and a request whose deadline expires while
+queued is shed as a 408 — it never starts computing an answer nobody
+is waiting for.
+
+Two metrics make the envelope observable: the ``server.inflight`` gauge
+tracks concurrently executing requests, and the ``server.shed{reason}``
+counter labels every rejection with why it happened —
+
+``queue_full``
+    the bounded queue was at capacity,
+``overflow``
+    the ``server.queue_overflow`` chaos site fired (modelling a
+    memory-pressure shed while slots were nominally free),
+``deadline``
+    the request's budget expired while it waited,
+``draining``
+    the server was shutting down.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+from repro import faults
+from repro.obs import metrics as _metrics
+from repro.server.errors import DeadlineError, Overloaded
+
+__all__ = ["AdmissionGate"]
+
+_INFLIGHT = _metrics.REGISTRY.gauge(
+    "server.inflight",
+    help="Requests currently executing on the timing server")
+
+_SHED = _metrics.REGISTRY.counter(
+    "server.shed", labels=("reason",),
+    help="Requests rejected by the admission gate, by shed reason")
+
+
+class AdmissionGate:
+    """A counting semaphore with a bounded wait queue and shed metrics."""
+
+    def __init__(self, max_inflight: int, queue_depth: int) -> None:
+        if max_inflight < 1:
+            raise ValueError(
+                f"max_inflight must be at least 1, got {max_inflight}")
+        if queue_depth < 0:
+            raise ValueError(
+                f"queue_depth must be >= 0, got {queue_depth}")
+        self.max_inflight = max_inflight
+        self.queue_depth = queue_depth
+        self._slots = threading.Semaphore(max_inflight)
+        self._lock = threading.Lock()
+        self._inflight = 0
+        self._waiting = 0
+        #: Total sheds by reason (plain ints — metrics counters only
+        #: record under an active collector; these always do).
+        self.shed_counts: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return self._inflight
+
+    @property
+    def waiting(self) -> int:
+        with self._lock:
+            return self._waiting
+
+    def _shed(self, reason: str) -> None:
+        with self._lock:
+            self.shed_counts[reason] = self.shed_counts.get(reason, 0) + 1
+        _SHED.labels(reason=reason).inc_durable()
+
+    def _retry_hint(self) -> float:
+        """A crude Retry-After estimate: half a slot-turnover per waiter."""
+        with self._lock:
+            depth = self._waiting + max(0, self._inflight
+                                        - self.max_inflight + 1)
+        return max(0.5, 0.5 * depth)
+
+    # ------------------------------------------------------------------
+    @contextmanager
+    def admit(self, remaining: float | None = None):
+        """Hold one execution slot for the ``with`` body.
+
+        ``remaining`` caps the queued wait (seconds; ``None`` waits
+        forever).  Raises :class:`Overloaded` (429) when the queue is
+        full or the ``server.queue_overflow`` site fires, and
+        :class:`DeadlineError` (408) when the budget runs out first.
+        """
+        if faults.triggered("server.queue_overflow"):
+            self._shed("overflow")
+            raise Overloaded(
+                "injected queue overflow: request shed",
+                retry_after=self._retry_hint())
+        with self._lock:
+            depth = (self._inflight, self._waiting)
+            full = (self._waiting >= self.queue_depth
+                    and self._inflight >= self.max_inflight)
+            if not full:
+                self._waiting += 1
+        if full:
+            self._shed("queue_full")
+            raise Overloaded(
+                f"admission queue full ({depth[0]} in flight, "
+                f"{depth[1]} queued)",
+                retry_after=self._retry_hint())
+        try:
+            if remaining is not None and remaining <= 0.0:
+                acquired = False
+            else:
+                acquired = self._slots.acquire(timeout=remaining)
+        finally:
+            with self._lock:
+                self._waiting -= 1
+        if not acquired:
+            self._shed("deadline")
+            raise DeadlineError(
+                "deadline expired while queued for admission")
+        with self._lock:
+            self._inflight += 1
+            _INFLIGHT.set(self._inflight)
+        try:
+            yield
+        finally:
+            with self._lock:
+                self._inflight -= 1
+                _INFLIGHT.set(self._inflight)
+            self._slots.release()

@@ -1,0 +1,111 @@
+"""Structured error vocabulary of the timing service.
+
+Every failure a client can observe maps to one :class:`ApiError`
+subclass carrying an HTTP status and a stable machine-readable ``code``.
+The service converts an error to a JSON body of the form::
+
+    {"ok": false,
+     "error": {"code": "deadline", "message": "...", "retry_after": 1.5}}
+
+so a deadline-expired or shed request is always a *structured* 408/429
+document — never a partial report, never a bare connection reset.
+``retry_after`` (seconds, optional) doubles as the ``Retry-After``
+response header; the admission gate stamps it on shed responses and the
+circuit breaker on open-circuit 503s.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.exceptions import ReproError
+
+__all__ = ["ApiError", "BadRequest", "BreakerOpen", "DeadlineError",
+           "Draining", "InternalError", "MethodNotAllowed", "NotFound",
+           "Overloaded", "SessionCrashed"]
+
+
+class ApiError(ReproError):
+    """Base class: an HTTP status plus a stable error code."""
+
+    status = 500
+    code = "internal"
+
+    def __init__(self, message: str, *,
+                 retry_after: float | None = None,
+                 details: dict[str, Any] | None = None) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+        self.details = dict(details or {})
+
+    def body(self) -> dict[str, Any]:
+        """The structured JSON document served for this error."""
+        error: dict[str, Any] = {"code": self.code, "message": str(self)}
+        if self.retry_after is not None:
+            error["retry_after"] = round(float(self.retry_after), 3)
+        if self.details:
+            error["details"] = self.details
+        return {"ok": False, "error": error}
+
+
+class BadRequest(ApiError):
+    """Malformed request: unknown fields, bad types, invalid values."""
+
+    status = 400
+    code = "bad_request"
+
+
+class NotFound(ApiError):
+    """Unknown route, design token, or session id."""
+
+    status = 404
+    code = "not_found"
+
+
+class MethodNotAllowed(ApiError):
+    """The path exists but not with this HTTP method."""
+
+    status = 405
+    code = "method_not_allowed"
+
+
+class DeadlineError(ApiError):
+    """The request's deadline expired before a full answer existed."""
+
+    status = 408
+    code = "deadline"
+
+
+class Overloaded(ApiError):
+    """Load shed: the bounded admission queue rejected the request."""
+
+    status = 429
+    code = "overloaded"
+
+
+class BreakerOpen(ApiError):
+    """The design's circuit breaker is open; retry after the cooldown."""
+
+    status = 503
+    code = "breaker_open"
+
+
+class Draining(ApiError):
+    """The server is finishing in-flight work before shutting down."""
+
+    status = 503
+    code = "draining"
+
+
+class SessionCrashed(ApiError):
+    """A session crashed and journal replay could not restore it."""
+
+    status = 500
+    code = "session_crashed"
+
+
+class InternalError(ApiError):
+    """An unexpected failure the service could not recover from."""
+
+    status = 500
+    code = "internal"

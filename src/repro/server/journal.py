@@ -1,0 +1,138 @@
+"""Session checkpointing: an ECO-edit journal with recorded bases.
+
+A served :class:`~repro.pipeline.session.CpprSession` is pure state —
+the base design plus the exact sequence of applied updates determines
+every answer bit-for-bit.  The journal exploits that: each successful
+``update()`` appends its edits *and the validity basis the session
+reached* (``(tree_epoch, values_version)``, per corner for
+multi-corner sessions).  Recovery from a crashed session is then
+**replay**: open a fresh session over the same engine, re-apply every
+journaled edit in order, and verify the replayed basis equals the
+recorded pre-crash basis — a structural proof that the restored
+session is the exact pre-crash state (the test-suite additionally pins
+the reports bit-for-bit against a never-crashed session).
+
+The checkpoint wire format (``GET /sessions/{sid}/checkpoint``) is::
+
+    {"design": "<token>", "entries": [
+        {"eco": {"delays": [...], "clock": {...}},   # io.eco shape
+         "basis": [tree_epoch, values_version]}      # or {corner: [..]}
+     ],
+     "basis": <final basis>}
+
+and ``POST /sessions/restore`` accepts the same document, so a
+checkpoint taken from one server process restores on another.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.exceptions import FormatError
+from repro.io.eco import EcoUpdates, eco_to_dict, parse_eco_updates
+from repro.server.errors import SessionCrashed
+
+__all__ = ["JournalEntry", "SessionJournal", "normalize_basis",
+           "replay_journal"]
+
+
+def normalize_basis(basis) -> object:
+    """A JSON-stable form of a session basis (tuple or per-corner dict)."""
+    if isinstance(basis, dict):
+        return {name: [int(epoch), int(version)]
+                for name, (epoch, version) in sorted(basis.items())}
+    epoch, version = basis
+    return [int(epoch), int(version)]
+
+
+@dataclass(frozen=True, slots=True)
+class JournalEntry:
+    """One applied update and the basis the session reached after it."""
+
+    eco: EcoUpdates
+    basis: object  # normalized (list, or {corner: list})
+
+    def to_dict(self) -> dict:
+        return {"eco": eco_to_dict(self.eco), "basis": self.basis}
+
+
+class SessionJournal:
+    """Append-only edit history of one served session (thread-safe)."""
+
+    def __init__(self, design: str) -> None:
+        self.design = design
+        self._lock = threading.Lock()
+        self._entries: list[JournalEntry] = []
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def record(self, eco: EcoUpdates, basis) -> None:
+        """Append one *successfully applied* update."""
+        with self._lock:
+            self._entries.append(
+                JournalEntry(eco, normalize_basis(basis)))
+
+    def entries(self) -> tuple[JournalEntry, ...]:
+        with self._lock:
+            return tuple(self._entries)
+
+    def expected_basis(self) -> object | None:
+        """The basis the session must be at (``None`` = no edits yet)."""
+        with self._lock:
+            return self._entries[-1].basis if self._entries else None
+
+    def to_dict(self) -> dict:
+        """The checkpoint document (see module docstring)."""
+        entries = self.entries()
+        return {"design": self.design,
+                "entries": [entry.to_dict() for entry in entries],
+                "basis": entries[-1].basis if entries else None}
+
+    @classmethod
+    def from_dict(cls, raw: dict, where: str = "<checkpoint>"
+                  ) -> "SessionJournal":
+        """Parse a checkpoint document (FormatError diagnostics)."""
+        if not isinstance(raw, dict):
+            raise FormatError(f"{where}: expected a JSON object")
+        design = raw.get("design")
+        if not isinstance(design, str) or not design:
+            raise FormatError(f"{where}: missing design token")
+        entries = raw.get("entries", [])
+        if not isinstance(entries, list):
+            raise FormatError(f"{where}: 'entries' must be a list")
+        journal = cls(design)
+        for index, entry in enumerate(entries):
+            here = f"{where}: entries[{index}]"
+            if not isinstance(entry, dict) or "eco" not in entry \
+                    or "basis" not in entry:
+                raise FormatError(f"{here}: expected an object with "
+                                  f"'eco' and 'basis'")
+            eco = parse_eco_updates(entry["eco"], where=here)
+            journal._entries.append(JournalEntry(eco, entry["basis"]))
+        return journal
+
+
+def replay_journal(journal: SessionJournal, engine):
+    """A fresh session driven back to the journal's recorded state.
+
+    Opens ``engine.session()`` and re-applies every journaled edit in
+    order, verifying after the final entry that the replayed session's
+    basis equals the recorded one.  Raises :class:`SessionCrashed`
+    (structured 500) on divergence — a divergent replay must never be
+    served as if it were the pre-crash session.
+    """
+    session = engine.session()
+    for entry in journal.entries():
+        session.update(delays=entry.eco.delays,
+                       clock=dict(entry.eco.clock) or None)
+    expected = journal.expected_basis()
+    if expected is not None:
+        reached = normalize_basis(session.basis())
+        if reached != expected:
+            raise SessionCrashed(
+                f"journal replay diverged: reached basis {reached}, "
+                f"journal recorded {expected}")
+    return session

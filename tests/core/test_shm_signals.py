@@ -1,0 +1,132 @@
+"""Signal-safe segment hygiene: a publisher killed by SIGTERM/SIGINT
+must leave ``/dev/shm`` clean — ``atexit`` never runs on an unhandled
+signal, so the chained handlers installed at first publish are the only
+line of defense.  Mirrors the clean-after-chaos discipline of
+``tests/faults/test_shm_chaos.py``, with the kill arriving from
+outside."""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+
+import pytest
+
+pytest.importorskip("numpy")
+
+from repro.core import shm  # noqa: E402
+
+pytestmark = pytest.mark.skipif(
+    not shm.available(),
+    reason="shared memory unavailable (platform or ambient fault plan)")
+
+_PUBLISHER = textwrap.dedent("""
+    import os, sys, time
+    import numpy as np
+    from repro.core import shm
+
+    shm.REGISTRY.publish("values", {"a": np.zeros(1024)})
+    shm.REGISTRY.publish("batch", {"b": np.ones(2048)})
+    print("READY", os.getpid(), flush=True)
+    time.sleep(120)   # parked until the signal arrives
+""")
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [os.path.join(os.getcwd(), "src"), os.getcwd(),
+         env.get("PYTHONPATH", "")])
+    env.pop("REPRO_FAULTS", None)
+    return env
+
+
+def _spawn_publisher():
+    proc = subprocess.Popen(
+        [sys.executable, "-u", "-c", _PUBLISHER], env=_env(),
+        cwd=os.getcwd(), stdout=subprocess.PIPE, text=True)
+    line = proc.stdout.readline()
+    assert line.startswith("READY"), line
+    pid = int(line.split()[1])
+    return proc, pid
+
+
+def _segments_of(pid: int) -> list[str]:
+    if not os.path.isdir("/dev/shm"):
+        pytest.skip("no /dev/shm on this platform")
+    return [name for name in os.listdir("/dev/shm")
+            if name.startswith(f"repro-{pid}-")]
+
+
+class TestSignalSweep:
+    @pytest.mark.parametrize("signum", [signal.SIGTERM, signal.SIGINT])
+    def test_killed_publisher_leaves_dev_shm_clean(self, signum):
+        proc, pid = _spawn_publisher()
+        try:
+            assert _segments_of(pid), "publisher created no segments?"
+            proc.send_signal(signum)
+            proc.wait(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=30)
+        # Re-raising handler: the wait status still says "died by
+        # signal" (SIGINT surfaces as KeyboardInterrupt, code 1).
+        if signum == signal.SIGTERM:
+            assert proc.returncode == -signal.SIGTERM
+        assert _segments_of(pid) == [], "segments outlived the process"
+
+    def test_chained_previous_handler_still_runs(self):
+        """Installing the sweep must not silently drop a handler the
+        application had already registered."""
+        script = textwrap.dedent("""
+            import os, signal, sys, time
+            import numpy as np
+
+            def mine(signum, frame):
+                print("CHAINED", flush=True)
+                sys.exit(7)
+
+            signal.signal(signal.SIGTERM, mine)
+            from repro.core import shm
+            shm.REGISTRY.publish("values", {"a": np.zeros(256)})
+            print("READY", os.getpid(), flush=True)
+            time.sleep(120)
+        """)
+        proc = subprocess.Popen(
+            [sys.executable, "-u", "-c", script], env=_env(),
+            cwd=os.getcwd(), stdout=subprocess.PIPE, text=True)
+        line = proc.stdout.readline()
+        assert line.startswith("READY"), line
+        pid = int(line.split()[1])
+        try:
+            proc.send_signal(signal.SIGTERM)
+            out, _ = proc.communicate(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate(timeout=30)
+        assert "CHAINED" in out
+        assert proc.returncode == 7
+        assert _segments_of(pid) == []
+
+    def test_install_is_idempotent_and_thread_guarded(self):
+        import threading
+
+        from repro.core.shm import install_signal_handlers
+
+        first = install_signal_handlers()
+        second = install_signal_handlers()
+        assert first is True and second is True
+        results = []
+        thread = threading.Thread(
+            target=lambda: results.append(install_signal_handlers()))
+        thread.start()
+        thread.join()
+        # Already installed by the main thread, so True is fine; the
+        # guard only matters for a fresh install off-main-thread.
+        assert results == [True]

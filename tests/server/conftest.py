@@ -1,0 +1,31 @@
+"""Shared fixtures for the timing-server suite: an in-process service
+over the demo design (no sockets — ``TimingService.handle`` is plain
+Python), plus a factory for custom envelope settings."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.server import ServerOptions, TimingService
+from tests.helpers import demo_design
+
+
+def make_service(**overrides) -> TimingService:
+    options = dict(port=0, deadline=30.0)
+    options.update(overrides)
+    return TimingService(ServerOptions(**options))
+
+
+def add_demo(service: TimingService, **engine_options) -> str:
+    from repro import CpprOptions
+
+    graph, constraints = demo_design()
+    return service.add_design(graph, constraints,
+                              CpprOptions(**engine_options))
+
+
+@pytest.fixture
+def service() -> TimingService:
+    svc = make_service()
+    add_demo(svc)
+    return svc

@@ -1,0 +1,115 @@
+"""Ambient-tolerant endpoint suite for the server chaos CI job.
+
+Runs correctly in two regimes:
+
+* clean (no ``REPRO_FAULTS``): every request succeeds;
+* ambient chaos (``REPRO_FAULTS=server.session_crash:...;
+  server.request_timeout:...``): any individual request may come back
+  as a structured 408/429/500 — but a 200 MUST carry the exact
+  reference answer, and the error documents MUST be well-formed.
+
+This is the ``tests/faults/test_ambient.py`` discipline applied to the
+service: chaos may cost latency or availability, never correctness.
+"""
+
+from __future__ import annotations
+
+import os
+
+from tests.server.conftest import add_demo, make_service
+
+AMBIENT = bool(os.environ.get("REPRO_FAULTS"))
+
+ECO = {"delays": [{"driver": "g1/Y", "sink": "ff2/D",
+                   "early": 0.4, "late": 0.9}]}
+
+#: Statuses the robustness envelope may legitimately answer under
+#: ambient chaos.  500 appears only via ``session_crash`` exhausting
+#: its single replay retry (crash during the retry as well).
+TOLERATED = {408, 429, 500, 503}
+
+
+def _reference():
+    """The clean answer, computed with chaos explicitly shadowed."""
+    from repro import faults
+
+    service = make_service()
+    add_demo(service)
+    with faults.inject():  # empty plan shadows the ambient one
+        _, sess = service.handle("POST", "/sessions",
+                                 {"design": "demo"})
+        sid = sess["session"]["sid"]
+        service.handle("POST", f"/sessions/{sid}/update", dict(ECO))
+        _, ranked = service.handle(
+            "POST", f"/sessions/{sid}/rank_paths", {"k": 3})
+    return ranked["paths"]
+
+
+def _check_error_document(status, payload):
+    assert payload["ok"] is False
+    assert "error" in payload
+    assert isinstance(payload["error"].get("code"), str)
+    assert isinstance(payload["error"].get("message"), str)
+    assert "paths" not in payload, "partial report leaked"
+
+
+class TestAmbientChaos:
+    def test_chaos_costs_latency_never_correctness(self):
+        want = _reference()
+        service = make_service()
+        add_demo(service)
+        outcomes = {"ok": 0, "shed": 0}
+        for _ in range(10):
+            _, sess = service.handle("POST", "/sessions",
+                                     {"design": "demo"})
+            if not sess.get("ok", False):
+                _check_error_document(None, sess)
+                outcomes["shed"] += 1
+                continue
+            sid = sess["session"]["sid"]
+            status, payload = service.handle(
+                "POST", f"/sessions/{sid}/update", dict(ECO))
+            if status != 200:
+                assert status in TOLERATED, payload
+                _check_error_document(status, payload)
+                outcomes["shed"] += 1
+                continue
+            status, payload = service.handle(
+                "POST", f"/sessions/{sid}/rank_paths", {"k": 3})
+            if status == 200:
+                assert payload["paths"] == want, \
+                    "a 200 under chaos must be the exact answer"
+                outcomes["ok"] += 1
+            else:
+                assert status in TOLERATED, payload
+                _check_error_document(status, payload)
+                outcomes["shed"] += 1
+        if not AMBIENT:
+            assert outcomes == {"ok": 10, "shed": 0}
+        else:
+            # Chaos plans are finite; at least one round must survive.
+            assert outcomes["ok"] >= 1, outcomes
+
+    def test_design_queries_exact_or_structured(self):
+        service = make_service()
+        add_demo(service)
+        from repro import faults
+
+        with faults.inject():
+            _, clean = service.handle("POST",
+                                      "/designs/demo/rank_paths",
+                                      {"k": 4})
+        for _ in range(6):
+            status, payload = service.handle(
+                "POST", "/designs/demo/rank_paths", {"k": 4})
+            if status == 200:
+                assert payload["paths"] == clean["paths"]
+            else:
+                assert status in TOLERATED
+                _check_error_document(status, payload)
+
+    def test_healthz_always_serves(self):
+        service = make_service()
+        status, payload = service.handle("GET", "/healthz")
+        assert status == 200
+        assert payload["status"] == "serving"

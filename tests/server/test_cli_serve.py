@@ -1,0 +1,108 @@
+"""``repro serve``: eager flag validation (before any design load) and
+the SIGTERM drain path of the real CLI process."""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.cli import main
+
+
+class TestEagerValidation:
+    @pytest.mark.parametrize("argv, fragment", [
+        (["serve", "--port", "70000"], "port"),
+        (["serve", "--port", "-1"], "port"),
+        (["serve", "--max-inflight", "0"], "max-inflight"),
+        (["serve", "--max-inflight", "-4"], "max-inflight"),
+        (["serve", "--queue-depth", "-1"], "queue-depth"),
+        (["serve", "--deadline", "0"], "deadline"),
+        (["serve", "--deadline", "-2.5"], "deadline"),
+        (["serve", "--drain-grace", "-1"], "drain-grace"),
+        (["serve", "--breaker-failures", "0"], "breaker-failures"),
+        (["serve", "--breaker-degraded", "0"], "breaker-degraded"),
+        (["serve", "--breaker-cooldown", "-1"], "breaker-cooldown"),
+    ])
+    def test_bad_flags_fail_fast(self, argv, fragment, capsys):
+        """Bad envelope flags fail in milliseconds with a diagnostic
+        naming the flag — before any design parsing starts."""
+        started = time.monotonic()
+        code = main(argv + ["--suite", "leon2"])
+        elapsed = time.monotonic() - started
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert fragment in err
+        # leon2 takes seconds to build; eager validation must not.
+        assert elapsed < 1.0
+
+    def test_bad_corner_spec_fails_before_serving(self, capsys):
+        code = main(["serve", "--suite", "vga_lcdv2",
+                     "--suite-scale", "0.1", "--corner", "noequals"])
+        assert code == 1
+        assert "NAME=FILE" in capsys.readouterr().err
+
+    def test_unknown_suite_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--suite", "not_a_suite"])
+
+
+class TestServeProcess:
+    def test_serve_sigterm_drains_cleanly(self, tmp_path):
+        """The real CLI: bind, answer over a socket, drain on SIGTERM."""
+        trace = tmp_path / "trace.json"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [os.path.join(os.getcwd(), "src"),
+             env.get("PYTHONPATH", "")])
+        env.pop("REPRO_FAULTS", None)
+        env["PYTHONUNBUFFERED"] = "1"
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve",
+             "--suite", "vga_lcdv2", "--suite-scale", "0.1",
+             "--port", str(port), "--trace-out", str(trace)],
+            env=env, cwd=os.getcwd(),
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+        try:
+            body = json.dumps({"k": 2}).encode()
+            request = (
+                b"POST /designs/vga_lcdv2/rank_paths HTTP/1.1\r\n"
+                b"Host: t\r\nContent-Type: application/json\r\n"
+                + f"Content-Length: {len(body)}\r\n".encode()
+                + b"Connection: close\r\n\r\n" + body)
+            deadline = time.monotonic() + 60
+            response = b""
+            while time.monotonic() < deadline:
+                try:
+                    with socket.create_connection(
+                            ("127.0.0.1", port), timeout=2) as sock:
+                        sock.sendall(request)
+                        while True:
+                            chunk = sock.recv(65536)
+                            if not chunk:
+                                break
+                            response += chunk
+                    if response:
+                        break
+                except OSError:
+                    time.sleep(0.2)
+            assert b" 200 " in response.split(b"\r\n")[0], response[:200]
+            proc.send_signal(signal.SIGTERM)
+            out, _ = proc.communicate(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate(timeout=30)
+        assert proc.returncode == 0, out
+        assert "drained" in out
+        assert trace.exists(), "drain did not flush the Chrome trace"

@@ -1,0 +1,279 @@
+"""The endpoint vocabulary, in process: designs, sessions, queries,
+paging, checkpoints, and the structured error documents.
+
+Every assertion runs against ``TimingService.handle`` directly — the
+HTTP layer is covered separately (``test_http_socket.py``); these tests
+pin the semantics every transport shares."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CpprEngine, CpprOptions, TimingAnalyzer
+from repro.io.reports import paths_to_dicts
+from tests.helpers import demo_design
+
+from tests.server.conftest import add_demo, make_service
+
+
+class TestLifecycle:
+    def test_healthz(self, service):
+        status, payload = service.handle("GET", "/healthz")
+        assert status == 200
+        assert payload["status"] == "serving"
+        assert payload["designs"] == 1
+        assert payload["inflight"] == 0
+
+    def test_design_listing_and_info(self, service):
+        status, payload = service.handle("GET", "/designs")
+        assert status == 200
+        (info,) = payload["designs"]
+        assert info["token"] == "demo"
+        assert info["pins"] > 0 and info["ffs"] == 4
+        assert info["breaker"]["state"] == "closed"
+        status, payload = service.handle("GET", "/designs/demo")
+        assert status == 200
+        assert payload["design"]["token"] == "demo"
+
+    def test_design_create_via_post(self):
+        service = make_service()
+        status, payload = service.handle(
+            "POST", "/designs",
+            {"suite": "vga_lcdv2", "scale": 0.1, "token": "tiny"})
+        assert status == 200, payload
+        assert payload["token"] == "tiny"
+        status, payload = service.handle(
+            "POST", "/designs/tiny/rank_paths", {"k": 2})
+        assert status == 200
+        assert payload["total"] == 2
+
+    def test_duplicate_token_rejected(self, service):
+        graph, constraints = demo_design()
+        with pytest.raises(Exception, match="already loaded"):
+            service.add_design(graph, constraints, token="demo")
+
+    def test_delete_design_drops_sessions(self, service):
+        _, payload = service.handle("POST", "/sessions",
+                                    {"design": "demo"})
+        sid = payload["session"]["sid"]
+        status, payload = service.handle("DELETE", "/designs/demo")
+        assert status == 200
+        assert payload["sessions_dropped"] == [sid]
+        status, _ = service.handle("GET", f"/sessions/{sid}")
+        assert status == 404
+
+
+class TestErrors:
+    def test_unknown_route_is_404(self, service):
+        status, payload = service.handle("GET", "/nonsense")
+        assert (status, payload["ok"]) == (404, False)
+        assert payload["error"]["code"] == "not_found"
+
+    def test_wrong_method_is_405(self, service):
+        status, payload = service.handle("DELETE", "/healthz")
+        assert status == 405
+        assert payload["error"]["code"] == "method_not_allowed"
+
+    def test_unknown_design_and_session_are_404(self, service):
+        for path in ("/designs/ghost", "/sessions/s999"):
+            status, payload = service.handle("GET", path)
+            assert status == 404, path
+
+    @pytest.mark.parametrize("body, fragment", [
+        ({}, "missing 'k'"),
+        ({"k": 0}, "positive integer"),
+        ({"k": True}, "positive integer"),
+        ({"k": 2, "mode": "warp"}, "unknown mode"),
+        ({"k": 2, "corner": "fast"}, "no corners"),
+        ({"k": 2, "page": -1}, "page"),
+        ({"k": 2, "page_size": 0}, "page_size"),
+        ({"k": 2, "surprise": 1}, "unknown field"),
+    ])
+    def test_bad_query_arguments_are_structured_400s(
+            self, service, body, fragment):
+        status, payload = service.handle(
+            "POST", "/designs/demo/rank_paths", body)
+        assert status == 400, payload
+        assert payload["error"]["code"] == "bad_request"
+        assert fragment in payload["error"]["message"]
+        assert "paths" not in payload
+
+    def test_non_object_body_rejected(self, service):
+        status, payload = service.handle(
+            "POST", "/designs/demo/rank_paths", [1, 2])
+        assert status == 400
+        assert "JSON object" in payload["error"]["message"]
+
+
+class TestQueries:
+    def test_rank_paths_matches_engine_bit_for_bit(self, service):
+        graph, constraints = demo_design()
+        engine = CpprEngine(TimingAnalyzer(graph, constraints),
+                            CpprOptions())
+        want = paths_to_dicts(engine.analyzer,
+                              engine.top_paths(4, "setup"))
+        status, payload = service.handle(
+            "POST", "/designs/demo/rank_paths", {"k": 4})
+        assert status == 200
+        assert payload["paths"] == want
+
+    def test_paging_covers_exactly_the_topk(self, service):
+        _, full = service.handle("POST", "/designs/demo/rank_paths",
+                                 {"k": 5})
+        seen = []
+        page = 0
+        while True:
+            status, payload = service.handle(
+                "POST", "/designs/demo/rank_paths",
+                {"k": 5, "page": page, "page_size": 2})
+            assert status == 200
+            assert payload["total"] == full["total"]
+            if not payload["paths"]:
+                break
+            seen.extend(payload["paths"])
+            page += 1
+        assert seen == full["paths"]
+
+    def test_compute_slack_agrees_with_rank(self, service):
+        _, ranked = service.handle("POST", "/designs/demo/rank_paths",
+                                   {"k": 3, "mode": "hold"})
+        status, payload = service.handle(
+            "POST", "/designs/demo/compute_slack",
+            {"k": 3, "mode": "hold"})
+        assert status == 200
+        assert payload["slacks"] == [p["slack"]
+                                     for p in ranked["paths"]]
+        assert payload["wns"] == ranked["paths"][0]["slack"]
+
+    def test_verify_path_round_trip(self, service):
+        _, ranked = service.handle("POST", "/designs/demo/rank_paths",
+                                   {"k": 1})
+        top = ranked["paths"][0]
+        status, payload = service.handle(
+            "POST", "/designs/demo/verify_path",
+            {"pins": top["pins"], "expect_slack": top["slack"]})
+        assert status == 200
+        assert payload["matches"] is True
+        assert payload["path"]["slack"] == top["slack"]
+
+    def test_verify_path_unknown_pin_is_400(self, service):
+        status, payload = service.handle(
+            "POST", "/designs/demo/verify_path",
+            {"pins": ["no/such/pin"]})
+        assert status == 400
+        assert "unknown pin" in payload["error"]["message"]
+
+    def test_corner_queries(self):
+        from repro.corners import Corner, CornerSet
+
+        service = make_service()
+        graph, constraints = demo_design()
+        service.add_design(
+            graph, constraints,
+            CpprOptions(corners=CornerSet([Corner("base"),
+                                           Corner("alt")])))
+        status, payload = service.handle(
+            "POST", "/designs/demo/rank_paths",
+            {"k": 2, "corner": "base"})
+        assert status == 200 and payload["corner"] == "base"
+        status, payload = service.handle(
+            "POST", "/designs/demo/rank_paths", {"k": 2})
+        assert status == 400
+        assert "corner" in payload["error"]["message"]
+
+
+class TestSessions:
+    ECO = {"delays": [{"driver": "g1/Y", "sink": "ff2/D",
+                       "early": 0.4, "late": 0.9}]}
+
+    def test_session_lifecycle(self, service):
+        status, payload = service.handle("POST", "/sessions",
+                                         {"design": "demo"})
+        assert status == 200
+        sid = payload["session"]["sid"]
+        assert payload["session"]["basis"] == [0, 0]
+        status, payload = service.handle("GET", "/sessions")
+        assert [s["sid"] for s in payload["sessions"]] == [sid]
+        status, payload = service.handle("DELETE", f"/sessions/{sid}")
+        assert status == 200
+
+    def test_update_bumps_basis_and_journal(self, service):
+        _, payload = service.handle("POST", "/sessions",
+                                    {"design": "demo"})
+        sid = payload["session"]["sid"]
+        status, payload = service.handle(
+            "POST", f"/sessions/{sid}/update", dict(self.ECO))
+        assert status == 200
+        assert payload["basis"] == [0, 1]
+        assert payload["journal_entries"] == 1
+
+    def test_session_query_tracks_edits_bit_for_bit(self, service):
+        from repro import DelayUpdate
+
+        _, payload = service.handle("POST", "/sessions",
+                                    {"design": "demo"})
+        sid = payload["session"]["sid"]
+        service.handle("POST", f"/sessions/{sid}/update",
+                       dict(self.ECO))
+        _, served = service.handle("POST", f"/sessions/{sid}/rank_paths",
+                                   {"k": 3})
+        graph, constraints = demo_design()
+        solo = CpprEngine(TimingAnalyzer(graph, constraints),
+                          CpprOptions()).session()
+        solo.update(delays=[DelayUpdate("g1/Y", "ff2/D", 0.4, 0.9)])
+        want = paths_to_dicts(solo.analyzer, solo.top_paths(3, "setup"))
+        assert served["paths"] == want
+
+    def test_bad_eco_is_structured_400(self, service):
+        _, payload = service.handle("POST", "/sessions",
+                                    {"design": "demo"})
+        sid = payload["session"]["sid"]
+        status, payload = service.handle(
+            "POST", f"/sessions/{sid}/update",
+            {"delays": [{"driver": "g1/Y"}]})
+        assert status == 400
+        assert payload["error"]["code"] == "bad_request"
+
+    def test_checkpoint_restore_round_trip(self, service):
+        _, payload = service.handle("POST", "/sessions",
+                                    {"design": "demo"})
+        sid = payload["session"]["sid"]
+        service.handle("POST", f"/sessions/{sid}/update",
+                       dict(self.ECO))
+        _, want = service.handle("POST", f"/sessions/{sid}/rank_paths",
+                                 {"k": 3})
+        _, payload = service.handle("GET",
+                                    f"/sessions/{sid}/checkpoint")
+        checkpoint = payload["checkpoint"]
+        assert checkpoint["design"] == "demo"
+        assert checkpoint["basis"] == [0, 1]
+        status, payload = service.handle(
+            "POST", "/sessions/restore", {"checkpoint": checkpoint})
+        assert status == 200
+        assert payload["replayed_entries"] == 1
+        restored = payload["session"]["sid"]
+        assert restored != sid
+        _, got = service.handle("POST",
+                                f"/sessions/{restored}/rank_paths",
+                                {"k": 3})
+        assert got["paths"] == want["paths"]
+
+    def test_restore_of_corrupted_checkpoint_is_400(self, service):
+        status, payload = service.handle(
+            "POST", "/sessions/restore",
+            {"checkpoint": {"design": "demo",
+                            "entries": [{"eco": 5, "basis": [0, 1]}]}})
+        assert status == 400
+        assert payload["error"]["code"] == "bad_request"
+
+
+class TestMetricsEndpoint:
+    def test_metrics_snapshot_shape(self, service):
+        service.handle("POST", "/designs/demo/rank_paths", {"k": 1})
+        status, payload = service.handle("GET", "/metrics")
+        assert status == 200
+        snapshot = payload["metrics"]
+        assert "metrics" in snapshot and "schema" in snapshot
+        inflight = snapshot["metrics"].get("server.inflight")
+        assert inflight is not None
+        assert inflight["samples"][0]["value"] == 0.0

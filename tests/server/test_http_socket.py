@@ -1,0 +1,132 @@
+"""The HTTP face over real sockets: framing, keep-alive, headers, and
+the guarantee that malformed transport input still yields structured
+JSON errors."""
+
+from __future__ import annotations
+
+import json
+import socket
+
+import pytest
+
+from repro.server import BackgroundServer
+
+from tests.server.conftest import add_demo, make_service
+
+
+@pytest.fixture(scope="module")
+def server():
+    service = make_service()
+    add_demo(service)
+    with BackgroundServer(service) as running:
+        yield running
+
+
+class TestHttp:
+    def test_healthz_and_query_round_trip(self, server):
+        status, payload = server.request("GET", "/healthz")
+        assert status == 200 and payload["status"] == "serving"
+        status, payload = server.request(
+            "POST", "/designs/demo/rank_paths", {"k": 2})
+        assert status == 200
+        assert len(payload["paths"]) == 2
+
+    def test_header_deadline_maps_to_408(self, server):
+        status, payload = server.request(
+            "POST", "/designs/demo/rank_paths", {"k": 2},
+            deadline=1e-6)
+        assert status == 408
+        assert payload["error"]["code"] == "deadline"
+
+    def test_retry_after_header_mirrors_body(self, server):
+        from repro import faults
+
+        with faults.inject("server.queue_overflow:times=1"):
+            with socket.create_connection(server.address,
+                                          timeout=30) as sock:
+                body = json.dumps({"k": 1}).encode()
+                sock.sendall(
+                    b"POST /designs/demo/rank_paths HTTP/1.1\r\n"
+                    b"Host: t\r\nContent-Type: application/json\r\n"
+                    + f"Content-Length: {len(body)}\r\n".encode()
+                    + b"Connection: close\r\n\r\n" + body)
+                raw = b""
+                while True:
+                    chunk = sock.recv(65536)
+                    if not chunk:
+                        break
+                    raw += chunk
+        head, _, tail = raw.partition(b"\r\n\r\n")
+        assert b" 429 " in head.split(b"\r\n")[0]
+        headers = head.decode().lower()
+        assert "retry-after:" in headers
+        assert json.loads(tail)["error"]["code"] == "overloaded"
+
+    def test_keep_alive_serves_multiple_requests(self, server):
+        with socket.create_connection(server.address,
+                                      timeout=30) as sock:
+            for _ in range(3):
+                sock.sendall(b"GET /healthz HTTP/1.1\r\nHost: t\r\n"
+                             b"Content-Length: 0\r\n\r\n")
+                raw = b""
+                while b"\r\n\r\n" not in raw:
+                    raw += sock.recv(65536)
+                head, _, tail = raw.partition(b"\r\n\r\n")
+                length = int([line for line in head.decode().split("\r\n")
+                              if line.lower().startswith("content-length")
+                              ][0].split(":")[1])
+                while len(tail) < length:
+                    tail += sock.recv(65536)
+                assert json.loads(tail)["status"] == "serving"
+
+    def test_bad_json_body_is_structured_400(self, server):
+        with socket.create_connection(server.address,
+                                      timeout=30) as sock:
+            body = b"{not json"
+            sock.sendall(
+                b"POST /designs/demo/rank_paths HTTP/1.1\r\nHost: t\r\n"
+                + f"Content-Length: {len(body)}\r\n".encode()
+                + b"Connection: close\r\n\r\n" + body)
+            raw = b""
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                raw += chunk
+        head, _, tail = raw.partition(b"\r\n\r\n")
+        assert b" 400 " in head.split(b"\r\n")[0]
+        assert json.loads(tail)["error"]["code"] == "bad_request"
+
+    def test_garbage_request_line_is_400(self, server):
+        with socket.create_connection(server.address,
+                                      timeout=30) as sock:
+            sock.sendall(b"COMPLETE GARBAGE\r\n\r\n")
+            raw = b""
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                raw += chunk
+        assert b" 400 " in raw.split(b"\r\n")[0]
+
+    def test_concurrent_clients_all_answered(self, server):
+        import threading
+
+        results = []
+        lock = threading.Lock()
+
+        def client():
+            status, payload = server.request(
+                "POST", "/designs/demo/rank_paths", {"k": 2})
+            with lock:
+                results.append((status, payload["paths"]))
+
+        threads = [threading.Thread(target=client) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(results) == 8
+        first = results[0][1]
+        assert all(status == 200 and paths == first
+                   for status, paths in results)
