@@ -973,6 +973,151 @@ def run_corners(args) -> None:
 # ----------------------------------------------------------------------
 # Obs (instrumentation overhead of the observability plane)
 # ----------------------------------------------------------------------
+def run_ingest(args) -> None:
+    """Frontend ingestion cost: Yosys JSON + SDF to a served query.
+
+    Measures the three phases a cold ``repro report netlist.json --sdf
+    delays.sdf`` pays before the first answer — parse (JSON + SDF text
+    into syntax objects), build (annotation, elaboration, and corner
+    extraction via :func:`repro.io.load_design`), and the first
+    uncached top-k query — on the committed counter fixture plus a
+    synthetic register chain large enough for stable wall times.
+    """
+    import json
+
+    from repro import CpprEngine, CpprOptions, TimingAnalyzer
+    from repro.io.frontend import load_design
+    from repro.io.sdf import parse_sdf
+    from repro.io.yosys_json import parse_yosys_json
+
+    k = max(args.k_values)
+    stages = 200 if args.quick else 1000
+    payload = {
+        "schema": "repro.bench/ingest@1",
+        "scale": args.scale,
+        "k": k,
+        "designs": {},
+    }
+    lines = [f"# Ingest — frontend cost to first answer, k={k}", "",
+             "| Design | cells | parse(s) | build(s) | "
+             "first query(s) |",
+             "|---|---|---|---|---|"]
+
+    import tempfile
+    with tempfile.TemporaryDirectory() as tmp:
+        chain_json = Path(tmp) / "chain.json"
+        chain_sdf = Path(tmp) / "chain.sdf"
+        chain_json.write_text(_synthetic_chain_json(stages))
+        chain_sdf.write_text(_synthetic_chain_sdf(stages))
+        cases = [
+            ("counter", "tests/io/fixtures/counter.json",
+             "tests/io/fixtures/counter.sdf"),
+            (f"chain{stages}", str(chain_json), str(chain_sdf)),
+        ]
+        for name, netlist, sdf in cases:
+            netlist_text = Path(netlist).read_text()
+            sdf_text = Path(sdf).read_text()
+
+            def parse_both():
+                parse_yosys_json(netlist_text, path=netlist)
+                parse_sdf(sdf_text, path=sdf)
+
+            parse_seconds, _ = _measure(parse_both, with_memory=False,
+                                        repeat=3)
+            build_seconds, _ = _measure(
+                lambda: load_design(netlist, sdf=sdf,
+                                    sdf_corners=True),
+                with_memory=False, repeat=3)
+            imported = load_design(netlist, sdf=sdf, sdf_corners=True)
+
+            def first_query():
+                engine = CpprEngine(
+                    TimingAnalyzer(imported.graph,
+                                   imported.constraints),
+                    CpprOptions(corners=imported.corners))
+                return engine.top_paths_by_corner(k, "setup")
+
+            query_seconds, _ = _measure(first_query, with_memory=False,
+                                        repeat=3)
+            module, _meta = parse_yosys_json(netlist_text, path=netlist)
+            payload["designs"][name] = {
+                "cells": len(module.instances),
+                "corners": list(imported.corners.names),
+                "parse_seconds": parse_seconds,
+                "build_seconds": build_seconds,
+                "first_query_seconds": query_seconds,
+            }
+            lines.append(f"| {name} | {len(module.instances)} | "
+                         f"{parse_seconds:.4f} | {build_seconds:.4f} | "
+                         f"{query_seconds:.4f} |")
+
+    write_bench_profile(RESULTS_DIR / "BENCH_ingest.json", payload)
+    print(f"[ingest] wrote {RESULTS_DIR / 'BENCH_ingest.json'}",
+          file=sys.stderr)
+    _emit(lines, "ingest.md")
+    print(json.dumps(payload, indent=2))
+
+
+def _synthetic_chain_json(stages: int) -> str:
+    """A Yosys-shaped register chain: clk buffer, then ``stages`` of
+    inverter + DFF, each stage's Q feeding the next stage's inverter."""
+    import json
+
+    bit = iter(range(2, 10 * stages + 100)).__next__
+    clk, a = bit(), bit()
+    clk_buf = bit()
+    cells = {"cb": {"type": "$_BUF_",
+                    "connections": {"A": [clk], "Y": [clk_buf]}}}
+    prev = a
+    for index in range(stages):
+        inv, q = bit(), bit()
+        cells[f"g{index}"] = {"type": "$_NOT_",
+                              "connections": {"A": [prev], "Y": [inv]}}
+        cells[f"ff{index}"] = {
+            "type": "$_DFF_P_",
+            "connections": {"C": [clk_buf], "D": [inv], "Q": [q]}}
+        prev = q
+    return json.dumps({"modules": {"chain": {
+        "attributes": {"top": 1},
+        "ports": {"clk": {"direction": "input", "bits": [clk]},
+                  "a": {"direction": "input", "bits": [a]},
+                  "y": {"direction": "output", "bits": [prev]}},
+        "cells": cells,
+        "netnames": {},
+    }}})
+
+
+def _synthetic_chain_sdf(stages: int) -> str:
+    """Matching SDF: an IOPATH per cell plus the D/CK interconnects,
+    with deterministic per-stage min:typ:max spreads."""
+    lines = ['(DELAYFILE', '  (SDFVERSION "3.0")', '  (DESIGN "chain")',
+             '  (TIMESCALE 1ns)',
+             '  (CELL (CELLTYPE "BUF_X1") (INSTANCE cb)',
+             '    (DELAY (ABSOLUTE (IOPATH A0 Y '
+             '(0.040:0.050:0.070)))))']
+    for index in range(stages):
+        base = 0.080 + 0.0001 * (index % 7)
+        lines.append(
+            f'  (CELL (CELLTYPE "INV_X1") (INSTANCE g{index})\n'
+            f'    (DELAY (ABSOLUTE (IOPATH A0 Y '
+            f'({base:.4f}:{base + 0.02:.4f}:{base + 0.05:.4f})))))')
+        lines.append(
+            f'  (CELL (CELLTYPE "DFF_X1") (INSTANCE ff{index})\n'
+            f'    (DELAY (ABSOLUTE (IOPATH (posedge CK) Q '
+            f'(0.1200:0.1500:0.1900)))))')
+    wires = []
+    for index in range(stages):
+        wires.append(f'      (INTERCONNECT g{index}/Y ff{index}/D '
+                     f'(0.0080:0.0100:0.0140))')
+        wires.append(f'      (INTERCONNECT cb/Y ff{index}/CK '
+                     f'(0.0050:0.0060:0.0080))')
+    lines.append('  (CELL (CELLTYPE "chain") (INSTANCE)\n'
+                 '    (DELAY (ABSOLUTE\n' + "\n".join(wires) +
+                 '\n    )))')
+    lines.append(')')
+    return "\n".join(lines) + "\n"
+
+
 def run_obs(args) -> None:
     """Collector-armed vs disarmed wall time on the full analysis.
 
@@ -1229,7 +1374,7 @@ def main(argv=None) -> None:
                                  "ablation", "backend", "batched",
                                  "incremental", "faults", "parallel",
                                  "corners", "profile", "obs", "server",
-                                 "all"])
+                                 "ingest", "all"])
     parser.add_argument("--scale", type=float, default=1.0,
                         help="design scale factor (default 1.0)")
     parser.add_argument("--quick", action="store_true",
@@ -1263,7 +1408,7 @@ def main(argv=None) -> None:
              "faults": run_faults, "parallel": run_parallel,
              "corners": run_corners,
              "profile": run_profile, "obs": run_obs,
-             "server": run_server}
+             "server": run_server, "ingest": run_ingest}
     selected = (list(steps) if "all" in args.what
                 else list(dict.fromkeys(args.what)))
     for name in selected:

@@ -30,9 +30,10 @@ from repro.cppr import (CpprEngine, CpprOptions, PathFamily, TimingPath,
                         pair_paths)
 from repro.exceptions import (AnalysisError, CircuitStructureError,
                               DegradedResultWarning, ExecutionError,
-                              FormatError, ReproError,
+                              FormatError, ReproError, SourceLocation,
                               TimingConstraintError)
-from repro.io import (load_design, load_design_json, save_design,
+from repro.io import (ImportedDesign, detect_format, load_design,
+                      load_design_json, register_format, save_design,
                       save_design_json)
 from repro.pipeline import CpprSession
 from repro.sta import AnalysisMode, TimingAnalyzer, TimingConstraints
@@ -57,6 +58,7 @@ __all__ = [
     "ExecutionError",
     "ExhaustiveTimer",
     "FormatError",
+    "ImportedDesign",
     "Netlist",
     "PairEnumTimer",
     "PathFamily",
@@ -64,6 +66,7 @@ __all__ = [
     "PinKind",
     "RandomDesignSpec",
     "ReproError",
+    "SourceLocation",
     "TimingAnalyzer",
     "TimingConstraintError",
     "TimingConstraints",
@@ -73,6 +76,7 @@ __all__ = [
     "build_design",
     "design_names",
     "design_statistics",
+    "detect_format",
     "endpoint_paths",
     "format_path",
     "format_path_report",
@@ -80,6 +84,7 @@ __all__ = [
     "load_design_json",
     "pair_paths",
     "random_design",
+    "register_format",
     "save_design",
     "save_design_json",
     "validate_graph",

@@ -41,8 +41,10 @@ from repro.baselines import (BlockBasedTimer, BranchBoundTimer,
 from repro.cppr.engine import CpprEngine, CpprOptions
 from repro.cppr.report import format_path_report
 from repro.exceptions import ReproError
-from repro.io.json_format import load_design_json, save_design_json
-from repro.io.tau_format import load_design, save_design
+from repro.io.frontend import ImportedDesign, formats
+from repro.io.frontend import load_design as load_frontend_design
+from repro.io.json_format import save_design_json
+from repro.io.tau_format import save_design
 from repro.sta.report import format_endpoint_report
 from repro.sta.timing import TimingAnalyzer
 from repro.utils.measure import measure_runtime
@@ -78,12 +80,6 @@ def _make_timer(name: str, analyzer, backend: str,
     return _TIMERS[name](analyzer)
 
 
-def _load(path: str):
-    if path.endswith(".json"):
-        return load_design_json(path)
-    return load_design(path)
-
-
 def _save(graph, constraints, path: str) -> None:
     if path.endswith(".json"):
         save_design_json(graph, constraints, path)
@@ -91,21 +87,23 @@ def _save(graph, constraints, path: str) -> None:
         save_design(graph, constraints, path)
 
 
-def _design_from_args(args):
+def _design_from_args(args) -> ImportedDesign:
+    """The design named by the CLI args, through the frontend registry."""
     if args.suite is not None:
-        return build_design(args.suite, scale=args.suite_scale)
+        graph, constraints = build_design(args.suite,
+                                          scale=args.suite_scale)
+        return ImportedDesign(graph=graph, constraints=constraints,
+                              format="suite", path=args.suite,
+                              meta={"scale": args.suite_scale})
     if args.design is None:
         raise ReproError("no design given: pass a file or --suite NAME")
-    if args.design.endswith(".v"):
-        if getattr(args, "sdc", None) is None:
-            raise ReproError(
-                "Verilog input needs constraints: pass --sdc FILE")
-        from repro.io.flow import read_design
-        from repro.library.standard import default_library
-        design, constraints = read_design(args.design, args.sdc,
-                                          default_library())
-        return design.graph, constraints
-    return _load(args.design)
+    return load_frontend_design(
+        args.design,
+        format=getattr(args, "format", None) or "auto",
+        sdc=getattr(args, "sdc", None),
+        sdf=getattr(args, "sdf", None),
+        clock_period=getattr(args, "clock_period", None),
+        sdf_corners=getattr(args, "sdf_corners", False))
 
 
 def _add_resilience_arguments(parser: argparse.ArgumentParser) -> None:
@@ -147,24 +145,28 @@ def _add_corner_arguments(parser: argparse.ArgumentParser) -> None:
                              "of per-corner reports")
 
 
-def _corners_from_args(args):
+def _corners_from_args(args, imported: ImportedDesign | None = None):
     """The validated :class:`~repro.corners.CornerSet`, or ``None``.
 
-    Spec-shape problems fail here; unknown pins or clock nodes inside a
-    corner file fail eagerly at engine construction (both before any
-    query runs), and file-format problems carry the loader's usual
-    ``path: context`` diagnostics.
+    Merges the repeatable ``--corner NAME=FILE`` specs with any corners
+    the frontend extracted from an SDF's min/typ/max triples
+    (``--sdf-corners``).  Spec-shape problems fail here; unknown pins
+    or clock nodes inside a corner file fail eagerly at engine
+    construction (both before any query runs), and file-format problems
+    carry the loader's usual ``path: context`` diagnostics.
     """
     specs = getattr(args, "corners", None)
-    if not specs:
+    sdf_set = imported.corners if imported is not None else None
+    if not specs and sdf_set is None:
         if getattr(args, "merged_worst", False):
             raise ReproError(
-                "--merged-worst needs at least one --corner NAME=FILE")
+                "--merged-worst needs at least one --corner NAME=FILE "
+                "or --sdf-corners")
         return None
     from repro.corners import Corner, CornerSet
 
-    corners = []
-    for spec in specs:
+    corners = list(sdf_set) if sdf_set is not None else []
+    for spec in specs or ():
         name, sep, path = spec.partition("=")
         if not sep or not name or not path:
             raise ReproError(
@@ -179,9 +181,25 @@ def _corners_from_args(args):
 
 def _add_design_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("design", nargs="?",
-                        help="design file (.cppr, .json, or .v)")
+                        help="design file (.cppr, .json, .v, or Yosys "
+                             "write_json)")
+    parser.add_argument("--format", dest="format", default="auto",
+                        choices=["auto"] + [s.name for s in formats()],
+                        help="input format (default: auto-detect by "
+                             "extension and content)")
     parser.add_argument("--sdc",
-                        help="SDC constraints (required for .v designs)")
+                        help="SDC constraints (required for .v designs; "
+                             "optional for Yosys JSON)")
+    parser.add_argument("--sdf", metavar="FILE",
+                        help="SDF delay annotation for netlist formats "
+                             "(IOPATH/INTERCONNECT min:typ:max)")
+    parser.add_argument("--sdf-corners", action="store_true",
+                        help="with --sdf: realize the min/typ/max "
+                             "triples as an MCMM corner set")
+    parser.add_argument("--clock-period", type=float, default=None,
+                        metavar="T",
+                        help="clock period for a synthesized Yosys "
+                             "clock (default: auto-suggested)")
     parser.add_argument("--suite", choices=design_names(),
                         help="use a generated suite design instead")
     parser.add_argument("--suite-scale", type=float, default=1.0,
@@ -189,7 +207,8 @@ def _add_design_arguments(parser: argparse.ArgumentParser) -> None:
 
 
 def _cmd_stats(args) -> int:
-    graph, constraints = _design_from_args(args)
+    imported = _design_from_args(args)
+    graph, constraints = imported
     stats = design_statistics(graph)
     print(DesignStats.header())
     print(stats.row())
@@ -218,8 +237,9 @@ def _cmd_report(args) -> int:
     profiling = (args.profile or args.profile_json
                  or args.trace_out is not None
                  or args.span_log is not None)
-    graph, constraints = _design_from_args(args)
-    corner_set = _corners_from_args(args)
+    imported = _design_from_args(args)
+    graph, constraints = imported
+    corner_set = _corners_from_args(args, imported)
     if corner_set is not None:
         if args.pre or args.pair is not None or args.endpoint is not None:
             raise ReproError(
@@ -340,8 +360,9 @@ def _cmd_eco(args) -> int:
 
     profiling = (args.profile or args.trace_out is not None
                  or args.span_log is not None)
-    graph, constraints = _design_from_args(args)
-    corner_set = _corners_from_args(args)
+    imported = _design_from_args(args)
+    graph, constraints = imported
+    corner_set = _corners_from_args(args, imported)
     updates = load_eco_updates(args.updates)
     if not updates:
         raise ReproError(f"{args.updates}: no delay or clock edits")
@@ -446,7 +467,10 @@ def _cmd_generate(args) -> int:
 
 
 def _cmd_convert(args) -> int:
-    graph, constraints = _load(args.input)
+    graph, constraints = load_frontend_design(
+        args.input, format=args.format or "auto",
+        sdc=getattr(args, "sdc", None), sdf=getattr(args, "sdf", None),
+        clock_period=getattr(args, "clock_period", None))
     _save(graph, constraints, args.output)
     print(f"converted {args.input} -> {args.output}")
     return 0
@@ -531,8 +555,9 @@ def _cmd_serve(args) -> int:
         trace_out=args.trace_out, span_log=args.span_log)
     service = TimingService(options)
     if args.design is not None or args.suite is not None:
-        corners = _corners_from_args(args)
-        graph, constraints = _design_from_args(args)
+        imported = _design_from_args(args)
+        corners = _corners_from_args(args, imported)
+        graph, constraints = imported
         token = service.add_design(
             graph, constraints,
             CpprOptions(backend=args.backend,
@@ -647,8 +672,21 @@ def build_parser() -> argparse.ArgumentParser:
     generate.set_defaults(func=_cmd_generate)
 
     convert = sub.add_parser("convert", help="convert between formats")
-    convert.add_argument("input")
-    convert.add_argument("output")
+    convert.add_argument("input",
+                         help="any registered input format (.cppr, "
+                              ".json, .v, Yosys JSON)")
+    convert.add_argument("output", help="output file (.cppr or .json)")
+    convert.add_argument("--format", default="auto",
+                         choices=["auto"] + [s.name for s in formats()],
+                         help="input format (default auto-detect)")
+    convert.add_argument("--sdc",
+                         help="SDC constraints for netlist inputs")
+    convert.add_argument("--sdf", metavar="FILE",
+                         help="SDF delay annotation for netlist inputs")
+    convert.add_argument("--clock-period", type=float, default=None,
+                         metavar="T",
+                         help="clock period for a synthesized Yosys "
+                              "clock")
     convert.set_defaults(func=_cmd_convert)
 
     compare = sub.add_parser("compare", help="race timer architectures")

@@ -16,13 +16,12 @@ from repro.delaycalc.calc import CalculatedDesignTiming, calculate_timing
 from repro.delaycalc.models import TimingLibrary
 from repro.delaycalc.wire import WireLoadModel
 from repro.exceptions import FormatError
-from repro.io.flow import _FF_REQUIRED_PORTS, _net_drivers, \
-    _trace_clock_network
+from repro.io.flow import _trace_clock_network, elaborate_design
 from repro.io.sdc import SdcConstraints, read_sdc
 from repro.io.verilog import VerilogModule, read_verilog
 from repro.library.cells import StandardCellLibrary
 from repro.sta.constraints import TimingConstraints
-from repro.transitions.netlist import RiseFallDesign, RiseFallNetlist
+from repro.transitions.netlist import RiseFallDesign
 
 __all__ = ["elaborate_timed_design", "read_timed_design"]
 
@@ -41,101 +40,37 @@ def elaborate_timed_design(module: VerilogModule, sdc: SdcConstraints,
     """
     if sdc.clock_port is None or sdc.clock_period is None:
         raise FormatError("SDC must contain create_clock")
-    drivers = _net_drivers(module, library)
-    clock_nets, clock_cells = _trace_clock_network(module, library,
-                                                   sdc.clock_port)
+    _, clock_cells = _trace_clock_network(module, library, sdc.clock_port)
     clock_cell_names = {instance.name for instance in clock_cells}
     calculated = calculate_timing(module, library, timing, wire_model,
                                   input_slew)
 
-    netlist = RiseFallNetlist(module.name, library)
-    netlist.set_clock_root(sdc.clock_port)
-
-    node_of_net = {sdc.clock_port: sdc.clock_port}
-    for instance in clock_cells:
-        parent = node_of_net[instance.connections["A0"]]
-        # A rising-edge clock propagates through non-inverting buffers
-        # as output-rise arcs.
-        early, late = calculated.arc_delays[(instance.name, 0, "r")]
-        netlist.add_clock_buffer(instance.name, parent, early, late)
-        node_of_net[instance.connections["Y"]] = instance.name
-
-    for port in module.inputs:
-        if port == sdc.clock_port:
-            continue
-        if port in clock_nets:
-            raise FormatError(
-                f"input {port!r} is part of the clock network but is "
-                f"not the SDC clock port")
-        early, late = sdc.input_arrival(port)
-        netlist.add_primary_input(port, rise_at=(early, late),
-                                  fall_at=(early, late))
-    for port in module.outputs:
-        rat_early, rat_late = sdc.output_required(port)
-        netlist.add_primary_output(port, rat_early, rat_late)
-
+    # Every instance gets a cell clone carrying its calculated delays;
+    # the shared elaboration pipeline does the rest.
+    cell_overrides: dict = {}
     for instance in module.instances:
-        if instance.name in clock_cell_names:
-            continue
-        if library.is_flip_flop(instance.cell):
-            for port in _FF_REQUIRED_PORTS:
-                if port not in instance.connections:
-                    raise FormatError(
-                        f"flip-flop {instance.name!r} is missing its "
-                        f"{port} connection")
-            ck_net = instance.connections["CK"]
-            if ck_net not in clock_nets:
-                raise FormatError(
-                    f"flip-flop {instance.name!r} clock pin is driven "
-                    f"by {ck_net!r}, which is not part of the clock "
-                    f"network")
-            base = library.flip_flop(instance.cell)
-            timed_cell = replace(
-                base,
-                clk_to_q_rise=calculated.clk_to_q[(instance.name, "r")],
-                clk_to_q_fall=calculated.clk_to_q[(instance.name, "f")])
-            netlist.add_flipflop_cell(instance.name, timed_cell)
-            netlist.connect_clock(instance.name, node_of_net[ck_net],
-                                  0.0, 0.0)
-        else:
+        name = instance.name
+        if name in clock_cell_names or not library.is_flip_flop(
+                instance.cell):
             base = library.cell(instance.cell)
-            timed_cell = replace(
+            cell_overrides[name] = replace(
                 base,
                 rise_delays=tuple(
-                    calculated.arc_delays[(instance.name, i, "r")]
+                    calculated.arc_delays[(name, i, "r")]
                     for i in range(base.num_inputs)),
                 fall_delays=tuple(
-                    calculated.arc_delays[(instance.name, i, "f")]
+                    calculated.arc_delays[(name, i, "f")]
                     for i in range(base.num_inputs)))
-            netlist.add_gate_cell(instance.name, timed_cell)
-            for i in range(base.num_inputs):
-                if f"A{i}" not in instance.connections:
-                    raise FormatError(
-                        f"gate {instance.name!r} ({base.name}) is "
-                        f"missing input A{i}")
+        else:
+            base = library.flip_flop(instance.cell)
+            cell_overrides[name] = replace(
+                base,
+                clk_to_q_rise=calculated.clk_to_q[(name, "r")],
+                clk_to_q_fall=calculated.clk_to_q[(name, "f")])
 
-    def driver_ref(net: str) -> str:
-        try:
-            driver = drivers[net]
-        except KeyError:
-            raise FormatError(f"net {net!r} has no driver") from None
-        if driver[0] == "port":
-            return driver[1]
-        _kind, instance_name, port = driver
-        return f"{instance_name}/{port}"
-
-    for instance in module.instances:
-        if instance.name in clock_cell_names:
-            continue
-        for port, net in instance.connections.items():
-            if port in ("Y", "Q", "CK"):
-                continue
-            netlist.connect(driver_ref(net), f"{instance.name}/{port}")
-    for port in module.outputs:
-        netlist.connect(driver_ref(port), port)
-
-    return (netlist.elaborate(), TimingConstraints(sdc.clock_period),
-            calculated)
+    design, constraints = elaborate_design(
+        module, sdc, library, cell_overrides=cell_overrides)
+    return design, constraints, calculated
 
 
 def read_timed_design(verilog_path: str | os.PathLike,

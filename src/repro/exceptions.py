@@ -98,18 +98,65 @@ class DegradedResultWarning(RuntimeWarning):
     """
 
 
+class SourceLocation:
+    """A ``path:line:col`` position inside a design source file.
+
+    The shared diagnostics vocabulary of every frontend parser: the
+    tokenizer (or line scanner) tracks one of these and hands it to
+    :class:`FormatError` via :meth:`error`, so all formats — TAU text,
+    JSON, Verilog, Yosys JSON, SDF — report positions identically.
+    Lines and columns are 1-based; either may be omitted when the
+    format has no meaningful notion of it (``col`` for line-oriented
+    formats, both for whole-file errors).
+    """
+
+    __slots__ = ("path", "line", "col")
+
+    def __init__(self, path: str | None = None, line: int | None = None,
+                 col: int | None = None) -> None:
+        self.path = None if path is None else str(path)
+        self.line = line
+        self.col = col
+
+    def __str__(self) -> str:
+        parts = [] if self.path is None else [self.path]
+        if self.line is not None:
+            parts.append(str(self.line))
+            if self.col is not None:
+                parts.append(str(self.col))
+        return ":".join(parts)
+
+    def __repr__(self) -> str:
+        return (f"SourceLocation(path={self.path!r}, line={self.line!r}, "
+                f"col={self.col!r})")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SourceLocation):
+            return NotImplemented
+        return (self.path, self.line, self.col) == \
+            (other.path, other.line, other.col)
+
+    def error(self, message: str) -> "FormatError":
+        """A :class:`FormatError` pinned to this location."""
+        return FormatError(message, path=self.path, line=self.line,
+                           col=self.col)
+
+
 class FormatError(ReproError):
-    """A design file could not be parsed or serialized."""
+    """A design file could not be parsed or serialized.
+
+    The message is prefixed with the offending position as
+    ``path:line:col:`` (each part optional, rendered by
+    :class:`SourceLocation`), the diagnostic shape editors and CI log
+    scrapers already understand.
+    """
 
     def __init__(self, message: str, *, line: int | None = None,
-                 path: str | None = None) -> None:
-        location = ""
-        if path is not None:
-            location += str(path)
-        if line is not None:
-            location += f":{line}"
+                 path: str | None = None, col: int | None = None) -> None:
+        location = str(SourceLocation(path, line, col))
         if location:
             message = f"{location}: {message}"
         super().__init__(message)
         self.line = line
+        self.col = col
         self.path = path

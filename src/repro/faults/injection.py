@@ -59,6 +59,13 @@ The firing *action* is site-specific and models the real failure:
                           admission gate consults :func:`triggered` and
                           sheds the request as if the bounded queue
                           were full (structured 429).
+``io.parse_error``        raises :class:`~repro.exceptions
+                          .FormatError` at the design-frontend entry
+                          point (:func:`repro.io.load_design`), as if
+                          the design file were truncated or corrupt;
+                          chaos CI uses it to prove ingestion always
+                          surfaces a structured, located error — never
+                          a partially-built design.
 ========================  ==============================================
 
 Persistent worker pools (:mod:`repro.cppr.shard`) outlive ``inject()``
@@ -90,7 +97,8 @@ __all__ = ["SITES", "FaultPlan", "FaultSpec", "InjectedFault",
 SITES = ("task.crash", "task.timeout", "task.exception", "numpy.import",
          "pool.broken", "memory.pressure", "pipeline.stale_artifact",
          "shm.attach", "shm.stale", "server.request_timeout",
-         "server.session_crash", "server.queue_overflow")
+         "server.session_crash", "server.queue_overflow",
+         "io.parse_error")
 
 #: Environment variable holding the ambient fault plan (see
 #: :func:`plan_from_env` for the format).
@@ -448,6 +456,9 @@ def _fire(site: str, spec: FaultSpec) -> None:
     if site == "shm.stale":
         from repro.exceptions import ShmStaleError
         raise ShmStaleError(f"injected fault at site {site!r}")
+    if site == "io.parse_error":
+        from repro.exceptions import FormatError
+        raise FormatError(f"injected fault at site {site!r}")
     # Corruption sites (pipeline.stale_artifact, server.queue_overflow)
     # are normally consulted via :func:`triggered`; a plain check()
     # still fails loudly.

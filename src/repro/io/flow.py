@@ -112,11 +112,34 @@ def _trace_clock_network(module: VerilogModule,
 
 
 def elaborate_design(module: VerilogModule, sdc: SdcConstraints,
-                     library: StandardCellLibrary
+                     library: StandardCellLibrary,
+                     *,
+                     cell_overrides: dict | None = None,
+                     net_delays: dict | None = None
                      ) -> tuple[RiseFallDesign, TimingConstraints]:
-    """Build an analyzable design from parsed inputs."""
+    """Build an analyzable design from parsed inputs.
+
+    The two hooks let delay annotators reshape the design without
+    duplicating the elaboration pipeline:
+
+    ``cell_overrides``
+        instance name -> cell template (a
+        :class:`~repro.library.cells.LibraryCell` or
+        :class:`~repro.library.cells.FlipFlopCell` clone carrying
+        per-instance delays).  Used by the delay calculator
+        (:mod:`repro.delaycalc.timed_flow`) and the SDF annotator
+        (:mod:`repro.io.sdf`).  Clock buffers take their tree-edge
+        delay from the override's input-0 rise arc.
+    ``net_delays``
+        sink pin reference (``"inst/A0"``, ``"inst/D"``, ``"inst/CK"``,
+        or an output port name) -> (early, late) wire delay for the net
+        into that pin.  Unannotated nets stay ideal.  A wire delay into
+        a clock buffer's ``A0`` is folded into that buffer's tree edge.
+    """
     if sdc.clock_port is None or sdc.clock_period is None:
         raise FormatError("SDC must contain create_clock")
+    cell_overrides = cell_overrides or {}
+    net_delays = net_delays or {}
     drivers = _net_drivers(module, library)
     clock_nets, clock_cells = _trace_clock_network(module, library,
                                                    sdc.clock_port)
@@ -129,10 +152,14 @@ def elaborate_design(module: VerilogModule, sdc: SdcConstraints,
     # first).  Tree node of a clock net = the cell driving it.
     node_of_net = {sdc.clock_port: sdc.clock_port}
     for instance in clock_cells:
-        cell = library.cell(instance.cell)
+        cell = cell_overrides.get(instance.name) \
+            or library.cell(instance.cell)
         parent = node_of_net[instance.connections["A0"]]
         early, late = cell.rise_delays[0]
-        netlist.add_clock_buffer(instance.name, parent, early, late)
+        wire_early, wire_late = net_delays.get(
+            f"{instance.name}/A0", (0.0, 0.0))
+        netlist.add_clock_buffer(instance.name, parent,
+                                 early + wire_early, late + wire_late)
         node_of_net[instance.connections["Y"]] = instance.name
 
     # Ports.
@@ -166,12 +193,16 @@ def elaborate_design(module: VerilogModule, sdc: SdcConstraints,
                     f"flip-flop {instance.name!r} clock pin is driven "
                     f"by {ck_net!r}, which is not part of the clock "
                     f"network")
-            netlist.add_flipflop(instance.name, instance.cell)
+            cell = cell_overrides.get(instance.name) \
+                or library.flip_flop(instance.cell)
+            netlist.add_flipflop_cell(instance.name, cell)
             netlist.connect_clock(instance.name, node_of_net[ck_net],
-                                  0.0, 0.0)
+                                  *net_delays.get(f"{instance.name}/CK",
+                                                  (0.0, 0.0)))
         else:
-            cell = library.cell(instance.cell)
-            netlist.add_gate(instance.name, instance.cell)
+            cell = cell_overrides.get(instance.name) \
+                or library.cell(instance.cell)
+            netlist.add_gate_cell(instance.name, cell)
             for i in range(cell.num_inputs):
                 if f"A{i}" not in instance.connections:
                     raise FormatError(
@@ -192,13 +223,15 @@ def elaborate_design(module: VerilogModule, sdc: SdcConstraints,
     for instance in module.instances:
         if instance.name in clock_cell_names:
             continue
-        is_ff = library.is_flip_flop(instance.cell)
         for port, net in instance.connections.items():
             if port in ("Y", "Q", "CK"):
                 continue
-            netlist.connect(driver_ref(net), f"{instance.name}/{port}")
+            sink = f"{instance.name}/{port}"
+            netlist.connect(driver_ref(net), sink,
+                            *net_delays.get(sink, (0.0, 0.0)))
     for port in module.outputs:
-        netlist.connect(driver_ref(port), port)
+        netlist.connect(driver_ref(port), port,
+                        *net_delays.get(port, (0.0, 0.0)))
 
     return netlist.elaborate(), TimingConstraints(sdc.clock_period)
 
@@ -207,7 +240,18 @@ def read_design(verilog_path: str | os.PathLike,
                 sdc_path: str | os.PathLike,
                 library: StandardCellLibrary
                 ) -> tuple[RiseFallDesign, TimingConstraints]:
-    """Parse, constrain, and expand a design from files."""
+    """Parse, constrain, and expand a design from files.
+
+    .. deprecated::
+        Use ``repro.io.load_design(path, format="verilog", sdc=...,
+        library=...)`` — the registry entry point also carries SDF
+        annotation and corner extraction.
+    """
+    import warnings
+    warnings.warn(
+        "repro.io.flow.read_design is deprecated; use "
+        "repro.io.load_design(path, format='verilog', sdc=..., "
+        "library=...)", DeprecationWarning, stacklevel=2)
     module = read_verilog(str(verilog_path))
     sdc = read_sdc(str(sdc_path))
     return elaborate_design(module, sdc, library)

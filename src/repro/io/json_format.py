@@ -1,9 +1,15 @@
-"""JSON design format: the neutral description, serialized verbatim."""
+"""JSON design format: the neutral description, serialized verbatim.
+
+Registered as the ``json`` frontend in :mod:`repro.io.frontend`; load
+through :func:`repro.io.load_design`.  The direct
+:func:`load_design_json` entry point is deprecated.
+"""
 
 from __future__ import annotations
 
 import json
 import os
+import warnings
 
 from repro.circuit.graph import TimingGraph
 from repro.exceptions import CircuitStructureError, FormatError
@@ -30,13 +36,26 @@ def save_design_json(graph: TimingGraph, constraints: TimingConstraints,
 
 def load_design_json(path: str | os.PathLike
                      ) -> tuple[TimingGraph, TimingConstraints]:
-    """Read a design written by :func:`save_design_json`."""
+    """Read a design written by :func:`save_design_json`.
+
+    .. deprecated::
+        Use ``repro.io.load_design(path, format="json")``.
+    """
+    warnings.warn(
+        "load_design_json is deprecated; use "
+        "repro.io.load_design(path, format='json')",
+        DeprecationWarning, stacklevel=2)
+    return _load_design_json(path)
+
+
+def _load_design_json(path: str | os.PathLike
+                      ) -> tuple[TimingGraph, TimingConstraints]:
     with open(path, "r", encoding="utf-8") as handle:
         try:
             payload = json.load(handle)
         except json.JSONDecodeError as exc:
-            raise FormatError(f"invalid JSON: {exc}",
-                              path=str(path)) from exc
+            raise FormatError(f"invalid JSON: {exc.msg}", path=str(path),
+                              line=exc.lineno, col=exc.colno) from exc
     if (not isinstance(payload, dict)
             or payload.get("format") != "repro-cppr-design"):
         raise FormatError("not a repro CPPR design file", path=str(path))

@@ -21,6 +21,7 @@ number.
 from __future__ import annotations
 
 import os
+import warnings
 
 from repro.circuit.graph import TimingGraph
 from repro.exceptions import CircuitStructureError, FormatError
@@ -164,6 +165,14 @@ def loads_design(text: str, path: str | None = None
 
 def load_design(path: str | os.PathLike
                 ) -> tuple[TimingGraph, TimingConstraints]:
-    """Read a design from ``path``."""
+    """Read a design from ``path``.
+
+    .. deprecated::
+        Use ``repro.io.load_design(path, format="tau")``.
+    """
+    warnings.warn(
+        "repro.io.tau_format.load_design is deprecated; use "
+        "repro.io.load_design(path, format='tau')",
+        DeprecationWarning, stacklevel=2)
     with open(path, "r", encoding="utf-8") as handle:
         return loads_design(handle.read(), path=str(path))

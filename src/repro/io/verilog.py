@@ -23,7 +23,7 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass, field
 
-from repro.exceptions import FormatError
+from repro.exceptions import FormatError, SourceLocation
 
 __all__ = ["VerilogInstance", "VerilogModule", "parse_verilog",
            "read_verilog", "save_verilog", "write_verilog"]
@@ -58,50 +58,75 @@ class VerilogModule:
 
 
 class _Tokens:
-    """Token stream with line tracking for error messages."""
+    """Token stream with line *and column* tracking for diagnostics.
+
+    :meth:`loc` is the position of the token about to be consumed (the
+    one an "unexpected X here" complaint is about); :meth:`last_loc` is
+    the position of the token just consumed (the one a "X is invalid"
+    complaint is about).  Errors pinned to the wrong one point a line
+    too far whenever the offending token ends a line.
+    """
 
     def __init__(self, text: str, path: str | None) -> None:
         self.path = path
-        self._items: list[tuple[str, int]] = []
+        self._items: list[tuple[str, int, int]] = []
         clean = _COMMENT_RE.sub(
             lambda match: "\n" * match.group().count("\n"), text)
         for line_no, line in enumerate(clean.splitlines(), start=1):
+            covered = bytearray(len(line))
             for match in _TOKEN_RE.finditer(line):
-                self._items.append((match.group(), line_no))
+                self._items.append((match.group(), line_no,
+                                    match.start() + 1))
+                for i in range(*match.span()):
+                    covered[i] = 1
             leftover = _TOKEN_RE.sub("", line).strip()
             if leftover:
+                col = next((i + 1 for i, ch in enumerate(line)
+                            if not covered[i] and not ch.isspace()),
+                           None)
                 raise FormatError(
                     f"unexpected characters {leftover!r}",
-                    line=line_no, path=path)
+                    line=line_no, col=col, path=path)
         self._pos = 0
-        self._last_line: int | None = None
+        self._last: tuple[str, int, int] | None = None
 
     def peek(self) -> str | None:
         if self._pos < len(self._items):
             return self._items[self._pos][0]
         return None
 
-    def line(self) -> int | None:
+    def loc(self) -> SourceLocation:
+        """Position of the next (unconsumed) token."""
+        if not self._items:
+            return SourceLocation(self.path)
         index = min(self._pos, len(self._items) - 1)
-        return self._items[index][1] if self._items else None
+        _, line, col = self._items[index]
+        return SourceLocation(self.path, line, col)
+
+    def last_loc(self) -> SourceLocation:
+        """Position of the most recently consumed token."""
+        if self._last is None:
+            return SourceLocation(self.path)
+        _, line, col = self._last
+        return SourceLocation(self.path, line, col)
 
     def next(self, expected: str | None = None) -> str:
         if self._pos >= len(self._items):
-            raise FormatError("unexpected end of file",
-                              line=self.line(), path=self.path)
-        token, line = self._items[self._pos]
+            raise self.loc().error("unexpected end of file")
+        item = self._items[self._pos]
         self._pos += 1
+        self._last = item
+        token, line, col = item
         if expected is not None and token != expected:
-            raise FormatError(f"expected {expected!r}, got {token!r}",
-                              line=line, path=self.path)
-        self._last_line = line
+            raise SourceLocation(self.path, line, col).error(
+                f"expected {expected!r}, got {token!r}")
         return token
 
     def next_identifier(self, what: str) -> str:
         token = self.next()
         if not re.fullmatch(r"[A-Za-z_][A-Za-z0-9_$]*", token):
-            raise FormatError(f"expected {what}, got {token!r}",
-                              line=self._last_line, path=self.path)
+            raise self.last_loc().error(
+                f"expected {what}, got {token!r}")
         return token
 
 
@@ -121,19 +146,21 @@ def _parse_instance(tokens: _Tokens, cell: str) -> VerilogInstance:
     if tokens.peek() != ")":
         while True:
             if tokens.peek() != ".":
-                raise FormatError(
+                raise tokens.loc().error(
                     f"instance {name!r}: only named port connections "
-                    f"(.PORT(net)) are supported",
-                    line=tokens.line(), path=tokens.path)
+                    f"(.PORT(net)) are supported")
             tokens.next(".")
             port = tokens.next_identifier("port name")
+            # Pin diagnostics to the port token itself: the old
+            # next-token position pointed one line too far whenever the
+            # duplicate connection ended a line.
+            port_loc = tokens.last_loc()
             tokens.next("(")
             net = tokens.next_identifier("net name")
             tokens.next(")")
             if port in connections:
-                raise FormatError(
-                    f"instance {name!r}: port {port!r} connected twice",
-                    line=tokens.line(), path=tokens.path)
+                raise port_loc.error(
+                    f"instance {name!r}: port {port!r} connected twice")
             connections[port] = net
             if tokens.peek() == ",":
                 tokens.next(",")
@@ -162,8 +189,7 @@ def parse_verilog(text: str, path: str | None = None) -> VerilogModule:
     while True:
         keyword = tokens.peek()
         if keyword is None:
-            raise FormatError("missing 'endmodule'",
-                              line=tokens.line(), path=path)
+            raise tokens.loc().error("missing 'endmodule'")
         if keyword == "endmodule":
             tokens.next()
             break

@@ -1,0 +1,255 @@
+"""Yosys ``write_json`` netlist importer.
+
+Walks the JSON document Yosys emits (``yosys -p 'write_json out.json'``)
+— top module, ``ports`` (direction + bit ids), ``cells`` (type +
+connections as bit ids), ``netnames`` — and rebuilds the neutral
+:class:`~repro.io.verilog.VerilogModule` our elaboration pipeline
+(:func:`repro.io.flow.elaborate_design`) consumes.  Yosys internal gate
+types (``$_NAND_``, ``$_DFF_P_``, …) are mapped onto
+:mod:`repro.library.standard` cells; netlists already mapped to the
+generic library (``NAND2_X1``…) pass through by name.
+
+Every bit id becomes a scalar net named after the port or net that
+carries it (multi-bit signals expand to ``name[i]``); constant bits
+(``"0"``/``"1"``/``"x"``) have no timing arcs and are rejected with a
+:class:`~repro.exceptions.FormatError`, as are buses wider than one bit
+on a cell pin.  JSON syntax errors surface with ``path:line:col``
+diagnostics.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.exceptions import FormatError, SourceLocation
+from repro.io.verilog import VerilogInstance, VerilogModule
+from repro.library.cells import StandardCellLibrary
+
+__all__ = ["infer_clock_port", "parse_yosys_json", "read_yosys_module"]
+
+#: Yosys internal gate type -> (generic library cell, port renames).
+_YOSYS_CELLS: dict[str, tuple[str, dict[str, str]]] = {
+    "$_BUF_": ("BUF_X1", {"A": "A0", "Y": "Y"}),
+    "$_NOT_": ("INV_X1", {"A": "A0", "Y": "Y"}),
+    "$_AND_": ("AND2_X1", {"A": "A0", "B": "A1", "Y": "Y"}),
+    "$_NAND_": ("NAND2_X1", {"A": "A0", "B": "A1", "Y": "Y"}),
+    "$_OR_": ("OR2_X1", {"A": "A0", "B": "A1", "Y": "Y"}),
+    "$_NOR_": ("NOR2_X1", {"A": "A0", "B": "A1", "Y": "Y"}),
+    "$_XOR_": ("XOR2_X1", {"A": "A0", "B": "A1", "Y": "Y"}),
+    "$_XNOR_": ("XNOR2_X1", {"A": "A0", "B": "A1", "Y": "Y"}),
+    "$_DFF_P_": ("DFF_X1", {"C": "CK", "D": "D", "Q": "Q"}),
+}
+
+
+def _sanitize(name: str) -> str:
+    """Flatten separators that collide with our ``inst/PIN`` refs."""
+    return name.replace("/", "_").replace("\\", "")
+
+
+def _is_top(attributes: dict) -> bool:
+    value = attributes.get("top")
+    if value is None:
+        return False
+    if isinstance(value, int):
+        return value != 0
+    text = str(value).strip()
+    return bool(text) and set(text) <= set("01") and "1" in text
+
+
+def _pick_module(payload: dict, path: str | None) -> tuple[str, dict]:
+    modules = payload.get("modules")
+    if not isinstance(modules, dict) or not modules:
+        raise FormatError("no 'modules' object; not a Yosys "
+                          "write_json netlist", path=path)
+    tops = [(name, mod) for name, mod in modules.items()
+            if isinstance(mod, dict)
+            and _is_top(mod.get("attributes") or {})]
+    if len(tops) == 1:
+        return tops[0]
+    if not tops and len(modules) == 1:
+        name, mod = next(iter(modules.items()))
+        if isinstance(mod, dict):
+            return name, mod
+    raise FormatError(
+        f"cannot pick a top module among {sorted(modules)}; mark one "
+        f"with the 'top' attribute (yosys: hierarchy -top NAME)",
+        path=path)
+
+
+def _bit_names(module: dict) -> dict[int, str]:
+    """Bit id -> scalar net name (ports first, then visible netnames)."""
+    names: dict[int, str] = {}
+
+    def claim(bits: list, base: str, force: bool) -> None:
+        wide = len(bits) > 1
+        for index, bit in enumerate(bits):
+            if not isinstance(bit, int):
+                continue  # constants are handled at the use site
+            if force or bit not in names:
+                label = f"{base}[{index}]" if wide else base
+                names[bit] = _sanitize(label)
+
+    for name, port in (module.get("ports") or {}).items():
+        claim(port.get("bits") or [], name, force=True)
+    visible, hidden = [], []
+    for name, net in (module.get("netnames") or {}).items():
+        (hidden if net.get("hide_name") else visible).append((name, net))
+    for name, net in visible + hidden:
+        claim(net.get("bits") or [], name, force=False)
+    return names
+
+
+def _net_of_bit(bit, names: dict[int, str], where: str,
+                path: str | None) -> str:
+    if not isinstance(bit, int):
+        raise FormatError(
+            f"{where} is tied to constant {bit!r}; constant drivers "
+            f"carry no timing arcs and are not supported", path=path)
+    return names.setdefault(bit, f"$net{bit}")
+
+
+def parse_yosys_json(text: str, path: str | None = None
+                     ) -> tuple[VerilogModule, dict]:
+    """Parse Yosys ``write_json`` text into a (module, metadata) pair."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SourceLocation(path, exc.lineno, exc.colno).error(
+            f"invalid JSON: {exc.msg}") from exc
+    if not isinstance(payload, dict):
+        raise FormatError("top-level JSON value must be an object",
+                          path=path)
+    top_name, top = _pick_module(payload, path)
+    names = _bit_names(top)
+    module = VerilogModule(name=_sanitize(top_name))
+    meta = {"creator": payload.get("creator"),
+            "modules": sorted(payload.get("modules") or {}),
+            "top": top_name}
+
+    for name, port in (top.get("ports") or {}).items():
+        direction = port.get("direction")
+        bits = port.get("bits") or []
+        if direction not in ("input", "output"):
+            raise FormatError(
+                f"port {name!r} has unsupported direction "
+                f"{direction!r} (inout is not supported)", path=path)
+        wide = len(bits) > 1
+        for index, bit in enumerate(bits):
+            label = _sanitize(f"{name}[{index}]" if wide else name)
+            if not isinstance(bit, int):
+                raise FormatError(
+                    f"port {label!r} is tied to constant {bit!r}; "
+                    f"constant drivers carry no timing arcs and are "
+                    f"not supported", path=path)
+            module.ports.append(label)
+            (module.inputs if direction == "input"
+             else module.outputs).append(label)
+
+    port_names = set(module.ports)
+    for raw_name, cell in (top.get("cells") or {}).items():
+        cell_type = cell.get("type")
+        mapped_type, renames = _YOSYS_CELLS.get(
+            cell_type, (cell_type, None))
+        connections = {}
+        for port, bits in (cell.get("connections") or {}).items():
+            if not isinstance(bits, list) or len(bits) != 1:
+                raise FormatError(
+                    f"cell {raw_name!r} pin {port!r} connects "
+                    f"{len(bits) if isinstance(bits, list) else '?'} "
+                    f"bits; library cell pins are single-bit", path=path)
+            pin = renames.get(port) if renames is not None else port
+            if pin is None:
+                raise FormatError(
+                    f"cell {raw_name!r} ({cell_type}) has unexpected "
+                    f"pin {port!r}", path=path)
+            net = _net_of_bit(bits[0], names,
+                              f"cell {raw_name!r} pin {port!r}", path)
+            connections[pin] = net
+        module.instances.append(VerilogInstance(
+            cell=mapped_type, name=_sanitize(raw_name),
+            connections=connections))
+
+    declared = set(module.ports)
+    for instance in module.instances:
+        for net in instance.connections.values():
+            if net not in declared and net not in port_names:
+                module.wires.append(net)
+                declared.add(net)
+    return module, meta
+
+
+def read_yosys_module(path: str | os.PathLike
+                      ) -> tuple[VerilogModule, dict]:
+    """Parse the Yosys JSON netlist at ``path``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_yosys_json(handle.read(), path=str(path))
+
+
+def infer_clock_port(module: VerilogModule,
+                     library: StandardCellLibrary,
+                     path: str | None = None) -> str:
+    """The input port that (transitively) clocks every flip-flop.
+
+    Follows each flip-flop's CK net backwards through single-input
+    cells until an input port is reached; all flip-flops must agree.
+    Used to synthesize the ``create_clock`` an imported netlist does
+    not carry (pass an explicit SDC to override).
+    """
+    drivers: dict[str, tuple] = {}
+    for instance in module.instances:
+        if instance.cell not in library:
+            raise FormatError(
+                f"instance {instance.name!r} uses unknown cell "
+                f"{instance.cell!r}", path=path)
+        output = "Q" if library.is_flip_flop(instance.cell) else "Y"
+        net = instance.connections.get(output)
+        if net is not None:
+            drivers[net] = (instance.name, instance.cell)
+
+    inputs = set(module.inputs)
+    roots = set()
+    for instance in module.instances:
+        if not library.is_flip_flop(instance.cell):
+            continue
+        net = instance.connections.get("CK")
+        if net is None:
+            raise FormatError(
+                f"flip-flop {instance.name!r} has no CK connection",
+                path=path)
+        seen = set()
+        while net not in inputs:
+            if net in seen:
+                raise FormatError(
+                    f"clock net {net!r} is part of a cycle", path=path)
+            seen.add(net)
+            driver = drivers.get(net)
+            if driver is None:
+                raise FormatError(
+                    f"clock net {net!r} has no driver", path=path)
+            name, cell_name = driver
+            cell = library.cell(cell_name) \
+                if not library.is_flip_flop(cell_name) else None
+            if cell is None or cell.num_inputs != 1:
+                raise FormatError(
+                    f"cannot trace the clock of flip-flop "
+                    f"{instance.name!r} past {name!r} ({cell_name}); "
+                    f"only buffer/inverter chains from an input port "
+                    f"are recognized", path=path)
+            instance_obj = next(i for i in module.instances
+                                if i.name == name)
+            net = instance_obj.connections.get("A0")
+            if net is None:
+                raise FormatError(
+                    f"clock cell {name!r} has no A0 connection",
+                    path=path)
+        roots.add(net)
+    if not roots:
+        raise FormatError(
+            "no flip-flops: cannot infer a clock port (pass an SDC "
+            "with create_clock)", path=path)
+    if len(roots) > 1:
+        raise FormatError(
+            f"flip-flops are clocked from multiple ports "
+            f"{sorted(roots)}; single-clock designs only", path=path)
+    return roots.pop()

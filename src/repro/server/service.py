@@ -483,7 +483,8 @@ class TimingService:
 
     def _ep_designs_create(self, params: dict, body: dict) -> dict:
         known = {"suite", "scale", "path", "token", "options",
-                 "corners", "deadline"}
+                 "corners", "deadline", "format", "sdc", "sdf",
+                 "sdf_corners", "clock_period"}
         unknown = set(body) - known
         if unknown:
             raise BadRequest(
@@ -494,20 +495,24 @@ class TimingService:
             raise BadRequest(
                 "pass exactly one of 'suite' or 'path'")
         cppr_options = self._parse_options(body.get("options"))
+        corner_list: list = []
         corners = body.get("corners")
         if corners is not None:
-            from repro.corners import Corner, CornerSet
+            from repro.corners import Corner
             if not isinstance(corners, dict) or not corners:
                 raise BadRequest(
                     "'corners' must map corner names to ECO objects")
-            corner_set = CornerSet([
+            corner_list = [
                 Corner.from_eco(name,
                                 parse_eco_updates(
                                     eco, where=f"corners[{name!r}]"))
-                for name, eco in corners.items()])
-            cppr_options = CpprOptions(**{
-                **_options_dict(cppr_options), "corners": corner_set})
+                for name, eco in corners.items()]
         if suite is not None:
+            for key in ("format", "sdc", "sdf", "sdf_corners",
+                        "clock_period"):
+                if body.get(key):
+                    raise BadRequest(
+                        f"{key!r} applies to file designs, not 'suite'")
             from repro.workloads.suite import build_design
             scale = body.get("scale", 1.0)
             if isinstance(scale, bool) \
@@ -522,12 +527,31 @@ class TimingService:
         else:
             if not isinstance(path, str):
                 raise BadRequest("'path' must be a file path string")
-            from repro.io.json_format import load_design_json
-            from repro.io.tau_format import load_design
-            if path.endswith(".json"):
-                graph, constraints = load_design_json(path)
-            else:
-                graph, constraints = load_design(path)
+            format_name = body.get("format", "auto")
+            if not isinstance(format_name, str):
+                raise BadRequest("'format' must be a format name string")
+            clock_period = body.get("clock_period")
+            if clock_period is not None and (
+                    isinstance(clock_period, bool)
+                    or not isinstance(clock_period, (int, float))
+                    or clock_period <= 0):
+                raise BadRequest(
+                    f"clock_period must be a positive number, got "
+                    f"{clock_period!r}")
+            from repro.io.frontend import load_design
+            imported = load_design(
+                path, format=format_name,
+                sdc=body.get("sdc"), sdf=body.get("sdf"),
+                clock_period=clock_period,
+                sdf_corners=bool(body.get("sdf_corners")))
+            graph, constraints = imported
+            if imported.corners is not None:
+                corner_list = list(imported.corners) + corner_list
+        if corner_list:
+            from repro.corners import CornerSet
+            cppr_options = CpprOptions(**{
+                **_options_dict(cppr_options),
+                "corners": CornerSet(corner_list)})
         token = self.add_design(graph, constraints, cppr_options,
                                 token=body.get("token"))
         return {"token": token,

@@ -1,0 +1,61 @@
+"""Chaos at the design frontend: a corrupt, truncated, or
+fault-injected load NEVER yields a partial design — every failure mode
+surfaces as one structured :class:`FormatError`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import FormatError
+from repro.faults import FaultSpec, check, inject
+from repro.io.frontend import load_design
+
+YOSYS_FIXTURE = "tests/io/fixtures/counter.json"
+SDF_FIXTURE = "tests/io/fixtures/counter.sdf"
+
+
+class TestParseErrorSite:
+    def test_injected_fault_is_a_format_error(self):
+        with inject(FaultSpec("io.parse_error")):
+            with pytest.raises(FormatError, match="injected fault"):
+                load_design(YOSYS_FIXTURE)
+            # Schedule exhausted: the same call now succeeds.
+            imported = load_design(YOSYS_FIXTURE)
+        assert imported.graph.num_pins > 0
+
+    def test_check_fires_at_the_site(self):
+        with inject(FaultSpec("io.parse_error")):
+            with pytest.raises(FormatError):
+                check("io.parse_error")
+
+
+class TestTruncatedInputs:
+    @pytest.mark.parametrize("fraction", [0.25, 0.5, 0.9])
+    def test_truncated_netlist(self, tmp_path, fraction):
+        text = open(YOSYS_FIXTURE).read()
+        broken = tmp_path / "counter.json"
+        broken.write_text(text[:int(len(text) * fraction)])
+        with pytest.raises(FormatError):
+            load_design(broken, format="yosys")
+
+    @pytest.mark.parametrize("fraction", [0.25, 0.5, 0.9])
+    def test_truncated_sdf(self, tmp_path, fraction):
+        text = open(SDF_FIXTURE).read()
+        broken = tmp_path / "counter.sdf"
+        broken.write_text(text[:int(len(text) * fraction)])
+        with pytest.raises(FormatError):
+            load_design(YOSYS_FIXTURE, sdf=broken)
+
+    def test_corrupt_sdf_values(self, tmp_path):
+        text = open(SDF_FIXTURE).read().replace("0.150", "zero.150", 1)
+        broken = tmp_path / "counter.sdf"
+        broken.write_text(text)
+        with pytest.raises(FormatError):
+            load_design(YOSYS_FIXTURE, sdf=broken)
+
+    def test_error_names_the_broken_file(self, tmp_path):
+        broken = tmp_path / "counter.json"
+        broken.write_text('{"modules": {"t": {')
+        with pytest.raises(FormatError) as info:
+            load_design(broken, format="yosys")
+        assert str(info.value).startswith(str(broken))

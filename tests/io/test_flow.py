@@ -98,8 +98,9 @@ class TestFlow:
     def test_read_design_from_files(self, tmp_path):
         (tmp_path / "t.v").write_text(VERILOG)
         (tmp_path / "t.sdc").write_text(SDC)
-        rf_design, constraints = read_design(
-            tmp_path / "t.v", tmp_path / "t.sdc", default_library())
+        with pytest.warns(DeprecationWarning, match="read_design"):
+            rf_design, constraints = read_design(
+                tmp_path / "t.v", tmp_path / "t.sdc", default_library())
         assert constraints.clock_period == 4.0
         assert rf_design.graph.num_ffs == 4
 

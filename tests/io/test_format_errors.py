@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.exceptions import FormatError
+from repro.exceptions import FormatError, SourceLocation
 from repro.io.sdc import parse_sdc, read_sdc
 from repro.io.tau_format import load_design, loads_design
 from repro.io.verilog import parse_verilog, read_verilog
@@ -47,6 +47,28 @@ def _raises_with_location(parse, text, path, match, line=None):
     if line is not None:
         assert message.startswith(f"{path}:{line}:"), message
     return info.value
+
+
+class TestSourceLocation:
+    def test_full_rendering(self):
+        assert str(SourceLocation("a.v", 3, 7)) == "a.v:3:7"
+
+    def test_line_only(self):
+        assert str(SourceLocation("a.sdc", 3)) == "a.sdc:3"
+
+    def test_col_needs_a_line(self):
+        # A column without a line is meaningless; it is dropped.
+        assert str(SourceLocation("a.v", None, 7)) == "a.v"
+
+    def test_path_only_and_empty(self):
+        assert str(SourceLocation("a.v")) == "a.v"
+        assert str(SourceLocation()) == ""
+
+    def test_error_factory_pins_the_exception(self):
+        exc = SourceLocation("a.v", 3, 7).error("boom")
+        assert isinstance(exc, FormatError)
+        assert (exc.path, exc.line, exc.col) == ("a.v", 3, 7)
+        assert str(exc) == "a.v:3:7: boom"
 
 
 class TestSdcDiagnostics:
@@ -115,7 +137,8 @@ class TestTauDiagnostics:
     def test_load_design_reports_the_file_path(self, tmp_path):
         target = tmp_path / "truncated.cppr"
         target.write_text(GOOD_TAU.rsplit("net", 1)[0] + "net a\n")
-        with pytest.raises(FormatError) as info:
+        with pytest.raises(FormatError) as info, \
+                pytest.warns(DeprecationWarning):
             load_design(str(target))
         assert str(info.value).startswith(f"{target}:")
 
@@ -158,3 +181,32 @@ class TestVerilogDiagnostics:
         with pytest.raises(FormatError) as info:
             read_verilog(str(target))
         assert str(info.value).startswith(f"{target}:")
+
+    def test_errors_carry_a_column(self):
+        text = GOOD_VERILOG.replace("input a;", "input ;")
+        exc = _raises_with_location(parse_verilog, text, "top.v",
+                                    "expected input name", line=2)
+        assert exc.col == 9  # the ';' where a name should be
+
+    def test_duplicate_port_pins_its_own_line(self):
+        # Regression: the duplicate '.A(...)' ends line 5, so the
+        # *next* token ('.Y' on line 6) must not be blamed.  The old
+        # code reported the position after the closing paren.
+        text = GOOD_VERILOG.replace(
+            "BUF u2 (.A(n1), .Y(y));",
+            "BUF u2 (.A(n1), .A(n1),\n    .Y(y));")
+        exc = _raises_with_location(parse_verilog, text, "top.v",
+                                    "connected twice", line=6)
+        assert exc.line == 6
+        assert exc.col is not None
+
+    def test_duplicate_port_at_end_of_line(self):
+        # The harder variant: the duplicate is the last token on its
+        # line, which is exactly where next-token positions drift one
+        # line too far.
+        text = GOOD_VERILOG.replace(
+            "BUF u2 (.A(n1), .Y(y));",
+            "BUF u2 (.Y(y), .A(n1), .A(n1)\n  );")
+        exc = _raises_with_location(parse_verilog, text, "top.v",
+                                    "connected twice", line=6)
+        assert exc.line == 6

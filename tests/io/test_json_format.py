@@ -11,6 +11,10 @@ from repro.exceptions import FormatError
 from repro.io.json_format import load_design_json, save_design_json
 from tests.helpers import assert_slacks_equal, demo_design, random_small
 
+# These tests deliberately exercise the deprecated legacy entry point.
+pytestmark = pytest.mark.filterwarnings(
+    "ignore:load_design_json is deprecated:DeprecationWarning")
+
 
 class TestRoundTrip:
     def test_demo_roundtrip(self, tmp_path):

@@ -1,0 +1,185 @@
+"""The Yosys ``write_json`` importer: bit walking, cell mapping."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import FormatError
+from repro.io.yosys_json import (infer_clock_port, parse_yosys_json,
+                                 read_yosys_module)
+from repro.library.standard import default_library
+
+FIXTURE = "tests/io/fixtures/counter.json"
+
+
+def _netlist(cells: dict, ports: dict, netnames: dict | None = None,
+             top: str = "t") -> str:
+    return json.dumps({"modules": {top: {
+        "attributes": {"top": 1},
+        "ports": ports,
+        "cells": cells,
+        "netnames": netnames or {},
+    }}})
+
+
+class TestFixture:
+    def test_fixture_parses(self):
+        module, meta = read_yosys_module(FIXTURE)
+        assert module.name == "counter"
+        assert meta["top"] == "counter"
+        assert sorted(module.inputs) == ["a", "b", "clk"]
+        assert module.outputs == ["y"]
+        assert len(module.instances) == 8
+
+    def test_internal_gate_types_mapped(self):
+        module, _ = read_yosys_module(FIXTURE)
+        cells = {inst.name: inst.cell for inst in module.instances}
+        assert cells["cb1"] == "BUF_X1"
+        assert cells["g1"] == "NAND2_X1"
+        assert cells["g2"] == "XOR2_X1"
+        assert cells["ff1"] == "DFF_X1"
+
+    def test_ports_renamed_to_library_pins(self):
+        module, _ = read_yosys_module(FIXTURE)
+        g1 = next(i for i in module.instances if i.name == "g1")
+        assert sorted(g1.connections) == ["A0", "A1", "Y"]
+        ff1 = next(i for i in module.instances if i.name == "ff1")
+        assert sorted(ff1.connections) == ["CK", "D", "Q"]
+
+    def test_nets_take_netname_labels(self):
+        module, _ = read_yosys_module(FIXTURE)
+        g1 = next(i for i in module.instances if i.name == "g1")
+        assert g1.connections["Y"] == "w_nand"
+
+    def test_clock_port_inferred_through_buffers(self):
+        module, _ = read_yosys_module(FIXTURE)
+        assert infer_clock_port(module, default_library()) == "clk"
+
+
+class TestBitWalk:
+    def test_multibit_ports_expand(self):
+        text = _netlist(
+            cells={"u": {"type": "$_BUF_",
+                         "connections": {"A": [4], "Y": [5]}}},
+            ports={"d": {"direction": "input", "bits": [2, 3, 4]},
+                   "q": {"direction": "output", "bits": [5]}})
+        module, _ = parse_yosys_json(text)
+        assert module.inputs == ["d[0]", "d[1]", "d[2]"]
+        u = module.instances[0]
+        assert u.connections == {"A0": "d[2]", "Y": "q"}
+
+    def test_unnamed_net_gets_bit_label(self):
+        text = _netlist(
+            cells={"u1": {"type": "$_BUF_",
+                          "connections": {"A": [2], "Y": [9]}},
+                   "u2": {"type": "$_BUF_",
+                          "connections": {"A": [9], "Y": [3]}}},
+            ports={"a": {"direction": "input", "bits": [2]},
+                   "y": {"direction": "output", "bits": [3]}})
+        module, _ = parse_yosys_json(text)
+        assert module.instances[0].connections["Y"] == "$net9"
+        assert "$net9" in module.wires
+
+    def test_direct_library_cells_pass_through(self):
+        text = _netlist(
+            cells={"u": {"type": "NAND2_X1",
+                         "connections": {"A0": [2], "A1": [3],
+                                         "Y": [4]}}},
+            ports={"a": {"direction": "input", "bits": [2]},
+                   "b": {"direction": "input", "bits": [3]},
+                   "y": {"direction": "output", "bits": [4]}})
+        module, _ = parse_yosys_json(text)
+        assert module.instances[0].cell == "NAND2_X1"
+
+
+class TestErrors:
+    def test_invalid_json_has_line_and_col(self):
+        with pytest.raises(FormatError, match="invalid JSON") as info:
+            parse_yosys_json('{"modules": \n  {oops', path="n.json")
+        assert info.value.line == 2
+        assert info.value.col is not None
+        assert str(info.value).startswith("n.json:2:")
+
+    def test_missing_modules(self):
+        with pytest.raises(FormatError, match="not a Yosys"):
+            parse_yosys_json('{"creator": "x"}')
+
+    def test_ambiguous_top(self):
+        text = json.dumps({"modules": {"a": {}, "b": {}}})
+        with pytest.raises(FormatError, match="cannot pick a top"):
+            parse_yosys_json(text)
+
+    def test_inout_port_rejected(self):
+        text = _netlist(cells={},
+                        ports={"p": {"direction": "inout", "bits": [2]}})
+        with pytest.raises(FormatError, match="inout is not supported"):
+            parse_yosys_json(text)
+
+    def test_constant_cell_pin_rejected(self):
+        text = _netlist(
+            cells={"u": {"type": "$_BUF_",
+                         "connections": {"A": ["1"], "Y": [3]}}},
+            ports={"y": {"direction": "output", "bits": [3]}})
+        with pytest.raises(FormatError, match="constant"):
+            parse_yosys_json(text)
+
+    def test_wide_cell_pin_rejected(self):
+        text = _netlist(
+            cells={"u": {"type": "$_BUF_",
+                         "connections": {"A": [2, 3], "Y": [4]}}},
+            ports={"a": {"direction": "input", "bits": [2, 3]},
+                   "y": {"direction": "output", "bits": [4]}})
+        with pytest.raises(FormatError, match="single-bit"):
+            parse_yosys_json(text)
+
+    def test_unexpected_pin_on_mapped_cell(self):
+        text = _netlist(
+            cells={"u": {"type": "$_BUF_",
+                         "connections": {"A": [2], "Z": [3]}}},
+            ports={"a": {"direction": "input", "bits": [2]},
+                   "y": {"direction": "output", "bits": [3]}})
+        with pytest.raises(FormatError, match="unexpected pin"):
+            parse_yosys_json(text)
+
+
+class TestClockInference:
+    def test_no_flip_flops(self):
+        text = _netlist(
+            cells={"u": {"type": "$_BUF_",
+                         "connections": {"A": [2], "Y": [3]}}},
+            ports={"a": {"direction": "input", "bits": [2]},
+                   "y": {"direction": "output", "bits": [3]}})
+        module, _ = parse_yosys_json(text)
+        with pytest.raises(FormatError, match="no flip-flops"):
+            infer_clock_port(module, default_library())
+
+    def test_multiple_clock_roots(self):
+        text = _netlist(
+            cells={"f1": {"type": "$_DFF_P_",
+                          "connections": {"C": [2], "D": [4],
+                                          "Q": [5]}},
+                   "f2": {"type": "$_DFF_P_",
+                          "connections": {"C": [3], "D": [5],
+                                          "Q": [6]}}},
+            ports={"ck1": {"direction": "input", "bits": [2]},
+                   "ck2": {"direction": "input", "bits": [3]},
+                   "d": {"direction": "input", "bits": [4]},
+                   "q": {"direction": "output", "bits": [6]}})
+        module, _ = parse_yosys_json(text)
+        with pytest.raises(FormatError, match="multiple ports"):
+            infer_clock_port(module, default_library())
+
+    def test_clock_through_multi_input_cell_rejected(self):
+        text = _netlist(
+            cells={"g": {"type": "$_AND_",
+                         "connections": {"A": [2], "B": [3], "Y": [4]}},
+                   "f": {"type": "$_DFF_P_",
+                         "connections": {"C": [4], "D": [3], "Q": [5]}}},
+            ports={"en": {"direction": "input", "bits": [2]},
+                   "ck": {"direction": "input", "bits": [3]},
+                   "q": {"direction": "output", "bits": [5]}})
+        module, _ = parse_yosys_json(text)
+        with pytest.raises(FormatError, match="buffer/inverter"):
+            infer_clock_port(module, default_library())

@@ -47,6 +47,34 @@ class TestLifecycle:
         assert status == 200
         assert payload["total"] == 2
 
+    def test_design_create_from_yosys_file(self):
+        service = make_service()
+        status, payload = service.handle(
+            "POST", "/designs",
+            {"path": "tests/io/fixtures/counter.json",
+             "sdf": "tests/io/fixtures/counter.sdf",
+             "sdf_corners": True, "token": "ctr"})
+        assert status == 200, payload
+        assert payload["design"]["corners"] == ["min", "typ", "max"]
+        status, payload = service.handle(
+            "POST", "/designs/ctr/rank_paths",
+            {"k": 2, "corner": "typ"})
+        assert status == 200, payload
+        assert payload["total"] > 0
+
+    def test_design_create_corrupt_file_is_a_bad_request(self, tmp_path):
+        service = make_service()
+        broken = tmp_path / "broken.json"
+        broken.write_text('{"modules": {"t": {')
+        status, payload = service.handle(
+            "POST", "/designs", {"path": str(broken), "token": "bad"})
+        assert status == 400
+        assert "invalid JSON" in payload["error"]["message"]
+        # The failed load must not leave a partial design behind.
+        status, payload = service.handle("GET", "/designs")
+        tokens = [info["token"] for info in payload["designs"]]
+        assert "bad" not in tokens
+
     def test_duplicate_token_rejected(self, service):
         graph, constraints = demo_design()
         with pytest.raises(Exception, match="already loaded"):

@@ -352,7 +352,8 @@ class TestEco:
         assert "(ECO: 1 delay edit(s), 1 clock edit(s))" in via_session
 
         from repro.io.eco import load_eco_updates
-        from repro.io.tau_format import load_design, save_design
+        from repro.io.frontend import load_design
+        from repro.io.tau_format import save_design
         from repro.sta.incremental import (apply_clock_updates,
                                            apply_delay_updates)
         graph, constraints = load_design(design_file)
